@@ -1,0 +1,144 @@
+//! Microbenchmarks of the coding scheme — the paper's claim that `F` and
+//! friends are "fast on modern architectures" (shifts and integer adds),
+//! and that code↔region conversion is effectively free.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pbitree_core::{binarize_tree, Code, DataTree, PBiTreeShape};
+
+fn codes(n: usize) -> Vec<Code> {
+    let mut x = 0x9E3779B97F4A7C15u64;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            Code::new((x % ((1 << 30) - 1)) + 1).unwrap()
+        })
+        .collect()
+}
+
+fn bench_f_function(c: &mut Criterion) {
+    let cs = codes(4096);
+    let mut g = c.benchmark_group("coding");
+    g.throughput(Throughput::Elements(cs.len() as u64));
+    g.bench_function("F(n,h) ancestor-at-height", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &n in &cs {
+                acc ^= n.ancestor_at_height(black_box(20)).get();
+            }
+            acc
+        })
+    });
+    g.bench_function("height (trailing zeros)", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &n in &cs {
+                acc ^= n.height();
+            }
+            acc
+        })
+    });
+    g.bench_function("region (Lemma 3)", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &n in &cs {
+                let (s, e) = n.region();
+                acc ^= s ^ e;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_ancestor_checks(c: &mut Criterion) {
+    let cs = codes(2048);
+    let pairs: Vec<(Code, Code)> = cs
+        .iter()
+        .zip(cs.iter().rev())
+        .map(|(&a, &d)| (a, d))
+        .collect();
+    let mut g = c.benchmark_group("ancestor-test");
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_function("Lemma 1 (F equality)", |b| {
+        b.iter(|| pairs.iter().filter(|(a, d)| a.is_ancestor_of(*d)).count())
+    });
+    g.bench_function("region containment", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|(a, d)| {
+                    let (s, e) = a.region();
+                    s <= d.get() && d.get() <= e && a != d
+                })
+                .count()
+        })
+    });
+    g.bench_function("Lemma 4 (prefix)", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|(a, d)| a.prefix_is_ancestor_of(*d))
+                .count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_ancestor_enumeration(c: &mut Criterion) {
+    let shape = PBiTreeShape::new(30).unwrap();
+    let cs = codes(1024);
+    let mut g = c.benchmark_group("coding");
+    g.throughput(Throughput::Elements(cs.len() as u64));
+    g.bench_function("enumerate all ancestors (<=30)", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &n in &cs {
+                for a in shape.ancestors(n) {
+                    acc ^= a.get();
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_binarize(c: &mut Criterion) {
+    // A bushy 50k-node tree.
+    let mut t = DataTree::new(0);
+    let mut frontier = vec![t.root()];
+    let mut next = Vec::new();
+    let mut label = 1;
+    while t.len() < 50_000 {
+        for &n in &frontier {
+            for _ in 0..5 {
+                next.push(t.add_child(n, label));
+                label += 1;
+                if t.len() >= 50_000 {
+                    break;
+                }
+            }
+            if t.len() >= 50_000 {
+                break;
+            }
+        }
+        frontier = std::mem::take(&mut next);
+    }
+    let mut g = c.benchmark_group("binarize");
+    g.throughput(Throughput::Elements(t.len() as u64));
+    g.bench_function("binarize 50k-node tree", |b| {
+        b.iter(|| binarize_tree(black_box(&t)).unwrap().len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_f_function,
+    bench_ancestor_checks,
+    bench_ancestor_enumeration,
+    bench_binarize
+);
+criterion_main!(benches);

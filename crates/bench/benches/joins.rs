@@ -1,0 +1,139 @@
+//! Reduced-scale join benchmarks: the same code paths as the paper's
+//! experiments (tables/figures run via the `table2`/`fig6` binaries at
+//! full scale), sized so `cargo bench` finishes quickly. Cost model is
+//! zeroed — Criterion measures CPU; the simulated-disk comparison lives in
+//! the experiment binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbitree_bench::workloads::{synthetic_by_name, Workload};
+use pbitree_joins::element::element_file;
+use pbitree_joins::stacktree::SortPolicy;
+use pbitree_joins::{CountSink, JoinCtx};
+use pbitree_storage::{BufferPool, CostModel, Disk, MemBackend};
+
+const SCALE: f64 = 0.02; // 20k / 200-element sets
+const BUFFER: usize = 24;
+
+fn ctx_for(w: &Workload) -> JoinCtx {
+    JoinCtx {
+        pool: BufferPool::new(
+            Disk::new(Box::new(MemBackend::new()), CostModel::free()),
+            BUFFER,
+        ),
+        shape: w.shape,
+    }
+}
+
+fn bench_all_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join-cpu");
+    g.sample_size(10);
+    for name in ["SLLL", "MLLL", "SSLH"] {
+        let w = synthetic_by_name(name, SCALE).unwrap();
+        type Runner = (
+            &'static str,
+            fn(
+                &JoinCtx,
+                &pbitree_storage::HeapFile<pbitree_joins::Element>,
+                &pbitree_storage::HeapFile<pbitree_joins::Element>,
+                &mut dyn pbitree_joins::PairSink,
+            ) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>,
+        );
+        let runners: Vec<Runner> = vec![
+            ("MHCJ+Rollup", |c, a, d, s| {
+                pbitree_joins::rollup::mhcj_rollup(c, a, d, s)
+            }),
+            ("VPJ", |c, a, d, s| pbitree_joins::vpj::vpj(c, a, d, s)),
+            ("STACKTREE", |c, a, d, s| {
+                pbitree_joins::stacktree::stack_tree_desc(c, a, d, SortPolicy::SortOnTheFly, s)
+            }),
+            ("INLJN", |c, a, d, s| pbitree_joins::inljn::inljn(c, a, d, s)),
+            ("ADB+", |c, a, d, s| {
+                pbitree_joins::adb::anc_des_bplus(c, a, d, SortPolicy::SortOnTheFly, s)
+            }),
+        ];
+        for (rname, f) in runners {
+            g.bench_with_input(
+                BenchmarkId::new(rname, name),
+                &w,
+                |b, w| {
+                    let ctx = ctx_for(w);
+                    let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+                    let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+                    b.iter(|| {
+                        ctx.pool.evict_all();
+                        let mut sink = CountSink::default();
+                        f(&ctx, &af, &df, &mut sink).unwrap().pairs
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_rollup_anchors(c: &mut Criterion) {
+    let w = synthetic_by_name("MLSL", SCALE).unwrap();
+    let mut g = c.benchmark_group("rollup-anchors");
+    g.sample_size(10);
+    for k in [1usize, 2, 4, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let ctx = ctx_for(&w);
+            let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+            let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+            b.iter(|| {
+                ctx.pool.evict_all();
+                let mut sink = CountSink::default();
+                pbitree_joins::rollup::mhcj_rollup_with(&ctx, &af, &df, k, &mut sink)
+                    .unwrap()
+                    .pairs
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_memjoin_variants(c: &mut Criterion) {
+    let w = synthetic_by_name("MSLL", 0.05).unwrap();
+    let mut g = c.benchmark_group("memjoin-variants");
+    g.sample_size(10);
+    type Runner = (
+        &'static str,
+        fn(
+            &JoinCtx,
+            &pbitree_storage::HeapFile<pbitree_joins::Element>,
+            &pbitree_storage::HeapFile<pbitree_joins::Element>,
+            &mut dyn pbitree_joins::PairSink,
+        ) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>,
+    );
+    let runners: Vec<Runner> = vec![
+        ("algorithm6", pbitree_joins::memjoin::memory_containment_join),
+        ("ancestor-enum", pbitree_joins::memjoin::mem_join_ancestor_enum),
+        ("interval-tree", pbitree_joins::memjoin::mem_join_interval_tree),
+    ];
+    for (name, f) in runners {
+        g.bench_function(name, |b| {
+            let ctx = JoinCtx {
+                pool: BufferPool::new(
+                    Disk::new(Box::new(MemBackend::new()), CostModel::free()),
+                    256,
+                ),
+                shape: w.shape,
+            };
+            let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+            let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+            b.iter(|| {
+                let mut sink = CountSink::default();
+                f(&ctx, &af, &df, &mut sink).unwrap().pairs
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_all_algorithms,
+    bench_rollup_anchors,
+    bench_memjoin_variants
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+
+use crate::harness::ExpConfig;
+
+/// Options common to every experiment binary.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Which table part / figure panel to run (`all` by default).
+    pub select: String,
+    /// Synthetic-set scale factor (1.0 = the paper's 1M/10k sets).
+    pub scale: f64,
+    /// XMark/DBLP document scale factor.
+    pub sf: f64,
+    /// Buffer pool pages (paper default 500).
+    pub buffer: usize,
+    /// Results directory.
+    pub results_dir: std::path::PathBuf,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            select: "all".into(),
+            scale: 1.0,
+            sf: 1.0,
+            buffer: 500,
+            results_dir: "results".into(),
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `--part/--panel <x> --scale <f> --sf <f> --buffer <n>
+    /// --results <dir> --fast`; `--fast` is a preset for quick smoke runs.
+    pub fn parse(select_flag: &str) -> CommonArgs {
+        let mut args = CommonArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut take = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                s if s == select_flag => args.select = take(select_flag),
+                "--scale" => args.scale = take("--scale").parse().expect("numeric --scale"),
+                "--sf" => args.sf = take("--sf").parse().expect("numeric --sf"),
+                "--buffer" => args.buffer = take("--buffer").parse().expect("integer --buffer"),
+                "--results" => args.results_dir = take("--results").into(),
+                "--fast" => {
+                    args.scale = 0.02;
+                    args.sf = 0.02;
+                    args.buffer = 64;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: {select_flag} <sel> --scale <f> --sf <f> \
+                         --buffer <pages> --results <dir> --fast"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?}"),
+            }
+        }
+        args
+    }
+
+    /// The experiment configuration implied by these arguments.
+    pub fn config(&self) -> ExpConfig {
+        ExpConfig {
+            buffer_pages: self.buffer,
+            ..ExpConfig::default()
+        }
+    }
+
+    /// Whether the selection matches a given key (or is `all`).
+    pub fn selected(&self, key: &str) -> bool {
+        self.select == "all" || self.select.eq_ignore_ascii_case(key)
+    }
+}

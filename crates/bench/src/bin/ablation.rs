@@ -1,0 +1,186 @@
+//! Ablation studies of the design choices DESIGN.md calls out:
+//!
+//! * `rollup`  — anchor count `k` sweep: false hits vs. extra `D` scans;
+//! * `memjoin` — Memory-Containment-Join inner strategy (sorted-D binary
+//!   search / in-memory rollup / PBiTree ancestor enumeration / interval
+//!   tree);
+//! * `shcj`    — in-memory vs. Grace crossover as |A| grows past the
+//!   buffer budget;
+//! * `vpj`     — replication/purge/merge/recursion report across dataset
+//!   shapes.
+//!
+//! ```text
+//! cargo run -p pbitree-bench --release --bin ablation -- --study rollup
+//! ```
+
+use pbitree_bench::args::CommonArgs;
+use pbitree_bench::report::{fmt_secs, Table};
+use pbitree_bench::workloads::{synthetic_by_name, synthetic_multi};
+use pbitree_joins::element::element_file;
+use pbitree_joins::{CountSink, JoinCtx};
+use pbitree_storage::{BufferPool, Disk, MemBackend};
+
+fn make_ctx(w: &pbitree_bench::Workload, buffer: usize) -> JoinCtx {
+    JoinCtx {
+        pool: BufferPool::new(
+            Disk::new(Box::new(MemBackend::new()), pbitree_storage::CostModel::default()),
+            buffer,
+        ),
+        shape: w.shape,
+    }
+}
+
+fn rollup_study(args: &CommonArgs) {
+    let mut t = Table::new(
+        "Ablation: rollup anchor count (k) vs false hits and time",
+        &["dataset", "k", "false_hits", "pairs", "elapsed(s)", "io_pages"],
+    );
+    for w in synthetic_multi(args.scale) {
+        for k in [1usize, 2, 3, 5, 9] {
+            let ctx = make_ctx(&w, args.buffer);
+            let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+            let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+            ctx.pool.evict_all();
+            let mut sink = CountSink::default();
+            let stats =
+                pbitree_joins::rollup::mhcj_rollup_with(&ctx, &af, &df, k, &mut sink).unwrap();
+            t.row(vec![
+                w.name.clone(),
+                k.to_string(),
+                stats.false_hits.to_string(),
+                stats.pairs.to_string(),
+                fmt_secs(stats.elapsed_secs()),
+                stats.io.total().to_string(),
+            ]);
+        }
+    }
+    t.emit(&args.results_dir, "ablation_rollup");
+}
+
+fn memjoin_study(args: &CommonArgs) {
+    let mut t = Table::new(
+        "Ablation: Memory-Containment-Join inner strategy (A resident)",
+        &["dataset", "strategy", "pairs", "elapsed(s)", "cpu(s)"],
+    );
+    // Small A, large D: the interesting Algorithm-6 case.
+    let Some(w) = synthetic_by_name("MSLL", args.scale) else { return };
+    type Runner = fn(
+        &JoinCtx,
+        &pbitree_storage::HeapFile<pbitree_joins::Element>,
+        &pbitree_storage::HeapFile<pbitree_joins::Element>,
+        &mut dyn pbitree_joins::PairSink,
+    )
+        -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>;
+    let strategies: [(&str, Runner); 3] = [
+        ("algorithm6", pbitree_joins::memjoin::memory_containment_join),
+        ("ancestor-enum", pbitree_joins::memjoin::mem_join_ancestor_enum),
+        ("interval-tree", pbitree_joins::memjoin::mem_join_interval_tree),
+    ];
+    for (name, f) in strategies {
+        let ctx = make_ctx(&w, args.buffer.max(64));
+        let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+        let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+        ctx.pool.evict_all();
+        let mut sink = CountSink::default();
+        let stats = f(&ctx, &af, &df, &mut sink).unwrap();
+        t.row(vec![
+            w.name.clone(),
+            name.into(),
+            stats.pairs.to_string(),
+            fmt_secs(stats.elapsed_secs()),
+            fmt_secs(stats.cpu_ns as f64 / 1e9),
+        ]);
+    }
+    t.emit(&args.results_dir, "ablation_memjoin");
+}
+
+fn shcj_study(args: &CommonArgs) {
+    let mut t = Table::new(
+        "Ablation: SHCJ in-memory vs Grace crossover (|A| vs buffer)",
+        &["|A|", "|D|", "buffer_pages", "elapsed(s)", "io_pages"],
+    );
+    let base = synthetic_by_name("SLLL", args.scale * 0.2).unwrap();
+    for frac in [0.1, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        let take_a = ((base.a.len() as f64 * frac) as usize).clamp(1, base.a.len());
+        // Subsample A by stride to vary the build side only.
+        let a: Vec<(u64, u32)> = if frac <= 1.0 {
+            base.a.iter().step_by((1.0 / frac) as usize).copied().collect()
+        } else {
+            base.a.clone()
+        };
+        let buffer = if frac > 1.0 {
+            (args.buffer as f64 / frac) as usize
+        } else {
+            args.buffer
+        }
+        .max(8);
+        let _ = take_a;
+        let ctx = make_ctx(&base, buffer);
+        let af = element_file(&ctx.pool, a.iter().copied()).unwrap();
+        let df = element_file(&ctx.pool, base.d.iter().copied()).unwrap();
+        ctx.pool.evict_all();
+        let mut sink = CountSink::default();
+        let stats = pbitree_joins::shcj::shcj(&ctx, &af, &df, &mut sink).unwrap();
+        t.row(vec![
+            a.len().to_string(),
+            base.d.len().to_string(),
+            buffer.to_string(),
+            fmt_secs(stats.elapsed_secs()),
+            stats.io.total().to_string(),
+        ]);
+    }
+    t.emit(&args.results_dir, "ablation_shcj");
+}
+
+fn vpj_study(args: &CommonArgs) {
+    let mut t = Table::new(
+        "Ablation: VPJ partitioning behaviour",
+        &[
+            "dataset",
+            "partitions",
+            "purged",
+            "groups",
+            "recursions",
+            "fallbacks",
+            "replicated",
+            "elapsed(s)",
+        ],
+    );
+    for name in ["SLLL", "SLSL", "MLLL", "MSLL", "MLSL"] {
+        let Some(w) = synthetic_by_name(name, args.scale) else { continue };
+        let ctx = make_ctx(&w, args.buffer);
+        let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+        let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+        ctx.pool.evict_all();
+        let mut sink = CountSink::default();
+        let (stats, report) =
+            pbitree_joins::vpj::vpj_with_report(&ctx, &af, &df, &mut sink).unwrap();
+        t.row(vec![
+            w.name.clone(),
+            report.partitions.to_string(),
+            report.purged.to_string(),
+            report.groups.to_string(),
+            report.recursions.to_string(),
+            report.fallbacks.to_string(),
+            report.replicated_tuples.to_string(),
+            fmt_secs(stats.elapsed_secs()),
+        ]);
+    }
+    t.emit(&args.results_dir, "ablation_vpj");
+}
+
+fn main() {
+    let args = CommonArgs::parse("--study");
+    if args.selected("rollup") {
+        rollup_study(&args);
+    }
+    if args.selected("memjoin") {
+        memjoin_study(&args);
+    }
+    if args.selected("shcj") {
+        shcj_study(&args);
+    }
+    if args.selected("vpj") {
+        vpj_study(&args);
+    }
+}

@@ -1,0 +1,101 @@
+//! Regenerates Table 2 of the paper: dataset statistics (a–d), elapsed
+//! times for the single-height synthetic datasets (e), and MHCJ+Rollup
+//! false hits (f).
+//!
+//! ```text
+//! cargo run -p pbitree-bench --release --bin table2 -- --part a
+//! cargo run -p pbitree-bench --release --bin table2 -- --fast
+//! ```
+
+use pbitree_bench::args::CommonArgs;
+use pbitree_bench::harness::{min_rgn_secs, run_algo, run_competitors, Algo};
+use pbitree_bench::report::{fmt_secs, Table};
+use pbitree_bench::workloads::{
+    dblp_workloads, synthetic_multi, synthetic_single, Workload,
+};
+
+fn stats_table(title: &str, file: &str, sets: &[Workload], args: &CommonArgs) {
+    let mut t = Table::new(title, &["dataset", "|A|", "H_A", "|D|", "H_D", "#results", "paper"]);
+    for w in sets {
+        t.row(vec![
+            w.name.clone(),
+            w.a.len().to_string(),
+            w.h_a().to_string(),
+            w.d.len().to_string(),
+            w.h_d().to_string(),
+            w.exact_results().to_string(),
+            w.paper_results.map_or("-".into(), |r| r.to_string()),
+        ]);
+    }
+    t.emit(&args.results_dir, file);
+}
+
+fn main() {
+    let args = CommonArgs::parse("--part");
+    let cfg = args.config();
+
+    if args.selected("a") {
+        let sets = synthetic_single(args.scale);
+        stats_table(
+            "Table 2(a): single-height synthetic datasets",
+            "table2a",
+            &sets,
+            &args,
+        );
+    }
+    if args.selected("b") {
+        let sets = synthetic_multi(args.scale);
+        stats_table(
+            "Table 2(b): multi-height synthetic datasets",
+            "table2b",
+            &sets,
+            &args,
+        );
+    }
+    if args.selected("c") {
+        let sets = pbitree_bench::workloads::xmark_workloads(args.sf, 0xE0);
+        stats_table("Table 2(c): BENCHMARK datasets", "table2c", &sets, &args);
+    }
+    if args.selected("d") {
+        let sets = dblp_workloads(args.sf, 0xD0);
+        stats_table("Table 2(d): DBLP datasets", "table2d", &sets, &args);
+    }
+    if args.selected("e") {
+        let sets = synthetic_single(args.scale);
+        let mut t = Table::new(
+            "Table 2(e): elapsed time (s), single-height synthetic datasets",
+            &["dataset", "MIN_RGN", "SHCJ", "VPJ", "io_SHCJ", "io_VPJ"],
+        );
+        for w in &sets {
+            let base = run_competitors(w.shape, &w.a, &w.d, &cfg, &Algo::rgn_baselines());
+            let min_rgn = min_rgn_secs(&base).unwrap();
+            let shcj = run_algo(w.shape, &w.a, &w.d, &cfg, Algo::Shcj);
+            let vpj = run_algo(w.shape, &w.a, &w.d, &cfg, Algo::Vpj);
+            t.row(vec![
+                w.name.clone(),
+                fmt_secs(min_rgn),
+                fmt_secs(shcj.secs()),
+                fmt_secs(vpj.secs()),
+                shcj.stats.io.total().to_string(),
+                vpj.stats.io.total().to_string(),
+            ]);
+        }
+        t.emit(&args.results_dir, "table2e");
+    }
+    if args.selected("f") {
+        let sets = synthetic_multi(args.scale);
+        let mut t = Table::new(
+            "Table 2(f): false hits for MHCJ+Rollup, multi-height datasets",
+            &["dataset", "#false hits", "#results"],
+        );
+        for w in &sets {
+            let m = run_algo(w.shape, &w.a, &w.d, &cfg, Algo::MhcjRollup);
+            t.row(vec![
+                w.name.clone(),
+                m.stats.false_hits.to_string(),
+                m.stats.pairs.to_string(),
+            ]);
+        }
+        t.emit(&args.results_dir, "table2f");
+    }
+}

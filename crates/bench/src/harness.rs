@@ -1,0 +1,191 @@
+//! Shared experiment machinery: cold-start algorithm runs over generated
+//! element sets.
+
+use pbitree_core::PBiTreeShape;
+use pbitree_joins::element::element_file;
+use pbitree_joins::stacktree::SortPolicy;
+use pbitree_joins::{CountSink, JoinCtx, JoinStats};
+use pbitree_storage::CostModel;
+
+/// The algorithms the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Index nested loop, index built on the fly.
+    InlJn,
+    /// Stack-Tree-Desc, sorted on the fly.
+    StackTree,
+    /// Anc_Des_B+, sorted and indexed on the fly.
+    AncDesBPlus,
+    /// Single-height containment join.
+    Shcj,
+    /// MHCJ without rollup.
+    Mhcj,
+    /// MHCJ with rollup to the top height.
+    MhcjRollup,
+    /// Vertical-partitioning join.
+    Vpj,
+}
+
+impl Algo {
+    /// Short display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::InlJn => "INLJN",
+            Algo::StackTree => "STACKTREE",
+            Algo::AncDesBPlus => "ADB+",
+            Algo::Shcj => "SHCJ",
+            Algo::Mhcj => "MHCJ",
+            Algo::MhcjRollup => "MHCJ+Rollup",
+            Algo::Vpj => "VPJ",
+        }
+    }
+
+    /// The three region-code baselines behind `MIN_RGN`.
+    pub fn rgn_baselines() -> [Algo; 3] {
+        [Algo::InlJn, Algo::StackTree, Algo::AncDesBPlus]
+    }
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Buffer pool pages, the paper's `b` (500 in all experiments except
+    /// the buffer sweep).
+    pub buffer_pages: usize,
+    /// Disk cost model (defaults to the year-2000 HDD).
+    pub cost: CostModel,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig { buffer_pages: 500, cost: CostModel::default() }
+    }
+}
+
+/// One measured algorithm run.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Which algorithm ran.
+    pub algo: Algo,
+    /// Its stats (pairs, false hits, I/O, time).
+    pub stats: JoinStats,
+}
+
+impl Measured {
+    /// Headline seconds.
+    pub fn secs(&self) -> f64 {
+        self.stats.elapsed_secs()
+    }
+}
+
+/// Runs one algorithm cold: fresh pool, data loaded to "disk", cache
+/// dropped, then the measured operator.
+pub fn run_algo(
+    shape: PBiTreeShape,
+    a: &[(u64, u32)],
+    d: &[(u64, u32)],
+    cfg: &ExpConfig,
+    algo: Algo,
+) -> Measured {
+    let ctx = JoinCtx {
+        pool: pbitree_storage::BufferPool::new(
+            pbitree_storage::Disk::new(Box::new(pbitree_storage::MemBackend::new()), cfg.cost),
+            cfg.buffer_pages,
+        ),
+        shape,
+    };
+    let af = element_file(&ctx.pool, a.iter().copied()).expect("load A");
+    let df = element_file(&ctx.pool, d.iter().copied()).expect("load D");
+    ctx.pool.evict_all();
+    let mut sink = CountSink::default();
+    let stats = match algo {
+        Algo::InlJn => pbitree_joins::inljn::inljn(&ctx, &af, &df, &mut sink),
+        Algo::StackTree => pbitree_joins::stacktree::stack_tree_desc(
+            &ctx,
+            &af,
+            &df,
+            SortPolicy::SortOnTheFly,
+            &mut sink,
+        ),
+        Algo::AncDesBPlus => pbitree_joins::adb::anc_des_bplus(
+            &ctx,
+            &af,
+            &df,
+            SortPolicy::SortOnTheFly,
+            &mut sink,
+        ),
+        Algo::Shcj => pbitree_joins::shcj::shcj(&ctx, &af, &df, &mut sink),
+        Algo::Mhcj => pbitree_joins::mhcj::mhcj(&ctx, &af, &df, &mut sink),
+        Algo::MhcjRollup => pbitree_joins::rollup::mhcj_rollup(&ctx, &af, &df, &mut sink),
+        Algo::Vpj => pbitree_joins::vpj::vpj(&ctx, &af, &df, &mut sink),
+    }
+    .expect("join run failed");
+    debug_assert_eq!(stats.pairs, sink.count);
+    Measured { algo, stats }
+}
+
+/// Runs a list of algorithms cold and returns them with the `MIN_RGN`
+/// composite (minimum elapsed time among the region baselines) when all
+/// three baselines are present.
+pub fn run_competitors(
+    shape: PBiTreeShape,
+    a: &[(u64, u32)],
+    d: &[(u64, u32)],
+    cfg: &ExpConfig,
+    algos: &[Algo],
+) -> Vec<Measured> {
+    algos
+        .iter()
+        .map(|&algo| run_algo(shape, a, d, cfg, algo))
+        .collect()
+}
+
+/// The minimum elapsed time among the region-code baselines in `runs`.
+pub fn min_rgn_secs(runs: &[Measured]) -> Option<f64> {
+    runs.iter()
+        .filter(|m| Algo::rgn_baselines().contains(&m.algo))
+        .map(|m| m.secs())
+        .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.min(s))))
+}
+
+/// The paper's improvement ratio `(T_ref - T_x) / T_ref`.
+pub fn improvement_ratio(t_ref: f64, t_x: f64) -> f64 {
+    if t_ref <= 0.0 {
+        0.0
+    } else {
+        (t_ref - t_x) / t_ref
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbitree_datagen::synthetic;
+
+    #[test]
+    fn cold_runs_agree_on_pair_counts() {
+        let spec = synthetic::paper_single_height()[3].scaled(0.02); // SSSH tiny
+        let ds = synthetic::generate(&spec);
+        let cfg = ExpConfig { buffer_pages: 16, cost: pbitree_storage::CostModel::free() };
+        let algos = [
+            Algo::InlJn,
+            Algo::StackTree,
+            Algo::AncDesBPlus,
+            Algo::Shcj,
+            Algo::MhcjRollup,
+            Algo::Vpj,
+        ];
+        let runs = run_competitors(ds.shape, &ds.a, &ds.d, &cfg, &algos);
+        let pairs: Vec<u64> = runs.iter().map(|m| m.stats.pairs).collect();
+        assert!(pairs.windows(2).all(|w| w[0] == w[1]), "{pairs:?}");
+        assert_eq!(pairs[0], spec.matches as u64);
+        assert!(min_rgn_secs(&runs).is_some());
+    }
+
+    #[test]
+    fn improvement_ratio_formula() {
+        assert_eq!(improvement_ratio(10.0, 5.0), 0.5);
+        assert!(improvement_ratio(0.0, 1.0) == 0.0);
+        assert!(improvement_ratio(10.0, 12.0) < 0.0);
+    }
+}

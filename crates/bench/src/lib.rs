@@ -1,0 +1,25 @@
+//! # pbitree-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's §4. The library holds
+//! the shared machinery; the binaries drive it:
+//!
+//! * `table2` — Tables 2(a)–(f): dataset statistics, elapsed times for the
+//!   single-height datasets, rollup false hits.
+//! * `fig6` — Figures 6(a)–(h): improvement ratios (synthetic, BENCHMARK,
+//!   DBLP), buffer-size sweeps, scalability curves.
+//! * `ablation` — the design-choice sweeps DESIGN.md lists (rollup anchor
+//!   count, memory-join inner strategy, VPJ merging/purging, SHCJ hash
+//!   crossover).
+//!
+//! Every run prints the paper-format table and appends TSV to `results/`.
+//! Timing is simulated-disk time + measured CPU time (see
+//! `pbitree-storage::stats`); raw page counts are reported alongside.
+
+pub mod args;
+pub mod harness;
+pub mod report;
+pub mod workloads;
+
+pub use harness::{run_algo, run_competitors, Algo, ExpConfig, Measured};
+pub use report::Table;
+pub use workloads::Workload;

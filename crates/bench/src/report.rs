@@ -1,0 +1,130 @@
+//! Table rendering and TSV persistence for experiment output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table that also serializes as TSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(s, "{:>w$}  ", c, w = widths[i]);
+            }
+            s.trim_end().to_owned()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout and appends a TSV copy under `results/` (created
+    /// on demand). Errors writing the file are reported, not fatal — the
+    /// console output is the primary artifact.
+    pub fn emit(&self, results_dir: &Path, file_stem: &str) {
+        println!("{}", self.render());
+        if let Err(e) = self.write_tsv(results_dir, file_stem) {
+            eprintln!("warning: could not write results TSV: {e}");
+        }
+    }
+
+    fn write_tsv(&self, dir: &Path, stem: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{stem}.tsv"));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "# {}", self.title)?;
+        writeln!(f, "{}", self.header.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats seconds with adaptive precision (paper style: "402.7", "0.88").
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.1}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.3}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn fmt_pct(r: f64) -> String {
+    format!("{:.1}%", r * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_tsv() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["SLLH".into(), "42".into()]);
+        t.row(vec!["x".into(), "7".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("SLLH"));
+        let dir = std::env::temp_dir().join(format!("pbitree-report-{}", std::process::id()));
+        t.write_tsv(&dir, "demo").unwrap();
+        let tsv = std::fs::read_to_string(dir.join("demo.tsv")).unwrap();
+        assert!(tsv.contains("name\tvalue"));
+        assert!(tsv.contains("SLLH\t42"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(402.71), "402.7");
+        assert_eq!(fmt_secs(7.068), "7.07");
+        assert_eq!(fmt_secs(0.88), "0.880");
+        assert_eq!(fmt_pct(0.955), "95.5%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

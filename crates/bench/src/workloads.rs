@@ -1,0 +1,157 @@
+//! Workload assembly shared by the experiment binaries: generated element
+//! sets plus exact result counting.
+
+use pbitree_core::{Code, PBiTreeShape};
+use pbitree_datagen::queries::{dblp_queries, extract_query_sets, height_count, QuerySpec};
+use pbitree_datagen::{dblp, synthetic, xmark};
+use pbitree_xml::EncodedDocument;
+use std::collections::HashSet;
+
+/// One ready-to-join workload: named element sets in a code space.
+pub struct Workload {
+    /// Dataset / query name.
+    pub name: String,
+    /// Code space.
+    pub shape: PBiTreeShape,
+    /// Ancestor elements.
+    pub a: Vec<(u64, u32)>,
+    /// Descendant elements.
+    pub d: Vec<(u64, u32)>,
+    /// The paper's published result count, when the source table lists one.
+    pub paper_results: Option<u64>,
+}
+
+impl Workload {
+    /// Distinct ancestor heights (`H_A`).
+    pub fn h_a(&self) -> usize {
+        height_count(&self.a)
+    }
+
+    /// Distinct descendant heights (`H_D`).
+    pub fn h_d(&self) -> usize {
+        height_count(&self.d)
+    }
+
+    /// Exact result count via in-memory ancestor enumeration.
+    pub fn exact_results(&self) -> u64 {
+        let a_set: HashSet<u64> = self.a.iter().map(|&(c, _)| c).collect();
+        let mut n = 0u64;
+        for &(dc, _) in &self.d {
+            let code = Code::from_raw_unchecked(dc);
+            for anc in self.shape.ancestors(code) {
+                if a_set.contains(&anc.get()) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// The eight single-height synthetic datasets at the given scale.
+pub fn synthetic_single(scale: f64) -> Vec<Workload> {
+    synthetic::paper_single_height()
+        .iter()
+        .map(|s| from_synthetic(&s.scaled(scale)))
+        .collect()
+}
+
+/// The eight multi-height synthetic datasets at the given scale.
+pub fn synthetic_multi(scale: f64) -> Vec<Workload> {
+    synthetic::paper_multi_height()
+        .iter()
+        .map(|s| from_synthetic(&s.scaled(scale)))
+        .collect()
+}
+
+/// One named synthetic dataset at the given scale.
+pub fn synthetic_by_name(name: &str, scale: f64) -> Option<Workload> {
+    synthetic::paper_single_height()
+        .iter()
+        .chain(&synthetic::paper_multi_height())
+        .find(|s| s.name == name)
+        .map(|s| from_synthetic(&s.scaled(scale)))
+}
+
+fn from_synthetic(spec: &synthetic::SyntheticSpec) -> Workload {
+    let ds = synthetic::generate(spec);
+    Workload {
+        name: spec.name.to_owned(),
+        shape: ds.shape,
+        a: ds.a,
+        d: ds.d,
+        paper_results: Some(spec.matches as u64),
+    }
+}
+
+/// The scalability series (Fig 6(g)/(h)), sizes `k * 50_000 * scale`.
+pub fn scalability(multi: bool, scale: f64) -> Vec<(usize, Workload)> {
+    synthetic::scalability_series(multi)
+        .iter()
+        .map(|s| {
+            let spec = s.scaled(scale);
+            (spec.a_size, from_synthetic(&spec))
+        })
+        .collect()
+}
+
+/// The BENCHMARK (XMark-like) workloads B1–B10 at scale factor `sf`.
+pub fn xmark_workloads(sf: f64, seed: u64) -> Vec<Workload> {
+    let doc = EncodedDocument::encode(xmark::generate(xmark::XMarkSpec { sf, seed }))
+        .expect("encode xmark");
+    pbitree_datagen::queries::xmark_queries()
+        .iter()
+        .map(|q| from_query(&doc, q, sf))
+        .collect()
+}
+
+/// The DBLP-like workloads D1–D10 at scale factor `sf`.
+pub fn dblp_workloads(sf: f64, seed: u64) -> Vec<Workload> {
+    let doc = EncodedDocument::encode(dblp::generate(dblp::DblpSpec { sf, seed }))
+        .expect("encode dblp");
+    dblp_queries()
+        .iter()
+        .map(|q| from_query(&doc, q, sf))
+        .collect()
+}
+
+fn from_query(doc: &EncodedDocument, q: &QuerySpec, sf: f64) -> Workload {
+    let (a, d) = extract_query_sets(doc, q, sf);
+    Workload {
+        name: q.name.to_owned(),
+        shape: doc.encoding().shape(),
+        a,
+        d,
+        paper_results: Some(q.paper_results),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_height_workload_result_counts_are_exact() {
+        for w in synthetic_single(0.01) {
+            assert_eq!(Some(w.exact_results()), w.paper_results, "{}", w.name);
+            assert_eq!(w.h_a(), 1, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn named_lookup() {
+        assert!(synthetic_by_name("SLLL", 0.01).is_some());
+        assert!(synthetic_by_name("MLLL", 0.01).is_some());
+        assert!(synthetic_by_name("nope", 0.01).is_none());
+    }
+
+    #[test]
+    fn xmark_and_dblp_assemble() {
+        let xs = xmark_workloads(0.01, 0xE0);
+        assert_eq!(xs.len(), 10);
+        let ds = dblp_workloads(0.003, 0xD0);
+        assert_eq!(ds.len(), 10);
+        // D10 spans several ancestor heights.
+        assert!(ds[9].h_a() >= 2);
+    }
+}

@@ -1,0 +1,286 @@
+//! Binarization: embedding a data tree into a PBiTree (Algorithm 1).
+//!
+//! The embedding `h` must be injective and preserve ancestry in both
+//! directions. The paper's heuristic places all `n` children of a node
+//! contiguously `k = ⌈log2 n⌉` levels below it, which keeps siblings
+//! adjacent in code space (good for containment and proximity queries).
+//!
+//! Two deviations from the paper's pseudocode:
+//!
+//! * a single child must still go at least one level down
+//!   (`k = max(1, ⌈log2 n⌉)`), otherwise it would collide with its parent;
+//! * the implementation is iterative (explicit stack), so arbitrarily deep
+//!   documents cannot overflow the call stack.
+//!
+//! Virtual PBiTree nodes are never materialized: each data node's code is a
+//! pure function of its position, computed in one O(n) pass.
+
+use crate::code::{Code, PBiTreeShape, MAX_HEIGHT};
+use crate::error::CodeError;
+use crate::topdown::TopDownCode;
+use crate::tree::{DataTree, NodeId};
+
+/// `⌈log2 n⌉` for `n >= 1`.
+#[inline]
+fn ceil_log2(n: u32) -> u32 {
+    debug_assert!(n >= 1);
+    n.next_power_of_two().trailing_zeros()
+}
+
+/// The number of levels children are placed below their parent:
+/// `max(1, ⌈log2 n⌉)` for `n` children.
+#[inline]
+pub fn child_level_gap(n_children: u32) -> u32 {
+    ceil_log2(n_children).max(1)
+}
+
+/// Computes the PBiTree height `H` required to embed `tree` with the
+/// paper's heuristic: one more than the deepest level any node lands on.
+pub fn required_height(tree: &DataTree) -> Result<u32, CodeError> {
+    let mut level = vec![0u32; tree.len()];
+    let mut max_level = 0u32;
+    for id in tree.ids() {
+        let l = level[id.0 as usize];
+        max_level = max_level.max(l);
+        let n = tree.child_count(id);
+        if n > 0 {
+            let k = child_level_gap(n);
+            let child_level = l
+                .checked_add(k)
+                .ok_or(CodeError::CodeSpaceOverflow { needed: u32::MAX })?;
+            for c in tree.children(id) {
+                level[c.0 as usize] = child_level;
+            }
+        }
+    }
+    let needed = max_level + 1;
+    if needed > MAX_HEIGHT {
+        Err(CodeError::CodeSpaceOverflow { needed })
+    } else {
+        Ok(needed)
+    }
+}
+
+/// A data tree together with the PBiTree codes its nodes received.
+#[derive(Debug, Clone)]
+pub struct EncodedTree {
+    shape: PBiTreeShape,
+    /// `codes[node.0]` is the PBiTree code of `node`.
+    codes: Vec<Code>,
+}
+
+impl EncodedTree {
+    /// The shape (height) of the PBiTree the data tree was embedded into.
+    #[inline]
+    pub fn shape(&self) -> PBiTreeShape {
+        self.shape
+    }
+
+    /// The code assigned to `node`.
+    #[inline]
+    pub fn code(&self, node: NodeId) -> Code {
+        self.codes[node.0 as usize]
+    }
+
+    /// All codes, indexed by [`NodeId`].
+    #[inline]
+    pub fn codes(&self) -> &[Code] {
+        &self.codes
+    }
+
+    /// Number of encoded nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the encoding is empty (never true: trees have a root).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+/// Algorithm 1, `BinarizeTree`: assigns every node of `tree` its PBiTree
+/// code. Runs in O(n) with an explicit stack; the PBiTree height is the
+/// minimum the placement heuristic allows ([`required_height`]).
+pub fn binarize_tree(tree: &DataTree) -> Result<EncodedTree, CodeError> {
+    let height = required_height(tree)?;
+    binarize_tree_with_height(tree, height)
+}
+
+/// [`binarize_tree`] into a caller-chosen (larger) PBiTree, e.g. to reserve
+/// code space for future inserts below the current leaves.
+pub fn binarize_tree_with_height(
+    tree: &DataTree,
+    height: u32,
+) -> Result<EncodedTree, CodeError> {
+    let shape = PBiTreeShape::new(height)?;
+    let mut codes = vec![Code::from_raw_unchecked(1); tree.len()];
+    // (node, top-down address) work stack; root starts at (0, 0).
+    let mut stack: Vec<(NodeId, TopDownCode)> = Vec::with_capacity(64);
+    stack.push((
+        tree.root(),
+        TopDownCode::new(0, 0).expect("root address is valid"),
+    ));
+    while let Some((node, td)) = stack.pop() {
+        codes[node.0 as usize] = td.to_code(shape)?;
+        let n = tree.child_count(node);
+        if n > 0 {
+            let k = child_level_gap(n);
+            for (i, child) in tree.children(node).enumerate() {
+                stack.push((child, td.child_slot(k, i as u64)));
+            }
+        }
+    }
+    Ok(EncodedTree { shape, codes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_small_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+
+    #[test]
+    fn child_gap_floor_is_one() {
+        assert_eq!(child_level_gap(1), 1);
+        assert_eq!(child_level_gap(2), 1);
+        assert_eq!(child_level_gap(3), 2);
+    }
+
+    /// The data tree of Figure 1(b): root with 3 children, embedded as in
+    /// Figure 3 (root gets code 16 in an H=5 tree, children two levels
+    /// below).
+    #[test]
+    fn paper_figure3_embedding() {
+        let mut t = DataTree::new(0);
+        let e2 = t.add_child(t.root(), 1);
+        let e3 = t.add_child(t.root(), 2);
+        let e4 = t.add_child(t.root(), 3);
+        // &2 has two children (&5/fervvac-like leaves), &3 has one, &4 has two.
+        let c1 = t.add_child(e2, 4);
+        let c2 = t.add_child(e2, 5);
+        let c3 = t.add_child(e3, 6);
+        let c4 = t.add_child(e4, 7);
+        let c5 = t.add_child(e4, 8);
+
+        // This tree only needs H = 4; the paper's Figure 3 uses H = 5
+        // because the document there is one level deeper.
+        assert_eq!(required_height(&t).unwrap(), 4);
+        let enc = binarize_tree_with_height(&t, 5).unwrap();
+        assert_eq!(enc.code(t.root()).get(), 16);
+        // Three children => k = 2, placed at level 2, alphas 0..2:
+        // G(0,2)=4, G(1,2)=12, G(2,2)=20 in an H=5 tree — exactly the codes
+        // of &2, &3, &4 in Figure 3.
+        assert_eq!(enc.code(e2).get(), 4);
+        assert_eq!(enc.code(e3).get(), 12);
+        assert_eq!(enc.code(e4).get(), 20);
+        for &(p, c) in &[(e2, c1), (e2, c2), (e3, c3), (e4, c4), (e4, c5)] {
+            assert!(enc.code(p).is_ancestor_of(enc.code(c)));
+        }
+    }
+
+    #[test]
+    fn embedding_preserves_ancestry_both_ways() {
+        // Random-ish fixed tree; check h(u) anc h(v) <=> u anc v for all pairs.
+        let mut t = DataTree::new(0);
+        let mut nodes = vec![t.root()];
+        let mut x = 12345u64;
+        for i in 1..200u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let parent = nodes[(x >> 33) as usize % nodes.len()];
+            nodes.push(t.add_child(parent, i));
+        }
+        let enc = binarize_tree(&t).unwrap();
+        for &u in &nodes {
+            for &v in &nodes {
+                assert_eq!(
+                    enc.code(u).is_ancestor_of(enc.code(v)),
+                    t.is_ancestor_of(u, v),
+                    "u={u:?} v={v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_injective() {
+        let mut t = DataTree::new(0);
+        for i in 0..50 {
+            let p = t.add_child(t.root(), i);
+            for j in 0..7 {
+                t.add_child(p, 100 + j);
+            }
+        }
+        let enc = binarize_tree(&t).unwrap();
+        let mut seen: Vec<u64> = enc.codes().iter().map(|c| c.get()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), t.len());
+    }
+
+    #[test]
+    fn single_child_chain_does_not_collide() {
+        let mut t = DataTree::new(0);
+        let mut cur = t.root();
+        for i in 0..10 {
+            cur = t.add_child(cur, i);
+        }
+        let enc = binarize_tree(&t).unwrap();
+        assert_eq!(enc.shape().height(), 11);
+        let mut seen: Vec<u64> = enc.codes().iter().map(|c| c.get()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 11);
+    }
+
+    #[test]
+    fn overflow_detected_for_pathological_depth() {
+        // A chain of 64 single children needs H = 65 > 63.
+        let mut t = DataTree::new(0);
+        let mut cur = t.root();
+        for i in 0..64 {
+            cur = t.add_child(cur, i);
+        }
+        assert!(matches!(
+            binarize_tree(&t),
+            Err(CodeError::CodeSpaceOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_height_leaves_headroom() {
+        let mut t = DataTree::new(0);
+        t.add_child(t.root(), 1);
+        let enc = binarize_tree_with_height(&t, 20).unwrap();
+        assert_eq!(enc.shape().height(), 20);
+        assert_eq!(enc.code(t.root()), enc.shape().root());
+    }
+
+    #[test]
+    fn siblings_are_contiguous_in_code_space() {
+        // The heuristic's selling point: all children of a node sit next to
+        // each other at one level.
+        let mut t = DataTree::new(0);
+        let kids: Vec<_> = (0..5).map(|i| t.add_child(t.root(), i)).collect();
+        let enc = binarize_tree(&t).unwrap();
+        let mut codes: Vec<_> = kids.iter().map(|&k| enc.code(k)).collect();
+        codes.sort();
+        let h = codes[0].height();
+        for w in codes.windows(2) {
+            assert_eq!(w[0].height(), h);
+            // Adjacent slots at the same height differ by 2^(h+1).
+            assert_eq!(w[1].get() - w[0].get(), 1 << (h + 1));
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! PBiTree codes and the `F` function (Properties 1–2, Lemmas 1, 3, 4).
+//!
+//! A node of a perfect binary tree of height `H` is identified by its
+//! 1-based in-order number, the **PBiTree code**, a value in
+//! `[1, 2^H - 1]`. Everything interesting about a node — its height, its
+//! ancestors, its subtree extent, its classic region code — is a couple of
+//! bit operations away from the code itself. No floating point, no lookups.
+
+use crate::error::CodeError;
+
+/// Maximum supported PBiTree height. Codes occupy `H` bits; `63` keeps the
+/// whole code space (and region arithmetic) comfortably inside a `u64`.
+pub const MAX_HEIGHT: u32 = 63;
+
+/// A PBiTree node code: the in-order number of a node in a perfect binary
+/// tree. Always non-zero.
+///
+/// `Code` is deliberately a plain 8-byte value (`Copy`, no indirection): join
+/// algorithms move billions of these through hash tables and sort runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct Code(u64);
+
+impl Code {
+    /// Creates a code, rejecting `0` (which encodes "no node").
+    #[inline]
+    pub fn new(raw: u64) -> Result<Self, CodeError> {
+        if raw == 0 {
+            Err(CodeError::ZeroCode)
+        } else {
+            Ok(Code(raw))
+        }
+    }
+
+    /// Creates a code without the zero check.
+    ///
+    /// Not `unsafe` in the memory sense, but a zero value breaks the
+    /// invariants of [`height`](Code::height) (which would return 64).
+    /// Reserved for hot paths that already know the value is a valid code.
+    #[inline]
+    pub fn from_raw_unchecked(raw: u64) -> Self {
+        debug_assert!(raw != 0, "PBiTree codes are non-zero");
+        Code(raw)
+    }
+
+    /// The raw integer value of the code.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Height of the node: the position of the lowest set bit of the code
+    /// (Property 2). Leaves have height 0.
+    #[inline]
+    pub fn height(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+
+    /// The paper's `F(n, h)` function (Property 1): the code of the ancestor
+    /// of `self` at height `h`, computed as
+    /// `2^{h+1} · ⌊n / 2^{h+1}⌋ + 2^h` — i.e. clear the low `h+1` bits and
+    /// set bit `h`.
+    ///
+    /// For `h == self.height()` this is the identity. For `h` *below* the
+    /// node's height the formula still yields a node at height `h`, but that
+    /// node is a **descendant**, not an ancestor; callers that cannot
+    /// guarantee `h >= self.height()` should use
+    /// [`checked_ancestor_at_height`](Code::checked_ancestor_at_height) or
+    /// guard with [`height`](Code::height). This permissive behaviour is what
+    /// the SHCJ equijoin exploits (and must filter — see `pbitree-joins`).
+    #[inline]
+    pub fn ancestor_at_height(self, h: u32) -> Code {
+        debug_assert!(h < 64);
+        Code(((self.0 >> (h + 1)) << (h + 1)) | (1u64 << h))
+    }
+
+    /// [`ancestor_at_height`](Code::ancestor_at_height) with the height guard
+    /// made explicit: errors when `h < self.height()`.
+    #[inline]
+    pub fn checked_ancestor_at_height(self, h: u32) -> Result<Code, CodeError> {
+        if h < self.height() {
+            Err(CodeError::NotAnAncestorHeight {
+                code: self.0,
+                height: h,
+            })
+        } else if h >= 64 {
+            Err(CodeError::InvalidHeight(h))
+        } else {
+            Ok(self.ancestor_at_height(h))
+        }
+    }
+
+    /// The parent of this node (its ancestor one height up).
+    #[inline]
+    pub fn parent(self) -> Code {
+        self.ancestor_at_height(self.height() + 1)
+    }
+
+    /// Lemma 1 (with the height guard the paper leaves implicit): `self` is
+    /// a proper ancestor of `d` iff `height(self) > height(d)` and
+    /// `F(d, height(self)) == self`.
+    ///
+    /// Equivalent to the region test `start(self) <= d < end(self), d != self`
+    /// but needs only shifts and one comparison.
+    #[inline]
+    pub fn is_ancestor_of(self, d: Code) -> bool {
+        let h = self.height();
+        h > d.height() && d.ancestor_at_height(h) == self
+    }
+
+    /// `self` is `d` or an ancestor of `d`.
+    #[inline]
+    pub fn is_ancestor_or_self_of(self, d: Code) -> bool {
+        self == d || self.is_ancestor_of(d)
+    }
+
+    /// Lemma 3: the region code `(start, end)` of the node, where the
+    /// subtree of `self` spans exactly the codes in `[start, end]`:
+    /// `start = n - (2^h - 1)`, `end = n + (2^h - 1)`.
+    ///
+    /// `start` equals the preorder "start position" used by region-coding
+    /// schemes; ancestors share their `start` with their leftmost leaf, so
+    /// document order is `(start asc, end desc)`.
+    #[inline]
+    pub fn region(self) -> (u64, u64) {
+        let span = (1u64 << self.height()) - 1;
+        (self.0 - span, self.0 + span)
+    }
+
+    /// The `start` component of [`region`](Code::region).
+    #[inline]
+    pub fn region_start(self) -> u64 {
+        self.0 - ((1u64 << self.height()) - 1)
+    }
+
+    /// The `end` component of [`region`](Code::region).
+    #[inline]
+    pub fn region_end(self) -> u64 {
+        self.0 + ((1u64 << self.height()) - 1)
+    }
+
+    /// Lemma 4: the prefix code of the node — the binary representation of
+    /// `n >> h` where `h = height(n)`. Prefix codes are always odd (bit `h`
+    /// of a code is set); the trailing `1` marks the node itself, and the
+    /// bits above it spell the root path. `a` is an ancestor of `d` iff
+    /// `height(a) > height(d)` and
+    /// `(d.prefix() >> (height(a) - height(d))) | 1 == a.prefix()` —
+    /// i.e. `a`'s prefix code without its trailing `1` is a bit-string
+    /// prefix of `d`'s. See [`prefix_is_ancestor_of`](Code::prefix_is_ancestor_of).
+    #[inline]
+    pub fn prefix(self) -> u64 {
+        self.0 >> self.height()
+    }
+
+    /// The ancestor test expressed purely on prefix codes (Lemma 4); used to
+    /// cross-validate the cheaper [`is_ancestor_of`](Code::is_ancestor_of).
+    #[inline]
+    pub fn prefix_is_ancestor_of(self, d: Code) -> bool {
+        let (ha, hd) = (self.height(), d.height());
+        ha > hd && (d.prefix() >> (ha - hd)) | 1 == self.prefix()
+    }
+
+    /// A sort key realizing document order `(start asc, end desc)` in a
+    /// single `u128` comparison: `(start << 8) | (63 - height)`. Ancestors
+    /// share `start` with their leftmost leaf, so ties are broken by height
+    /// descending — exactly the `(Start asc, End desc)` order the
+    /// sort-merge algorithms need.
+    #[inline]
+    pub fn doc_order_key(self) -> u128 {
+        ((self.region_start() as u128) << 8) | (63 - self.height()) as u128
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The shape of a PBiTree: its height `H`.
+///
+/// The code space is `[1, 2^H - 1]`; the root is `2^{H-1}`; levels run from
+/// `0` (root) to `H - 1` (leaves), heights from `H - 1` (root) down to `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PBiTreeShape {
+    height: u32,
+}
+
+impl PBiTreeShape {
+    /// Creates a shape of height `h`, `1 <= h <= 63`.
+    pub fn new(h: u32) -> Result<Self, CodeError> {
+        if h == 0 || h > MAX_HEIGHT {
+            Err(CodeError::InvalidHeight(h))
+        } else {
+            Ok(PBiTreeShape { height: h })
+        }
+    }
+
+    /// The tree height `H`.
+    #[inline]
+    pub fn height(self) -> u32 {
+        self.height
+    }
+
+    /// The root node's code, `2^{H-1}`.
+    #[inline]
+    pub fn root(self) -> Code {
+        Code(1u64 << (self.height - 1))
+    }
+
+    /// The number of nodes in the full tree, `2^H - 1` (= the largest code).
+    #[inline]
+    pub fn node_count(self) -> u64 {
+        (1u64 << self.height) - 1
+    }
+
+    /// Whether `code` lies inside this tree's code space.
+    #[inline]
+    pub fn contains(self, code: Code) -> bool {
+        code.get() <= self.node_count()
+    }
+
+    /// Level of a node (root = 0, leaves = `H - 1`): `H - height(n) - 1`
+    /// (Property 2).
+    #[inline]
+    pub fn level_of(self, code: Code) -> u32 {
+        debug_assert!(self.contains(code));
+        self.height - code.height() - 1
+    }
+
+    /// Validates that `code` belongs to this shape.
+    pub fn check(self, code: Code) -> Result<Code, CodeError> {
+        if self.contains(code) {
+            Ok(code)
+        } else {
+            Err(CodeError::CodeOutOfSpace {
+                code: code.get(),
+                height: self.height,
+            })
+        }
+    }
+
+    /// Iterates the codes of all **proper ancestors** of `code` in this
+    /// tree, from the parent up to the root. At most `H - 1` items.
+    ///
+    /// This is the PBiTree superpower the partitioning joins build on: the
+    /// full ancestor path is computable from the code alone.
+    pub fn ancestors(self, code: Code) -> impl Iterator<Item = Code> {
+        let h0 = code.height();
+        (h0 + 1..self.height).map(move |h| code.ancestor_at_height(h))
+    }
+
+    /// The two (virtual or real) children of a non-leaf node.
+    pub fn children(self, code: Code) -> Option<(Code, Code)> {
+        let h = code.height();
+        if h == 0 {
+            None
+        } else {
+            let half = 1u64 << (h - 1);
+            Some((Code(code.get() - half), Code(code.get() + half)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: u64) -> Code {
+        Code::new(v).unwrap()
+    }
+
+    #[test]
+    fn zero_code_rejected() {
+        assert_eq!(Code::new(0), Err(CodeError::ZeroCode));
+    }
+
+    #[test]
+    fn paper_figure2_heights() {
+        // Figure 2: H = 5; node 18 has height 1 and level 3.
+        let shape = PBiTreeShape::new(5).unwrap();
+        assert_eq!(c(18).height(), 1);
+        assert_eq!(shape.level_of(c(18)), 3);
+        assert_eq!(c(16).height(), 4);
+        assert_eq!(shape.level_of(c(16)), 0);
+        assert_eq!(c(1).height(), 0);
+        assert_eq!(shape.level_of(c(1)), 4);
+    }
+
+    #[test]
+    fn paper_figure2_f_function() {
+        // "for the node with code 18 ... its ancestor at height 2 is 20;
+        //  ancestors at height 3 and 4 are exactly 24 and 16".
+        assert_eq!(c(18).ancestor_at_height(2), c(20));
+        assert_eq!(c(18).ancestor_at_height(3), c(24));
+        assert_eq!(c(18).ancestor_at_height(4), c(16));
+    }
+
+    #[test]
+    fn f_is_identity_at_own_height() {
+        for v in 1u64..=31 {
+            let n = c(v);
+            assert_eq!(n.ancestor_at_height(n.height()), n);
+        }
+    }
+
+    #[test]
+    fn checked_ancestor_rejects_below_height() {
+        // 20 has height 2; requesting its "ancestor" at height 1 is an error.
+        assert!(matches!(
+            c(20).checked_ancestor_at_height(1),
+            Err(CodeError::NotAnAncestorHeight { .. })
+        ));
+        assert_eq!(c(20).checked_ancestor_at_height(3), Ok(c(24)));
+    }
+
+    #[test]
+    fn parent_chain_reaches_root() {
+        let shape = PBiTreeShape::new(5).unwrap();
+        let mut n = c(19);
+        let mut seen = vec![n];
+        while n != shape.root() {
+            n = n.parent();
+            seen.push(n);
+        }
+        assert_eq!(seen, vec![c(19), c(18), c(20), c(24), c(16)]);
+    }
+
+    #[test]
+    fn lemma1_matches_subtree_membership() {
+        // Exhaustive over the full H = 6 tree: Lemma 1 (with height guard)
+        // must coincide with region containment.
+        let shape = PBiTreeShape::new(6).unwrap();
+        for a in 1..=shape.node_count() {
+            let a = c(a);
+            let (s, e) = a.region();
+            for d in 1..=shape.node_count() {
+                let d = c(d);
+                let by_lemma = a.is_ancestor_of(d);
+                let by_region = s <= d.get() && d.get() <= e && a != d;
+                assert_eq!(by_lemma, by_region, "a={a} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_is_not_ancestor() {
+        // F(16, 2) = 20 is a *descendant* of 16; the naive "F(d,h)==a" test
+        // without the height guard would call 20 an ancestor of 16.
+        assert_eq!(c(16).ancestor_at_height(2), c(20));
+        assert!(!c(20).is_ancestor_of(c(16)));
+        assert!(c(16).is_ancestor_of(c(20)));
+    }
+
+    #[test]
+    fn lemma3_regions() {
+        assert_eq!(c(16).region(), (1, 31)); // root of H=5
+        assert_eq!(c(8).region(), (1, 15));
+        assert_eq!(c(18).region(), (17, 19));
+        assert_eq!(c(1).region(), (1, 1)); // leaf
+    }
+
+    #[test]
+    fn lemma4_prefix_codes() {
+        // 20 = 0b10100, height 2 => prefix 0b101; 18 = 0b10010, height 1
+        // => prefix 0b1001. Dropping 20's trailing '1' gives "10", a
+        // bit-string prefix of "1001".
+        assert_eq!(c(20).prefix(), 0b101);
+        assert_eq!(c(18).prefix(), 0b1001);
+        assert!(c(20).prefix_is_ancestor_of(c(18)));
+        assert!(!c(20).prefix_is_ancestor_of(c(26)));
+    }
+
+    #[test]
+    fn lemma4_agrees_with_lemma1_exhaustively() {
+        let shape = PBiTreeShape::new(7).unwrap();
+        for a in 1..=shape.node_count() {
+            for d in 1..=shape.node_count() {
+                let (a, d) = (c(a), c(d));
+                assert_eq!(
+                    a.prefix_is_ancestor_of(d),
+                    a.is_ancestor_of(d),
+                    "a={a} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regions_are_laminar() {
+        // Any two subtree regions are nested or disjoint.
+        let shape = PBiTreeShape::new(6).unwrap();
+        for a in 1..=shape.node_count() {
+            for b in 1..=shape.node_count() {
+                let (s1, e1) = c(a).region();
+                let (s2, e2) = c(b).region();
+                let overlap = s1.max(s2) <= e1.min(e2);
+                let nested = (s1 <= s2 && e2 <= e1) || (s2 <= s1 && e1 <= e2);
+                assert!(!overlap || nested, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_basics() {
+        assert!(PBiTreeShape::new(0).is_err());
+        assert!(PBiTreeShape::new(64).is_err());
+        let shape = PBiTreeShape::new(5).unwrap();
+        assert_eq!(shape.root(), c(16));
+        assert_eq!(shape.node_count(), 31);
+        assert!(shape.contains(c(31)));
+        assert!(!shape.contains(c(32)));
+        assert!(shape.check(c(40)).is_err());
+    }
+
+    #[test]
+    fn ancestors_iterator() {
+        let shape = PBiTreeShape::new(5).unwrap();
+        let ancs: Vec<_> = shape.ancestors(c(19)).collect();
+        assert_eq!(ancs, vec![c(18), c(20), c(24), c(16)]);
+        assert!(shape.ancestors(shape.root()).next().is_none());
+    }
+
+    #[test]
+    fn children_mirror_parent() {
+        let shape = PBiTreeShape::new(6).unwrap();
+        for v in 1..=shape.node_count() {
+            let n = c(v);
+            match shape.children(n) {
+                None => assert_eq!(n.height(), 0),
+                Some((l, r)) => {
+                    assert_eq!(l.parent(), n);
+                    assert_eq!(r.parent(), n);
+                    assert!(n.is_ancestor_of(l) && n.is_ancestor_of(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn doc_order_key_orders_ancestors_first() {
+        // Same start: ancestor (bigger height) sorts first.
+        let root = c(16); // start 1
+        let deep = c(8); // start 1
+        assert!(root.doc_order_key() < deep.doc_order_key());
+        // Different starts: plain start order.
+        assert!(c(18).doc_order_key() < c(21).doc_order_key());
+    }
+}

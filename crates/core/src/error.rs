@@ -1,0 +1,76 @@
+//! Error types for the PBiTree coding scheme.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating PBiTree codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// A PBiTree code must be a positive integer (`0` encodes no node).
+    ZeroCode,
+    /// The requested PBiTree height is outside `1..=63`.
+    ///
+    /// Codes live in `[1, 2^H - 1]`; `H = 63` is the largest height whose
+    /// code space fits a `u64` with room for region arithmetic.
+    InvalidHeight(u32),
+    /// A code falls outside the code space `[1, 2^H - 1]` of the tree it is
+    /// used with.
+    CodeOutOfSpace {
+        /// The offending code value.
+        code: u64,
+        /// The PBiTree height defining the code space.
+        height: u32,
+    },
+    /// Binarizing the data tree would require a PBiTree deeper than the
+    /// supported maximum (63 levels), i.e. the code no longer fits in `u64`.
+    ///
+    /// The paper (§2.3.3) notes that the PBiTree height is `O(n)` in the
+    /// worst case but bounded by a small constant factor over the document
+    /// depth for realistic fanouts.
+    CodeSpaceOverflow {
+        /// The height the embedding would have needed.
+        needed: u32,
+    },
+    /// The requested ancestor height is not above the node (`F(n, h)` is an
+    /// ancestor only for `h >= height(n)`).
+    NotAnAncestorHeight {
+        /// The code whose ancestor was requested.
+        code: u64,
+        /// The requested height.
+        height: u32,
+    },
+    /// A top-down code's `alpha` is outside `[0, 2^level - 1]`.
+    AlphaOutOfRange {
+        /// The offending position index.
+        alpha: u64,
+        /// The level the index was used at.
+        level: u32,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::ZeroCode => write!(f, "PBiTree codes are positive; 0 is not a node"),
+            CodeError::InvalidHeight(h) => {
+                write!(f, "PBiTree height {h} is outside the supported range 1..=63")
+            }
+            CodeError::CodeOutOfSpace { code, height } => write!(
+                f,
+                "code {code} is outside the code space [1, 2^{height} - 1]"
+            ),
+            CodeError::CodeSpaceOverflow { needed } => write!(
+                f,
+                "binarization needs a PBiTree of height {needed}, which exceeds the maximum of 63"
+            ),
+            CodeError::NotAnAncestorHeight { code, height } => write!(
+                f,
+                "height {height} is below height({code}); F would yield a descendant"
+            ),
+            CodeError::AlphaOutOfRange { alpha, level } => {
+                write!(f, "alpha {alpha} out of range [0, 2^{level} - 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}

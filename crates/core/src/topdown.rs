@@ -1,0 +1,131 @@
+//! Top-down PBiTree codes and the `G` function (Lemma 2).
+//!
+//! A node can equivalently be addressed *top-down* by its level `l`
+//! (root = 0) and its zero-based position `alpha` among the `2^l` nodes of
+//! that level. Lemma 2: `code = G(alpha, l) = (1 + 2·alpha) · 2^{H-l-1}`.
+//! The binarization algorithm works in top-down coordinates because a
+//! parent's children positions are a simple affine function of the parent's.
+
+use crate::code::{Code, PBiTreeShape};
+use crate::error::CodeError;
+
+/// A `(level, alpha)` top-down address of a PBiTree node (Lemma 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TopDownCode {
+    /// Level of the node; the root is level 0.
+    pub level: u32,
+    /// Zero-based position among the `2^level` nodes of the level,
+    /// left to right.
+    pub alpha: u64,
+}
+
+impl TopDownCode {
+    /// Creates a top-down code, validating `alpha < 2^level`.
+    pub fn new(alpha: u64, level: u32) -> Result<Self, CodeError> {
+        let in_range = level < 64 && (level == 63 || alpha < (1u64 << level));
+        if in_range {
+            Ok(TopDownCode { level, alpha })
+        } else {
+            Err(CodeError::AlphaOutOfRange { alpha, level })
+        }
+    }
+
+    /// Lemma 2, the `G` function: the PBiTree code of this address in a tree
+    /// of shape `shape`. Errors when the level does not exist in the tree.
+    pub fn to_code(self, shape: PBiTreeShape) -> Result<Code, CodeError> {
+        let h = shape.height();
+        if self.level >= h {
+            return Err(CodeError::InvalidHeight(self.level));
+        }
+        // (1 + 2*alpha) * 2^(H - l - 1)
+        let raw = (1 + 2 * self.alpha) << (h - self.level - 1);
+        Code::new(raw)
+    }
+
+    /// The top-down address of the `i`-th child slot when the node's
+    /// children are placed `k` levels below it (the binarization step:
+    /// `alpha' = 2^k · alpha + i`, `level' = level + k`).
+    #[inline]
+    pub fn child_slot(self, k: u32, i: u64) -> TopDownCode {
+        TopDownCode {
+            level: self.level + k,
+            alpha: (self.alpha << k) + i,
+        }
+    }
+}
+
+/// Inverse of Lemma 2: recovers the `(level, alpha)` address of a code.
+pub fn to_top_down(code: Code, shape: PBiTreeShape) -> TopDownCode {
+    let h = code.height();
+    TopDownCode {
+        level: shape.level_of(code),
+        alpha: code.get() >> (h + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_node18() {
+        // "for node 18, it is the 5-th node on the 3rd level, therefore its
+        //  top-down code is (4, 3) and G(4, 3) = (1 + 2*4) * 2^(5-3-1) = 18."
+        let shape = PBiTreeShape::new(5).unwrap();
+        let td = TopDownCode::new(4, 3).unwrap();
+        assert_eq!(td.to_code(shape).unwrap().get(), 18);
+        assert_eq!(to_top_down(Code::new(18).unwrap(), shape), td);
+    }
+
+    #[test]
+    fn root_is_level0_alpha0() {
+        let shape = PBiTreeShape::new(5).unwrap();
+        let td = TopDownCode::new(0, 0).unwrap();
+        assert_eq!(td.to_code(shape).unwrap(), shape.root());
+    }
+
+    #[test]
+    fn g_round_trips_every_node() {
+        let shape = PBiTreeShape::new(8).unwrap();
+        for raw in 1..=shape.node_count() {
+            let code = Code::new(raw).unwrap();
+            let td = to_top_down(code, shape);
+            assert_eq!(td.to_code(shape).unwrap(), code, "code={raw}");
+            assert!(td.alpha < (1u64 << td.level) || td.level == 0);
+        }
+    }
+
+    #[test]
+    fn alpha_range_validated() {
+        assert!(TopDownCode::new(4, 2).is_err());
+        assert!(TopDownCode::new(3, 2).is_ok());
+        assert!(TopDownCode::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn level_must_exist_in_shape() {
+        let shape = PBiTreeShape::new(3).unwrap();
+        let td = TopDownCode::new(0, 3).unwrap();
+        assert!(td.to_code(shape).is_err());
+    }
+
+    #[test]
+    fn child_slots_are_contiguous_and_below() {
+        let shape = PBiTreeShape::new(6).unwrap();
+        let parent = TopDownCode::new(1, 1).unwrap();
+        // Three children placed k=2 levels below (2^2 >= 3).
+        let kids: Vec<_> = (0..3)
+            .map(|i| parent.child_slot(2, i).to_code(shape).unwrap())
+            .collect();
+        let p = parent.to_code(shape).unwrap();
+        for (i, kid) in kids.iter().enumerate() {
+            assert!(p.is_ancestor_of(*kid), "child {i}");
+        }
+        // Contiguity: alphas are consecutive.
+        for w in kids.windows(2) {
+            let a0 = to_top_down(w[0], shape).alpha;
+            let a1 = to_top_down(w[1], shape).alpha;
+            assert_eq!(a1, a0 + 1);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! An arena-backed ordered data tree — the input to binarization.
+//!
+//! This is the generic tree model of Figure 1(b): nodes carry a small `u32`
+//! label (an interned tag id, assigned by callers such as `pbitree-xml`),
+//! children are ordered, and the whole tree lives in one `Vec` so traversal
+//! is cache-friendly and node handles are plain indices.
+
+/// Index of a node inside a [`DataTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: u32,
+    parent: Option<NodeId>,
+    /// First child and next sibling keep the arena allocation-free per node;
+    /// `child_count` is cached because binarization needs it for every node.
+    first_child: Option<NodeId>,
+    last_child: Option<NodeId>,
+    next_sibling: Option<NodeId>,
+    child_count: u32,
+}
+
+/// An ordered, labelled tree stored in a single arena.
+///
+/// ```
+/// use pbitree_core::DataTree;
+/// let mut t = DataTree::new(0);
+/// let a = t.add_child(t.root(), 1);
+/// let b = t.add_child(t.root(), 2);
+/// t.add_child(a, 3);
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.children(t.root()).count(), 2);
+/// assert!(t.is_ancestor_of(t.root(), b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataTree {
+    nodes: Vec<NodeData>,
+}
+
+impl DataTree {
+    /// Creates a tree consisting of a single root with the given label.
+    pub fn new(root_label: u32) -> Self {
+        DataTree {
+            nodes: vec![NodeData {
+                label: root_label,
+                parent: None,
+                first_child: None,
+                last_child: None,
+                next_sibling: None,
+                child_count: 0,
+            }],
+        }
+    }
+
+    /// Creates a tree with capacity pre-reserved for `n` nodes.
+    pub fn with_capacity(root_label: u32, n: usize) -> Self {
+        let mut t = DataTree::new(root_label);
+        t.nodes.reserve(n.saturating_sub(1));
+        t
+    }
+
+    /// The root node (always index 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A tree always has at least the root, so this is always `false`;
+    /// provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Appends a new last child to `parent` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `parent` is not a node of this tree or if the arena would
+    /// exceed `u32::MAX` nodes.
+    pub fn add_child(&mut self, parent: NodeId, label: u32) -> NodeId {
+        assert!((parent.0 as usize) < self.nodes.len(), "bad parent id");
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("tree too large"));
+        self.nodes.push(NodeData {
+            label,
+            parent: Some(parent),
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            child_count: 0,
+        });
+        let p = &mut self.nodes[parent.0 as usize];
+        p.child_count += 1;
+        match p.last_child {
+            None => {
+                p.first_child = Some(id);
+                p.last_child = Some(id);
+            }
+            Some(prev) => {
+                p.last_child = Some(id);
+                self.nodes[prev.0 as usize].next_sibling = Some(id);
+            }
+        }
+        id
+    }
+
+    /// The label of a node.
+    #[inline]
+    pub fn label(&self, n: NodeId) -> u32 {
+        self.nodes[n.0 as usize].label
+    }
+
+    /// The parent of a node (`None` for the root).
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.0 as usize].parent
+    }
+
+    /// Number of children of a node.
+    #[inline]
+    pub fn child_count(&self, n: NodeId) -> u32 {
+        self.nodes[n.0 as usize].child_count
+    }
+
+    /// Whether the node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.nodes[n.0 as usize].child_count == 0
+    }
+
+    /// Iterates the children of `n` in document order.
+    pub fn children(&self, n: NodeId) -> Children<'_> {
+        Children {
+            tree: self,
+            next: self.nodes[n.0 as usize].first_child,
+        }
+    }
+
+    /// Iterates all node ids in insertion order (which is a valid
+    /// parent-before-child order because children are created after their
+    /// parents).
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Depth of `n` (root = 0). O(depth).
+    pub fn depth(&self, n: NodeId) -> u32 {
+        let mut d = 0;
+        let mut cur = n;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Whether `a` is a proper ancestor of `d` in the data tree (walks the
+    /// parent chain; O(depth)). This is the ground truth the PBiTree
+    /// embedding must preserve.
+    pub fn is_ancestor_of(&self, a: NodeId, d: NodeId) -> bool {
+        let mut cur = self.parent(d);
+        while let Some(p) = cur {
+            if p == a {
+                return true;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// Pre-order traversal of the subtree rooted at `n` (including `n`).
+    pub fn preorder(&self, n: NodeId) -> Preorder<'_> {
+        Preorder {
+            tree: self,
+            stack: vec![n],
+        }
+    }
+}
+
+/// Iterator over the children of a node. See [`DataTree::children`].
+pub struct Children<'a> {
+    tree: &'a DataTree,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.nodes[cur.0 as usize].next_sibling;
+        Some(cur)
+    }
+}
+
+/// Pre-order iterator. See [`DataTree::preorder`].
+pub struct Preorder<'a> {
+    tree: &'a DataTree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.stack.pop()?;
+        // Push children in reverse so the leftmost pops first.
+        let kids: Vec<NodeId> = self.tree.children(cur).collect();
+        self.stack.extend(kids.into_iter().rev());
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DataTree, Vec<NodeId>) {
+        // root(0) -> a(1), b(2); a -> c(3), d(4); b -> e(5)
+        let mut t = DataTree::new(0);
+        let a = t.add_child(t.root(), 1);
+        let b = t.add_child(t.root(), 2);
+        let c = t.add_child(a, 3);
+        let d = t.add_child(a, 4);
+        let e = t.add_child(b, 5);
+        (t, vec![a, b, c, d, e])
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let (t, ids) = sample();
+        let [a, b, c, d, e] = ids[..] else { panic!() };
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.child_count(t.root()), 2);
+        assert_eq!(t.child_count(a), 2);
+        assert!(t.is_leaf(c) && t.is_leaf(d) && t.is_leaf(e));
+        assert_eq!(t.parent(c), Some(a));
+        assert_eq!(t.parent(t.root()), None);
+        assert_eq!(t.children(a).collect::<Vec<_>>(), vec![c, d]);
+        assert_eq!(t.children(t.root()).collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(t.label(e), 5);
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.depth(c), 2);
+    }
+
+    #[test]
+    fn ancestry_ground_truth() {
+        let (t, ids) = sample();
+        let [a, b, c, _d, e] = ids[..] else { panic!() };
+        assert!(t.is_ancestor_of(t.root(), c));
+        assert!(t.is_ancestor_of(a, c));
+        assert!(!t.is_ancestor_of(b, c));
+        assert!(!t.is_ancestor_of(c, a));
+        assert!(!t.is_ancestor_of(a, a));
+        assert!(t.is_ancestor_of(b, e));
+    }
+
+    #[test]
+    fn preorder_visits_document_order() {
+        let (t, ids) = sample();
+        let [a, b, c, d, e] = ids[..] else { panic!() };
+        let order: Vec<_> = t.preorder(t.root()).collect();
+        assert_eq!(order, vec![t.root(), a, c, d, b, e]);
+    }
+
+    #[test]
+    fn deep_chain() {
+        let mut t = DataTree::new(0);
+        let mut cur = t.root();
+        for i in 0..1000 {
+            cur = t.add_child(cur, i);
+        }
+        assert_eq!(t.depth(cur), 1000);
+        assert!(t.is_ancestor_of(t.root(), cur));
+        assert_eq!(t.preorder(t.root()).count(), 1001);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the PBiTree coding scheme invariants.
+
+use pbitree_core::{
+    binarize_tree, required_height, topdown::to_top_down, Code, DataTree, PBiTreeShape,
+    TopDownCode,
+};
+use proptest::prelude::*;
+
+/// Strategy: a (height, code) pair with the code inside the tree's space.
+fn shape_and_code() -> impl Strategy<Value = (PBiTreeShape, Code)> {
+    (2u32..=40).prop_flat_map(|h| {
+        let shape = PBiTreeShape::new(h).unwrap();
+        (1u64..=shape.node_count())
+            .prop_map(move |raw| (shape, Code::new(raw).unwrap()))
+    })
+}
+
+/// Strategy: a random data tree described by a parent-pointer vector.
+fn arb_tree() -> impl Strategy<Value = DataTree> {
+    // parents[i] in [0, i] picks the parent of node i+1 among earlier nodes.
+    proptest::collection::vec(0usize..usize::MAX, 1..300).prop_map(|choices| {
+        let mut t = DataTree::new(0);
+        let mut ids = vec![t.root()];
+        for (i, c) in choices.into_iter().enumerate() {
+            let parent = ids[c % ids.len()];
+            ids.push(t.add_child(parent, i as u32 + 1));
+        }
+        t
+    })
+}
+
+proptest! {
+    /// F at the node's own height is the identity (Lemma 1 corner).
+    #[test]
+    fn f_identity_at_own_height((_, code) in shape_and_code()) {
+        prop_assert_eq!(code.ancestor_at_height(code.height()), code);
+    }
+
+    /// Every ancestor reported by `ancestors()` passes Lemma 1 and region
+    /// containment, and heights strictly increase.
+    #[test]
+    fn ancestors_are_ancestors((shape, code) in shape_and_code()) {
+        let mut prev_h = code.height();
+        for anc in shape.ancestors(code) {
+            prop_assert!(anc.height() > prev_h);
+            prev_h = anc.height();
+            prop_assert!(anc.is_ancestor_of(code));
+            let (s, e) = anc.region();
+            prop_assert!(s <= code.get() && code.get() <= e);
+        }
+        // The last ancestor is the root.
+        prop_assert!(shape.root().is_ancestor_or_self_of(code));
+    }
+
+    /// Lemma 1 == region containment == Lemma 4 prefix test, on random pairs.
+    #[test]
+    fn ancestor_tests_agree(h in 2u32..=40, a in 1u64.., d in 1u64..) {
+        let shape = PBiTreeShape::new(h).unwrap();
+        let a = Code::new(a % shape.node_count() + 1).unwrap();
+        let d = Code::new(d % shape.node_count() + 1).unwrap();
+        let by_lemma1 = a.is_ancestor_of(d);
+        let (s, e) = a.region();
+        let by_region = s <= d.get() && d.get() <= e && a != d;
+        let by_prefix = a.prefix_is_ancestor_of(d);
+        prop_assert_eq!(by_lemma1, by_region);
+        prop_assert_eq!(by_lemma1, by_prefix);
+    }
+
+    /// Region codes from Lemma 3 are well-formed and laminar w.r.t. parents.
+    #[test]
+    fn region_nested_in_parent((shape, code) in shape_and_code()) {
+        if code != shape.root() {
+            let p = code.parent();
+            let (s, e) = code.region();
+            let (ps, pe) = p.region();
+            prop_assert!(ps <= s && e <= pe);
+            prop_assert!(s <= code.get() && code.get() <= e);
+        }
+    }
+
+    /// Lemma 2 round trip: code -> (level, alpha) -> code.
+    #[test]
+    fn topdown_round_trip((shape, code) in shape_and_code()) {
+        let td = to_top_down(code, shape);
+        prop_assert_eq!(td.to_code(shape).unwrap(), code);
+        prop_assert_eq!(td.level, shape.level_of(code));
+    }
+
+    /// G produces a node at the requested level.
+    #[test]
+    fn g_lands_on_level(h in 2u32..=40, level in 0u32..40, alpha: u64) {
+        let shape = PBiTreeShape::new(h).unwrap();
+        let level = level % h;
+        let alpha = if level == 0 { 0 } else { alpha % (1u64 << level.min(63)) };
+        let code = TopDownCode::new(alpha, level).unwrap().to_code(shape).unwrap();
+        prop_assert_eq!(shape.level_of(code), level);
+        prop_assert!(shape.contains(code));
+    }
+
+    /// Document-order key sorts by (start asc, height desc).
+    #[test]
+    fn doc_order_key_consistent((shape, a) in shape_and_code(), braw in 1u64..) {
+        let b = Code::new(braw % shape.node_count() + 1).unwrap();
+        let ka = a.doc_order_key();
+        let kb = b.doc_order_key();
+        let ord = (a.region_start(), std::cmp::Reverse(a.height()))
+            .cmp(&(b.region_start(), std::cmp::Reverse(b.height())));
+        prop_assert_eq!(ka.cmp(&kb), ord);
+    }
+
+    /// Binarization of arbitrary trees: injective codes, ancestry preserved
+    /// in both directions, and the chosen height is minimal for the
+    /// heuristic (some node sits at the deepest level).
+    #[test]
+    fn binarization_invariants(tree in arb_tree()) {
+        let enc = binarize_tree(&tree).unwrap();
+        let shape = enc.shape();
+        // Injective.
+        let mut seen: Vec<u64> = enc.codes().iter().map(|c| c.get()).collect();
+        seen.sort_unstable();
+        let n = seen.len();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), n);
+        // Ancestry preserved (sampled pairs to bound cost).
+        let ids: Vec<_> = tree.ids().collect();
+        for (i, &u) in ids.iter().enumerate().step_by(7) {
+            for &v in ids.iter().skip(i % 3).step_by(11) {
+                prop_assert_eq!(
+                    enc.code(u).is_ancestor_of(enc.code(v)),
+                    tree.is_ancestor_of(u, v)
+                );
+            }
+        }
+        // Height minimality: deepest level reached is H-1.
+        let deepest = enc
+            .codes()
+            .iter()
+            .map(|c| shape.level_of(*c))
+            .max()
+            .unwrap();
+        prop_assert_eq!(deepest, shape.height() - 1);
+        prop_assert_eq!(required_height(&tree).unwrap(), shape.height());
+    }
+}

@@ -1,0 +1,175 @@
+//! A DBLP-like bibliography generator.
+//!
+//! The paper used the 2002 DBLP snapshot (~50 MB of XML). This generator
+//! reproduces its schema shape — a `dblp` root with
+//! `inproceedings`/`article`/`www` records carrying `author+`, `title`,
+//! `year`, `pages?`, `ee?`, `url?`, `crossref?`, `cite*` — with record
+//! populations matching the cardinalities of Table 2(d) at SF = 1
+//! (116 176 inproceedings, 200 271 articles, 84 095 www records).
+//! `cite` elements may carry nested `label`s, which together with the
+//! varying record shapes yields the multi-height sets of query D10.
+
+use pbitree_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const INPROCEEDINGS: usize = 116_176;
+const ARTICLES: usize = 200_271;
+const WWW: usize = 84_095;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DblpSpec {
+    /// Scale factor; 1.0 reproduces the SF = 1 populations above.
+    pub sf: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpSpec {
+    fn default() -> Self {
+        DblpSpec { sf: 1.0, seed: 0xD0 }
+    }
+}
+
+fn n(base: usize, sf: f64) -> usize {
+    ((base as f64 * sf).round() as usize).max(1)
+}
+
+/// Generates the bibliography document.
+pub fn generate(spec: DblpSpec) -> Document {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut doc = Document::new("dblp");
+    let root = doc.root();
+
+    for i in 0..n(INPROCEEDINGS, spec.sf) {
+        let e = doc.add_element(root, "inproceedings");
+        doc.add_attribute(e, "key", &format!("conf/x/{i}"));
+        record_body(&mut doc, e, &mut rng, true);
+        if rng.gen_bool(0.8) {
+            doc.add_element(e, "booktitle");
+        }
+        if rng.gen_bool(0.6) {
+            doc.add_element(e, "crossref");
+        }
+    }
+    for i in 0..n(ARTICLES, spec.sf) {
+        let e = doc.add_element(root, "article");
+        doc.add_attribute(e, "key", &format!("journals/x/{i}"));
+        record_body(&mut doc, e, &mut rng, true);
+        doc.add_element(e, "journal");
+        if rng.gen_bool(0.5) {
+            doc.add_element(e, "volume");
+        }
+        // Articles carry most of the citation structure (query D5).
+        for _ in 0..cite_count(&mut rng) {
+            add_cite(&mut doc, e, &mut rng);
+        }
+    }
+    for i in 0..n(WWW, spec.sf) {
+        let e = doc.add_element(root, "www");
+        doc.add_attribute(e, "key", &format!("www/x/{i}"));
+        record_body(&mut doc, e, &mut rng, false);
+        let url = doc.add_element(e, "url");
+        doc.add_text(url, "u");
+    }
+    doc
+}
+
+/// Fields shared by every record type.
+fn record_body(doc: &mut Document, e: pbitree_core::NodeId, rng: &mut StdRng, full: bool) {
+    for _ in 0..rng.gen_range(1..=4) {
+        let a = doc.add_element(e, "author");
+        doc.add_text(a, "n");
+    }
+    let t = doc.add_element(e, "title");
+    doc.add_text(t, "t");
+    if full {
+        let y = doc.add_element(e, "year");
+        doc.add_text(y, "y");
+        if rng.gen_bool(0.7) {
+            doc.add_element(e, "pages");
+        }
+        if rng.gen_bool(0.25) {
+            let ee = doc.add_element(e, "ee");
+            doc.add_text(ee, "e");
+        }
+    }
+}
+
+/// Citation count distribution: most records cite nothing, a tail cites a
+/// lot (matches the sparse `cite` population of D5).
+fn cite_count(rng: &mut StdRng) -> usize {
+    if rng.gen_bool(0.2) {
+        rng.gen_range(1..=3)
+    } else {
+        0
+    }
+}
+
+/// `cite`, sometimes with a nested `label` (deeper height for D10).
+fn add_cite(doc: &mut Document, e: pbitree_core::NodeId, rng: &mut StdRng) {
+    let c = doc.add_element(e, "cite");
+    doc.add_text(c, "r");
+    if rng.gen_bool(0.3) {
+        let l = doc.add_element(c, "label");
+        doc.add_text(l, "l");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{dblp_queries, extract_query_sets, height_count};
+    use pbitree_xml::EncodedDocument;
+
+    fn small() -> EncodedDocument {
+        EncodedDocument::encode(generate(DblpSpec { sf: 0.003, seed: 5 })).unwrap()
+    }
+
+    #[test]
+    fn populations_scale() {
+        let doc = generate(DblpSpec { sf: 0.003, seed: 5 });
+        assert_eq!(doc.nodes_with_tag("inproceedings").len(), 349);
+        assert_eq!(doc.nodes_with_tag("article").len(), 601);
+        assert_eq!(doc.nodes_with_tag("www").len(), 252);
+        assert!(!doc.nodes_with_tag("cite").is_empty());
+    }
+
+    #[test]
+    fn queries_extract_and_contain() {
+        let enc = small();
+        let shape = enc.encoding().shape();
+        for q in dblp_queries() {
+            let (a, d) = extract_query_sets(&enc, &q, 0.003);
+            assert!(!a.is_empty(), "{}: A empty", q.name);
+            assert!(!d.is_empty(), "{}: D empty", q.name);
+            let a_set: std::collections::HashSet<u64> = a.iter().map(|&(c, _)| c).collect();
+            let mut hits = 0u64;
+            for &(dc, _) in &d {
+                let code = pbitree_core::Code::new(dc).unwrap();
+                for anc in shape.ancestors(code) {
+                    if a_set.contains(&anc.get()) {
+                        hits += 1;
+                    }
+                }
+            }
+            assert!(hits > 0 || d.len() < 20, "{} has no containment pairs", q.name);
+        }
+    }
+
+    #[test]
+    fn d10_is_multi_height() {
+        let enc = small();
+        let q = dblp_queries().into_iter().find(|q| q.name == "D10").unwrap();
+        let (a, _) = extract_query_sets(&enc, &q, 0.003);
+        assert!(height_count(&a) >= 2, "D10 ancestors should span heights");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(DblpSpec { sf: 0.002, seed: 5 });
+        let b = generate(DblpSpec { sf: 0.002, seed: 5 });
+        assert_eq!(a.len(), b.len());
+    }
+}

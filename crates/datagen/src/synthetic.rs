@@ -1,0 +1,317 @@
+//! The synthetic datasets of §4.1.1.
+//!
+//! Three factors drive containment-join behaviour: dataset size, node
+//! (height) distribution, and selectivity (matched descendants per
+//! ancestor). The paper's four-character dataset names encode
+//! single/multi-height (`S`/`M`), ancestor size (`L`/`S`), descendant size
+//! (`L`/`S`) and selectivity (`H`/`L`). Large sets hold one million
+//! elements, small sets ten thousand.
+//!
+//! Generation happens directly in PBiTree code space (no document needed):
+//! ancestors are distinct nodes at the chosen height(s), matched
+//! descendants are placed inside a uniformly chosen ancestor's subtree,
+//! noise descendants are placed outside every ancestor's subtree. For
+//! single-height ancestor sets each matched descendant produces exactly
+//! one result pair, so the published `#results` of Table 2(a) is hit
+//! *exactly*; with multi-height ancestors nesting can multiply matches, so
+//! Table 2(b) result counts are approximate (measured values are recorded
+//! by the experiment harness).
+
+use std::collections::HashSet;
+
+use pbitree_core::{Code, PBiTreeShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// PBiTree height used by all synthetic datasets: 2^31 leaf positions —
+/// enough headroom that even nine stacked ancestor heights (Table 2(b)'s
+/// MLSH) can hold a million distinct elements.
+pub const SYNTH_HEIGHT: u32 = 32;
+
+/// Cardinality of a "large" set (the paper's `L`).
+pub const LARGE: usize = 1_000_000;
+/// Cardinality of a "small" set (the paper's `S`).
+pub const SMALL: usize = 10_000;
+
+/// Recipe for one synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Paper name, e.g. `SLLH`.
+    pub name: &'static str,
+    /// Number of distinct ancestor heights (1 = the `S` prefix).
+    pub a_heights: u32,
+    /// Number of distinct descendant heights.
+    pub d_heights: u32,
+    /// Ancestor set cardinality.
+    pub a_size: usize,
+    /// Descendant set cardinality.
+    pub d_size: usize,
+    /// Matched descendants (placed under some ancestor). For single-height
+    /// ancestor sets this equals the result count.
+    pub matches: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Scales every cardinality by `f` (for reduced-scale benches/tests).
+    pub fn scaled(&self, f: f64) -> SyntheticSpec {
+        let s = |n: usize| ((n as f64 * f).round() as usize).max(1);
+        SyntheticSpec {
+            a_size: s(self.a_size),
+            d_size: s(self.d_size),
+            matches: s(self.matches).min(s(self.d_size)),
+            ..self.clone()
+        }
+    }
+}
+
+/// Table 2(a): the eight single-height datasets with their published
+/// result counts as match targets.
+pub fn paper_single_height() -> Vec<SyntheticSpec> {
+    let mk = |name, a_size, d_size, matches, seed| SyntheticSpec {
+        name,
+        a_heights: 1,
+        d_heights: 1,
+        a_size,
+        d_size,
+        matches,
+        seed,
+    };
+    vec![
+        mk("SLLH", LARGE, LARGE, 906_192, 0xA1),
+        mk("SLSH", LARGE, SMALL, 8_842, 0xA2),
+        mk("SSLH", SMALL, LARGE, 18_596, 0xA3),
+        mk("SSSH", SMALL, SMALL, 9_088, 0xA4),
+        mk("SLLL", LARGE, LARGE, 94_426, 0xA5),
+        mk("SLSL", LARGE, SMALL, 363, 0xA6),
+        mk("SSLL", SMALL, LARGE, 385, 0xA7),
+        mk("SSSL", SMALL, SMALL, 801, 0xA8),
+    ]
+}
+
+/// Table 2(b): the eight multi-height datasets with their published
+/// `H_A`/`H_D` height counts; result counts are match targets (nesting
+/// makes the measured count differ slightly, as in the paper).
+pub fn paper_multi_height() -> Vec<SyntheticSpec> {
+    let mk = |name, a_heights, d_heights, a_size, d_size, matches, seed| SyntheticSpec {
+        name,
+        a_heights,
+        d_heights,
+        a_size,
+        d_size,
+        matches,
+        seed,
+    };
+    vec![
+        mk("MLLH", 2, 6, LARGE, LARGE, 941_056, 0xB1),
+        mk("MLSH", 9, 9, LARGE, SMALL, 18_758, 0xB2),
+        mk("MSLH", 2, 7, SMALL, LARGE, 12_263, 0xB3),
+        mk("MSSH", 7, 9, SMALL, SMALL, 8_692, 0xB4),
+        mk("MLLL", 3, 7, LARGE, LARGE, 45_315, 0xB5),
+        mk("MLSL", 7, 5, LARGE, SMALL, 338, 0xB6),
+        mk("MSLL", 7, 4, SMALL, LARGE, 326, 0xB7),
+        mk("MSSL", 3, 2, SMALL, SMALL, 784, 0xB8),
+    ]
+}
+
+/// The scalability series of Figure 6(g)/(h): sizes `k * 50_000`,
+/// `k = 1..=8`, equal-size sides with proportional selectivity.
+pub fn scalability_series(multi_height: bool) -> Vec<SyntheticSpec> {
+    (1..=8)
+        .map(|k| {
+            let n = k * 50_000;
+            SyntheticSpec {
+                name: if multi_height { "scale-M" } else { "scale-S" },
+                a_heights: if multi_height { 3 } else { 1 },
+                d_heights: if multi_height { 4 } else { 1 },
+                a_size: n,
+                d_size: n,
+                matches: n / 10,
+                seed: 0xC0 + k as u64,
+            }
+        })
+        .collect()
+}
+
+/// A generated dataset: `(code, tag)` pairs ready to load into heap files.
+#[derive(Debug)]
+pub struct SyntheticDataset {
+    /// The code space all elements live in.
+    pub shape: PBiTreeShape,
+    /// Ancestor elements (tag 0).
+    pub a: Vec<(u64, u32)>,
+    /// Descendant elements (tag 1).
+    pub d: Vec<(u64, u32)>,
+    /// The spec that produced it.
+    pub spec: SyntheticSpec,
+}
+
+/// Generates a dataset from its spec. Deterministic in `spec.seed`.
+pub fn generate(spec: &SyntheticSpec) -> SyntheticDataset {
+    let shape = PBiTreeShape::new(SYNTH_HEIGHT).unwrap();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Descendant heights occupy 0..H_D; ancestor heights stack directly
+    // above them, so every ancestor height dominates every descendant
+    // height.
+    let base = spec.d_heights.max(1);
+    let a_heights: Vec<u32> = (0..spec.a_heights).map(|i| base + i).collect();
+    let d_heights: Vec<u32> = (0..base).collect();
+
+    // Sample distinct ancestors, weighted toward lower heights (more
+    // positions there), uniform alpha within a height.
+    let mut a_set: HashSet<u64> = HashSet::with_capacity(spec.a_size * 2);
+    let mut a: Vec<(u64, u32)> = Vec::with_capacity(spec.a_size);
+    // Height weights ~ capacity so dense sets remain feasible.
+    let caps: Vec<u64> = a_heights
+        .iter()
+        .map(|&h| 1u64 << (SYNTH_HEIGHT - 1 - h))
+        .collect();
+    let total_cap: u64 = caps.iter().sum();
+    while a.len() < spec.a_size {
+        let mut pick = rng.gen_range(0..total_cap);
+        let mut hi = 0usize;
+        while pick >= caps[hi] {
+            pick -= caps[hi];
+            hi += 1;
+        }
+        let h = a_heights[hi];
+        let alpha = rng.gen_range(0..caps[hi]);
+        let code = (1 + 2 * alpha) << h;
+        if a_set.insert(code) {
+            a.push((code, 0));
+        }
+    }
+
+    // Matched descendants: under a uniformly chosen ancestor.
+    let mut d_set: HashSet<u64> = HashSet::with_capacity(spec.d_size * 2);
+    let mut d: Vec<(u64, u32)> = Vec::with_capacity(spec.d_size);
+    let matches = spec.matches.min(spec.d_size);
+    let mut guard = 0usize;
+    while d.len() < matches && guard < matches * 20 + 1000 {
+        guard += 1;
+        let (acode, _) = a[rng.gen_range(0..a.len())];
+        let ah = Code::from_raw_unchecked(acode).height();
+        // Pick a descendant height strictly below the ancestor.
+        let eligible: Vec<u32> = d_heights.iter().copied().filter(|&h| h < ah).collect();
+        if eligible.is_empty() {
+            continue;
+        }
+        let dh = eligible[rng.gen_range(0..eligible.len())];
+        let span = ah - dh;
+        let a_alpha = acode >> (ah + 1);
+        let d_alpha = (a_alpha << span) | rng.gen_range(0..(1u64 << span));
+        let code = (1 + 2 * d_alpha) << dh;
+        if !a_set.contains(&code) && d_set.insert(code) {
+            d.push((code, 1));
+        }
+    }
+
+    // Noise descendants: outside every ancestor subtree (rejection
+    // sampling against the ancestor set via F probes per ancestor height).
+    while d.len() < spec.d_size {
+        let dh = d_heights[rng.gen_range(0..d_heights.len())];
+        let alpha = rng.gen_range(0..(1u64 << (SYNTH_HEIGHT - 1 - dh)));
+        let code = (1 + 2 * alpha) << dh;
+        let c = Code::from_raw_unchecked(code);
+        let covered = a_heights
+            .iter()
+            .any(|&h| h > dh && a_set.contains(&c.ancestor_at_height(h).get()));
+        if !covered && !a_set.contains(&code) && d_set.insert(code) {
+            d.push((code, 1));
+        }
+    }
+
+    SyntheticDataset { shape, a, d, spec: spec.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_results(ds: &SyntheticDataset) -> u64 {
+        // Exact result count via per-height ancestor hash probes.
+        let a_set: HashSet<u64> = ds.a.iter().map(|&(c, _)| c).collect();
+        let mut n = 0u64;
+        for &(dc, _) in &ds.d {
+            let c = Code::from_raw_unchecked(dc);
+            for anc in ds.shape.ancestors(c) {
+                if a_set.contains(&anc.get()) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn single_height_hits_exact_result_count() {
+        let spec = paper_single_height()[3].scaled(0.05); // SSSH, small
+        let ds = generate(&spec);
+        assert_eq!(ds.a.len(), spec.a_size);
+        assert_eq!(ds.d.len(), spec.d_size);
+        assert_eq!(count_results(&ds), spec.matches as u64);
+        // Single height really is single height.
+        let h0 = Code::from_raw_unchecked(ds.a[0].0).height();
+        assert!(ds.a.iter().all(|&(c, _)| Code::from_raw_unchecked(c).height() == h0));
+    }
+
+    #[test]
+    fn multi_height_covers_requested_heights() {
+        let spec = paper_multi_height()[1].scaled(0.02); // MLSH: 9 heights
+        let ds = generate(&spec);
+        let heights: HashSet<u32> = ds
+            .a
+            .iter()
+            .map(|&(c, _)| Code::from_raw_unchecked(c).height())
+            .collect();
+        assert_eq!(heights.len() as u32, spec.a_heights);
+        let dheights: HashSet<u32> = ds
+            .d
+            .iter()
+            .map(|&(c, _)| Code::from_raw_unchecked(c).height())
+            .collect();
+        assert!(!dheights.is_empty());
+        // Result count is within a factor of the target (nesting jitter).
+        let r = count_results(&ds) as f64;
+        let t = spec.matches as f64;
+        assert!(r >= t * 0.8 && r <= t * 2.5, "results {r} vs target {t}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = paper_single_height()[7].scaled(0.1);
+        let x = generate(&spec);
+        let y = generate(&spec);
+        assert_eq!(x.a, y.a);
+        assert_eq!(x.d, y.d);
+    }
+
+    #[test]
+    fn sets_are_disjoint_and_unique() {
+        let spec = paper_multi_height()[7].scaled(0.2); // MSSL
+        let ds = generate(&spec);
+        let a: HashSet<u64> = ds.a.iter().map(|&(c, _)| c).collect();
+        let d: HashSet<u64> = ds.d.iter().map(|&(c, _)| c).collect();
+        assert_eq!(a.len(), ds.a.len());
+        assert_eq!(d.len(), ds.d.len());
+        assert!(a.is_disjoint(&d));
+    }
+
+    #[test]
+    fn all_16_specs_generate_at_reduced_scale() {
+        for spec in paper_single_height().iter().chain(&paper_multi_height()) {
+            let ds = generate(&spec.scaled(0.005));
+            assert!(!ds.a.is_empty() && !ds.d.is_empty(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn scalability_series_sizes() {
+        let series = scalability_series(false);
+        assert_eq!(series.len(), 8);
+        assert_eq!(series[0].a_size, 50_000);
+        assert_eq!(series[7].a_size, 400_000);
+    }
+}

@@ -1,0 +1,319 @@
+//! An XMark-like auction-site document generator (the BENCHMARK data).
+//!
+//! Follows the XMark DTD's shape: a `site` with regions of items, people,
+//! open and closed auctions, categories and the category graph. Element
+//! populations at scale factor 1 match the cardinalities behind Table 2(c)
+//! (21 750 items, 25 500 persons, 12 000 open / 9 750 closed auctions);
+//! nested `parlist`/`listitem` descriptions reproduce the multi-height
+//! element sets the B-queries exercise. Text content is kept short — joins
+//! see only structure.
+
+use pbitree_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Element populations at SF = 1 (from the XMark paper / Table 2(c)).
+const ITEMS: usize = 21_750;
+const PERSONS: usize = 25_500;
+const OPEN_AUCTIONS: usize = 12_000;
+const CLOSED_AUCTIONS: usize = 9_750;
+const CATEGORIES: usize = 2_200;
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct XMarkSpec {
+    /// Scale factor; 1.0 reproduces the paper's SF = 1 cardinalities.
+    pub sf: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for XMarkSpec {
+    fn default() -> Self {
+        XMarkSpec { sf: 1.0, seed: 0xE0 }
+    }
+}
+
+fn n(base: usize, sf: f64) -> usize {
+    ((base as f64 * sf).round() as usize).max(1)
+}
+
+/// Generates the document. Node count at SF = 1 is a few million.
+pub fn generate(spec: XMarkSpec) -> Document {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut doc = Document::new("site");
+    let root = doc.root();
+
+    // regions / <continent> / item*
+    let regions = doc.add_element(root, "regions");
+    let continents = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    let items = n(ITEMS, spec.sf);
+    let conts: Vec<_> = continents
+        .iter()
+        .map(|c| doc.add_element(regions, c))
+        .collect();
+    for i in 0..items {
+        let cont = conts[rng.gen_range(0..conts.len())];
+        let item = doc.add_element(cont, "item");
+        doc.add_attribute(item, "id", &format!("item{i}"));
+        doc.add_element(item, "location");
+        doc.add_element(item, "quantity");
+        let name = doc.add_element(item, "name");
+        doc.add_text(name, "w");
+        doc.add_element(item, "payment");
+        add_description(&mut doc, item, &mut rng, 0);
+        doc.add_element(item, "shipping");
+        for _ in 0..rng.gen_range(1..=3) {
+            let inc = doc.add_element(item, "incategory");
+            doc.add_attribute(inc, "category", &format!("category{}", rng.gen_range(0..100)));
+        }
+        if rng.gen_bool(0.3) {
+            let mb = doc.add_element(item, "mailbox");
+            for _ in 0..rng.gen_range(0..=2) {
+                let mail = doc.add_element(mb, "mail");
+                doc.add_element(mail, "from");
+                doc.add_element(mail, "to");
+                doc.add_element(mail, "date");
+                add_text_block(&mut doc, mail, &mut rng);
+            }
+        }
+    }
+
+    // categories
+    let cats = doc.add_element(root, "categories");
+    for i in 0..n(CATEGORIES, spec.sf) {
+        let c = doc.add_element(cats, "category");
+        doc.add_attribute(c, "id", &format!("category{i}"));
+        let name = doc.add_element(c, "name");
+        doc.add_text(name, "c");
+        add_description(&mut doc, c, &mut rng, 0);
+    }
+
+    // catgraph
+    let graph = doc.add_element(root, "catgraph");
+    for _ in 0..n(CATEGORIES, spec.sf) {
+        let e = doc.add_element(graph, "edge");
+        doc.add_attribute(e, "from", "x");
+        doc.add_attribute(e, "to", "y");
+    }
+
+    // people / person*
+    let people = doc.add_element(root, "people");
+    for i in 0..n(PERSONS, spec.sf) {
+        let p = doc.add_element(people, "person");
+        doc.add_attribute(p, "id", &format!("person{i}"));
+        let nm = doc.add_element(p, "name");
+        doc.add_text(nm, "p");
+        doc.add_element(p, "emailaddress");
+        if rng.gen_bool(0.5) {
+            doc.add_element(p, "phone");
+        }
+        if rng.gen_bool(0.6) {
+            let addr = doc.add_element(p, "address");
+            for f in ["street", "city", "country", "zipcode"] {
+                doc.add_element(addr, f);
+            }
+        }
+        if rng.gen_bool(0.3) {
+            doc.add_element(p, "homepage");
+        }
+        if rng.gen_bool(0.5) {
+            doc.add_element(p, "creditcard");
+        }
+        if rng.gen_bool(0.75) {
+            let prof = doc.add_element(p, "profile");
+            for _ in 0..rng.gen_range(0..=2) {
+                let int = doc.add_element(prof, "interest");
+                doc.add_attribute(int, "category", "c");
+            }
+            if rng.gen_bool(0.5) {
+                doc.add_element(prof, "education");
+            }
+            doc.add_element(prof, "business");
+            if rng.gen_bool(0.7) {
+                doc.add_element(prof, "age");
+            }
+        }
+        if rng.gen_bool(0.2) {
+            let w = doc.add_element(p, "watches");
+            for _ in 0..rng.gen_range(1..=3) {
+                doc.add_element(w, "watch");
+            }
+        }
+    }
+
+    // open_auctions / open_auction*
+    let oa = doc.add_element(root, "open_auctions");
+    for i in 0..n(OPEN_AUCTIONS, spec.sf) {
+        let auc = doc.add_element(oa, "open_auction");
+        doc.add_attribute(auc, "id", &format!("open_auction{i}"));
+        doc.add_element(auc, "initial");
+        if rng.gen_bool(0.5) {
+            doc.add_element(auc, "reserve");
+        }
+        for _ in 0..rng.gen_range(0..=3) {
+            let b = doc.add_element(auc, "bidder");
+            doc.add_element(b, "date");
+            doc.add_element(b, "time");
+            let pr = doc.add_element(b, "personref");
+            doc.add_attribute(pr, "person", "p");
+            doc.add_element(b, "increase");
+        }
+        doc.add_element(auc, "current");
+        let ir = doc.add_element(auc, "itemref");
+        doc.add_attribute(ir, "item", "i");
+        let seller = doc.add_element(auc, "seller");
+        doc.add_attribute(seller, "person", "p");
+        let ann = doc.add_element(auc, "annotation");
+        doc.add_element(ann, "author");
+        add_description(&mut doc, ann, &mut rng, 1);
+        doc.add_element(auc, "quantity");
+        doc.add_element(auc, "type");
+        let iv = doc.add_element(auc, "interval");
+        doc.add_element(iv, "start");
+        doc.add_element(iv, "end");
+    }
+
+    // closed_auctions / closed_auction*
+    let ca = doc.add_element(root, "closed_auctions");
+    for _ in 0..n(CLOSED_AUCTIONS, spec.sf) {
+        let auc = doc.add_element(ca, "closed_auction");
+        let seller = doc.add_element(auc, "seller");
+        doc.add_attribute(seller, "person", "p");
+        let buyer = doc.add_element(auc, "buyer");
+        doc.add_attribute(buyer, "person", "p");
+        let ir = doc.add_element(auc, "itemref");
+        doc.add_attribute(ir, "item", "i");
+        doc.add_element(auc, "price");
+        doc.add_element(auc, "date");
+        doc.add_element(auc, "quantity");
+        doc.add_element(auc, "type");
+        let ann = doc.add_element(auc, "annotation");
+        doc.add_element(ann, "author");
+        add_description(&mut doc, ann, &mut rng, 1);
+    }
+
+    doc
+}
+
+/// `description`: either a flat text block or a nested
+/// `parlist/listitem/(text|parlist...)` — the multi-height machinery.
+fn add_description(
+    doc: &mut Document,
+    parent: pbitree_core::NodeId,
+    rng: &mut StdRng,
+    depth: u32,
+) {
+    let desc = doc.add_element(parent, "description");
+    if depth < 3 && rng.gen_bool(0.45) {
+        add_parlist(doc, desc, rng, depth);
+    } else {
+        add_text_block(doc, desc, rng);
+    }
+}
+
+fn add_parlist(
+    doc: &mut Document,
+    parent: pbitree_core::NodeId,
+    rng: &mut StdRng,
+    depth: u32,
+) {
+    let pl = doc.add_element(parent, "parlist");
+    for _ in 0..rng.gen_range(1..=3) {
+        let li = doc.add_element(pl, "listitem");
+        if depth < 3 && rng.gen_bool(0.25) {
+            add_parlist(doc, li, rng, depth + 1);
+        } else {
+            add_text_block(doc, li, rng);
+        }
+    }
+}
+
+/// `text` with optional inline `keyword`/`bold`/`emph` children.
+fn add_text_block(doc: &mut Document, parent: pbitree_core::NodeId, rng: &mut StdRng) {
+    let t = doc.add_element(parent, "text");
+    doc.add_text(t, "t");
+    if rng.gen_bool(0.4) {
+        let kw = doc.add_element(t, "keyword");
+        doc.add_text(kw, "k");
+    }
+    if rng.gen_bool(0.2) {
+        let b = doc.add_element(t, "bold");
+        doc.add_text(b, "b");
+    }
+    if rng.gen_bool(0.1) {
+        let e = doc.add_element(t, "emph");
+        doc.add_text(e, "e");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{extract_query_sets, height_count, xmark_queries};
+    use pbitree_xml::EncodedDocument;
+
+    fn small() -> EncodedDocument {
+        EncodedDocument::encode(generate(XMarkSpec { sf: 0.01, seed: 7 })).unwrap()
+    }
+
+    #[test]
+    fn populations_scale() {
+        let doc = generate(XMarkSpec { sf: 0.01, seed: 7 });
+        assert_eq!(doc.nodes_with_tag("item").len(), 218);
+        assert_eq!(doc.nodes_with_tag("person").len(), 255);
+        assert_eq!(doc.nodes_with_tag("open_auction").len(), 120);
+        assert_eq!(doc.nodes_with_tag("closed_auction").len(), 98);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(XMarkSpec { sf: 0.01, seed: 7 });
+        let b = generate(XMarkSpec { sf: 0.01, seed: 7 });
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn nested_listitems_are_multi_height() {
+        let enc = EncodedDocument::encode(generate(XMarkSpec { sf: 0.05, seed: 9 })).unwrap();
+        let listitems = enc.element_set("listitem");
+        assert!(!listitems.is_empty());
+        let hs: std::collections::HashSet<u32> =
+            listitems.iter().map(|c| c.height()).collect();
+        assert!(hs.len() >= 2, "listitem should occur at several heights");
+    }
+
+    #[test]
+    fn queries_extract_nonempty_sets() {
+        let enc = small();
+        for q in xmark_queries() {
+            let (a, d) = extract_query_sets(&enc, &q, 0.01);
+            assert!(!a.is_empty(), "{} ancestor set empty", q.name);
+            assert!(!d.is_empty(), "{} descendant set empty", q.name);
+            assert!(height_count(&a) >= 1);
+        }
+    }
+
+    #[test]
+    fn containment_actually_occurs_per_query() {
+        let enc = small();
+        for q in xmark_queries() {
+            let (a, d) = extract_query_sets(&enc, &q, 0.01);
+            let a_set: std::collections::HashSet<u64> =
+                a.iter().map(|&(c, _)| c).collect();
+            let shape = enc.encoding().shape();
+            let mut hits = 0u64;
+            for &(dc, _) in &d {
+                let code = pbitree_core::Code::new(dc).unwrap();
+                for anc in shape.ancestors(code) {
+                    if a_set.contains(&anc.get()) {
+                        hits += 1;
+                    }
+                }
+            }
+            // Tiny subsampled sets may legitimately miss (the paper's
+            // own D5/D6 have results < |D|); only sizeable sets must hit.
+            assert!(hits > 0 || d.len() < 20, "{} produces no containment pairs", q.name);
+        }
+    }
+}

@@ -1,0 +1,705 @@
+//! A paged B+-tree over the buffer pool.
+//!
+//! Node layout (within one 4 KiB page):
+//!
+//! ```text
+//! leaf:     [kind: u8 = 0][pad: u8][count: u16][next_leaf: u32] (K V)*
+//! internal: [kind: u8 = 1][pad: u8][count: u16][child0: u32]    (K child:u32)*
+//! ```
+//!
+//! An internal node with `count` keys has `count + 1` children; key `i`
+//! separates child `i` from child `i+1` (keys in child `i+1` are `>= key i`,
+//! keys in child `i` are `< key i` for bulk-loaded trees; duplicate keys are
+//! permitted and preserved on insert).
+//!
+//! Probes go through the pool, so every descent charges realistic random
+//! I/O — the effect the paper's INLJN heuristic (outer = smaller set) is
+//! designed around.
+
+use std::marker::PhantomData;
+
+use pbitree_storage::{BufferPool, FileId, FixedRecord, PageId, PoolError, PAGE_SIZE};
+
+const HDR: usize = 8;
+const KIND_LEAF: u8 = 0;
+const KIND_INTERNAL: u8 = 1;
+/// "No page" sentinel for leaf chaining.
+const NIL: u32 = u32::MAX;
+
+/// Max entries in a leaf page.
+pub const fn leaf_capacity<K: FixedRecord, V: FixedRecord>() -> usize {
+    (PAGE_SIZE - HDR) / (K::SIZE + V::SIZE)
+}
+
+/// Max keys in an internal page (children = keys + 1; `child0` lives in the
+/// header's last 4 bytes).
+pub const fn internal_capacity<K: FixedRecord>() -> usize {
+    (PAGE_SIZE - HDR) / (K::SIZE + 4)
+}
+
+#[inline]
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(buf[off..off + 2].try_into().unwrap())
+}
+
+#[inline]
+fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+#[inline]
+fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// A B+-tree keyed by `K` with values `V`, both fixed-width records.
+/// Keys sort by their `Ord`; duplicates are allowed.
+pub struct BPlusTree<K: FixedRecord + Ord, V: FixedRecord> {
+    file: FileId,
+    root: u32,
+    height: u32,
+    len: u64,
+    _marker: PhantomData<(K, V)>,
+}
+
+impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
+    /// Creates an empty tree (a single empty leaf as root).
+    pub fn new(pool: &BufferPool) -> Result<Self, PoolError> {
+        let file = pool.create_file();
+        let (root, mut page) = pool.new_page(file)?;
+        init_leaf(&mut page[..]);
+        drop(page);
+        Ok(BPlusTree {
+            file,
+            root,
+            height: 1,
+            len: 0,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Bulk-loads a tree from entries that are **already sorted by key**.
+    /// Leaves are packed to capacity; one sequential pass per level.
+    ///
+    /// # Panics
+    /// Debug-asserts the input ordering.
+    pub fn bulk_load<I>(pool: &BufferPool, entries: I) -> Result<Self, PoolError>
+    where
+        I: IntoIterator<Item = (K, V)>,
+    {
+        let file = pool.create_file();
+        let lcap = leaf_capacity::<K, V>();
+        // Build the leaf level. Leaves are written *through* the pool
+        // (sequential bulk output, no frame pollution); since bulk-loaded
+        // leaves occupy consecutive page numbers, each leaf is held back
+        // until its successor exists so the `next_leaf` pointer can be set
+        // without re-reading the page.
+        let mut level: Vec<(K, u32)> = Vec::new(); // (first key, page)
+        let mut len = 0u64;
+        let mut pending: Vec<(K, V)> = Vec::with_capacity(lcap);
+        let mut held: Option<(K, Box<crate::page_image::PageImage>, usize)> = None;
+        let mut next_pno = 0u32;
+        let mut first_key: Option<K> = None;
+        let mut prev_key: Option<K> = None;
+
+        let flush_leaf = |pool: &BufferPool,
+                              pending: &mut Vec<(K, V)>,
+                              first_key: &mut Option<K>,
+                              level: &mut Vec<(K, u32)>,
+                              held: &mut Option<(K, Box<crate::page_image::PageImage>, usize)>,
+                              next_pno: &mut u32|
+         -> Result<(), PoolError> {
+            if pending.is_empty() {
+                return Ok(());
+            }
+            let mut img = Box::new(crate::page_image::PageImage::zeroed());
+            init_leaf(img.bytes_mut());
+            put_u16(img.bytes_mut(), 2, pending.len() as u16);
+            for (i, (k, v)) in pending.iter().enumerate() {
+                let off = HDR + i * (K::SIZE + V::SIZE);
+                k.write(&mut img.bytes_mut()[off..off + K::SIZE]);
+                v.write(&mut img.bytes_mut()[off + K::SIZE..off + K::SIZE + V::SIZE]);
+            }
+            // The previously held leaf gets its next pointer and is written.
+            if let Some((fk, mut prev_img, entries)) = held.take() {
+                put_u32(prev_img.bytes_mut(), 4, *next_pno + 1);
+                let pno = pool.append_page_through(file, prev_img.buf());
+                debug_assert_eq!(pno, *next_pno);
+                level.push((fk, pno));
+                *next_pno += 1;
+                let _ = entries;
+            }
+            *held = Some((first_key.take().expect("first key set"), img, pending.len()));
+            pending.clear();
+            Ok(())
+        };
+
+        for (k, v) in entries {
+            if let Some(pk) = &prev_key {
+                debug_assert!(*pk <= k, "bulk_load input must be sorted");
+            }
+            prev_key = Some(k);
+            if first_key.is_none() {
+                first_key = Some(k);
+            }
+            pending.push((k, v));
+            len += 1;
+            if pending.len() == lcap {
+                flush_leaf(pool, &mut pending, &mut first_key, &mut level, &mut held, &mut next_pno)?;
+            }
+        }
+        flush_leaf(pool, &mut pending, &mut first_key, &mut level, &mut held, &mut next_pno)?;
+        // The last leaf ends the chain.
+        if let Some((fk, img, _)) = held.take() {
+            let pno = pool.append_page_through(file, img.buf());
+            level.push((fk, pno));
+        }
+
+        if level.is_empty() {
+            // Empty input: fall back to an empty root leaf.
+            let (root, mut page) = pool.new_page(file)?;
+            init_leaf(&mut page[..]);
+            drop(page);
+            return Ok(BPlusTree { file, root, height: 1, len: 0, _marker: PhantomData });
+        }
+
+        // Build internal levels until a single root remains.
+        let icap = internal_capacity::<K>();
+        let mut height = 1;
+        while level.len() > 1 {
+            height += 1;
+            let mut next: Vec<(K, u32)> = Vec::with_capacity(level.len().div_ceil(icap + 1));
+            // Each internal node takes up to icap+1 children.
+            for group in level.chunks(icap + 1) {
+                let mut img = Box::new(crate::page_image::PageImage::zeroed());
+                img.bytes_mut()[0] = KIND_INTERNAL;
+                put_u16(img.bytes_mut(), 2, (group.len() - 1) as u16);
+                put_u32(img.bytes_mut(), 4, group[0].1);
+                for (i, (k, child)) in group.iter().enumerate().skip(1) {
+                    let off = HDR + (i - 1) * (K::SIZE + 4);
+                    k.write(&mut img.bytes_mut()[off..off + K::SIZE]);
+                    put_u32(img.bytes_mut(), off + K::SIZE, *child);
+                }
+                let pno = pool.append_page_through(file, img.buf());
+                next.push((group[0].0, pno));
+            }
+            level = next;
+        }
+        let root = level[0].1;
+        Ok(BPlusTree { file, root, height, len, _marker: PhantomData })
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels (1 = root is a leaf).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The underlying file.
+    #[inline]
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Releases the tree's disk space.
+    pub fn drop_file(self, pool: &BufferPool) {
+        pool.delete_file(self.file);
+    }
+
+    /// Descends to the leaf that may contain `key`; returns its page number.
+    fn find_leaf(&self, pool: &BufferPool, key: &K) -> Result<u32, PoolError> {
+        let mut pno = self.root;
+        loop {
+            let page = pool.read_page(PageId::new(self.file, pno))?;
+            if page[0] == KIND_LEAF {
+                return Ok(pno);
+            }
+            let count = get_u16(&page[..], 2) as usize;
+            // Strict comparison: with duplicate keys the descent lands on
+            // the *leftmost* leaf that can hold `key`; the forward leaf
+            // chain covers duplicates that spilled rightward.
+            let mut lo = 0usize;
+            let mut hi = count;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let off = HDR + mid * (K::SIZE + 4);
+                let k = K::read(&page[off..off + K::SIZE]);
+                if k < *key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            pno = if lo == 0 {
+                get_u32(&page[..], 4)
+            } else {
+                let off = HDR + (lo - 1) * (K::SIZE + 4);
+                get_u32(&page[..], off + K::SIZE)
+            };
+        }
+    }
+
+    /// Returns the value of the **first** entry with the given key, if any.
+    pub fn get(&self, pool: &BufferPool, key: &K) -> Result<Option<V>, PoolError> {
+        let mut iter = self.range_from(pool, key)?;
+        match iter.next_entry()? {
+            Some((k, v)) if k == *key => Ok(Some(v)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Whether any entry has the given key.
+    pub fn contains(&self, pool: &BufferPool, key: &K) -> Result<bool, PoolError> {
+        Ok(self.get(pool, key)?.is_some())
+    }
+
+    /// Iterates entries with keys `>= key`, in key order, across leaves.
+    pub fn range_from<'a>(
+        &self,
+        pool: &'a BufferPool,
+        key: &K,
+    ) -> Result<RangeIter<'a, K, V>, PoolError> {
+        let leaf = self.find_leaf(pool, key)?;
+        // Position within the leaf: first entry >= key.
+        let page = pool.read_page(PageId::new(self.file, leaf))?;
+        let count = get_u16(&page[..], 2) as usize;
+        let mut lo = 0usize;
+        let mut hi = count;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let off = HDR + mid * (K::SIZE + V::SIZE);
+            let k = K::read(&page[off..off + K::SIZE]);
+            if k < *key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        drop(page);
+        Ok(RangeIter {
+            pool,
+            file: self.file,
+            leaf,
+            idx: lo,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter<'a>(&self, pool: &'a BufferPool) -> Result<RangeIter<'a, K, V>, PoolError> {
+        // Descend along child0 to the leftmost leaf.
+        let mut pno = self.root;
+        loop {
+            let page = pool.read_page(PageId::new(self.file, pno))?;
+            if page[0] == KIND_LEAF {
+                break;
+            }
+            pno = get_u32(&page[..], 4);
+        }
+        Ok(RangeIter {
+            pool,
+            file: self.file,
+            leaf: pno,
+            idx: 0,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Inserts an entry, splitting nodes as needed. Duplicate keys are
+    /// appended after existing equal keys.
+    pub fn insert(&mut self, pool: &BufferPool, key: K, value: V) -> Result<(), PoolError> {
+        if let Some((sep, right)) = self.insert_rec(pool, self.root, &key, &value)? {
+            // Grow a new root.
+            let (pno, mut page) = pool.new_page(self.file)?;
+            page[0] = KIND_INTERNAL;
+            put_u16(&mut page[..], 2, 1);
+            put_u32(&mut page[..], 4, self.root);
+            sep.write(&mut page[HDR..HDR + K::SIZE]);
+            put_u32(&mut page[..], HDR + K::SIZE, right);
+            drop(page);
+            self.root = pno;
+            self.height += 1;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    fn insert_rec(
+        &self,
+        pool: &BufferPool,
+        pno: u32,
+        key: &K,
+        value: &V,
+    ) -> Result<Option<(K, u32)>, PoolError> {
+        let kind = {
+            let page = pool.read_page(PageId::new(self.file, pno))?;
+            page[0]
+        };
+        if kind == KIND_LEAF {
+            return self.insert_into_leaf(pool, pno, key, value);
+        }
+        // Internal: find branch, recurse, then maybe absorb a split.
+        let (child, branch) = {
+            let page = pool.read_page(PageId::new(self.file, pno))?;
+            let count = get_u16(&page[..], 2) as usize;
+            let mut lo = 0usize;
+            let mut hi = count;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let off = HDR + mid * (K::SIZE + 4);
+                let k = K::read(&page[off..off + K::SIZE]);
+                if k < *key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let child = if lo == 0 {
+                get_u32(&page[..], 4)
+            } else {
+                let off = HDR + (lo - 1) * (K::SIZE + 4);
+                get_u32(&page[..], off + K::SIZE)
+            };
+            (child, lo)
+        };
+        let Some((sep, right)) = self.insert_rec(pool, child, key, value)? else {
+            return Ok(None);
+        };
+        self.insert_into_internal(pool, pno, branch, sep, right)
+    }
+
+    /// Inserts separator `sep` / child `right` at branch position `pos`
+    /// of internal node `pno`, splitting it if full.
+    fn insert_into_internal(
+        &self,
+        pool: &BufferPool,
+        pno: u32,
+        pos: usize,
+        sep: K,
+        right: u32,
+    ) -> Result<Option<(K, u32)>, PoolError> {
+        let icap = internal_capacity::<K>();
+        let esz = K::SIZE + 4;
+        let mut entries: Vec<(K, u32)> = Vec::with_capacity(icap + 1);
+        let child0;
+        {
+            let page = pool.read_page(PageId::new(self.file, pno))?;
+            let count = get_u16(&page[..], 2) as usize;
+            child0 = get_u32(&page[..], 4);
+            for i in 0..count {
+                let off = HDR + i * esz;
+                entries.push((
+                    K::read(&page[off..off + K::SIZE]),
+                    get_u32(&page[..], off + K::SIZE),
+                ));
+            }
+        }
+        entries.insert(pos, (sep, right));
+        if entries.len() <= icap {
+            write_internal(pool, self.file, pno, child0, &entries)?;
+            return Ok(None);
+        }
+        // Split: left keeps half the keys, the middle key moves up.
+        let mid = entries.len() / 2;
+        let (up_key, up_child) = entries[mid];
+        let right_entries: Vec<(K, u32)> = entries[mid + 1..].to_vec();
+        entries.truncate(mid);
+        write_internal(pool, self.file, pno, child0, &entries)?;
+        let (rpno, mut rpage) = pool.new_page(self.file)?;
+        rpage[0] = KIND_INTERNAL;
+        drop(rpage);
+        write_internal(pool, self.file, rpno, up_child, &right_entries)?;
+        Ok(Some((up_key, rpno)))
+    }
+
+    fn insert_into_leaf(
+        &self,
+        pool: &BufferPool,
+        pno: u32,
+        key: &K,
+        value: &V,
+    ) -> Result<Option<(K, u32)>, PoolError> {
+        let lcap = leaf_capacity::<K, V>();
+        let esz = K::SIZE + V::SIZE;
+        let mut entries: Vec<(K, V)> = Vec::with_capacity(lcap + 1);
+        let next;
+        {
+            let page = pool.read_page(PageId::new(self.file, pno))?;
+            let count = get_u16(&page[..], 2) as usize;
+            next = get_u32(&page[..], 4);
+            for i in 0..count {
+                let off = HDR + i * esz;
+                entries.push((
+                    K::read(&page[off..off + K::SIZE]),
+                    V::read(&page[off + K::SIZE..off + esz]),
+                ));
+            }
+        }
+        // Upper bound: after existing duplicates.
+        let pos = entries.partition_point(|(k, _)| k <= key);
+        entries.insert(pos, (*key, *value));
+        if entries.len() <= lcap {
+            write_leaf(pool, self.file, pno, next, &entries)?;
+            return Ok(None);
+        }
+        let mid = entries.len() / 2;
+        let right_entries: Vec<(K, V)> = entries[mid..].to_vec();
+        entries.truncate(mid);
+        let (rpno, rpage) = pool.new_page(self.file)?;
+        drop(rpage);
+        write_leaf(pool, self.file, pno, rpno, &entries)?;
+        write_leaf(pool, self.file, rpno, next, &right_entries)?;
+        Ok(Some((right_entries[0].0, rpno)))
+    }
+}
+
+fn init_leaf(page: &mut [u8]) {
+    page[0] = KIND_LEAF;
+    put_u16(page, 2, 0);
+    put_u32(page, 4, NIL);
+}
+
+fn write_leaf<K: FixedRecord, V: FixedRecord>(
+    pool: &BufferPool,
+    file: FileId,
+    pno: u32,
+    next: u32,
+    entries: &[(K, V)],
+) -> Result<(), PoolError> {
+    let esz = K::SIZE + V::SIZE;
+    let mut page = pool.write_page(PageId::new(file, pno))?;
+    page[0] = KIND_LEAF;
+    put_u16(&mut page[..], 2, entries.len() as u16);
+    put_u32(&mut page[..], 4, next);
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let off = HDR + i * esz;
+        k.write(&mut page[off..off + K::SIZE]);
+        v.write(&mut page[off + K::SIZE..off + esz]);
+    }
+    Ok(())
+}
+
+fn write_internal<K: FixedRecord>(
+    pool: &BufferPool,
+    file: FileId,
+    pno: u32,
+    child0: u32,
+    entries: &[(K, u32)],
+) -> Result<(), PoolError> {
+    let esz = K::SIZE + 4;
+    let mut page = pool.write_page(PageId::new(file, pno))?;
+    page[0] = KIND_INTERNAL;
+    put_u16(&mut page[..], 2, entries.len() as u16);
+    put_u32(&mut page[..], 4, child0);
+    for (i, (k, child)) in entries.iter().enumerate() {
+        let off = HDR + i * esz;
+        k.write(&mut page[off..off + K::SIZE]);
+        put_u32(&mut page[..], off + K::SIZE, *child);
+    }
+    Ok(())
+}
+
+/// Forward iterator over leaf entries starting at a lower bound.
+pub struct RangeIter<'a, K: FixedRecord + Ord, V: FixedRecord> {
+    pool: &'a BufferPool,
+    file: FileId,
+    leaf: u32,
+    idx: usize,
+    _marker: PhantomData<(K, V)>,
+}
+
+impl<K: FixedRecord + Ord, V: FixedRecord> RangeIter<'_, K, V> {
+    /// Next entry in key order, or `None` past the last leaf.
+    pub fn next_entry(&mut self) -> Result<Option<(K, V)>, PoolError> {
+        let esz = K::SIZE + V::SIZE;
+        loop {
+            if self.leaf == NIL {
+                return Ok(None);
+            }
+            let page = self.pool.read_page(PageId::new(self.file, self.leaf))?;
+            let count = get_u16(&page[..], 2) as usize;
+            if self.idx < count {
+                let off = HDR + self.idx * esz;
+                let k = K::read(&page[off..off + K::SIZE]);
+                let v = V::read(&page[off + K::SIZE..off + esz]);
+                self.idx += 1;
+                return Ok(Some((k, v)));
+            }
+            self.leaf = get_u32(&page[..], 4);
+            self.idx = 0;
+        }
+    }
+}
+
+impl<K: FixedRecord + Ord, V: FixedRecord> Iterator for RangeIter<'_, K, V> {
+    type Item = (K, V);
+
+    fn next(&mut self) -> Option<(K, V)> {
+        self.next_entry().expect("range scan lost its frame budget")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbitree_storage::Disk;
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(Disk::in_memory_free(), frames)
+    }
+
+    #[test]
+    fn bulk_load_and_point_lookups() {
+        let p = pool(16);
+        let entries: Vec<(u64, u64)> = (0..10_000).map(|i| (i * 2, i)).collect();
+        let t = BPlusTree::bulk_load(&p, entries.iter().copied()).unwrap();
+        assert_eq!(t.len(), 10_000);
+        assert!(t.height() >= 2);
+        for probe in [0u64, 2, 9998, 19_998] {
+            assert_eq!(t.get(&p, &probe).unwrap(), Some(probe / 2));
+        }
+        // Absent keys (odd values).
+        for probe in [1u64, 777, 19_997] {
+            assert_eq!(t.get(&p, &probe).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let p = pool(4);
+        let t = BPlusTree::<u64, u64>::bulk_load(&p, std::iter::empty()).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&p, &5).unwrap(), None);
+        assert_eq!(t.iter(&p).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn range_scan_from_lower_bound() {
+        let p = pool(16);
+        let t = BPlusTree::bulk_load(&p, (0u64..1000).map(|i| (i * 3, i))).unwrap();
+        // First key >= 100 is 102.
+        let got: Vec<u64> = t
+            .range_from(&p, &100)
+            .unwrap()
+            .map(|(k, _)| k)
+            .take_while(|&k| k < 130)
+            .collect();
+        assert_eq!(got, vec![102, 105, 108, 111, 114, 117, 120, 123, 126, 129]);
+    }
+
+    #[test]
+    fn full_iteration_in_order() {
+        let p = pool(16);
+        let n = 25_000u64;
+        let t = BPlusTree::bulk_load(&p, (0..n).map(|i| (i, i + 1))).unwrap();
+        let all: Vec<(u64, u64)> = t.iter(&p).unwrap().collect();
+        assert_eq!(all.len(), n as usize);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(all[0], (0, 1));
+        assert_eq!(all[n as usize - 1], (n - 1, n));
+    }
+
+    #[test]
+    fn inserts_match_btreemap_model() {
+        let p = pool(32);
+        let mut t = BPlusTree::<u64, u64>::new(&p).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        let mut x = 0xDEADBEEFu64;
+        for i in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 50_000;
+            t.insert(&p, k, i).unwrap();
+            model.entry(k).or_insert(i); // first insert wins in `get`
+        }
+        assert_eq!(t.len(), 20_000);
+        for k in (0..50_000).step_by(97) {
+            assert_eq!(t.get(&p, &k).unwrap(), model.get(&k).copied(), "key {k}");
+        }
+        // Global order maintained.
+        let all: Vec<u64> = t.iter(&p).unwrap().map(|(k, _)| k).collect();
+        assert!(all.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(all.len(), 20_000);
+    }
+
+    #[test]
+    fn duplicates_are_preserved() {
+        let p = pool(16);
+        let mut t = BPlusTree::<u64, u64>::new(&p).unwrap();
+        for i in 0..500 {
+            t.insert(&p, 7, i).unwrap();
+            t.insert(&p, 9, i).unwrap();
+        }
+        let sevens: Vec<u64> = t
+            .range_from(&p, &7)
+            .unwrap()
+            .take_while(|(k, _)| *k == 7)
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(sevens.len(), 500);
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn mixed_bulk_then_insert() {
+        let p = pool(32);
+        let mut t = BPlusTree::bulk_load(&p, (0u64..5000).map(|i| (i * 2, i))).unwrap();
+        for i in 0..5000u64 {
+            t.insert(&p, i * 2 + 1, i).unwrap();
+        }
+        let keys: Vec<u64> = t.iter(&p).unwrap().map(|(k, _)| k).collect();
+        assert_eq!(keys.len(), 10_000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(keys[0], 0);
+        assert_eq!(keys[9999], 9999);
+    }
+
+    #[test]
+    fn probe_io_is_logarithmic() {
+        let p = pool(8); // tiny pool: probes mostly miss
+        let t = BPlusTree::bulk_load(&p, (0u64..200_000).map(|i| (i, i))).unwrap();
+        p.flush_all();
+        let h = t.height() as u64;
+        let before = p.io_stats();
+        for probe in (0..200_000u64).step_by(20_011) {
+            assert_eq!(t.get(&p, &probe).unwrap(), Some(probe));
+        }
+        let probes = 200_000u64.div_ceil(20_011);
+        let delta = p.io_stats().since(&before);
+        assert!(
+            delta.reads() <= probes * (h + 1),
+            "probe reads {} exceed {} probes x height {}",
+            delta.reads(),
+            probes,
+            h
+        );
+    }
+
+    #[test]
+    fn u128_keys_work() {
+        // Document-order keys are u128; make sure the tree is generic.
+        let p = pool(16);
+        let t =
+            BPlusTree::bulk_load(&p, (0u64..3000).map(|i| ((i as u128) << 8, i))).unwrap();
+        assert_eq!(t.get(&p, &(1500u128 << 8)).unwrap(), Some(1500));
+        assert_eq!(t.get(&p, &1).unwrap(), None);
+    }
+}

@@ -1,0 +1,234 @@
+//! A static centered interval tree for stabbing queries.
+//!
+//! Given a set of closed intervals `[start, end]` (region codes of an
+//! ancestor set), a stabbing query returns every interval containing a
+//! point (a descendant's code). This is the classic Edelsbrunner/McCreight
+//! structure: each node holds a center point; intervals containing the
+//! center are stored twice — sorted by start ascending (scanned for queries
+//! left of the center) and by end descending (for queries right of it) —
+//! and the rest recurse left/right.
+//!
+//! Build is O(n log n); a query costs O(log n + answers). Used by the
+//! in-memory side of `Memory-Containment-Join` and as the region-code
+//! reference implementation probing `A` with `D` (the disk-resident INLJN
+//! path uses PBiTree ancestor enumeration instead, see DESIGN.md).
+
+/// One stored interval with its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub start: u64,
+    /// Inclusive upper bound.
+    pub end: u64,
+    /// Caller payload (e.g. the PBiTree code the region came from).
+    pub payload: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    center: u64,
+    /// Intervals containing `center`, sorted by `start` ascending.
+    by_start: Vec<Interval>,
+    /// The same intervals, sorted by `end` descending.
+    by_end: Vec<Interval>,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+/// A static interval tree. Build once, query many times.
+#[derive(Debug)]
+pub struct IntervalTree {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl IntervalTree {
+    /// Builds a tree from intervals (order irrelevant). Intervals with
+    /// `start > end` are rejected with a panic: region codes are always
+    /// well-formed.
+    pub fn build(mut intervals: Vec<Interval>) -> Self {
+        for iv in &intervals {
+            assert!(iv.start <= iv.end, "malformed interval {iv:?}");
+        }
+        let len = intervals.len();
+        let root = Self::build_node(&mut intervals);
+        IntervalTree { root, len }
+    }
+
+    /// Number of stored intervals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn build_node(intervals: &mut Vec<Interval>) -> Option<Box<Node>> {
+        if intervals.is_empty() {
+            return None;
+        }
+        // Center: median of interval midpoints (cheap and balanced enough
+        // for laminar region families).
+        let mut mids: Vec<u64> = intervals
+            .iter()
+            .map(|iv| iv.start + (iv.end - iv.start) / 2)
+            .collect();
+        let mid_idx = mids.len() / 2;
+        let (_, center, _) = mids.select_nth_unstable(mid_idx);
+        let center = *center;
+
+        let mut here: Vec<Interval> = Vec::new();
+        let mut left: Vec<Interval> = Vec::new();
+        let mut right: Vec<Interval> = Vec::new();
+        for iv in intervals.drain(..) {
+            if iv.end < center {
+                left.push(iv);
+            } else if iv.start > center {
+                right.push(iv);
+            } else {
+                here.push(iv);
+            }
+        }
+        let mut by_start = here.clone();
+        by_start.sort_unstable_by_key(|iv| iv.start);
+        let mut by_end = here;
+        by_end.sort_unstable_by_key(|iv| std::cmp::Reverse(iv.end));
+        Some(Box::new(Node {
+            center,
+            by_start,
+            by_end,
+            left: Self::build_node(&mut left),
+            right: Self::build_node(&mut right),
+        }))
+    }
+
+    /// Calls `visit` for every interval containing `point`.
+    pub fn stab<F: FnMut(&Interval)>(&self, point: u64, mut visit: F) {
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            if point < node.center {
+                // Intervals here all have end >= center > point: any with
+                // start <= point contains it.
+                for iv in &node.by_start {
+                    if iv.start > point {
+                        break;
+                    }
+                    visit(iv);
+                }
+                cur = node.left.as_deref();
+            } else if point > node.center {
+                // Symmetric: any with end >= point contains it.
+                for iv in &node.by_end {
+                    if iv.end < point {
+                        break;
+                    }
+                    visit(iv);
+                }
+                cur = node.right.as_deref();
+            } else {
+                for iv in &node.by_start {
+                    visit(iv);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Collects the stabbing result into a vector (convenience for tests
+    /// and small probes).
+    pub fn stab_collect(&self, point: u64) -> Vec<Interval> {
+        let mut out = Vec::new();
+        self.stab(point, |iv| out.push(*iv));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start: u64, end: u64, payload: u64) -> Interval {
+        Interval { start, end, payload }
+    }
+
+    fn naive_stab(ivs: &[Interval], p: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = ivs
+            .iter()
+            .filter(|i| i.start <= p && p <= i.end)
+            .map(|i| i.payload)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = IntervalTree::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.stab_collect(5).is_empty());
+    }
+
+    #[test]
+    fn single_interval_boundaries() {
+        let t = IntervalTree::build(vec![iv(10, 20, 1)]);
+        assert!(t.stab_collect(9).is_empty());
+        assert_eq!(t.stab_collect(10).len(), 1);
+        assert_eq!(t.stab_collect(15).len(), 1);
+        assert_eq!(t.stab_collect(20).len(), 1);
+        assert!(t.stab_collect(21).is_empty());
+    }
+
+    #[test]
+    fn nested_intervals_all_found() {
+        // A laminar family like PBiTree regions.
+        let ivs = vec![iv(1, 31, 16), iv(1, 15, 8), iv(1, 7, 4), iv(17, 31, 24)];
+        let t = IntervalTree::build(ivs.clone());
+        let got: Vec<u64> = {
+            let mut g = t.stab_collect(3).iter().map(|i| i.payload).collect::<Vec<_>>();
+            g.sort_unstable();
+            g
+        };
+        assert_eq!(got, vec![4, 8, 16]);
+        assert_eq!(naive_stab(&ivs, 3), got);
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom_sets() {
+        let mut x = 99u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let ivs: Vec<Interval> = (0..500)
+            .map(|i| {
+                let s = step() % 10_000;
+                let len = step() % 500;
+                iv(s, s + len, i)
+            })
+            .collect();
+        let t = IntervalTree::build(ivs.clone());
+        for p in (0..11_000).step_by(37) {
+            let mut got: Vec<u64> = t.stab_collect(p).iter().map(|i| i.payload).collect();
+            got.sort_unstable();
+            assert_eq!(got, naive_stab(&ivs, p), "point {p}");
+        }
+    }
+
+    #[test]
+    fn duplicate_intervals_reported_each() {
+        let t = IntervalTree::build(vec![iv(5, 10, 1), iv(5, 10, 2), iv(5, 10, 3)]);
+        assert_eq!(t.stab_collect(7).len(), 3);
+    }
+
+    #[test]
+    fn len_reports_input_size() {
+        let t = IntervalTree::build((0..100).map(|i| iv(i, i + 5, i)).collect());
+        assert_eq!(t.len(), 100);
+    }
+}

@@ -1,0 +1,26 @@
+//! A heap-allocated page image for bulk-load staging (written through the
+//! pool with `append_page_through`, never resident in a frame).
+
+use pbitree_storage::{PageBuf, PAGE_SIZE};
+
+/// One page-sized staging buffer.
+pub struct PageImage(PageBuf);
+
+impl PageImage {
+    /// A zero-filled page image.
+    pub fn zeroed() -> Self {
+        PageImage([0u8; PAGE_SIZE])
+    }
+
+    /// Mutable view for serialization.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+
+    /// The finished page.
+    #[inline]
+    pub fn buf(&self) -> &PageBuf {
+        &self.0
+    }
+}

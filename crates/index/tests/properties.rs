@@ -1,0 +1,111 @@
+//! Property-based tests: the B+-tree must agree with `BTreeMap`, the
+//! interval tree with a naive scan, under arbitrary inputs.
+
+use pbitree_index::{interval::Interval, BPlusTree, IntervalTree};
+use pbitree_storage::{BufferPool, Disk};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn pool() -> BufferPool {
+    BufferPool::new(Disk::in_memory_free(), 32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bulk load + get/range agree with a BTreeMap built from the same data.
+    #[test]
+    fn bulk_load_matches_btreemap(keys in proptest::collection::btree_set(any::<u64>(), 0..2000)) {
+        let p = pool();
+        let model: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, k ^ 0xFF)).collect();
+        let t = BPlusTree::bulk_load(&p, model.iter().map(|(&k, &v)| (k, v))).unwrap();
+        prop_assert_eq!(t.len(), model.len() as u64);
+        // Point probes, present and absent.
+        for &k in model.keys().take(50) {
+            prop_assert_eq!(t.get(&p, &k).unwrap(), Some(k ^ 0xFF));
+        }
+        for k in [0u64, 1, u64::MAX, 12345] {
+            prop_assert_eq!(t.get(&p, &k).unwrap(), model.get(&k).copied());
+        }
+        // Full iteration in order.
+        let got: Vec<(u64, u64)> = t.iter(&p).unwrap().collect();
+        let expect: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Incremental inserts agree with the model, including duplicates.
+    #[test]
+    fn inserts_match_model(ops in proptest::collection::vec((any::<u16>(), any::<u64>()), 0..1500)) {
+        let p = pool();
+        let mut t = BPlusTree::<u64, u64>::new(&p).unwrap();
+        let mut model: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (k, v) in ops {
+            let k = k as u64;
+            t.insert(&p, k, v).unwrap();
+            model.entry(k).or_default().push(v);
+        }
+        let total: usize = model.values().map(|v| v.len()).sum();
+        prop_assert_eq!(t.len(), total as u64);
+        // Key sequence (with multiplicity) matches.
+        let got: Vec<u64> = t.iter(&p).unwrap().map(|(k, _)| k).collect();
+        let expect: Vec<u64> = model
+            .iter()
+            .flat_map(|(&k, vs)| std::iter::repeat_n(k, vs.len()))
+            .collect();
+        prop_assert_eq!(got, expect);
+        // Values per key match as multisets.
+        for (&k, vs) in model.iter().take(30) {
+            let mut got: Vec<u64> = t
+                .range_from(&p, &k)
+                .unwrap()
+                .take_while(|(kk, _)| *kk == k)
+                .map(|(_, v)| v)
+                .collect();
+            got.sort_unstable();
+            let mut expect = vs.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// range_from yields exactly the model's range, even when the lower
+    /// bound hits duplicate keys.
+    #[test]
+    fn range_from_matches_model(
+        keys in proptest::collection::vec(0u64..500, 1..800),
+        bound in 0u64..600,
+    ) {
+        let p = pool();
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        let t = BPlusTree::bulk_load(&p, sorted.iter().map(|&k| (k, k))).unwrap();
+        let got: Vec<u64> = t.range_from(&p, &bound).unwrap().map(|(k, _)| k).collect();
+        let expect: Vec<u64> = sorted.iter().copied().filter(|&k| k >= bound).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Interval tree stabbing equals a linear scan.
+    #[test]
+    fn interval_tree_matches_naive(
+        raw in proptest::collection::vec((0u64..5000, 0u64..300), 0..400),
+        probes in proptest::collection::vec(0u64..6000, 1..40),
+    ) {
+        let ivs: Vec<Interval> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, len))| Interval { start: s, end: s + len, payload: i as u64 })
+            .collect();
+        let t = IntervalTree::build(ivs.clone());
+        for p in probes {
+            let mut got: Vec<u64> = t.stab_collect(p).iter().map(|i| i.payload).collect();
+            got.sort_unstable();
+            let mut expect: Vec<u64> = ivs
+                .iter()
+                .filter(|i| i.start <= p && p <= i.end)
+                .map(|i| i.payload)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect, "point {}", p);
+        }
+    }
+}

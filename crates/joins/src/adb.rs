@@ -1,0 +1,343 @@
+//! Anc_Des_B+ (Chien et al. [4]), adapted to PBiTree codes.
+//!
+//! Stack-Tree-Desc over *index-resident* inputs: both sets live in
+//! B+-trees keyed by document order, and whenever the stack is empty the
+//! merge **skips** instead of stepping:
+//!
+//! * the descendant cursor jumps to the first `d` with
+//!   `d.start >= a.start` (one index probe) — descendants before the
+//!   current ancestor cannot have any matches left;
+//! * the ancestor cursor jumps past every `a` with `a.end < d.start`.
+//!   A region-code system cannot find "first `a` with `end >= d.start`"
+//!   through a start-keyed index; with PBiTree codes the ancestors of `d`
+//!   are enumerable (`F(d, h)`), so the jump target is found by probing
+//!   `d`'s ancestor codes from the highest down — each probe either lands
+//!   on an ancestor of `d` present in `A`, proves a region empty, or
+//!   falls through to the first `a` with `a.start >= d.start`. Because
+//!   regions from one PBiTree form a laminar family, any skipped element
+//!   provably had `end < d.start` (no lost matches).
+//!
+//! Index construction (external sort + bulk load, both sides) is charged
+//! to the join when the inputs arrive unsorted/unindexed, per §4.
+
+use pbitree_index::{bptree::RangeIter, BPlusTree};
+use pbitree_storage::HeapFile;
+
+use crate::context::{JoinCtx, JoinError, JoinStats};
+use crate::element::Element;
+use crate::sink::PairSink;
+use crate::stacktree::{sort_doc_order, SortPolicy};
+
+/// A cursor over a doc-order B+-tree that can be repositioned by probes.
+struct IndexCursor<'a> {
+    tree: &'a BPlusTree<u128, u32>,
+    iter: RangeIter<'a, u128, u32>,
+    cur: Option<Element>,
+}
+
+impl<'a> IndexCursor<'a> {
+    fn start(ctx: &'a JoinCtx, tree: &'a BPlusTree<u128, u32>) -> Result<Self, JoinError> {
+        let mut iter = tree.iter(&ctx.pool)?;
+        let cur = iter.next_entry()?.map(|(k, t)| Element::from_doc_key(k, t));
+        Ok(IndexCursor { tree, iter, cur })
+    }
+
+    fn advance(&mut self) -> Result<(), JoinError> {
+        self.cur = self
+            .iter
+            .next_entry()?
+            .map(|(k, t)| Element::from_doc_key(k, t));
+        Ok(())
+    }
+
+    /// Repositions to the first entry with key `>= lb`. Returns the probed
+    /// first entry (also stored in `cur`).
+    fn seek(&mut self, ctx: &'a JoinCtx, lb: u128) -> Result<Option<Element>, JoinError> {
+        self.iter = self.tree.range_from(&ctx.pool, &lb)?;
+        self.cur = self
+            .iter
+            .next_entry()?
+            .map(|(k, t)| Element::from_doc_key(k, t));
+        Ok(self.cur)
+    }
+}
+
+/// Anc_Des_B+ join. With `SortPolicy::SortOnTheFly` the inputs are sorted
+/// and both indexes bulk-loaded inside the measured operator.
+pub fn anc_des_bplus(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    policy: SortPolicy,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    ctx.measure(|| {
+        if a.is_empty() || d.is_empty() {
+            return Ok((0, 0));
+        }
+        let (sa, sd, owned) = match policy {
+            SortPolicy::AssumeSorted => (*a, *d, false),
+            SortPolicy::SortOnTheFly => {
+                (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true)
+            }
+        };
+        let a_tree = BPlusTree::bulk_load(
+            &ctx.pool,
+            sa.scan(&ctx.pool).map(|e| (e.doc_key(), e.tag)),
+        )?;
+        let d_tree = BPlusTree::bulk_load(
+            &ctx.pool,
+            sd.scan(&ctx.pool).map(|e| (e.doc_key(), e.tag)),
+        )?;
+        if owned {
+            sa.drop_file(&ctx.pool);
+            sd.drop_file(&ctx.pool);
+        }
+        let pairs = merge_with_skips(ctx, &a_tree, &d_tree, sink)?;
+        a_tree.drop_file(&ctx.pool);
+        d_tree.drop_file(&ctx.pool);
+        Ok((pairs, 0))
+    })
+}
+
+fn merge_with_skips(
+    ctx: &JoinCtx,
+    a_tree: &BPlusTree<u128, u32>,
+    d_tree: &BPlusTree<u128, u32>,
+    sink: &mut dyn PairSink,
+) -> Result<u64, JoinError> {
+    let mut ac = IndexCursor::start(ctx, a_tree)?;
+    let mut dc = IndexCursor::start(ctx, d_tree)?;
+    let mut stack: Vec<Element> = Vec::with_capacity(ctx.shape.height() as usize);
+    let mut pairs = 0u64;
+
+    while let Some(d_el) = dc.cur {
+        // Skip rules apply only with an empty stack (per the paper).
+        if stack.is_empty() {
+            match ac.cur {
+                None => break, // no ancestor can open anymore
+                Some(a_el) if d_el.start() < a_el.start() => {
+                    // This d (and all before a.start) is matchless: jump.
+                    dc.seek(ctx, (a_el.start() as u128) << 8)?;
+                    continue;
+                }
+                Some(a_el) if a_el.end() < d_el.start() => {
+                    skip_ancestor_cursor(ctx, &mut ac, a_el, d_el)?;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        let take_a = ac.cur.is_some_and(|a_el| a_el.doc_key() <= d_el.doc_key());
+        if take_a {
+            let a_el = ac.cur.expect("checked");
+            while stack.last().is_some_and(|t| t.end() < a_el.start()) {
+                stack.pop();
+            }
+            stack.push(a_el);
+            ac.advance()?;
+        } else {
+            while stack.last().is_some_and(|t| t.end() < d_el.start()) {
+                stack.pop();
+            }
+            for s in &stack {
+                if s.code != d_el.code {
+                    pairs += 1;
+                    sink.emit(*s, d_el);
+                }
+            }
+            dc.advance()?;
+        }
+    }
+    Ok(pairs)
+}
+
+/// The PBiTree-adapted ancestor skip: move `ac` to the first element at or
+/// after `dead` that can still matter for `d_el` or anything later —
+/// an ancestor of `d_el` present in `A`, or the first element with
+/// `start >= d_el.start()`.
+fn skip_ancestor_cursor<'a>(
+    ctx: &'a JoinCtx,
+    ac: &mut IndexCursor<'a>,
+    dead: Element,
+    d_el: Element,
+) -> Result<(), JoinError> {
+    let cur_key = dead.doc_key();
+    // Candidate ancestors of d, highest (smallest start) first.
+    let hd = d_el.code.height();
+    for h in (hd + 1..ctx.shape.height()).rev() {
+        let cand = d_el.code.ancestor_at_height(h);
+        let cand_key = cand.doc_order_key();
+        if cand_key <= cur_key {
+            continue; // already behind the cursor
+        }
+        match ac.seek(ctx, cand_key)? {
+            None => return Ok(()), // A exhausted; cur = None ends the merge
+            Some(found) => {
+                if found.code == cand || found.end() >= d_el.start() {
+                    // Either the candidate itself, or (laminar family) an
+                    // ancestor of d / an element starting at or after d.
+                    return Ok(());
+                }
+                // `found` is dead too; everything up to the next candidate
+                // above `found` is dead as well — try the next one.
+            }
+        }
+    }
+    // No enumerated ancestor is present: jump to the first a starting at
+    // or after d.
+    ac.seek(ctx, (d_el.start() as u128) << 8)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::element_file;
+    use crate::naive::block_nested_loop;
+    use crate::sink::{CollectSink, CountSink};
+    use pbitree_core::PBiTreeShape;
+
+    fn ctx(b: usize) -> JoinCtx {
+        JoinCtx::in_memory_free(PBiTreeShape::new(18).unwrap(), b)
+    }
+
+    fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
+                let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
+        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let mut x = seed | 1;
+        let mut out = std::collections::BTreeSet::new();
+        while out.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let h = heights[(x % heights.len() as u64) as usize];
+            let positions = 1u64 << (18 - h - 1);
+            let alpha = (x >> 8) % positions;
+            out.insert((1 + 2 * alpha) << h);
+        }
+        out.into_iter().collect()
+    }
+
+    #[test]
+    fn matches_naive() {
+        let c = ctx(8);
+        let a = element_file(
+            &c.pool,
+            mixed_codes(500, &[4, 7, 10], 181).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(1500, &[0, 1, 3], 183).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        let mut got = CollectSink::default();
+        let stats = anc_des_bplus(&c, &a, &d, SortPolicy::SortOnTheFly, &mut got).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&c, &a, &d, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+        assert!(stats.pairs > 0);
+    }
+
+    #[test]
+    fn matches_naive_with_disjoint_clusters() {
+        // A and D interleave in disjoint clusters: the skip machinery gets
+        // exercised hard (long matchless gaps on both sides).
+        let c = ctx(8);
+        let mut acodes = Vec::new();
+        let mut dcodes = Vec::new();
+        // Cluster i occupies the subtree of the i-th node at height 12.
+        for i in 0..32u64 {
+            let root = (1 + 2 * i) << 12;
+            if i % 3 == 0 {
+                acodes.push(root);
+            }
+            if i % 3 == 1 {
+                // descendants with no enclosing A cluster
+                dcodes.push(root - (1 << 12) + 1);
+            }
+            if i % 5 == 0 {
+                dcodes.push(root - (1 << 12) + 3);
+            }
+        }
+        let a = element_file(&c.pool, acodes.iter().map(|&v| (v, 0))).unwrap();
+        let d = element_file(&c.pool, dcodes.iter().map(|&v| (v, 1))).unwrap();
+        let mut got = CollectSink::default();
+        anc_des_bplus(&c, &a, &d, SortPolicy::SortOnTheFly, &mut got).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&c, &a, &d, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+    }
+
+    #[test]
+    fn skips_save_leaf_reads_on_sparse_matches() {
+        // A huge descendant set of which only a tiny prefix region matches:
+        // ADB+ must not read every leaf of D's index.
+        let c = JoinCtx::in_memory_free(PBiTreeShape::new(22).unwrap(), 16);
+        // One ancestor near the start of the code space.
+        let a = element_file(&c.pool, [((1u64 << 8), 0)]).unwrap();
+        // 50k descendants spread over the whole space (mostly > a.end).
+        let d = element_file(
+            &c.pool,
+            (0..50_000u64).map(|i| ((i << 6) | 1, 1)),
+        )
+        .unwrap();
+        let mut sink = CountSink::default();
+        let stats = anc_des_bplus(&c, &a, &d, SortPolicy::SortOnTheFly, &mut sink).unwrap();
+        // Matches: descendants with code in [1, 511]: i<<6|1 <= 511 => i < 8.
+        assert_eq!(stats.pairs, 8);
+        // After A is exhausted the merge stops: I/O must be far below a
+        // full leaf scan of D's index on top of the build cost. The build
+        // (sort + bulk load) dominates; the merge adds O(height) pages.
+        let build_only = {
+            let c2 = JoinCtx::in_memory_free(PBiTreeShape::new(22).unwrap(), 16);
+            let d2 = element_file(&c2.pool, (0..50_000u64).map(|i| ((i << 6) | 1, 1))).unwrap();
+            let before = c2.pool.io_stats();
+            let s = sort_doc_order(&c2, &d2).unwrap();
+            let t = BPlusTree::bulk_load(
+                &c2.pool,
+                s.scan(&c2.pool).map(|e: Element| (e.doc_key(), e.tag)),
+            )
+            .unwrap();
+            let _ = t;
+            c2.pool.io_stats().since(&before).total()
+        };
+        assert!(
+            stats.io.total() < build_only + 200,
+            "merge phase should be skip-cheap: {} vs build {}",
+            stats.io.total(),
+            build_only
+        );
+    }
+
+    #[test]
+    fn presorted_inputs_still_correct() {
+        let c = ctx(8);
+        let mut acodes = mixed_codes(300, &[5, 9], 191);
+        let mut dcodes = mixed_codes(900, &[0, 2], 193);
+        acodes.sort_by_key(|&v| pbitree_core::Code::new(v).unwrap().doc_order_key());
+        dcodes.sort_by_key(|&v| pbitree_core::Code::new(v).unwrap().doc_order_key());
+        let a = element_file(&c.pool, acodes.iter().map(|&v| (v, 0))).unwrap();
+        let d = element_file(&c.pool, dcodes.iter().map(|&v| (v, 1))).unwrap();
+        let mut got = CollectSink::default();
+        anc_des_bplus(&c, &a, &d, SortPolicy::AssumeSorted, &mut got).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&c, &a, &d, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = ctx(4);
+        let a = element_file(&c.pool, std::iter::empty()).unwrap();
+        let d = element_file(&c.pool, [(9u64, 1)]).unwrap();
+        let mut sink = CountSink::default();
+        assert_eq!(
+            anc_des_bplus(&c, &a, &d, SortPolicy::SortOnTheFly, &mut sink)
+                .unwrap()
+                .pairs,
+            0
+        );
+    }
+}

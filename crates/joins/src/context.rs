@@ -1,0 +1,185 @@
+//! Execution context, statistics, and errors shared by all join operators.
+
+use std::fmt;
+use std::time::Instant;
+
+use pbitree_core::PBiTreeShape;
+use pbitree_storage::{records_per_page, BufferPool, IoStats, PoolError};
+
+use crate::element::Element;
+
+/// Errors surfaced by join operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// Buffer pool exhaustion — an operator exceeded its frame budget.
+    Pool(PoolError),
+    /// SHCJ was invoked on an ancestor set spanning several heights.
+    NotSingleHeight {
+        /// First height observed.
+        expected: u32,
+        /// The differing height encountered.
+        found: u32,
+    },
+    /// Memory-Containment-Join was invoked although neither input fits in
+    /// the memory budget.
+    NeitherSideFits {
+        /// Pages of the ancestor set.
+        a_pages: u32,
+        /// Pages of the descendant set.
+        d_pages: u32,
+        /// The budget in pages.
+        budget: usize,
+    },
+}
+
+impl From<PoolError> for JoinError {
+    fn from(e: PoolError) -> Self {
+        JoinError::Pool(e)
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::Pool(e) => write!(f, "buffer pool: {e}"),
+            JoinError::NotSingleHeight { expected, found } => write!(
+                f,
+                "SHCJ requires a single-height ancestor set (saw heights {expected} and {found})"
+            ),
+            JoinError::NeitherSideFits { a_pages, d_pages, budget } => write!(
+                f,
+                "memory join needs one side within {budget} pages (A={a_pages}, D={d_pages})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// What a join run cost and produced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinStats {
+    /// Result pairs emitted.
+    pub pairs: u64,
+    /// Rollup candidates rejected by the `F`-function check (Table 2(f)).
+    pub false_hits: u64,
+    /// Page-I/O delta over the whole operator, including any on-the-fly
+    /// sorting or index building.
+    pub io: IoStats,
+    /// Measured wall-clock CPU time of the operator, nanoseconds.
+    pub cpu_ns: u64,
+}
+
+impl JoinStats {
+    /// The experiment headline number: simulated disk time plus measured
+    /// CPU time, in seconds. The paper's elapsed times are I/O-bound, and
+    /// so is this once inputs exceed the buffer pool.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.io.sim_secs() + self.cpu_ns as f64 / 1e9
+    }
+}
+
+impl fmt::Display for JoinStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pairs={} false_hits={} elapsed={:.3}s ({}; cpu {:.3}s)",
+            self.pairs,
+            self.false_hits,
+            self.elapsed_secs(),
+            self.io,
+            self.cpu_ns as f64 / 1e9
+        )
+    }
+}
+
+/// The execution context: a buffer pool (whose capacity is the paper's `b`)
+/// and the PBiTree shape all codes come from.
+pub struct JoinCtx {
+    /// The buffer pool; its capacity is the join's page budget.
+    pub pool: BufferPool,
+    /// Shape (height `H`) of the PBiTree behind the element codes.
+    pub shape: PBiTreeShape,
+}
+
+impl JoinCtx {
+    /// Creates a context over an in-memory simulated disk with `b` buffer
+    /// pages and the default cost model.
+    pub fn in_memory(shape: PBiTreeShape, b: usize) -> Self {
+        JoinCtx {
+            pool: BufferPool::new(pbitree_storage::Disk::in_memory(), b),
+            shape,
+        }
+    }
+
+    /// Like [`in_memory`](JoinCtx::in_memory) but with zero simulated I/O
+    /// cost (tests that only care about counters).
+    pub fn in_memory_free(shape: PBiTreeShape, b: usize) -> Self {
+        JoinCtx {
+            pool: BufferPool::new(pbitree_storage::Disk::in_memory_free(), b),
+            shape,
+        }
+    }
+
+    /// The page budget `b`.
+    #[inline]
+    pub fn budget(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// How many [`Element`]s fit in `pages` buffer pages — the sizing rule
+    /// for every in-memory hash table or sorted array an operator builds.
+    #[inline]
+    pub fn elements_per_pages(&self, pages: usize) -> usize {
+        self.elements_per_pages_of::<Element>(pages)
+    }
+
+    /// [`elements_per_pages`](JoinCtx::elements_per_pages) for an arbitrary
+    /// record type (rollup tuples are wider than plain elements).
+    #[inline]
+    pub fn elements_per_pages_of<R: pbitree_storage::FixedRecord>(&self, pages: usize) -> usize {
+        pages * records_per_page::<R>()
+    }
+
+    /// Runs `op`, measuring its I/O delta and wall time into a
+    /// [`JoinStats`] (pairs/false hits are filled by the operator itself).
+    pub fn measure<F>(&self, op: F) -> Result<JoinStats, JoinError>
+    where
+        F: FnOnce() -> Result<(u64, u64), JoinError>,
+    {
+        let io_before = self.pool.io_stats();
+        let t0 = Instant::now();
+        let (pairs, false_hits) = op()?;
+        let cpu_ns = t0.elapsed().as_nanos() as u64;
+        let io = self.pool.io_stats().since(&io_before);
+        Ok(JoinStats { pairs, false_hits, io, cpu_ns })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_captures_io_and_pairs() {
+        let ctx = JoinCtx::in_memory(PBiTreeShape::new(10).unwrap(), 4);
+        let stats = ctx
+            .measure(|| {
+                let f = crate::element::element_file(&ctx.pool, (1u64..=2000).map(|c| (c, 0)))?;
+                let n = f.scan(&ctx.pool).count() as u64;
+                Ok((n, 0))
+            })
+            .unwrap();
+        assert_eq!(stats.pairs, 2000);
+        assert!(stats.io.total() > 0);
+        assert!(stats.elapsed_secs() > 0.0);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = JoinError::NotSingleHeight { expected: 3, found: 5 };
+        assert!(e.to_string().contains("single-height"));
+        let e = JoinError::NeitherSideFits { a_pages: 10, d_pages: 10, budget: 4 };
+        assert!(e.to_string().contains("within 4 pages"));
+    }
+}

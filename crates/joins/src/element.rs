@@ -1,0 +1,134 @@
+//! The tuple type flowing through every join: a PBiTree code plus a small
+//! payload (the interned tag id), 12 bytes on disk.
+
+use pbitree_core::Code;
+use pbitree_storage::{BufferPool, FixedRecord, HeapFile, PoolError};
+
+/// One element of an ancestor or descendant set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Element {
+    /// The node's PBiTree code — everything structural derives from it.
+    pub code: Code,
+    /// Caller payload carried through joins (tag id, document id, ...).
+    pub tag: u32,
+}
+
+impl Element {
+    /// Convenience constructor from a raw code value.
+    pub fn new(code: u64, tag: u32) -> Self {
+        Element {
+            code: Code::new(code).expect("element code must be non-zero"),
+            tag,
+        }
+    }
+
+    /// The element's region start (Lemma 3).
+    #[inline]
+    pub fn start(&self) -> u64 {
+        self.code.region_start()
+    }
+
+    /// The element's region end (Lemma 3).
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.code.region_end()
+    }
+
+    /// Document-order sort key: `(start asc, end desc)`.
+    #[inline]
+    pub fn doc_key(&self) -> u128 {
+        self.code.doc_order_key()
+    }
+
+    /// Recovers an element from its document-order key plus tag (used by
+    /// index-resident iterators: the key encodes start and height, which
+    /// determine the code).
+    pub fn from_doc_key(key: u128, tag: u32) -> Self {
+        let start = (key >> 8) as u64;
+        let height = 63 - (key & 0xFF) as u32;
+        Element {
+            code: Code::new(start + (1u64 << height) - 1).expect("valid doc key"),
+            tag,
+        }
+    }
+}
+
+impl FixedRecord for Element {
+    const SIZE: usize = 12;
+
+    #[inline]
+    fn write(&self, out: &mut [u8]) {
+        out[..8].copy_from_slice(&self.code.get().to_le_bytes());
+        out[8..12].copy_from_slice(&self.tag.to_le_bytes());
+    }
+
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        Element {
+            code: Code::from_raw_unchecked(u64::from_le_bytes(buf[..8].try_into().unwrap())),
+            tag: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+        }
+    }
+
+    /// Elements report their region (Lemma 3), giving every element heap
+    /// file free `(min start, max end)` catalog bounds.
+    #[inline]
+    fn bounds_hint(&self) -> Option<(u64, u64)> {
+        Some(self.code.region())
+    }
+}
+
+/// Builds an element heap file from `(raw code, tag)` pairs.
+pub fn element_file<I>(pool: &BufferPool, items: I) -> Result<HeapFile<Element>, PoolError>
+where
+    I: IntoIterator<Item = (u64, u32)>,
+{
+    HeapFile::from_iter(pool, items.into_iter().map(|(c, t)| Element::new(c, t)))
+}
+
+/// Builds an element heap file from codes, with tag 0.
+pub fn element_file_from_codes<I>(
+    pool: &BufferPool,
+    codes: I,
+) -> Result<HeapFile<Element>, PoolError>
+where
+    I: IntoIterator<Item = Code>,
+{
+    HeapFile::from_iter(
+        pool,
+        codes.into_iter().map(|c| Element { code: c, tag: 0 }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trip() {
+        let e = Element::new(0x1234_5678_9ABC, 77);
+        let mut buf = [0u8; 12];
+        e.write(&mut buf);
+        assert_eq!(Element::read(&buf), e);
+    }
+
+    #[test]
+    fn doc_key_round_trip() {
+        for raw in [1u64, 16, 18, 20, 24, 31, 1 << 40] {
+            let e = Element::new(raw, 3);
+            assert_eq!(Element::from_doc_key(e.doc_key(), 3), e);
+        }
+    }
+
+    #[test]
+    fn region_accessors() {
+        let e = Element::new(16, 0); // height 4
+        assert_eq!((e.start(), e.end()), (1, 31));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_code_panics() {
+        let _ = Element::new(0, 0);
+    }
+}

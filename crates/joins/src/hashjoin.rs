@@ -1,0 +1,397 @@
+//! The hash-equijoin engine behind SHCJ, MHCJ and MHCJ+Rollup.
+//!
+//! The partitioning joins' core idea (§3.2) is that PBiTree codes turn the
+//! containment θ-join into an **equijoin** — `A.Code = F(D.Code, h)` — so
+//! mature equijoin machinery applies. This module is that machinery:
+//!
+//! * build side fits the memory budget → classic in-memory hash join,
+//!   I/O = `‖B‖ + ‖P‖`;
+//! * otherwise → Grace hash join: both sides are hash-partitioned on the
+//!   join key into `p` buckets, then each bucket pair is joined in memory,
+//!   I/O = `3(‖B‖ + ‖P‖)` — the constant the paper's cost formulas use;
+//! * a pathologically skewed bucket that still exceeds the budget falls
+//!   back to block-chunking the build side (repeated probe-side scans),
+//!   so the join never fails, it just degrades.
+//!
+//! The build side is a multimap: MHCJ+Rollup maps several original
+//! ancestors onto one rolled-up code.
+
+use std::hash::{BuildHasher, Hash};
+
+use pbitree_storage::util::FxBuildHasher;
+use pbitree_storage::util::FxHashMap;
+use pbitree_storage::{FixedRecord, HeapFile, HeapWriter};
+
+use crate::context::{JoinCtx, JoinError};
+
+/// Pages reserved for the scan + output frames inside a budget.
+const RESERVE: usize = 2;
+
+/// Hash-equijoin `build ⋈ probe` on u64 keys.
+///
+/// Either key extractor returning `None` drops its tuple (SHCJ uses this
+/// to skip descendants at or above the ancestor height, whichever side
+/// they are on). `on_match` receives every `(build, probe)` pair with
+/// equal keys.
+pub fn hash_equijoin<B, P, KB, KP, M>(
+    ctx: &JoinCtx,
+    build: &HeapFile<B>,
+    probe: &HeapFile<P>,
+    build_key: KB,
+    probe_key: KP,
+    mut on_match: M,
+) -> Result<(), JoinError>
+where
+    B: FixedRecord,
+    P: FixedRecord,
+    KB: Fn(&B) -> Option<u64>,
+    KP: Fn(&P) -> Option<u64>,
+    M: FnMut(&B, &P),
+{
+    if build.is_empty() || probe.is_empty() {
+        return Ok(());
+    }
+    equijoin_rec(ctx, build, probe, &build_key, &probe_key, &mut on_match, 0)
+}
+
+/// Recursion driver: in-memory when the build side fits, otherwise one
+/// Grace partitioning level and recurse per bucket (with a fresh hash seed
+/// per level so repartitioning actually splits).
+#[allow(clippy::too_many_arguments)]
+fn equijoin_rec<B, P, KB, KP, M>(
+    ctx: &JoinCtx,
+    build: &HeapFile<B>,
+    probe: &HeapFile<P>,
+    build_key: &KB,
+    probe_key: &KP,
+    on_match: &mut M,
+    depth: u32,
+) -> Result<(), JoinError>
+where
+    B: FixedRecord,
+    P: FixedRecord,
+    KB: Fn(&B) -> Option<u64>,
+    KP: Fn(&P) -> Option<u64>,
+    M: FnMut(&B, &P),
+{
+    let budget_elems =
+        ctx.elements_per_pages_of::<B>(ctx.budget().saturating_sub(RESERVE).max(1));
+    if build.records() as usize <= budget_elems {
+        probe_in_memory(ctx, build, probe, build_key, probe_key, on_match)
+    } else if depth >= MAX_GRACE_DEPTH {
+        // Same-key skew cannot be split by any hash: degrade gracefully.
+        chunked_join(ctx, build, probe, budget_elems, build_key, probe_key, on_match)
+    } else {
+        let parts = partition_count(ctx, build.pages());
+        let build_parts = partition_file(ctx, build, parts, depth, build_key)?;
+        let probe_parts = partition_file(ctx, probe, parts, depth, probe_key)?;
+        let mut result = Ok(());
+        for (bp, pp) in build_parts.iter().zip(&probe_parts) {
+            if bp.is_empty() || pp.is_empty() {
+                continue;
+            }
+            // No progress (everything hashed into one bucket) forces the
+            // chunked fallback via the depth limit.
+            let next_depth = if bp.records() == build.records() {
+                MAX_GRACE_DEPTH
+            } else {
+                depth + 1
+            };
+            result = equijoin_rec(ctx, bp, pp, build_key, probe_key, on_match, next_depth);
+            if result.is_err() {
+                break;
+            }
+        }
+        for f in build_parts {
+            f.drop_file(&ctx.pool);
+        }
+        for f in probe_parts {
+            f.drop_file(&ctx.pool);
+        }
+        result
+    }
+}
+
+/// Grace recursion bound; beyond it the build side is chunked instead.
+const MAX_GRACE_DEPTH: u32 = 8;
+
+/// Number of Grace partitions: enough that a bucket of the build side is
+/// likely to fit, bounded by the writer buffers we can afford (`b - 1`,
+/// as in the textbook Grace join).
+fn partition_count(ctx: &JoinCtx, build_pages: u32) -> usize {
+    let b = ctx.budget().saturating_sub(RESERVE).max(1);
+    let want = (build_pages as usize).div_ceil(b) + 1;
+    want.clamp(2, (ctx.budget().saturating_sub(1)).max(2))
+}
+
+/// Hash-partitions `input` into `parts` heap files on the key's hash;
+/// tuples with `None` keys are dropped. `level` salts the hash so each
+/// recursion level splits differently.
+fn partition_file<R, K>(
+    ctx: &JoinCtx,
+    input: &HeapFile<R>,
+    parts: usize,
+    level: u32,
+    key: K,
+) -> Result<Vec<HeapFile<R>>, JoinError>
+where
+    R: FixedRecord,
+    K: Fn(&R) -> Option<u64>,
+{
+    let hasher = FxBuildHasher::default();
+    let mut writers: Vec<HeapWriter<'_, R>> = (0..parts)
+        .map(|_| HeapWriter::create(&ctx.pool))
+        .collect::<Result<_, _>>()?;
+    let mut scan = input.scan(&ctx.pool);
+    while let Some(r) = scan.next_record()? {
+        if let Some(k) = key(&r) {
+            let idx = (hash_u64(&hasher, k, level) as usize) % parts;
+            writers[idx].push(r)?;
+        }
+    }
+    writers
+        .into_iter()
+        .map(|w| w.finish().map_err(JoinError::from))
+        .collect()
+}
+
+#[inline]
+fn hash_u64(hasher: &FxBuildHasher, k: u64, level: u32) -> u64 {
+    // Salt by level so recursive repartitioning uses an independent split;
+    // `% parts` uses low bits, the in-memory map mixes its own.
+    let mut h = hasher.build_hasher();
+    (k ^ ((level as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))).hash(&mut h);
+    std::hash::Hasher::finish(&h)
+}
+
+/// Build an in-memory multimap from `build` and stream `probe` through it.
+fn probe_in_memory<B, P, KB, KP, M>(
+    ctx: &JoinCtx,
+    build: &HeapFile<B>,
+    probe: &HeapFile<P>,
+    build_key: &KB,
+    probe_key: &KP,
+    on_match: &mut M,
+) -> Result<(), JoinError>
+where
+    B: FixedRecord,
+    P: FixedRecord,
+    KB: Fn(&B) -> Option<u64>,
+    KP: Fn(&P) -> Option<u64>,
+    M: FnMut(&B, &P),
+{
+    let mut table: FxHashMap<u64, SmallGroup<B>> =
+        FxHashMap::with_capacity_and_hasher(build.records() as usize * 2, Default::default());
+    let mut scan = build.scan(&ctx.pool);
+    while let Some(r) = scan.next_record()? {
+        if let Some(k) = build_key(&r) {
+            table.entry(k).or_default().push(r);
+        }
+    }
+    let mut scan = probe.scan(&ctx.pool);
+    while let Some(p) = scan.next_record()? {
+        if let Some(k) = probe_key(&p) {
+            if let Some(group) = table.get(&k) {
+                group.for_each(|b| on_match(b, &p));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Build side exceeds memory even after partitioning: process it in
+/// memory-sized chunks, rescanning the probe side per chunk.
+fn chunked_join<B, P, KB, KP, M>(
+    ctx: &JoinCtx,
+    build: &HeapFile<B>,
+    probe: &HeapFile<P>,
+    chunk_len: usize,
+    build_key: &KB,
+    probe_key: &KP,
+    on_match: &mut M,
+) -> Result<(), JoinError>
+where
+    B: FixedRecord,
+    P: FixedRecord,
+    KB: Fn(&B) -> Option<u64>,
+    KP: Fn(&P) -> Option<u64>,
+    M: FnMut(&B, &P),
+{
+    let mut build_scan = build.scan(&ctx.pool);
+    loop {
+        let mut table: FxHashMap<u64, SmallGroup<B>> =
+            FxHashMap::with_capacity_and_hasher(chunk_len * 2, Default::default());
+        let mut n = 0usize;
+        while n < chunk_len {
+            match build_scan.next_record()? {
+                Some(r) => {
+                    if let Some(k) = build_key(&r) {
+                        table.entry(k).or_default().push(r);
+                    }
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        let mut scan = probe.scan(&ctx.pool);
+        while let Some(p) = scan.next_record()? {
+            if let Some(k) = probe_key(&p) {
+                if let Some(group) = table.get(&k) {
+                    group.for_each(|b| on_match(b, &p));
+                }
+            }
+        }
+        if n < chunk_len {
+            return Ok(());
+        }
+    }
+}
+
+/// A tiny inline-first multimap group: one entry inline (the common case —
+/// build keys are unique for SHCJ), spilling to a `Vec` only for rollup
+/// fan-in.
+#[derive(Debug, Default)]
+enum SmallGroup<B> {
+    #[default]
+    Empty,
+    One(B),
+    Many(Vec<B>),
+}
+
+impl<B: Copy> SmallGroup<B> {
+    fn push(&mut self, b: B) {
+        match std::mem::replace(self, SmallGroup::Empty) {
+            SmallGroup::Empty => *self = SmallGroup::One(b),
+            SmallGroup::One(a) => *self = SmallGroup::Many(vec![a, b]),
+            SmallGroup::Many(mut v) => {
+                v.push(b);
+                *self = SmallGroup::Many(v);
+            }
+        }
+    }
+
+    fn for_each<F: FnMut(&B)>(&self, mut f: F) {
+        match self {
+            SmallGroup::Empty => {}
+            SmallGroup::One(b) => f(b),
+            SmallGroup::Many(v) => v.iter().for_each(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbitree_core::PBiTreeShape;
+
+    fn ctx(b: usize) -> JoinCtx {
+        JoinCtx::in_memory_free(PBiTreeShape::new(30).unwrap(), b)
+    }
+
+    fn run_join(ctx: &JoinCtx, build: &[u64], probe: &[u64]) -> Vec<(u64, u64)> {
+        let bf = HeapFile::from_iter(&ctx.pool, build.iter().copied()).unwrap();
+        let pf = HeapFile::from_iter(&ctx.pool, probe.iter().copied()).unwrap();
+        let mut out = Vec::new();
+        hash_equijoin(
+            ctx,
+            &bf,
+            &pf,
+            |b| Some(*b % 1000),
+            |p| Some(*p % 1000),
+            |b, p| out.push((*b, *p)),
+        )
+        .unwrap();
+        out.sort_unstable();
+        out
+    }
+
+    fn expected(build: &[u64], probe: &[u64]) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for &b in build {
+            for &p in probe {
+                if b % 1000 == p % 1000 {
+                    out.push((b, p));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn in_memory_path() {
+        let c = ctx(16);
+        let build: Vec<u64> = (0..500).collect();
+        let probe: Vec<u64> = (0..2000).collect();
+        assert_eq!(run_join(&c, &build, &probe), expected(&build, &probe));
+    }
+
+    #[test]
+    fn grace_path() {
+        let c = ctx(4); // 2 usable pages => build of 40 pages goes Grace
+        let build: Vec<u64> = (0..20_000).collect();
+        let probe: Vec<u64> = (5_000..25_000).collect();
+        assert_eq!(run_join(&c, &build, &probe), expected(&build, &probe));
+    }
+
+    #[test]
+    fn skewed_bucket_falls_back_to_chunks() {
+        // All build keys identical: one bucket gets everything.
+        let c = ctx(4);
+        let build: Vec<u64> = (0..30_000).map(|i| i * 1000).collect(); // key 0
+        let probe: Vec<u64> = vec![0, 1000, 17]; // two match key 0
+        let got = run_join(&c, &build, &probe);
+        assert_eq!(got.len(), 30_000 * 2);
+    }
+
+    #[test]
+    fn probe_key_none_skips() {
+        let c = ctx(8);
+        let bf = HeapFile::from_iter(&c.pool, 0u64..100).unwrap();
+        let pf = HeapFile::from_iter(&c.pool, 0u64..100).unwrap();
+        let mut n = 0u64;
+        hash_equijoin(
+            &c,
+            &bf,
+            &pf,
+            |b| Some(*b),
+            |p| if *p % 2 == 0 { Some(*p) } else { None },
+            |_, _| n += 1,
+        )
+        .unwrap();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let c = ctx(4);
+        assert!(run_join(&c, &[], &[1, 2, 3]).is_empty());
+        assert!(run_join(&c, &[1, 2, 3], &[]).is_empty());
+    }
+
+    #[test]
+    fn grace_io_is_about_three_passes() {
+        let c = JoinCtx::in_memory(PBiTreeShape::new(30).unwrap(), 16);
+        let build: Vec<u64> = (0..40_000).collect();
+        let probe: Vec<u64> = (0..40_000).collect();
+        let bf = HeapFile::from_iter(&c.pool, build.iter().copied()).unwrap();
+        let pf = HeapFile::from_iter(&c.pool, probe.iter().copied()).unwrap();
+        c.pool.flush_all();
+        let before = c.pool.io_stats();
+        let mut n = 0u64;
+        hash_equijoin(&c, &bf, &pf, |b| Some(*b), |p| Some(*p), |_, _| n += 1).unwrap();
+        let delta = c.pool.io_stats().since(&before);
+        assert_eq!(n, 40_000);
+        let total_pages = (bf.pages() + pf.pages()) as u64;
+        // 3 passes (read, write partitions, read partitions) plus slack.
+        assert!(
+            delta.total() <= 3 * total_pages + 64,
+            "Grace I/O {} vs 3x{total_pages}",
+            delta.total()
+        );
+        assert!(delta.total() >= 2 * total_pages, "suspiciously little I/O");
+    }
+}

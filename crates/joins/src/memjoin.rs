@@ -1,0 +1,367 @@
+//! Memory-Containment-Join (Algorithm 6): one side fits in memory.
+//!
+//! The two I/O-optimal base cases VPJ reduces everything to
+//! (cost `‖A‖ + ‖D‖`):
+//!
+//! * **`D` fits** — load and sort the descendants by code; each ancestor's
+//!   subtree is the contiguous code range `[start, end]` (Lemma 3), so one
+//!   binary search per scanned ancestor yields its matches.
+//! * **`A` fits** — per the paper, run MHCJ+Rollup with the ancestor side
+//!   resident: roll every ancestor to the topmost occupied height, build a
+//!   hash multimap on the rolled code, stream `D`, filter false hits with
+//!   Lemma 1.
+//!
+//! Two PBiTree-native alternates are provided for the ablation study:
+//! probing an in-memory ancestor *hash* by enumerating each descendant's
+//! `<= H` ancestor codes (no false hits, pure equality probes), and
+//! probing an ancestor *interval tree* with region stabbing (the
+//! region-code way).
+
+use pbitree_index::{interval::Interval, IntervalTree};
+use pbitree_storage::util::FxHashMap;
+use pbitree_storage::HeapFile;
+
+use crate::context::{JoinCtx, JoinError, JoinStats};
+use crate::element::Element;
+use crate::sink::PairSink;
+
+/// Descendants resident in memory, sorted by code for range probing.
+pub(crate) struct SortedDescendants {
+    sorted: Vec<Element>,
+}
+
+impl SortedDescendants {
+    /// Takes ownership of the loaded descendant tuples.
+    pub(crate) fn new(mut v: Vec<Element>) -> Self {
+        v.sort_unstable_by_key(|e| e.code);
+        SortedDescendants { sorted: v }
+    }
+
+    /// Emits all descendants of `a`; returns the pair count.
+    pub(crate) fn probe(&self, a: Element, sink: &mut dyn PairSink) -> u64 {
+        let (start, end) = a.code.region();
+        let lo = self.sorted.partition_point(|e| e.code.get() < start);
+        let mut n = 0u64;
+        for e in &self.sorted[lo..] {
+            if e.code.get() > end {
+                break;
+            }
+            if e.code != a.code {
+                n += 1;
+                sink.emit(a, *e);
+            }
+        }
+        n
+    }
+}
+
+/// Ancestors resident in memory, rolled up to their topmost occupied
+/// height (the in-memory MHCJ+Rollup of Algorithm 6's `else` branch).
+pub(crate) struct RolledAncestors {
+    anchor: u32,
+    map: FxHashMap<u64, Vec<Element>>,
+}
+
+impl RolledAncestors {
+    pub(crate) fn new(v: Vec<Element>) -> Self {
+        let anchor = v.iter().map(|e| e.code.height()).max().unwrap_or(0);
+        let mut map: FxHashMap<u64, Vec<Element>> =
+            FxHashMap::with_capacity_and_hasher(v.len() * 2, Default::default());
+        for e in v {
+            map.entry(e.code.ancestor_at_height(anchor).get())
+                .or_default()
+                .push(e);
+        }
+        RolledAncestors { anchor, map }
+    }
+
+    /// Emits all ancestors of `d`; returns `(pairs, false_hits)`.
+    pub(crate) fn probe(&self, d: Element, sink: &mut dyn PairSink) -> (u64, u64) {
+        if d.code.height() >= self.anchor {
+            return (0, 0);
+        }
+        let key = d.code.ancestor_at_height(self.anchor).get();
+        let (mut pairs, mut false_hits) = (0u64, 0u64);
+        if let Some(group) = self.map.get(&key) {
+            for a in group {
+                if a.code.is_ancestor_of(d.code) {
+                    pairs += 1;
+                    sink.emit(*a, d);
+                } else {
+                    false_hits += 1;
+                }
+            }
+        }
+        (pairs, false_hits)
+    }
+}
+
+/// Checks the fit precondition and says which side to load.
+fn pick_side(ctx: &JoinCtx, a_pages: u32, d_pages: u32) -> Result<bool, JoinError> {
+    let budget = ctx.budget().saturating_sub(1).max(1);
+    if d_pages as usize <= budget {
+        Ok(true) // load D
+    } else if a_pages as usize <= budget {
+        Ok(false) // load A
+    } else {
+        Err(JoinError::NeitherSideFits {
+            a_pages,
+            d_pages,
+            budget,
+        })
+    }
+}
+
+/// Algorithm 6 over heap files. Errors with
+/// [`JoinError::NeitherSideFits`] when the precondition does not hold.
+pub fn memory_containment_join(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    ctx.measure(|| mem_join_inner(ctx, a, d, sink))
+}
+
+pub(crate) fn mem_join_inner(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<(u64, u64), JoinError> {
+    if pick_side(ctx, a.pages(), d.pages())? {
+        let dd = SortedDescendants::new(d.read_all(&ctx.pool)?);
+        let mut pairs = 0u64;
+        let mut scan = a.scan(&ctx.pool);
+        while let Some(ae) = scan.next_record()? {
+            pairs += dd.probe(ae, sink);
+        }
+        Ok((pairs, 0))
+    } else {
+        let aa = RolledAncestors::new(a.read_all(&ctx.pool)?);
+        let (mut pairs, mut false_hits) = (0u64, 0u64);
+        let mut scan = d.scan(&ctx.pool);
+        while let Some(de) = scan.next_record()? {
+            let (p, f) = aa.probe(de, sink);
+            pairs += p;
+            false_hits += f;
+        }
+        Ok((pairs, false_hits))
+    }
+}
+
+/// Ablation variant: `A` resident as a plain code hash; each descendant
+/// enumerates its `<= H - height` ancestor codes (Property 1) and probes.
+/// No false hits, no rolling — unique to PBiTree codes.
+pub fn mem_join_ancestor_enum(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    ctx.measure(|| {
+        let mut map: FxHashMap<u64, Element> = FxHashMap::default();
+        let mut scan = a.scan(&ctx.pool)    ;
+        while let Some(e) = scan.next_record()? {
+            map.insert(e.code.get(), e);
+        }
+        let mut pairs = 0u64;
+        let mut scan = d.scan(&ctx.pool);
+        while let Some(de) = scan.next_record()? {
+            for anc in ctx.shape.ancestors(de.code) {
+                if let Some(ae) = map.get(&anc.get()) {
+                    pairs += 1;
+                    sink.emit(*ae, de);
+                }
+            }
+        }
+        Ok((pairs, 0))
+    })
+}
+
+/// Ablation variant: `A` resident as a centered interval tree over region
+/// codes; each descendant stabs with its code. This is what a region-code
+/// system without `F` would do.
+pub fn mem_join_interval_tree(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    ctx.measure(|| {
+        let elems = a.read_all(&ctx.pool)?;
+        let tree = IntervalTree::build(
+            elems
+                .iter()
+                .enumerate()
+                .map(|(i, e)| Interval {
+                    start: e.start(),
+                    end: e.end(),
+                    payload: i as u64,
+                })
+                .collect(),
+        );
+        let mut pairs = 0u64;
+        let mut scan = d.scan(&ctx.pool);
+        while let Some(de) = scan.next_record()? {
+            tree.stab(de.code.get(), |iv| {
+                let ae = elems[iv.payload as usize];
+                if ae.code != de.code {
+                    pairs += 1;
+                    sink.emit(ae, de);
+                }
+            });
+        }
+        Ok((pairs, 0))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::element_file;
+    use crate::naive::block_nested_loop;
+    use crate::sink::{CollectSink, CountSink};
+    use pbitree_core::PBiTreeShape;
+
+    fn ctx(b: usize) -> JoinCtx {
+        JoinCtx::in_memory_free(PBiTreeShape::new(16).unwrap(), b)
+    }
+
+    fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
+                let cap: u64 = heights.iter().map(|&h| 1u64 << (16 - h - 1)).sum();
+        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let mut x = seed | 1;
+        let mut out = std::collections::BTreeSet::new();
+        while out.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let h = heights[(x % heights.len() as u64) as usize];
+            let positions = 1u64 << (16 - h - 1);
+            let alpha = (x >> 8) % positions;
+            out.insert((1 + 2 * alpha) << h);
+        }
+        out.into_iter().collect()
+    }
+
+    fn fixture(c: &JoinCtx) -> (HeapFile<Element>, HeapFile<Element>, Vec<(u64, u64)>) {
+        let a = element_file(
+            &c.pool,
+            mixed_codes(300, &[3, 5, 7], 51).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(900, &[0, 1, 4], 53).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(c, &a, &d, &mut expect).unwrap();
+        (a, d, expect.canonical())
+    }
+
+    #[test]
+    fn d_in_memory_path() {
+        let c = ctx(32); // D (3 pages) fits
+        let (a, d, expect) = fixture(&c);
+        let mut got = CollectSink::default();
+        let stats = memory_containment_join(&c, &a, &d, &mut got).unwrap();
+        assert_eq!(got.canonical(), expect);
+        assert_eq!(stats.false_hits, 0, "sorted-D path has no false hits");
+    }
+
+    #[test]
+    fn a_in_memory_path() {
+        // Budget fits A (1 page) but not D: force the rollup branch by
+        // making D larger than the pool.
+        let c = ctx(3);
+        let a = element_file(
+            &c.pool,
+            mixed_codes(100, &[4, 6], 61).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(4000, &[0, 1], 63).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        assert!(d.pages() as usize > c.budget());
+        let mut got = CollectSink::default();
+        memory_containment_join(&c, &a, &d, &mut got).unwrap();
+
+        let big = ctx(64);
+        let a2 = element_file(
+            &big.pool,
+            mixed_codes(100, &[4, 6], 61).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d2 = element_file(
+            &big.pool,
+            mixed_codes(4000, &[0, 1], 63).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&big, &a2, &d2, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+    }
+
+    #[test]
+    fn neither_fits_is_an_error() {
+        let c = ctx(2);
+        let a = element_file(&c.pool, mixed_codes(2000, &[2], 71).into_iter().map(|v| (v, 0)))
+            .unwrap();
+        let d = element_file(&c.pool, mixed_codes(2000, &[0], 73).into_iter().map(|v| (v, 1)))
+            .unwrap();
+        let mut sink = CountSink::default();
+        assert!(matches!(
+            memory_containment_join(&c, &a, &d, &mut sink),
+            Err(JoinError::NeitherSideFits { .. })
+        ));
+    }
+
+    #[test]
+    fn ancestor_enum_variant_matches() {
+        let c = ctx(32);
+        let (a, d, expect) = fixture(&c);
+        let mut got = CollectSink::default();
+        let stats = mem_join_ancestor_enum(&c, &a, &d, &mut got).unwrap();
+        assert_eq!(got.canonical(), expect);
+        assert_eq!(stats.false_hits, 0);
+    }
+
+    #[test]
+    fn interval_tree_variant_matches() {
+        let c = ctx(32);
+        let (a, d, expect) = fixture(&c);
+        let mut got = CollectSink::default();
+        mem_join_interval_tree(&c, &a, &d, &mut got).unwrap();
+        assert_eq!(got.canonical(), expect);
+    }
+
+    #[test]
+    fn io_cost_is_one_read_of_each_side() {
+        let c = JoinCtx::in_memory(PBiTreeShape::new(16).unwrap(), 32);
+        let a = element_file(
+            &c.pool,
+            mixed_codes(3000, &[2], 81).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(3000, &[0], 83).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        c.pool.flush_all();
+        let mut sink = CountSink::default();
+        let stats = memory_containment_join(&c, &a, &d, &mut sink).unwrap();
+        let total = (a.pages() + d.pages()) as u64;
+        assert!(
+            stats.io.reads() <= total,
+            "memory join should read each page once: {} vs {}",
+            stats.io.reads(),
+            total
+        );
+        assert_eq!(stats.io.writes(), 0);
+    }
+}

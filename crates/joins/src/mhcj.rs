@@ -1,0 +1,184 @@
+//! MHCJ — Multiple Height Containment Join (Algorithm 3).
+//!
+//! General ancestor sets are horizontally partitioned by height:
+//! `A ⊲ D = ⋃_i (A_{h_i} ⊲ D)` with the partitions disjoint, so the union
+//! is a plain append. Each partition runs SHCJ against the *full* `D` —
+//! which is why the cost grows as `5‖A‖ + 3k‖D‖` with `k` height
+//! partitions, and why [`crate::rollup`] exists to shrink `k`.
+
+use pbitree_storage::util::FxHashMap;
+use pbitree_storage::{HeapFile, HeapWriter};
+
+use crate::context::{JoinCtx, JoinError, JoinStats};
+use crate::element::Element;
+use crate::shcj::shcj_inner;
+use crate::sink::PairSink;
+
+/// Partitions `a` by node height. Returns `(height, partition)` pairs in
+/// ascending height order.
+pub(crate) fn partition_by_height(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+) -> Result<Vec<(u32, HeapFile<Element>)>, JoinError> {
+    let mut writers: FxHashMap<u32, HeapWriter<'_, Element>> = FxHashMap::default();
+    let mut scan = a.scan(&ctx.pool);
+    while let Some(e) = scan.next_record()? {
+        let h = e.code.height();
+        // At most 63 heights exist, so the writer map stays tiny.
+        match writers.entry(h) {
+            std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().push(e)?,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(HeapWriter::create(&ctx.pool)?).push(e)?
+            }
+        }
+    }
+    let mut parts: Vec<(u32, HeapFile<Element>)> = writers
+        .into_iter()
+        .map(|(h, w)| w.finish().map(|f| (h, f)))
+        .collect::<Result<_, _>>()?;
+    parts.sort_by_key(|(h, _)| *h);
+    Ok(parts)
+}
+
+/// The number of distinct ancestor heights (the `k` of the cost formula).
+pub fn height_count(ctx: &JoinCtx, a: &HeapFile<Element>) -> Result<usize, JoinError> {
+    let mut seen = [false; 64];
+    let mut scan = a.scan(&ctx.pool);
+    while let Some(e) = scan.next_record()? {
+        seen[e.code.height() as usize] = true;
+    }
+    Ok(seen.iter().filter(|&&b| b).count())
+}
+
+/// MHCJ: horizontal (height) partitioning, one SHCJ per partition.
+pub fn mhcj(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    ctx.measure(|| {
+        let parts = partition_by_height(ctx, a)?;
+        let mut pairs = 0u64;
+        if let [(_, single)] = parts.as_slice() {
+            // Route to SHCJ directly (Algorithm 3, line 2).
+            let (p, _) = shcj_inner(ctx, single, d, sink)?;
+            pairs = p;
+        } else {
+            for (_, part) in &parts {
+                let (p, _) = shcj_inner(ctx, part, d, sink)?;
+                pairs += p;
+            }
+        }
+        for (_, part) in parts {
+            part.drop_file(&ctx.pool);
+        }
+        Ok((pairs, 0))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::element_file;
+    use crate::naive::block_nested_loop;
+    use crate::sink::{CollectSink, CountSink};
+    use pbitree_core::PBiTreeShape;
+
+    fn ctx(b: usize) -> JoinCtx {
+        JoinCtx::in_memory_free(PBiTreeShape::new(18).unwrap(), b)
+    }
+
+    /// Deterministic mixed-height element sets inside the H=18 space.
+    fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
+                let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
+        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let mut x = seed | 1;
+        let mut out = std::collections::BTreeSet::new();
+        while out.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let h = heights[(x % heights.len() as u64) as usize];
+            let positions = 1u64 << (18 - h - 1);
+            let alpha = (x >> 8) % positions;
+            out.insert((1 + 2 * alpha) << h);
+        }
+        out.into_iter().collect()
+    }
+
+    #[test]
+    fn matches_naive_multi_height() {
+        let c = ctx(16);
+        let a = element_file(
+            &c.pool,
+            mixed_codes(500, &[4, 6, 9], 11).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(1500, &[0, 1, 2], 13).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        let mut got = CollectSink::default();
+        let stats = mhcj(&c, &a, &d, &mut got).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&c, &a, &d, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+        assert!(stats.pairs > 0);
+    }
+
+    #[test]
+    fn nested_ancestors_hit_multiple_partitions() {
+        // a1 contains a2 contains d: d must match both.
+        let c = ctx(8);
+        // In H=18: root-ish node at height 10 and its descendant at height 5.
+        let a1 = 1u64 << 10;
+        let a2 = pbitree_core::Code::new(a1).unwrap();
+        let a2 = {
+            // descend left 5 times from a1: a node at height 5 inside a1
+            let mut n = a2;
+            for _ in 0..5 {
+                let (l, _) = PBiTreeShape::new(18).unwrap().children(n).unwrap();
+                n = l;
+            }
+            n.get()
+        };
+        let d = 1u64; // leftmost leaf, inside both
+        let af = element_file(&c.pool, [(a1, 0), (a2, 0)]).unwrap();
+        let df = element_file(&c.pool, [(d, 1)]).unwrap();
+        let mut sink = CollectSink::default();
+        let stats = mhcj(&c, &af, &df, &mut sink).unwrap();
+        assert_eq!(stats.pairs, 2);
+        let mut expect = vec![(a1, d), (a2, d)];
+        expect.sort_unstable();
+        assert_eq!(sink.canonical(), expect);
+    }
+
+    #[test]
+    fn single_height_routes_to_shcj() {
+        let c = ctx(8);
+        let a = element_file(&c.pool, [(1u64 << 4, 0)]).unwrap();
+        let d = element_file(&c.pool, [(1u64, 1), (3u64, 1)]).unwrap();
+        let mut sink = CountSink::default();
+        let stats = mhcj(&c, &a, &d, &mut sink).unwrap();
+        assert_eq!(stats.pairs, 2);
+    }
+
+    #[test]
+    fn height_count_counts_distinct() {
+        let c = ctx(8);
+        let a = element_file(&c.pool, [(2u64, 0), (6, 0), (4, 0), (8, 0)]).unwrap();
+        // heights: 1, 1, 2, 3 => 3 distinct
+        assert_eq!(height_count(&c, &a).unwrap(), 3);
+    }
+
+    #[test]
+    fn empty_inputs_ok() {
+        let c = ctx(4);
+        let a = element_file(&c.pool, std::iter::empty()).unwrap();
+        let d = element_file(&c.pool, [(1u64, 1)]).unwrap();
+        let mut sink = CountSink::default();
+        assert_eq!(mhcj(&c, &a, &d, &mut sink).unwrap().pairs, 0);
+    }
+}

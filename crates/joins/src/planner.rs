@@ -1,0 +1,245 @@
+//! The Table-1 framework: pick a containment-join algorithm from the
+//! inputs' physical state.
+//!
+//! | indexed | sorted | choice |
+//! |---|---|---|
+//! | yes | no  | INLJN |
+//! | no  | yes | Stack-Tree |
+//! | yes | yes | Anc_Des_B+ |
+//! | no  | no  | **MHCJ+Rollup or VPJ** (the paper's new row) |
+//!
+//! In the neither/neither row the planner prefers SHCJ when the ancestor
+//! set is single-height, MHCJ+Rollup when either side fits in the buffer
+//! budget (its Grace equijoin then runs in one pass), and VPJ when both
+//! sides are large — mirroring §3.4's cost discussion.
+
+use pbitree_storage::HeapFile;
+
+use crate::context::{JoinCtx, JoinError, JoinStats};
+use crate::element::Element;
+use crate::sink::PairSink;
+use crate::stacktree::SortPolicy;
+
+/// Physical state of a join input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InputState {
+    /// A suitable index exists (or is worth assuming).
+    pub indexed: bool,
+    /// The input is in document order.
+    pub sorted: bool,
+}
+
+impl InputState {
+    /// Neither sorted nor indexed — intermediate results, fresh extractions.
+    pub fn raw() -> Self {
+        InputState::default()
+    }
+
+    /// Sorted but not indexed.
+    pub fn sorted() -> Self {
+        InputState { indexed: false, sorted: true }
+    }
+
+    /// Indexed but not sorted.
+    pub fn indexed() -> Self {
+        InputState { indexed: true, sorted: false }
+    }
+
+    /// Both sorted and indexed.
+    pub fn sorted_and_indexed() -> Self {
+        InputState { indexed: true, sorted: true }
+    }
+}
+
+/// The algorithms the planner can choose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Index nested loop join ([20]).
+    InlJn,
+    /// Stack-Tree-Desc ([1]).
+    StackTree,
+    /// Anc_Des_B+ ([4]).
+    AncDesBPlus,
+    /// Single-height containment join (Algorithm 2).
+    Shcj,
+    /// MHCJ with rollup (Algorithm 4).
+    MhcjRollup,
+    /// Vertical-partitioning join (Algorithm 5).
+    Vpj,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Algorithm::InlJn => "INLJN",
+            Algorithm::StackTree => "STACKTREE",
+            Algorithm::AncDesBPlus => "ADB+",
+            Algorithm::Shcj => "SHCJ",
+            Algorithm::MhcjRollup => "MHCJ+Rollup",
+            Algorithm::Vpj => "VPJ",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Table 1, plus the §3.4 refinement for the neither-sorted-nor-indexed
+/// row. `single_height_a` should be `true` when the ancestor set is known
+/// to occupy one height (catalog knowledge).
+pub fn choose_algorithm(
+    ctx: &JoinCtx,
+    a_state: InputState,
+    d_state: InputState,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    single_height_a: bool,
+) -> Algorithm {
+    let indexed = a_state.indexed && d_state.indexed;
+    let sorted = a_state.sorted && d_state.sorted;
+    match (indexed, sorted) {
+        (true, true) => Algorithm::AncDesBPlus,
+        (true, false) => Algorithm::InlJn,
+        (false, true) => Algorithm::StackTree,
+        (false, false) => {
+            if single_height_a {
+                Algorithm::Shcj
+            } else {
+                let budget = ctx.budget().saturating_sub(2).max(1) as u32;
+                if a.pages().min(d.pages()) <= budget {
+                    Algorithm::MhcjRollup
+                } else {
+                    Algorithm::Vpj
+                }
+            }
+        }
+    }
+}
+
+/// Runs the chosen algorithm. For `InlJn`/`AncDesBPlus`/`StackTree` on
+/// unsorted inputs this builds/sorts on the fly (cost charged), matching
+/// how the paper evaluates the baselines.
+pub fn execute(
+    ctx: &JoinCtx,
+    algo: Algorithm,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sorted_inputs: bool,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    let policy = if sorted_inputs {
+        SortPolicy::AssumeSorted
+    } else {
+        SortPolicy::SortOnTheFly
+    };
+    match algo {
+        Algorithm::InlJn => crate::inljn::inljn(ctx, a, d, sink),
+        Algorithm::StackTree => crate::stacktree::stack_tree_desc(ctx, a, d, policy, sink),
+        Algorithm::AncDesBPlus => crate::adb::anc_des_bplus(ctx, a, d, policy, sink),
+        Algorithm::Shcj => crate::shcj::shcj(ctx, a, d, sink),
+        Algorithm::MhcjRollup => crate::rollup::mhcj_rollup(ctx, a, d, sink),
+        Algorithm::Vpj => crate::vpj::vpj(ctx, a, d, sink),
+    }
+}
+
+/// One-call convenience: choose per Table 1, then run.
+pub fn plan_and_execute(
+    ctx: &JoinCtx,
+    a_state: InputState,
+    d_state: InputState,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    single_height_a: bool,
+    sink: &mut dyn PairSink,
+) -> Result<(Algorithm, JoinStats), JoinError> {
+    let algo = choose_algorithm(ctx, a_state, d_state, a, d, single_height_a);
+    let sorted = a_state.sorted && d_state.sorted;
+    let stats = execute(ctx, algo, a, d, sorted, sink)?;
+    Ok((algo, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::element_file;
+    use pbitree_core::PBiTreeShape;
+
+    fn ctx(b: usize) -> JoinCtx {
+        JoinCtx::in_memory_free(PBiTreeShape::new(18).unwrap(), b)
+    }
+
+    #[test]
+    fn table1_rows() {
+        let c = ctx(4);
+        let small = element_file(&c.pool, [(4u64, 0)]).unwrap();
+        let big = element_file(&c.pool, (0u64..20_000).map(|i| ((i << 1) | 1, 1))).unwrap();
+
+        let raw = InputState::raw();
+        let sorted = InputState::sorted();
+        let indexed = InputState::indexed();
+        let both = InputState::sorted_and_indexed();
+
+        assert_eq!(
+            choose_algorithm(&c, both, both, &small, &big, false),
+            Algorithm::AncDesBPlus
+        );
+        assert_eq!(
+            choose_algorithm(&c, indexed, indexed, &small, &big, false),
+            Algorithm::InlJn
+        );
+        assert_eq!(
+            choose_algorithm(&c, sorted, sorted, &small, &big, false),
+            Algorithm::StackTree
+        );
+        // Neither: small side fits => rollup; single height => SHCJ.
+        assert_eq!(
+            choose_algorithm(&c, raw, raw, &small, &big, false),
+            Algorithm::MhcjRollup
+        );
+        assert_eq!(
+            choose_algorithm(&c, raw, raw, &small, &big, true),
+            Algorithm::Shcj
+        );
+        // Neither, both big => VPJ.
+        assert_eq!(
+            choose_algorithm(&c, raw, raw, &big, &big, false),
+            Algorithm::Vpj
+        );
+        // Mixed states fall back to the weaker row.
+        assert_eq!(
+            choose_algorithm(&c, both, raw, &big, &big, false),
+            Algorithm::Vpj
+        );
+    }
+
+    #[test]
+    fn plan_and_execute_runs_the_choice() {
+        let c = ctx(8);
+        let a = element_file(&c.pool, [(16u64, 0)]).unwrap();
+        let d = element_file(&c.pool, [(20u64, 1), (18u64, 1)]).unwrap();
+        let mut sink = crate::sink::CountSink::default();
+        let (algo, stats) =
+            plan_and_execute(&c, InputState::raw(), InputState::raw(), &a, &d, true, &mut sink)
+                .unwrap();
+        assert_eq!(algo, Algorithm::Shcj);
+        assert_eq!(stats.pairs, 2);
+    }
+
+    #[test]
+    fn all_algorithms_execute() {
+        for algo in [
+            Algorithm::InlJn,
+            Algorithm::StackTree,
+            Algorithm::AncDesBPlus,
+            Algorithm::MhcjRollup,
+            Algorithm::Vpj,
+        ] {
+            let c = ctx(8);
+            let a = element_file(&c.pool, [(16u64, 0), (24u64, 0)]).unwrap();
+            let d = element_file(&c.pool, [(20u64, 1), (18u64, 1), (26u64, 1)]).unwrap();
+            let mut sink = crate::sink::CollectSink::default();
+            let stats = execute(&c, algo, &a, &d, false, &mut sink).unwrap();
+            // 16 contains all three; 24 contains 20? no — 24's region is
+            // [17,31]: contains 20, 18? 18 yes (17<=18<=31), 26 yes.
+            assert_eq!(stats.pairs, 6, "{algo}");
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! MHCJ+Rollup (Algorithm 4): fewer height partitions, filtered false hits.
+//!
+//! MHCJ scans `D` once per ancestor height. Rollup trades those scans for
+//! CPU: ancestors below a chosen anchor height are treated as their
+//! ancestor at the anchor — the equijoin key becomes `F(a, anchor)` on one
+//! side and `F(d, anchor)` on the other — so several heights share one
+//! SHCJ-style equijoin. A rolled match only proves `d` is under the
+//! *anchor ancestor* of `a`, not under `a` itself, so every candidate is
+//! re-checked with Lemma 1; rejects are the **false hits** of Table 2(f).
+//!
+//! Because `F` is two shift operations, the rolled key is computed **on
+//! the fly** during hashing — nothing is materialized for the default
+//! single-anchor strategy, and the join builds its hash table on the
+//! smaller side. Cost is therefore exactly SHCJ's (`‖A‖ + ‖D‖` in memory,
+//! `3(‖A‖ + ‖D‖)` Grace) plus one histogram scan of `A` to find the
+//! anchor — the `3(‖A‖+‖D‖)` the paper quotes for roll-up to the top.
+//!
+//! `target_partitions > 1` keeps the top `k` heights as anchors (fewer
+//! false hits, one extra equijoin per anchor); partitions are then
+//! materialized once, as plain elements, and each anchor's equijoin still
+//! computes keys on the fly. The ablation bench sweeps this knob.
+
+use pbitree_core::Code;
+use pbitree_storage::{HeapFile, HeapWriter};
+
+use crate::context::{JoinCtx, JoinError, JoinStats};
+use crate::element::Element;
+use crate::hashjoin::hash_equijoin;
+use crate::sink::PairSink;
+
+/// MHCJ+Rollup with the paper's default strategy: roll everything up to
+/// the single topmost occupied height.
+pub fn mhcj_rollup(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    mhcj_rollup_with(ctx, a, d, 1, sink)
+}
+
+/// MHCJ+Rollup keeping at most `target_partitions` anchor heights
+/// (`>= 1`). Anchors are the highest occupied heights; every other
+/// ancestor rolls up to the nearest anchor above it.
+pub fn mhcj_rollup_with(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    target_partitions: usize,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    assert!(target_partitions >= 1);
+    ctx.measure(|| {
+        // Pass 1: occupied-height histogram (one read of A).
+        let mut occupied = [false; 64];
+        {
+            let mut scan = a.scan(&ctx.pool);
+            while let Some(e) = scan.next_record()? {
+                occupied[e.code.height() as usize] = true;
+            }
+        }
+        let heights: Vec<u32> = (0..64u32).filter(|&h| occupied[h as usize]).collect();
+        if heights.is_empty() || d.is_empty() {
+            return Ok((0, 0));
+        }
+        let k = target_partitions.min(heights.len());
+        let anchors: Vec<u32> = heights[heights.len() - k..].to_vec();
+
+        if let [anchor] = anchors.as_slice() {
+            // Default strategy: one equijoin, keys on the fly, no
+            // materialization at all.
+            return anchored_equijoin(ctx, a, d, *anchor, sink);
+        }
+
+        // Several anchors: one partition pass over A (plain elements), one
+        // equijoin per anchor.
+        let mut writers: Vec<HeapWriter<'_, Element>> = anchors
+            .iter()
+            .map(|_| HeapWriter::create(&ctx.pool))
+            .collect::<Result<_, _>>()?;
+        {
+            let mut scan = a.scan(&ctx.pool);
+            while let Some(e) = scan.next_record()? {
+                let h = e.code.height();
+                let idx = anchors
+                    .iter()
+                    .position(|&anchor| anchor >= h)
+                    .expect("anchors cover all heights");
+                writers[idx].push(e)?;
+            }
+        }
+        let parts: Vec<HeapFile<Element>> = writers
+            .into_iter()
+            .map(|w| w.finish().map_err(JoinError::from))
+            .collect::<Result<_, _>>()?;
+
+        let (mut pairs, mut false_hits) = (0u64, 0u64);
+        for (anchor, part) in anchors.iter().copied().zip(&parts) {
+            let (p, f) = anchored_equijoin(ctx, part, d, anchor, sink)?;
+            pairs += p;
+            false_hits += f;
+        }
+        for part in parts {
+            part.drop_file(&ctx.pool);
+        }
+        Ok((pairs, false_hits))
+    })
+}
+
+/// One SHCJ-style equijoin on `F(·, anchor)`, building on the smaller
+/// side, with the Lemma-1 post filter. Returns `(pairs, false_hits)`.
+fn anchored_equijoin(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    anchor: u32,
+    sink: &mut dyn PairSink,
+) -> Result<(u64, u64), JoinError> {
+    let a_key = |e: &Element| {
+        debug_assert!(e.code.height() <= anchor, "anchor below an ancestor");
+        Some(e.code.ancestor_at_height(anchor).get())
+    };
+    let d_key = |e: &Element| {
+        if e.code.height() < anchor {
+            Some(e.code.ancestor_at_height(anchor).get())
+        } else {
+            None
+        }
+    };
+    let (mut pairs, mut false_hits) = (0u64, 0u64);
+    let mut check = |anc: &Element, desc: &Element| {
+        if anc.code.is_ancestor_of(desc.code) {
+            pairs += 1;
+            sink.emit(*anc, *desc);
+        } else {
+            false_hits += 1;
+        }
+    };
+    if a.records() <= d.records() {
+        hash_equijoin(ctx, a, d, a_key, d_key, |b, p| check(b, p))?;
+    } else {
+        hash_equijoin(ctx, d, a, d_key, a_key, |b, p| check(p, b))?;
+    }
+    Ok((pairs, false_hits))
+}
+
+/// The rolled-up key of an element for a given anchor height — exposed for
+/// diagnostics and tests.
+pub fn rolled_key(code: Code, anchor: u32) -> u64 {
+    code.ancestor_at_height(anchor).get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::element_file;
+    use crate::naive::block_nested_loop;
+    use crate::sink::{CollectSink, CountSink};
+    use pbitree_core::PBiTreeShape;
+
+    fn ctx(b: usize) -> JoinCtx {
+        JoinCtx::in_memory_free(PBiTreeShape::new(18).unwrap(), b)
+    }
+
+    fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
+                let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
+        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let mut x = seed | 1;
+        let mut out = std::collections::BTreeSet::new();
+        while out.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let h = heights[(x % heights.len() as u64) as usize];
+            let positions = 1u64 << (18 - h - 1);
+            let alpha = (x >> 8) % positions;
+            out.insert((1 + 2 * alpha) << h);
+        }
+        out.into_iter().collect()
+    }
+
+    #[test]
+    fn paper_figure4_false_hit() {
+        // Figure 4's situation: an ancestor at height 1 (code 10) rolls up
+        // to its height-2 anchor (code 12) because another ancestor (code
+        // 4) occupies height 2. Descendant 13 lies under 12 but not under
+        // 10 — the equijoin surfaces it and the Lemma-1 filter kills it.
+        let c = ctx(8);
+        let a = element_file(&c.pool, [(10u64, 0), (4u64, 0)]).unwrap();
+        let d = element_file(&c.pool, [(9u64, 1), (13u64, 1)]).unwrap();
+        let mut sink = CollectSink::default();
+        let stats = mhcj_rollup(&c, &a, &d, &mut sink).unwrap();
+        assert_eq!(stats.pairs, 1);
+        assert_eq!(stats.false_hits, 1);
+        assert_eq!(sink.canonical(), vec![(10, 9)]);
+    }
+
+    #[test]
+    fn matches_naive_and_counts_false_hits() {
+        let c = ctx(16);
+        let a = element_file(
+            &c.pool,
+            mixed_codes(400, &[3, 5, 8, 10], 21).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(1200, &[0, 1], 23).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        let mut got = CollectSink::default();
+        let stats = mhcj_rollup(&c, &a, &d, &mut got).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&c, &a, &d, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+        assert!(stats.false_hits > 0, "rollup to top should produce false hits");
+    }
+
+    #[test]
+    fn every_target_partition_count_is_correct() {
+        let c = ctx(16);
+        let acodes = mixed_codes(300, &[2, 4, 6, 9], 31);
+        let dcodes = mixed_codes(900, &[0, 1], 37);
+        let a = element_file(&c.pool, acodes.iter().map(|&v| (v, 0))).unwrap();
+        let d = element_file(&c.pool, dcodes.iter().map(|&v| (v, 1))).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&c, &a, &d, &mut expect).unwrap();
+        let mut last_false_hits = u64::MAX;
+        for k in 1..=5 {
+            let mut got = CollectSink::default();
+            let stats = mhcj_rollup_with(&c, &a, &d, k, &mut got).unwrap();
+            assert_eq!(got.canonical(), expect.canonical(), "k={k}");
+            // More anchors => rolling distance shrinks => false hits cannot
+            // grow (equal when an extra anchor absorbs nothing).
+            assert!(stats.false_hits <= last_false_hits, "k={k}");
+            last_false_hits = stats.false_hits;
+        }
+        // With one anchor per occupied height there is no rolling at all.
+        let mut got = CollectSink::default();
+        let stats = mhcj_rollup_with(&c, &a, &d, 4, &mut got).unwrap();
+        assert_eq!(stats.false_hits, 0);
+    }
+
+    #[test]
+    fn grace_path_matches() {
+        let c = ctx(4);
+        let acodes = mixed_codes(5000, &[4, 7], 41);
+        let dcodes = mixed_codes(8000, &[0, 1, 2], 43);
+        let a = element_file(&c.pool, acodes.iter().map(|&v| (v, 0))).unwrap();
+        let d = element_file(&c.pool, dcodes.iter().map(|&v| (v, 1))).unwrap();
+        let mut got = CollectSink::default();
+        mhcj_rollup(&c, &a, &d, &mut got).unwrap();
+
+        let big = ctx(64);
+        let a2 = element_file(&big.pool, acodes.iter().map(|&v| (v, 0))).unwrap();
+        let d2 = element_file(&big.pool, dcodes.iter().map(|&v| (v, 1))).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&big, &a2, &d2, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+    }
+
+    #[test]
+    fn empty_sets() {
+        let c = ctx(4);
+        let a = element_file(&c.pool, std::iter::empty()).unwrap();
+        let d = element_file(&c.pool, [(1u64, 1)]).unwrap();
+        let mut sink = CountSink::default();
+        assert_eq!(mhcj_rollup(&c, &a, &d, &mut sink).unwrap().pairs, 0);
+    }
+}

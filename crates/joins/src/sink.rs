@@ -1,0 +1,75 @@
+//! Result sinks: where join output pairs go.
+//!
+//! Operators emit `(ancestor, descendant)` pairs into a [`PairSink`];
+//! experiments count, tests collect, and pipelines could write to a heap
+//! file for further joins.
+
+use crate::element::Element;
+
+/// Consumer of join result pairs.
+pub trait PairSink {
+    /// Called once per result pair.
+    fn emit(&mut self, a: Element, d: Element);
+}
+
+/// Counts pairs without storing them (the experiment default: the paper
+/// measures join time, not materialization).
+#[derive(Debug, Default)]
+pub struct CountSink {
+    /// Number of pairs seen.
+    pub count: u64,
+}
+
+impl PairSink for CountSink {
+    #[inline]
+    fn emit(&mut self, _a: Element, _d: Element) {
+        self.count += 1;
+    }
+}
+
+/// Collects pairs into a vector (tests and small queries).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// The collected pairs.
+    pub pairs: Vec<(Element, Element)>,
+}
+
+impl CollectSink {
+    /// The pairs as `(ancestor code, descendant code)` raw values, sorted —
+    /// a canonical form for cross-algorithm comparison.
+    pub fn canonical(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .pairs
+            .iter()
+            .map(|(a, d)| (a.code.get(), d.code.get()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl PairSink for CollectSink {
+    #[inline]
+    fn emit(&mut self, a: Element, d: Element) {
+        self.pairs.push((a, d));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_collect() {
+        let a = Element::new(16, 0);
+        let d = Element::new(18, 1);
+        let mut c = CountSink::default();
+        c.emit(a, d);
+        c.emit(a, d);
+        assert_eq!(c.count, 2);
+        let mut v = CollectSink::default();
+        v.emit(a, d);
+        v.emit(d, a);
+        assert_eq!(v.canonical(), vec![(16, 18), (18, 16)]);
+    }
+}

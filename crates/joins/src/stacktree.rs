@@ -1,0 +1,396 @@
+//! Stack-Tree-Desc (Al-Khalifa et al. [1]), adapted to PBiTree codes.
+//!
+//! The optimal sort-merge structural join: both inputs in document order
+//! `(start asc, end desc)`, a stack of currently-open ancestors, output in
+//! descendant order. PBiTree adaptation per §3.1: the `(start, end)`
+//! region of every element is computed on the fly from its code (Lemma 3),
+//! and the document-order sort key is one `u128` ([`Element::doc_key`]).
+//!
+//! When the inputs are not already sorted — the paper's §4 scenario — the
+//! operator sorts them with the external merge sort first and its cost is
+//! charged to the join, exactly like the MIN_RGN baselines in the paper.
+
+use pbitree_storage::{external_sort, HeapFile};
+
+use crate::context::{JoinCtx, JoinError, JoinStats};
+use crate::element::Element;
+use crate::sink::PairSink;
+
+/// Whether an operator may assume its inputs are already in document order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortPolicy {
+    /// Inputs are already sorted by [`Element::doc_key`]; skip the sort.
+    AssumeSorted,
+    /// Sort on the fly and charge the cost to this operator (the paper's
+    /// "naive algorithms" setting for unsorted, unindexed inputs).
+    SortOnTheFly,
+}
+
+/// Sorts an element file into document order (helper shared with ADB+).
+pub(crate) fn sort_doc_order(
+    ctx: &JoinCtx,
+    f: &HeapFile<Element>,
+) -> Result<HeapFile<Element>, JoinError> {
+    let budget = ctx.budget().saturating_sub(2).max(3);
+    Ok(external_sort(&ctx.pool, f, budget, |e| e.doc_key())?)
+}
+
+/// Stack-Tree-Desc: merge the two document-ordered streams with a stack of
+/// open ancestors; output in descendant order.
+pub fn stack_tree_desc(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    policy: SortPolicy,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    ctx.measure(|| {
+        let (sa, sd, owned) = match policy {
+            SortPolicy::AssumeSorted => (*a, *d, false),
+            SortPolicy::SortOnTheFly => {
+                (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true)
+            }
+        };
+        let pairs = merge_with_stack(ctx, &sa, &sd, sink)?;
+        if owned {
+            sa.drop_file(&ctx.pool);
+            sd.drop_file(&ctx.pool);
+        }
+        Ok((pairs, 0))
+    })
+}
+
+fn merge_with_stack(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<u64, JoinError> {
+    let mut sa = a.scan(&ctx.pool);
+    let mut sd = d.scan(&ctx.pool);
+    let mut cur_a = sa.next_record()?;
+    let mut cur_d = sd.next_record()?;
+    // The stack holds the ancestors whose regions contain the current scan
+    // position; its depth is bounded by the PBiTree height (<= 63).
+    let mut stack: Vec<Element> = Vec::with_capacity(ctx.shape.height() as usize);
+    let mut pairs = 0u64;
+
+    while let Some(d_el) = cur_d {
+        let take_a = cur_a.is_some_and(|a_el| a_el.doc_key() <= d_el.doc_key());
+        if take_a {
+            let a_el = cur_a.take().expect("checked above");
+            while stack.last().is_some_and(|t| t.end() < a_el.start()) {
+                stack.pop();
+            }
+            stack.push(a_el);
+            cur_a = sa.next_record()?;
+        } else {
+            while stack.last().is_some_and(|t| t.end() < d_el.start()) {
+                stack.pop();
+            }
+            for s in &stack {
+                if s.code != d_el.code {
+                    pairs += 1;
+                    sink.emit(*s, d_el);
+                }
+            }
+            cur_d = sd.next_record()?;
+        }
+    }
+    Ok(pairs)
+}
+
+
+/// Stack-Tree-Anc: same merge, but output grouped and ordered by
+/// **ancestor** document order — the variant [1] provides for pipelines
+/// whose next operator needs ancestor-sorted input.
+///
+/// Pairs cannot be emitted the moment they are found (an open ancestor
+/// deeper in the stack sorts *later* than one below it, yet its matches
+/// arrive first), so each stack entry buffers a self-list and inherits the
+/// lists of the descendants popped above it; everything under a bottom
+/// entry is emitted, fully ordered, when that entry pops. Buffer space is
+/// O(output under the deepest open chain), the trade-off the original
+/// paper documents.
+pub fn stack_tree_anc(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    policy: SortPolicy,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    ctx.measure(|| {
+        let (sa, sd, owned) = match policy {
+            SortPolicy::AssumeSorted => (*a, *d, false),
+            SortPolicy::SortOnTheFly => {
+                (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true)
+            }
+        };
+        let pairs = merge_anc(ctx, &sa, &sd, sink)?;
+        if owned {
+            sa.drop_file(&ctx.pool);
+            sd.drop_file(&ctx.pool);
+        }
+        Ok((pairs, 0))
+    })
+}
+
+struct AncEntry {
+    node: Element,
+    /// (node, d) pairs, in d order.
+    self_list: Vec<(Element, Element)>,
+    /// Ordered pairs inherited from popped deeper entries.
+    inherit_list: Vec<(Element, Element)>,
+}
+
+fn merge_anc(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<u64, JoinError> {
+    let mut sa = a.scan(&ctx.pool);
+    let mut sd = d.scan(&ctx.pool);
+    let mut cur_a = sa.next_record()?;
+    let mut cur_d = sd.next_record()?;
+    let mut stack: Vec<AncEntry> = Vec::with_capacity(ctx.shape.height() as usize);
+    let mut pairs = 0u64;
+
+    // Pops the top entry, emitting (stack empty) or splicing into the new
+    // top's inherit list (self first: the popped node sorts after its
+    // parent, and the parent's own pairs were placed before).
+    fn pop(stack: &mut Vec<AncEntry>, sink: &mut dyn PairSink, pairs: &mut u64) {
+        let e = stack.pop().expect("pop on empty stack");
+        match stack.last_mut() {
+            None => {
+                for (x, y) in e.self_list.into_iter().chain(e.inherit_list) {
+                    *pairs += 1;
+                    sink.emit(x, y);
+                }
+            }
+            Some(parent) => {
+                parent.inherit_list.extend(e.self_list);
+                parent.inherit_list.extend(e.inherit_list);
+            }
+        }
+    }
+
+    while let Some(d_el) = cur_d {
+        let take_a = cur_a.is_some_and(|a_el| a_el.doc_key() <= d_el.doc_key());
+        if take_a {
+            let a_el = cur_a.take().expect("checked above");
+            while stack.last().is_some_and(|t| t.node.end() < a_el.start()) {
+                pop(&mut stack, sink, &mut pairs);
+            }
+            stack.push(AncEntry {
+                node: a_el,
+                self_list: Vec::new(),
+                inherit_list: Vec::new(),
+            });
+            cur_a = sa.next_record()?;
+        } else {
+            while stack.last().is_some_and(|t| t.node.end() < d_el.start()) {
+                pop(&mut stack, sink, &mut pairs);
+            }
+            for e in stack.iter_mut() {
+                if e.node.code != d_el.code {
+                    e.self_list.push((e.node, d_el));
+                }
+            }
+            cur_d = sd.next_record()?;
+        }
+    }
+    while !stack.is_empty() {
+        pop(&mut stack, sink, &mut pairs);
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::element_file;
+    use crate::naive::block_nested_loop;
+    use crate::sink::{CollectSink, CountSink};
+    use pbitree_core::PBiTreeShape;
+
+    fn ctx(b: usize) -> JoinCtx {
+        JoinCtx::in_memory_free(PBiTreeShape::new(18).unwrap(), b)
+    }
+
+    fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
+                let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
+        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let mut x = seed | 1;
+        let mut out = std::collections::BTreeSet::new();
+        while out.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let h = heights[(x % heights.len() as u64) as usize];
+            let positions = 1u64 << (18 - h - 1);
+            let alpha = (x >> 8) % positions;
+            out.insert((1 + 2 * alpha) << h);
+        }
+        out.into_iter().collect()
+    }
+
+    #[test]
+    fn matches_naive_with_sort_on_the_fly() {
+        let c = ctx(8);
+        let a = element_file(
+            &c.pool,
+            mixed_codes(600, &[3, 6, 9, 12], 141).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(1800, &[0, 1, 2, 5], 143).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        let mut got = CollectSink::default();
+        let stats = stack_tree_desc(&c, &a, &d, SortPolicy::SortOnTheFly, &mut got).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&c, &a, &d, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+        assert!(stats.pairs > 0);
+    }
+
+    #[test]
+    fn output_is_in_descendant_order() {
+        let c = ctx(8);
+        let a = element_file(
+            &c.pool,
+            mixed_codes(200, &[5, 8], 151).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(600, &[0, 1], 153).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        let mut got = CollectSink::default();
+        stack_tree_desc(&c, &a, &d, SortPolicy::SortOnTheFly, &mut got).unwrap();
+        assert!(got
+            .pairs
+            .windows(2)
+            .all(|w| w[0].1.doc_key() <= w[1].1.doc_key()));
+    }
+
+    #[test]
+    fn presorted_skips_the_sort() {
+        let c = JoinCtx::in_memory(PBiTreeShape::new(18).unwrap(), 8);
+        let mut acodes = mixed_codes(3000, &[5, 8], 161);
+        let mut dcodes = mixed_codes(3000, &[0, 1], 163);
+        acodes.sort_by_key(|&v| pbitree_core::Code::new(v).unwrap().doc_order_key());
+        dcodes.sort_by_key(|&v| pbitree_core::Code::new(v).unwrap().doc_order_key());
+        let a = element_file(&c.pool, acodes.iter().map(|&v| (v, 0))).unwrap();
+        let d = element_file(&c.pool, dcodes.iter().map(|&v| (v, 1))).unwrap();
+        c.pool.flush_all();
+        let mut sink = CountSink::default();
+        let stats = stack_tree_desc(&c, &a, &d, SortPolicy::AssumeSorted, &mut sink).unwrap();
+        // One sequential pass over each input, no writes.
+        assert_eq!(stats.io.writes(), 0);
+        assert!(stats.io.reads() <= (a.pages() + d.pages()) as u64);
+    }
+
+    #[test]
+    fn nested_ancestors_all_reported() {
+        // Chain: 2^12 contains 2^8 contains 2^4 contains leaf 1... build a
+        // nesting chain by left-descending.
+        let c = ctx(8);
+        let chain = [1u64 << 12, 1 << 8, 1 << 4, 1 << 2];
+        let a = element_file(&c.pool, chain.iter().map(|&v| (v, 0))).unwrap();
+        let d = element_file(&c.pool, [(1u64, 1), (3u64, 1)]).unwrap();
+        let mut got = CollectSink::default();
+        let stats = stack_tree_desc(&c, &a, &d, SortPolicy::SortOnTheFly, &mut got).unwrap();
+        // Leaf 1 (start 1) is inside all four; leaf 3 inside all four too
+        // (regions [1,2^13-1], [1,511], [1,31], [1,7] all contain 3).
+        assert_eq!(stats.pairs, 8);
+    }
+
+    #[test]
+    fn shared_element_not_paired_with_itself() {
+        let c = ctx(8);
+        let a = element_file(&c.pool, [(20u64, 0), (24u64, 0)]).unwrap();
+        let d = element_file(&c.pool, [(20u64, 1)]).unwrap();
+        let mut got = CollectSink::default();
+        let stats = stack_tree_desc(&c, &a, &d, SortPolicy::SortOnTheFly, &mut got).unwrap();
+        // 24 contains 20; 20 does not contain itself.
+        assert_eq!(stats.pairs, 1);
+        assert_eq!(got.canonical(), vec![(24, 20)]);
+    }
+
+
+    #[test]
+    fn anc_variant_matches_and_orders_by_ancestor() {
+        let c = ctx(8);
+        let a = element_file(
+            &c.pool,
+            mixed_codes(400, &[4, 7, 10], 171).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(1200, &[0, 1, 2], 173).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        let mut anc = CollectSink::default();
+        let s1 = stack_tree_anc(&c, &a, &d, SortPolicy::SortOnTheFly, &mut anc).unwrap();
+        let mut desc = CollectSink::default();
+        let s2 = stack_tree_desc(&c, &a, &d, SortPolicy::SortOnTheFly, &mut desc).unwrap();
+        assert_eq!(s1.pairs, s2.pairs);
+        assert_eq!(anc.canonical(), desc.canonical());
+        // Output ordered by ancestor doc order (non-decreasing keys), and
+        // within one ancestor by descendant order.
+        assert!(anc
+            .pairs
+            .windows(2)
+            .all(|w| w[0].0.doc_key() <= w[1].0.doc_key()));
+        assert!(anc
+            .pairs
+            .windows(2)
+            .all(|w| w[0].0 != w[1].0 || w[0].1.doc_key() <= w[1].1.doc_key()));
+    }
+
+    #[test]
+    fn anc_variant_deep_nesting() {
+        // Nested ancestors: the inherit-list splicing must interleave
+        // parent pairs before child pairs.
+        let c = ctx(8);
+        let a = element_file(&c.pool, [(1u64 << 10, 0), (1u64 << 6, 0), (1u64 << 3, 0)])
+            .unwrap();
+        let d = element_file(&c.pool, [(1u64, 1), (5, 1), (33, 1), (1025, 1)]).unwrap();
+        let mut anc = CollectSink::default();
+        stack_tree_anc(&c, &a, &d, SortPolicy::SortOnTheFly, &mut anc).unwrap();
+        // 1<<10 region [1,2047] holds all four; 1<<6 region [1,127] holds
+        // 1, 5, 33; 1<<3 region [1,15] holds 1, 5.
+        let got: Vec<(u64, u64)> = anc
+            .pairs
+            .iter()
+            .map(|(x, y)| (x.code.get(), y.code.get()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (1024, 1), (1024, 5), (1024, 33), (1024, 1025),
+                (64, 1), (64, 5), (64, 33),
+                (8, 1), (8, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = ctx(4);
+        let a = element_file(&c.pool, std::iter::empty()).unwrap();
+        let d = element_file(&c.pool, [(5u64, 1)]).unwrap();
+        let mut sink = CountSink::default();
+        assert_eq!(
+            stack_tree_desc(&c, &a, &d, SortPolicy::SortOnTheFly, &mut sink)
+                .unwrap()
+                .pairs,
+            0
+        );
+    }
+}

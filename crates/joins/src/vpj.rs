@@ -1,0 +1,630 @@
+//! VPJ — Vertical-Partitioning Join (Algorithm 5).
+//!
+//! Divide and conquer on the *tree*: pick a PBiTree level `l`, let every
+//! node at that level define a partition, and split both inputs so that
+//! each partition pair can be joined with the I/O-optimal
+//! [`crate::memjoin`] (cost `‖A_i‖ + ‖D_i‖`). A node *below* level `l`
+//! falls in exactly one partition (its level-`l` ancestor's); a node *at or
+//! above* the level spans a contiguous range of partitions.
+//!
+//! **Replication discipline (the correctness core).** The paper replicates
+//! spanning nodes and claims `UNION ALL` needs no duplicate elimination.
+//! That only works if at most one side is replicated: we replicate
+//! *ancestor-side* spanning nodes to their whole partition range, and
+//! assign *descendant-side* spanning nodes to the **leftmost** partition of
+//! their range only. Any `(a, d)` pair then meets in exactly one
+//! partition: `d`'s home partition, which `a`'s range must cover (an
+//! ancestor's range contains its descendant's). The
+//! `replication_produces_no_duplicates` test and the cross-algorithm
+//! verification suite pin this down.
+//!
+//! **Merging and purging (skew adaptation).** Partitions where either side
+//! is empty are discarded outright. Surviving partitions are greedily
+//! merged into groups that still satisfy the memory-join precondition;
+//! replicated ancestors that would appear in several group members are
+//! deduplicated at read time (a replica is kept only in the first group
+//! member at or after its range start). A lone partition too dense for a
+//! memory join recurses with a strictly deeper level; if the level bottoms
+//! out (same-subtree skew), MHCJ+Rollup — which has no memory
+//! precondition — finishes the job.
+
+use pbitree_storage::{HeapFile, HeapWriter};
+
+use crate::context::{JoinCtx, JoinError, JoinStats};
+use crate::element::Element;
+use crate::memjoin::{RolledAncestors, SortedDescendants};
+use crate::rollup;
+use crate::sink::PairSink;
+
+/// Frames reserved for scan/output while a memory join holds one side.
+const RESERVE: usize = 2;
+
+/// Diagnostics of one VPJ run (the paper's §3.3 discussion: replication is
+/// "usually negligible" — this makes that measurable).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VpjReport {
+    /// Ancestor tuples written beyond their first partition.
+    pub replicated_tuples: u64,
+    /// Partitions produced across all partitioning passes.
+    pub partitions: u64,
+    /// Partitions discarded because one side was empty.
+    pub purged: u64,
+    /// Groups joined by the memory join.
+    pub groups: u64,
+    /// Recursive partitioning invocations.
+    pub recursions: u64,
+    /// Dense fallbacks to MHCJ+Rollup.
+    pub fallbacks: u64,
+}
+
+/// VPJ with the default reporting discarded.
+pub fn vpj(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    vpj_with_report(ctx, a, d, sink).map(|(s, _)| s)
+}
+
+/// VPJ returning its [`VpjReport`] alongside the stats.
+pub fn vpj_with_report(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<(JoinStats, VpjReport), JoinError> {
+    let mut report = VpjReport::default();
+    let stats = ctx.measure(|| {
+        let mut pairs = 0u64;
+        let mut false_hits = 0u64;
+        let window = (1u64, ctx.shape.node_count());
+        vpj_rec(
+            ctx,
+            Side { file: *a, owned: false },
+            Side { file: *d, owned: false },
+            window,
+            0,
+            0,
+            sink,
+            &mut pairs,
+            &mut false_hits,
+            &mut report,
+        )?;
+        Ok((pairs, false_hits))
+    })?;
+    Ok((stats, report))
+}
+
+/// A heap file we may or may not be responsible for deleting.
+struct Side {
+    file: HeapFile<Element>,
+    owned: bool,
+}
+
+impl Side {
+    fn release(self, ctx: &JoinCtx) {
+        if self.owned {
+            self.file.drop_file(&ctx.pool);
+        }
+    }
+}
+
+/// `(lo, hi)` global partition-index range of `code` at tree level `l`.
+#[inline]
+fn partition_range(code: pbitree_core::Code, shape_h: u32, l: u32) -> (u64, u64) {
+    let hl = shape_h - 1 - l; // height of the partitioning level
+    let shift = hl + 1;
+    if code.height() <= hl {
+        let idx = code.get() >> shift;
+        (idx, idx)
+    } else {
+        let (s, e) = code.region();
+        (s >> shift, e >> shift)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn vpj_rec(
+    ctx: &JoinCtx,
+    a: Side,
+    d: Side,
+    window: (u64, u64),
+    min_level: u32,
+    depth: u32,
+    sink: &mut dyn PairSink,
+    pairs: &mut u64,
+    false_hits: &mut u64,
+    report: &mut VpjReport,
+) -> Result<(), JoinError> {
+    let budget = ctx.budget().saturating_sub(RESERVE).max(1);
+    // Base case (a): one side already fits -> I/O-optimal memory join.
+    if (a.file.pages() as usize) <= budget || (d.file.pages() as usize) <= budget {
+        let (p, f) = crate::memjoin::mem_join_inner(ctx, &a.file, &d.file, sink)?;
+        *pairs += p;
+        *false_hits += f;
+        report.groups += 1;
+        a.release(ctx);
+        d.release(ctx);
+        return Ok(());
+    }
+
+    let h = ctx.shape.height();
+    // Real documents concentrate their elements deep inside the code
+    // space (a flat DBLP tree puts every record ~20 levels below the
+    // root), so partitioning just below `min_level` would put everything
+    // into one partition and recurse once per level. One scan of the
+    // smaller side finds the deepest subtree containing all its data; the
+    // partitioning level starts below *that*. (The scan costs one read of
+    // the smaller side and collapses O(depth) recursion passes into one.)
+    // Element files carry their region bounds as free catalog statistics;
+    // scanning is only the fallback for files built elsewhere.
+    let scan_side = if a.file.pages() <= d.file.pages() { &a.file } else { &d.file };
+    let (lo, hi) = match scan_side.bounds() {
+        Some(b) => b,
+        None => {
+            let mut lo = u64::MAX;
+            let mut hi = 0u64;
+            let mut scan = scan_side.scan(&ctx.pool);
+            while let Some(e) = scan.next_record()? {
+                lo = lo.min(e.start());
+                hi = hi.max(e.end());
+            }
+            (lo, hi)
+        }
+    };
+    let lca_level = if lo > hi {
+        min_level
+    } else {
+        // The deepest aligned block containing [lo, hi] sits at height
+        // h* = bit length of (lo ^ hi); its level is H - 1 - h*.
+        let hstar = 64 - (lo ^ hi).leading_zeros();
+        (h.saturating_sub(1).saturating_sub(hstar)).max(min_level)
+    };
+    // Partitioning level: deep enough to split the smaller side into
+    // memory-sized chunks, bounded by the writer budget and the tree.
+    // Over-partition 2x: partition boundaries rarely align with the data,
+    // and merging small partitions back (below) is free, while an uneven
+    // minimal split forces a recursion that rewrites both inputs.
+    let min_pages = a.file.pages().min(d.file.pages()) as usize;
+    let k0 = (min_pages.div_ceil(budget) * 2).max(2);
+    let wanted_delta = (k0 as u64).next_power_of_two().trailing_zeros();
+    let max_delta = (ctx.budget().saturating_sub(RESERVE).max(2) as u64)
+        .next_power_of_two()
+        .trailing_zeros();
+    let l = (lca_level + wanted_delta.min(max_delta))
+        .max(min_level + 1)
+        .min(h.saturating_sub(1));
+    if l <= min_level || depth >= 32 {
+        // The subtree cannot be split further (or pathological recursion):
+        // MHCJ+Rollup has no memory precondition.
+        report.fallbacks += 1;
+        let (p, f) = rollup_fallback(ctx, &a.file, &d.file, sink)?;
+        *pairs += p;
+        *false_hits += f;
+        a.release(ctx);
+        d.release(ctx);
+        return Ok(());
+    }
+
+    // Index window of this subtree at level l. At the top (min_level == 0)
+    // that is the whole level; in recursion the caller's partition confines
+    // the range, but computing it from the data is unnecessary: indices
+    // outside the window simply never occur, so we map sparse indices via a
+    // hash of written partitions instead of preallocating 2^l writers.
+    let parts_a = partition_pass(ctx, &a.file, l, window, PartitionRole::Ancestor, report)?;
+    let parts_d = partition_pass(ctx, &d.file, l, window, PartitionRole::Descendant, report)?;
+    a.release(ctx);
+    d.release(ctx);
+
+    // Purge: keep only indices where both sides are non-empty.
+    let mut indices: Vec<u64> = parts_a
+        .keys()
+        .filter(|i| parts_d.contains_key(i))
+        .copied()
+        .collect();
+    indices.sort_unstable();
+    let mut purged: Vec<HeapFile<Element>> = Vec::new();
+    for (i, f) in &parts_a {
+        if !parts_d.contains_key(i) {
+            purged.push(*f);
+            report.purged += 1;
+        }
+    }
+    for (i, f) in &parts_d {
+        if !parts_a.contains_key(i) {
+            purged.push(*f);
+            report.purged += 1;
+        }
+    }
+    for f in purged {
+        f.drop_file(&ctx.pool);
+    }
+
+    // Greedy merge into groups satisfying the memory-join precondition.
+    let mut group: Vec<u64> = Vec::new();
+    let mut sum_a = 0u32;
+    let mut sum_d = 0u32;
+    let flush = |ctx: &JoinCtx,
+                     group: &mut Vec<u64>,
+                     sum_a: &mut u32,
+                     sum_d: &mut u32,
+                     sink: &mut dyn PairSink,
+                     pairs: &mut u64,
+                     false_hits: &mut u64,
+                     report: &mut VpjReport|
+     -> Result<(), JoinError> {
+        if group.is_empty() {
+            return Ok(());
+        }
+        let ga: Vec<HeapFile<Element>> = group.iter().map(|i| parts_a[i]).collect();
+        let gd: Vec<HeapFile<Element>> = group.iter().map(|i| parts_d[i]).collect();
+        if (*sum_a as usize) <= ctx.budget().saturating_sub(RESERVE).max(1)
+            || (*sum_d as usize) <= ctx.budget().saturating_sub(RESERVE).max(1)
+        {
+            report.groups += 1;
+            let (p, f) = join_group(ctx, l, group, &ga, &gd, sink)?;
+            *pairs += p;
+            *false_hits += f;
+            for f in ga.into_iter().chain(gd) {
+                f.drop_file(&ctx.pool);
+            }
+        } else {
+            // A lone dense partition: recurse one level deeper, confined
+            // to that partition's subtree code range.
+            debug_assert_eq!(group.len(), 1);
+            report.recursions += 1;
+            let idx = group[0];
+            let hl = ctx.shape.height() - 1 - l;
+            let child_window = (
+                ((idx << (hl + 1)) + 1).max(window.0),
+                (((idx + 1) << (hl + 1)) - 1).min(window.1),
+            );
+            vpj_rec(
+                ctx,
+                Side { file: ga[0], owned: true },
+                Side { file: gd[0], owned: true },
+                child_window,
+                l,
+                depth + 1,
+                sink,
+                pairs,
+                false_hits,
+                report,
+            )?;
+        }
+        group.clear();
+        *sum_a = 0;
+        *sum_d = 0;
+        Ok(())
+    };
+
+    for idx in indices {
+        let pa = parts_a[&idx].pages();
+        let pd = parts_d[&idx].pages();
+        let fits_alone = (pa as usize) <= budget || (pd as usize) <= budget;
+        let fits_merged = !group.is_empty()
+            && ((sum_a + pa) as usize <= budget || (sum_d + pd) as usize <= budget);
+        if !group.is_empty() && !fits_merged {
+            flush(ctx, &mut group, &mut sum_a, &mut sum_d, sink, pairs, false_hits, report)?;
+        }
+        group.push(idx);
+        sum_a += pa;
+        sum_d += pd;
+        if !fits_alone && group.len() == 1 {
+            // Dense partition: flush immediately so it recurses alone.
+            flush(ctx, &mut group, &mut sum_a, &mut sum_d, sink, pairs, false_hits, report)?;
+        }
+    }
+    flush(ctx, &mut group, &mut sum_a, &mut sum_d, sink, pairs, false_hits, report)?;
+    Ok(())
+}
+
+enum PartitionRole {
+    /// Spanning nodes are replicated across their whole range.
+    Ancestor,
+    /// Spanning nodes go to the leftmost partition of their range only.
+    Descendant,
+}
+
+/// Splits `input` by partition index at level `l` into per-index heap
+/// files. Sparse map keyed by global index — only occupied partitions
+/// materialize.
+fn partition_pass(
+    ctx: &JoinCtx,
+    input: &HeapFile<Element>,
+    l: u32,
+    window: (u64, u64),
+    role: PartitionRole,
+    report: &mut VpjReport,
+) -> Result<std::collections::BTreeMap<u64, HeapFile<Element>>, JoinError> {
+    let h = ctx.shape.height();
+    let shift = h - l; // hl + 1
+    let (wlo, whi) = (window.0 >> shift, window.1 >> shift);
+    let mut writers: std::collections::BTreeMap<u64, HeapWriter<'_, Element>> =
+        std::collections::BTreeMap::new();
+    let mut scan = input.scan(&ctx.pool);
+    while let Some(e) = scan.next_record()? {
+        let (lo, hi) = partition_range(e.code, h, l);
+        // Clip spanning nodes to this subtree's index window: replicas
+        // outside it would pair only with descendants that live in sibling
+        // subtrees, which the parent level already handles.
+        let (lo, hi) = (lo.max(wlo), hi.min(whi));
+        debug_assert!(lo <= hi, "element outside its subtree window");
+        let targets: std::ops::RangeInclusive<u64> = match role {
+            PartitionRole::Ancestor => lo..=hi,
+            PartitionRole::Descendant => lo..=lo,
+        };
+        let mut first = true;
+        for idx in targets {
+            if !first {
+                report.replicated_tuples += 1;
+            }
+            first = false;
+            match writers.entry(idx) {
+                std::collections::btree_map::Entry::Occupied(mut o) => o.get_mut().push(e)?,
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(HeapWriter::create(&ctx.pool)?).push(e)?
+                }
+            }
+        }
+    }
+    report.partitions += writers.len() as u64;
+    writers
+        .into_iter()
+        .map(|(i, w)| w.finish().map(|f| (i, f)).map_err(JoinError::from))
+        .collect()
+}
+
+/// Joins one merged group. `members` are the group's partition indices in
+/// ascending order; `ga`/`gd` the corresponding files. Replicated
+/// ancestors are deduplicated: a replica in member `p` is kept only when
+/// the previous member is below its range start.
+fn join_group(
+    ctx: &JoinCtx,
+    l: u32,
+    members: &[u64],
+    ga: &[HeapFile<Element>],
+    gd: &[HeapFile<Element>],
+    sink: &mut dyn PairSink,
+) -> Result<(u64, u64), JoinError> {
+    let h = ctx.shape.height();
+    let budget = ctx.budget().saturating_sub(RESERVE).max(1);
+    let sum_d: u32 = gd.iter().map(|f| f.pages()).sum();
+    let keep = |member_pos: usize, e: &Element| -> bool {
+        let (lo, _) = partition_range(e.code, h, l);
+        let prev = if member_pos == 0 { None } else { Some(members[member_pos - 1]) };
+        match prev {
+            None => true,
+            Some(p) => lo > p,
+        }
+    };
+    if (sum_d as usize) <= budget {
+        // Load D (no replication on that side), stream deduped A.
+        let mut dvec = Vec::new();
+        for f in gd {
+            let mut scan = f.scan(&ctx.pool);
+            while let Some(e) = scan.next_record()? {
+                dvec.push(e);
+            }
+        }
+        let dd = SortedDescendants::new(dvec);
+        let mut pairs = 0u64;
+        for (pos, f) in ga.iter().enumerate() {
+            let mut scan = f.scan(&ctx.pool);
+            while let Some(ae) = scan.next_record()? {
+                if keep(pos, &ae) {
+                    pairs += dd.probe(ae, sink);
+                }
+            }
+        }
+        Ok((pairs, 0))
+    } else {
+        // Load deduped A, stream D (Algorithm 6's rollup branch, resident).
+        let mut avec = Vec::new();
+        for (pos, f) in ga.iter().enumerate() {
+            let mut scan = f.scan(&ctx.pool);
+            while let Some(ae) = scan.next_record()? {
+                if keep(pos, &ae) {
+                    avec.push(ae);
+                }
+            }
+        }
+        let aa = RolledAncestors::new(avec);
+        let (mut pairs, mut false_hits) = (0u64, 0u64);
+        for f in gd {
+            let mut scan = f.scan(&ctx.pool);
+            while let Some(de) = scan.next_record()? {
+                let (p, fh) = aa.probe(de, sink);
+                pairs += p;
+                false_hits += fh;
+            }
+        }
+        Ok((pairs, false_hits))
+    }
+}
+
+/// Dense-subtree fallback: MHCJ+Rollup's inner body (unmeasured — VPJ's
+/// own `measure` wraps the whole run).
+fn rollup_fallback(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<(u64, u64), JoinError> {
+    // Reuse the public entry but fold its (separately measured) stats into
+    // plain counts; I/O is captured by the pool counters either way.
+    let stats = rollup::mhcj_rollup(ctx, a, d, sink)?;
+    Ok((stats.pairs, stats.false_hits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::element_file;
+    use crate::naive::block_nested_loop;
+    use crate::sink::{CollectSink, CountSink};
+    use pbitree_core::{Code, PBiTreeShape};
+
+    fn ctx(h: u32, b: usize) -> JoinCtx {
+        JoinCtx::in_memory_free(PBiTreeShape::new(h).unwrap(), b)
+    }
+
+    fn mixed_codes(h_tree: u32, n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
+        let cap: u64 = heights.iter().map(|&h| 1u64 << (h_tree - h - 1)).sum();
+        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let mut x = seed | 1;
+        let mut out = std::collections::BTreeSet::new();
+        while out.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let h = heights[(x % heights.len() as u64) as usize];
+            let positions = 1u64 << (h_tree - h - 1);
+            let alpha = (x >> 8) % positions;
+            out.insert((1 + 2 * alpha) << h);
+        }
+        out.into_iter().collect()
+    }
+
+    #[test]
+    fn partition_range_deep_and_shallow() {
+        // H = 5, l = 2 => hl = 2, shift 3. Node 18 (height 1): 18>>3 = 2.
+        let c = Code::new(18).unwrap();
+        assert_eq!(partition_range(c, 5, 2), (2, 2));
+        // Node 16 (height 4, root): region [1,31] => (0, 3): spans all.
+        let c = Code::new(16).unwrap();
+        assert_eq!(partition_range(c, 5, 2), (0, 3));
+        // Node 20 (height 2, at the partition level): its own index.
+        let c = Code::new(20).unwrap();
+        assert_eq!(partition_range(c, 5, 2), (2, 2));
+        // Node 24 (height 3): region [17,31] => (2,3).
+        let c = Code::new(24).unwrap();
+        assert_eq!(partition_range(c, 5, 2), (2, 3));
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let c = ctx(16, 8);
+        let a = element_file(
+            &c.pool,
+            mixed_codes(16, 400, &[3, 5, 8, 11], 91).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(16, 1200, &[0, 1, 2], 93).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
+        let mut got = CollectSink::default();
+        let stats = vpj(&c, &a, &d, &mut got).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&c, &a, &d, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+        assert!(stats.pairs > 0);
+    }
+
+    #[test]
+    fn replication_produces_no_duplicates() {
+        // Ancestors high in the tree (heavily replicated) with descendants
+        // spread across partitions; both sides also share spanning nodes.
+        let c = ctx(18, 4); // tiny budget forces real partitioning
+        // The root and its children sit at/above any partition level, so
+        // they are guaranteed to span partitions and be replicated.
+        let mut high: Vec<u64> = vec![1 << 17, 1 << 16, 3 << 16];
+        high.extend(mixed_codes(18, 40, &[11, 13, 14], 101));
+        let mid: Vec<u64> = mixed_codes(18, 3000, &[4, 6], 103);
+        let low: Vec<u64> = mixed_codes(18, 6000, &[0, 1, 2], 105);
+        // A: high + mid nodes; D: mid + low nodes (overlap heights too).
+        let a: Vec<u64> = high.iter().chain(mid.iter().take(1500)).copied().collect();
+        let d: Vec<u64> = mid.iter().skip(1500).chain(low.iter()).copied().collect();
+        let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
+        let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
+        let mut got = CollectSink::default();
+        let (stats, report) = vpj_with_report(&c, &af, &df, &mut got).unwrap();
+        // No duplicates: the multiset of emitted pairs is a set.
+        let mut pairs = got.canonical();
+        let n = pairs.len();
+        pairs.dedup();
+        assert_eq!(pairs.len(), n, "duplicate pairs emitted");
+        assert!(report.replicated_tuples > 0, "workload should replicate");
+        // And it matches ground truth.
+        let big = ctx(18, 256);
+        let af2 = element_file(&big.pool, a.iter().map(|&v| (v, 0))).unwrap();
+        let df2 = element_file(&big.pool, d.iter().map(|&v| (v, 1))).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&big, &af2, &df2, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+        assert_eq!(stats.pairs as usize, n);
+    }
+
+    #[test]
+    fn dense_partition_recurses() {
+        // All data concentrated under one level-1 subtree: the first
+        // partitioning is useless, recursion must go deeper.
+        let c = ctx(18, 4);
+        // Confine everything to the leftmost quarter of the code space.
+        let a: Vec<u64> = mixed_codes(16, 2500, &[2, 4], 111); // codes < 2^16
+        let d: Vec<u64> = mixed_codes(16, 2500, &[0, 1], 113);
+        let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
+        let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
+        let mut got = CollectSink::default();
+        let (_, report) = vpj_with_report(&c, &af, &df, &mut got).unwrap();
+        assert!(report.recursions > 0 || report.fallbacks > 0);
+        let big = ctx(18, 256);
+        let af2 = element_file(&big.pool, a.iter().map(|&v| (v, 0))).unwrap();
+        let df2 = element_file(&big.pool, d.iter().map(|&v| (v, 1))).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&big, &af2, &df2, &mut expect).unwrap();
+        assert_eq!(got.canonical(), expect.canonical());
+    }
+
+    #[test]
+    fn purging_drops_empty_pairings() {
+        let c = ctx(16, 4);
+        // A in the left half, D in the right half: everything purges.
+        let a: Vec<u64> = mixed_codes(14, 2000, &[1], 121); // < 2^14 (left)
+        let d: Vec<u64> = mixed_codes(14, 2000, &[0], 123)
+            .into_iter()
+            .map(|v| v + (3u64 << 14)) // shift into the right quarter
+            .collect();
+        let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
+        let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
+        let mut got = CountSink::default();
+        let (stats, report) = vpj_with_report(&c, &af, &df, &mut got).unwrap();
+        assert_eq!(stats.pairs, 0);
+        assert!(report.purged > 0);
+    }
+
+    #[test]
+    fn small_inputs_go_straight_to_memory_join() {
+        let c = ctx(16, 64);
+        let a = element_file(&c.pool, [(1u64 << 8, 0)]).unwrap();
+        let d = element_file(&c.pool, [(1u64, 1), (3u64, 1), (255u64, 1)]).unwrap();
+        let mut got = CollectSink::default();
+        let (stats, report) = vpj_with_report(&c, &a, &d, &mut got).unwrap();
+        assert_eq!(report.partitions, 0, "no partitioning pass expected");
+        // 256's region is [1, 511]: contains 1, 3, 255.
+        assert_eq!(stats.pairs, 3);
+    }
+
+    #[test]
+    fn io_is_about_three_passes() {
+        let c = JoinCtx::in_memory(PBiTreeShape::new(18).unwrap(), 8);
+        let a: Vec<u64> = mixed_codes(18, 12_000, &[2, 4], 131);
+        let d: Vec<u64> = mixed_codes(18, 12_000, &[0, 1], 133);
+        let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
+        let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
+        c.pool.flush_all();
+        let mut sink = CountSink::default();
+        let (stats, report) = vpj_with_report(&c, &af, &df, &mut sink).unwrap();
+        let total = (af.pages() + df.pages()) as u64;
+        let slack = report.replicated_tuples / 300 + 64; // replicas + metadata
+        assert!(
+            stats.io.total() <= 3 * total + 2 * slack,
+            "VPJ I/O {} vs 3x{} (+slack {slack})",
+            stats.io.total(),
+            total
+        );
+    }
+}

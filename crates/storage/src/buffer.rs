@@ -1,0 +1,507 @@
+//! The buffer pool: a bounded set of page frames with clock replacement.
+//!
+//! This is the Minibase buffer manager role: every algorithm receives a
+//! budget of `b` frames and *all* page access goes through [`BufferPool`],
+//! so the I/O counters in [`crate::stats::IoStats`] faithfully reflect what
+//! a disk-resident execution would do. Guards ([`PageRef`], [`PageMut`])
+//! pin pages RAII-style; a pinned page is never evicted.
+//!
+//! The pool is single-threaded (interior mutability via `RefCell`), which
+//! matches the paper's sequential algorithms and keeps runs deterministic.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use crate::disk::Disk;
+use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
+use crate::stats::IoStats;
+
+/// Errors surfaced by the buffer pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// Every frame is pinned; the requesting operator exceeded its memory
+    /// budget. Algorithms are designed to pin at most their partition
+    /// fan-out plus a constant, so hitting this is a logic error upstream.
+    NoFreeFrames {
+        /// The pool capacity in frames.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::NoFreeFrames { capacity } => {
+                write!(f, "all {capacity} buffer frames are pinned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Hit/miss counters of the pool itself (page transfers are counted by
+/// [`Disk`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests satisfied from a resident frame.
+    pub hits: u64,
+    /// Requests that had to read from disk (or claim a fresh frame).
+    pub misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameMeta {
+    pid: Option<PageId>,
+    pin: u32,
+    dirty: bool,
+    referenced: bool,
+}
+
+struct Meta {
+    table: HashMap<PageId, usize>,
+    frames: Vec<FrameMeta>,
+    hand: usize,
+    stats: PoolStats,
+}
+
+/// A clock-replacement buffer pool over a [`Disk`].
+pub struct BufferPool {
+    disk: RefCell<Disk>,
+    meta: RefCell<Meta>,
+    /// Frame data cells. The vector is sized at construction and never
+    /// resized, so element borrows remain valid for the pool's lifetime.
+    data: Vec<RefCell<Box<PageBuf>>>,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` frames (the paper's `b`,
+    /// `NumBufferPages`) over `disk`.
+    pub fn new(disk: Disk, capacity: usize) -> Self {
+        assert!(capacity >= 1, "a buffer pool needs at least one frame");
+        BufferPool {
+            disk: RefCell::new(disk),
+            meta: RefCell::new(Meta {
+                table: HashMap::with_capacity(capacity * 2),
+                frames: vec![
+                    FrameMeta { pid: None, pin: 0, dirty: false, referenced: false };
+                    capacity
+                ],
+                hand: 0,
+                stats: PoolStats::default(),
+            }),
+            data: (0..capacity)
+                .map(|_| RefCell::new(Box::new([0u8; PAGE_SIZE])))
+                .collect(),
+        }
+    }
+
+    /// Number of frames.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Pool hit/miss counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.meta.borrow().stats
+    }
+
+    /// Disk transfer counters (the headline experiment metric).
+    pub fn io_stats(&self) -> IoStats {
+        self.disk.borrow().stats()
+    }
+
+    /// Creates a new file on the underlying disk.
+    pub fn create_file(&self) -> FileId {
+        self.disk.borrow_mut().create_file()
+    }
+
+    /// Number of pages in `file`.
+    pub fn num_pages(&self, file: FileId) -> u32 {
+        self.disk.borrow().num_pages(file)
+    }
+
+    /// Drops a file: resident frames are discarded *without* write-back
+    /// (their contents are dead), then the disk space is released.
+    ///
+    /// # Panics
+    /// Panics if any page of the file is still pinned.
+    pub fn delete_file(&self, file: FileId) {
+        let mut meta = self.meta.borrow_mut();
+        let victims: Vec<(PageId, usize)> = meta
+            .table
+            .iter()
+            .filter(|(pid, _)| pid.file == file)
+            .map(|(pid, &f)| (*pid, f))
+            .collect();
+        for (pid, f) in victims {
+            assert_eq!(meta.frames[f].pin, 0, "deleting file with pinned page {pid}");
+            meta.table.remove(&pid);
+            meta.frames[f] = FrameMeta { pid: None, pin: 0, dirty: false, referenced: false };
+        }
+        drop(meta);
+        self.disk.borrow_mut().delete_file(file);
+    }
+
+    /// Fetches an existing page for reading.
+    pub fn read_page(&self, pid: PageId) -> Result<PageRef<'_>, PoolError> {
+        let frame = self.fetch(pid, false, false)?;
+        Ok(PageRef {
+            pool: self,
+            frame,
+            data: self.data[frame].borrow(),
+        })
+    }
+
+    /// Fetches an existing page for modification; the frame is marked dirty.
+    pub fn write_page(&self, pid: PageId) -> Result<PageMut<'_>, PoolError> {
+        let frame = self.fetch(pid, true, false)?;
+        Ok(PageMut {
+            pool: self,
+            frame,
+            data: self.data[frame].borrow_mut(),
+        })
+    }
+
+    /// Appends a full page image to `file`, writing through to disk
+    /// without occupying a frame.
+    ///
+    /// Bulk writers (heap writers, sort runs, index bulk loads) use this:
+    /// their output is written exactly once and read later, so caching it
+    /// would only pollute the pool — and deferring the write until clock
+    /// eviction would turn a sequential output stream into random
+    /// write-back, which is exactly the pathology real engines avoid by
+    /// bypassing the buffer pool for bulk output.
+    pub fn append_page_through(&self, file: FileId, buf: &PageBuf) -> u32 {
+        let mut disk = self.disk.borrow_mut();
+        let page = disk.allocate_page(file);
+        disk.write_page(PageId::new(file, page), buf);
+        page
+    }
+
+    /// Allocates a fresh page in `file` and returns it pinned for writing.
+    /// No read is charged: the page starts zeroed.
+    pub fn new_page(&self, file: FileId) -> Result<(u32, PageMut<'_>), PoolError> {
+        let page = self.disk.borrow_mut().allocate_page(file);
+        let pid = PageId::new(file, page);
+        let frame = self.fetch(pid, true, true)?;
+        let mut data = self.data[frame].borrow_mut();
+        data.fill(0);
+        Ok((page, PageMut { pool: self, frame, data }))
+    }
+
+    /// Flushes and then discards every unpinned frame — a cold-cache reset
+    /// used between experiment runs so each algorithm starts from disk.
+    ///
+    /// # Panics
+    /// Panics if any frame is still pinned (experiments must not hold
+    /// guards across runs).
+    pub fn evict_all(&self) {
+        self.flush_all();
+        let mut meta = self.meta.borrow_mut();
+        for fm in &mut meta.frames {
+            assert_eq!(fm.pin, 0, "evict_all with a pinned frame");
+            *fm = FrameMeta { pid: None, pin: 0, dirty: false, referenced: false };
+        }
+        meta.table.clear();
+        meta.hand = 0;
+    }
+
+    /// Writes back every dirty frame (leaving pages resident and clean).
+    pub fn flush_all(&self) {
+        let mut meta = self.meta.borrow_mut();
+        let mut disk = self.disk.borrow_mut();
+        // Flush in page order for sequential write-back, as a real pool would.
+        let mut dirty: Vec<(PageId, usize)> = meta
+            .frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, fm)| match (fm.dirty, fm.pid) {
+                (true, Some(pid)) => Some((pid, i)),
+                _ => None,
+            })
+            .collect();
+        dirty.sort_unstable();
+        for (pid, i) in dirty {
+            disk.write_page(pid, &self.data[i].borrow());
+            meta.frames[i].dirty = false;
+        }
+    }
+
+    /// Core fetch: returns the (pinned) frame index holding `pid`.
+    /// `fresh` skips the disk read for newly allocated pages.
+    fn fetch(&self, pid: PageId, for_write: bool, fresh: bool) -> Result<usize, PoolError> {
+        let mut meta = self.meta.borrow_mut();
+        if let Some(&f) = meta.table.get(&pid) {
+            meta.stats.hits += 1;
+            let fm = &mut meta.frames[f];
+            fm.pin += 1;
+            fm.referenced = true;
+            fm.dirty |= for_write;
+            return Ok(f);
+        }
+        meta.stats.misses += 1;
+        let victim = self.pick_victim(&mut meta)?;
+        // Evict the old resident, writing back if dirty.
+        if let Some(old) = meta.frames[victim].pid {
+            if meta.frames[victim].dirty {
+                self.disk
+                    .borrow_mut()
+                    .write_page(old, &self.data[victim].borrow());
+            }
+            meta.table.remove(&old);
+        }
+        if !fresh {
+            self.disk
+                .borrow_mut()
+                .read_page(pid, &mut self.data[victim].borrow_mut());
+        }
+        meta.frames[victim] = FrameMeta {
+            pid: Some(pid),
+            pin: 1,
+            dirty: for_write,
+            referenced: true,
+        };
+        meta.table.insert(pid, victim);
+        Ok(victim)
+    }
+
+    /// Clock sweep: find an unpinned frame, giving referenced frames a
+    /// second chance.
+    fn pick_victim(&self, meta: &mut Meta) -> Result<usize, PoolError> {
+        let n = meta.frames.len();
+        for _ in 0..2 * n {
+            let i = meta.hand;
+            meta.hand = (meta.hand + 1) % n;
+            let fm = &mut meta.frames[i];
+            if fm.pin > 0 {
+                continue;
+            }
+            if fm.referenced {
+                fm.referenced = false;
+                continue;
+            }
+            return Ok(i);
+        }
+        Err(PoolError::NoFreeFrames { capacity: n })
+    }
+
+    fn unpin(&self, frame: usize) {
+        let mut meta = self.meta.borrow_mut();
+        let fm = &mut meta.frames[frame];
+        debug_assert!(fm.pin > 0, "unpin of unpinned frame");
+        fm.pin -= 1;
+    }
+}
+
+/// A pinned, read-only page. Unpins on drop.
+pub struct PageRef<'a> {
+    pool: &'a BufferPool,
+    frame: usize,
+    data: Ref<'a, Box<PageBuf>>,
+}
+
+impl Deref for PageRef<'_> {
+    type Target = PageBuf;
+
+    #[inline]
+    fn deref(&self) -> &PageBuf {
+        &self.data
+    }
+}
+
+impl Drop for PageRef<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.frame);
+    }
+}
+
+/// A pinned, writable page (its frame is marked dirty). Unpins on drop;
+/// the actual disk write happens on eviction or [`BufferPool::flush_all`].
+pub struct PageMut<'a> {
+    pool: &'a BufferPool,
+    frame: usize,
+    data: RefMut<'a, Box<PageBuf>>,
+}
+
+impl Deref for PageMut<'_> {
+    type Target = PageBuf;
+
+    #[inline]
+    fn deref(&self) -> &PageBuf {
+        &self.data
+    }
+}
+
+impl DerefMut for PageMut<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut PageBuf {
+        &mut self.data
+    }
+}
+
+impl Drop for PageMut<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(frames: usize) -> BufferPool {
+        BufferPool::new(Disk::in_memory_free(), frames)
+    }
+
+    #[test]
+    fn write_then_read_through_pool() {
+        let p = pool(4);
+        let f = p.create_file();
+        let (n0, mut g) = p.new_page(f).unwrap();
+        assert_eq!(n0, 0);
+        g[0] = 42;
+        g[100] = 7;
+        drop(g);
+        let r = p.read_page(PageId::new(f, 0)).unwrap();
+        assert_eq!(r[0], 42);
+        assert_eq!(r[100], 7);
+        // Still resident: zero disk reads so far, zero writes (not evicted).
+        let io = p.io_stats();
+        assert_eq!(io.reads(), 0);
+        assert_eq!(io.writes(), 0);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let p = pool(2);
+        let f = p.create_file();
+        for i in 0..4u8 {
+            let (_, mut g) = p.new_page(f).unwrap();
+            g[0] = i;
+        }
+        // Pages 0 and 1 were evicted (written); 2 and 3 are resident dirty.
+        assert_eq!(p.io_stats().writes(), 2);
+        let r = p.read_page(PageId::new(f, 0)).unwrap();
+        assert_eq!(r[0], 0);
+        drop(r);
+        let r = p.read_page(PageId::new(f, 3)).unwrap();
+        assert_eq!(r[0], 3);
+    }
+
+    #[test]
+    fn flush_all_persists_and_keeps_resident() {
+        let p = pool(4);
+        let f = p.create_file();
+        for i in 0..3u8 {
+            let (_, mut g) = p.new_page(f).unwrap();
+            g[0] = i + 10;
+        }
+        p.flush_all();
+        assert_eq!(p.io_stats().writes(), 3);
+        // Re-read hits the pool, no disk read.
+        let before = p.io_stats().reads();
+        let r = p.read_page(PageId::new(f, 1)).unwrap();
+        assert_eq!(r[0], 11);
+        assert_eq!(p.io_stats().reads(), before);
+        // Clean frames are not rewritten on a second flush.
+        drop(r);
+        p.flush_all();
+        assert_eq!(p.io_stats().writes(), 3);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let p = pool(2);
+        let f = p.create_file();
+        let (_, g0) = p.new_page(f).unwrap(); // pin page 0
+        for _ in 0..5 {
+            let (_, _g) = p.new_page(f).unwrap(); // cycles through frame 2
+        }
+        // Page 0 must still be resident and intact.
+        drop(g0);
+        let r = p.read_page(PageId::new(f, 0)).unwrap();
+        assert_eq!(r[0], 0);
+        assert_eq!(p.pool_stats().hits, 1);
+    }
+
+    #[test]
+    fn no_free_frames_is_reported() {
+        let p = pool(2);
+        let f = p.create_file();
+        let (_, _g0) = p.new_page(f).unwrap();
+        let (_, _g1) = p.new_page(f).unwrap();
+        let err = p.new_page(f).map(|_| ()).unwrap_err();
+        assert_eq!(err, PoolError::NoFreeFrames { capacity: 2 });
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let p = pool(2);
+        let f = p.create_file();
+        let (_, g) = p.new_page(f).unwrap();
+        drop(g);
+        drop(p.read_page(PageId::new(f, 0)).unwrap()); // hit
+        drop(p.read_page(PageId::new(f, 0)).unwrap()); // hit
+        let s = p.pool_stats();
+        assert_eq!(s.misses, 1); // the new_page claim
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn delete_file_discards_dirty_frames() {
+        let p = pool(4);
+        let f = p.create_file();
+        let (_, mut g) = p.new_page(f).unwrap();
+        g[0] = 9;
+        drop(g);
+        p.delete_file(f);
+        // Dirty frame was discarded: no write-back happened.
+        assert_eq!(p.io_stats().writes(), 0);
+        assert_eq!(p.num_pages(f), 0);
+        // The frame is reusable.
+        let f2 = p.create_file();
+        let (_, _g) = p.new_page(f2).unwrap();
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let p = pool(3);
+        let f = p.create_file();
+        for _ in 0..3 {
+            let (_, _g) = p.new_page(f).unwrap();
+        }
+        // Fault in page 3: the sweep clears every reference bit and evicts
+        // page 0, leaving pages 1 and 2 resident but unreferenced.
+        let (_, g) = p.new_page(f).unwrap();
+        drop(g);
+        // Re-touch page 2: its reference bit protects it from the next sweep.
+        drop(p.read_page(PageId::new(f, 2)).unwrap());
+        // Fault in page 4: the victim must be the unreferenced page 1,
+        // not the just-touched page 2.
+        let (_, g) = p.new_page(f).unwrap();
+        drop(g);
+        let before = p.io_stats().reads();
+        drop(p.read_page(PageId::new(f, 2)).unwrap());
+        assert_eq!(p.io_stats().reads(), before, "page 2 was evicted");
+        drop(p.read_page(PageId::new(f, 1)).unwrap());
+        assert_eq!(p.io_stats().reads(), before + 1, "page 1 should be gone");
+    }
+
+    #[test]
+    fn many_pages_roundtrip_under_small_pool() {
+        let p = pool(3);
+        let f = p.create_file();
+        for i in 0..50u32 {
+            let (_, mut g) = p.new_page(f).unwrap();
+            g[..4].copy_from_slice(&i.to_le_bytes());
+        }
+        for i in (0..50u32).rev() {
+            let r = p.read_page(PageId::new(f, i)).unwrap();
+            assert_eq!(u32::from_le_bytes(r[..4].try_into().unwrap()), i);
+        }
+    }
+}

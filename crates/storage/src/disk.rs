@@ -1,0 +1,371 @@
+//! Disk backends and the accounting [`Disk`] wrapper.
+//!
+//! A [`DiskBackend`] is a dumb page store: create/delete files, allocate
+//! pages, read and write whole pages. [`Disk`] wraps a backend and is the
+//! only thing the buffer pool talks to; it classifies every transfer as
+//! sequential or random (relative to the previous access in the same file)
+//! and charges the [`CostModel`].
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
+use crate::stats::{CostModel, IoStats};
+
+/// A page-granular storage device.
+pub trait DiskBackend {
+    /// Creates a new, empty file and returns its id.
+    fn create_file(&mut self) -> FileId;
+    /// Deletes a file and releases its space. Deleting an unknown file is a
+    /// no-op.
+    fn delete_file(&mut self, file: FileId);
+    /// Appends a zeroed page to `file`, returning its page number.
+    fn allocate_page(&mut self, file: FileId) -> u32;
+    /// Number of pages currently allocated to `file`.
+    fn num_pages(&self, file: FileId) -> u32;
+    /// Reads page `pid` into `buf`. Panics if the page does not exist.
+    fn read_page(&mut self, pid: PageId, buf: &mut PageBuf);
+    /// Writes `buf` to page `pid`. Panics if the page does not exist.
+    fn write_page(&mut self, pid: PageId, buf: &PageBuf);
+}
+
+/// In-memory backend: pages live in `Vec`s. The default for experiments —
+/// all I/O cost comes from the deterministic [`CostModel`], so runs are
+/// machine-independent.
+#[derive(Default)]
+pub struct MemBackend {
+    files: Vec<Option<Vec<Box<PageBuf>>>>,
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn file(&self, f: FileId) -> &Vec<Box<PageBuf>> {
+        self.files
+            .get(f.0 as usize)
+            .and_then(|o| o.as_ref())
+            .expect("unknown or deleted file")
+    }
+
+    fn file_mut(&mut self, f: FileId) -> &mut Vec<Box<PageBuf>> {
+        self.files
+            .get_mut(f.0 as usize)
+            .and_then(|o| o.as_mut())
+            .expect("unknown or deleted file")
+    }
+}
+
+impl DiskBackend for MemBackend {
+    fn create_file(&mut self) -> FileId {
+        self.files.push(Some(Vec::new()));
+        FileId((self.files.len() - 1) as u32)
+    }
+
+    fn delete_file(&mut self, file: FileId) {
+        if let Some(slot) = self.files.get_mut(file.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    fn allocate_page(&mut self, file: FileId) -> u32 {
+        let f = self.file_mut(file);
+        f.push(Box::new([0u8; PAGE_SIZE]));
+        (f.len() - 1) as u32
+    }
+
+    fn num_pages(&self, file: FileId) -> u32 {
+        self.files
+            .get(file.0 as usize)
+            .and_then(|o| o.as_ref())
+            .map_or(0, |f| f.len() as u32)
+    }
+
+    fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) {
+        buf.copy_from_slice(&self.file(pid.file)[pid.page as usize][..]);
+    }
+
+    fn write_page(&mut self, pid: PageId, buf: &PageBuf) {
+        self.file_mut(pid.file)[pid.page as usize].copy_from_slice(buf);
+    }
+}
+
+/// Real-file backend: each [`FileId`] maps to one file under a directory.
+/// Used to validate that the engine works against an actual filesystem;
+/// experiments default to [`MemBackend`] for determinism.
+pub struct FileBackend {
+    dir: PathBuf,
+    files: Vec<Option<(File, u32)>>,
+}
+
+impl FileBackend {
+    /// Creates a backend storing page files under `dir` (created if absent).
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileBackend { dir, files: Vec::new() })
+    }
+
+    fn entry_mut(&mut self, f: FileId) -> &mut (File, u32) {
+        self.files
+            .get_mut(f.0 as usize)
+            .and_then(|o| o.as_mut())
+            .expect("unknown or deleted file")
+    }
+}
+
+impl DiskBackend for FileBackend {
+    fn create_file(&mut self) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        let path = self.dir.join(format!("f{}.pages", id.0));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .expect("create page file");
+        self.files.push(Some((file, 0)));
+        id
+    }
+
+    fn delete_file(&mut self, file: FileId) {
+        if let Some(slot) = self.files.get_mut(file.0 as usize) {
+            if slot.take().is_some() {
+                let _ = std::fs::remove_file(self.dir.join(format!("f{}.pages", file.0)));
+            }
+        }
+    }
+
+    fn allocate_page(&mut self, file: FileId) -> u32 {
+        let (f, n) = self.entry_mut(file);
+        let page = *n;
+        *n += 1;
+        f.seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))
+            .and_then(|_| f.write_all(&[0u8; PAGE_SIZE]))
+            .expect("extend page file");
+        page
+    }
+
+    fn num_pages(&self, file: FileId) -> u32 {
+        self.files
+            .get(file.0 as usize)
+            .and_then(|o| o.as_ref())
+            .map_or(0, |(_, n)| *n)
+    }
+
+    fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) {
+        let (f, n) = self.entry_mut(pid.file);
+        assert!(pid.page < *n, "read past end of file {pid}");
+        f.seek(SeekFrom::Start(pid.page as u64 * PAGE_SIZE as u64))
+            .and_then(|_| f.read_exact(buf))
+            .expect("read page");
+    }
+
+    fn write_page(&mut self, pid: PageId, buf: &PageBuf) {
+        let (f, n) = self.entry_mut(pid.file);
+        assert!(pid.page < *n, "write past end of file {pid}");
+        f.seek(SeekFrom::Start(pid.page as u64 * PAGE_SIZE as u64))
+            .and_then(|_| f.write_all(buf))
+            .expect("write page");
+    }
+}
+
+/// The accounting layer every page transfer goes through.
+pub struct Disk {
+    backend: Box<dyn DiskBackend>,
+    cost: CostModel,
+    stats: IoStats,
+    /// Last page accessed per file, to classify sequential vs. random.
+    last_access: HashMap<FileId, u32>,
+}
+
+impl Disk {
+    /// Wraps a backend with the given cost model.
+    pub fn new(backend: Box<dyn DiskBackend>, cost: CostModel) -> Self {
+        Disk {
+            backend,
+            cost,
+            stats: IoStats::default(),
+            last_access: HashMap::new(),
+        }
+    }
+
+    /// An in-memory disk with the default (year-2000 HDD) cost model.
+    pub fn in_memory() -> Self {
+        Disk::new(Box::new(MemBackend::new()), CostModel::default())
+    }
+
+    /// An in-memory disk that only counts pages (no simulated time).
+    pub fn in_memory_free() -> Self {
+        Disk::new(Box::new(MemBackend::new()), CostModel::free())
+    }
+
+    /// Current cumulative counters.
+    #[inline]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// The cost model in effect.
+    #[inline]
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn charge(&mut self, pid: PageId, is_read: bool) {
+        let seq = self
+            .last_access
+            .get(&pid.file)
+            .is_some_and(|&last| pid.page == last + 1 || pid.page == last);
+        self.last_access.insert(pid.file, pid.page);
+        let ns = if seq { self.cost.seq_ns } else { self.cost.rand_ns };
+        self.stats.sim_ns += ns;
+        match (is_read, seq) {
+            (true, true) => self.stats.seq_reads += 1,
+            (true, false) => self.stats.rand_reads += 1,
+            (false, true) => self.stats.seq_writes += 1,
+            (false, false) => self.stats.rand_writes += 1,
+        }
+    }
+
+    /// See [`DiskBackend::create_file`].
+    pub fn create_file(&mut self) -> FileId {
+        self.backend.create_file()
+    }
+
+    /// See [`DiskBackend::delete_file`].
+    pub fn delete_file(&mut self, file: FileId) {
+        self.last_access.remove(&file);
+        self.backend.delete_file(file);
+    }
+
+    /// See [`DiskBackend::allocate_page`]. Allocation itself is free; the
+    /// subsequent write of the page is what gets charged.
+    pub fn allocate_page(&mut self, file: FileId) -> u32 {
+        self.backend.allocate_page(file)
+    }
+
+    /// See [`DiskBackend::num_pages`].
+    pub fn num_pages(&self, file: FileId) -> u32 {
+        self.backend.num_pages(file)
+    }
+
+    /// Reads a page, charging the cost model.
+    pub fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) {
+        self.charge(pid, true);
+        self.backend.read_page(pid, buf);
+    }
+
+    /// Writes a page, charging the cost model.
+    pub fn write_page(&mut self, pid: PageId, buf: &PageBuf) {
+        self.charge(pid, false);
+        self.backend.write_page(pid, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(backend: Box<dyn DiskBackend>) {
+        let mut disk = Disk::new(backend, CostModel::free());
+        let f = disk.create_file();
+        let p0 = disk.allocate_page(f);
+        let p1 = disk.allocate_page(f);
+        assert_eq!((p0, p1), (0, 1));
+        assert_eq!(disk.num_pages(f), 2);
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        disk.write_page(PageId::new(f, 1), &buf);
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(PageId::new(f, 1), &mut out);
+        assert_eq!(out[0], 0xAB);
+        assert_eq!(out[PAGE_SIZE - 1], 0xCD);
+        disk.read_page(PageId::new(f, 0), &mut out);
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn mem_backend_roundtrip() {
+        roundtrip(Box::new(MemBackend::new()));
+    }
+
+    #[test]
+    fn file_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pbitree-disk-{}", std::process::id()));
+        roundtrip(Box::new(FileBackend::new(&dir).unwrap()));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sequential_vs_random_classification() {
+        let mut disk = Disk::in_memory();
+        let f = disk.create_file();
+        for _ in 0..4 {
+            disk.allocate_page(f);
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        disk.read_page(PageId::new(f, 0), &mut buf); // first access: random
+        disk.read_page(PageId::new(f, 1), &mut buf); // sequential
+        disk.read_page(PageId::new(f, 2), &mut buf); // sequential
+        disk.read_page(PageId::new(f, 0), &mut buf); // random (jump back)
+        let s = disk.stats();
+        assert_eq!(s.seq_reads, 2);
+        assert_eq!(s.rand_reads, 2);
+        assert_eq!(
+            s.sim_ns,
+            2 * CostModel::default().seq_ns + 2 * CostModel::default().rand_ns
+        );
+    }
+
+    #[test]
+    fn rereading_same_page_counts_sequential() {
+        // Re-reading the page under the head costs no seek.
+        let mut disk = Disk::in_memory();
+        let f = disk.create_file();
+        disk.allocate_page(f);
+        let mut buf = [0u8; PAGE_SIZE];
+        disk.read_page(PageId::new(f, 0), &mut buf);
+        disk.read_page(PageId::new(f, 0), &mut buf);
+        assert_eq!(disk.stats().seq_reads, 1);
+        assert_eq!(disk.stats().rand_reads, 1);
+    }
+
+    #[test]
+    fn per_file_head_positions() {
+        // Interleaved access to two files: each file tracks its own head.
+        let mut disk = Disk::in_memory();
+        let f1 = disk.create_file();
+        let f2 = disk.create_file();
+        for _ in 0..3 {
+            disk.allocate_page(f1);
+            disk.allocate_page(f2);
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        disk.read_page(PageId::new(f1, 0), &mut buf);
+        disk.read_page(PageId::new(f2, 0), &mut buf);
+        disk.read_page(PageId::new(f1, 1), &mut buf);
+        disk.read_page(PageId::new(f2, 1), &mut buf);
+        let s = disk.stats();
+        // First touch of each file is random, the rest sequential.
+        assert_eq!(s.rand_reads, 2);
+        assert_eq!(s.seq_reads, 2);
+    }
+
+    #[test]
+    fn delete_file_frees_slot() {
+        let mut disk = Disk::in_memory_free();
+        let f = disk.create_file();
+        disk.allocate_page(f);
+        disk.delete_file(f);
+        assert_eq!(disk.num_pages(f), 0);
+        // Deleting twice is a no-op.
+        disk.delete_file(f);
+    }
+}

@@ -1,0 +1,42 @@
+//! # pbitree-storage — a Minibase-style paged storage engine
+//!
+//! The ICDE 2003 PBiTree paper runs its evaluation on Minibase: a storage
+//! manager operating on raw disk, a buffer manager with a bounded frame
+//! budget, and heap files of fixed-width tuples. This crate reimplements
+//! that substrate in Rust:
+//!
+//! * [`disk`] — pluggable disk backends behind [`disk::DiskBackend`]:
+//!   a real-file backend and an in-memory backend. Every page transfer is
+//!   classified sequential vs. random and charged against a configurable
+//!   [`stats::CostModel`], so experiments report deterministic simulated
+//!   I/O time next to raw page counts (the paper's numbers are I/O-bound;
+//!   see `DESIGN.md`, substitution 1).
+//! * [`buffer`] — a clock-replacement buffer pool with pin/unpin guards and
+//!   a hard frame budget `b`, the paper's `NumBufferPages`.
+//! * [`heap`] — unordered files of fixed-width records
+//!   ([`record::FixedRecord`]) with append writers and sequential scanners.
+//! * [`sort`] — external multiway merge sort (run formation + k-way merge)
+//!   operating entirely through the buffer pool, used by the "sort on the
+//!   fly" baselines (MPMGJN/StackTree/ADB+ over unsorted inputs).
+//! * [`util::hash`] — an FxHash-style integer hasher; join hash tables are
+//!   keyed by 8-byte codes, where SipHash would dominate CPU cost.
+//!
+//! Everything is single-threaded by design: the paper's algorithms are
+//! sequential, and determinism makes the experiment harness reproducible.
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod page;
+pub mod record;
+pub mod sort;
+pub mod stats;
+pub mod util;
+
+pub use buffer::{BufferPool, PageMut, PageRef, PoolError};
+pub use disk::{Disk, DiskBackend, FileBackend, MemBackend};
+pub use heap::{records_per_page, HeapFile, HeapScan, HeapWriter, ScanPos};
+pub use page::{FileId, PageBuf, PageId, PAGE_SIZE};
+pub use record::FixedRecord;
+pub use sort::external_sort;
+pub use stats::{CostModel, IoStats};

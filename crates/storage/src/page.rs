@@ -1,0 +1,36 @@
+//! Page and file identifiers.
+
+/// Size of a disk page in bytes. 4 KiB matches common filesystem blocks;
+/// the paper's Minibase used 1 KiB pages — only the constant differs, all
+/// cost formulas are in units of pages.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A fixed-size page buffer.
+pub type PageBuf = [u8; PAGE_SIZE];
+
+/// Identifier of a file managed by a [`crate::disk::DiskBackend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// Identifier of one page: a file and a zero-based page number within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// Owning file.
+    pub file: FileId,
+    /// Zero-based page number within the file.
+    pub page: u32,
+}
+
+impl PageId {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(file: FileId, page: u32) -> Self {
+        PageId { file, page }
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.file.0, self.page)
+    }
+}

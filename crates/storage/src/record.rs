@@ -1,0 +1,116 @@
+//! Fixed-width record encoding for heap files.
+//!
+//! Join inputs are tuples of PBiTree codes (plus small payloads); all of
+//! them serialize to a fixed byte width, which keeps heap pages trivially
+//! packed and external sort runs directly comparable to the paper's
+//! page-count cost formulas.
+
+/// A record with a fixed serialized size.
+///
+/// Implementations must write exactly [`SIZE`](FixedRecord::SIZE) bytes and
+/// read back the identical value (round-trip property, checked by tests for
+/// every implementation in this workspace).
+pub trait FixedRecord: Copy {
+    /// Serialized size in bytes. Must be `>= 1` and no larger than a page
+    /// payload.
+    const SIZE: usize;
+
+    /// Serializes into `out`, which is exactly `SIZE` bytes.
+    fn write(&self, out: &mut [u8]);
+
+    /// Deserializes from `buf`, which is exactly `SIZE` bytes.
+    fn read(buf: &[u8]) -> Self;
+
+    /// Optional `(lo, hi)` interval this record occupies in some keyspace,
+    /// folded by heap writers into per-file catalog bounds (joins use them
+    /// to pick partitioning levels without an extra scan). `None` (the
+    /// default) keeps no statistics.
+    #[inline]
+    fn bounds_hint(&self) -> Option<(u64, u64)> {
+        None
+    }
+}
+
+impl FixedRecord for u64 {
+    const SIZE: usize = 8;
+
+    #[inline]
+    fn write(&self, out: &mut [u8]) {
+        out.copy_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        u64::from_le_bytes(buf.try_into().expect("u64 record is 8 bytes"))
+    }
+}
+
+impl FixedRecord for u32 {
+    const SIZE: usize = 4;
+
+    #[inline]
+    fn write(&self, out: &mut [u8]) {
+        out.copy_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        u32::from_le_bytes(buf.try_into().expect("u32 record is 4 bytes"))
+    }
+}
+
+impl FixedRecord for u128 {
+    const SIZE: usize = 16;
+
+    #[inline]
+    fn write(&self, out: &mut [u8]) {
+        out.copy_from_slice(&self.to_le_bytes());
+    }
+
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        u128::from_le_bytes(buf.try_into().expect("u128 record is 16 bytes"))
+    }
+}
+
+impl<A: FixedRecord, B: FixedRecord> FixedRecord for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+
+    #[inline]
+    fn write(&self, out: &mut [u8]) {
+        self.0.write(&mut out[..A::SIZE]);
+        self.1.write(&mut out[A::SIZE..]);
+    }
+
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        (A::read(&buf[..A::SIZE]), B::read(&buf[A::SIZE..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<R: FixedRecord + PartialEq + std::fmt::Debug>(r: R) {
+        let mut buf = vec![0u8; R::SIZE];
+        r.write(&mut buf);
+        assert_eq!(R::read(&buf), r);
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u128::MAX - 7);
+    }
+
+    #[test]
+    fn pair_round_trips() {
+        round_trip((42u64, 7u32));
+        round_trip((u128::MAX, u64::MAX));
+        round_trip(((1u64, 2u64), 3u32));
+        assert_eq!(<((u64, u64), u32)>::SIZE, 20);
+    }
+}

@@ -1,0 +1,5 @@
+//! Small shared utilities.
+
+pub mod hash;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

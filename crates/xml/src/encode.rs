@@ -1,0 +1,145 @@
+//! PBiTree encoding of documents and element-set extraction.
+
+use crate::document::{Document, TagId};
+use pbitree_core::binarize::binarize_tree_with_height;
+use pbitree_core::{binarize_tree, Code, CodeError, EncodedTree};
+
+/// A document together with the PBiTree codes of all its nodes — the unit
+/// a containment-join engine loads. Element sets extracted from it are the
+/// `A` and `D` inputs of the paper's Definition 1.
+#[derive(Debug)]
+pub struct EncodedDocument {
+    doc: Document,
+    enc: EncodedTree,
+}
+
+impl EncodedDocument {
+    /// Binarizes `doc` into the minimal PBiTree.
+    pub fn encode(doc: Document) -> Result<Self, CodeError> {
+        let enc = binarize_tree(doc.tree())?;
+        Ok(EncodedDocument { doc, enc })
+    }
+
+    /// Binarizes into a taller PBiTree (reserving code space for updates).
+    pub fn encode_with_height(doc: Document, height: u32) -> Result<Self, CodeError> {
+        let enc = binarize_tree_with_height(doc.tree(), height)?;
+        Ok(EncodedDocument { doc, enc })
+    }
+
+    /// The underlying document.
+    #[inline]
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The encoding (codes indexed by node id) and tree shape.
+    #[inline]
+    pub fn encoding(&self) -> &EncodedTree {
+        &self.enc
+    }
+
+    /// The PBiTree height used by the embedding.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.enc.shape().height()
+    }
+
+    /// Codes of all nodes with tag `name`, in document order. This is the
+    /// element-set extraction step that feeds containment joins.
+    pub fn element_set(&self, name: &str) -> Vec<Code> {
+        self.doc
+            .nodes_with_tag(name)
+            .into_iter()
+            .map(|n| self.enc.code(n))
+            .collect()
+    }
+
+    /// Codes of nodes with tag `name` whose string value satisfies `pred`
+    /// (value predicates like `Title = "Introduction"`).
+    pub fn element_set_where<F: Fn(&str) -> bool>(&self, name: &str, pred: F) -> Vec<Code> {
+        self.doc
+            .nodes_with_tag(name)
+            .into_iter()
+            .filter(|&n| pred(&self.doc.string_value(n)))
+            .map(|n| self.enc.code(n))
+            .collect()
+    }
+
+    /// Codes of all nodes with the given interned tag id.
+    pub fn element_set_by_id(&self, id: TagId) -> Vec<Code> {
+        let tree = self.doc.tree();
+        tree.preorder(tree.root())
+            .filter(|&n| tree.label(n) == id)
+            .map(|n| self.enc.code(n))
+            .collect()
+    }
+
+    /// `(code, tag)` pairs for every node — the bulk-load feed for a
+    /// storage engine.
+    pub fn all_coded_nodes(&self) -> impl Iterator<Item = (Code, TagId)> + '_ {
+        let tree = self.doc.tree();
+        tree.ids().map(move |n| (self.enc.code(n), tree.label(n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn encoded(xml: &str) -> EncodedDocument {
+        EncodedDocument::encode(parse(xml).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn codes_preserve_containment() {
+        let e = encoded(
+            "<book><chapter><section><figure/></section></chapter>\
+             <chapter><figure/></chapter></book>",
+        );
+        let chapters = e.element_set("chapter");
+        let figures = e.element_set("figure");
+        assert_eq!(chapters.len(), 2);
+        assert_eq!(figures.len(), 2);
+        // Every figure is inside exactly one chapter.
+        for f in &figures {
+            let n = chapters.iter().filter(|c| c.is_ancestor_of(*f)).count();
+            assert_eq!(n, 1);
+        }
+        // The section contains the first figure only.
+        let s = e.element_set("section")[0];
+        assert!(s.is_ancestor_of(figures[0]));
+        assert!(!s.is_ancestor_of(figures[1]));
+    }
+
+    #[test]
+    fn value_predicate_extraction() {
+        let e = encoded(
+            "<doc><sec><title>Introduction</title><fig/></sec>\
+             <sec><title>Results</title><fig/></sec></doc>",
+        );
+        let intro = e.element_set_where("title", |v| v == "Introduction");
+        assert_eq!(intro.len(), 1);
+        let all = e.element_set("title");
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn element_set_by_id_matches_by_name() {
+        let e = encoded("<r><x/><y><x/></y></r>");
+        let id = e.document().tag_id("x").unwrap();
+        assert_eq!(e.element_set_by_id(id), e.element_set("x"));
+    }
+
+    #[test]
+    fn all_coded_nodes_covers_document() {
+        let e = encoded("<r><a/><b>t</b></r>");
+        let v: Vec<_> = e.all_coded_nodes().collect();
+        assert_eq!(v.len(), e.document().len());
+        // Codes are unique.
+        let mut codes: Vec<u64> = v.iter().map(|(c, _)| c.get()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), v.len());
+    }
+}

@@ -1,0 +1,479 @@
+//! A hand-written, dependency-free XML parser.
+//!
+//! Supports the subset real document collections (DBLP, XMark) exercise:
+//! elements with attributes, character data, CDATA sections, comments,
+//! processing instructions, an optional XML declaration and DOCTYPE, the
+//! five predefined entities and decimal/hex character references.
+//! Whitespace-only text between elements is dropped (ignorable whitespace);
+//! all other text becomes `#text` nodes.
+//!
+//! The parser is iterative (explicit open-element stack), so document depth
+//! is bounded by memory, not the call stack — DBLP-scale files with
+//! pathological nesting cannot crash it.
+//!
+//! Not supported (not needed by the corpus): external DTD entity
+//! definitions, namespace-aware validation (prefixes are kept verbatim in
+//! tag names).
+
+use std::fmt;
+
+use crate::document::Document;
+use pbitree_core::NodeId;
+
+/// A parse error with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError { offset: self.pos, message: message.into() })
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, s: &[u8]) -> Result<(), XmlError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", String::from_utf8_lossy(s)))
+        }
+    }
+
+    /// Skips past the first occurrence of `end`.
+    fn skip_until(&mut self, end: &[u8]) -> Result<(), XmlError> {
+        match find(&self.input[self.pos..], end) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => self.err(format!(
+                "unterminated construct, missing {:?}",
+                String::from_utf8_lossy(end)
+            )),
+        }
+    }
+
+    fn name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric()
+                || matches!(c, b'_' | b'-' | b'.' | b':')
+                || c >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| XmlError {
+            offset: start,
+            message: "invalid UTF-8 in name".into(),
+        })
+    }
+
+    /// Parses misc items (whitespace, comments, PIs) between markup.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<!--") {
+                self.pos += 4;
+                self.skip_until(b"-->")?;
+            } else if self.starts_with(b"<?") {
+                self.pos += 2;
+                self.skip_until(b"?>")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn attribute_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = &self.input[start..self.pos];
+                self.pos += 1;
+                return decode_entities(raw, start);
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated attribute value")
+    }
+
+    /// Parses the attributes and tag-close of a start tag whose name has
+    /// been consumed. Returns `true` if the element was self-closing.
+    fn start_tag_rest(&mut self, doc: &mut Document, node: NodeId) -> Result<bool, XmlError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(false);
+                }
+                Some(b'/') => {
+                    self.expect(b"/>")?;
+                    return Ok(true);
+                }
+                Some(_) => {
+                    let aname = self.name()?.to_owned();
+                    self.skip_ws();
+                    self.expect(b"=")?;
+                    self.skip_ws();
+                    let value = self.attribute_value()?;
+                    doc.add_attribute(node, &aname, &value);
+                }
+                None => return self.err("unexpected EOF in start tag"),
+            }
+        }
+    }
+
+    /// Parses the root element and its whole subtree, iteratively.
+    fn parse_tree(&mut self, doc: &mut Document) -> Result<(), XmlError> {
+        self.expect(b"<")?;
+        let _root_tag = self.name()?;
+        let root = doc.root();
+        if self.start_tag_rest(doc, root)? {
+            return Ok(()); // `<root/>`
+        }
+        let mut stack: Vec<NodeId> = vec![root];
+        let mut text = String::new();
+        loop {
+            let Some(&top) = stack.last() else {
+                return Ok(());
+            };
+            match self.peek() {
+                None => {
+                    return self.err(format!(
+                        "unexpected EOF inside <{}>",
+                        doc.node_tag_name(top)
+                    ))
+                }
+                Some(b'<') => {
+                    if self.starts_with(b"<!--") {
+                        self.pos += 4;
+                        self.skip_until(b"-->")?;
+                    } else if self.starts_with(b"<![CDATA[") {
+                        self.pos += 9;
+                        let start = self.pos;
+                        match find(&self.input[self.pos..], b"]]>") {
+                            Some(i) => {
+                                text.push_str(
+                                    std::str::from_utf8(&self.input[start..start + i])
+                                        .map_err(|_| XmlError {
+                                            offset: start,
+                                            message: "invalid UTF-8 in CDATA".into(),
+                                        })?,
+                                );
+                                self.pos += i + 3;
+                            }
+                            None => return self.err("unterminated CDATA"),
+                        }
+                    } else if self.starts_with(b"<?") {
+                        self.pos += 2;
+                        self.skip_until(b"?>")?;
+                    } else if self.starts_with(b"</") {
+                        flush_text(doc, top, &mut text);
+                        self.pos += 2;
+                        let close = self.name()?;
+                        if close != doc.node_tag_name(top) {
+                            return self.err(format!(
+                                "mismatched close tag </{close}> for <{}>",
+                                doc.node_tag_name(top)
+                            ));
+                        }
+                        self.skip_ws();
+                        self.expect(b">")?;
+                        stack.pop();
+                        if stack.is_empty() {
+                            return Ok(());
+                        }
+                    } else {
+                        flush_text(doc, top, &mut text);
+                        self.pos += 1; // consume '<'
+                        let tag = self.name()?.to_owned();
+                        let node = doc.add_element(top, &tag);
+                        if !self.start_tag_rest(doc, node)? {
+                            stack.push(node);
+                        }
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'<')) {
+                        self.pos += 1;
+                    }
+                    let decoded = decode_entities(&self.input[start..self.pos], start)?;
+                    text.push_str(&decoded);
+                }
+            }
+        }
+    }
+}
+
+/// Mixed-content note: text is flushed as a `#text` child of the element it
+/// appears in whenever markup interrupts it, so `<p>a<b/>c</p>` yields two
+/// text nodes under `p`.
+fn flush_text(doc: &mut Document, parent: NodeId, text: &mut String) {
+    if !text.trim().is_empty() {
+        doc.add_text(parent, text.trim());
+    }
+    text.clear();
+}
+
+/// Naive substring search (inputs are document-sized, patterns tiny).
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Decodes the predefined entities and character references.
+fn decode_entities(raw: &[u8], base_offset: usize) -> Result<String, XmlError> {
+    let s = std::str::from_utf8(raw).map_err(|_| XmlError {
+        offset: base_offset,
+        message: "invalid UTF-8 in text".into(),
+    })?;
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let Some(semi) = rest.find(';') else {
+            return Err(XmlError {
+                offset: base_offset,
+                message: "unterminated entity reference".into(),
+            });
+        };
+        let ent = &rest[1..semi];
+        match ent {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let cp = u32::from_str_radix(&ent[2..], 16).map_err(|_| XmlError {
+                    offset: base_offset,
+                    message: format!("bad character reference &{ent};"),
+                })?;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+            }
+            _ if ent.starts_with('#') => {
+                let cp: u32 = ent[1..].parse().map_err(|_| XmlError {
+                    offset: base_offset,
+                    message: format!("bad character reference &{ent};"),
+                })?;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+            }
+            _ => {
+                // Unknown entity (e.g. a DBLP author-name entity): keep it
+                // verbatim rather than failing the whole document.
+                out.push('&');
+                out.push_str(ent);
+                out.push(';');
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Parses a complete XML document.
+pub fn parse(input: &str) -> Result<Document, XmlError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_misc()?;
+    // Optional DOCTYPE (skipped; internal subsets with brackets supported).
+    if p.starts_with(b"<!DOCTYPE") {
+        let mut depth = 0usize;
+        while let Some(c) = p.peek() {
+            p.pos += 1;
+            match c {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    p.skip_misc()?;
+    if p.peek() != Some(b'<') {
+        return p.err("expected root element");
+    }
+    // Peek the root tag to construct the document, then parse in place.
+    let save = p.pos;
+    p.pos += 1;
+    let root_tag = p.name()?.to_owned();
+    p.pos = save;
+    let mut doc = Document::new(&root_tag);
+    p.parse_tree(&mut doc)?;
+    p.skip_misc()?;
+    if p.pos != p.input.len() {
+        return p.err("trailing content after root element");
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure1_document() {
+        // The example document of Figure 1(a), lightly abbreviated.
+        let doc = parse(
+            r#"<Proceedings>
+                 <Conference>ICDE</Conference>
+                 <Year>2003</Year>
+                 <Articles>
+                   <Title>PBiTree Coding ...</Title>
+                   <Author>fervvac</Author>
+                 </Articles>
+               </Proceedings>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.node_tag_name(doc.root()), "Proceedings");
+        assert_eq!(doc.nodes_with_tag("Author").len(), 1);
+        let title = doc.nodes_with_tag("Title")[0];
+        assert_eq!(doc.string_value(title), "PBiTree Coding ...");
+        // Containment: Author is inside Articles, which is inside the root.
+        let articles = doc.nodes_with_tag("Articles")[0];
+        let author = doc.nodes_with_tag("Author")[0];
+        assert!(doc.tree().is_ancestor_of(articles, author));
+    }
+
+    #[test]
+    fn attributes_become_at_nodes() {
+        let doc = parse(r#"<a x="1" y='two'><b z="3"/></a>"#).unwrap();
+        assert_eq!(doc.nodes_with_tag("@x").len(), 1);
+        assert_eq!(doc.nodes_with_tag("@y").len(), 1);
+        let z = doc.nodes_with_tag("@z")[0];
+        assert_eq!(doc.text(z), Some("3"));
+    }
+
+    #[test]
+    fn self_closing_root() {
+        let doc = parse("<lonely/>").unwrap();
+        assert_eq!(doc.len(), 1);
+        assert_eq!(doc.node_tag_name(doc.root()), "lonely");
+    }
+
+    #[test]
+    fn entities_and_char_refs() {
+        let doc = parse("<t>a &amp; b &lt;c&gt; &#65;&#x42; &quot;q&apos;</t>").unwrap();
+        let t = doc.nodes_with_tag("#text")[0];
+        assert_eq!(doc.text(t), Some(r#"a & b <c> AB "q'"#));
+    }
+
+    #[test]
+    fn unknown_entities_kept_verbatim() {
+        let doc = parse("<t>M&uuml;ller</t>").unwrap();
+        assert_eq!(doc.string_value(doc.root()), "M&uuml;ller");
+    }
+
+    #[test]
+    fn cdata_comments_pis_doctype() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE dblp [ <!ENTITY x \"y\"> ]>\n\
+             <r><!-- hi --><![CDATA[<raw> & stuff]]><?pi data?></r>",
+        )
+        .unwrap();
+        assert_eq!(doc.string_value(doc.root()), "<raw> & stuff");
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let doc = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(doc.nodes_with_tag("#text").len(), 0);
+        assert_eq!(doc.len(), 3);
+    }
+
+    #[test]
+    fn mixed_content_split_around_children() {
+        let doc = parse("<p>hello <b>bold</b> world</p>").unwrap();
+        let texts = doc.nodes_with_tag("#text");
+        assert_eq!(texts.len(), 3);
+        assert_eq!(doc.text(texts[0]), Some("hello"));
+        assert_eq!(doc.text(texts[2]), Some("world"));
+    }
+
+    #[test]
+    fn error_mismatched_close() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn error_unterminated() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a attr=>x</a>").is_err());
+        assert!(parse("<a>x</a><b/>").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow() {
+        // The parser is iterative: 100k levels of nesting must not touch
+        // the call stack.
+        let n = 100_000;
+        let mut s = String::new();
+        for _ in 0..n {
+            s.push_str("<d>");
+        }
+        for _ in 0..n {
+            s.push_str("</d>");
+        }
+        let doc = parse(&s).unwrap();
+        assert_eq!(doc.len(), n);
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = parse("<a>text").unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+}

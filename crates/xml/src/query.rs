@@ -1,0 +1,205 @@
+//! Descendant-axis path queries and their join decomposition.
+//!
+//! The paper (after [12], Li & Moon) decomposes structural XML queries into
+//! chains of containment joins: `//a//b//c` is `(A ⊲ B) ⊲ C`, where each
+//! step's element set comes from tag extraction (optionally with a value
+//! predicate, as in `//Section[Title="Introduction"]//Figure`). This module
+//! parses such paths and evaluates them naively in memory — the ground
+//! truth the disk-based join algorithms are verified against.
+
+use crate::encode::EncodedDocument;
+use pbitree_core::Code;
+
+/// One step of a descendant path: a tag, optionally with an equality
+/// predicate on a child element's string value
+/// (`tag[child="value"]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// The element tag name.
+    pub tag: String,
+    /// Optional `[child="value"]` predicate.
+    pub predicate: Option<(String, String)>,
+}
+
+/// A parsed `//a//b[c="v"]//d` path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescendantPath {
+    /// The steps in order; each is connected to the previous by the
+    /// descendant axis.
+    pub steps: Vec<PathStep>,
+}
+
+/// Errors from path parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathError(pub String);
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "path error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl DescendantPath {
+    /// Parses a `//a//b[c="v"]//d` string. Only the descendant axis (`//`)
+    /// and a single optional child-equality predicate per step are
+    /// supported — exactly the query shape the paper's workloads use.
+    pub fn parse(s: &str) -> Result<Self, PathError> {
+        let s = s.trim();
+        if !s.starts_with("//") {
+            return Err(PathError("path must start with //".into()));
+        }
+        let mut steps = Vec::new();
+        for raw in s[2..].split("//") {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                return Err(PathError("empty step".into()));
+            }
+            let (tag, predicate) = match raw.find('[') {
+                None => (raw.to_owned(), None),
+                Some(i) => {
+                    let tag = raw[..i].to_owned();
+                    let inner = raw[i..]
+                        .strip_prefix('[')
+                        .and_then(|r| r.strip_suffix(']'))
+                        .ok_or_else(|| PathError(format!("malformed predicate in {raw:?}")))?;
+                    let (child, value) = inner
+                        .split_once('=')
+                        .ok_or_else(|| PathError(format!("predicate needs '=' in {raw:?}")))?;
+                    let value = value
+                        .trim()
+                        .trim_matches('"')
+                        .trim_matches('\'')
+                        .to_owned();
+                    (tag, Some((child.trim().to_owned(), value)))
+                }
+            };
+            if tag.is_empty() {
+                return Err(PathError("step with empty tag".into()));
+            }
+            steps.push(PathStep { tag, predicate });
+        }
+        Ok(DescendantPath { steps })
+    }
+
+    /// The element set of step `i` of this path over `doc` (tag extraction
+    /// plus the step's value predicate). These sets are what a query
+    /// processor feeds to its containment-join operator.
+    pub fn step_set(&self, doc: &EncodedDocument, i: usize) -> Vec<Code> {
+        let step = &self.steps[i];
+        match &step.predicate {
+            None => doc.element_set(&step.tag),
+            Some((child, value)) => {
+                let d = doc.document();
+                let tree = d.tree();
+                d.nodes_with_tag(&step.tag)
+                    .into_iter()
+                    .filter(|&n| {
+                        tree.children(n).any(|c| {
+                            d.node_tag_name(c) == child && d.string_value(c) == *value
+                        })
+                    })
+                    .map(|n| doc.encoding().code(n))
+                    .collect()
+            }
+        }
+    }
+
+    /// Evaluates the path naively in memory, returning the codes of the
+    /// final step's matches, in code order. Quadratic per join step — used
+    /// as ground truth for the real join algorithms.
+    pub fn evaluate_naive(&self, doc: &EncodedDocument) -> Vec<Code> {
+        assert!(!self.steps.is_empty());
+        let mut current = self.step_set(doc, 0);
+        for i in 1..self.steps.len() {
+            let next = self.step_set(doc, i);
+            let mut out: Vec<Code> = next
+                .into_iter()
+                .filter(|d| current.iter().any(|a| a.is_ancestor_of(*d)))
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            current = out;
+        }
+        current.sort_unstable();
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::EncodedDocument;
+    use crate::parser::parse;
+
+    fn doc() -> EncodedDocument {
+        EncodedDocument::encode(
+            parse(
+                r#"<paper>
+                     <Section><Title>Introduction</Title>
+                       <Figure id="f1"/><para><Figure id="f2"/></para>
+                     </Section>
+                     <Section><Title>Evaluation</Title><Figure id="f3"/></Section>
+                   </paper>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_plain_path() {
+        let p = DescendantPath::parse("//a//b//c").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[1].tag, "b");
+        assert!(p.steps[1].predicate.is_none());
+    }
+
+    #[test]
+    fn parse_with_predicate() {
+        let p = DescendantPath::parse(r#"//Section[Title="Introduction"]//Figure"#).unwrap();
+        assert_eq!(p.steps[0].tag, "Section");
+        assert_eq!(
+            p.steps[0].predicate,
+            Some(("Title".into(), "Introduction".into()))
+        );
+        assert_eq!(p.steps[1].tag, "Figure");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(DescendantPath::parse("a//b").is_err());
+        assert!(DescendantPath::parse("//").is_err());
+        assert!(DescendantPath::parse("//a[b").is_err());
+        assert!(DescendantPath::parse("//a[b]").is_err());
+    }
+
+    #[test]
+    fn paper_intro_query() {
+        // //Section[Title="Introduction"]//Figure finds f1 and f2 only.
+        let d = doc();
+        let p = DescendantPath::parse(r#"//Section[Title="Introduction"]//Figure"#).unwrap();
+        let result = p.evaluate_naive(&d);
+        assert_eq!(result.len(), 2);
+        let all_figs = d.element_set("Figure");
+        assert_eq!(all_figs.len(), 3);
+        // The two results are inside the Introduction section.
+        let intro = p.step_set(&d, 0);
+        assert_eq!(intro.len(), 1);
+        for r in &result {
+            assert!(intro[0].is_ancestor_of(*r));
+        }
+    }
+
+    #[test]
+    fn three_step_chain() {
+        let d = EncodedDocument::encode(
+            parse("<r><a><b><c/></b></a><a><c/></a><b><c/></b></r>").unwrap(),
+        )
+        .unwrap();
+        let p = DescendantPath::parse("//a//b//c").unwrap();
+        // Only the first c is under both an a and a b under that a.
+        assert_eq!(p.evaluate_naive(&d).len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Document serialization back to XML text.
+//!
+//! Inverse of [`crate::parser`]: attributes come out on their owning
+//! element's start tag, text is entity-escaped, and elements without
+//! content use the self-closing form. `parse(serialize(doc))` yields a
+//! structurally identical document (same tree shape, tags and text) —
+//! property-tested in `tests/`.
+
+use crate::document::Document;
+use pbitree_core::NodeId;
+
+/// Serializes the whole document.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::with_capacity(doc.len() * 16);
+    write_node(doc, doc.root(), &mut out);
+    out
+}
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Iterative serializer (explicit enter/exit stack): document depth is
+/// bounded by memory, not the call stack, mirroring the parser.
+fn write_node(doc: &Document, root: NodeId, out: &mut String) {
+    enum Step {
+        Enter(NodeId),
+        Exit(NodeId),
+    }
+    let mut stack = vec![Step::Enter(root)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Exit(n) => {
+                out.push_str("</");
+                out.push_str(doc.node_tag_name(n));
+                out.push('>');
+            }
+            Step::Enter(n) => {
+                let tag = doc.node_tag_name(n);
+                if tag == "#text" {
+                    escape_text(doc.text(n).unwrap_or(""), out);
+                    continue;
+                }
+                if tag.starts_with('@') {
+                    continue; // emitted by the parent
+                }
+                out.push('<');
+                out.push_str(tag);
+                let mut has_content = false;
+                for c in doc.tree().children(n) {
+                    let ctag = doc.node_tag_name(c);
+                    if let Some(name) = ctag.strip_prefix('@') {
+                        out.push(' ');
+                        out.push_str(name);
+                        out.push_str("=\"");
+                        escape_attr(doc.text(c).unwrap_or(""), out);
+                        out.push('"');
+                    } else {
+                        has_content = true;
+                    }
+                }
+                if !has_content {
+                    out.push_str("/>");
+                    continue;
+                }
+                out.push('>');
+                stack.push(Step::Exit(n));
+                let kids: Vec<NodeId> = doc.tree().children(n).collect();
+                for c in kids.into_iter().rev() {
+                    stack.push(Step::Enter(c));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(xml: &str) -> Document {
+        let doc = parse(xml).unwrap();
+        let text = serialize(&doc);
+        parse(&text).unwrap_or_else(|e| panic!("reparse of {text:?}: {e}"))
+    }
+
+    /// Structural equality: same tags in preorder, same text values.
+    fn assert_same_structure(a: &Document, b: &Document) {
+        let ta: Vec<(String, Option<String>)> = a
+            .tree()
+            .preorder(a.root())
+            .map(|n| (a.node_tag_name(n).to_owned(), a.text(n).map(str::to_owned)))
+            .collect();
+        let tb: Vec<(String, Option<String>)> = b
+            .tree()
+            .preorder(b.root())
+            .map(|n| (b.node_tag_name(n).to_owned(), b.text(n).map(str::to_owned)))
+            .collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn basic_round_trip() {
+        let doc = parse(r#"<a x="1"><b>hi</b><c/><b>bye<d/></b></a>"#).unwrap();
+        let again = round_trip(r#"<a x="1"><b>hi</b><c/><b>bye<d/></b></a>"#);
+        assert_same_structure(&doc, &again);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let src = r#"<t a="x &amp; &quot;y&quot;">5 &lt; 7 &amp; 8 &gt; 2</t>"#;
+        let doc = parse(src).unwrap();
+        // string_value concatenates attribute and text content in document
+        // order (attributes are nodes too).
+        assert_eq!(doc.string_value(doc.root()), "x & \"y\"5 < 7 & 8 > 2");
+        let again = round_trip(src);
+        assert_same_structure(&doc, &again);
+    }
+
+    #[test]
+    fn self_closing_when_attribute_only() {
+        let doc = parse(r#"<r><e k="v"/></r>"#).unwrap();
+        let s = serialize(&doc);
+        assert_eq!(s, r#"<r><e k="v"/></r>"#);
+    }
+
+    #[test]
+    fn generated_document_survives() {
+        // A little document built programmatically.
+        let mut doc = Document::new("root");
+        let a = doc.add_element(doc.root(), "child");
+        doc.add_attribute(a, "id", "a<b\"");
+        doc.add_text(a, "text & <more>");
+        let again = round_trip(&serialize(&doc));
+        assert_same_structure(&doc, &again);
+    }
+}

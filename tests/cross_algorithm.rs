@@ -1,0 +1,78 @@
+//! Property-based cross-validation: on arbitrary element sets, every
+//! containment-join algorithm must produce exactly the naive join's result
+//! set, under arbitrary (tiny) buffer budgets.
+
+use pbitree_containment::joins::element::element_file;
+use pbitree_containment::joins::verify::check_all_agree;
+use pbitree_containment::joins::JoinCtx;
+use pbitree_core::PBiTreeShape;
+use proptest::prelude::*;
+
+/// Arbitrary element sets in an H-height code space: a set of distinct
+/// codes split arbitrarily into ancestors and descendants (sides may
+/// overlap in height ranges and share structure).
+fn arb_sets(h: u32) -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    let max = (1u64 << h) - 1;
+    (
+        proptest::collection::btree_set(1..=max, 0..120),
+        proptest::collection::btree_set(1..=max, 0..200),
+    )
+        .prop_map(|(a, d)| (a.into_iter().collect(), d.into_iter().collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn all_algorithms_agree((a, d) in arb_sets(12), b in 3usize..10) {
+        let shape = PBiTreeShape::new(12).unwrap();
+        let ctx = JoinCtx::in_memory_free(shape, b);
+        let af = element_file(&ctx.pool, a.iter().map(|&c| (c, 0))).unwrap();
+        let df = element_file(&ctx.pool, d.iter().map(|&c| (c, 1))).unwrap();
+        check_all_agree(&ctx, &af, &df).unwrap();
+    }
+
+    /// Deep, skewed trees (everything in one subtree) still agree — the
+    /// regime that forces VPJ recursion and rollup fallbacks.
+    #[test]
+    fn skewed_sets_agree(seed in 0u64..1000, b in 3usize..6) {
+        let shape = PBiTreeShape::new(16).unwrap();
+        let mut x = seed | 1;
+        let mut step = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+        // Confine all codes to the leftmost 1/64th of the space.
+        let mut a = std::collections::BTreeSet::new();
+        let mut d = std::collections::BTreeSet::new();
+        for _ in 0..150 {
+            let h = (step() % 6) as u32 + 2;
+            a.insert(((step() % (1 << (10 - 1))) * 2 + 1) << h);
+        }
+        for _ in 0..300 {
+            let h = (step() % 2) as u32;
+            d.insert(((step() % (1 << (10 - h - 1))) * 2 + 1) << h);
+        }
+        let ctx = JoinCtx::in_memory_free(shape, b);
+        let af = element_file(&ctx.pool, a.iter().map(|&c| (c, 0))).unwrap();
+        let df = element_file(&ctx.pool, d.iter().map(|&c| (c, 1))).unwrap();
+        check_all_agree(&ctx, &af, &df).unwrap();
+    }
+}
+
+#[test]
+fn identical_sets_self_join() {
+    // A == D: strict containment must exclude every self pair.
+    let shape = PBiTreeShape::new(8).unwrap();
+    let ctx = JoinCtx::in_memory_free(shape, 4);
+    let codes: Vec<u64> = (1..=255).collect();
+    let af = element_file(&ctx.pool, codes.iter().map(|&c| (c, 0))).unwrap();
+    let df = element_file(&ctx.pool, codes.iter().map(|&c| (c, 1))).unwrap();
+    let pairs = check_all_agree(&ctx, &af, &df).unwrap();
+    // Full-tree self-join: a node at height h has 2^(h+1) - 2 proper
+    // descendants, and the H = 8 tree has 2^(7-h) nodes at height h.
+    let mut expect = 0usize;
+    for h in 1..8u32 {
+        let nodes = 1usize << (7 - h);
+        expect += nodes * ((1usize << (h + 1)) - 2);
+    }
+    assert_eq!(pairs.len(), expect);
+    assert!(pairs.iter().all(|&(a, d)| a != d));
+}
