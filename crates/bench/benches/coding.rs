@@ -2,7 +2,7 @@
 //! friends are "fast on modern architectures" (shifts and integer adds),
 //! and that code↔region conversion is effectively free.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pbitree_bench::microbench::{bench, group};
 use pbitree_core::{binarize_tree, Code, DataTree, PBiTreeShape};
 
 fn codes(n: usize) -> Vec<Code> {
@@ -17,95 +17,84 @@ fn codes(n: usize) -> Vec<Code> {
         .collect()
 }
 
-fn bench_f_function(c: &mut Criterion) {
+fn bench_f_function() {
+    group("coding");
     let cs = codes(4096);
-    let mut g = c.benchmark_group("coding");
-    g.throughput(Throughput::Elements(cs.len() as u64));
-    g.bench_function("F(n,h) ancestor-at-height", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &n in &cs {
-                acc ^= n.ancestor_at_height(black_box(20)).get();
-            }
-            acc
-        })
+    let n = cs.len() as u64;
+    bench("F(n,h) ancestor-at-height", Some(n), || {
+        let mut acc = 0u64;
+        for &c in &cs {
+            acc ^= c.ancestor_at_height(std::hint::black_box(20)).get();
+        }
+        acc
     });
-    g.bench_function("height (trailing zeros)", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &n in &cs {
-                acc ^= n.height();
-            }
-            acc
-        })
+    bench("height (trailing zeros)", Some(n), || {
+        let mut acc = 0u32;
+        for &c in &cs {
+            acc ^= c.height();
+        }
+        acc
     });
-    g.bench_function("region (Lemma 3)", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &n in &cs {
-                let (s, e) = n.region();
-                acc ^= s ^ e;
-            }
-            acc
-        })
+    bench("region (Lemma 3)", Some(n), || {
+        let mut acc = 0u64;
+        for &c in &cs {
+            let (s, e) = c.region();
+            acc ^= s ^ e;
+        }
+        acc
     });
-    g.finish();
 }
 
-fn bench_ancestor_checks(c: &mut Criterion) {
+fn bench_ancestor_checks() {
+    group("ancestor-test");
     let cs = codes(2048);
     let pairs: Vec<(Code, Code)> = cs
         .iter()
         .zip(cs.iter().rev())
         .map(|(&a, &d)| (a, d))
         .collect();
-    let mut g = c.benchmark_group("ancestor-test");
-    g.throughput(Throughput::Elements(pairs.len() as u64));
-    g.bench_function("Lemma 1 (F equality)", |b| {
-        b.iter(|| pairs.iter().filter(|(a, d)| a.is_ancestor_of(*d)).count())
+    let n = pairs.len() as u64;
+    bench("Lemma 1 (F equality)", Some(n), || {
+        pairs.iter().filter(|(a, d)| a.is_ancestor_of(*d)).count()
     });
-    g.bench_function("region containment", |b| {
-        b.iter(|| {
-            pairs
-                .iter()
-                .filter(|(a, d)| {
-                    let (s, e) = a.region();
-                    s <= d.get() && d.get() <= e && a != d
-                })
-                .count()
-        })
+    bench("region containment", Some(n), || {
+        pairs
+            .iter()
+            .filter(|(a, d)| {
+                let (s, e) = a.region();
+                s <= d.get() && d.get() <= e && a != d
+            })
+            .count()
     });
-    g.bench_function("Lemma 4 (prefix)", |b| {
-        b.iter(|| {
-            pairs
-                .iter()
-                .filter(|(a, d)| a.prefix_is_ancestor_of(*d))
-                .count()
-        })
+    bench("Lemma 4 (prefix)", Some(n), || {
+        pairs
+            .iter()
+            .filter(|(a, d)| a.prefix_is_ancestor_of(*d))
+            .count()
     });
-    g.finish();
 }
 
-fn bench_ancestor_enumeration(c: &mut Criterion) {
+fn bench_ancestor_enumeration() {
+    group("coding (enumeration)");
     let shape = PBiTreeShape::new(30).unwrap();
     let cs = codes(1024);
-    let mut g = c.benchmark_group("coding");
-    g.throughput(Throughput::Elements(cs.len() as u64));
-    g.bench_function("enumerate all ancestors (<=30)", |b| {
-        b.iter(|| {
+    bench(
+        "enumerate all ancestors (<=30)",
+        Some(cs.len() as u64),
+        || {
             let mut acc = 0u64;
-            for &n in &cs {
-                for a in shape.ancestors(n) {
+            for &c in &cs {
+                for a in shape.ancestors(c) {
                     acc ^= a.get();
                 }
             }
             acc
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_binarize(c: &mut Criterion) {
+fn bench_binarize() {
+    group("binarize");
     // A bushy 50k-node tree.
     let mut t = DataTree::new(0);
     let mut frontier = vec![t.root()];
@@ -126,19 +115,14 @@ fn bench_binarize(c: &mut Criterion) {
         }
         frontier = std::mem::take(&mut next);
     }
-    let mut g = c.benchmark_group("binarize");
-    g.throughput(Throughput::Elements(t.len() as u64));
-    g.bench_function("binarize 50k-node tree", |b| {
-        b.iter(|| binarize_tree(black_box(&t)).unwrap().len())
+    bench("binarize 50k-node tree", Some(t.len() as u64), || {
+        binarize_tree(std::hint::black_box(&t)).unwrap().len()
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_f_function,
-    bench_ancestor_checks,
-    bench_ancestor_enumeration,
-    bench_binarize
-);
-criterion_main!(benches);
+fn main() {
+    bench_f_function();
+    bench_ancestor_checks();
+    bench_ancestor_enumeration();
+    bench_binarize();
+}

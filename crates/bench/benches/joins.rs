@@ -1,10 +1,11 @@
 //! Reduced-scale join benchmarks: the same code paths as the paper's
 //! experiments (tables/figures run via the `table2`/`fig6` binaries at
 //! full scale), sized so `cargo bench` finishes quickly. Cost model is
-//! zeroed — Criterion measures CPU; the simulated-disk comparison lives in
-//! the experiment binaries.
+//! zeroed — this measures CPU; the simulated-disk comparison lives in the
+//! experiment binaries. Includes the sequential-vs-parallel speedup of
+//! the partition scheduler.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbitree_bench::microbench::{bench, group, wall_secs};
 use pbitree_bench::workloads::{synthetic_by_name, Workload};
 use pbitree_joins::element::element_file;
 use pbitree_joins::stacktree::SortPolicy;
@@ -14,31 +15,29 @@ use pbitree_storage::{BufferPool, CostModel, Disk, MemBackend};
 const SCALE: f64 = 0.02; // 20k / 200-element sets
 const BUFFER: usize = 24;
 
-fn ctx_for(w: &Workload) -> JoinCtx {
-    JoinCtx {
-        pool: BufferPool::new(
+type JoinFn = fn(
+    &JoinCtx,
+    &pbitree_storage::HeapFile<pbitree_joins::Element>,
+    &pbitree_storage::HeapFile<pbitree_joins::Element>,
+    &mut dyn pbitree_joins::PairSink,
+) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>;
+
+fn ctx_for(w: &Workload, buffer: usize, threads: usize) -> JoinCtx {
+    JoinCtx::new(
+        BufferPool::new(
             Disk::new(Box::new(MemBackend::new()), CostModel::free()),
-            BUFFER,
+            buffer,
         ),
-        shape: w.shape,
-    }
+        w.shape,
+    )
+    .with_threads(threads)
 }
 
-fn bench_all_algorithms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("join-cpu");
-    g.sample_size(10);
+fn bench_all_algorithms() {
+    group("join-cpu (cold pool per iteration)");
     for name in ["SLLL", "MLLL", "SSLH"] {
         let w = synthetic_by_name(name, SCALE).unwrap();
-        type Runner = (
-            &'static str,
-            fn(
-                &JoinCtx,
-                &pbitree_storage::HeapFile<pbitree_joins::Element>,
-                &pbitree_storage::HeapFile<pbitree_joins::Element>,
-                &mut dyn pbitree_joins::PairSink,
-            ) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>,
-        );
-        let runners: Vec<Runner> = vec![
+        let runners: Vec<(&str, JoinFn)> = vec![
             ("MHCJ+Rollup", |c, a, d, s| {
                 pbitree_joins::rollup::mhcj_rollup(c, a, d, s)
             }),
@@ -46,94 +45,116 @@ fn bench_all_algorithms(c: &mut Criterion) {
             ("STACKTREE", |c, a, d, s| {
                 pbitree_joins::stacktree::stack_tree_desc(c, a, d, SortPolicy::SortOnTheFly, s)
             }),
-            ("INLJN", |c, a, d, s| pbitree_joins::inljn::inljn(c, a, d, s)),
+            ("INLJN", |c, a, d, s| {
+                pbitree_joins::inljn::inljn(c, a, d, s)
+            }),
             ("ADB+", |c, a, d, s| {
                 pbitree_joins::adb::anc_des_bplus(c, a, d, SortPolicy::SortOnTheFly, s)
             }),
         ];
         for (rname, f) in runners {
-            g.bench_with_input(
-                BenchmarkId::new(rname, name),
-                &w,
-                |b, w| {
-                    let ctx = ctx_for(w);
-                    let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
-                    let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
-                    b.iter(|| {
-                        ctx.pool.evict_all();
-                        let mut sink = CountSink::default();
-                        f(&ctx, &af, &df, &mut sink).unwrap().pairs
-                    })
-                },
+            let ctx = ctx_for(&w, BUFFER, 1);
+            let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+            let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+            bench(&format!("{rname}/{name}"), None, || {
+                ctx.pool.evict_all();
+                let mut sink = CountSink::default();
+                f(&ctx, &af, &df, &mut sink).unwrap().pairs
+            });
+        }
+    }
+}
+
+fn bench_rollup_anchors() {
+    group("rollup-anchors (MLSL)");
+    let w = synthetic_by_name("MLSL", SCALE).unwrap();
+    for k in [1usize, 2, 4, 7] {
+        let ctx = ctx_for(&w, BUFFER, 1);
+        let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+        let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+        bench(&format!("k={k}"), None, || {
+            ctx.pool.evict_all();
+            let mut sink = CountSink::default();
+            pbitree_joins::rollup::mhcj_rollup_with(&ctx, &af, &df, k, &mut sink)
+                .unwrap()
+                .pairs
+        });
+    }
+}
+
+fn bench_memjoin_variants() {
+    group("memjoin-variants (MSLL)");
+    let w = synthetic_by_name("MSLL", 0.05).unwrap();
+    let runners: Vec<(&str, JoinFn)> = vec![
+        (
+            "algorithm6",
+            pbitree_joins::memjoin::memory_containment_join,
+        ),
+        (
+            "ancestor-enum",
+            pbitree_joins::memjoin::mem_join_ancestor_enum,
+        ),
+        (
+            "interval-tree",
+            pbitree_joins::memjoin::mem_join_interval_tree,
+        ),
+    ];
+    for (name, f) in runners {
+        let ctx = ctx_for(&w, 256, 1);
+        let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+        let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+        bench(name, None, || {
+            let mut sink = CountSink::default();
+            f(&ctx, &af, &df, &mut sink).unwrap().pairs
+        });
+    }
+}
+
+/// The tentpole measurement: MHCJ/VPJ wall time at 1/2/4 worker threads.
+/// The pool is sized to hold everything resident while the *budget* stays
+/// small (`JoinCtx::with_budget`), so the joins still partition exactly as
+/// they would at the paper's `b` but the clock never evicts — isolating
+/// the CPU scaling of the partition scheduler from disk behavior.
+fn bench_parallel_speedup() {
+    group("parallel speedup (resident pool, budget-limited)");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("  (host reports {cores} hardware thread(s); speedup is bounded by that)");
+    let runners: Vec<(&str, &str, f64, usize, JoinFn)> = vec![
+        ("MHCJ", "MLLL", 0.25, 2048, |c, a, d, s| {
+            pbitree_joins::mhcj::mhcj(c, a, d, s)
+        }),
+        ("VPJ", "SLLL", 0.25, 512, |c, a, d, s| {
+            pbitree_joins::vpj::vpj(c, a, d, s)
+        }),
+    ];
+    for (rname, wname, scale, budget, f) in runners {
+        let w = synthetic_by_name(wname, scale).unwrap();
+        let mut base = 0.0f64;
+        for threads in [1usize, 2, 4] {
+            let ctx = ctx_for(&w, 8192, threads).with_budget(budget);
+            let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+            let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+            let secs = wall_secs(3, || {
+                let mut sink = CountSink::default();
+                f(&ctx, &af, &df, &mut sink).unwrap().pairs
+            });
+            if threads == 1 {
+                base = secs;
+            }
+            println!(
+                "  {rname}/{wname} b={budget} threads={threads:<2} {:>10.1} ms   speedup {:>5.2}x",
+                secs * 1e3,
+                base / secs
             );
         }
     }
-    g.finish();
 }
 
-fn bench_rollup_anchors(c: &mut Criterion) {
-    let w = synthetic_by_name("MLSL", SCALE).unwrap();
-    let mut g = c.benchmark_group("rollup-anchors");
-    g.sample_size(10);
-    for k in [1usize, 2, 4, 7] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let ctx = ctx_for(&w);
-            let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
-            let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
-            b.iter(|| {
-                ctx.pool.evict_all();
-                let mut sink = CountSink::default();
-                pbitree_joins::rollup::mhcj_rollup_with(&ctx, &af, &df, k, &mut sink)
-                    .unwrap()
-                    .pairs
-            })
-        });
-    }
-    g.finish();
+fn main() {
+    bench_all_algorithms();
+    bench_rollup_anchors();
+    bench_memjoin_variants();
+    bench_parallel_speedup();
 }
-
-fn bench_memjoin_variants(c: &mut Criterion) {
-    let w = synthetic_by_name("MSLL", 0.05).unwrap();
-    let mut g = c.benchmark_group("memjoin-variants");
-    g.sample_size(10);
-    type Runner = (
-        &'static str,
-        fn(
-            &JoinCtx,
-            &pbitree_storage::HeapFile<pbitree_joins::Element>,
-            &pbitree_storage::HeapFile<pbitree_joins::Element>,
-            &mut dyn pbitree_joins::PairSink,
-        ) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>,
-    );
-    let runners: Vec<Runner> = vec![
-        ("algorithm6", pbitree_joins::memjoin::memory_containment_join),
-        ("ancestor-enum", pbitree_joins::memjoin::mem_join_ancestor_enum),
-        ("interval-tree", pbitree_joins::memjoin::mem_join_interval_tree),
-    ];
-    for (name, f) in runners {
-        g.bench_function(name, |b| {
-            let ctx = JoinCtx {
-                pool: BufferPool::new(
-                    Disk::new(Box::new(MemBackend::new()), CostModel::free()),
-                    256,
-                ),
-                shape: w.shape,
-            };
-            let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
-            let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
-            b.iter(|| {
-                let mut sink = CountSink::default();
-                f(&ctx, &af, &df, &mut sink).unwrap().pairs
-            })
-        });
-    }
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_all_algorithms,
-    bench_rollup_anchors,
-    bench_memjoin_variants
-);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Substrate benchmarks: heap scans, external sort, B+-tree operations,
 //! buffer pool hit path. Cost model is zeroed — these measure CPU.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pbitree_bench::microbench::{bench, group};
 use pbitree_index::BPlusTree;
 use pbitree_storage::{external_sort, BufferPool, Disk, HeapFile, PageId};
 
@@ -21,108 +21,101 @@ fn rand_u64(n: usize) -> Vec<u64> {
         .collect()
 }
 
-fn bench_heap(c: &mut Criterion) {
+fn bench_heap() {
+    group("storage");
     let p = pool(256);
     let data = rand_u64(100_000);
     let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
-    let mut g = c.benchmark_group("storage");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("heap scan 100k u64", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            let mut s = hf.scan(&p);
-            while let Some(r) = s.next_record().unwrap() {
-                acc ^= r;
-            }
-            acc
-        })
+    bench("heap scan 100k u64", Some(100_000), || {
+        let mut acc = 0u64;
+        let mut s = hf.scan(&p);
+        while let Some(r) = s.next_record().unwrap() {
+            acc ^= r;
+        }
+        acc
     });
-    g.bench_function("heap write 100k u64", |b| {
-        b.iter_batched(
-            || (),
-            |_| {
-                let f = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
-                f.drop_file(&p);
-            },
-            BatchSize::PerIteration,
-        )
+    bench("heap write 100k u64", Some(100_000), || {
+        let f = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
+        f.drop_file(&p);
     });
-    g.finish();
 }
 
-fn bench_sort(c: &mut Criterion) {
+fn bench_sort() {
     let p = pool(64);
     let data = rand_u64(100_000);
     let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
-    let mut g = c.benchmark_group("storage");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("external sort 100k (16-page budget)", |b| {
-        b.iter(|| {
-            let s = external_sort(&p, &hf, 16, |r| *r).unwrap();
-            s.drop_file(&p);
-        })
+    bench("external sort 100k (16-page budget)", Some(100_000), || {
+        let s = external_sort(&p, &hf, 16, |r| *r).unwrap();
+        s.drop_file(&p);
     });
-    g.finish();
 }
 
-fn bench_btree(c: &mut Criterion) {
+fn bench_btree() {
+    group("btree");
     let p = pool(256);
     let n = 100_000u64;
     let tree = BPlusTree::bulk_load(&p, (0..n).map(|i| (i * 2, i))).unwrap();
     let probes = rand_u64(1024);
-    let mut g = c.benchmark_group("btree");
-    g.bench_function("bulk load 100k", |b| {
-        b.iter(|| {
-            let t = BPlusTree::bulk_load(&p, (0..n).map(|i| (i * 2, i))).unwrap();
-            t.drop_file(&p);
-        })
+    bench("bulk load 100k", Some(n), || {
+        let t = BPlusTree::bulk_load(&p, (0..n).map(|i| (i * 2, i))).unwrap();
+        t.drop_file(&p);
     });
-    g.throughput(Throughput::Elements(probes.len() as u64));
-    g.bench_function("warm point probes", |b| {
-        b.iter(|| {
-            let mut hits = 0;
-            for &k in &probes {
-                if tree.get(&p, &(k % (2 * n))).unwrap().is_some() {
-                    hits += 1;
-                }
+    bench("warm point probes", Some(probes.len() as u64), || {
+        let mut hits = 0;
+        for &k in &probes {
+            if tree.get(&p, &(k % (2 * n))).unwrap().is_some() {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
-    g.bench_function("range scan 1k entries", |b| {
-        b.iter(|| {
-            tree.range_from(&p, &50_000)
-                .unwrap()
-                .take(1000)
-                .map(|(k, _)| k)
-                .sum::<u64>()
-        })
+    bench("range scan 1k entries", None, || {
+        tree.range_from(&p, &50_000)
+            .unwrap()
+            .take(1000)
+            .map(|(k, _)| k)
+            .sum::<u64>()
     });
-    g.finish();
 }
 
-fn bench_buffer(c: &mut Criterion) {
+fn bench_buffer() {
+    group("buffer");
     let p = pool(64);
     let f = p.create_file();
     for _ in 0..64 {
         let (_, _g) = p.new_page(f).unwrap();
     }
     p.flush_all();
-    let mut g = c.benchmark_group("buffer");
-    g.throughput(Throughput::Elements(64));
-    g.bench_function("hit path: pin/unpin 64 resident pages", |b| {
-        b.iter(|| {
-            let mut acc = 0u8;
-            for i in 0..64u32 {
-                let pg = p.read_page(PageId::new(f, i)).unwrap();
-                acc ^= black_box(pg[0]);
-            }
-            acc
-        })
+    bench("hit path: pin/unpin 64 resident pages", Some(64), || {
+        let mut acc = 0u8;
+        for i in 0..64u32 {
+            let pg = p.read_page(PageId::new(f, i)).unwrap();
+            acc ^= std::hint::black_box(pg[0]);
+        }
+        acc
     });
-    g.finish();
+    // The parallel hit path: 4 threads hammering the same resident pages
+    // through the sharded table (contention cost of the tentpole).
+    bench("hit path x4 threads (shared pages)", Some(256), || {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = &p;
+                s.spawn(move || {
+                    let mut acc = 0u8;
+                    for i in 0..64u32 {
+                        let pg = p.read_page(PageId::new(f, i)).unwrap();
+                        acc ^= std::hint::black_box(pg[0]);
+                    }
+                    acc
+                });
+            }
+        });
+    });
 }
 
-criterion_group!(benches, bench_heap, bench_sort, bench_btree, bench_buffer);
-criterion_main!(benches);
+fn main() {
+    bench_heap();
+    bench_sort();
+    bench_btree();
+    bench_buffer();
+}

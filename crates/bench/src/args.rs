@@ -13,6 +13,8 @@ pub struct CommonArgs {
     pub sf: f64,
     /// Buffer pool pages (paper default 500).
     pub buffer: usize,
+    /// Worker threads for the partition joins (default 1 = sequential).
+    pub threads: usize,
     /// Results directory.
     pub results_dir: std::path::PathBuf,
 }
@@ -24,6 +26,7 @@ impl Default for CommonArgs {
             scale: 1.0,
             sf: 1.0,
             buffer: 500,
+            threads: 1,
             results_dir: "results".into(),
         }
     }
@@ -45,6 +48,7 @@ impl CommonArgs {
                 "--scale" => args.scale = take("--scale").parse().expect("numeric --scale"),
                 "--sf" => args.sf = take("--sf").parse().expect("numeric --sf"),
                 "--buffer" => args.buffer = take("--buffer").parse().expect("integer --buffer"),
+                "--threads" => args.threads = take("--threads").parse().expect("integer --threads"),
                 "--results" => args.results_dir = take("--results").into(),
                 "--fast" => {
                     args.scale = 0.02;
@@ -54,7 +58,7 @@ impl CommonArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "options: {select_flag} <sel> --scale <f> --sf <f> \
-                         --buffer <pages> --results <dir> --fast"
+                         --buffer <pages> --threads <n> --results <dir> --fast"
                     );
                     std::process::exit(0);
                 }
@@ -68,6 +72,7 @@ impl CommonArgs {
     pub fn config(&self) -> ExpConfig {
         ExpConfig {
             buffer_pages: self.buffer,
+            threads: self.threads,
             ..ExpConfig::default()
         }
     }

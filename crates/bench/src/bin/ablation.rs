@@ -21,19 +21,29 @@ use pbitree_joins::{CountSink, JoinCtx};
 use pbitree_storage::{BufferPool, Disk, MemBackend};
 
 fn make_ctx(w: &pbitree_bench::Workload, buffer: usize) -> JoinCtx {
-    JoinCtx {
-        pool: BufferPool::new(
-            Disk::new(Box::new(MemBackend::new()), pbitree_storage::CostModel::default()),
+    JoinCtx::new(
+        BufferPool::new(
+            Disk::new(
+                Box::new(MemBackend::new()),
+                pbitree_storage::CostModel::default(),
+            ),
             buffer,
         ),
-        shape: w.shape,
-    }
+        w.shape,
+    )
 }
 
 fn rollup_study(args: &CommonArgs) {
     let mut t = Table::new(
         "Ablation: rollup anchor count (k) vs false hits and time",
-        &["dataset", "k", "false_hits", "pairs", "elapsed(s)", "io_pages"],
+        &[
+            "dataset",
+            "k",
+            "false_hits",
+            "pairs",
+            "elapsed(s)",
+            "io_pages",
+        ],
     );
     for w in synthetic_multi(args.scale) {
         for k in [1usize, 2, 3, 5, 9] {
@@ -63,18 +73,28 @@ fn memjoin_study(args: &CommonArgs) {
         &["dataset", "strategy", "pairs", "elapsed(s)", "cpu(s)"],
     );
     // Small A, large D: the interesting Algorithm-6 case.
-    let Some(w) = synthetic_by_name("MSLL", args.scale) else { return };
+    let Some(w) = synthetic_by_name("MSLL", args.scale) else {
+        return;
+    };
     type Runner = fn(
         &JoinCtx,
         &pbitree_storage::HeapFile<pbitree_joins::Element>,
         &pbitree_storage::HeapFile<pbitree_joins::Element>,
         &mut dyn pbitree_joins::PairSink,
-    )
-        -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>;
+    ) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>;
     let strategies: [(&str, Runner); 3] = [
-        ("algorithm6", pbitree_joins::memjoin::memory_containment_join),
-        ("ancestor-enum", pbitree_joins::memjoin::mem_join_ancestor_enum),
-        ("interval-tree", pbitree_joins::memjoin::mem_join_interval_tree),
+        (
+            "algorithm6",
+            pbitree_joins::memjoin::memory_containment_join,
+        ),
+        (
+            "ancestor-enum",
+            pbitree_joins::memjoin::mem_join_ancestor_enum,
+        ),
+        (
+            "interval-tree",
+            pbitree_joins::memjoin::mem_join_interval_tree,
+        ),
     ];
     for (name, f) in strategies {
         let ctx = make_ctx(&w, args.buffer.max(64));
@@ -104,7 +124,11 @@ fn shcj_study(args: &CommonArgs) {
         let take_a = ((base.a.len() as f64 * frac) as usize).clamp(1, base.a.len());
         // Subsample A by stride to vary the build side only.
         let a: Vec<(u64, u32)> = if frac <= 1.0 {
-            base.a.iter().step_by((1.0 / frac) as usize).copied().collect()
+            base.a
+                .iter()
+                .step_by((1.0 / frac) as usize)
+                .copied()
+                .collect()
         } else {
             base.a.clone()
         };
@@ -147,7 +171,9 @@ fn vpj_study(args: &CommonArgs) {
         ],
     );
     for name in ["SLLL", "SLSL", "MLLL", "MSLL", "MLSL"] {
-        let Some(w) = synthetic_by_name(name, args.scale) else { continue };
+        let Some(w) = synthetic_by_name(name, args.scale) else {
+            continue;
+        };
         let ctx = make_ctx(&w, args.buffer);
         let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
         let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();

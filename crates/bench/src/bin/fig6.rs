@@ -4,7 +4,8 @@
 //!   the single/multi-height synthetic datasets;
 //! * (c)/(d) the same on the BENCHMARK (XMark-like) and DBLP workloads;
 //! * (e)/(f) elapsed time vs. relative buffer size `P` on SLLL and MLLL;
-//! * (g)/(h) scalability with dataset size (single/multi-height).
+//! * (g)/(h) scalability with dataset size (single/multi-height);
+//! * (s) extension: partition-scheduler speedup vs `--threads`.
 //!
 //! ```text
 //! cargo run -p pbitree-bench --release --bin fig6 -- --panel a
@@ -72,7 +73,10 @@ fn buffer_panel(name: &str, file: &str, first: Algo, args: &CommonArgs) {
     );
     for p in [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0] {
         let pages = ((min_pages * p / 100.0).round() as usize).max(3);
-        let cfg = ExpConfig { buffer_pages: pages, ..ExpConfig::default() };
+        let cfg = ExpConfig {
+            buffer_pages: pages,
+            ..ExpConfig::default()
+        };
         let base = run_competitors(w.shape, &w.a, &w.d, &cfg, &Algo::rgn_baselines());
         let min_rgn = min_rgn_secs(&base).unwrap();
         let x = run_algo(w.shape, &w.a, &w.d, &cfg, first);
@@ -86,6 +90,76 @@ fn buffer_panel(name: &str, file: &str, first: Algo, args: &CommonArgs) {
         ]);
     }
     t.emit(&args.results_dir, file);
+}
+
+/// Parallel-speedup panel (extension, not in the paper): MHCJ/VPJ wall
+/// time vs the `--threads` fan-out of the partition scheduler. The pool
+/// holds the workload resident while the sizing budget stays at the
+/// paper's scale, so the partitioning plan is unchanged and the curve
+/// isolates CPU scaling (bounded by the host's core count).
+fn speedup_panel(args: &CommonArgs) {
+    use pbitree_joins::element::element_file;
+    use pbitree_joins::{CountSink, JoinCtx};
+    use pbitree_storage::{BufferPool, CostModel, Disk, MemBackend};
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut t = Table::new(
+        &format!("Figure 6 extension: partition-scheduler speedup ({cores} core(s))"),
+        &["algo/dataset", "budget", "threads", "wall(s)", "speedup"],
+    );
+    type JoinFn = fn(
+        &JoinCtx,
+        &pbitree_storage::HeapFile<pbitree_joins::Element>,
+        &pbitree_storage::HeapFile<pbitree_joins::Element>,
+        &mut dyn pbitree_joins::PairSink,
+    ) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>;
+    let runners: [(&str, &str, usize, JoinFn); 2] = [
+        ("MHCJ", "MLLL", 2048, |c, a, d, s| {
+            pbitree_joins::mhcj::mhcj(c, a, d, s)
+        }),
+        ("VPJ", "SLLL", 512, |c, a, d, s| {
+            pbitree_joins::vpj::vpj(c, a, d, s)
+        }),
+    ];
+    for (rname, wname, budget, f) in runners {
+        let Some(w) = synthetic_by_name(wname, args.scale.min(0.25)) else {
+            continue;
+        };
+        let mut base = 0.0f64;
+        for threads in [1usize, 2, 4, 8] {
+            let ctx = JoinCtx::new(
+                BufferPool::new(
+                    Disk::new(Box::new(MemBackend::new()), CostModel::free()),
+                    8192,
+                ),
+                w.shape,
+            )
+            .with_threads(threads)
+            .with_budget(budget);
+            let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
+            let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
+            // Warm pass faults everything resident, then best of three.
+            let mut secs = f64::INFINITY;
+            for _ in 0..4 {
+                let mut sink = CountSink::default();
+                let stats = f(&ctx, &af, &df, &mut sink).expect("join run failed");
+                secs = secs.min(stats.cpu_ns as f64 / 1e9);
+            }
+            if threads == 1 {
+                base = secs;
+            }
+            t.row(vec![
+                format!("{rname}/{wname}"),
+                budget.to_string(),
+                threads.to_string(),
+                fmt_secs(secs),
+                format!("{:.2}x", base / secs),
+            ]);
+        }
+    }
+    t.emit(&args.results_dir, "fig6s");
 }
 
 /// Scalability panel (g)/(h): time per algorithm vs dataset size.
@@ -169,5 +243,8 @@ fn main() {
     }
     if args.selected("h") {
         scalability_panel(true, "fig6h", &args, &cfg);
+    }
+    if args.selected("s") {
+        speedup_panel(&args);
     }
 }

@@ -10,12 +10,13 @@
 use pbitree_bench::args::CommonArgs;
 use pbitree_bench::harness::{min_rgn_secs, run_algo, run_competitors, Algo};
 use pbitree_bench::report::{fmt_secs, Table};
-use pbitree_bench::workloads::{
-    dblp_workloads, synthetic_multi, synthetic_single, Workload,
-};
+use pbitree_bench::workloads::{dblp_workloads, synthetic_multi, synthetic_single, Workload};
 
 fn stats_table(title: &str, file: &str, sets: &[Workload], args: &CommonArgs) {
-    let mut t = Table::new(title, &["dataset", "|A|", "H_A", "|D|", "H_D", "#results", "paper"]);
+    let mut t = Table::new(
+        title,
+        &["dataset", "|A|", "H_A", "|D|", "H_D", "#results", "paper"],
+    );
     for w in sets {
         t.row(vec![
             w.name.clone(),

@@ -54,11 +54,18 @@ pub struct ExpConfig {
     pub buffer_pages: usize,
     /// Disk cost model (defaults to the year-2000 HDD).
     pub cost: CostModel,
+    /// Worker threads for the partition joins (1 = sequential, the
+    /// paper's setting; MHCJ/VPJ fan partitions out above that).
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { buffer_pages: 500, cost: CostModel::default() }
+        ExpConfig {
+            buffer_pages: 500,
+            cost: CostModel::default(),
+            threads: 1,
+        }
     }
 }
 
@@ -87,13 +94,14 @@ pub fn run_algo(
     cfg: &ExpConfig,
     algo: Algo,
 ) -> Measured {
-    let ctx = JoinCtx {
-        pool: pbitree_storage::BufferPool::new(
+    let ctx = JoinCtx::new(
+        pbitree_storage::BufferPool::new(
             pbitree_storage::Disk::new(Box::new(pbitree_storage::MemBackend::new()), cfg.cost),
             cfg.buffer_pages,
         ),
         shape,
-    };
+    )
+    .with_threads(cfg.threads);
     let af = element_file(&ctx.pool, a.iter().copied()).expect("load A");
     let df = element_file(&ctx.pool, d.iter().copied()).expect("load D");
     ctx.pool.evict_all();
@@ -107,13 +115,9 @@ pub fn run_algo(
             SortPolicy::SortOnTheFly,
             &mut sink,
         ),
-        Algo::AncDesBPlus => pbitree_joins::adb::anc_des_bplus(
-            &ctx,
-            &af,
-            &df,
-            SortPolicy::SortOnTheFly,
-            &mut sink,
-        ),
+        Algo::AncDesBPlus => {
+            pbitree_joins::adb::anc_des_bplus(&ctx, &af, &df, SortPolicy::SortOnTheFly, &mut sink)
+        }
         Algo::Shcj => pbitree_joins::shcj::shcj(&ctx, &af, &df, &mut sink),
         Algo::Mhcj => pbitree_joins::mhcj::mhcj(&ctx, &af, &df, &mut sink),
         Algo::MhcjRollup => pbitree_joins::rollup::mhcj_rollup(&ctx, &af, &df, &mut sink),
@@ -166,7 +170,11 @@ mod tests {
     fn cold_runs_agree_on_pair_counts() {
         let spec = synthetic::paper_single_height()[3].scaled(0.02); // SSSH tiny
         let ds = synthetic::generate(&spec);
-        let cfg = ExpConfig { buffer_pages: 16, cost: pbitree_storage::CostModel::free() };
+        let cfg = ExpConfig {
+            buffer_pages: 16,
+            cost: pbitree_storage::CostModel::free(),
+            threads: 1,
+        };
         let algos = [
             Algo::InlJn,
             Algo::StackTree,

@@ -17,6 +17,7 @@
 
 pub mod args;
 pub mod harness;
+pub mod microbench;
 pub mod report;
 pub mod workloads;
 

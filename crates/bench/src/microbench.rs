@@ -1,0 +1,97 @@
+//! A minimal micro-benchmark harness: auto-calibrated timing loops with
+//! per-iteration and throughput reporting. The `cargo bench` targets are
+//! plain `main` binaries built on this (`harness = false`) so the bench
+//! suite carries no external dependencies.
+
+use std::time::Instant;
+
+/// Target wall time for one measurement batch.
+const TARGET_SECS: f64 = 0.25;
+
+/// Picks a human unit for a per-iteration time.
+fn fmt_per_iter(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Times `f` with an auto-calibrated iteration count (roughly
+/// [`TARGET_SECS`] per batch, three batches, best batch wins) and prints
+/// one aligned result line. `elements` adds a Melem/s throughput column.
+/// Returns seconds per iteration.
+pub fn bench<R>(label: &str, elements: Option<u64>, mut f: impl FnMut() -> R) -> f64 {
+    // Calibrate: grow the batch until it runs long enough to trust.
+    let mut iters = 1u64;
+    let mut per = loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= TARGET_SECS / 4.0 || iters >= 1 << 22 {
+            break dt / iters as f64;
+        }
+        iters = (iters * 4).min(1 << 22);
+    };
+    // Two more batches at the calibrated count; keep the fastest.
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        per = per.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    match elements {
+        Some(n) => println!(
+            "  {label:<44} {:>12}/iter {:>10.1} Melem/s",
+            fmt_per_iter(per),
+            n as f64 / per / 1e6
+        ),
+        None => println!("  {label:<44} {:>12}/iter", fmt_per_iter(per)),
+    }
+    per
+}
+
+/// Minimum wall time of `reps` single invocations — for operations too
+/// long to batch (whole join runs, speedup comparisons).
+pub fn wall_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Prints a section header.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_iter_units() {
+        assert_eq!(fmt_per_iter(2.0), "2.000 s");
+        assert_eq!(fmt_per_iter(2e-3), "2.000 ms");
+        assert_eq!(fmt_per_iter(2e-6), "2.000 µs");
+        assert_eq!(fmt_per_iter(2e-9), "2.0 ns");
+    }
+
+    #[test]
+    fn wall_secs_returns_min() {
+        let s = wall_secs(3, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        assert!(s >= 0.001);
+    }
+}

@@ -107,8 +107,8 @@ pub fn xmark_workloads(sf: f64, seed: u64) -> Vec<Workload> {
 
 /// The DBLP-like workloads D1–D10 at scale factor `sf`.
 pub fn dblp_workloads(sf: f64, seed: u64) -> Vec<Workload> {
-    let doc = EncodedDocument::encode(dblp::generate(dblp::DblpSpec { sf, seed }))
-        .expect("encode dblp");
+    let doc =
+        EncodedDocument::encode(dblp::generate(dblp::DblpSpec { sf, seed })).expect("encode dblp");
     dblp_queries()
         .iter()
         .map(|q| from_query(&doc, q, sf))

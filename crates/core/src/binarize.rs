@@ -111,10 +111,7 @@ pub fn binarize_tree(tree: &DataTree) -> Result<EncodedTree, CodeError> {
 
 /// [`binarize_tree`] into a caller-chosen (larger) PBiTree, e.g. to reserve
 /// code space for future inserts below the current leaves.
-pub fn binarize_tree_with_height(
-    tree: &DataTree,
-    height: u32,
-) -> Result<EncodedTree, CodeError> {
+pub fn binarize_tree_with_height(tree: &DataTree, height: u32) -> Result<EncodedTree, CodeError> {
     let shape = PBiTreeShape::new(height)?;
     let mut codes = vec![Code::from_raw_unchecked(1); tree.len()];
     // (node, top-down address) work stack; root starts at (0, 0).
@@ -197,7 +194,9 @@ mod tests {
         let mut nodes = vec![t.root()];
         let mut x = 12345u64;
         for i in 1..200u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let parent = nodes[(x >> 33) as usize % nodes.len()];
             nodes.push(t.add_child(parent, i));
         }

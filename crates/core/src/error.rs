@@ -52,7 +52,10 @@ impl fmt::Display for CodeError {
         match self {
             CodeError::ZeroCode => write!(f, "PBiTree codes are positive; 0 is not a node"),
             CodeError::InvalidHeight(h) => {
-                write!(f, "PBiTree height {h} is outside the supported range 1..=63")
+                write!(
+                    f,
+                    "PBiTree height {h} is outside the supported range 1..=63"
+                )
             }
             CodeError::CodeOutOfSpace { code, height } => write!(
                 f,

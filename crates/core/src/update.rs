@@ -49,7 +49,10 @@ impl std::fmt::Display for UpdateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UpdateError::SubtreeFull { parent } => {
-                write!(f, "no free code slot under {parent}; re-embed into a taller tree")
+                write!(
+                    f,
+                    "no free code slot under {parent}; re-embed into a taller tree"
+                )
             }
             UpdateError::NoRoomBelowLeaf { node } => {
                 write!(f, "{node} is at height 0; nothing can be inserted below it")
@@ -132,18 +135,16 @@ impl CodeAllocator {
                 slot += step;
             }
         }
-        Err(UpdateError::SubtreeFull { parent: parent.get() })
+        Err(UpdateError::SubtreeFull {
+            parent: parent.get(),
+        })
     }
 
     /// Allocates the nearest free slot at `node`'s height to its right,
     /// within `parent`'s subtree (the "append a sibling" case of document
     /// updates). Falls back to [`insert_child`](Self::insert_child) when
     /// that row is exhausted.
-    pub fn insert_sibling_after(
-        &mut self,
-        parent: Code,
-        node: Code,
-    ) -> Result<Code, UpdateError> {
+    pub fn insert_sibling_after(&mut self, parent: Code, node: Code) -> Result<Code, UpdateError> {
         debug_assert!(parent.is_ancestor_of(node), "node must be under parent");
         let h = node.height();
         let step = 1u64 << (h + 1);

@@ -1,118 +1,159 @@
-//! Property-based tests for the PBiTree coding scheme invariants.
+//! Property-style tests for the PBiTree coding scheme invariants, driven
+//! by a deterministic xorshift stream so failures reproduce by seed.
 
 use pbitree_core::{
-    binarize_tree, required_height, topdown::to_top_down, Code, DataTree, PBiTreeShape,
-    TopDownCode,
+    binarize_tree, required_height, topdown::to_top_down, Code, DataTree, PBiTreeShape, TopDownCode,
 };
-use proptest::prelude::*;
 
-/// Strategy: a (height, code) pair with the code inside the tree's space.
-fn shape_and_code() -> impl Strategy<Value = (PBiTreeShape, Code)> {
-    (2u32..=40).prop_flat_map(|h| {
-        let shape = PBiTreeShape::new(h).unwrap();
-        (1u64..=shape.node_count())
-            .prop_map(move |raw| (shape, Code::new(raw).unwrap()))
-    })
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
 }
 
-/// Strategy: a random data tree described by a parent-pointer vector.
-fn arb_tree() -> impl Strategy<Value = DataTree> {
-    // parents[i] in [0, i] picks the parent of node i+1 among earlier nodes.
-    proptest::collection::vec(0usize..usize::MAX, 1..300).prop_map(|choices| {
-        let mut t = DataTree::new(0);
-        let mut ids = vec![t.root()];
-        for (i, c) in choices.into_iter().enumerate() {
-            let parent = ids[c % ids.len()];
-            ids.push(t.add_child(parent, i as u32 + 1));
-        }
-        t
-    })
+/// A (shape, code) pair with the code inside the tree's space.
+fn shape_and_code(x: &mut u64) -> (PBiTreeShape, Code) {
+    let h = 2 + (xorshift(x) % 39) as u32; // 2..=40
+    let shape = PBiTreeShape::new(h).unwrap();
+    let code = Code::new(xorshift(x) % shape.node_count() + 1).unwrap();
+    (shape, code)
 }
 
-proptest! {
-    /// F at the node's own height is the identity (Lemma 1 corner).
-    #[test]
-    fn f_identity_at_own_height((_, code) in shape_and_code()) {
-        prop_assert_eq!(code.ancestor_at_height(code.height()), code);
+/// A random data tree described by a parent-pointer vector.
+fn arb_tree(x: &mut u64) -> DataTree {
+    let n = 1 + (xorshift(x) % 299) as usize;
+    let mut t = DataTree::new(0);
+    let mut ids = vec![t.root()];
+    for i in 0..n {
+        let parent = ids[(xorshift(x) as usize) % ids.len()];
+        ids.push(t.add_child(parent, i as u32 + 1));
     }
+    t
+}
 
-    /// Every ancestor reported by `ancestors()` passes Lemma 1 and region
-    /// containment, and heights strictly increase.
-    #[test]
-    fn ancestors_are_ancestors((shape, code) in shape_and_code()) {
+/// F at the node's own height is the identity (Lemma 1 corner).
+#[test]
+fn f_identity_at_own_height() {
+    for seed in 1..=256u64 {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let (_, code) = shape_and_code(&mut x);
+        assert_eq!(code.ancestor_at_height(code.height()), code, "seed {seed}");
+    }
+}
+
+/// Every ancestor reported by `ancestors()` passes Lemma 1 and region
+/// containment, and heights strictly increase.
+#[test]
+fn ancestors_are_ancestors() {
+    for seed in 1..=128u64 {
+        let mut x = seed.wrapping_mul(0xC2B2AE3D27D4EB4F) | 1;
+        let (shape, code) = shape_and_code(&mut x);
         let mut prev_h = code.height();
         for anc in shape.ancestors(code) {
-            prop_assert!(anc.height() > prev_h);
+            assert!(anc.height() > prev_h, "seed {seed}");
             prev_h = anc.height();
-            prop_assert!(anc.is_ancestor_of(code));
+            assert!(anc.is_ancestor_of(code), "seed {seed}");
             let (s, e) = anc.region();
-            prop_assert!(s <= code.get() && code.get() <= e);
+            assert!(s <= code.get() && code.get() <= e, "seed {seed}");
         }
         // The last ancestor is the root.
-        prop_assert!(shape.root().is_ancestor_or_self_of(code));
+        assert!(shape.root().is_ancestor_or_self_of(code), "seed {seed}");
     }
+}
 
-    /// Lemma 1 == region containment == Lemma 4 prefix test, on random pairs.
-    #[test]
-    fn ancestor_tests_agree(h in 2u32..=40, a in 1u64.., d in 1u64..) {
+/// Lemma 1 == region containment == Lemma 4 prefix test, on random pairs.
+#[test]
+fn ancestor_tests_agree() {
+    for seed in 1..=256u64 {
+        let mut x = seed.wrapping_mul(0xD6E8FEB86659FD93) | 1;
+        let h = 2 + (xorshift(&mut x) % 39) as u32;
         let shape = PBiTreeShape::new(h).unwrap();
-        let a = Code::new(a % shape.node_count() + 1).unwrap();
-        let d = Code::new(d % shape.node_count() + 1).unwrap();
+        let a = Code::new(xorshift(&mut x) % shape.node_count() + 1).unwrap();
+        let d = Code::new(xorshift(&mut x) % shape.node_count() + 1).unwrap();
         let by_lemma1 = a.is_ancestor_of(d);
         let (s, e) = a.region();
         let by_region = s <= d.get() && d.get() <= e && a != d;
         let by_prefix = a.prefix_is_ancestor_of(d);
-        prop_assert_eq!(by_lemma1, by_region);
-        prop_assert_eq!(by_lemma1, by_prefix);
+        assert_eq!(by_lemma1, by_region, "seed {seed}");
+        assert_eq!(by_lemma1, by_prefix, "seed {seed}");
     }
+}
 
-    /// Region codes from Lemma 3 are well-formed and laminar w.r.t. parents.
-    #[test]
-    fn region_nested_in_parent((shape, code) in shape_and_code()) {
+/// Region codes from Lemma 3 are well-formed and laminar w.r.t. parents.
+#[test]
+fn region_nested_in_parent() {
+    for seed in 1..=256u64 {
+        let mut x = seed.wrapping_mul(0xA0761D6478BD642F) | 1;
+        let (shape, code) = shape_and_code(&mut x);
         if code != shape.root() {
             let p = code.parent();
             let (s, e) = code.region();
             let (ps, pe) = p.region();
-            prop_assert!(ps <= s && e <= pe);
-            prop_assert!(s <= code.get() && code.get() <= e);
+            assert!(ps <= s && e <= pe, "seed {seed}");
+            assert!(s <= code.get() && code.get() <= e, "seed {seed}");
         }
     }
+}
 
-    /// Lemma 2 round trip: code -> (level, alpha) -> code.
-    #[test]
-    fn topdown_round_trip((shape, code) in shape_and_code()) {
+/// Lemma 2 round trip: code -> (level, alpha) -> code.
+#[test]
+fn topdown_round_trip() {
+    for seed in 1..=256u64 {
+        let mut x = seed.wrapping_mul(0x8EBC6AF09C88C6E3) | 1;
+        let (shape, code) = shape_and_code(&mut x);
         let td = to_top_down(code, shape);
-        prop_assert_eq!(td.to_code(shape).unwrap(), code);
-        prop_assert_eq!(td.level, shape.level_of(code));
+        assert_eq!(td.to_code(shape).unwrap(), code, "seed {seed}");
+        assert_eq!(td.level, shape.level_of(code), "seed {seed}");
     }
+}
 
-    /// G produces a node at the requested level.
-    #[test]
-    fn g_lands_on_level(h in 2u32..=40, level in 0u32..40, alpha: u64) {
+/// G produces a node at the requested level.
+#[test]
+fn g_lands_on_level() {
+    for seed in 1..=256u64 {
+        let mut x = seed.wrapping_mul(0x589965CC75374CC3) | 1;
+        let h = 2 + (xorshift(&mut x) % 39) as u32;
         let shape = PBiTreeShape::new(h).unwrap();
-        let level = level % h;
-        let alpha = if level == 0 { 0 } else { alpha % (1u64 << level.min(63)) };
-        let code = TopDownCode::new(alpha, level).unwrap().to_code(shape).unwrap();
-        prop_assert_eq!(shape.level_of(code), level);
-        prop_assert!(shape.contains(code));
+        let level = (xorshift(&mut x) % 40) as u32 % h;
+        let alpha = xorshift(&mut x);
+        let alpha = if level == 0 {
+            0
+        } else {
+            alpha % (1u64 << level.min(63))
+        };
+        let code = TopDownCode::new(alpha, level)
+            .unwrap()
+            .to_code(shape)
+            .unwrap();
+        assert_eq!(shape.level_of(code), level, "seed {seed}");
+        assert!(shape.contains(code), "seed {seed}");
     }
+}
 
-    /// Document-order key sorts by (start asc, height desc).
-    #[test]
-    fn doc_order_key_consistent((shape, a) in shape_and_code(), braw in 1u64..) {
-        let b = Code::new(braw % shape.node_count() + 1).unwrap();
+/// Document-order key sorts by (start asc, height desc).
+#[test]
+fn doc_order_key_consistent() {
+    for seed in 1..=256u64 {
+        let mut x = seed.wrapping_mul(0x1D8E4E27C47D124F) | 1;
+        let (shape, a) = shape_and_code(&mut x);
+        let b = Code::new(xorshift(&mut x) % shape.node_count() + 1).unwrap();
         let ka = a.doc_order_key();
         let kb = b.doc_order_key();
         let ord = (a.region_start(), std::cmp::Reverse(a.height()))
             .cmp(&(b.region_start(), std::cmp::Reverse(b.height())));
-        prop_assert_eq!(ka.cmp(&kb), ord);
+        assert_eq!(ka.cmp(&kb), ord, "seed {seed}");
     }
+}
 
-    /// Binarization of arbitrary trees: injective codes, ancestry preserved
-    /// in both directions, and the chosen height is minimal for the
-    /// heuristic (some node sits at the deepest level).
-    #[test]
-    fn binarization_invariants(tree in arb_tree()) {
+/// Binarization of arbitrary trees: injective codes, ancestry preserved
+/// in both directions, and the chosen height is minimal for the
+/// heuristic (some node sits at the deepest level).
+#[test]
+fn binarization_invariants() {
+    for seed in 1..=48u64 {
+        let mut x = seed.wrapping_mul(0xEB44ACCAB455D165) | 1;
+        let tree = arb_tree(&mut x);
         let enc = binarize_tree(&tree).unwrap();
         let shape = enc.shape();
         // Injective.
@@ -120,14 +161,15 @@ proptest! {
         seen.sort_unstable();
         let n = seen.len();
         seen.dedup();
-        prop_assert_eq!(seen.len(), n);
+        assert_eq!(seen.len(), n, "seed {seed}");
         // Ancestry preserved (sampled pairs to bound cost).
         let ids: Vec<_> = tree.ids().collect();
         for (i, &u) in ids.iter().enumerate().step_by(7) {
             for &v in ids.iter().skip(i % 3).step_by(11) {
-                prop_assert_eq!(
+                assert_eq!(
                     enc.code(u).is_ancestor_of(enc.code(v)),
-                    tree.is_ancestor_of(u, v)
+                    tree.is_ancestor_of(u, v),
+                    "seed {seed}"
                 );
             }
         }
@@ -138,7 +180,11 @@ proptest! {
             .map(|c| shape.level_of(*c))
             .max()
             .unwrap();
-        prop_assert_eq!(deepest, shape.height() - 1);
-        prop_assert_eq!(required_height(&tree).unwrap(), shape.height());
+        assert_eq!(deepest, shape.height() - 1, "seed {seed}");
+        assert_eq!(
+            required_height(&tree).unwrap(),
+            shape.height(),
+            "seed {seed}"
+        );
     }
 }

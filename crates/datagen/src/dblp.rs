@@ -9,9 +9,8 @@
 //! `cite` elements may carry nested `label`s, which together with the
 //! varying record shapes yields the multi-height sets of query D10.
 
+use crate::rng::Rng;
 use pbitree_xml::Document;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const INPROCEEDINGS: usize = 116_176;
 const ARTICLES: usize = 200_271;
@@ -28,7 +27,10 @@ pub struct DblpSpec {
 
 impl Default for DblpSpec {
     fn default() -> Self {
-        DblpSpec { sf: 1.0, seed: 0xD0 }
+        DblpSpec {
+            sf: 1.0,
+            seed: 0xD0,
+        }
     }
 }
 
@@ -38,7 +40,7 @@ fn n(base: usize, sf: f64) -> usize {
 
 /// Generates the bibliography document.
 pub fn generate(spec: DblpSpec) -> Document {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let mut doc = Document::new("dblp");
     let root = doc.root();
 
@@ -77,7 +79,7 @@ pub fn generate(spec: DblpSpec) -> Document {
 }
 
 /// Fields shared by every record type.
-fn record_body(doc: &mut Document, e: pbitree_core::NodeId, rng: &mut StdRng, full: bool) {
+fn record_body(doc: &mut Document, e: pbitree_core::NodeId, rng: &mut Rng, full: bool) {
     for _ in 0..rng.gen_range(1..=4) {
         let a = doc.add_element(e, "author");
         doc.add_text(a, "n");
@@ -99,7 +101,7 @@ fn record_body(doc: &mut Document, e: pbitree_core::NodeId, rng: &mut StdRng, fu
 
 /// Citation count distribution: most records cite nothing, a tail cites a
 /// lot (matches the sparse `cite` population of D5).
-fn cite_count(rng: &mut StdRng) -> usize {
+fn cite_count(rng: &mut Rng) -> usize {
     if rng.gen_bool(0.2) {
         rng.gen_range(1..=3)
     } else {
@@ -108,7 +110,7 @@ fn cite_count(rng: &mut StdRng) -> usize {
 }
 
 /// `cite`, sometimes with a nested `label` (deeper height for D10).
-fn add_cite(doc: &mut Document, e: pbitree_core::NodeId, rng: &mut StdRng) {
+fn add_cite(doc: &mut Document, e: pbitree_core::NodeId, rng: &mut Rng) {
     let c = doc.add_element(e, "cite");
     doc.add_text(c, "r");
     if rng.gen_bool(0.3) {
@@ -154,14 +156,21 @@ mod tests {
                     }
                 }
             }
-            assert!(hits > 0 || d.len() < 20, "{} has no containment pairs", q.name);
+            assert!(
+                hits > 0 || d.len() < 20,
+                "{} has no containment pairs",
+                q.name
+            );
         }
     }
 
     #[test]
     fn d10_is_multi_height() {
         let enc = small();
-        let q = dblp_queries().into_iter().find(|q| q.name == "D10").unwrap();
+        let q = dblp_queries()
+            .into_iter()
+            .find(|q| q.name == "D10")
+            .unwrap();
         let (a, _) = extract_query_sets(&enc, &q, 0.003);
         assert!(height_count(&a) >= 2, "D10 ancestors should span heights");
     }

@@ -18,6 +18,7 @@
 
 pub mod dblp;
 pub mod queries;
+pub mod rng;
 pub mod synthetic;
 pub mod xmark;
 

@@ -7,10 +7,9 @@
 //! predicates of the original queries (e.g. `author = "..."`), whose
 //! selectivity is what the published cardinalities encode.
 
+use crate::rng::Rng;
 use pbitree_core::Code;
 use pbitree_xml::EncodedDocument;
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
 
 /// One containment join over a generated document collection.
 #[derive(Debug, Clone)]
@@ -50,7 +49,14 @@ pub fn extract_query_sets(
     spec: &QuerySpec,
     sf: f64,
 ) -> (ElementSet, ElementSet) {
-    let a = extract_side(doc, spec.a_tags, scale(spec.a_target, sf), spec.name, 0, None);
+    let a = extract_side(
+        doc,
+        spec.a_tags,
+        scale(spec.a_target, sf),
+        spec.name,
+        0,
+        None,
+    );
     let scope = spec.d_scoped.then(|| {
         // Scope descendants to the *full* ancestor-tag population (not the
         // sampled A): the query context, independent of A's predicate.
@@ -89,9 +95,7 @@ fn extract_side(
     for (i, tag) in tags.iter().enumerate() {
         for code in doc.element_set(tag) {
             if let Some((shape, anc_set)) = scope {
-                let covered = shape
-                    .ancestors(code)
-                    .any(|a| anc_set.contains(&a.get()));
+                let covered = shape.ancestors(code).any(|a| anc_set.contains(&a.get()));
                 if !covered {
                     continue;
                 }
@@ -107,10 +111,10 @@ fn extract_side(
             .fold(0x9E3779B97F4A7C15u64 ^ side as u64, |h, b| {
                 (h ^ b as u64).wrapping_mul(0x100000001B3)
             });
-        let mut rng = StdRng::seed_from_u64(seed);
-        all.shuffle(&mut rng);
+        let mut rng = Rng::seed_from_u64(seed);
+        rng.shuffle(&mut all);
         all.truncate(target);
-        let _ = rng.gen::<u8>();
+        let _ = rng.gen_u8();
     }
     all.sort_unstable();
     all
@@ -140,15 +144,63 @@ pub fn xmark_queries() -> Vec<QuerySpec> {
     };
     vec![
         q("B1", &["person"], &["creditcard"], 25_500, 1, true, 1),
-        q("B2", &["parlist"], &["keyword"], 10_830, 59_486, false, 10_830),
-        q("B3", &["open_auctions"], &["bidder"], 1, 21_750, true, 21_750),
-        q("B4", &["person"], &["interest"], 25_500, 12_823, true, 12_823),
+        q(
+            "B2",
+            &["parlist"],
+            &["keyword"],
+            10_830,
+            59_486,
+            false,
+            10_830,
+        ),
+        q(
+            "B3",
+            &["open_auctions"],
+            &["bidder"],
+            1,
+            21_750,
+            true,
+            21_750,
+        ),
+        q(
+            "B4",
+            &["person"],
+            &["interest"],
+            25_500,
+            12_823,
+            true,
+            12_823,
+        ),
         q("B5", &["category"], &["name"], 2_200, 2_200, true, 2_200),
         q("B6", &["item"], &["mail"], 9_750, 35, true, 35),
-        q("B7", &["closed_auction"], &["price"], 9_750, 9_750, true, 9_750),
+        q(
+            "B7",
+            &["closed_auction"],
+            &["price"],
+            9_750,
+            9_750,
+            true,
+            9_750,
+        ),
         q("B8", &["listitem"], &["text"], 21_750, 21_750, true, 21_750),
-        q("B9", &["listitem"], &["keyword", "bold"], 21_750, 21_750, true, 21_750),
-        q("B10", &["open_auction"], &["#text"], 12_823, 120_391, true, 120_391),
+        q(
+            "B9",
+            &["listitem"],
+            &["keyword", "bold"],
+            21_750,
+            21_750,
+            true,
+            21_750,
+        ),
+        q(
+            "B10",
+            &["open_auction"],
+            &["#text"],
+            12_823,
+            120_391,
+            true,
+            120_391,
+        ),
     ]
 }
 
@@ -164,11 +216,43 @@ pub fn dblp_queries() -> Vec<QuerySpec> {
         paper_results,
     };
     vec![
-        q("D1", &["inproceedings"], &["author"], 116_176, 9_951, true, 9_951),
-        q("D2", &["inproceedings"], &["title"], 116_176, 208, true, 208),
+        q(
+            "D1",
+            &["inproceedings"],
+            &["author"],
+            116_176,
+            9_951,
+            true,
+            9_951,
+        ),
+        q(
+            "D2",
+            &["inproceedings"],
+            &["title"],
+            116_176,
+            208,
+            true,
+            208,
+        ),
         q("D3", &["inproceedings"], &["year"], 116_176, 100, true, 100),
-        q("D4", &["inproceedings"], &["author"], 116_176, 116_176, true, 116_176),
-        q("D5", &["article"], &["cite"], 200_271, 49_141, false, 49_029),
+        q(
+            "D4",
+            &["inproceedings"],
+            &["author"],
+            116_176,
+            116_176,
+            true,
+            116_176,
+        ),
+        q(
+            "D5",
+            &["article"],
+            &["cite"],
+            200_271,
+            49_141,
+            false,
+            49_029,
+        ),
         q("D6", &["article"], &["ee"], 200_271, 434, false, 416),
         q("D7", &["www"], &["author"], 84_095, 13_660, true, 13_660),
         q("D8", &["www"], &["title"], 84_095, 3, true, 3),

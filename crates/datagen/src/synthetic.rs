@@ -19,9 +19,8 @@
 
 use std::collections::HashSet;
 
+use crate::rng::Rng;
 use pbitree_core::{Code, PBiTreeShape};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// PBiTree height used by all synthetic datasets: 2^31 leaf positions —
 /// enough headroom that even nine stacked ancestor heights (Table 2(b)'s
@@ -150,7 +149,7 @@ pub struct SyntheticDataset {
 /// Generates a dataset from its spec. Deterministic in `spec.seed`.
 pub fn generate(spec: &SyntheticSpec) -> SyntheticDataset {
     let shape = PBiTreeShape::new(SYNTH_HEIGHT).unwrap();
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
 
     // Descendant heights occupy 0..H_D; ancestor heights stack directly
     // above them, so every ancestor height dominates every descendant
@@ -223,7 +222,12 @@ pub fn generate(spec: &SyntheticSpec) -> SyntheticDataset {
         }
     }
 
-    SyntheticDataset { shape, a, d, spec: spec.clone() }
+    SyntheticDataset {
+        shape,
+        a,
+        d,
+        spec: spec.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -254,24 +258,25 @@ mod tests {
         assert_eq!(count_results(&ds), spec.matches as u64);
         // Single height really is single height.
         let h0 = Code::from_raw_unchecked(ds.a[0].0).height();
-        assert!(ds.a.iter().all(|&(c, _)| Code::from_raw_unchecked(c).height() == h0));
+        assert!(ds
+            .a
+            .iter()
+            .all(|&(c, _)| Code::from_raw_unchecked(c).height() == h0));
     }
 
     #[test]
     fn multi_height_covers_requested_heights() {
         let spec = paper_multi_height()[1].scaled(0.02); // MLSH: 9 heights
         let ds = generate(&spec);
-        let heights: HashSet<u32> = ds
-            .a
-            .iter()
-            .map(|&(c, _)| Code::from_raw_unchecked(c).height())
-            .collect();
+        let heights: HashSet<u32> =
+            ds.a.iter()
+                .map(|&(c, _)| Code::from_raw_unchecked(c).height())
+                .collect();
         assert_eq!(heights.len() as u32, spec.a_heights);
-        let dheights: HashSet<u32> = ds
-            .d
-            .iter()
-            .map(|&(c, _)| Code::from_raw_unchecked(c).height())
-            .collect();
+        let dheights: HashSet<u32> =
+            ds.d.iter()
+                .map(|&(c, _)| Code::from_raw_unchecked(c).height())
+                .collect();
         assert!(!dheights.is_empty());
         // Result count is within a factor of the target (nesting jitter).
         let r = count_results(&ds) as f64;

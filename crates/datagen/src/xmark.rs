@@ -8,9 +8,8 @@
 //! element sets the B-queries exercise. Text content is kept short — joins
 //! see only structure.
 
+use crate::rng::Rng;
 use pbitree_xml::Document;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Element populations at SF = 1 (from the XMark paper / Table 2(c)).
 const ITEMS: usize = 21_750;
@@ -30,7 +29,10 @@ pub struct XMarkSpec {
 
 impl Default for XMarkSpec {
     fn default() -> Self {
-        XMarkSpec { sf: 1.0, seed: 0xE0 }
+        XMarkSpec {
+            sf: 1.0,
+            seed: 0xE0,
+        }
     }
 }
 
@@ -40,13 +42,20 @@ fn n(base: usize, sf: f64) -> usize {
 
 /// Generates the document. Node count at SF = 1 is a few million.
 pub fn generate(spec: XMarkSpec) -> Document {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let mut doc = Document::new("site");
     let root = doc.root();
 
     // regions / <continent> / item*
     let regions = doc.add_element(root, "regions");
-    let continents = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    let continents = [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ];
     let items = n(ITEMS, spec.sf);
     let conts: Vec<_> = continents
         .iter()
@@ -65,7 +74,11 @@ pub fn generate(spec: XMarkSpec) -> Document {
         doc.add_element(item, "shipping");
         for _ in 0..rng.gen_range(1..=3) {
             let inc = doc.add_element(item, "incategory");
-            doc.add_attribute(inc, "category", &format!("category{}", rng.gen_range(0..100)));
+            doc.add_attribute(
+                inc,
+                "category",
+                &format!("category{}", rng.gen_range(0..100)),
+            );
         }
         if rng.gen_bool(0.3) {
             let mb = doc.add_element(item, "mailbox");
@@ -198,12 +211,7 @@ pub fn generate(spec: XMarkSpec) -> Document {
 
 /// `description`: either a flat text block or a nested
 /// `parlist/listitem/(text|parlist...)` — the multi-height machinery.
-fn add_description(
-    doc: &mut Document,
-    parent: pbitree_core::NodeId,
-    rng: &mut StdRng,
-    depth: u32,
-) {
+fn add_description(doc: &mut Document, parent: pbitree_core::NodeId, rng: &mut Rng, depth: u32) {
     let desc = doc.add_element(parent, "description");
     if depth < 3 && rng.gen_bool(0.45) {
         add_parlist(doc, desc, rng, depth);
@@ -212,12 +220,7 @@ fn add_description(
     }
 }
 
-fn add_parlist(
-    doc: &mut Document,
-    parent: pbitree_core::NodeId,
-    rng: &mut StdRng,
-    depth: u32,
-) {
+fn add_parlist(doc: &mut Document, parent: pbitree_core::NodeId, rng: &mut Rng, depth: u32) {
     let pl = doc.add_element(parent, "parlist");
     for _ in 0..rng.gen_range(1..=3) {
         let li = doc.add_element(pl, "listitem");
@@ -230,7 +233,7 @@ fn add_parlist(
 }
 
 /// `text` with optional inline `keyword`/`bold`/`emph` children.
-fn add_text_block(doc: &mut Document, parent: pbitree_core::NodeId, rng: &mut StdRng) {
+fn add_text_block(doc: &mut Document, parent: pbitree_core::NodeId, rng: &mut Rng) {
     let t = doc.add_element(parent, "text");
     doc.add_text(t, "t");
     if rng.gen_bool(0.4) {
@@ -278,8 +281,7 @@ mod tests {
         let enc = EncodedDocument::encode(generate(XMarkSpec { sf: 0.05, seed: 9 })).unwrap();
         let listitems = enc.element_set("listitem");
         assert!(!listitems.is_empty());
-        let hs: std::collections::HashSet<u32> =
-            listitems.iter().map(|c| c.height()).collect();
+        let hs: std::collections::HashSet<u32> = listitems.iter().map(|c| c.height()).collect();
         assert!(hs.len() >= 2, "listitem should occur at several heights");
     }
 
@@ -299,8 +301,7 @@ mod tests {
         let enc = small();
         for q in xmark_queries() {
             let (a, d) = extract_query_sets(&enc, &q, 0.01);
-            let a_set: std::collections::HashSet<u64> =
-                a.iter().map(|&(c, _)| c).collect();
+            let a_set: std::collections::HashSet<u64> = a.iter().map(|&(c, _)| c).collect();
             let shape = enc.encoding().shape();
             let mut hits = 0u64;
             for &(dc, _) in &d {
@@ -313,7 +314,11 @@ mod tests {
             }
             // Tiny subsampled sets may legitimately miss (the paper's
             // own D5/D6 have results < |D|); only sizeable sets must hit.
-            assert!(hits > 0 || d.len() < 20, "{} produces no containment pairs", q.name);
+            assert!(
+                hits > 0 || d.len() < 20,
+                "{} produces no containment pairs",
+                q.name
+            );
         }
     }
 }

@@ -108,11 +108,11 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
         let mut prev_key: Option<K> = None;
 
         let flush_leaf = |pool: &BufferPool,
-                              pending: &mut Vec<(K, V)>,
-                              first_key: &mut Option<K>,
-                              level: &mut Vec<(K, u32)>,
-                              held: &mut Option<(K, Box<crate::page_image::PageImage>, usize)>,
-                              next_pno: &mut u32|
+                          pending: &mut Vec<(K, V)>,
+                          first_key: &mut Option<K>,
+                          level: &mut Vec<(K, u32)>,
+                          held: &mut Option<(K, Box<crate::page_image::PageImage>, usize)>,
+                          next_pno: &mut u32|
          -> Result<(), PoolError> {
             if pending.is_empty() {
                 return Ok(());
@@ -150,10 +150,24 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
             pending.push((k, v));
             len += 1;
             if pending.len() == lcap {
-                flush_leaf(pool, &mut pending, &mut first_key, &mut level, &mut held, &mut next_pno)?;
+                flush_leaf(
+                    pool,
+                    &mut pending,
+                    &mut first_key,
+                    &mut level,
+                    &mut held,
+                    &mut next_pno,
+                )?;
             }
         }
-        flush_leaf(pool, &mut pending, &mut first_key, &mut level, &mut held, &mut next_pno)?;
+        flush_leaf(
+            pool,
+            &mut pending,
+            &mut first_key,
+            &mut level,
+            &mut held,
+            &mut next_pno,
+        )?;
         // The last leaf ends the chain.
         if let Some((fk, img, _)) = held.take() {
             let pno = pool.append_page_through(file, img.buf());
@@ -165,7 +179,13 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
             let (root, mut page) = pool.new_page(file)?;
             init_leaf(&mut page[..]);
             drop(page);
-            return Ok(BPlusTree { file, root, height: 1, len: 0, _marker: PhantomData });
+            return Ok(BPlusTree {
+                file,
+                root,
+                height: 1,
+                len: 0,
+                _marker: PhantomData,
+            });
         }
 
         // Build internal levels until a single root remains.
@@ -191,7 +211,13 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
             level = next;
         }
         let root = level[0].1;
-        Ok(BPlusTree { file, root, height, len, _marker: PhantomData })
+        Ok(BPlusTree {
+            file,
+            root,
+            height,
+            len,
+            _marker: PhantomData,
+        })
     }
 
     /// Number of entries.
@@ -697,8 +723,7 @@ mod tests {
     fn u128_keys_work() {
         // Document-order keys are u128; make sure the tree is generic.
         let p = pool(16);
-        let t =
-            BPlusTree::bulk_load(&p, (0u64..3000).map(|i| ((i as u128) << 8, i))).unwrap();
+        let t = BPlusTree::bulk_load(&p, (0u64..3000).map(|i| ((i as u128) << 8, i))).unwrap();
         assert_eq!(t.get(&p, &(1500u128 << 8)).unwrap(), Some(1500));
         assert_eq!(t.get(&p, &1).unwrap(), None);
     }

@@ -152,7 +152,11 @@ mod tests {
     use super::*;
 
     fn iv(start: u64, end: u64, payload: u64) -> Interval {
-        Interval { start, end, payload }
+        Interval {
+            start,
+            end,
+            payload,
+        }
     }
 
     fn naive_stab(ivs: &[Interval], p: u64) -> Vec<u64> {
@@ -188,7 +192,11 @@ mod tests {
         let ivs = vec![iv(1, 31, 16), iv(1, 15, 8), iv(1, 7, 4), iv(17, 31, 24)];
         let t = IntervalTree::build(ivs.clone());
         let got: Vec<u64> = {
-            let mut g = t.stab_collect(3).iter().map(|i| i.payload).collect::<Vec<_>>();
+            let mut g = t
+                .stab_collect(3)
+                .iter()
+                .map(|i| i.payload)
+                .collect::<Vec<_>>();
             g.sort_unstable();
             g
         };

@@ -77,18 +77,12 @@ pub fn anc_des_bplus(
         }
         let (sa, sd, owned) = match policy {
             SortPolicy::AssumeSorted => (*a, *d, false),
-            SortPolicy::SortOnTheFly => {
-                (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true)
-            }
+            SortPolicy::SortOnTheFly => (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true),
         };
-        let a_tree = BPlusTree::bulk_load(
-            &ctx.pool,
-            sa.scan(&ctx.pool).map(|e| (e.doc_key(), e.tag)),
-        )?;
-        let d_tree = BPlusTree::bulk_load(
-            &ctx.pool,
-            sd.scan(&ctx.pool).map(|e| (e.doc_key(), e.tag)),
-        )?;
+        let a_tree =
+            BPlusTree::bulk_load(&ctx.pool, sa.scan(&ctx.pool).map(|e| (e.doc_key(), e.tag)))?;
+        let d_tree =
+            BPlusTree::bulk_load(&ctx.pool, sd.scan(&ctx.pool).map(|e| (e.doc_key(), e.tag)))?;
         if owned {
             sa.drop_file(&ctx.pool);
             sd.drop_file(&ctx.pool);
@@ -203,8 +197,11 @@ mod tests {
     }
 
     fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
-                let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
-        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
+        assert!(
+            (n as u64) <= cap * 4 / 5,
+            "test asks for {n} codes, capacity {cap}"
+        );
         let mut x = seed | 1;
         let mut out = std::collections::BTreeSet::new();
         while out.len() < n {
@@ -224,12 +221,16 @@ mod tests {
         let c = ctx(8);
         let a = element_file(
             &c.pool,
-            mixed_codes(500, &[4, 7, 10], 181).into_iter().map(|v| (v, 0)),
+            mixed_codes(500, &[4, 7, 10], 181)
+                .into_iter()
+                .map(|v| (v, 0)),
         )
         .unwrap();
         let d = element_file(
             &c.pool,
-            mixed_codes(1500, &[0, 1, 3], 183).into_iter().map(|v| (v, 1)),
+            mixed_codes(1500, &[0, 1, 3], 183)
+                .into_iter()
+                .map(|v| (v, 1)),
         )
         .unwrap();
         let mut got = CollectSink::default();
@@ -278,11 +279,7 @@ mod tests {
         // One ancestor near the start of the code space.
         let a = element_file(&c.pool, [((1u64 << 8), 0)]).unwrap();
         // 50k descendants spread over the whole space (mostly > a.end).
-        let d = element_file(
-            &c.pool,
-            (0..50_000u64).map(|i| ((i << 6) | 1, 1)),
-        )
-        .unwrap();
+        let d = element_file(&c.pool, (0..50_000u64).map(|i| ((i << 6) | 1, 1))).unwrap();
         let mut sink = CountSink::default();
         let stats = anc_des_bplus(&c, &a, &d, SortPolicy::SortOnTheFly, &mut sink).unwrap();
         // Matches: descendants with code in [1, 511]: i<<6|1 <= 511 => i < 8.

@@ -1,6 +1,7 @@
 //! Execution context, statistics, and errors shared by all join operators.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use pbitree_core::PBiTreeShape;
@@ -46,7 +47,11 @@ impl fmt::Display for JoinError {
                 f,
                 "SHCJ requires a single-height ancestor set (saw heights {expected} and {found})"
             ),
-            JoinError::NeitherSideFits { a_pages, d_pages, budget } => write!(
+            JoinError::NeitherSideFits {
+                a_pages,
+                d_pages,
+                budget,
+            } => write!(
                 f,
                 "memory join needs one side within {budget} pages (A={a_pages}, D={d_pages})"
             ),
@@ -95,36 +100,90 @@ impl fmt::Display for JoinStats {
 
 /// The execution context: a buffer pool (whose capacity is the paper's `b`)
 /// and the PBiTree shape all codes come from.
+///
+/// The pool is shared (`Arc`) so the partition scheduler in
+/// [`crate::parallel`] can hand the same frame arena to several workers,
+/// each with a *carved* sizing budget: worker contexts report a smaller
+/// [`budget`](JoinCtx::budget) than the pool's capacity, so the sum of all
+/// workers' in-flight pins stays within the global `b`.
 pub struct JoinCtx {
-    /// The buffer pool; its capacity is the join's page budget.
-    pub pool: BufferPool,
+    /// The buffer pool; its capacity is the global page budget.
+    pub pool: Arc<BufferPool>,
     /// Shape (height `H`) of the PBiTree behind the element codes.
     pub shape: PBiTreeShape,
+    /// Worker threads partition joins may fan out over (1 = sequential,
+    /// exactly the classic behavior).
+    pub threads: usize,
+    /// Effective frame budget operators size against. Equals the pool
+    /// capacity except in carved worker contexts.
+    budget: usize,
 }
 
 impl JoinCtx {
+    /// Creates a context over `pool` using its full capacity as the budget
+    /// and `threads = 1`.
+    pub fn new(pool: BufferPool, shape: PBiTreeShape) -> Self {
+        let budget = pool.capacity();
+        JoinCtx {
+            pool: Arc::new(pool),
+            shape,
+            threads: 1,
+            budget,
+        }
+    }
+
     /// Creates a context over an in-memory simulated disk with `b` buffer
     /// pages and the default cost model.
     pub fn in_memory(shape: PBiTreeShape, b: usize) -> Self {
-        JoinCtx {
-            pool: BufferPool::new(pbitree_storage::Disk::in_memory(), b),
+        JoinCtx::new(
+            BufferPool::new(pbitree_storage::Disk::in_memory(), b),
             shape,
-        }
+        )
     }
 
     /// Like [`in_memory`](JoinCtx::in_memory) but with zero simulated I/O
     /// cost (tests that only care about counters).
     pub fn in_memory_free(shape: PBiTreeShape, b: usize) -> Self {
-        JoinCtx {
-            pool: BufferPool::new(pbitree_storage::Disk::in_memory_free(), b),
+        JoinCtx::new(
+            BufferPool::new(pbitree_storage::Disk::in_memory_free(), b),
             shape,
+        )
+    }
+
+    /// Sets the worker-thread knob (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the sizing budget `b` independently of the pool capacity
+    /// (clamped to `3..=capacity`). A pool larger than `b` models a host
+    /// with spare page cache: operators still partition as if only `b`
+    /// frames existed, but evictions disappear — the configuration the
+    /// parallel speedup benchmarks use to isolate CPU scaling.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget.min(self.pool.capacity()).max(3);
+        self
+    }
+
+    /// A worker view of this context: same pool and shape, sequential, with
+    /// the given carved frame budget (at least 3 pages — the floor any
+    /// operator needs for an input scan plus reserve).
+    pub fn worker(&self, budget: usize) -> JoinCtx {
+        JoinCtx {
+            pool: Arc::clone(&self.pool),
+            shape: self.shape,
+            threads: 1,
+            budget: budget.max(3),
         }
     }
 
-    /// The page budget `b`.
+    /// The frame budget `b` operators size hash tables, sort fan-in and
+    /// partition counts against. The pool capacity, except in carved
+    /// worker contexts where it is the worker's share.
     #[inline]
     pub fn budget(&self) -> usize {
-        self.pool.capacity()
+        self.budget
     }
 
     /// How many [`Element`]s fit in `pages` buffer pages — the sizing rule
@@ -152,7 +211,12 @@ impl JoinCtx {
         let (pairs, false_hits) = op()?;
         let cpu_ns = t0.elapsed().as_nanos() as u64;
         let io = self.pool.io_stats().since(&io_before);
-        Ok(JoinStats { pairs, false_hits, io, cpu_ns })
+        Ok(JoinStats {
+            pairs,
+            false_hits,
+            io,
+            cpu_ns,
+        })
     }
 }
 
@@ -177,9 +241,16 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = JoinError::NotSingleHeight { expected: 3, found: 5 };
+        let e = JoinError::NotSingleHeight {
+            expected: 3,
+            found: 5,
+        };
         assert!(e.to_string().contains("single-height"));
-        let e = JoinError::NeitherSideFits { a_pages: 10, d_pages: 10, budget: 4 };
+        let e = JoinError::NeitherSideFits {
+            a_pages: 10,
+            d_pages: 10,
+            budget: 4,
+        };
         assert!(e.to_string().contains("within 4 pages"));
     }
 }

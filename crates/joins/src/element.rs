@@ -94,10 +94,7 @@ pub fn element_file_from_codes<I>(
 where
     I: IntoIterator<Item = Code>,
 {
-    HeapFile::from_iter(
-        pool,
-        codes.into_iter().map(|c| Element { code: c, tag: 0 }),
-    )
+    HeapFile::from_iter(pool, codes.into_iter().map(|c| Element { code: c, tag: 0 }))
 }
 
 #[cfg(test)]

@@ -74,13 +74,20 @@ where
     KP: Fn(&P) -> Option<u64>,
     M: FnMut(&B, &P),
 {
-    let budget_elems =
-        ctx.elements_per_pages_of::<B>(ctx.budget().saturating_sub(RESERVE).max(1));
+    let budget_elems = ctx.elements_per_pages_of::<B>(ctx.budget().saturating_sub(RESERVE).max(1));
     if build.records() as usize <= budget_elems {
         probe_in_memory(ctx, build, probe, build_key, probe_key, on_match)
     } else if depth >= MAX_GRACE_DEPTH {
         // Same-key skew cannot be split by any hash: degrade gracefully.
-        chunked_join(ctx, build, probe, budget_elems, build_key, probe_key, on_match)
+        chunked_join(
+            ctx,
+            build,
+            probe,
+            budget_elems,
+            build_key,
+            probe_key,
+            on_match,
+        )
     } else {
         let parts = partition_count(ctx, build.pages());
         let build_parts = partition_file(ctx, build, parts, depth, build_key)?;

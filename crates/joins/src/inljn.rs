@@ -142,12 +142,16 @@ mod tests {
     fn fixture(c: &JoinCtx) -> (HeapFile<Element>, HeapFile<Element>, Vec<(u64, u64)>) {
         let a = element_file(
             &c.pool,
-            mixed_codes(250, &[4, 7, 10], 171).into_iter().map(|v| (v, 0)),
+            mixed_codes(250, &[4, 7, 10], 171)
+                .into_iter()
+                .map(|v| (v, 0)),
         )
         .unwrap();
         let d = element_file(
             &c.pool,
-            mixed_codes(800, &[0, 1, 3], 173).into_iter().map(|v| (v, 1)),
+            mixed_codes(800, &[0, 1, 3], 173)
+                .into_iter()
+                .map(|v| (v, 1)),
         )
         .unwrap();
         let mut expect = CollectSink::default();
@@ -184,7 +188,9 @@ mod tests {
         let c2 = ctx(8);
         let a2 = element_file(
             &c2.pool,
-            mixed_codes(800, &[4, 7, 10], 171).into_iter().map(|v| (v, 0)),
+            mixed_codes(800, &[4, 7, 10], 171)
+                .into_iter()
+                .map(|v| (v, 0)),
         )
         .unwrap();
         let d2 = element_file(

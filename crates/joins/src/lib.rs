@@ -17,6 +17,12 @@
 //! | [`mpmgjn`] | Multi-Predicate Merge Join | [20] adapted | sorted inputs |
 //! | [`adb`] | Anc_Des_B+ with skip probes | [4] adapted | sorted + indexed |
 //! | [`planner`] | the Table-1 algorithm-selection framework | Table 1 | — |
+//! | [`parallel`] | partition scheduler: MHCJ/VPJ fan-out over threads | — | `threads > 1` |
+//!
+//! Set [`JoinCtx::threads`] above 1 and [`mhcj::mhcj`] / [`vpj::vpj`]
+//! fan their partitions out over scoped worker threads sharing the one
+//! buffer pool, with the frame budget carved across workers and outputs
+//! merged deterministically (see [`parallel`]).
 //!
 //! Every algorithm reports [`JoinStats`]: result pairs, rollup false hits,
 //! and the I/O delta (page counts + simulated disk time) measured across
@@ -28,20 +34,21 @@
 
 pub mod adb;
 pub mod context;
-pub mod hashjoin;
 pub mod element;
+pub mod hashjoin;
 pub mod inljn;
 pub mod memjoin;
 pub mod mhcj;
 pub mod mpmgjn;
 pub mod naive;
+pub mod parallel;
 pub mod planner;
 pub mod rollup;
 pub mod shcj;
 pub mod sink;
 pub mod stacktree;
-pub mod vpj;
 pub mod verify;
+pub mod vpj;
 
 pub use context::{JoinCtx, JoinError, JoinStats};
 pub use element::Element;

@@ -161,7 +161,7 @@ pub fn mem_join_ancestor_enum(
 ) -> Result<JoinStats, JoinError> {
     ctx.measure(|| {
         let mut map: FxHashMap<u64, Element> = FxHashMap::default();
-        let mut scan = a.scan(&ctx.pool)    ;
+        let mut scan = a.scan(&ctx.pool);
         while let Some(e) = scan.next_record()? {
             map.insert(e.code.get(), e);
         }
@@ -229,8 +229,11 @@ mod tests {
     }
 
     fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
-                let cap: u64 = heights.iter().map(|&h| 1u64 << (16 - h - 1)).sum();
-        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let cap: u64 = heights.iter().map(|&h| 1u64 << (16 - h - 1)).sum();
+        assert!(
+            (n as u64) <= cap * 4 / 5,
+            "test asks for {n} codes, capacity {cap}"
+        );
         let mut x = seed | 1;
         let mut out = std::collections::BTreeSet::new();
         while out.len() < n {
@@ -309,10 +312,16 @@ mod tests {
     #[test]
     fn neither_fits_is_an_error() {
         let c = ctx(2);
-        let a = element_file(&c.pool, mixed_codes(2000, &[2], 71).into_iter().map(|v| (v, 0)))
-            .unwrap();
-        let d = element_file(&c.pool, mixed_codes(2000, &[0], 73).into_iter().map(|v| (v, 1)))
-            .unwrap();
+        let a = element_file(
+            &c.pool,
+            mixed_codes(2000, &[2], 71).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            mixed_codes(2000, &[0], 73).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
         let mut sink = CountSink::default();
         assert!(matches!(
             memory_containment_join(&c, &a, &d, &mut sink),

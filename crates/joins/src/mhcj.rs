@@ -57,6 +57,9 @@ pub fn mhcj(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
+    if ctx.threads > 1 {
+        return crate::parallel::mhcj_parallel(ctx, a, d, sink);
+    }
     ctx.measure(|| {
         let parts = partition_by_height(ctx, a)?;
         let mut pairs = 0u64;
@@ -91,8 +94,11 @@ mod tests {
 
     /// Deterministic mixed-height element sets inside the H=18 space.
     fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
-                let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
-        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
+        assert!(
+            (n as u64) <= cap * 4 / 5,
+            "test asks for {n} codes, capacity {cap}"
+        );
         let mut x = seed | 1;
         let mut out = std::collections::BTreeSet::new();
         while out.len() < n {
@@ -117,7 +123,9 @@ mod tests {
         .unwrap();
         let d = element_file(
             &c.pool,
-            mixed_codes(1500, &[0, 1, 2], 13).into_iter().map(|v| (v, 1)),
+            mixed_codes(1500, &[0, 1, 2], 13)
+                .into_iter()
+                .map(|v| (v, 1)),
         )
         .unwrap();
         let mut got = CollectSink::default();

@@ -33,9 +33,7 @@ pub fn mpmgjn(
     ctx.measure(|| {
         let (sa, sd, owned) = match policy {
             SortPolicy::AssumeSorted => (*a, *d, false),
-            SortPolicy::SortOnTheFly => {
-                (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true)
-            }
+            SortPolicy::SortOnTheFly => (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true),
         };
         let pairs = merge(ctx, &sa, &sd, sink)?;
         if owned {
@@ -109,7 +107,10 @@ mod tests {
 
     fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
         let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
-        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        assert!(
+            (n as u64) <= cap * 4 / 5,
+            "test asks for {n} codes, capacity {cap}"
+        );
         let mut x = seed | 1;
         let mut out = std::collections::BTreeSet::new();
         while out.len() < n {
@@ -129,12 +130,16 @@ mod tests {
         let c = ctx(8);
         let a = element_file(
             &c.pool,
-            mixed_codes(500, &[4, 7, 10], 201).into_iter().map(|v| (v, 0)),
+            mixed_codes(500, &[4, 7, 10], 201)
+                .into_iter()
+                .map(|v| (v, 0)),
         )
         .unwrap();
         let d = element_file(
             &c.pool,
-            mixed_codes(1500, &[0, 1, 3], 203).into_iter().map(|v| (v, 1)),
+            mixed_codes(1500, &[0, 1, 3], 203)
+                .into_iter()
+                .map(|v| (v, 1)),
         )
         .unwrap();
         let mut got = CollectSink::default();
@@ -152,7 +157,12 @@ mod tests {
         let c = ctx(8);
         let a = element_file(
             &c.pool,
-            [(1u64 << 12, 0), (1u64 << 8, 0), (1u64 << 4, 0), (3u64 << 4, 0)],
+            [
+                (1u64 << 12, 0),
+                (1u64 << 8, 0),
+                (1u64 << 4, 0),
+                (3u64 << 4, 0),
+            ],
         )
         .unwrap();
         let d = element_file(&c.pool, [(1u64, 1), (3, 1), (35, 1), (4097, 1)]).unwrap();
@@ -178,14 +188,8 @@ mod tests {
         let mut s1 = CountSink::default();
         let m = mpmgjn(&c, &af, &df, SortPolicy::SortOnTheFly, &mut s1).unwrap();
         let mut s2 = CountSink::default();
-        let st = crate::stacktree::stack_tree_desc(
-            &c,
-            &af,
-            &df,
-            SortPolicy::SortOnTheFly,
-            &mut s2,
-        )
-        .unwrap();
+        let st = crate::stacktree::stack_tree_desc(&c, &af, &df, SortPolicy::SortOnTheFly, &mut s2)
+            .unwrap();
         assert_eq!(m.pairs, st.pairs);
         assert!(
             m.io.reads() > st.io.reads(),
@@ -202,7 +206,9 @@ mod tests {
         let d = element_file(&c.pool, [(1u64, 1)]).unwrap();
         let mut sink = CountSink::default();
         assert_eq!(
-            mpmgjn(&c, &a, &d, SortPolicy::SortOnTheFly, &mut sink).unwrap().pairs,
+            mpmgjn(&c, &a, &d, SortPolicy::SortOnTheFly, &mut sink)
+                .unwrap()
+                .pairs,
             0
         );
     }

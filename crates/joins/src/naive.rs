@@ -71,7 +71,9 @@ mod tests {
         let ctx = JoinCtx::in_memory_free(shape, 4);
         let a = element_file(
             &ctx.pool,
-            (1u64..=31).filter(|c| c.trailing_zeros() >= 1).map(|c| (c, 0)),
+            (1u64..=31)
+                .filter(|c| c.trailing_zeros() >= 1)
+                .map(|c| (c, 0)),
         )
         .unwrap();
         let d = element_file(&ctx.pool, (1u64..=31).map(|c| (c, 1))).unwrap();
@@ -106,11 +108,7 @@ mod tests {
         let shape = PBiTreeShape::new(16).unwrap();
         let ctx = JoinCtx::in_memory_free(shape, 3);
         // A: nodes at height 3; D: all leaves under the first 64 of them.
-        let a = element_file(
-            &ctx.pool,
-            (0u64..2000).map(|i| ((i << 4) | (1 << 3), 0)),
-        )
-        .unwrap();
+        let a = element_file(&ctx.pool, (0u64..2000).map(|i| ((i << 4) | (1 << 3), 0))).unwrap();
         let d = element_file(&ctx.pool, (0u64..1000).map(|i| ((i << 4) | 1, 1))).unwrap();
         let mut sink = CollectSink::default();
         let stats = block_nested_loop(&ctx, &a, &d, &mut sink).unwrap();

@@ -1,0 +1,276 @@
+//! Partition scheduler: fans independent join partitions out over scoped
+//! worker threads sharing one buffer pool.
+//!
+//! MHCJ's height partitions (`A_{h_i} ⊲ D` for each height `h_i`) and
+//! VPJ's top-level vertical groups are embarrassingly parallel: partitions
+//! are disjoint, every worker only *reads* the shared inputs and writes
+//! its own temporary files, and the pool (see `pbitree-storage`) is
+//! thread-safe. The scheduler is deliberately simple:
+//!
+//! * **Work stealing by atomic counter.** Tasks sit in a vector; workers
+//!   claim the next index with a `fetch_add`. No channels, no external
+//!   crates — `std::thread::scope` keeps borrows of the shared context.
+//! * **Budget carving.** Each worker context reports a carved frame
+//!   budget `max(b / workers, 3)`, so hash tables and partition fan-out
+//!   are sized against the worker's share and the sum of all workers'
+//!   in-flight pins stays within the global budget `b` — which the pool
+//!   enforces as a hard bound regardless ([`PoolError::NoFreeFrames`]).
+//! * **Deterministic merge.** Every task emits into a private buffer;
+//!   the caller replays buffers into the real sink in ascending task
+//!   order, so the result *sequence* is independent of thread scheduling
+//!   and the result *set* is identical to the sequential plan (carved
+//!   budgets may flip per-task strategy choices, which permutes emission
+//!   order within a task but never its pair set).
+//!
+//! Errors follow the sequential semantics: outputs of tasks before the
+//! first failing task are delivered, later outputs are discarded, and the
+//! first (lowest-index) error is returned.
+//!
+//! [`PoolError::NoFreeFrames`]: pbitree_storage::PoolError::NoFreeFrames
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use pbitree_storage::HeapFile;
+
+use crate::context::{JoinCtx, JoinError, JoinStats};
+use crate::element::Element;
+use crate::mhcj::partition_by_height;
+use crate::shcj::shcj_inner;
+use crate::sink::PairSink;
+use crate::vpj::{self, VpjReport, VpjTask};
+
+/// Per-task output buffer; replayed into the caller's sink in task order.
+struct BufferSink {
+    pairs: Vec<(Element, Element)>,
+}
+
+impl PairSink for BufferSink {
+    #[inline]
+    fn emit(&mut self, a: Element, d: Element) {
+        self.pairs.push((a, d));
+    }
+}
+
+/// One finished task: its buffered output plus the task body's result.
+struct TaskOutput<R> {
+    pairs: Vec<(Element, Element)>,
+    result: R,
+}
+
+/// A task's result slot, written once by whichever worker claims it.
+type ResultSlot<R> = Mutex<Option<Result<TaskOutput<R>, JoinError>>>;
+
+/// Runs `tasks` on up to `ctx.threads` scoped workers (never more workers
+/// than tasks), each with a carved budget, and returns per-task results in
+/// task order. Panics in task bodies propagate via the thread scope.
+fn run_tasks<T, R, F>(ctx: &JoinCtx, tasks: Vec<T>, run: F) -> Vec<Result<TaskOutput<R>, JoinError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&JoinCtx, T, &mut dyn PairSink) -> Result<R, JoinError> + Sync,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = ctx.threads.min(n).max(1);
+    let carved = (ctx.budget() / workers).max(3);
+    let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<ResultSlot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let slots = &slots;
+            let results = &results;
+            let next = &next;
+            let run = &run;
+            let wctx = ctx.worker(carved);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i].lock().unwrap().take().expect("task claimed twice");
+                let mut buf = BufferSink { pairs: Vec::new() };
+                let out = run(&wctx, task, &mut buf).map(|result| TaskOutput {
+                    pairs: buf.pairs,
+                    result,
+                });
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("every task index was claimed")
+        })
+        .collect()
+}
+
+/// Parallel MHCJ: height partitions fan out over workers, each running
+/// SHCJ against the full `D` through its carved worker context.
+pub(crate) fn mhcj_parallel(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<JoinStats, JoinError> {
+    ctx.measure(|| {
+        // Partitioning is one sequential input pass; the fan-out joins
+        // behind it dominate (`5‖A‖ + 3k‖D‖`).
+        let parts = partition_by_height(ctx, a)?;
+        let d = *d;
+        let outs = run_tasks(
+            ctx,
+            parts.iter().map(|(_, p)| *p).collect(),
+            move |wctx, part: HeapFile<Element>, buf| {
+                shcj_inner(wctx, &part, &d, buf).map(|(p, _)| p)
+            },
+        );
+        let mut pairs = 0u64;
+        let mut err: Option<JoinError> = None;
+        for out in outs {
+            match out {
+                Ok(TaskOutput { pairs: buf, result }) if err.is_none() => {
+                    for (ae, de) in buf {
+                        sink.emit(ae, de);
+                    }
+                    pairs += result;
+                }
+                Ok(_) => {}
+                Err(e) => err = err.or(Some(e)),
+            }
+        }
+        for (_, part) in parts {
+            part.drop_file(&ctx.pool);
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok((pairs, 0)),
+        }
+    })
+}
+
+/// Parallel VPJ: the top-level partitioning pass runs sequentially but
+/// *defers* its group joins and dense-partition recursions as tasks, which
+/// then fan out over workers. Each task owns its partition files.
+pub(crate) fn vpj_parallel(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+) -> Result<(JoinStats, VpjReport), JoinError> {
+    let mut report = VpjReport::default();
+    let stats = {
+        let report = &mut report;
+        ctx.measure(|| {
+            let mut pairs = 0u64;
+            let mut false_hits = 0u64;
+            // Base cases (memory join, rollup fallback) emit straight into
+            // `sink` here and leave no tasks — exactly the sequential plan.
+            let tasks =
+                vpj::collect_top_tasks(ctx, a, d, sink, &mut pairs, &mut false_hits, report)?;
+            let outs = run_tasks(ctx, tasks, |wctx, task: VpjTask, buf| {
+                let mut rep = VpjReport::default();
+                vpj::execute_task(wctx, task, buf, &mut rep).map(|(p, f)| (p, f, rep))
+            });
+            let mut err: Option<JoinError> = None;
+            for out in outs {
+                match out {
+                    Ok(TaskOutput {
+                        pairs: buf,
+                        result: (p, f, rep),
+                    }) if err.is_none() => {
+                        for (ae, de) in buf {
+                            sink.emit(ae, de);
+                        }
+                        pairs += p;
+                        false_hits += f;
+                        report.absorb(&rep);
+                    }
+                    Ok(_) => {}
+                    Err(e) => err = err.or(Some(e)),
+                }
+            }
+            match err {
+                Some(e) => Err(e),
+                None => Ok((pairs, false_hits)),
+            }
+        })?
+    };
+    Ok((stats, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::JoinCtx;
+    use crate::element::element_file;
+    use pbitree_core::PBiTreeShape;
+
+    #[test]
+    fn run_tasks_merges_in_task_order_and_keeps_first_error() {
+        let ctx = JoinCtx::in_memory_free(PBiTreeShape::new(10).unwrap(), 16).with_threads(4);
+        // 8 tasks, each emits its own index; outputs must come back 0..8.
+        let outs = run_tasks(&ctx, (0u64..8).collect(), |_wctx, i: u64, buf| {
+            buf.emit(Element::new(2 * i + 16, 0), Element::new(1, 1));
+            Ok(i)
+        });
+        let got: Vec<u64> = outs.into_iter().map(|o| o.unwrap().result).collect();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+
+        let outs = run_tasks(&ctx, (0u64..6).collect(), |_wctx, i: u64, _buf| {
+            if i >= 3 {
+                Err(JoinError::NotSingleHeight {
+                    expected: 0,
+                    found: i as u32,
+                })
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(outs[2].is_ok());
+        assert_eq!(
+            *outs.iter().find_map(|o| o.as_ref().err()).unwrap(),
+            JoinError::NotSingleHeight {
+                expected: 0,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn worker_budgets_are_carved() {
+        let ctx = JoinCtx::in_memory_free(PBiTreeShape::new(10).unwrap(), 16).with_threads(4);
+        let outs = run_tasks(&ctx, (0..4).collect::<Vec<u32>>(), |wctx, _i, _buf| {
+            Ok(wctx.budget())
+        });
+        for o in outs {
+            assert_eq!(o.unwrap().result, 4); // 16 frames / 4 workers
+        }
+        // Never more workers than tasks: one task gets the full budget.
+        let outs = run_tasks(&ctx, vec![0u32], |wctx, _i, _buf| Ok(wctx.budget()));
+        assert_eq!(outs[0].as_ref().unwrap().result, 16);
+    }
+
+    #[test]
+    fn parallel_workers_share_the_pool() {
+        let ctx = JoinCtx::in_memory_free(PBiTreeShape::new(12).unwrap(), 32).with_threads(4);
+        let d = element_file(&ctx.pool, (1u64..=500).map(|c| (2 * c - 1, 1))).unwrap();
+        let outs = run_tasks(&ctx, (0..8).collect::<Vec<u32>>(), |wctx, _i, _buf| {
+            let mut n = 0u64;
+            let mut scan = d.scan(&wctx.pool);
+            while let Some(_e) = scan.next_record()? {
+                n += 1;
+            }
+            Ok(n)
+        });
+        for o in outs {
+            assert_eq!(o.unwrap().result, 500);
+        }
+    }
+}

@@ -37,17 +37,26 @@ impl InputState {
 
     /// Sorted but not indexed.
     pub fn sorted() -> Self {
-        InputState { indexed: false, sorted: true }
+        InputState {
+            indexed: false,
+            sorted: true,
+        }
     }
 
     /// Indexed but not sorted.
     pub fn indexed() -> Self {
-        InputState { indexed: true, sorted: false }
+        InputState {
+            indexed: true,
+            sorted: false,
+        }
     }
 
     /// Both sorted and indexed.
     pub fn sorted_and_indexed() -> Self {
-        InputState { indexed: true, sorted: true }
+        InputState {
+            indexed: true,
+            sorted: true,
+        }
     }
 }
 
@@ -216,9 +225,16 @@ mod tests {
         let a = element_file(&c.pool, [(16u64, 0)]).unwrap();
         let d = element_file(&c.pool, [(20u64, 1), (18u64, 1)]).unwrap();
         let mut sink = crate::sink::CountSink::default();
-        let (algo, stats) =
-            plan_and_execute(&c, InputState::raw(), InputState::raw(), &a, &d, true, &mut sink)
-                .unwrap();
+        let (algo, stats) = plan_and_execute(
+            &c,
+            InputState::raw(),
+            InputState::raw(),
+            &a,
+            &d,
+            true,
+            &mut sink,
+        )
+        .unwrap();
         assert_eq!(algo, Algorithm::Shcj);
         assert_eq!(stats.pairs, 2);
     }

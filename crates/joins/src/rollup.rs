@@ -163,8 +163,11 @@ mod tests {
     }
 
     fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
-                let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
-        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
+        assert!(
+            (n as u64) <= cap * 4 / 5,
+            "test asks for {n} codes, capacity {cap}"
+        );
         let mut x = seed | 1;
         let mut out = std::collections::BTreeSet::new();
         while out.len() < n {
@@ -200,7 +203,9 @@ mod tests {
         let c = ctx(16);
         let a = element_file(
             &c.pool,
-            mixed_codes(400, &[3, 5, 8, 10], 21).into_iter().map(|v| (v, 0)),
+            mixed_codes(400, &[3, 5, 8, 10], 21)
+                .into_iter()
+                .map(|v| (v, 0)),
         )
         .unwrap();
         let d = element_file(
@@ -213,7 +218,10 @@ mod tests {
         let mut expect = CollectSink::default();
         block_nested_loop(&c, &a, &d, &mut expect).unwrap();
         assert_eq!(got.canonical(), expect.canonical());
-        assert!(stats.false_hits > 0, "rollup to top should produce false hits");
+        assert!(
+            stats.false_hits > 0,
+            "rollup to top should produce false hits"
+        );
     }
 
     #[test]

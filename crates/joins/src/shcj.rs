@@ -20,10 +20,7 @@ use crate::sink::PairSink;
 
 /// The ancestor height of a single-height set, by inspecting one record.
 /// Returns `None` for an empty set.
-pub fn single_height_of(
-    ctx: &JoinCtx,
-    a: &HeapFile<Element>,
-) -> Result<Option<u32>, JoinError> {
+pub fn single_height_of(ctx: &JoinCtx, a: &HeapFile<Element>) -> Result<Option<u32>, JoinError> {
     let mut scan = a.scan(&ctx.pool);
     Ok(scan.next_record()?.map(|e| e.code.height()))
 }
@@ -102,7 +99,10 @@ mod tests {
     /// Pseudo-random codes at a fixed height within the H=20 space.
     fn codes_at_height(h: u32, n: usize, seed: u64) -> Vec<u64> {
         let positions = 1u64 << (20 - h - 1);
-        assert!((n as u64) <= positions * 4 / 5, "test wants {n} codes, only {positions} slots");
+        assert!(
+            (n as u64) <= positions * 4 / 5,
+            "test wants {n} codes, only {positions} slots"
+        );
         let mut x = seed | 1;
         let mut out = std::collections::BTreeSet::new();
         while out.len() < n {
@@ -118,10 +118,16 @@ mod tests {
     #[test]
     fn matches_naive_in_memory_path() {
         let c = ctx(32);
-        let a = element_file(&c.pool, codes_at_height(6, 300, 5).into_iter().map(|v| (v, 0)))
-            .unwrap();
-        let d = element_file(&c.pool, codes_at_height(2, 800, 9).into_iter().map(|v| (v, 1)))
-            .unwrap();
+        let a = element_file(
+            &c.pool,
+            codes_at_height(6, 300, 5).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            codes_at_height(2, 800, 9).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
         let mut got = CollectSink::default();
         let stats = shcj(&c, &a, &d, &mut got).unwrap();
         let mut expect = CollectSink::default();
@@ -134,18 +140,30 @@ mod tests {
     #[test]
     fn matches_naive_grace_path() {
         let c = ctx(4); // force Grace
-        let a = element_file(&c.pool, codes_at_height(5, 4000, 3).into_iter().map(|v| (v, 0)))
-            .unwrap();
-        let d = element_file(&c.pool, codes_at_height(0, 9000, 7).into_iter().map(|v| (v, 1)))
-            .unwrap();
+        let a = element_file(
+            &c.pool,
+            codes_at_height(5, 4000, 3).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d = element_file(
+            &c.pool,
+            codes_at_height(0, 9000, 7).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
         let mut got = CollectSink::default();
         shcj(&c, &a, &d, &mut got).unwrap();
         let big = ctx(64);
         // Naive needs the same files; rebuild in its own context.
-        let a2 = element_file(&big.pool, codes_at_height(5, 4000, 3).into_iter().map(|v| (v, 0)))
-            .unwrap();
-        let d2 = element_file(&big.pool, codes_at_height(0, 9000, 7).into_iter().map(|v| (v, 1)))
-            .unwrap();
+        let a2 = element_file(
+            &big.pool,
+            codes_at_height(5, 4000, 3).into_iter().map(|v| (v, 0)),
+        )
+        .unwrap();
+        let d2 = element_file(
+            &big.pool,
+            codes_at_height(0, 9000, 7).into_iter().map(|v| (v, 1)),
+        )
+        .unwrap();
         let mut expect = CollectSink::default();
         block_nested_loop(&big, &a2, &d2, &mut expect).unwrap();
         assert_eq!(got.canonical(), expect.canonical());

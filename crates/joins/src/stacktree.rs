@@ -47,9 +47,7 @@ pub fn stack_tree_desc(
     ctx.measure(|| {
         let (sa, sd, owned) = match policy {
             SortPolicy::AssumeSorted => (*a, *d, false),
-            SortPolicy::SortOnTheFly => {
-                (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true)
-            }
+            SortPolicy::SortOnTheFly => (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true),
         };
         let pairs = merge_with_stack(ctx, &sa, &sd, sink)?;
         if owned {
@@ -100,7 +98,6 @@ fn merge_with_stack(
     Ok(pairs)
 }
 
-
 /// Stack-Tree-Anc: same merge, but output grouped and ordered by
 /// **ancestor** document order — the variant [1] provides for pipelines
 /// whose next operator needs ancestor-sorted input.
@@ -122,9 +119,7 @@ pub fn stack_tree_anc(
     ctx.measure(|| {
         let (sa, sd, owned) = match policy {
             SortPolicy::AssumeSorted => (*a, *d, false),
-            SortPolicy::SortOnTheFly => {
-                (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true)
-            }
+            SortPolicy::SortOnTheFly => (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true),
         };
         let pairs = merge_anc(ctx, &sa, &sd, sink)?;
         if owned {
@@ -219,8 +214,11 @@ mod tests {
     }
 
     fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
-                let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
-        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        let cap: u64 = heights.iter().map(|&h| 1u64 << (18 - h - 1)).sum();
+        assert!(
+            (n as u64) <= cap * 4 / 5,
+            "test asks for {n} codes, capacity {cap}"
+        );
         let mut x = seed | 1;
         let mut out = std::collections::BTreeSet::new();
         while out.len() < n {
@@ -240,12 +238,16 @@ mod tests {
         let c = ctx(8);
         let a = element_file(
             &c.pool,
-            mixed_codes(600, &[3, 6, 9, 12], 141).into_iter().map(|v| (v, 0)),
+            mixed_codes(600, &[3, 6, 9, 12], 141)
+                .into_iter()
+                .map(|v| (v, 0)),
         )
         .unwrap();
         let d = element_file(
             &c.pool,
-            mixed_codes(1800, &[0, 1, 2, 5], 143).into_iter().map(|v| (v, 1)),
+            mixed_codes(1800, &[0, 1, 2, 5], 143)
+                .into_iter()
+                .map(|v| (v, 1)),
         )
         .unwrap();
         let mut got = CollectSink::default();
@@ -321,18 +323,21 @@ mod tests {
         assert_eq!(got.canonical(), vec![(24, 20)]);
     }
 
-
     #[test]
     fn anc_variant_matches_and_orders_by_ancestor() {
         let c = ctx(8);
         let a = element_file(
             &c.pool,
-            mixed_codes(400, &[4, 7, 10], 171).into_iter().map(|v| (v, 0)),
+            mixed_codes(400, &[4, 7, 10], 171)
+                .into_iter()
+                .map(|v| (v, 0)),
         )
         .unwrap();
         let d = element_file(
             &c.pool,
-            mixed_codes(1200, &[0, 1, 2], 173).into_iter().map(|v| (v, 1)),
+            mixed_codes(1200, &[0, 1, 2], 173)
+                .into_iter()
+                .map(|v| (v, 1)),
         )
         .unwrap();
         let mut anc = CollectSink::default();
@@ -358,8 +363,7 @@ mod tests {
         // Nested ancestors: the inherit-list splicing must interleave
         // parent pairs before child pairs.
         let c = ctx(8);
-        let a = element_file(&c.pool, [(1u64 << 10, 0), (1u64 << 6, 0), (1u64 << 3, 0)])
-            .unwrap();
+        let a = element_file(&c.pool, [(1u64 << 10, 0), (1u64 << 6, 0), (1u64 << 3, 0)]).unwrap();
         let d = element_file(&c.pool, [(1u64, 1), (5, 1), (33, 1), (1025, 1)]).unwrap();
         let mut anc = CollectSink::default();
         stack_tree_anc(&c, &a, &d, SortPolicy::SortOnTheFly, &mut anc).unwrap();
@@ -373,9 +377,15 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                (1024, 1), (1024, 5), (1024, 33), (1024, 1025),
-                (64, 1), (64, 5), (64, 33),
-                (8, 1), (8, 5),
+                (1024, 1),
+                (1024, 5),
+                (1024, 33),
+                (1024, 1025),
+                (64, 1),
+                (64, 5),
+                (64, 33),
+                (8, 1),
+                (8, 5),
             ]
         );
     }

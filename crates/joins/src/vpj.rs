@@ -57,6 +57,131 @@ pub struct VpjReport {
     pub fallbacks: u64,
 }
 
+impl VpjReport {
+    /// Folds a worker's partial report into this one (all counters add).
+    pub(crate) fn absorb(&mut self, o: &VpjReport) {
+        self.replicated_tuples += o.replicated_tuples;
+        self.partitions += o.partitions;
+        self.purged += o.purged;
+        self.groups += o.groups;
+        self.recursions += o.recursions;
+        self.fallbacks += o.fallbacks;
+    }
+}
+
+/// A unit of deferred top-level work for the parallel scheduler
+/// ([`crate::parallel`]): either a merged group ready for a memory join,
+/// or a dense partition that must recurse. Tasks own their heap files;
+/// [`execute_task`] drops them.
+pub(crate) enum VpjTask {
+    /// A merged group satisfying the memory-join precondition.
+    Group {
+        /// Partitioning level the group was formed at.
+        l: u32,
+        /// Member partition indices, ascending.
+        members: Vec<u64>,
+        /// Ancestor-side files, parallel to `members`.
+        ga: Vec<HeapFile<Element>>,
+        /// Descendant-side files, parallel to `members`.
+        gd: Vec<HeapFile<Element>>,
+    },
+    /// A lone dense partition: recurse one level deeper.
+    Recurse {
+        a: HeapFile<Element>,
+        d: HeapFile<Element>,
+        window: (u64, u64),
+        min_level: u32,
+        depth: u32,
+    },
+}
+
+/// Runs the top-level partitioning pass with group joins and recursions
+/// *deferred*: base cases (memory-join fit, rollup fallback) still execute
+/// inline into `sink`, everything else comes back as [`VpjTask`]s in the
+/// exact order the sequential plan would have executed them.
+pub(crate) fn collect_top_tasks(
+    ctx: &JoinCtx,
+    a: &HeapFile<Element>,
+    d: &HeapFile<Element>,
+    sink: &mut dyn PairSink,
+    pairs: &mut u64,
+    false_hits: &mut u64,
+    report: &mut VpjReport,
+) -> Result<Vec<VpjTask>, JoinError> {
+    let mut tasks = Vec::new();
+    let window = (1u64, ctx.shape.node_count());
+    vpj_rec(
+        ctx,
+        Side {
+            file: *a,
+            owned: false,
+        },
+        Side {
+            file: *d,
+            owned: false,
+        },
+        window,
+        0,
+        0,
+        sink,
+        pairs,
+        false_hits,
+        report,
+        Some(&mut tasks),
+    )?;
+    Ok(tasks)
+}
+
+/// Executes one deferred task, emitting into `sink` and dropping the
+/// task's files. Returns `(pairs, false_hits)`.
+pub(crate) fn execute_task(
+    ctx: &JoinCtx,
+    task: VpjTask,
+    sink: &mut dyn PairSink,
+    report: &mut VpjReport,
+) -> Result<(u64, u64), JoinError> {
+    match task {
+        VpjTask::Group { l, members, ga, gd } => {
+            report.groups += 1;
+            let out = join_group(ctx, l, &members, &ga, &gd, sink);
+            for f in ga.into_iter().chain(gd) {
+                f.drop_file(&ctx.pool);
+            }
+            out
+        }
+        VpjTask::Recurse {
+            a,
+            d,
+            window,
+            min_level,
+            depth,
+        } => {
+            report.recursions += 1;
+            let (mut p, mut fh) = (0u64, 0u64);
+            vpj_rec(
+                ctx,
+                Side {
+                    file: a,
+                    owned: true,
+                },
+                Side {
+                    file: d,
+                    owned: true,
+                },
+                window,
+                min_level,
+                depth,
+                sink,
+                &mut p,
+                &mut fh,
+                report,
+                None,
+            )?;
+            Ok((p, fh))
+        }
+    }
+}
+
 /// VPJ with the default reporting discarded.
 pub fn vpj(
     ctx: &JoinCtx,
@@ -74,6 +199,9 @@ pub fn vpj_with_report(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<(JoinStats, VpjReport), JoinError> {
+    if ctx.threads > 1 {
+        return crate::parallel::vpj_parallel(ctx, a, d, sink);
+    }
     let mut report = VpjReport::default();
     let stats = ctx.measure(|| {
         let mut pairs = 0u64;
@@ -81,8 +209,14 @@ pub fn vpj_with_report(
         let window = (1u64, ctx.shape.node_count());
         vpj_rec(
             ctx,
-            Side { file: *a, owned: false },
-            Side { file: *d, owned: false },
+            Side {
+                file: *a,
+                owned: false,
+            },
+            Side {
+                file: *d,
+                owned: false,
+            },
             window,
             0,
             0,
@@ -90,6 +224,7 @@ pub fn vpj_with_report(
             &mut pairs,
             &mut false_hits,
             &mut report,
+            None,
         )?;
         Ok((pairs, false_hits))
     })?;
@@ -136,6 +271,7 @@ fn vpj_rec(
     pairs: &mut u64,
     false_hits: &mut u64,
     report: &mut VpjReport,
+    mut defer: Option<&mut Vec<VpjTask>>,
 ) -> Result<(), JoinError> {
     let budget = ctx.budget().saturating_sub(RESERVE).max(1);
     // Base case (a): one side already fits -> I/O-optimal memory join.
@@ -159,7 +295,11 @@ fn vpj_rec(
     // the smaller side and collapses O(depth) recursion passes into one.)
     // Element files carry their region bounds as free catalog statistics;
     // scanning is only the fallback for files built elsewhere.
-    let scan_side = if a.file.pages() <= d.file.pages() { &a.file } else { &d.file };
+    let scan_side = if a.file.pages() <= d.file.pages() {
+        &a.file
+    } else {
+        &d.file
+    };
     let (lo, hi) = match scan_side.bounds() {
         Some(b) => b,
         None => {
@@ -246,22 +386,54 @@ fn vpj_rec(
     let mut sum_a = 0u32;
     let mut sum_d = 0u32;
     let flush = |ctx: &JoinCtx,
-                     group: &mut Vec<u64>,
-                     sum_a: &mut u32,
-                     sum_d: &mut u32,
-                     sink: &mut dyn PairSink,
-                     pairs: &mut u64,
-                     false_hits: &mut u64,
-                     report: &mut VpjReport|
+                 group: &mut Vec<u64>,
+                 sum_a: &mut u32,
+                 sum_d: &mut u32,
+                 sink: &mut dyn PairSink,
+                 pairs: &mut u64,
+                 false_hits: &mut u64,
+                 report: &mut VpjReport,
+                 defer: &mut Option<&mut Vec<VpjTask>>|
      -> Result<(), JoinError> {
         if group.is_empty() {
             return Ok(());
         }
         let ga: Vec<HeapFile<Element>> = group.iter().map(|i| parts_a[i]).collect();
         let gd: Vec<HeapFile<Element>> = group.iter().map(|i| parts_d[i]).collect();
-        if (*sum_a as usize) <= ctx.budget().saturating_sub(RESERVE).max(1)
-            || (*sum_d as usize) <= ctx.budget().saturating_sub(RESERVE).max(1)
-        {
+        let fits = (*sum_a as usize) <= ctx.budget().saturating_sub(RESERVE).max(1)
+            || (*sum_d as usize) <= ctx.budget().saturating_sub(RESERVE).max(1);
+        if let Some(tasks) = defer.as_mut() {
+            // Parallel mode: hand the work to the scheduler instead of
+            // executing it; task order is exactly the sequential order.
+            if fits {
+                tasks.push(VpjTask::Group {
+                    l,
+                    members: std::mem::take(group),
+                    ga,
+                    gd,
+                });
+            } else {
+                debug_assert_eq!(group.len(), 1);
+                let idx = group[0];
+                let hl = ctx.shape.height() - 1 - l;
+                let child_window = (
+                    ((idx << (hl + 1)) + 1).max(window.0),
+                    (((idx + 1) << (hl + 1)) - 1).min(window.1),
+                );
+                tasks.push(VpjTask::Recurse {
+                    a: ga[0],
+                    d: gd[0],
+                    window: child_window,
+                    min_level: l,
+                    depth: depth + 1,
+                });
+                group.clear();
+            }
+            *sum_a = 0;
+            *sum_d = 0;
+            return Ok(());
+        }
+        if fits {
             report.groups += 1;
             let (p, f) = join_group(ctx, l, group, &ga, &gd, sink)?;
             *pairs += p;
@@ -282,8 +454,14 @@ fn vpj_rec(
             );
             vpj_rec(
                 ctx,
-                Side { file: ga[0], owned: true },
-                Side { file: gd[0], owned: true },
+                Side {
+                    file: ga[0],
+                    owned: true,
+                },
+                Side {
+                    file: gd[0],
+                    owned: true,
+                },
                 child_window,
                 l,
                 depth + 1,
@@ -291,6 +469,7 @@ fn vpj_rec(
                 pairs,
                 false_hits,
                 report,
+                None,
             )?;
         }
         group.clear();
@@ -306,17 +485,25 @@ fn vpj_rec(
         let fits_merged = !group.is_empty()
             && ((sum_a + pa) as usize <= budget || (sum_d + pd) as usize <= budget);
         if !group.is_empty() && !fits_merged {
-            flush(ctx, &mut group, &mut sum_a, &mut sum_d, sink, pairs, false_hits, report)?;
+            flush(
+                ctx, &mut group, &mut sum_a, &mut sum_d, sink, pairs, false_hits, report,
+                &mut defer,
+            )?;
         }
         group.push(idx);
         sum_a += pa;
         sum_d += pd;
         if !fits_alone && group.len() == 1 {
             // Dense partition: flush immediately so it recurses alone.
-            flush(ctx, &mut group, &mut sum_a, &mut sum_d, sink, pairs, false_hits, report)?;
+            flush(
+                ctx, &mut group, &mut sum_a, &mut sum_d, sink, pairs, false_hits, report,
+                &mut defer,
+            )?;
         }
     }
-    flush(ctx, &mut group, &mut sum_a, &mut sum_d, sink, pairs, false_hits, report)?;
+    flush(
+        ctx, &mut group, &mut sum_a, &mut sum_d, sink, pairs, false_hits, report, &mut defer,
+    )?;
     Ok(())
 }
 
@@ -391,15 +578,26 @@ fn join_group(
     let h = ctx.shape.height();
     let budget = ctx.budget().saturating_sub(RESERVE).max(1);
     let sum_d: u32 = gd.iter().map(|f| f.pages()).sum();
+    let sum_a: u32 = ga.iter().map(|f| f.pages()).sum();
     let keep = |member_pos: usize, e: &Element| -> bool {
         let (lo, _) = partition_range(e.code, h, l);
-        let prev = if member_pos == 0 { None } else { Some(members[member_pos - 1]) };
+        let prev = if member_pos == 0 {
+            None
+        } else {
+            Some(members[member_pos - 1])
+        };
         match prev {
             None => true,
             Some(p) => lo > p,
         }
     };
-    if (sum_d as usize) <= budget {
+    // Group formation guarantees the *minimum* side fits the budget the
+    // group was built against, so sequentially `sum_d > budget` implies A is
+    // the resident side. A carved worker budget can fail the fit check for
+    // both sides; falling back to the smaller side keeps the work identical
+    // to the sequential plan (loading D costs a binary search per ancestor,
+    // loading A an ancestor enumeration per descendant — pick by size).
+    if (sum_d as usize) <= budget || sum_d <= sum_a {
         // Load D (no replication on that side), stream deduped A.
         let mut dvec = Vec::new();
         for f in gd {
@@ -472,7 +670,10 @@ mod tests {
 
     fn mixed_codes(h_tree: u32, n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
         let cap: u64 = heights.iter().map(|&h| 1u64 << (h_tree - h - 1)).sum();
-        assert!((n as u64) <= cap * 4 / 5, "test asks for {n} codes, capacity {cap}");
+        assert!(
+            (n as u64) <= cap * 4 / 5,
+            "test asks for {n} codes, capacity {cap}"
+        );
         let mut x = seed | 1;
         let mut out = std::collections::BTreeSet::new();
         while out.len() < n {
@@ -508,12 +709,16 @@ mod tests {
         let c = ctx(16, 8);
         let a = element_file(
             &c.pool,
-            mixed_codes(16, 400, &[3, 5, 8, 11], 91).into_iter().map(|v| (v, 0)),
+            mixed_codes(16, 400, &[3, 5, 8, 11], 91)
+                .into_iter()
+                .map(|v| (v, 0)),
         )
         .unwrap();
         let d = element_file(
             &c.pool,
-            mixed_codes(16, 1200, &[0, 1, 2], 93).into_iter().map(|v| (v, 1)),
+            mixed_codes(16, 1200, &[0, 1, 2], 93)
+                .into_iter()
+                .map(|v| (v, 1)),
         )
         .unwrap();
         let mut got = CollectSink::default();
@@ -529,8 +734,8 @@ mod tests {
         // Ancestors high in the tree (heavily replicated) with descendants
         // spread across partitions; both sides also share spanning nodes.
         let c = ctx(18, 4); // tiny budget forces real partitioning
-        // The root and its children sit at/above any partition level, so
-        // they are guaranteed to span partitions and be replicated.
+                            // The root and its children sit at/above any partition level, so
+                            // they are guaranteed to span partitions and be replicated.
         let mut high: Vec<u64> = vec![1 << 17, 1 << 16, 3 << 16];
         high.extend(mixed_codes(18, 40, &[11, 13, 14], 101));
         let mid: Vec<u64> = mixed_codes(18, 3000, &[4, 6], 103);

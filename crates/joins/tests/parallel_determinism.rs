@@ -1,0 +1,125 @@
+//! Parallel execution must not change results: MHCJ and VPJ running over
+//! N worker threads produce exactly the same pair set as the sequential
+//! plan (`threads = 1`), across budgets, thread counts, and workloads —
+//! including skewed ones that trigger VPJ recursion and fallback paths.
+
+use pbitree_core::PBiTreeShape;
+use pbitree_joins::mhcj::mhcj;
+use pbitree_joins::vpj::{vpj, vpj_with_report};
+use pbitree_joins::{element::element_file, CollectSink, JoinCtx};
+
+const H: u32 = 18;
+
+fn ctx(b: usize, threads: usize) -> JoinCtx {
+    JoinCtx::in_memory_free(PBiTreeShape::new(H).unwrap(), b).with_threads(threads)
+}
+
+/// Deterministic mixed-height codes inside the `H`-space (xorshift stream).
+fn mixed_codes(n: usize, heights: &[u32], seed: u64) -> Vec<u64> {
+    let mut x = seed | 1;
+    let mut out = std::collections::BTreeSet::new();
+    while out.len() < n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let h = heights[(x % heights.len() as u64) as usize];
+        let positions = 1u64 << (H - h - 1);
+        let alpha = (x >> 8) % positions;
+        out.insert((1 + 2 * alpha) << h);
+    }
+    out.into_iter().collect()
+}
+
+/// Runs one algorithm at a given thread count on fresh copies of the
+/// inputs and returns the canonical (sorted) pair set.
+fn run<F>(algo: F, a: &[u64], d: &[u64], b: usize, threads: usize) -> Vec<(u64, u64)>
+where
+    F: Fn(
+        &JoinCtx,
+        &pbitree_storage::HeapFile<pbitree_joins::Element>,
+        &pbitree_storage::HeapFile<pbitree_joins::Element>,
+        &mut dyn pbitree_joins::PairSink,
+    ) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>,
+{
+    let c = ctx(b, threads);
+    let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
+    let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
+    let mut sink = CollectSink::default();
+    let stats = algo(&c, &af, &df, &mut sink).unwrap();
+    let pairs = sink.canonical();
+    assert_eq!(stats.pairs as usize, pairs.len(), "stats.pairs mismatch");
+    pairs
+}
+
+#[test]
+fn mhcj_same_results_across_thread_counts() {
+    let a = mixed_codes(700, &[3, 5, 8, 11], 41);
+    let d = mixed_codes(2000, &[0, 1, 2], 43);
+    let baseline = run(mhcj, &a, &d, 16, 1);
+    assert!(!baseline.is_empty(), "workload must produce pairs");
+    for threads in [2, 3, 4, 8] {
+        assert_eq!(
+            run(mhcj, &a, &d, 16, threads),
+            baseline,
+            "threads={threads}"
+        );
+    }
+    // Tight budget: carved worker budgets hit the floor of 3 frames.
+    let tight = run(mhcj, &a, &d, 6, 4);
+    assert_eq!(tight, baseline);
+}
+
+#[test]
+fn vpj_same_results_across_thread_counts() {
+    let a = mixed_codes(600, &[3, 5, 8, 11], 51);
+    let d = mixed_codes(2500, &[0, 1, 2], 53);
+    let baseline = run(vpj, &a, &d, 8, 1);
+    assert!(!baseline.is_empty(), "workload must produce pairs");
+    for threads in [2, 4, 8] {
+        assert_eq!(run(vpj, &a, &d, 8, threads), baseline, "threads={threads}");
+    }
+}
+
+#[test]
+fn vpj_parallel_handles_skew_and_recursion() {
+    // All data inside one quarter of the code space: the top-level pass
+    // defers Recurse tasks, which workers then drive to completion.
+    let a: Vec<u64> = mixed_codes(1500, &[2, 4], 61)
+        .into_iter()
+        .filter(|v| *v < 1 << 16)
+        .collect();
+    let d: Vec<u64> = mixed_codes(3000, &[0, 1], 63)
+        .into_iter()
+        .filter(|v| *v < 1 << 16)
+        .collect();
+    let baseline = run(vpj, &a, &d, 4, 1);
+    for threads in [2, 4] {
+        assert_eq!(run(vpj, &a, &d, 4, threads), baseline, "threads={threads}");
+    }
+    // The report still counts recursions/groups across workers.
+    let c = ctx(4, 4);
+    let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
+    let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
+    let mut sink = CollectSink::default();
+    let (_, report) = vpj_with_report(&c, &af, &df, &mut sink).unwrap();
+    assert!(report.groups > 0);
+}
+
+#[test]
+fn parallel_base_case_small_inputs() {
+    // Inputs that fit in memory: no tasks are deferred, the base case
+    // runs inline and the parallel entry points still return the answer.
+    let a = vec![1u64 << 8];
+    let d = vec![1u64, 3, 255];
+    assert_eq!(run(vpj, &a, &d, 64, 4), run(vpj, &a, &d, 64, 1));
+    assert_eq!(run(mhcj, &a, &d, 64, 4), run(mhcj, &a, &d, 64, 1));
+    assert_eq!(run(vpj, &a, &d, 64, 4).len(), 3);
+}
+
+#[test]
+fn empty_inputs_parallel_ok() {
+    let a: Vec<u64> = Vec::new();
+    let d = vec![1u64, 3];
+    assert!(run(mhcj, &a, &d, 8, 4).is_empty());
+    assert!(run(vpj, &a, &d, 8, 4).is_empty());
+}

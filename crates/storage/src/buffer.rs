@@ -6,17 +6,54 @@
 //! a disk-resident execution would do. Guards ([`PageRef`], [`PageMut`])
 //! pin pages RAII-style; a pinned page is never evicted.
 //!
-//! The pool is single-threaded (interior mutability via `RefCell`), which
-//! matches the paper's sequential algorithms and keeps runs deterministic.
+//! # Concurrency
+//!
+//! The pool is thread-safe (`Send + Sync`) so partition joins can fan out
+//! over worker threads sharing one frame budget:
+//!
+//! * The page table (pid → frame) is **lock-striped** into
+//!   [`SHARD_COUNT`] shards, each behind its own mutex, so concurrent
+//!   lookups of unrelated pages do not serialize.
+//! * The **frames themselves form one global arena** — deliberately *not*
+//!   partitioned per shard. Operators such as the external-sort merge
+//!   legitimately pin up to `b - 1` arbitrary pages at once; hashing pins
+//!   into fixed per-shard quotas would make `NoFreeFrames` fire spuriously.
+//!   The budget `b` therefore bounds the *total* pinned frames across all
+//!   threads: there are exactly `b` frames and a pin occupies one.
+//! * Each frame has a tiny mutex for its metadata (pid, pin count, dirty,
+//!   referenced, claimed) and an atomic reader-writer latch for its data,
+//!   so page guards are `Send` (std lock guards are not).
+//! * Hit/miss counters are atomics, incremented **exactly once per
+//!   request**: a hit at the moment of pinning a resident frame, a miss at
+//!   the moment a freshly loaded frame is published. A thread that loses a
+//!   load race (two threads miss on the same page; one wins the table slot)
+//!   counts nothing and retries, then counts a single hit.
+//! * Lock order is `shard → frame meta` and `clock hand → frame meta`,
+//!   with the disk mutex taken last and alone; eviction never holds a
+//!   frame-meta lock while taking a shard lock (it *claims* the frame,
+//!   releases the meta lock, and works on the claimed frame, which no other
+//!   thread will pin).
+//!
+//! Single-threaded use is the common case and behaves exactly like the
+//! classic sequential pool: the clock sweep, second-chance semantics and
+//! hit/miss accounting are unchanged, so runs remain deterministic.
 
-use std::cell::{Ref, RefCell, RefMut};
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::disk::Disk;
 use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
-use crate::stats::IoStats;
+use crate::stats::{AtomicIoStats, IoStats};
+
+/// Number of page-table shards. Sixteen keeps striping overhead trivial for
+/// the tiny pools tests use while comfortably exceeding the worker counts
+/// the partition scheduler spawns (a shard mutex is only contended when two
+/// workers touch pages hashing to the same stripe at the same instant).
+pub const SHARD_COUNT: usize = 16;
 
 /// Errors surfaced by the buffer pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,22 +95,106 @@ struct FrameMeta {
     pin: u32,
     dirty: bool,
     referenced: bool,
+    /// Set while a missing thread owns this frame for eviction + reload.
+    /// A claimed frame is invisible to hits and skipped by the clock.
+    claimed: bool,
 }
 
-struct Meta {
-    table: HashMap<PageId, usize>,
-    frames: Vec<FrameMeta>,
-    hand: usize,
-    stats: PoolStats,
+impl FrameMeta {
+    const EMPTY: FrameMeta = FrameMeta {
+        pid: None,
+        pin: 0,
+        dirty: false,
+        referenced: false,
+        claimed: false,
+    };
 }
 
-/// A clock-replacement buffer pool over a [`Disk`].
+/// A spinning reader-writer latch over a frame's data. `std::sync::RwLock`
+/// guards are `!Send`, and join workers must be able to carry pinned pages
+/// across `thread::scope` boundaries, so the pool rolls its own: the low 31
+/// bits count readers, the high bit marks a writer. Frames are latched for
+/// the duration of a guard only; contention is rare (two guards on one page
+/// at once) and short, so spin + yield beats parking.
+struct RwLatch(AtomicU32);
+
+const WRITER: u32 = 1 << 31;
+
+impl RwLatch {
+    const fn new() -> Self {
+        RwLatch(AtomicU32::new(0))
+    }
+
+    fn lock_shared(&self) {
+        loop {
+            let s = self.0.load(Ordering::Relaxed);
+            if s & WRITER == 0
+                && self
+                    .0
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            std::hint::spin_loop();
+            if s & WRITER != 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn lock_exclusive(&self) {
+        loop {
+            if self
+                .0
+                .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    fn unlock_shared(&self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+
+    fn unlock_exclusive(&self) {
+        self.0.store(0, Ordering::Release);
+    }
+}
+
+/// One frame's data cell. Access discipline: shared through the latch for
+/// guards; lock-free for a thread that holds the frame *claimed* (no guard
+/// exists on a claimed frame and none can be created).
+struct FrameData {
+    latch: RwLatch,
+    buf: UnsafeCell<Box<PageBuf>>,
+}
+
+// SAFETY: all access to `buf` goes through the latch or through claim
+// ownership (mutually exclusive by construction, see `FrameData` docs).
+unsafe impl Sync for FrameData {}
+
+/// A clock-replacement buffer pool over a [`Disk`]. `Send + Sync`; see the
+/// module docs for the locking protocol.
 pub struct BufferPool {
-    disk: RefCell<Disk>,
-    meta: RefCell<Meta>,
-    /// Frame data cells. The vector is sized at construction and never
-    /// resized, so element borrows remain valid for the pool's lifetime.
-    data: Vec<RefCell<Box<PageBuf>>>,
+    disk: Mutex<Disk>,
+    /// Live I/O counters, shared with the disk; readable without the disk
+    /// lock so `io_stats()` never serializes against worker transfers.
+    io: Arc<AtomicIoStats>,
+    /// Lock-striped page table: pid → frame index.
+    shards: Vec<Mutex<HashMap<PageId, usize>>>,
+    /// Per-frame metadata. Sized at construction, never resized.
+    meta: Vec<Mutex<FrameMeta>>,
+    /// Per-frame page images, same indexing as `meta`.
+    data: Vec<FrameData>,
+    /// Clock hand. Held for a whole sweep, serializing victim selection.
+    hand: Mutex<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl BufferPool {
@@ -81,21 +202,34 @@ impl BufferPool {
     /// `NumBufferPages`) over `disk`.
     pub fn new(disk: Disk, capacity: usize) -> Self {
         assert!(capacity >= 1, "a buffer pool needs at least one frame");
+        let io = disk.stats_handle();
         BufferPool {
-            disk: RefCell::new(disk),
-            meta: RefCell::new(Meta {
-                table: HashMap::with_capacity(capacity * 2),
-                frames: vec![
-                    FrameMeta { pid: None, pin: 0, dirty: false, referenced: false };
-                    capacity
-                ],
-                hand: 0,
-                stats: PoolStats::default(),
-            }),
-            data: (0..capacity)
-                .map(|_| RefCell::new(Box::new([0u8; PAGE_SIZE])))
+            disk: Mutex::new(disk),
+            io,
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::with_capacity(capacity / SHARD_COUNT + 1)))
                 .collect(),
+            meta: (0..capacity)
+                .map(|_| Mutex::new(FrameMeta::EMPTY))
+                .collect(),
+            data: (0..capacity)
+                .map(|_| FrameData {
+                    latch: RwLatch::new(),
+                    buf: UnsafeCell::new(Box::new([0u8; PAGE_SIZE])),
+                })
+                .collect(),
+            hand: Mutex::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
+    }
+
+    #[inline]
+    fn shard_of(&self, pid: PageId) -> &Mutex<HashMap<PageId, usize>> {
+        // Fibonacci hash of (file, page); shards are a power of two.
+        let key = ((pid.file.0 as u64) << 32) | pid.page as u64;
+        let h = key.wrapping_mul(0x9E3779B97F4A7C15);
+        &self.shards[(h >> 32) as usize & (SHARD_COUNT - 1)]
     }
 
     /// Number of frames.
@@ -106,64 +240,67 @@ impl BufferPool {
 
     /// Pool hit/miss counters.
     pub fn pool_stats(&self) -> PoolStats {
-        self.meta.borrow().stats
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
-    /// Disk transfer counters (the headline experiment metric).
+    /// Disk transfer counters (the headline experiment metric). Lock-free:
+    /// safe to call while workers are running.
     pub fn io_stats(&self) -> IoStats {
-        self.disk.borrow().stats()
+        self.io.snapshot()
     }
 
     /// Creates a new file on the underlying disk.
     pub fn create_file(&self) -> FileId {
-        self.disk.borrow_mut().create_file()
+        self.disk.lock().unwrap().create_file()
     }
 
     /// Number of pages in `file`.
     pub fn num_pages(&self, file: FileId) -> u32 {
-        self.disk.borrow().num_pages(file)
+        self.disk.lock().unwrap().num_pages(file)
     }
 
     /// Drops a file: resident frames are discarded *without* write-back
-    /// (their contents are dead), then the disk space is released.
+    /// (their contents are dead), then the disk space is released. The
+    /// caller must own the file — no other thread may be using its pages.
     ///
     /// # Panics
     /// Panics if any page of the file is still pinned.
     pub fn delete_file(&self, file: FileId) {
-        let mut meta = self.meta.borrow_mut();
-        let victims: Vec<(PageId, usize)> = meta
-            .table
-            .iter()
-            .filter(|(pid, _)| pid.file == file)
-            .map(|(pid, &f)| (*pid, f))
-            .collect();
-        for (pid, f) in victims {
-            assert_eq!(meta.frames[f].pin, 0, "deleting file with pinned page {pid}");
-            meta.table.remove(&pid);
-            meta.frames[f] = FrameMeta { pid: None, pin: 0, dirty: false, referenced: false };
+        for shard in &self.shards {
+            let mut table = shard.lock().unwrap();
+            table.retain(|pid, &mut f| {
+                if pid.file != file {
+                    return true;
+                }
+                let mut m = self.meta[f].lock().unwrap();
+                // A claimed frame is mid-eviction by another thread; it no
+                // longer belongs to this file (the evictor's write-back is
+                // dropped by the deleted-file guard in `load_frame`).
+                if !m.claimed {
+                    assert_eq!(m.pin, 0, "deleting file with pinned page {pid}");
+                    *m = FrameMeta::EMPTY;
+                }
+                false
+            });
         }
-        drop(meta);
-        self.disk.borrow_mut().delete_file(file);
+        self.disk.lock().unwrap().delete_file(file);
     }
 
     /// Fetches an existing page for reading.
     pub fn read_page(&self, pid: PageId) -> Result<PageRef<'_>, PoolError> {
         let frame = self.fetch(pid, false, false)?;
-        Ok(PageRef {
-            pool: self,
-            frame,
-            data: self.data[frame].borrow(),
-        })
+        self.data[frame].latch.lock_shared();
+        Ok(PageRef { pool: self, frame })
     }
 
     /// Fetches an existing page for modification; the frame is marked dirty.
     pub fn write_page(&self, pid: PageId) -> Result<PageMut<'_>, PoolError> {
         let frame = self.fetch(pid, true, false)?;
-        Ok(PageMut {
-            pool: self,
-            frame,
-            data: self.data[frame].borrow_mut(),
-        })
+        self.data[frame].latch.lock_exclusive();
+        Ok(PageMut { pool: self, frame })
     }
 
     /// Appends a full page image to `file`, writing through to disk
@@ -176,7 +313,7 @@ impl BufferPool {
     /// write-back, which is exactly the pathology real engines avoid by
     /// bypassing the buffer pool for bulk output.
     pub fn append_page_through(&self, file: FileId, buf: &PageBuf) -> u32 {
-        let mut disk = self.disk.borrow_mut();
+        let mut disk = self.disk.lock().unwrap();
         let page = disk.allocate_page(file);
         disk.write_page(PageId::new(file, page), buf);
         page
@@ -185,12 +322,11 @@ impl BufferPool {
     /// Allocates a fresh page in `file` and returns it pinned for writing.
     /// No read is charged: the page starts zeroed.
     pub fn new_page(&self, file: FileId) -> Result<(u32, PageMut<'_>), PoolError> {
-        let page = self.disk.borrow_mut().allocate_page(file);
+        let page = self.disk.lock().unwrap().allocate_page(file);
         let pid = PageId::new(file, page);
         let frame = self.fetch(pid, true, true)?;
-        let mut data = self.data[frame].borrow_mut();
-        data.fill(0);
-        Ok((page, PageMut { pool: self, frame, data }))
+        self.data[frame].latch.lock_exclusive();
+        Ok((page, PageMut { pool: self, frame }))
     }
 
     /// Flushes and then discards every unpinned frame — a cold-cache reset
@@ -201,120 +337,207 @@ impl BufferPool {
     /// guards across runs).
     pub fn evict_all(&self) {
         self.flush_all();
-        let mut meta = self.meta.borrow_mut();
-        for fm in &mut meta.frames {
-            assert_eq!(fm.pin, 0, "evict_all with a pinned frame");
-            *fm = FrameMeta { pid: None, pin: 0, dirty: false, referenced: false };
+        for m in &self.meta {
+            let mut m = m.lock().unwrap();
+            assert_eq!(m.pin, 0, "evict_all with a pinned frame");
+            assert!(!m.claimed, "evict_all while a fetch is in flight");
+            *m = FrameMeta::EMPTY;
         }
-        meta.table.clear();
-        meta.hand = 0;
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+        *self.hand.lock().unwrap() = 0;
     }
 
     /// Writes back every dirty frame (leaving pages resident and clean).
     pub fn flush_all(&self) {
-        let mut meta = self.meta.borrow_mut();
-        let mut disk = self.disk.borrow_mut();
-        // Flush in page order for sequential write-back, as a real pool would.
-        let mut dirty: Vec<(PageId, usize)> = meta
-            .frames
-            .iter()
-            .enumerate()
-            .filter_map(|(i, fm)| match (fm.dirty, fm.pid) {
-                (true, Some(pid)) => Some((pid, i)),
-                _ => None,
-            })
-            .collect();
+        // Collect dirty residents, then flush in page order for sequential
+        // write-back, as a real pool would.
+        let mut dirty: Vec<(PageId, usize)> = Vec::new();
+        for (i, m) in self.meta.iter().enumerate() {
+            let m = m.lock().unwrap();
+            if let (true, false, Some(pid)) = (m.dirty, m.claimed, m.pid) {
+                dirty.push((pid, i));
+            }
+        }
         dirty.sort_unstable();
         for (pid, i) in dirty {
-            disk.write_page(pid, &self.data[i].borrow());
-            meta.frames[i].dirty = false;
+            // Latch the data (waits out any in-flight writer guard), then
+            // re-check under the meta lock: the frame may have been evicted
+            // or re-dirtied since the collection pass.
+            self.data[i].latch.lock_shared();
+            let mut m = self.meta[i].lock().unwrap();
+            if m.dirty && !m.claimed && m.pid == Some(pid) {
+                // SAFETY: shared latch held; no exclusive access exists.
+                let buf = unsafe { &**self.data[i].buf.get() };
+                self.disk.lock().unwrap().write_page(pid, buf);
+                m.dirty = false;
+            }
+            drop(m);
+            self.data[i].latch.unlock_shared();
         }
     }
 
     /// Core fetch: returns the (pinned) frame index holding `pid`.
     /// `fresh` skips the disk read for newly allocated pages.
     fn fetch(&self, pid: PageId, for_write: bool, fresh: bool) -> Result<usize, PoolError> {
-        let mut meta = self.meta.borrow_mut();
-        if let Some(&f) = meta.table.get(&pid) {
-            meta.stats.hits += 1;
-            let fm = &mut meta.frames[f];
-            fm.pin += 1;
-            fm.referenced = true;
-            fm.dirty |= for_write;
-            return Ok(f);
-        }
-        meta.stats.misses += 1;
-        let victim = self.pick_victim(&mut meta)?;
-        // Evict the old resident, writing back if dirty.
-        if let Some(old) = meta.frames[victim].pid {
-            if meta.frames[victim].dirty {
-                self.disk
-                    .borrow_mut()
-                    .write_page(old, &self.data[victim].borrow());
+        loop {
+            // Hit path: resident and not mid-eviction.
+            {
+                let table = self.shard_of(pid).lock().unwrap();
+                if let Some(&f) = table.get(&pid) {
+                    let mut m = self.meta[f].lock().unwrap();
+                    if m.claimed {
+                        // Another thread is still loading this page; let it
+                        // finish and retry.
+                        drop(m);
+                        drop(table);
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    debug_assert_eq!(m.pid, Some(pid));
+                    m.pin += 1;
+                    m.referenced = true;
+                    m.dirty |= for_write;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(f);
+                }
             }
-            meta.table.remove(&old);
+
+            // Miss path: claim a victim frame, evict its old resident, then
+            // race for the table slot.
+            let (victim, old) = self.claim_victim()?;
+            if let Some((old_pid, old_dirty)) = old {
+                // Write back BEFORE removing the table mapping: as long as
+                // the entry exists, a concurrent miss on the old page parks
+                // on the claimed frame instead of reading the (still stale)
+                // disk copy. Removing first would let that miss read data
+                // from before this write-back — a lost update.
+                if old_dirty {
+                    // SAFETY: the frame is claimed with pin == 0 — no guard
+                    // exists and none can be created.
+                    let buf = unsafe { &**self.data[victim].buf.get() };
+                    let mut disk = self.disk.lock().unwrap();
+                    // Skip write-back if the file was deleted concurrently
+                    // (its contents are dead anyway).
+                    if disk.num_pages(old_pid.file) > old_pid.page {
+                        disk.write_page(old_pid, buf);
+                    }
+                }
+                let mut table = self.shard_of(old_pid).lock().unwrap();
+                if table.get(&old_pid) == Some(&victim) {
+                    table.remove(&old_pid);
+                }
+            }
+
+            {
+                let mut table = self.shard_of(pid).lock().unwrap();
+                if table.contains_key(&pid) {
+                    // Lost the load race: another thread published this page
+                    // while we were evicting. Return the claimed frame and
+                    // retry; the retry pins the winner's frame and counts a
+                    // single hit — this request is never double-counted.
+                    drop(table);
+                    *self.meta[victim].lock().unwrap() = FrameMeta::EMPTY;
+                    continue;
+                }
+                table.insert(pid, victim);
+            }
+
+            // Load while claimed (invisible to hits, skipped by the clock).
+            // SAFETY: claimed + pin == 0, sole access as above.
+            let buf = unsafe { &mut **self.data[victim].buf.get() };
+            if fresh {
+                buf.fill(0);
+            } else {
+                self.disk.lock().unwrap().read_page(pid, buf);
+            }
+
+            *self.meta[victim].lock().unwrap() = FrameMeta {
+                pid: Some(pid),
+                pin: 1,
+                dirty: for_write,
+                referenced: true,
+                claimed: false,
+            };
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(victim);
         }
-        if !fresh {
-            self.disk
-                .borrow_mut()
-                .read_page(pid, &mut self.data[victim].borrow_mut());
-        }
-        meta.frames[victim] = FrameMeta {
-            pid: Some(pid),
-            pin: 1,
-            dirty: for_write,
-            referenced: true,
-        };
-        meta.table.insert(pid, victim);
-        Ok(victim)
     }
 
-    /// Clock sweep: find an unpinned frame, giving referenced frames a
-    /// second chance.
-    fn pick_victim(&self, meta: &mut Meta) -> Result<usize, PoolError> {
-        let n = meta.frames.len();
-        for _ in 0..2 * n {
-            let i = meta.hand;
-            meta.hand = (meta.hand + 1) % n;
-            let fm = &mut meta.frames[i];
-            if fm.pin > 0 {
-                continue;
+    /// Clock sweep: claim an unpinned frame, giving referenced frames a
+    /// second chance. Returns the frame index and, if it held a page, that
+    /// page and its dirty bit. The hand mutex is held for the whole sweep,
+    /// so selection is serialized (and deterministic when single-threaded).
+    #[allow(clippy::type_complexity)]
+    fn claim_victim(&self) -> Result<(usize, Option<(PageId, bool)>), PoolError> {
+        let n = self.meta.len();
+        let mut spins = 0u32;
+        loop {
+            let mut hand = self.hand.lock().unwrap();
+            let mut saw_claimed = false;
+            for _ in 0..2 * n {
+                let i = *hand;
+                *hand = (*hand + 1) % n;
+                let mut m = self.meta[i].lock().unwrap();
+                if m.claimed {
+                    saw_claimed = true;
+                    continue;
+                }
+                if m.pin > 0 {
+                    continue;
+                }
+                if m.referenced {
+                    m.referenced = false;
+                    continue;
+                }
+                m.claimed = true;
+                return Ok((i, m.pid.map(|p| (p, m.dirty))));
             }
-            if fm.referenced {
-                fm.referenced = false;
-                continue;
+            drop(hand);
+            // Frames claimed by in-flight fetches on other threads are
+            // transient; give them a bounded chance to resolve before
+            // declaring the pool exhausted.
+            if !saw_claimed || spins >= 1_000 {
+                return Err(PoolError::NoFreeFrames { capacity: n });
             }
-            return Ok(i);
+            spins += 1;
+            std::thread::yield_now();
         }
-        Err(PoolError::NoFreeFrames { capacity: n })
     }
 
     fn unpin(&self, frame: usize) {
-        let mut meta = self.meta.borrow_mut();
-        let fm = &mut meta.frames[frame];
-        debug_assert!(fm.pin > 0, "unpin of unpinned frame");
-        fm.pin -= 1;
+        let mut m = self.meta[frame].lock().unwrap();
+        debug_assert!(m.pin > 0, "unpin of unpinned frame");
+        m.pin -= 1;
     }
 }
 
-/// A pinned, read-only page. Unpins on drop.
+/// A pinned, read-only page. Unpins on drop. `Send`: workers may hand
+/// pinned pages across thread boundaries.
 pub struct PageRef<'a> {
     pool: &'a BufferPool,
     frame: usize,
-    data: Ref<'a, Box<PageBuf>>,
 }
+
+// SAFETY: the guard only touches the pool through `&BufferPool` (which is
+// `Sync`) and owns a shared data latch + one pin, both released on drop
+// from whichever thread that happens on.
+unsafe impl Send for PageRef<'_> {}
 
 impl Deref for PageRef<'_> {
     type Target = PageBuf;
 
     #[inline]
     fn deref(&self) -> &PageBuf {
-        &self.data
+        // SAFETY: shared latch held for the guard's lifetime.
+        unsafe { &*self.pool.data[self.frame].buf.get() }
     }
 }
 
 impl Drop for PageRef<'_> {
     fn drop(&mut self) {
+        self.pool.data[self.frame].latch.unlock_shared();
         self.pool.unpin(self.frame);
     }
 }
@@ -324,27 +547,32 @@ impl Drop for PageRef<'_> {
 pub struct PageMut<'a> {
     pool: &'a BufferPool,
     frame: usize,
-    data: RefMut<'a, Box<PageBuf>>,
 }
+
+// SAFETY: as for `PageRef`, with an exclusive latch.
+unsafe impl Send for PageMut<'_> {}
 
 impl Deref for PageMut<'_> {
     type Target = PageBuf;
 
     #[inline]
     fn deref(&self) -> &PageBuf {
-        &self.data
+        // SAFETY: exclusive latch held for the guard's lifetime.
+        unsafe { &*self.pool.data[self.frame].buf.get() }
     }
 }
 
 impl DerefMut for PageMut<'_> {
     #[inline]
     fn deref_mut(&mut self) -> &mut PageBuf {
-        &mut self.data
+        // SAFETY: exclusive latch held for the guard's lifetime.
+        unsafe { &mut *self.pool.data[self.frame].buf.get() }
     }
 }
 
 impl Drop for PageMut<'_> {
     fn drop(&mut self) {
+        self.pool.data[self.frame].latch.unlock_exclusive();
         self.pool.unpin(self.frame);
     }
 }
@@ -355,6 +583,15 @@ mod tests {
 
     fn pool(frames: usize) -> BufferPool {
         BufferPool::new(Disk::in_memory_free(), frames)
+    }
+
+    #[test]
+    fn pool_and_guards_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<BufferPool>();
+        assert_send::<PageRef<'static>>();
+        assert_send::<PageMut<'static>>();
     }
 
     #[test]
@@ -503,5 +740,35 @@ mod tests {
             let r = p.read_page(PageId::new(f, i)).unwrap();
             assert_eq!(u32::from_le_bytes(r[..4].try_into().unwrap()), i);
         }
+    }
+
+    #[test]
+    fn concurrent_reads_of_one_page_share_the_frame() {
+        let p = pool(4);
+        let f = p.create_file();
+        let (_, mut g) = p.new_page(f).unwrap();
+        g[0] = 77;
+        drop(g);
+        let r1 = p.read_page(PageId::new(f, 0)).unwrap();
+        let r2 = p.read_page(PageId::new(f, 0)).unwrap();
+        assert_eq!(r1[0], 77);
+        assert_eq!(r2[0], 77);
+        assert_eq!(p.pool_stats().hits, 2);
+    }
+
+    #[test]
+    fn guards_can_cross_threads() {
+        let p = pool(4);
+        let f = p.create_file();
+        let (_, mut g) = p.new_page(f).unwrap();
+        g[0] = 5;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                // The guard moved here; mutate and drop on this thread.
+                g[1] = 6;
+            });
+        });
+        let r = p.read_page(PageId::new(f, 0)).unwrap();
+        assert_eq!((r[0], r[1]), (5, 6));
     }
 }

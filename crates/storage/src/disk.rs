@@ -11,11 +11,14 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 
-use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
-use crate::stats::{CostModel, IoStats};
+use std::sync::Arc;
 
-/// A page-granular storage device.
-pub trait DiskBackend {
+use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
+use crate::stats::{AtomicIoStats, CostModel, IoStats};
+
+/// A page-granular storage device. Backends must be [`Send`]: the buffer
+/// pool wraps the disk in a mutex and hands it to scoped worker threads.
+pub trait DiskBackend: Send {
     /// Creates a new, empty file and returns its id.
     fn create_file(&mut self) -> FileId;
     /// Deletes a file and releases its space. Deleting an unknown file is a
@@ -107,7 +110,10 @@ impl FileBackend {
     pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(FileBackend { dir, files: Vec::new() })
+        Ok(FileBackend {
+            dir,
+            files: Vec::new(),
+        })
     }
 
     fn entry_mut(&mut self, f: FileId) -> &mut (File, u32) {
@@ -179,7 +185,7 @@ impl DiskBackend for FileBackend {
 pub struct Disk {
     backend: Box<dyn DiskBackend>,
     cost: CostModel,
-    stats: IoStats,
+    stats: Arc<AtomicIoStats>,
     /// Last page accessed per file, to classify sequential vs. random.
     last_access: HashMap<FileId, u32>,
 }
@@ -190,7 +196,7 @@ impl Disk {
         Disk {
             backend,
             cost,
-            stats: IoStats::default(),
+            stats: Arc::new(AtomicIoStats::default()),
             last_access: HashMap::new(),
         }
     }
@@ -208,7 +214,14 @@ impl Disk {
     /// Current cumulative counters.
     #[inline]
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// A handle to the live counters, readable without holding any lock on
+    /// the disk itself.
+    #[inline]
+    pub fn stats_handle(&self) -> Arc<AtomicIoStats> {
+        Arc::clone(&self.stats)
     }
 
     /// The cost model in effect.
@@ -223,14 +236,12 @@ impl Disk {
             .get(&pid.file)
             .is_some_and(|&last| pid.page == last + 1 || pid.page == last);
         self.last_access.insert(pid.file, pid.page);
-        let ns = if seq { self.cost.seq_ns } else { self.cost.rand_ns };
-        self.stats.sim_ns += ns;
-        match (is_read, seq) {
-            (true, true) => self.stats.seq_reads += 1,
-            (true, false) => self.stats.rand_reads += 1,
-            (false, true) => self.stats.seq_writes += 1,
-            (false, false) => self.stats.rand_writes += 1,
-        }
+        let ns = if seq {
+            self.cost.seq_ns
+        } else {
+            self.cost.rand_ns
+        };
+        self.stats.record(is_read, seq, ns);
     }
 
     /// See [`DiskBackend::create_file`].

@@ -248,8 +248,14 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
     /// to [`HeapFile::scan_at`] to resume here later.
     pub fn position(&self) -> ScanPos {
         match &self.cur {
-            Some(_) => ScanPos { page: self.next_page - 1, idx: self.idx },
-            None => ScanPos { page: self.next_page, idx: self.skip_on_load },
+            Some(_) => ScanPos {
+                page: self.next_page - 1,
+                idx: self.idx,
+            },
+            None => ScanPos {
+                page: self.next_page,
+                idx: self.skip_on_load,
+            },
         }
     }
 
@@ -268,7 +274,9 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
             if self.next_page == self.pages {
                 return Ok(None);
             }
-            let page = self.pool.read_page(PageId::new(self.file, self.next_page))?;
+            let page = self
+                .pool
+                .read_page(PageId::new(self.file, self.next_page))?;
             self.next_page += 1;
             self.in_page = u32::from_le_bytes(page[..HEADER].try_into().unwrap()) as usize;
             self.idx = self.skip_on_load;

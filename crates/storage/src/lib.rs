@@ -21,8 +21,12 @@
 //! * [`util::hash`] — an FxHash-style integer hasher; join hash tables are
 //!   keyed by 8-byte codes, where SipHash would dominate CPU cost.
 //!
-//! Everything is single-threaded by design: the paper's algorithms are
-//! sequential, and determinism makes the experiment harness reproducible.
+//! The buffer pool is thread-safe (`Send + Sync`): the page table is
+//! lock-striped across shards, frame metadata sits behind per-frame
+//! mutexes, counters are atomic, and page guards are `Send`, so the join
+//! layer can fan partition work out over scoped threads sharing one frame
+//! budget. Single-threaded use (the default, `threads = 1`) behaves
+//! exactly like the classic sequential pool and stays deterministic.
 
 pub mod buffer;
 pub mod disk;
@@ -33,7 +37,7 @@ pub mod sort;
 pub mod stats;
 pub mod util;
 
-pub use buffer::{BufferPool, PageMut, PageRef, PoolError};
+pub use buffer::{BufferPool, PageMut, PageRef, PoolError, PoolStats, SHARD_COUNT};
 pub use disk::{Disk, DiskBackend, FileBackend, MemBackend};
 pub use heap::{records_per_page, HeapFile, HeapScan, HeapWriter, ScanPos};
 pub use page::{FileId, PageBuf, PageId, PAGE_SIZE};

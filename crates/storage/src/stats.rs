@@ -33,7 +33,10 @@ impl Default for CostModel {
 impl CostModel {
     /// A model that only counts pages (zero simulated time), for tests.
     pub fn free() -> Self {
-        CostModel { seq_ns: 0, rand_ns: 0 }
+        CostModel {
+            seq_ns: 0,
+            rand_ns: 0,
+        }
     }
 }
 
@@ -86,6 +89,54 @@ impl IoStats {
             seq_writes: self.seq_writes - earlier.seq_writes,
             rand_writes: self.rand_writes - earlier.rand_writes,
             sim_ns: self.sim_ns - earlier.sim_ns,
+        }
+    }
+}
+
+/// Lock-free cumulative I/O counters, shared between the [`crate::disk::Disk`]
+/// (which increments them under its own lock) and the buffer pool (which
+/// snapshots them without taking the disk lock — experiment measurement
+/// must not serialize against worker I/O).
+///
+/// Increments happen while the disk mutex is held, so the counters are
+/// exactly-once per page transfer; `Relaxed` ordering suffices because a
+/// snapshot is only compared against another snapshot from the same
+/// thread of control (before/after an operator run).
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    seq_reads: std::sync::atomic::AtomicU64,
+    rand_reads: std::sync::atomic::AtomicU64,
+    seq_writes: std::sync::atomic::AtomicU64,
+    rand_writes: std::sync::atomic::AtomicU64,
+    sim_ns: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicIoStats {
+    /// Records one transfer of the given kind, charging `ns` of simulated
+    /// time. Called exactly once per page transfer by the disk layer.
+    pub fn record(&self, is_read: bool, seq: bool, ns: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.sim_ns.fetch_add(ns, Relaxed);
+        match (is_read, seq) {
+            (true, true) => &self.seq_reads,
+            (true, false) => &self.rand_reads,
+            (false, true) => &self.seq_writes,
+            (false, false) => &self.rand_writes,
+        }
+        .fetch_add(1, Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters (each counter is read
+    /// atomically; cross-counter skew is possible only while workers are
+    /// actively transferring pages).
+    pub fn snapshot(&self) -> IoStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        IoStats {
+            seq_reads: self.seq_reads.load(Relaxed),
+            rand_reads: self.rand_reads.load(Relaxed),
+            seq_writes: self.seq_writes.load(Relaxed),
+            rand_writes: self.rand_writes.load(Relaxed),
+            sim_ns: self.sim_ns.load(Relaxed),
         }
     }
 }

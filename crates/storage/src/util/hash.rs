@@ -95,7 +95,11 @@ mod tests {
             hasher.write_u64(v);
             buckets.insert(hasher.finish() % 8192);
         }
-        assert!(buckets.len() > 3000, "only {} distinct buckets", buckets.len());
+        assert!(
+            buckets.len() > 3000,
+            "only {} distinct buckets",
+            buckets.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Multi-threaded stress tests for the sharded buffer pool: N threads
+//! hammering overlapping page sets under a tight frame budget must never
+//! lose a write, never exceed the frame budget, and keep hit/miss and
+//! transfer accounting exactly-once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use pbitree_storage::{BufferPool, Disk, PageId, PoolError};
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Each of 8 pages carries a per-page counter in its first 8 bytes; threads
+/// repeatedly pick a page, increment its counter under the page's write
+/// latch, and record the increment locally. At the end every page counter
+/// must equal the number of increments applied to it — a lost write (torn
+/// eviction, stale reload, double-mapped frame) breaks the equality.
+#[test]
+fn no_lost_writes_under_tight_budget() {
+    const THREADS: usize = 8;
+    const PAGES: u32 = 8;
+    const OPS: usize = 2_000;
+    // 4 frames for 8 hot pages: constant eviction + reload traffic.
+    let pool = BufferPool::new(Disk::in_memory_free(), 4);
+    let file = pool.create_file();
+    for _ in 0..PAGES {
+        let (_, _g) = pool.new_page(file).unwrap();
+    }
+    pool.flush_all();
+    pool.evict_all();
+
+    let applied: Vec<AtomicU64> = (0..PAGES).map(|_| AtomicU64::new(0)).collect();
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            let applied = &applied;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut rng = 0x5DEECE66D ^ (t as u64 + 1);
+                barrier.wait();
+                for _ in 0..OPS {
+                    let page = (xorshift(&mut rng) % PAGES as u64) as u32;
+                    let pid = PageId::new(file, page);
+                    if xorshift(&mut rng).is_multiple_of(4) {
+                        // Read path: the counter must never exceed the
+                        // increments applied so far (reads of stale data
+                        // would also show up in the final totals).
+                        let g = pool.read_page(pid).unwrap();
+                        let v = u64::from_le_bytes(g[..8].try_into().unwrap());
+                        assert!(v <= applied[page as usize].load(Ordering::SeqCst) + OPS as u64);
+                    } else {
+                        let mut g = pool.write_page(pid).unwrap();
+                        let v = u64::from_le_bytes(g[..8].try_into().unwrap());
+                        g[..8].copy_from_slice(&(v + 1).to_le_bytes());
+                        drop(g);
+                        applied[page as usize].fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+
+    pool.flush_all();
+    for page in 0..PAGES {
+        let g = pool.read_page(PageId::new(file, page)).unwrap();
+        let v = u64::from_le_bytes(g[..8].try_into().unwrap());
+        assert_eq!(
+            v,
+            applied[page as usize].load(Ordering::SeqCst),
+            "page {page} lost writes"
+        );
+    }
+}
+
+/// Accounting stays exactly-once under concurrency: every request is one
+/// hit or one miss (never both, never neither), and every miss on a cold
+/// page is at most one disk read even when threads race on the same page.
+#[test]
+fn accounting_is_exactly_once() {
+    const THREADS: usize = 6;
+    const PAGES: u32 = 16;
+    const OPS: usize = 1_500;
+    let pool = BufferPool::new(Disk::in_memory_free(), 8);
+    let file = pool.create_file();
+    for _ in 0..PAGES {
+        let (_, _g) = pool.new_page(file).unwrap();
+    }
+    pool.flush_all();
+    pool.evict_all();
+    let base_io = pool.io_stats();
+    let base_pool = pool.pool_stats();
+
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut rng = 0xA076_1D64 ^ (t as u64 + 1);
+                barrier.wait();
+                for _ in 0..OPS {
+                    let page = (xorshift(&mut rng) % PAGES as u64) as u32;
+                    let g = pool.read_page(PageId::new(file, page)).unwrap();
+                    std::hint::black_box(g[0]);
+                }
+            });
+        }
+    });
+
+    let stats = pool.pool_stats();
+    let requests = stats.hits - base_pool.hits + (stats.misses - base_pool.misses);
+    assert_eq!(
+        requests,
+        (THREADS * OPS) as u64,
+        "each request counted exactly once"
+    );
+    // Pages are clean, so the only transfers are miss reads — and a race
+    // loser never re-reads: reads <= misses (a loser's speculative read is
+    // possible but it then counts a hit, so reads never exceed misses).
+    let io = pool.io_stats().since(&base_io);
+    assert_eq!(io.writes(), 0);
+    assert!(
+        io.reads() <= stats.misses - base_pool.misses,
+        "reads {} > misses {}",
+        io.reads(),
+        stats.misses - base_pool.misses
+    );
+}
+
+/// The frame budget is a hard bound even under concurrency: with `b`
+/// frames and `b` pages pinned simultaneously across threads, the next pin
+/// must fail with `NoFreeFrames` — total pinned frames never exceed `b`.
+#[test]
+fn budget_bounds_total_pins_across_threads() {
+    const B: usize = 6;
+    let pool = BufferPool::new(Disk::in_memory_free(), B);
+    let file = pool.create_file();
+    for _ in 0..B + 2 {
+        let (_, _g) = pool.new_page(file).unwrap();
+    }
+    pool.flush_all();
+    pool.evict_all();
+
+    // Pin B distinct pages from several threads, holding all guards alive
+    // at a rendezvous, then ask for one more.
+    let pinned = Barrier::new(B + 1);
+    let release = Barrier::new(B + 1);
+    std::thread::scope(|s| {
+        let pinned = &pinned;
+        let release = &release;
+        let pool = &pool;
+        for i in 0..B {
+            s.spawn(move || {
+                let g = pool.read_page(PageId::new(file, i as u32)).unwrap();
+                pinned.wait(); // all B frames pinned now
+                release.wait(); // hold the pin until the main assert ran
+                drop(g);
+            });
+        }
+        pinned.wait();
+        // Every worker holds its pin and is parked at `release`.
+        let err = pool
+            .read_page(PageId::new(file, B as u32))
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, PoolError::NoFreeFrames { capacity: B });
+        release.wait();
+    });
+}
+
+/// Heap files written from multiple worker threads into distinct files
+/// round-trip correctly through one shared pool.
+#[test]
+fn parallel_heap_files_round_trip() {
+    use pbitree_storage::HeapFile;
+    const THREADS: usize = 4;
+    let pool = BufferPool::new(Disk::in_memory_free(), 12);
+    std::thread::scope(|s| {
+        let pool = &pool;
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let data: Vec<u64> = (0..5_000u64).map(|i| i * (t as u64 + 1)).collect();
+                let hf = HeapFile::from_iter(pool, data.iter().copied()).unwrap();
+                assert_eq!(hf.read_all(pool).unwrap(), data, "thread {t}");
+                hf.drop_file(pool);
+            });
+        }
+    });
+}

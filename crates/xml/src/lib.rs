@@ -28,5 +28,5 @@ pub mod serialize;
 pub use document::{Document, TagId};
 pub use encode::EncodedDocument;
 pub use parser::{parse, XmlError};
-pub use serialize::serialize;
 pub use query::DescendantPath;
+pub use serialize::serialize;

@@ -44,7 +44,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, XmlError> {
-        Err(XmlError { offset: self.pos, message: message.into() })
+        Err(XmlError {
+            offset: self.pos,
+            message: message.into(),
+        })
     }
 
     #[inline]
@@ -89,9 +92,8 @@ impl<'a> Parser<'a> {
     fn name(&mut self) -> Result<&'a str, XmlError> {
         let start = self.pos;
         while let Some(c) = self.peek() {
-            let ok = c.is_ascii_alphanumeric()
-                || matches!(c, b'_' | b'-' | b'.' | b':')
-                || c >= 0x80;
+            let ok =
+                c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') || c >= 0x80;
             if !ok {
                 break;
             }
@@ -198,11 +200,12 @@ impl<'a> Parser<'a> {
                         match find(&self.input[self.pos..], b"]]>") {
                             Some(i) => {
                                 text.push_str(
-                                    std::str::from_utf8(&self.input[start..start + i])
-                                        .map_err(|_| XmlError {
+                                    std::str::from_utf8(&self.input[start..start + i]).map_err(
+                                        |_| XmlError {
                                             offset: start,
                                             message: "invalid UTF-8 in CDATA".into(),
-                                        })?,
+                                        },
+                                    )?,
                                 );
                                 self.pos += i + 3;
                             }
@@ -325,7 +328,10 @@ fn decode_entities(raw: &[u8], base_offset: usize) -> Result<String, XmlError> {
 
 /// Parses a complete XML document.
 pub fn parse(input: &str) -> Result<Document, XmlError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_misc()?;
     // Optional DOCTYPE (skipped; internal subsets with brackets supported).
     if p.starts_with(b"<!DOCTYPE") {

@@ -67,11 +67,7 @@ impl DescendantPath {
                     let (child, value) = inner
                         .split_once('=')
                         .ok_or_else(|| PathError(format!("predicate needs '=' in {raw:?}")))?;
-                    let value = value
-                        .trim()
-                        .trim_matches('"')
-                        .trim_matches('\'')
-                        .to_owned();
+                    let value = value.trim().trim_matches('"').trim_matches('\'').to_owned();
                     (tag, Some((child.trim().to_owned(), value)))
                 }
             };
@@ -96,9 +92,8 @@ impl DescendantPath {
                 d.nodes_with_tag(&step.tag)
                     .into_iter()
                     .filter(|&n| {
-                        tree.children(n).any(|c| {
-                            d.node_tag_name(c) == child && d.string_value(c) == *value
-                        })
+                        tree.children(n)
+                            .any(|c| d.node_tag_name(c) == child && d.string_value(c) == *value)
                     })
                     .map(|n| doc.encoding().code(n))
                     .collect()

@@ -24,13 +24,13 @@ fn run_cold(
         &mut dyn pbitree_containment::joins::PairSink,
     ) -> Result<JoinStats, pbitree_containment::joins::JoinError>,
 ) -> JoinStats {
-    let ctx = JoinCtx {
-        pool: BufferPool::new(
+    let ctx = JoinCtx::new(
+        BufferPool::new(
             Disk::new(Box::new(MemBackend::new()), CostModel::default()),
             buffer,
         ),
-        shape: ds.shape,
-    };
+        ds.shape,
+    );
     let a = element_file(&ctx.pool, ds.a.iter().copied()).unwrap();
     let d = element_file(&ctx.pool, ds.d.iter().copied()).unwrap();
     ctx.pool.evict_all();

@@ -73,7 +73,10 @@ fn main() {
     println!("planner chose {algo}; {stats}");
     println!("figures inside an 'Introduction' section:");
     for (anc, desc) in &sink.pairs {
-        println!("  section code {} contains figure code {}", anc.code, desc.code);
+        println!(
+            "  section code {} contains figure code {}",
+            anc.code, desc.code
+        );
     }
     assert_eq!(sink.pairs.len(), 2, "f1 and f2 match, f3 does not");
 }

@@ -30,8 +30,16 @@ fn main() {
     println!("PBiTree height: {}", enc.height());
 
     // //listitem//keyword : listitems nest, so A spans several heights.
-    let a: Vec<(u64, u32)> = enc.element_set("listitem").iter().map(|c| (c.get(), 0)).collect();
-    let d: Vec<(u64, u32)> = enc.element_set("keyword").iter().map(|c| (c.get(), 1)).collect();
+    let a: Vec<(u64, u32)> = enc
+        .element_set("listitem")
+        .iter()
+        .map(|c| (c.get(), 0))
+        .collect();
+    let d: Vec<(u64, u32)> = enc
+        .element_set("keyword")
+        .iter()
+        .map(|c| (c.get(), 1))
+        .collect();
     println!("|A| = {} listitems, |D| = {} keywords\n", a.len(), d.len());
 
     println!(
@@ -50,13 +58,13 @@ fn main() {
     >;
     let run = |name: &str, f: JoinFn<'_>| {
         // Fresh pool per run: everyone starts cold with b = 64 pages.
-        let ctx = JoinCtx {
-            pool: BufferPool::new(
+        let ctx = JoinCtx::new(
+            BufferPool::new(
                 Disk::new(Box::new(MemBackend::new()), CostModel::default()),
                 64,
             ),
-            shape: enc.encoding().shape(),
-        };
+            enc.encoding().shape(),
+        );
         let af = element_file(&ctx.pool, a.iter().copied()).unwrap();
         let df = element_file(&ctx.pool, d.iter().copied()).unwrap();
         ctx.pool.evict_all();
@@ -74,7 +82,9 @@ fn main() {
 
     use pbitree_containment::joins as j;
     run("MHCJ", &|c, a, d, s| j::mhcj::mhcj(c, a, d, s));
-    run("MHCJ+Rollup", &|c, a, d, s| j::rollup::mhcj_rollup(c, a, d, s));
+    run("MHCJ+Rollup", &|c, a, d, s| {
+        j::rollup::mhcj_rollup(c, a, d, s)
+    });
     run("VPJ", &|c, a, d, s| j::vpj::vpj(c, a, d, s));
     run("INLJN", &|c, a, d, s| j::inljn::inljn(c, a, d, s));
     run("STACKTREE", &|c, a, d, s| {
@@ -83,7 +93,9 @@ fn main() {
     run("ADB+", &|c, a, d, s| {
         j::adb::anc_des_bplus(c, a, d, SortPolicy::SortOnTheFly, s)
     });
-    run("naive BNL", &|c, a, d, s| j::naive::block_nested_loop(c, a, d, s));
+    run("naive BNL", &|c, a, d, s| {
+        j::naive::block_nested_loop(c, a, d, s)
+    });
 
     println!("\n(sort/index-build cost is charged to the baselines, as in the paper's §4)");
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local gate: what CI runs, in the same order. Fails fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release (workspace, all targets)"
+cargo build --release --workspace --all-targets
+
+echo "== cargo test (workspace)"
+cargo test --workspace -q
+
+echo "OK"

@@ -1,44 +1,62 @@
-//! Property-based cross-validation: on arbitrary element sets, every
+//! Property-style cross-validation: on arbitrary element sets, every
 //! containment-join algorithm must produce exactly the naive join's result
-//! set, under arbitrary (tiny) buffer budgets.
+//! set, under arbitrary (tiny) buffer budgets. Cases come from a
+//! deterministic xorshift stream, so every failure is reproducible by
+//! seed and no external property-testing crate is needed.
 
 use pbitree_containment::joins::element::element_file;
 use pbitree_containment::joins::verify::check_all_agree;
 use pbitree_containment::joins::JoinCtx;
 use pbitree_core::PBiTreeShape;
-use proptest::prelude::*;
 
-/// Arbitrary element sets in an H-height code space: a set of distinct
-/// codes split arbitrarily into ancestors and descendants (sides may
-/// overlap in height ranges and share structure).
-fn arb_sets(h: u32) -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
-    let max = (1u64 << h) - 1;
-    (
-        proptest::collection::btree_set(1..=max, 0..120),
-        proptest::collection::btree_set(1..=max, 0..200),
-    )
-        .prop_map(|(a, d)| (a.into_iter().collect(), d.into_iter().collect()))
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// Arbitrary element sets in an H-height code space: distinct codes split
+/// into ancestors and descendants (sides may overlap in height ranges and
+/// share structure).
+fn arb_sets(h: u32, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let max = (1u64 << h) - 1;
+    let mut x = seed | 1;
+    let na = (xorshift(&mut x) % 120) as usize;
+    let nd = (xorshift(&mut x) % 200) as usize;
+    let mut a = std::collections::BTreeSet::new();
+    let mut d = std::collections::BTreeSet::new();
+    for _ in 0..na {
+        a.insert(1 + xorshift(&mut x) % max);
+    }
+    for _ in 0..nd {
+        d.insert(1 + xorshift(&mut x) % max);
+    }
+    (a.into_iter().collect(), d.into_iter().collect())
+}
 
-    #[test]
-    fn all_algorithms_agree((a, d) in arb_sets(12), b in 3usize..10) {
+#[test]
+fn all_algorithms_agree() {
+    for seed in 0..40u64 {
+        let (a, d) = arb_sets(12, seed.wrapping_mul(0x9E3779B97F4A7C15) + 1);
+        let b = 3 + (seed as usize) % 7;
         let shape = PBiTreeShape::new(12).unwrap();
         let ctx = JoinCtx::in_memory_free(shape, b);
         let af = element_file(&ctx.pool, a.iter().map(|&c| (c, 0))).unwrap();
         let df = element_file(&ctx.pool, d.iter().map(|&c| (c, 1))).unwrap();
-        check_all_agree(&ctx, &af, &df).unwrap();
+        check_all_agree(&ctx, &af, &df).unwrap_or_else(|e| panic!("seed {seed} b {b}: {e:?}"));
     }
+}
 
-    /// Deep, skewed trees (everything in one subtree) still agree — the
-    /// regime that forces VPJ recursion and rollup fallbacks.
-    #[test]
-    fn skewed_sets_agree(seed in 0u64..1000, b in 3usize..6) {
+/// Deep, skewed trees (everything in one subtree) still agree — the
+/// regime that forces VPJ recursion and rollup fallbacks.
+#[test]
+fn skewed_sets_agree() {
+    for seed in 0..25u64 {
+        let b = 3 + (seed as usize) % 3;
         let shape = PBiTreeShape::new(16).unwrap();
-        let mut x = seed | 1;
-        let mut step = move || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+        let mut x = (seed * 40) | 1;
+        let mut step = move || xorshift(&mut x);
         // Confine all codes to the leftmost 1/64th of the space.
         let mut a = std::collections::BTreeSet::new();
         let mut d = std::collections::BTreeSet::new();
@@ -53,7 +71,28 @@ proptest! {
         let ctx = JoinCtx::in_memory_free(shape, b);
         let af = element_file(&ctx.pool, a.iter().map(|&c| (c, 0))).unwrap();
         let df = element_file(&ctx.pool, d.iter().map(|&c| (c, 1))).unwrap();
-        check_all_agree(&ctx, &af, &df).unwrap();
+        check_all_agree(&ctx, &af, &df).unwrap_or_else(|e| panic!("seed {seed} b {b}: {e:?}"));
+    }
+}
+
+/// The parallel MHCJ/VPJ paths agree with the sequential algorithms too.
+#[test]
+fn parallel_paths_agree_with_naive() {
+    use pbitree_containment::joins::{mhcj::mhcj, naive::block_nested_loop, vpj::vpj, CollectSink};
+    for seed in 0..10u64 {
+        let (a, d) = arb_sets(12, seed.wrapping_mul(0xC2B2AE3D27D4EB4F) + 3);
+        let shape = PBiTreeShape::new(12).unwrap();
+        let ctx = JoinCtx::in_memory_free(shape, 8).with_threads(4);
+        let af = element_file(&ctx.pool, a.iter().map(|&c| (c, 0))).unwrap();
+        let df = element_file(&ctx.pool, d.iter().map(|&c| (c, 1))).unwrap();
+        let mut expect = CollectSink::default();
+        block_nested_loop(&ctx, &af, &df, &mut expect).unwrap();
+        let mut got_m = CollectSink::default();
+        mhcj(&ctx, &af, &df, &mut got_m).unwrap();
+        assert_eq!(got_m.canonical(), expect.canonical(), "mhcj seed {seed}");
+        let mut got_v = CollectSink::default();
+        vpj(&ctx, &af, &df, &mut got_v).unwrap();
+        assert_eq!(got_v.canonical(), expect.canonical(), "vpj seed {seed}");
     }
 }
 

@@ -17,7 +17,11 @@ fn xml_roundtrip_preserves_join_results() {
     let e1 = EncodedDocument::encode(gen).unwrap();
     let e2 = EncodedDocument::encode(reparsed).unwrap();
 
-    for q in ["//item//keyword", "//person//interest", "//open_auction//personref"] {
+    for q in [
+        "//item//keyword",
+        "//person//interest",
+        "//open_auction//personref",
+    ] {
         let p = DescendantPath::parse(q).unwrap();
         let r1 = p.evaluate_naive(&e1);
         let r2 = p.evaluate_naive(&e2);
@@ -27,14 +31,21 @@ fn xml_roundtrip_preserves_join_results() {
 
 #[test]
 fn document_query_through_every_algorithm() {
-    let enc =
-        EncodedDocument::encode(dblp::generate(dblp::DblpSpec { sf: 0.002, seed: 11 })).unwrap();
+    let enc = EncodedDocument::encode(dblp::generate(dblp::DblpSpec {
+        sf: 0.002,
+        seed: 11,
+    }))
+    .unwrap();
     let a: Vec<(u64, u32)> = enc
         .element_set("inproceedings")
         .iter()
         .map(|c| (c.get(), 0))
         .collect();
-    let d: Vec<(u64, u32)> = enc.element_set("author").iter().map(|c| (c.get(), 1)).collect();
+    let d: Vec<(u64, u32)> = enc
+        .element_set("author")
+        .iter()
+        .map(|c| (c.get(), 1))
+        .collect();
     assert!(!a.is_empty() && !d.is_empty());
 
     let ctx = JoinCtx::in_memory_free(enc.encoding().shape(), 8);

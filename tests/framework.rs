@@ -10,7 +10,11 @@ use pbitree_core::PBiTreeShape;
 use pbitree_storage::CostModel;
 
 fn cfg(b: usize) -> ExpConfig {
-    ExpConfig { buffer_pages: b, cost: CostModel::free() }
+    ExpConfig {
+        buffer_pages: b,
+        cost: CostModel::free(),
+        threads: 1,
+    }
 }
 
 #[test]
@@ -24,7 +28,10 @@ fn every_planner_choice_gives_identical_results() {
         (InputState::raw(), InputState::raw()),
         (InputState::sorted(), InputState::sorted()),
         (InputState::indexed(), InputState::indexed()),
-        (InputState::sorted_and_indexed(), InputState::sorted_and_indexed()),
+        (
+            InputState::sorted_and_indexed(),
+            InputState::sorted_and_indexed(),
+        ),
     ];
     let mut counts = Vec::new();
     let mut chosen = Vec::new();
@@ -100,7 +107,11 @@ fn partitioning_joins_beat_min_rgn_on_asymmetric_large_sets() {
     // neither sorted nor indexed. With a simulated disk, SHCJ/VPJ must
     // beat the sort/build-on-the-fly baselines by a wide margin.
     let w = synthetic_by_name("SSLH", 0.3).unwrap(); // |A|=3k, |D|=300k
-    let c = ExpConfig { buffer_pages: 150, cost: CostModel::default() };
+    let c = ExpConfig {
+        buffer_pages: 150,
+        cost: CostModel::default(),
+        threads: 1,
+    };
     let base = run_competitors(w.shape, &w.a, &w.d, &c, &Algo::rgn_baselines());
     let min_rgn = min_rgn_secs(&base).unwrap();
     let shcj = run_algo(w.shape, &w.a, &w.d, &c, Algo::Shcj);
@@ -135,12 +146,14 @@ fn shape_of_table1_is_total() {
     let d = element_file(&ctx.pool, [(18u64, 1)]).unwrap();
     for ia in [false, true] {
         for sa in [false, true] {
-            let st = InputState { indexed: ia, sorted: sa };
+            let st = InputState {
+                indexed: ia,
+                sorted: sa,
+            };
             let algo = pbitree_containment::joins::choose_algorithm(&ctx, st, st, &a, &d, false);
             let mut sink = CountSink::default();
             let stats =
-                pbitree_containment::joins::execute(&ctx, algo, &a, &d, false, &mut sink)
-                    .unwrap();
+                pbitree_containment::joins::execute(&ctx, algo, &a, &d, false, &mut sink).unwrap();
             assert_eq!(stats.pairs, 1, "{algo}");
         }
     }
