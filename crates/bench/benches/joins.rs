@@ -57,7 +57,7 @@ fn bench_all_algorithms() {
             let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
             let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
             bench(&format!("{rname}/{name}"), None, || {
-                ctx.pool.evict_all();
+                ctx.pool.evict_all().unwrap();
                 let mut sink = CountSink::default();
                 f(&ctx, &af, &df, &mut sink).unwrap().pairs
             });
@@ -73,7 +73,7 @@ fn bench_rollup_anchors() {
         let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
         let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
         bench(&format!("k={k}"), None, || {
-            ctx.pool.evict_all();
+            ctx.pool.evict_all().unwrap();
             let mut sink = CountSink::default();
             pbitree_joins::rollup::mhcj_rollup_with(&ctx, &af, &df, k, &mut sink)
                 .unwrap()

@@ -85,7 +85,7 @@ fn bench_buffer() {
     for _ in 0..64 {
         let (_, _g) = p.new_page(f).unwrap();
     }
-    p.flush_all();
+    p.flush_all().unwrap();
     bench("hit path: pin/unpin 64 resident pages", Some(64), || {
         let mut acc = 0u8;
         for i in 0..64u32 {

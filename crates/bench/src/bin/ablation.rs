@@ -50,7 +50,7 @@ fn rollup_study(args: &CommonArgs) {
             let ctx = make_ctx(&w, args.buffer);
             let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
             let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
-            ctx.pool.evict_all();
+            ctx.pool.evict_all().unwrap();
             let mut sink = CountSink::default();
             let stats =
                 pbitree_joins::rollup::mhcj_rollup_with(&ctx, &af, &df, k, &mut sink).unwrap();
@@ -100,7 +100,7 @@ fn memjoin_study(args: &CommonArgs) {
         let ctx = make_ctx(&w, args.buffer.max(64));
         let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
         let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
-        ctx.pool.evict_all();
+        ctx.pool.evict_all().unwrap();
         let mut sink = CountSink::default();
         let stats = f(&ctx, &af, &df, &mut sink).unwrap();
         t.row(vec![
@@ -142,7 +142,7 @@ fn shcj_study(args: &CommonArgs) {
         let ctx = make_ctx(&base, buffer);
         let af = element_file(&ctx.pool, a.iter().copied()).unwrap();
         let df = element_file(&ctx.pool, base.d.iter().copied()).unwrap();
-        ctx.pool.evict_all();
+        ctx.pool.evict_all().unwrap();
         let mut sink = CountSink::default();
         let stats = pbitree_joins::shcj::shcj(&ctx, &af, &df, &mut sink).unwrap();
         t.row(vec![
@@ -177,7 +177,7 @@ fn vpj_study(args: &CommonArgs) {
         let ctx = make_ctx(&w, args.buffer);
         let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
         let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
-        ctx.pool.evict_all();
+        ctx.pool.evict_all().unwrap();
         let mut sink = CountSink::default();
         let (stats, report) =
             pbitree_joins::vpj::vpj_with_report(&ctx, &af, &df, &mut sink).unwrap();

@@ -104,7 +104,7 @@ pub fn run_algo(
     .with_threads(cfg.threads);
     let af = element_file(&ctx.pool, a.iter().copied()).expect("load A");
     let df = element_file(&ctx.pool, d.iter().copied()).expect("load D");
-    ctx.pool.evict_all();
+    ctx.pool.evict_all().unwrap();
     let mut sink = CountSink::default();
     let stats = match algo {
         Algo::InlJn => pbitree_joins::inljn::inljn(&ctx, &af, &df, &mut sink),

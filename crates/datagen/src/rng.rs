@@ -1,193 +1,9 @@
-//! A small vendored PRNG so generators need no external crates (the build
-//! environment is offline).
+//! Deterministic PRNG used by every generator.
 //!
-//! The generator is xoshiro256** (Blackman & Vigna) seeded through
-//! SplitMix64 — the same construction the reference implementations
-//! recommend, with a 2^256 − 1 period and excellent statistical quality
-//! for non-cryptographic workload synthesis. The API mirrors the subset of
-//! `rand` the generators used (`gen_range`, `gen_bool`, `shuffle`), so
-//! call sites read the same; the *streams* differ from `rand`'s, which
-//! only matters to tests that pin exact populations (they derive counts
-//! from scaling rules, not RNG values).
+//! The implementation (xoshiro256** seeded through SplitMix64) lives in
+//! `pbitree_storage::util::rng` so the storage layer's fault-injection
+//! backend can share the exact same streams; this module re-exports it
+//! under the historical `datagen::rng` path. Seeds produce identical
+//! sequences through either path.
 
-use std::ops::{Range, RangeInclusive};
-
-/// Deterministic xoshiro256** generator.
-#[derive(Debug, Clone)]
-pub struct Rng {
-    s: [u64; 4],
-}
-
-/// SplitMix64 step — used only to expand the seed into the state.
-#[inline]
-fn splitmix64(x: &mut u64) -> u64 {
-    *x = x.wrapping_add(0x9E3779B97F4A7C15);
-    let mut z = *x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
-impl Rng {
-    /// Creates a generator from a 64-bit seed (SplitMix64-expanded, so
-    /// nearby seeds yield unrelated streams).
-    pub fn seed_from_u64(seed: u64) -> Rng {
-        let mut x = seed;
-        let s = [
-            splitmix64(&mut x),
-            splitmix64(&mut x),
-            splitmix64(&mut x),
-            splitmix64(&mut x),
-        ];
-        Rng { s }
-    }
-
-    /// The next 64 uniform bits.
-    pub fn next_u64(&mut self) -> u64 {
-        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
-        let t = self.s[1] << 17;
-        self.s[2] ^= self.s[0];
-        self.s[3] ^= self.s[1];
-        self.s[1] ^= self.s[2];
-        self.s[0] ^= self.s[3];
-        self.s[2] ^= t;
-        self.s[3] = self.s[3].rotate_left(45);
-        out
-    }
-
-    /// A uniform value in `[0, span)` via the multiply-shift reduction.
-    #[inline]
-    fn below(&mut self, span: u64) -> u64 {
-        debug_assert!(span > 0);
-        ((self.next_u64() as u128 * span as u128) >> 64) as u64
-    }
-
-    /// A uniform value in the given (half-open or inclusive) range.
-    /// Panics on empty ranges, like `rand`.
-    pub fn gen_range<T: UniformInt, R: UniformRange<T>>(&mut self, range: R) -> T {
-        let (lo, span) = range.lo_span();
-        assert!(span > 0, "gen_range on an empty range");
-        T::from_u64(lo.to_u64() + self.below(span))
-    }
-
-    /// `true` with probability `p` (53 uniform bits against `p`).
-    pub fn gen_bool(&mut self, p: f64) -> bool {
-        debug_assert!((0.0..=1.0).contains(&p));
-        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
-    }
-
-    /// A uniform byte.
-    pub fn gen_u8(&mut self) -> u8 {
-        (self.next_u64() >> 56) as u8
-    }
-
-    /// Fisher–Yates shuffle.
-    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
-        for i in (1..xs.len()).rev() {
-            let j = self.below(i as u64 + 1) as usize;
-            xs.swap(i, j);
-        }
-    }
-}
-
-/// Integer types [`Rng::gen_range`] can sample (all range values must be
-/// non-negative and fit in `u64`).
-pub trait UniformInt: Copy {
-    /// Widens to the sampling domain.
-    fn to_u64(self) -> u64;
-    /// Narrows back (the value is always within the requested range).
-    fn from_u64(v: u64) -> Self;
-}
-
-macro_rules! uniform_int {
-    ($($t:ty),*) => {$(
-        impl UniformInt for $t {
-            #[inline]
-            fn to_u64(self) -> u64 {
-                debug_assert!((self as i128) >= 0);
-                self as u64
-            }
-            #[inline]
-            fn from_u64(v: u64) -> Self {
-                v as $t
-            }
-        }
-    )*};
-}
-
-uniform_int!(u64, u32, usize, i32);
-
-/// Range forms accepted by [`Rng::gen_range`].
-pub trait UniformRange<T: UniformInt> {
-    /// `(low bound, number of values)`.
-    fn lo_span(self) -> (T, u64);
-}
-
-impl<T: UniformInt> UniformRange<T> for Range<T> {
-    #[inline]
-    fn lo_span(self) -> (T, u64) {
-        let lo = self.start.to_u64();
-        (self.start, self.end.to_u64().saturating_sub(lo))
-    }
-}
-
-impl<T: UniformInt> UniformRange<T> for RangeInclusive<T> {
-    #[inline]
-    fn lo_span(self) -> (T, u64) {
-        let (s, e) = self.into_inner();
-        let lo = s.to_u64();
-        (s, e.to_u64().wrapping_sub(lo).wrapping_add(1))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_and_seed_sensitive() {
-        let mut a = Rng::seed_from_u64(42);
-        let mut b = Rng::seed_from_u64(42);
-        let mut c = Rng::seed_from_u64(43);
-        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
-        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
-        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
-        assert_eq!(xs, ys);
-        assert_ne!(xs, zs);
-    }
-
-    #[test]
-    fn ranges_stay_in_bounds_and_cover() {
-        let mut rng = Rng::seed_from_u64(7);
-        let mut seen = [false; 4];
-        for _ in 0..200 {
-            let v: usize = rng.gen_range(0..4);
-            seen[v] = true;
-            let w: u64 = rng.gen_range(10u64..20);
-            assert!((10..20).contains(&w));
-            let x = rng.gen_range(1..=3);
-            assert!((1..=3).contains(&x));
-        }
-        assert!(seen.iter().all(|&b| b), "all residues hit");
-    }
-
-    #[test]
-    fn bool_extremes() {
-        let mut rng = Rng::seed_from_u64(9);
-        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
-        assert!((0..100).all(|_| rng.gen_bool(1.0)));
-        let heads = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
-        assert!((2_500..3_500).contains(&heads), "p=0.3 gave {heads}/10000");
-    }
-
-    #[test]
-    fn shuffle_is_a_permutation() {
-        let mut rng = Rng::seed_from_u64(11);
-        let mut v: Vec<u32> = (0..100).collect();
-        rng.shuffle(&mut v);
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle moved something");
-        let mut w = v.clone();
-        w.sort_unstable();
-        assert_eq!(w, (0..100).collect::<Vec<_>>());
-    }
-}
+pub use pbitree_storage::util::rng::{Rng, UniformInt, UniformRange};

@@ -92,6 +92,16 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
     where
         I: IntoIterator<Item = (K, V)>,
     {
+        Self::bulk_load_fallible(pool, entries.into_iter().map(Ok))
+    }
+
+    /// [`bulk_load`](Self::bulk_load) over a fallible entry stream, so a
+    /// producer reading through the pool (e.g. a heap scan under fault
+    /// injection) propagates its I/O errors instead of panicking.
+    pub fn bulk_load_fallible<I>(pool: &BufferPool, entries: I) -> Result<Self, PoolError>
+    where
+        I: IntoIterator<Item = Result<(K, V), PoolError>>,
+    {
         let file = pool.create_file();
         let lcap = leaf_capacity::<K, V>();
         // Build the leaf level. Leaves are written *through* the pool
@@ -128,7 +138,7 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
             // The previously held leaf gets its next pointer and is written.
             if let Some((fk, mut prev_img, entries)) = held.take() {
                 put_u32(prev_img.bytes_mut(), 4, *next_pno + 1);
-                let pno = pool.append_page_through(file, prev_img.buf());
+                let pno = pool.append_page_through(file, prev_img.buf())?;
                 debug_assert_eq!(pno, *next_pno);
                 level.push((fk, pno));
                 *next_pno += 1;
@@ -139,7 +149,8 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
             Ok(())
         };
 
-        for (k, v) in entries {
+        for entry in entries {
+            let (k, v) = entry?;
             if let Some(pk) = &prev_key {
                 debug_assert!(*pk <= k, "bulk_load input must be sorted");
             }
@@ -170,7 +181,7 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
         )?;
         // The last leaf ends the chain.
         if let Some((fk, img, _)) = held.take() {
-            let pno = pool.append_page_through(file, img.buf());
+            let pno = pool.append_page_through(file, img.buf())?;
             level.push((fk, pno));
         }
 
@@ -205,7 +216,7 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
                     k.write(&mut img.bytes_mut()[off..off + K::SIZE]);
                     put_u32(img.bytes_mut(), off + K::SIZE, *child);
                 }
-                let pno = pool.append_page_through(file, img.buf());
+                let pno = pool.append_page_through(file, img.buf())?;
                 next.push((group[0].0, pno));
             }
             level = next;
@@ -702,7 +713,7 @@ mod tests {
     fn probe_io_is_logarithmic() {
         let p = pool(8); // tiny pool: probes mostly miss
         let t = BPlusTree::bulk_load(&p, (0u64..200_000).map(|i| (i, i))).unwrap();
-        p.flush_all();
+        p.flush_all().unwrap();
         let h = t.height() as u64;
         let before = p.io_stats();
         for probe in (0..200_000u64).step_by(20_011) {

@@ -79,10 +79,18 @@ pub fn anc_des_bplus(
             SortPolicy::AssumeSorted => (*a, *d, false),
             SortPolicy::SortOnTheFly => (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true),
         };
-        let a_tree =
-            BPlusTree::bulk_load(&ctx.pool, sa.scan(&ctx.pool).map(|e| (e.doc_key(), e.tag)))?;
-        let d_tree =
-            BPlusTree::bulk_load(&ctx.pool, sd.scan(&ctx.pool).map(|e| (e.doc_key(), e.tag)))?;
+        let a_tree = BPlusTree::bulk_load_fallible(
+            &ctx.pool,
+            sa.scan(&ctx.pool)
+                .results()
+                .map(|r| r.map(|e| (e.doc_key(), e.tag))),
+        )?;
+        let d_tree = BPlusTree::bulk_load_fallible(
+            &ctx.pool,
+            sd.scan(&ctx.pool)
+                .results()
+                .map(|r| r.map(|e| (e.doc_key(), e.tag))),
+        )?;
         if owned {
             sa.drop_file(&ctx.pool);
             sd.drop_file(&ctx.pool);

@@ -33,6 +33,17 @@ pub enum JoinError {
     },
 }
 
+impl JoinError {
+    /// The page a device fault occurred on, when the error wraps an
+    /// injected or real I/O failure (see `pbitree_storage::fault`).
+    pub fn failing_page(&self) -> Option<pbitree_storage::PageId> {
+        match self {
+            JoinError::Pool(e) => e.failing_page(),
+            _ => None,
+        }
+    }
+}
+
 impl From<PoolError> for JoinError {
     fn from(e: PoolError) -> Self {
         JoinError::Pool(e)

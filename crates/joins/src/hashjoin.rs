@@ -386,7 +386,7 @@ mod tests {
         let probe: Vec<u64> = (0..40_000).collect();
         let bf = HeapFile::from_iter(&c.pool, build.iter().copied()).unwrap();
         let pf = HeapFile::from_iter(&c.pool, probe.iter().copied()).unwrap();
-        c.pool.flush_all();
+        c.pool.flush_all().unwrap();
         let before = c.pool.io_stats();
         let mut n = 0u64;
         hash_equijoin(&c, &bf, &pf, |b| Some(*b), |p| Some(*p), |_, _| n += 1).unwrap();

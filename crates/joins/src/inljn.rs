@@ -44,9 +44,12 @@ fn build_code_index(
     let sorted = external_sort(&ctx.pool, f, budget, |e| e.code.get())?;
     // Stream the sorted file straight into the bulk loader: one scan frame
     // plus the loader's output frame — no staging in memory.
-    let tree = BPlusTree::bulk_load(
+    let tree = BPlusTree::bulk_load_fallible(
         &ctx.pool,
-        sorted.scan(&ctx.pool).map(|e| (e.code.get(), e.tag)),
+        sorted
+            .scan(&ctx.pool)
+            .results()
+            .map(|r| r.map(|e| (e.code.get(), e.tag))),
     )?;
     sorted.drop_file(&ctx.pool);
     Ok(tree)

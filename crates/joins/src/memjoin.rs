@@ -361,7 +361,7 @@ mod tests {
             mixed_codes(3000, &[0], 83).into_iter().map(|v| (v, 1)),
         )
         .unwrap();
-        c.pool.flush_all();
+        c.pool.flush_all().unwrap();
         let mut sink = CountSink::default();
         let stats = memory_containment_join(&c, &a, &d, &mut sink).unwrap();
         let total = (a.pages() + d.pages()) as u64;

@@ -24,7 +24,13 @@
 //!
 //! Errors follow the sequential semantics: outputs of tasks before the
 //! first failing task are delivered, later outputs are discarded, and the
-//! first (lowest-index) error is returned.
+//! first (lowest-index) error is returned. This covers injected device
+//! faults ([`PoolError::Io`]) the same as budget exhaustion: a worker that
+//! hits a fault unwinds its task via `?`, dropping its page guards (so no
+//! pins leak), the remaining workers drain the task list, and the caller
+//! sees the lowest-index fault with its failing page.
+//!
+//! [`PoolError::Io`]: pbitree_storage::PoolError::Io
 //!
 //! [`PoolError::NoFreeFrames`]: pbitree_storage::PoolError::NoFreeFrames
 

@@ -288,7 +288,7 @@ mod tests {
         dcodes.sort_by_key(|&v| pbitree_core::Code::new(v).unwrap().doc_order_key());
         let a = element_file(&c.pool, acodes.iter().map(|&v| (v, 0))).unwrap();
         let d = element_file(&c.pool, dcodes.iter().map(|&v| (v, 1))).unwrap();
-        c.pool.flush_all();
+        c.pool.flush_all().unwrap();
         let mut sink = CountSink::default();
         let stats = stack_tree_desc(&c, &a, &d, SortPolicy::AssumeSorted, &mut sink).unwrap();
         // One sequential pass over each input, no writes.

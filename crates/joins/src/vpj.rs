@@ -820,7 +820,7 @@ mod tests {
         let d: Vec<u64> = mixed_codes(18, 12_000, &[0, 1], 133);
         let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
         let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
-        c.pool.flush_all();
+        c.pool.flush_all().unwrap();
         let mut sink = CountSink::default();
         let (stats, report) = vpj_with_report(&c, &af, &df, &mut sink).unwrap();
         let total = (af.pages() + df.pages()) as u64;

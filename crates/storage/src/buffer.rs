@@ -45,7 +45,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::disk::Disk;
+use crate::disk::{Disk, IoError};
 use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
 use crate::stats::{AtomicIoStats, IoStats};
 
@@ -65,6 +65,20 @@ pub enum PoolError {
         /// The pool capacity in frames.
         capacity: usize,
     },
+    /// A page transfer failed at the device (after the disk layer's
+    /// transient-retry budget was exhausted, if the fault was transient).
+    /// Carries the failing [`PageId`] via [`IoError::pid`].
+    Io(IoError),
+}
+
+impl PoolError {
+    /// The page a device fault occurred on, if this is an I/O error.
+    pub fn failing_page(&self) -> Option<PageId> {
+        match self {
+            PoolError::Io(e) => Some(e.pid),
+            PoolError::NoFreeFrames { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for PoolError {
@@ -73,11 +87,25 @@ impl fmt::Display for PoolError {
             PoolError::NoFreeFrames { capacity } => {
                 write!(f, "all {capacity} buffer frames are pinned")
             }
+            PoolError::Io(e) => write!(f, "page I/O failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for PoolError {}
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::Io(e) => Some(e),
+            PoolError::NoFreeFrames { .. } => None,
+        }
+    }
+}
+
+impl From<IoError> for PoolError {
+    fn from(e: IoError) -> Self {
+        PoolError::Io(e)
+    }
+}
 
 /// Hit/miss counters of the pool itself (page transfers are counted by
 /// [`Disk`]).
@@ -312,17 +340,17 @@ impl BufferPool {
     /// eviction would turn a sequential output stream into random
     /// write-back, which is exactly the pathology real engines avoid by
     /// bypassing the buffer pool for bulk output.
-    pub fn append_page_through(&self, file: FileId, buf: &PageBuf) -> u32 {
+    pub fn append_page_through(&self, file: FileId, buf: &PageBuf) -> Result<u32, PoolError> {
         let mut disk = self.disk.lock().unwrap();
-        let page = disk.allocate_page(file);
-        disk.write_page(PageId::new(file, page), buf);
-        page
+        let page = disk.allocate_page(file)?;
+        disk.write_page(PageId::new(file, page), buf)?;
+        Ok(page)
     }
 
     /// Allocates a fresh page in `file` and returns it pinned for writing.
     /// No read is charged: the page starts zeroed.
     pub fn new_page(&self, file: FileId) -> Result<(u32, PageMut<'_>), PoolError> {
-        let page = self.disk.lock().unwrap().allocate_page(file);
+        let page = self.disk.lock().unwrap().allocate_page(file)?;
         let pid = PageId::new(file, page);
         let frame = self.fetch(pid, true, true)?;
         self.data[frame].latch.lock_exclusive();
@@ -331,12 +359,14 @@ impl BufferPool {
 
     /// Flushes and then discards every unpinned frame — a cold-cache reset
     /// used between experiment runs so each algorithm starts from disk.
+    /// On an I/O error the pool is untouched (all frames stay resident;
+    /// flushed ones are clean, the failing and unflushed ones still dirty).
     ///
     /// # Panics
     /// Panics if any frame is still pinned (experiments must not hold
     /// guards across runs).
-    pub fn evict_all(&self) {
-        self.flush_all();
+    pub fn evict_all(&self) -> Result<(), PoolError> {
+        self.flush_all()?;
         for m in &self.meta {
             let mut m = m.lock().unwrap();
             assert_eq!(m.pin, 0, "evict_all with a pinned frame");
@@ -347,10 +377,14 @@ impl BufferPool {
             shard.lock().unwrap().clear();
         }
         *self.hand.lock().unwrap() = 0;
+        Ok(())
     }
 
     /// Writes back every dirty frame (leaving pages resident and clean).
-    pub fn flush_all(&self) {
+    /// Stops at the first I/O error; already-flushed frames are clean, the
+    /// failing frame and the rest stay dirty, so a recovered caller can
+    /// simply flush again.
+    pub fn flush_all(&self) -> Result<(), PoolError> {
         // Collect dirty residents, then flush in page order for sequential
         // write-back, as a real pool would.
         let mut dirty: Vec<(PageId, usize)> = Vec::new();
@@ -367,15 +401,34 @@ impl BufferPool {
             // or re-dirtied since the collection pass.
             self.data[i].latch.lock_shared();
             let mut m = self.meta[i].lock().unwrap();
+            let mut res = Ok(());
             if m.dirty && !m.claimed && m.pid == Some(pid) {
                 // SAFETY: shared latch held; no exclusive access exists.
                 let buf = unsafe { &**self.data[i].buf.get() };
-                self.disk.lock().unwrap().write_page(pid, buf);
-                m.dirty = false;
+                res = self.disk.lock().unwrap().write_page(pid, buf);
+                if res.is_ok() {
+                    m.dirty = false;
+                }
             }
             drop(m);
             self.data[i].latch.unlock_shared();
+            res?;
         }
+        Ok(())
+    }
+
+    /// Number of currently pinned frames. Used by tests to assert that an
+    /// error unwind released every pin; a steady-state pool returns 0.
+    pub fn pinned_frames(&self) -> usize {
+        self.meta
+            .iter()
+            .filter(|m| m.lock().unwrap().pin > 0)
+            .count()
+    }
+
+    /// Files currently live on the underlying disk (created, not deleted).
+    pub fn live_files(&self) -> Vec<FileId> {
+        self.disk.lock().unwrap().live_files()
     }
 
     /// Core fetch: returns the (pinned) frame index holding `pid`.
@@ -421,7 +474,15 @@ impl BufferPool {
                     // Skip write-back if the file was deleted concurrently
                     // (its contents are dead anyway).
                     if disk.num_pages(old_pid.file) > old_pid.page {
-                        disk.write_page(old_pid, buf);
+                        if let Err(e) = disk.write_page(old_pid, buf) {
+                            // Release the claim: the old page stays resident
+                            // and dirty (its table entry was never removed),
+                            // so nothing is lost and a retry can evict it
+                            // again once the device recovers.
+                            drop(disk);
+                            self.meta[victim].lock().unwrap().claimed = false;
+                            return Err(e.into());
+                        }
                     }
                 }
                 let mut table = self.shard_of(old_pid).lock().unwrap();
@@ -449,8 +510,17 @@ impl BufferPool {
             let buf = unsafe { &mut **self.data[victim].buf.get() };
             if fresh {
                 buf.fill(0);
-            } else {
-                self.disk.lock().unwrap().read_page(pid, buf);
+            } else if let Err(e) = self.disk.lock().unwrap().read_page(pid, buf) {
+                // Undo the publication: remove the mapping (threads parked
+                // on the claimed frame will fall through to their own disk
+                // read and surface the same fault) and free the frame.
+                let mut table = self.shard_of(pid).lock().unwrap();
+                if table.get(&pid) == Some(&victim) {
+                    table.remove(&pid);
+                }
+                drop(table);
+                *self.meta[victim].lock().unwrap() = FrameMeta::EMPTY;
+                return Err(e.into());
             }
 
             *self.meta[victim].lock().unwrap() = FrameMeta {
@@ -637,7 +707,7 @@ mod tests {
             let (_, mut g) = p.new_page(f).unwrap();
             g[0] = i + 10;
         }
-        p.flush_all();
+        p.flush_all().unwrap();
         assert_eq!(p.io_stats().writes(), 3);
         // Re-read hits the pool, no disk read.
         let before = p.io_stats().reads();
@@ -646,7 +716,7 @@ mod tests {
         assert_eq!(p.io_stats().reads(), before);
         // Clean frames are not rewritten on a second flush.
         drop(r);
-        p.flush_all();
+        p.flush_all().unwrap();
         assert_eq!(p.io_stats().writes(), 3);
     }
 

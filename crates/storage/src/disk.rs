@@ -5,8 +5,21 @@
 //! only thing the buffer pool talks to; it classifies every transfer as
 //! sequential or random (relative to the previous access in the same file)
 //! and charges the [`CostModel`].
+//!
+//! # Error model
+//!
+//! Page transfers are fallible: `read_page`/`write_page`/`allocate_page`
+//! return [`IoError`] carrying the failing [`PageId`] and a fault kind.
+//! Errors flagged [`IoError::transient`] model a device that recovers on
+//! retry; [`Disk`] retries those up to its retry limit before giving up,
+//! so short transient blips never surface to the engine. Accessing a file
+//! that was never created (or a page that was never allocated) is a caller
+//! logic error and still panics — only *device* failure is an error value.
+//! The [`crate::fault`] module provides a backend wrapper that injects
+//! deterministic faults for testing.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
@@ -16,8 +29,62 @@ use std::sync::Arc;
 use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
 use crate::stats::{AtomicIoStats, CostModel, IoStats};
 
+/// What failed during a page transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoErrorKind {
+    /// A page read failed; the destination buffer contents are undefined.
+    Read,
+    /// A page write failed; the on-disk page is unchanged.
+    Write,
+    /// A page write failed part-way: the on-disk page holds a torn image
+    /// (a prefix of the new data, the rest stale or zeroed).
+    TornWrite,
+    /// Extending a file with a fresh page failed.
+    Allocate,
+}
+
+impl fmt::Display for IoErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoErrorKind::Read => write!(f, "read"),
+            IoErrorKind::Write => write!(f, "write"),
+            IoErrorKind::TornWrite => write!(f, "torn write"),
+            IoErrorKind::Allocate => write!(f, "allocate"),
+        }
+    }
+}
+
+/// A failed page transfer, carrying the page it failed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoError {
+    /// The page the transfer targeted.
+    pub pid: PageId,
+    /// What kind of transfer failed.
+    pub kind: IoErrorKind,
+    /// Whether a retry may succeed ([`Disk`] retries these automatically).
+    pub transient: bool,
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{} of page {} failed",
+            if self.transient { "transient " } else { "" },
+            self.kind,
+            self.pid
+        )
+    }
+}
+
+impl std::error::Error for IoError {}
+
 /// A page-granular storage device. Backends must be [`Send`]: the buffer
 /// pool wraps the disk in a mutex and hands it to scoped worker threads.
+///
+/// Transfers return [`IoError`] on device failure. Addressing a file that
+/// was never created, or a page that was never allocated, is a *caller*
+/// logic error and panics — the engine only ever hands out ids it minted.
 pub trait DiskBackend: Send {
     /// Creates a new, empty file and returns its id.
     fn create_file(&mut self) -> FileId;
@@ -25,18 +92,21 @@ pub trait DiskBackend: Send {
     /// no-op.
     fn delete_file(&mut self, file: FileId);
     /// Appends a zeroed page to `file`, returning its page number.
-    fn allocate_page(&mut self, file: FileId) -> u32;
+    fn allocate_page(&mut self, file: FileId) -> Result<u32, IoError>;
     /// Number of pages currently allocated to `file`.
     fn num_pages(&self, file: FileId) -> u32;
-    /// Reads page `pid` into `buf`. Panics if the page does not exist.
-    fn read_page(&mut self, pid: PageId, buf: &mut PageBuf);
-    /// Writes `buf` to page `pid`. Panics if the page does not exist.
-    fn write_page(&mut self, pid: PageId, buf: &PageBuf);
+    /// Files currently live (created and not deleted), ascending.
+    fn live_files(&self) -> Vec<FileId>;
+    /// Reads page `pid` into `buf`.
+    fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) -> Result<(), IoError>;
+    /// Writes `buf` to page `pid`.
+    fn write_page(&mut self, pid: PageId, buf: &PageBuf) -> Result<(), IoError>;
 }
 
 /// In-memory backend: pages live in `Vec`s. The default for experiments —
 /// all I/O cost comes from the deterministic [`CostModel`], so runs are
-/// machine-independent.
+/// machine-independent. Never fails on its own; wrap it in
+/// [`crate::fault::FaultBackend`] to inject failures.
 #[derive(Default)]
 pub struct MemBackend {
     files: Vec<Option<Vec<Box<PageBuf>>>>,
@@ -75,10 +145,10 @@ impl DiskBackend for MemBackend {
         }
     }
 
-    fn allocate_page(&mut self, file: FileId) -> u32 {
+    fn allocate_page(&mut self, file: FileId) -> Result<u32, IoError> {
         let f = self.file_mut(file);
         f.push(Box::new([0u8; PAGE_SIZE]));
-        (f.len() - 1) as u32
+        Ok((f.len() - 1) as u32)
     }
 
     fn num_pages(&self, file: FileId) -> u32 {
@@ -88,18 +158,30 @@ impl DiskBackend for MemBackend {
             .map_or(0, |f| f.len() as u32)
     }
 
-    fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) {
-        buf.copy_from_slice(&self.file(pid.file)[pid.page as usize][..]);
+    fn live_files(&self) -> Vec<FileId> {
+        self.files
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_some())
+            .map(|(i, _)| FileId(i as u32))
+            .collect()
     }
 
-    fn write_page(&mut self, pid: PageId, buf: &PageBuf) {
+    fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) -> Result<(), IoError> {
+        buf.copy_from_slice(&self.file(pid.file)[pid.page as usize][..]);
+        Ok(())
+    }
+
+    fn write_page(&mut self, pid: PageId, buf: &PageBuf) -> Result<(), IoError> {
         self.file_mut(pid.file)[pid.page as usize].copy_from_slice(buf);
+        Ok(())
     }
 }
 
 /// Real-file backend: each [`FileId`] maps to one file under a directory.
 /// Used to validate that the engine works against an actual filesystem;
-/// experiments default to [`MemBackend`] for determinism.
+/// experiments default to [`MemBackend`] for determinism. Filesystem
+/// errors surface as non-transient [`IoError`]s.
 pub struct FileBackend {
     dir: PathBuf,
     files: Vec<Option<(File, u32)>>,
@@ -147,14 +229,18 @@ impl DiskBackend for FileBackend {
         }
     }
 
-    fn allocate_page(&mut self, file: FileId) -> u32 {
+    fn allocate_page(&mut self, file: FileId) -> Result<u32, IoError> {
         let (f, n) = self.entry_mut(file);
         let page = *n;
-        *n += 1;
         f.seek(SeekFrom::Start(page as u64 * PAGE_SIZE as u64))
             .and_then(|_| f.write_all(&[0u8; PAGE_SIZE]))
-            .expect("extend page file");
-        page
+            .map_err(|_| IoError {
+                pid: PageId::new(file, page),
+                kind: IoErrorKind::Allocate,
+                transient: false,
+            })?;
+        *n += 1;
+        Ok(page)
     }
 
     fn num_pages(&self, file: FileId) -> u32 {
@@ -164,30 +250,61 @@ impl DiskBackend for FileBackend {
             .map_or(0, |(_, n)| *n)
     }
 
-    fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) {
+    fn live_files(&self) -> Vec<FileId> {
+        self.files
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_some())
+            .map(|(i, _)| FileId(i as u32))
+            .collect()
+    }
+
+    fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) -> Result<(), IoError> {
         let (f, n) = self.entry_mut(pid.file);
         assert!(pid.page < *n, "read past end of file {pid}");
         f.seek(SeekFrom::Start(pid.page as u64 * PAGE_SIZE as u64))
             .and_then(|_| f.read_exact(buf))
-            .expect("read page");
+            .map_err(|_| IoError {
+                pid,
+                kind: IoErrorKind::Read,
+                transient: false,
+            })
     }
 
-    fn write_page(&mut self, pid: PageId, buf: &PageBuf) {
+    fn write_page(&mut self, pid: PageId, buf: &PageBuf) -> Result<(), IoError> {
         let (f, n) = self.entry_mut(pid.file);
         assert!(pid.page < *n, "write past end of file {pid}");
         f.seek(SeekFrom::Start(pid.page as u64 * PAGE_SIZE as u64))
             .and_then(|_| f.write_all(buf))
-            .expect("write page");
+            .map_err(|_| IoError {
+                pid,
+                kind: IoErrorKind::Write,
+                transient: false,
+            })
     }
 }
 
+/// How many times [`Disk`] re-attempts a transfer whose error is flagged
+/// transient before giving up. Three attempts after the first failure
+/// absorb any single-blip fault while keeping a persistently failing
+/// "transient" device from hanging the engine.
+pub const DEFAULT_RETRY_LIMIT: u32 = 3;
+
 /// The accounting layer every page transfer goes through.
+///
+/// Stats discipline: a transfer is charged to the [`CostModel`] and the
+/// [`IoStats`] counters **exactly once, when it succeeds**. Failed
+/// attempts (including transient attempts that are later retried
+/// successfully) are never charged, so fault-free reruns of a workload
+/// report identical counters whether or not transient faults occurred.
 pub struct Disk {
     backend: Box<dyn DiskBackend>,
     cost: CostModel,
     stats: Arc<AtomicIoStats>,
     /// Last page accessed per file, to classify sequential vs. random.
     last_access: HashMap<FileId, u32>,
+    /// Max automatic retries of a transient transfer error.
+    retry_limit: u32,
 }
 
 impl Disk {
@@ -198,6 +315,7 @@ impl Disk {
             cost,
             stats: Arc::new(AtomicIoStats::default()),
             last_access: HashMap::new(),
+            retry_limit: DEFAULT_RETRY_LIMIT,
         }
     }
 
@@ -209,6 +327,12 @@ impl Disk {
     /// An in-memory disk that only counts pages (no simulated time).
     pub fn in_memory_free() -> Self {
         Disk::new(Box::new(MemBackend::new()), CostModel::free())
+    }
+
+    /// Sets the transient-error retry limit (0 disables retries).
+    pub fn with_retry_limit(mut self, retries: u32) -> Self {
+        self.retry_limit = retries;
+        self
     }
 
     /// Current cumulative counters.
@@ -257,7 +381,7 @@ impl Disk {
 
     /// See [`DiskBackend::allocate_page`]. Allocation itself is free; the
     /// subsequent write of the page is what gets charged.
-    pub fn allocate_page(&mut self, file: FileId) -> u32 {
+    pub fn allocate_page(&mut self, file: FileId) -> Result<u32, IoError> {
         self.backend.allocate_page(file)
     }
 
@@ -266,16 +390,41 @@ impl Disk {
         self.backend.num_pages(file)
     }
 
-    /// Reads a page, charging the cost model.
-    pub fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) {
-        self.charge(pid, true);
-        self.backend.read_page(pid, buf);
+    /// See [`DiskBackend::live_files`].
+    pub fn live_files(&self) -> Vec<FileId> {
+        self.backend.live_files()
     }
 
-    /// Writes a page, charging the cost model.
-    pub fn write_page(&mut self, pid: PageId, buf: &PageBuf) {
-        self.charge(pid, false);
-        self.backend.write_page(pid, buf);
+    /// Reads a page, charging the cost model on success. Transient errors
+    /// are retried up to the retry limit.
+    pub fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) -> Result<(), IoError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.backend.read_page(pid, buf) {
+                Ok(()) => {
+                    self.charge(pid, true);
+                    return Ok(());
+                }
+                Err(e) if e.transient && attempts < self.retry_limit => attempts += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes a page, charging the cost model on success. Transient errors
+    /// are retried up to the retry limit.
+    pub fn write_page(&mut self, pid: PageId, buf: &PageBuf) -> Result<(), IoError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.backend.write_page(pid, buf) {
+                Ok(()) => {
+                    self.charge(pid, false);
+                    return Ok(());
+                }
+                Err(e) if e.transient && attempts < self.retry_limit => attempts += 1,
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -286,19 +435,19 @@ mod tests {
     fn roundtrip(backend: Box<dyn DiskBackend>) {
         let mut disk = Disk::new(backend, CostModel::free());
         let f = disk.create_file();
-        let p0 = disk.allocate_page(f);
-        let p1 = disk.allocate_page(f);
+        let p0 = disk.allocate_page(f).unwrap();
+        let p1 = disk.allocate_page(f).unwrap();
         assert_eq!((p0, p1), (0, 1));
         assert_eq!(disk.num_pages(f), 2);
         let mut buf = [0u8; PAGE_SIZE];
         buf[0] = 0xAB;
         buf[PAGE_SIZE - 1] = 0xCD;
-        disk.write_page(PageId::new(f, 1), &buf);
+        disk.write_page(PageId::new(f, 1), &buf).unwrap();
         let mut out = [0u8; PAGE_SIZE];
-        disk.read_page(PageId::new(f, 1), &mut out);
+        disk.read_page(PageId::new(f, 1), &mut out).unwrap();
         assert_eq!(out[0], 0xAB);
         assert_eq!(out[PAGE_SIZE - 1], 0xCD);
-        disk.read_page(PageId::new(f, 0), &mut out);
+        disk.read_page(PageId::new(f, 0), &mut out).unwrap();
         assert_eq!(out[0], 0);
     }
 
@@ -319,13 +468,13 @@ mod tests {
         let mut disk = Disk::in_memory();
         let f = disk.create_file();
         for _ in 0..4 {
-            disk.allocate_page(f);
+            disk.allocate_page(f).unwrap();
         }
         let mut buf = [0u8; PAGE_SIZE];
-        disk.read_page(PageId::new(f, 0), &mut buf); // first access: random
-        disk.read_page(PageId::new(f, 1), &mut buf); // sequential
-        disk.read_page(PageId::new(f, 2), &mut buf); // sequential
-        disk.read_page(PageId::new(f, 0), &mut buf); // random (jump back)
+        disk.read_page(PageId::new(f, 0), &mut buf).unwrap(); // first access: random
+        disk.read_page(PageId::new(f, 1), &mut buf).unwrap(); // sequential
+        disk.read_page(PageId::new(f, 2), &mut buf).unwrap(); // sequential
+        disk.read_page(PageId::new(f, 0), &mut buf).unwrap(); // random (jump back)
         let s = disk.stats();
         assert_eq!(s.seq_reads, 2);
         assert_eq!(s.rand_reads, 2);
@@ -340,10 +489,10 @@ mod tests {
         // Re-reading the page under the head costs no seek.
         let mut disk = Disk::in_memory();
         let f = disk.create_file();
-        disk.allocate_page(f);
+        disk.allocate_page(f).unwrap();
         let mut buf = [0u8; PAGE_SIZE];
-        disk.read_page(PageId::new(f, 0), &mut buf);
-        disk.read_page(PageId::new(f, 0), &mut buf);
+        disk.read_page(PageId::new(f, 0), &mut buf).unwrap();
+        disk.read_page(PageId::new(f, 0), &mut buf).unwrap();
         assert_eq!(disk.stats().seq_reads, 1);
         assert_eq!(disk.stats().rand_reads, 1);
     }
@@ -355,14 +504,14 @@ mod tests {
         let f1 = disk.create_file();
         let f2 = disk.create_file();
         for _ in 0..3 {
-            disk.allocate_page(f1);
-            disk.allocate_page(f2);
+            disk.allocate_page(f1).unwrap();
+            disk.allocate_page(f2).unwrap();
         }
         let mut buf = [0u8; PAGE_SIZE];
-        disk.read_page(PageId::new(f1, 0), &mut buf);
-        disk.read_page(PageId::new(f2, 0), &mut buf);
-        disk.read_page(PageId::new(f1, 1), &mut buf);
-        disk.read_page(PageId::new(f2, 1), &mut buf);
+        disk.read_page(PageId::new(f1, 0), &mut buf).unwrap();
+        disk.read_page(PageId::new(f2, 0), &mut buf).unwrap();
+        disk.read_page(PageId::new(f1, 1), &mut buf).unwrap();
+        disk.read_page(PageId::new(f2, 1), &mut buf).unwrap();
         let s = disk.stats();
         // First touch of each file is random, the rest sequential.
         assert_eq!(s.rand_reads, 2);
@@ -373,10 +522,30 @@ mod tests {
     fn delete_file_frees_slot() {
         let mut disk = Disk::in_memory_free();
         let f = disk.create_file();
-        disk.allocate_page(f);
+        disk.allocate_page(f).unwrap();
+        assert_eq!(disk.live_files(), vec![f]);
         disk.delete_file(f);
         assert_eq!(disk.num_pages(f), 0);
+        assert!(disk.live_files().is_empty());
         // Deleting twice is a no-op.
         disk.delete_file(f);
+    }
+
+    #[test]
+    fn io_error_display_names_the_page() {
+        let e = IoError {
+            pid: PageId::new(FileId(3), 7),
+            kind: IoErrorKind::Write,
+            transient: false,
+        };
+        let s = e.to_string();
+        assert!(s.contains("write"), "{s}");
+        assert!(s.contains("3") && s.contains("7"), "{s}");
+        let t = IoError {
+            transient: true,
+            ..e
+        }
+        .to_string();
+        assert!(t.contains("transient"), "{t}");
     }
 }

@@ -189,6 +189,13 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
         self.records
     }
 
+    /// The id of the file being written. Lets callers (e.g. the external
+    /// sort) register the file for cleanup before the writer finishes.
+    #[inline]
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
     fn spill(&mut self) -> Result<(), PoolError> {
         if self.in_buf == 0 {
             return Ok(());
@@ -197,7 +204,7 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
         // Write through: bulk output bypasses the pool (see
         // `BufferPool::append_page_through`).
         let buf: &crate::page::PageBuf = self.buf[..].try_into().expect("page-sized buffer");
-        self.pool.append_page_through(self.file, buf);
+        self.pool.append_page_through(self.file, buf)?;
         self.pages += 1;
         self.in_buf = 0;
         Ok(())
@@ -259,6 +266,16 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
         }
     }
 
+    /// Consumes the scan into an iterator of `Result` items, for feeding
+    /// streaming consumers (e.g. index bulk loads) that must propagate
+    /// I/O faults instead of panicking like the plain [`Iterator`] impl.
+    pub fn results(mut self) -> impl Iterator<Item = Result<R, PoolError>> + 'a
+    where
+        R: 'a,
+    {
+        std::iter::from_fn(move || self.next_record().transpose())
+    }
+
     /// Returns the next record, or `None` at end of file.
     pub fn next_record(&mut self) -> Result<Option<R>, PoolError> {
         loop {
@@ -289,10 +306,13 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
 impl<R: FixedRecord> Iterator for HeapScan<'_, R> {
     type Item = R;
 
-    /// Iterator convenience that panics on pool exhaustion (scans pin a
-    /// single page, so this can only fire if every other frame is pinned).
+    /// Iterator convenience that panics on any pool error — frame
+    /// exhaustion or a device fault. Code that must survive injected I/O
+    /// faults (everything the fault-sweep harness exercises) uses the
+    /// fallible [`HeapScan::next_record`] instead.
     fn next(&mut self) -> Option<R> {
-        self.next_record().expect("heap scan lost its frame budget")
+        self.next_record()
+            .unwrap_or_else(|e| panic!("heap scan failed: {e}"))
     }
 }
 
@@ -340,10 +360,10 @@ mod tests {
         let p = pool(2); // smaller than the file: every page is a real read
         let data: Vec<u64> = (0..5000).collect();
         let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
-        p.flush_all();
+        p.flush_all().unwrap();
         // Evict everything by scanning a second file of the same size.
         let other = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
-        p.flush_all();
+        p.flush_all().unwrap();
         let _ = other.read_all(&p).unwrap();
         let before = p.io_stats();
         let n = hf.scan(&p).count();

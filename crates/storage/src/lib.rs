@@ -30,6 +30,7 @@
 
 pub mod buffer;
 pub mod disk;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod record;
@@ -38,7 +39,8 @@ pub mod stats;
 pub mod util;
 
 pub use buffer::{BufferPool, PageMut, PageRef, PoolError, PoolStats, SHARD_COUNT};
-pub use disk::{Disk, DiskBackend, FileBackend, MemBackend};
+pub use disk::{Disk, DiskBackend, FileBackend, IoError, IoErrorKind, MemBackend};
+pub use fault::{FaultBackend, FaultConfig, FaultHandle};
 pub use heap::{records_per_page, HeapFile, HeapScan, HeapWriter, ScanPos};
 pub use page::{FileId, PageBuf, PageId, PAGE_SIZE};
 pub use record::FixedRecord;

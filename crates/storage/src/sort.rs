@@ -12,6 +12,7 @@ use std::collections::BinaryHeap;
 
 use crate::buffer::{BufferPool, PoolError};
 use crate::heap::{records_per_page, HeapFile, HeapScan, HeapWriter};
+use crate::page::FileId;
 use crate::record::FixedRecord;
 
 /// Sorts `input` by `key`, using at most `budget` pages of working memory,
@@ -20,11 +21,44 @@ use crate::record::FixedRecord;
 ///
 /// `budget` must be at least 3 (one input frame, one output frame, and one
 /// spare for the merge); smaller budgets are clamped up to 3.
+///
+/// On error (pool exhaustion or an I/O fault — the latter carries the
+/// failing page in [`PoolError::failing_page`]) every temporary file the
+/// sort created is deleted before the error is returned, so a failed sort
+/// leaks no disk space.
 pub fn external_sort<R, K, F>(
     pool: &BufferPool,
     input: &HeapFile<R>,
     budget: usize,
     key: F,
+) -> Result<HeapFile<R>, PoolError>
+where
+    R: FixedRecord,
+    K: Ord,
+    F: Fn(&R) -> K,
+{
+    // Every file the sort creates is registered here the moment it exists,
+    // so the error path can always delete the full set. Mid-sort passes
+    // delete spent runs eagerly as before; re-deleting those here is a
+    // documented no-op (file ids are never reused).
+    let mut temps: Vec<FileId> = Vec::new();
+    match sort_inner(pool, input, budget, &key, &mut temps) {
+        Ok(out) => Ok(out),
+        Err(e) => {
+            for f in temps {
+                pool.delete_file(f);
+            }
+            Err(e)
+        }
+    }
+}
+
+fn sort_inner<R, K, F>(
+    pool: &BufferPool,
+    input: &HeapFile<R>,
+    budget: usize,
+    key: &F,
+    temps: &mut Vec<FileId>,
 ) -> Result<HeapFile<R>, PoolError>
 where
     R: FixedRecord,
@@ -45,8 +79,13 @@ where
                 chunk.push(r);
             }
             if chunk.len() == run_capacity || (item.is_none() && !chunk.is_empty()) {
-                chunk.sort_by_key(&key);
-                runs.push(HeapFile::from_iter(pool, chunk.drain(..))?);
+                chunk.sort_by_key(key);
+                let mut w = HeapWriter::create(pool)?;
+                temps.push(w.file_id());
+                for r in chunk.drain(..) {
+                    w.push(r)?;
+                }
+                runs.push(w.finish()?);
             }
             if item.is_none() {
                 break;
@@ -63,7 +102,7 @@ where
     while runs.len() > 1 {
         let mut next: Vec<HeapFile<R>> = Vec::with_capacity(runs.len().div_ceil(fan_in));
         for group in runs.chunks(fan_in) {
-            next.push(merge_runs(pool, group, &key)?);
+            next.push(merge_runs(pool, group, key, temps)?);
         }
         for run in runs {
             run.drop_file(pool);
@@ -78,6 +117,7 @@ fn merge_runs<R, K, F>(
     pool: &BufferPool,
     runs: &[HeapFile<R>],
     key: &F,
+    temps: &mut Vec<FileId>,
 ) -> Result<HeapFile<R>, PoolError>
 where
     R: FixedRecord,
@@ -88,6 +128,7 @@ where
         // Copy-through keeps ownership discipline simple (caller drops all
         // inputs); single-run groups are rare (only the last group).
         let mut w = HeapWriter::create(pool)?;
+        temps.push(w.file_id());
         let mut s = runs[0].scan(pool);
         while let Some(r) = s.next_record()? {
             w.push(r)?;
@@ -107,6 +148,7 @@ where
         heads.push(head);
     }
     let mut out = HeapWriter::create(pool)?;
+    temps.push(out.file_id());
     while let Some(Reverse((_, i))) = heap.pop() {
         let r = heads[i].take().expect("head present for heap entry");
         out.push(r)?;
@@ -209,10 +251,10 @@ mod tests {
         let p = pool(64);
         let data = rng_stream(3, 200_000);
         let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
-        p.flush_all();
+        p.flush_all().unwrap();
         let before = p.io_stats();
         let sorted = external_sort(&p, &hf, 32, |r| *r).unwrap();
-        p.flush_all();
+        p.flush_all().unwrap();
         let delta = p.io_stats().since(&before);
         let pages = hf.pages() as u64;
         assert!(

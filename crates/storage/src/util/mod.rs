@@ -1,5 +1,7 @@
 //! Small shared utilities.
 
 pub mod hash;
+pub mod rng;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use rng::Rng;

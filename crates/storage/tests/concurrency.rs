@@ -31,8 +31,8 @@ fn no_lost_writes_under_tight_budget() {
     for _ in 0..PAGES {
         let (_, _g) = pool.new_page(file).unwrap();
     }
-    pool.flush_all();
-    pool.evict_all();
+    pool.flush_all().unwrap();
+    pool.evict_all().unwrap();
 
     let applied: Vec<AtomicU64> = (0..PAGES).map(|_| AtomicU64::new(0)).collect();
     let barrier = Barrier::new(THREADS);
@@ -66,7 +66,7 @@ fn no_lost_writes_under_tight_budget() {
         }
     });
 
-    pool.flush_all();
+    pool.flush_all().unwrap();
     for page in 0..PAGES {
         let g = pool.read_page(PageId::new(file, page)).unwrap();
         let v = u64::from_le_bytes(g[..8].try_into().unwrap());
@@ -91,8 +91,8 @@ fn accounting_is_exactly_once() {
     for _ in 0..PAGES {
         let (_, _g) = pool.new_page(file).unwrap();
     }
-    pool.flush_all();
-    pool.evict_all();
+    pool.flush_all().unwrap();
+    pool.evict_all().unwrap();
     let base_io = pool.io_stats();
     let base_pool = pool.pool_stats();
 
@@ -144,8 +144,8 @@ fn budget_bounds_total_pins_across_threads() {
     for _ in 0..B + 2 {
         let (_, _g) = pool.new_page(file).unwrap();
     }
-    pool.flush_all();
-    pool.evict_all();
+    pool.flush_all().unwrap();
+    pool.evict_all().unwrap();
 
     // Pin B distinct pages from several threads, holding all guards alive
     // at a rendezvous, then ask for one more.

@@ -33,7 +33,7 @@ fn run_cold(
     );
     let a = element_file(&ctx.pool, ds.a.iter().copied()).unwrap();
     let d = element_file(&ctx.pool, ds.d.iter().copied()).unwrap();
-    ctx.pool.evict_all();
+    ctx.pool.evict_all().unwrap();
     let mut sink = CountSink::default();
     f(&ctx, &a, &d, &mut sink).expect("join")
 }

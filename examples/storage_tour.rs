@@ -30,7 +30,7 @@ fn main() {
             .collect()
     };
     let hf = HeapFile::from_iter(&pool, data.iter().copied()).unwrap();
-    pool.flush_all();
+    pool.flush_all().unwrap();
     println!(
         "heap file: {} records on {} pages ({} bytes/page)",
         hf.records(),
@@ -58,7 +58,7 @@ fn main() {
         tree.height(),
         pool.io_stats().since(&before)
     );
-    pool.evict_all(); // cold probes
+    pool.evict_all().unwrap(); // cold probes
     let before = pool.io_stats();
     let mut found = 0;
     let probes: Vec<u64> = (0..11).map(|i| v[i * (v.len() - 1) / 10]).collect();

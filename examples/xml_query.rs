@@ -67,7 +67,7 @@ fn main() {
         );
         let af = element_file(&ctx.pool, a.iter().copied()).unwrap();
         let df = element_file(&ctx.pool, d.iter().copied()).unwrap();
-        ctx.pool.evict_all();
+        ctx.pool.evict_all().unwrap();
         let mut sink = CountSink::default();
         let stats = f(&ctx, &af, &df, &mut sink).expect(name);
         println!(

@@ -15,4 +15,10 @@ cargo build --release --workspace --all-targets
 echo "== cargo test (workspace)"
 cargo test --workspace -q
 
+echo "== fault sweep (pinned seed 42 + one randomized seed)"
+cargo test -q --test fault_sweep -- --nocapture
+RAND_SEED=$((RANDOM * 32768 + RANDOM))
+echo "randomized FAULT_SWEEP_SEED=$RAND_SEED (re-run with this env var to reproduce)"
+FAULT_SWEEP_SEED=$RAND_SEED cargo test -q --test fault_sweep fault_sweep_probabilistic_seed -- --nocapture
+
 echo "OK"

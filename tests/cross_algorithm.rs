@@ -96,6 +96,105 @@ fn parallel_paths_agree_with_naive() {
     }
 }
 
+/// Transient device faults under the disk's retry budget are invisible to
+/// the parallel paths: a `threads = 4` run with recover-after-N faults
+/// armed must produce results byte-identical to a fault-free sequential
+/// run. Sweeps a transient window over every read index of the workload,
+/// then runs a seeded probabilistic transient plan.
+#[test]
+fn parallel_runs_under_transient_faults_match_sequential() {
+    use pbitree_containment::joins::{mhcj::mhcj, vpj::vpj, CollectSink, JoinStats};
+    use pbitree_containment::storage::{
+        BufferPool, CostModel, Disk, FaultBackend, FaultConfig, FaultHandle, MemBackend,
+    };
+    use pbitree_joins::element::Element;
+    use pbitree_joins::sink::PairSink;
+    use pbitree_joins::JoinError;
+    use pbitree_storage::HeapFile;
+
+    type JoinFn = fn(
+        &JoinCtx,
+        &HeapFile<Element>,
+        &HeapFile<Element>,
+        &mut dyn PairSink,
+    ) -> Result<JoinStats, JoinError>;
+    let algos: &[(&str, JoinFn)] = &[
+        ("mhcj", |c, a, d, s| mhcj(c, a, d, s)),
+        ("vpj", |c, a, d, s| vpj(c, a, d, s)),
+    ];
+
+    // One faulted run: fresh fault-instrumented context, cold pool, `cfg`
+    // armed for the join itself. Returns canonical pairs and the handle.
+    let run = |join: JoinFn,
+               a: &[u64],
+               d: &[u64],
+               threads: usize,
+               cfg: FaultConfig|
+     -> (Vec<(u64, u64)>, FaultHandle) {
+        let backend = FaultBackend::new(MemBackend::new(), FaultConfig::none());
+        let handle = backend.handle();
+        let pool = BufferPool::new(Disk::new(Box::new(backend), CostModel::free()), 8);
+        let ctx = JoinCtx::new(pool, PBiTreeShape::new(12).unwrap()).with_threads(threads);
+        let af = element_file(&ctx.pool, a.iter().map(|&c| (c, 0))).unwrap();
+        let df = element_file(&ctx.pool, d.iter().map(|&c| (c, 1))).unwrap();
+        ctx.pool.evict_all().unwrap();
+        handle.reset();
+        handle.set_config(cfg);
+        let mut sink = CollectSink::default();
+        join(&ctx, &af, &df, &mut sink)
+            .unwrap_or_else(|e| panic!("transient fault must be invisible, got: {e}"));
+        handle.set_config(FaultConfig::none());
+        assert_eq!(ctx.pool.pinned_frames(), 0);
+        (sink.canonical(), handle)
+    };
+
+    let mut prob_faults_fired = 0u64;
+    for seed in 0..4u64 {
+        let (a, d) = arb_sets(12, seed.wrapping_mul(0x2545F4914F6CDD1D) + 7);
+        if a.is_empty() || d.is_empty() {
+            continue;
+        }
+        for &(name, join) in algos {
+            // Fault-free sequential baseline, and its read-attempt count.
+            let (expect, handle) = run(join, &a, &d, 1, FaultConfig::none());
+            let reads = handle.reads();
+            assert!(reads > 0, "{name} seed {seed}: no reads to fault");
+
+            // Transient recover-after-2 window at every read index.
+            for idx in 0..reads {
+                let cfg = FaultConfig::read_at(idx).transient().lasting(2);
+                let (pairs, h) = run(join, &a, &d, 4, cfg);
+                assert_eq!(
+                    pairs, expect,
+                    "{name} seed {seed}: transient read fault at {idx} changed the result"
+                );
+                // Under threads=4 scheduling the window may fall past the
+                // run's attempt count, but when it fired it must have been
+                // retried through, never surfaced.
+                assert!(h.faults() <= 2, "{name}: window wider than armed");
+            }
+
+            // Seeded probabilistic transient faults across the whole run.
+            let cfg = FaultConfig {
+                seed: 0xFA17 + seed,
+                read_fault_prob: 0.2,
+                write_fault_prob: 0.2,
+                transient: true,
+                ..FaultConfig::default()
+            };
+            let (pairs, h) = run(join, &a, &d, 4, cfg);
+            assert_eq!(
+                pairs, expect,
+                "{name} seed {seed}: probabilistic transient faults changed the result"
+            );
+            prob_faults_fired += h.faults();
+        }
+    }
+    // Tiny workloads do few I/Os, so any single plan may roll no faults;
+    // across all seeds and algorithms the plans must have fired, though.
+    assert!(prob_faults_fired > 0, "no probabilistic fault ever fired");
+}
+
 #[test]
 fn identical_sets_self_join() {
     // A == D: strict containment must exclude every self pair.
