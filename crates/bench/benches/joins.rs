@@ -157,4 +157,12 @@ fn main() {
     bench_rollup_anchors();
     bench_memjoin_variants();
     bench_parallel_speedup();
+    // Disabled-tracing overhead check: none of the contexts above carried
+    // a tracer, so the instrumentation must have recorded nothing at all.
+    assert_eq!(
+        pbitree_joins::trace::spans_recorded(),
+        0,
+        "untraced benchmark runs recorded trace spans"
+    );
+    println!("trace overhead check: 0 spans recorded while disabled");
 }

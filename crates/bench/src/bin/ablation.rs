@@ -21,7 +21,7 @@ use pbitree_joins::{CountSink, JoinCtx};
 use pbitree_storage::{BufferPool, Disk, MemBackend};
 
 fn make_ctx(w: &pbitree_bench::Workload, buffer: usize) -> JoinCtx {
-    JoinCtx::new(
+    let mut ctx = JoinCtx::new(
         BufferPool::new(
             Disk::new(
                 Box::new(MemBackend::new()),
@@ -30,7 +30,11 @@ fn make_ctx(w: &pbitree_bench::Workload, buffer: usize) -> JoinCtx {
             buffer,
         ),
         w.shape,
-    )
+    );
+    if let Some(t) = pbitree_bench::harness::tracer() {
+        ctx = ctx.with_tracer(t);
+    }
+    ctx
 }
 
 fn rollup_study(args: &CommonArgs) {
@@ -197,6 +201,7 @@ fn vpj_study(args: &CommonArgs) {
 
 fn main() {
     let args = CommonArgs::parse("--study");
+    pbitree_bench::harness::init_trace(&args.trace);
     if args.selected("rollup") {
         rollup_study(&args);
     }
@@ -209,4 +214,5 @@ fn main() {
     if args.selected("vpj") {
         vpj_study(&args);
     }
+    pbitree_bench::harness::finish_trace(&args.trace);
 }

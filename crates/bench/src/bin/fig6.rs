@@ -31,6 +31,7 @@ fn ratio_panel(
     args: &CommonArgs,
     cfg: &ExpConfig,
 ) {
+    // Phase columns only carry data under --trace; "-" otherwise.
     let mut t = Table::new(
         title,
         &[
@@ -40,6 +41,8 @@ fn ratio_panel(
             "VPJ(s)",
             &format!("impr {}", first.name()),
             "impr VPJ",
+            &format!("phases {}", first.name()),
+            "phases VPJ",
         ],
     );
     for w in sets {
@@ -54,6 +57,8 @@ fn ratio_panel(
             fmt_secs(v.secs()),
             fmt_pct(improvement_ratio(min_rgn, x.secs())),
             fmt_pct(improvement_ratio(min_rgn, v.secs())),
+            x.stats.phase_summary(),
+            v.stats.phase_summary(),
         ]);
     }
     t.emit(&args.results_dir, file);
@@ -129,7 +134,7 @@ fn speedup_panel(args: &CommonArgs) {
         };
         let mut base = 0.0f64;
         for threads in [1usize, 2, 4, 8] {
-            let ctx = JoinCtx::new(
+            let mut ctx = JoinCtx::new(
                 BufferPool::new(
                     Disk::new(Box::new(MemBackend::new()), CostModel::free()),
                     8192,
@@ -138,6 +143,9 @@ fn speedup_panel(args: &CommonArgs) {
             )
             .with_threads(threads)
             .with_budget(budget);
+            if let Some(t) = pbitree_bench::harness::tracer() {
+                ctx = ctx.with_tracer(t);
+            }
             let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
             let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
             // Warm pass faults everything resident, then best of three.
@@ -190,6 +198,7 @@ fn scalability_panel(multi: bool, file: &str, args: &CommonArgs, cfg: &ExpConfig
 
 fn main() {
     let args = CommonArgs::parse("--panel");
+    pbitree_bench::harness::init_trace(&args.trace);
     let cfg = args.config();
 
     if args.selected("a") {
@@ -247,4 +256,5 @@ fn main() {
     if args.selected("s") {
         speedup_panel(&args);
     }
+    pbitree_bench::harness::finish_trace(&args.trace);
 }

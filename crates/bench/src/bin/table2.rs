@@ -33,6 +33,7 @@ fn stats_table(title: &str, file: &str, sets: &[Workload], args: &CommonArgs) {
 
 fn main() {
     let args = CommonArgs::parse("--part");
+    pbitree_bench::harness::init_trace(&args.trace);
     let cfg = args.config();
 
     if args.selected("a") {
@@ -63,9 +64,19 @@ fn main() {
     }
     if args.selected("e") {
         let sets = synthetic_single(args.scale);
+        // Phase columns only carry data under --trace; "-" otherwise.
         let mut t = Table::new(
             "Table 2(e): elapsed time (s), single-height synthetic datasets",
-            &["dataset", "MIN_RGN", "SHCJ", "VPJ", "io_SHCJ", "io_VPJ"],
+            &[
+                "dataset",
+                "MIN_RGN",
+                "SHCJ",
+                "VPJ",
+                "io_SHCJ",
+                "io_VPJ",
+                "phases_SHCJ",
+                "phases_VPJ",
+            ],
         );
         for w in &sets {
             let base = run_competitors(w.shape, &w.a, &w.d, &cfg, &Algo::rgn_baselines());
@@ -79,6 +90,8 @@ fn main() {
                 fmt_secs(vpj.secs()),
                 shcj.stats.io.total().to_string(),
                 vpj.stats.io.total().to_string(),
+                shcj.stats.phase_summary(),
+                vpj.stats.phase_summary(),
             ]);
         }
         t.emit(&args.results_dir, "table2e");
@@ -99,4 +112,5 @@ fn main() {
         }
         t.emit(&args.results_dir, "table2f");
     }
+    pbitree_bench::harness::finish_trace(&args.trace);
 }

@@ -1,11 +1,50 @@
 //! Shared experiment machinery: cold-start algorithm runs over generated
 //! element sets.
 
+use std::sync::{Arc, OnceLock};
+
 use pbitree_core::PBiTreeShape;
 use pbitree_joins::element::element_file;
 use pbitree_joins::stacktree::SortPolicy;
+use pbitree_joins::trace::Tracer;
 use pbitree_joins::{CountSink, JoinCtx, JoinStats};
 use pbitree_storage::CostModel;
+
+/// Process-global tracer, installed once when a binary gets `--trace`;
+/// every subsequent [`run_algo`] context attaches to it automatically.
+static TRACER: OnceLock<Arc<Tracer>> = OnceLock::new();
+
+/// Installs (or returns) the process-global tracer.
+pub fn install_tracer() -> Arc<Tracer> {
+    TRACER.get_or_init(|| Arc::new(Tracer::default())).clone()
+}
+
+/// The global tracer, if one was installed.
+pub fn tracer() -> Option<Arc<Tracer>> {
+    TRACER.get().cloned()
+}
+
+/// Installs the global tracer when `--trace <path>` was given. Call once
+/// at binary startup, before any measured run.
+pub fn init_trace(path: &Option<std::path::PathBuf>) {
+    if path.is_some() {
+        install_tracer();
+    }
+}
+
+/// Writes the collected spans as JSONL to the `--trace` path, if tracing.
+/// Call once at binary exit.
+pub fn finish_trace(path: &Option<std::path::PathBuf>) {
+    if let (Some(p), Some(t)) = (path, tracer()) {
+        match t.save(p) {
+            Ok(()) => eprintln!("trace: {} spans -> {}", t.span_count(), p.display()),
+            Err(e) => {
+                eprintln!("error: cannot write trace {}: {e}", p.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
 
 /// The algorithms the experiments compare.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +133,7 @@ pub fn run_algo(
     cfg: &ExpConfig,
     algo: Algo,
 ) -> Measured {
-    let ctx = JoinCtx::new(
+    let mut ctx = JoinCtx::new(
         pbitree_storage::BufferPool::new(
             pbitree_storage::Disk::new(Box::new(pbitree_storage::MemBackend::new()), cfg.cost),
             cfg.buffer_pages,
@@ -102,6 +141,9 @@ pub fn run_algo(
         shape,
     )
     .with_threads(cfg.threads);
+    if let Some(t) = tracer() {
+        ctx = ctx.with_tracer(t);
+    }
     let af = element_file(&ctx.pool, a.iter().copied()).expect("load A");
     let df = element_file(&ctx.pool, d.iter().copied()).expect("load D");
     ctx.pool.evict_all().unwrap();

@@ -21,8 +21,8 @@ fn fmt_per_iter(secs: f64) -> String {
     }
 }
 
-/// Times `f` with an auto-calibrated iteration count (roughly
-/// [`TARGET_SECS`] per batch, three batches, best batch wins) and prints
+/// Times `f` with an auto-calibrated iteration count (roughly a quarter
+/// second per batch, three batches, best batch wins) and prints
 /// one aligned result line. `elements` adds a Melem/s throughput column.
 /// Returns seconds per iteration.
 pub fn bench<R>(label: &str, elements: Option<u64>, mut f: impl FnMut() -> R) -> f64 {

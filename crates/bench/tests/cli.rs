@@ -1,0 +1,71 @@
+//! Smoke tests for the experiment binaries' argument handling: malformed
+//! invocations must exit with code 2 and a usage line — not a panic — and
+//! `--help` must exit 0. `--trace` must produce schema-v1 JSONL.
+
+use std::process::Command;
+
+const BINS: [&str; 3] = [
+    env!("CARGO_BIN_EXE_table2"),
+    env!("CARGO_BIN_EXE_fig6"),
+    env!("CARGO_BIN_EXE_ablation"),
+];
+
+#[test]
+fn bogus_argument_exits_2_with_usage() {
+    for bin in BINS {
+        let out = Command::new(bin).arg("--bogus").output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{bin}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--bogus"), "{bin}: {err}");
+        assert!(err.contains("options:"), "{bin}: {err}");
+    }
+}
+
+#[test]
+fn missing_value_exits_2() {
+    for bin in BINS {
+        let out = Command::new(bin).arg("--buffer").output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{bin}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--buffer"), "{bin}: {err}");
+    }
+}
+
+#[test]
+fn help_exits_0() {
+    for bin in BINS {
+        let out = Command::new(bin).arg("--help").output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "{bin}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--trace"), "{bin}: {err}");
+    }
+}
+
+#[test]
+fn trace_flag_writes_schema_v1_jsonl() {
+    let dir = std::env::temp_dir().join(format!("pbitree-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_table2"))
+        .args(["--part", "f", "--fast", "--results"])
+        .arg(dir.as_os_str())
+        .arg("--trace")
+        .arg(trace.as_os_str())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(!text.is_empty(), "trace file is empty");
+    for line in text.lines() {
+        assert!(line.starts_with("{\"v\":1,\"kind\":\""), "{line}");
+    }
+    assert!(
+        text.lines().any(|l| l.contains("\"kind\":\"run\"")),
+        "no run spans in trace"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

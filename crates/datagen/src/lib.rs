@@ -8,7 +8,7 @@
 //!   result counts as targets, plus the parameterized sets behind the
 //!   buffer-size and scalability figures;
 //! * [`xmark`] — an XMark-like auction-site document generator (the
-//!   BENCHMARK data [18]) with the B1–B10 containment joins;
+//!   BENCHMARK data \[18\]) with the B1–B10 containment joins;
 //! * [`dblp`] — a DBLP-like bibliography generator with the D1–D10 joins.
 //!
 //! The real DBLP snapshot and XMark's `xmlgen` are not available offline;

@@ -10,7 +10,7 @@
 //! * [`interval`] — an in-memory centered interval tree answering stabbing
 //!   queries ("all intervals containing point p"), the region-code way to
 //!   probe an ancestor set with a descendant (the paper cites disk-based
-//!   priority search trees [7]; see DESIGN.md substitution 4 for why the
+//!   priority search trees \[7\]; see DESIGN.md substitution 4 for why the
 //!   PBiTree-adapted disk path uses ancestor enumeration instead).
 
 pub mod bptree;

@@ -1,4 +1,4 @@
-//! Anc_Des_B+ (Chien et al. [4]), adapted to PBiTree codes.
+//! Anc_Des_B+ (Chien et al. \[4\]), adapted to PBiTree codes.
 //!
 //! Stack-Tree-Desc over *index-resident* inputs: both sets live in
 //! B+-trees keyed by document order, and whenever the stack is empty the
@@ -36,17 +36,22 @@ struct IndexCursor<'a> {
 }
 
 impl<'a> IndexCursor<'a> {
+    /// Decodes one index entry; a key that does not name a tree node
+    /// (corrupted leaf page) surfaces as [`JoinError::Corrupt`].
+    fn decode(entry: Option<(u128, u32)>) -> Result<Option<Element>, JoinError> {
+        entry
+            .map(|(k, t)| Element::try_from_doc_key(k, t).map_err(JoinError::corrupt))
+            .transpose()
+    }
+
     fn start(ctx: &'a JoinCtx, tree: &'a BPlusTree<u128, u32>) -> Result<Self, JoinError> {
         let mut iter = tree.iter(&ctx.pool)?;
-        let cur = iter.next_entry()?.map(|(k, t)| Element::from_doc_key(k, t));
+        let cur = Self::decode(iter.next_entry()?)?;
         Ok(IndexCursor { tree, iter, cur })
     }
 
     fn advance(&mut self) -> Result<(), JoinError> {
-        self.cur = self
-            .iter
-            .next_entry()?
-            .map(|(k, t)| Element::from_doc_key(k, t));
+        self.cur = Self::decode(self.iter.next_entry()?)?;
         Ok(())
     }
 
@@ -54,10 +59,7 @@ impl<'a> IndexCursor<'a> {
     /// first entry (also stored in `cur`).
     fn seek(&mut self, ctx: &'a JoinCtx, lb: u128) -> Result<Option<Element>, JoinError> {
         self.iter = self.tree.range_from(&ctx.pool, &lb)?;
-        self.cur = self
-            .iter
-            .next_entry()?
-            .map(|(k, t)| Element::from_doc_key(k, t));
+        self.cur = Self::decode(self.iter.next_entry()?)?;
         Ok(self.cur)
     }
 }
@@ -71,34 +73,41 @@ pub fn anc_des_bplus(
     policy: SortPolicy,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| {
+    ctx.measure_op("adb", || {
         if a.is_empty() || d.is_empty() {
             return Ok((0, 0));
         }
-        let (sa, sd, owned) = match policy {
-            SortPolicy::AssumeSorted => (*a, *d, false),
-            SortPolicy::SortOnTheFly => (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true),
-        };
-        let a_tree = BPlusTree::bulk_load_fallible(
-            &ctx.pool,
-            sa.scan(&ctx.pool)
-                .results()
-                .map(|r| r.map(|e| (e.doc_key(), e.tag))),
-        )?;
-        let d_tree = BPlusTree::bulk_load_fallible(
-            &ctx.pool,
-            sd.scan(&ctx.pool)
-                .results()
-                .map(|r| r.map(|e| (e.doc_key(), e.tag))),
-        )?;
+        let (sa, sd, owned) = ctx.phase("sort", || match policy {
+            SortPolicy::AssumeSorted => Ok((*a, *d, false)),
+            SortPolicy::SortOnTheFly => {
+                Ok((sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true))
+            }
+        })?;
+        let (a_tree, d_tree) = ctx.phase("build", || {
+            let a_tree = BPlusTree::bulk_load_fallible(
+                &ctx.pool,
+                sa.scan(&ctx.pool)
+                    .results()
+                    .map(|r| r.map(|e| (e.doc_key(), e.tag))),
+            )?;
+            let d_tree = BPlusTree::bulk_load_fallible(
+                &ctx.pool,
+                sd.scan(&ctx.pool)
+                    .results()
+                    .map(|r| r.map(|e| (e.doc_key(), e.tag))),
+            )?;
+            Ok((a_tree, d_tree))
+        })?;
         if owned {
             sa.drop_file(&ctx.pool);
             sd.drop_file(&ctx.pool);
         }
-        let pairs = merge_with_skips(ctx, &a_tree, &d_tree, sink)?;
+        let pairs = ctx.phase_counted("merge", || {
+            merge_with_skips(ctx, &a_tree, &d_tree, sink).map(|p| (p, 0))
+        })?;
         a_tree.drop_file(&ctx.pool);
         d_tree.drop_file(&ctx.pool);
-        Ok((pairs, 0))
+        Ok(pairs)
     })
 }
 
@@ -130,9 +139,7 @@ fn merge_with_skips(
                 _ => {}
             }
         }
-        let take_a = ac.cur.is_some_and(|a_el| a_el.doc_key() <= d_el.doc_key());
-        if take_a {
-            let a_el = ac.cur.expect("checked");
+        if let Some(a_el) = ac.cur.filter(|a_el| a_el.doc_key() <= d_el.doc_key()) {
             while stack.last().is_some_and(|t| t.end() < a_el.start()) {
                 stack.pop();
             }

@@ -2,18 +2,29 @@
 
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 use pbitree_core::PBiTreeShape;
-use pbitree_storage::{records_per_page, BufferPool, IoStats, PoolError};
+use pbitree_storage::{records_per_page, BufferPool, IoStats, PoolError, PoolStats};
 
 use crate::element::Element;
+use crate::trace::Tracer;
 
 /// Errors surfaced by join operators.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JoinError {
     /// Buffer pool exhaustion — an operator exceeded its frame budget.
     Pool(PoolError),
+    /// The operator read data that violates a structural invariant — a
+    /// record that fails validation, or partition bookkeeping contradicted
+    /// by what a later pass observes. Surfaces like PR 2's device faults
+    /// (an `Err` unwinding cleanly through the scheduler), not a panic.
+    Corrupt {
+        /// The page the corruption was detected on, when the decode layer
+        /// can name one (bookkeeping inconsistencies cannot).
+        pid: Option<pbitree_storage::PageId>,
+        /// What the check found.
+        reason: &'static str,
+    },
     /// SHCJ was invoked on an ancestor set spanning several heights.
     NotSingleHeight {
         /// First height observed.
@@ -34,19 +45,32 @@ pub enum JoinError {
 }
 
 impl JoinError {
-    /// The page a device fault occurred on, when the error wraps an
-    /// injected or real I/O failure (see `pbitree_storage::fault`).
+    /// The page a device fault or corruption was detected on, when the
+    /// error wraps an injected or real I/O failure (see
+    /// `pbitree_storage::fault`) or a decode-layer validation failure.
     pub fn failing_page(&self) -> Option<pbitree_storage::PageId> {
         match self {
             JoinError::Pool(e) => e.failing_page(),
+            JoinError::Corrupt { pid, .. } => *pid,
             _ => None,
         }
+    }
+
+    /// A bookkeeping-corruption error with no associated page.
+    pub(crate) fn corrupt(reason: &'static str) -> Self {
+        JoinError::Corrupt { pid: None, reason }
     }
 }
 
 impl From<PoolError> for JoinError {
     fn from(e: PoolError) -> Self {
-        JoinError::Pool(e)
+        match e {
+            PoolError::Corrupt { pid, reason } => JoinError::Corrupt {
+                pid: Some(pid),
+                reason,
+            },
+            other => JoinError::Pool(other),
+        }
     }
 }
 
@@ -54,6 +78,13 @@ impl fmt::Display for JoinError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JoinError::Pool(e) => write!(f, "buffer pool: {e}"),
+            JoinError::Corrupt {
+                pid: Some(pid),
+                reason,
+            } => write!(f, "corrupt data on page {pid}: {reason}"),
+            JoinError::Corrupt { pid: None, reason } => {
+                write!(f, "corrupt data: {reason}")
+            }
             JoinError::NotSingleHeight { expected, found } => write!(
                 f,
                 "SHCJ requires a single-height ancestor set (saw heights {expected} and {found})"
@@ -72,8 +103,34 @@ impl fmt::Display for JoinError {
 
 impl std::error::Error for JoinError {}
 
+/// One entry of a [`JoinStats`] phase breakdown: the aggregated cost of
+/// every tiled span of that name within the run (see [`crate::trace`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseStat {
+    /// Phase name (`"partition"`, `"sort"`, `"build"`, `"probe"`,
+    /// `"merge"`, ... and the synthetic remainder `"other"`).
+    pub name: &'static str,
+    /// Pairs emitted within the phase, where the operator reported them.
+    pub pairs: u64,
+    /// Rollup false hits counted within the phase.
+    pub false_hits: u64,
+    /// Wall-clock nanoseconds of the phase on the run's thread.
+    pub cpu_ns: u64,
+    /// Disk-transfer delta over the phase.
+    pub io: IoStats,
+    /// Pool hit/miss delta over the phase.
+    pub pool: PoolStats,
+}
+
+impl PhaseStat {
+    /// Simulated I/O time plus measured CPU time of the phase, seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.io.sim_secs() + self.cpu_ns as f64 / 1e9
+    }
+}
+
 /// What a join run cost and produced.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct JoinStats {
     /// Result pairs emitted.
     pub pairs: u64,
@@ -82,8 +139,17 @@ pub struct JoinStats {
     /// Page-I/O delta over the whole operator, including any on-the-fly
     /// sorting or index building.
     pub io: IoStats,
-    /// Measured wall-clock CPU time of the operator, nanoseconds.
+    /// Measured wall-clock time of the operator on its calling thread,
+    /// nanoseconds. Under `threads > 1` this is the scheduler span —
+    /// worker times overlap inside it and are *not* summed here (they
+    /// live in the trace as task spans; see [`crate::trace`]).
     pub cpu_ns: u64,
+    /// Per-phase breakdown, populated when a [`Tracer`] is attached to
+    /// the context; empty otherwise. The phases tile the run: their I/O
+    /// and CPU deltas sum exactly to [`io`](JoinStats::io) and
+    /// [`cpu_ns`](JoinStats::cpu_ns) (a synthetic `"other"` entry holds
+    /// whatever the named phases did not cover).
+    pub phases: Vec<PhaseStat>,
 }
 
 impl JoinStats {
@@ -92,6 +158,19 @@ impl JoinStats {
     /// so is this once inputs exceed the buffer pool.
     pub fn elapsed_secs(&self) -> f64 {
         self.io.sim_secs() + self.cpu_ns as f64 / 1e9
+    }
+
+    /// Compact `name=secs` rendering of the phase breakdown for report
+    /// tables, `"-"` when no tracer was attached.
+    pub fn phase_summary(&self) -> String {
+        if self.phases.is_empty() {
+            return "-".to_string();
+        }
+        self.phases
+            .iter()
+            .map(|p| format!("{}={:.3}s", p.name, p.elapsed_secs()))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -128,6 +207,9 @@ pub struct JoinCtx {
     /// Effective frame budget operators size against. Equals the pool
     /// capacity except in carved worker contexts.
     budget: usize,
+    /// Span collector, when phase tracing is enabled. `None` (the
+    /// default) keeps instrumentation at a single branch per site.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl JoinCtx {
@@ -140,6 +222,7 @@ impl JoinCtx {
             shape,
             threads: 1,
             budget,
+            tracer: None,
         }
     }
 
@@ -177,15 +260,29 @@ impl JoinCtx {
         self
     }
 
-    /// A worker view of this context: same pool and shape, sequential, with
-    /// the given carved frame budget (at least 3 pages — the floor any
-    /// operator needs for an input scan plus reserve).
+    /// Attaches a span tracer; every operator run through this context
+    /// (and its workers) records phase spans into it.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if phase tracing is enabled.
+    #[inline]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// A worker view of this context: same pool, shape and tracer,
+    /// sequential, with the given carved frame budget (at least 3 pages —
+    /// the floor any operator needs for an input scan plus reserve).
     pub fn worker(&self, budget: usize) -> JoinCtx {
         JoinCtx {
             pool: Arc::clone(&self.pool),
             shape: self.shape,
             threads: 1,
             budget: budget.max(3),
+            tracer: self.tracer.clone(),
         }
     }
 
@@ -213,21 +310,14 @@ impl JoinCtx {
 
     /// Runs `op`, measuring its I/O delta and wall time into a
     /// [`JoinStats`] (pairs/false hits are filled by the operator itself).
+    /// Equivalent to [`measure_op`](JoinCtx::measure_op) with the generic
+    /// name `"join"`; operators use `measure_op` so their trace runs are
+    /// identifiable.
     pub fn measure<F>(&self, op: F) -> Result<JoinStats, JoinError>
     where
         F: FnOnce() -> Result<(u64, u64), JoinError>,
     {
-        let io_before = self.pool.io_stats();
-        let t0 = Instant::now();
-        let (pairs, false_hits) = op()?;
-        let cpu_ns = t0.elapsed().as_nanos() as u64;
-        let io = self.pool.io_stats().since(&io_before);
-        Ok(JoinStats {
-            pairs,
-            false_hits,
-            io,
-            cpu_ns,
-        })
+        self.measure_op("join", op)
     }
 }
 

@@ -43,13 +43,29 @@ impl Element {
     /// Recovers an element from its document-order key plus tag (used by
     /// index-resident iterators: the key encodes start and height, which
     /// determine the code).
+    ///
+    /// # Panics
+    /// Panics on a malformed key. Index iterators decoding keys read back
+    /// from disk use [`try_from_doc_key`](Element::try_from_doc_key).
     pub fn from_doc_key(key: u128, tag: u32) -> Self {
+        Self::try_from_doc_key(key, tag).expect("valid doc key")
+    }
+
+    /// Fallible [`from_doc_key`](Element::from_doc_key): a key whose
+    /// height byte or code is out of range (corrupted index page) comes
+    /// back as `Err` instead of a panic.
+    pub fn try_from_doc_key(key: u128, tag: u32) -> Result<Self, &'static str> {
         let start = (key >> 8) as u64;
-        let height = 63 - (key & 0xFF) as u32;
-        Element {
-            code: Code::new(start + (1u64 << height) - 1).expect("valid doc key"),
-            tag,
+        let inv = (key & 0xFF) as u32;
+        if inv > 63 {
+            return Err("doc key height byte out of range");
         }
+        let height = 63 - inv;
+        let raw = start
+            .checked_add((1u64 << height) - 1)
+            .ok_or("doc key start out of range")?;
+        let code = Code::new(raw).map_err(|_| "doc key decodes to code zero")?;
+        Ok(Element { code, tag })
     }
 }
 
@@ -75,6 +91,19 @@ impl FixedRecord for Element {
     #[inline]
     fn bounds_hint(&self) -> Option<(u64, u64)> {
         Some(self.code.region())
+    }
+
+    /// A zero code encodes "no node" and can only appear on a corrupted
+    /// page; rejecting it here (before [`read`](FixedRecord::read)) turns
+    /// such pages into [`pbitree_storage::PoolError::Corrupt`] on every
+    /// operator scan path instead of decoding an invalid [`Code`].
+    #[inline]
+    fn validate(buf: &[u8]) -> Result<(), &'static str> {
+        if buf[..8] == [0u8; 8] {
+            Err("element code is zero")
+        } else {
+            Ok(())
+        }
     }
 }
 

@@ -1,4 +1,4 @@
-//! INLJN — index nested loop join, adapted to PBiTree codes ([20], §3.1).
+//! INLJN — index nested loop join, adapted to PBiTree codes (\[20\], §3.1).
 //!
 //! The smaller input iterates; the larger one is probed through a B+-tree
 //! built on the fly (external sort + bulk load, charged to the join):
@@ -8,7 +8,7 @@
 //!   one range scan per outer ancestor;
 //! * probing **ancestors with a descendant** is where region codes need an
 //!   interval structure (the paper proposes a disk-based interval tree
-//!   [7]); with PBiTree codes the ancestors of `d` are *enumerable* —
+//!   \[7\]); with PBiTree codes the ancestors of `d` are *enumerable* —
 //!   `F(d, h)` for each height — so `<= H - height(d)` point probes on a
 //!   code-keyed B+-tree do the job. This is the "adapted for PBiTree"
 //!   footnote of Table 1 made concrete.
@@ -62,28 +62,31 @@ pub fn inljn_probe_descendants(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| {
+    ctx.measure_op("inljn", || {
         if a.is_empty() || d.is_empty() {
             return Ok((0, 0));
         }
-        let index = build_code_index(ctx, d)?;
-        let mut pairs = 0u64;
-        let mut scan = a.scan(&ctx.pool);
-        while let Some(ae) = scan.next_record()? {
-            let (start, end) = ae.code.region();
-            let mut it = index.range_from(&ctx.pool, &start)?;
-            while let Some((code, tag)) = it.next_entry()? {
-                if code > end {
-                    break;
-                }
-                if code != ae.code.get() {
-                    pairs += 1;
-                    sink.emit(ae, Element::new(code, tag));
+        let index = ctx.phase("build", || build_code_index(ctx, d))?;
+        let pairs = ctx.phase_counted("probe", || {
+            let mut pairs = 0u64;
+            let mut scan = a.scan(&ctx.pool);
+            while let Some(ae) = scan.next_record()? {
+                let (start, end) = ae.code.region();
+                let mut it = index.range_from(&ctx.pool, &start)?;
+                while let Some((code, tag)) = it.next_entry()? {
+                    if code > end {
+                        break;
+                    }
+                    if code != ae.code.get() {
+                        pairs += 1;
+                        sink.emit(ae, Element::new(code, tag));
+                    }
                 }
             }
-        }
+            Ok((pairs, 0))
+        })?;
         index.drop_file(&ctx.pool);
-        Ok((pairs, 0))
+        Ok(pairs)
     })
 }
 
@@ -95,23 +98,26 @@ pub fn inljn_probe_ancestors(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| {
+    ctx.measure_op("inljn", || {
         if a.is_empty() || d.is_empty() {
             return Ok((0, 0));
         }
-        let index = build_code_index(ctx, a)?;
-        let mut pairs = 0u64;
-        let mut scan = d.scan(&ctx.pool);
-        while let Some(de) = scan.next_record()? {
-            for anc in ctx.shape.ancestors(de.code) {
-                if let Some(tag) = index.get(&ctx.pool, &anc.get())? {
-                    pairs += 1;
-                    sink.emit(Element { code: anc, tag }, de);
+        let index = ctx.phase("build", || build_code_index(ctx, a))?;
+        let pairs = ctx.phase_counted("probe", || {
+            let mut pairs = 0u64;
+            let mut scan = d.scan(&ctx.pool);
+            while let Some(de) = scan.next_record()? {
+                for anc in ctx.shape.ancestors(de.code) {
+                    if let Some(tag) = index.get(&ctx.pool, &anc.get())? {
+                        pairs += 1;
+                        sink.emit(Element { code: anc, tag }, de);
+                    }
                 }
             }
-        }
+            Ok((pairs, 0))
+        })?;
         index.drop_file(&ctx.pool);
-        Ok((pairs, 0))
+        Ok(pairs)
     })
 }
 

@@ -12,10 +12,10 @@
 //! | [`rollup`] | MHCJ + Rollup (false-hit filter) | Alg. 4 | nothing |
 //! | [`vpj`] | vertical-partitioning join | Alg. 5 | nothing |
 //! | [`memjoin`] | Memory-Containment-Join | Alg. 6 | one side fits in memory |
-//! | [`inljn`] | index nested loop (B+-tree, built on the fly) | [20] adapted | index (built) |
-//! | [`stacktree`] | Stack-Tree-Desc and Stack-Tree-Anc (sorted on the fly) | [1] adapted | sorted inputs |
-//! | [`mpmgjn`] | Multi-Predicate Merge Join | [20] adapted | sorted inputs |
-//! | [`adb`] | Anc_Des_B+ with skip probes | [4] adapted | sorted + indexed |
+//! | [`inljn`] | index nested loop (B+-tree, built on the fly) | \[20\] adapted | index (built) |
+//! | [`stacktree`] | Stack-Tree-Desc and Stack-Tree-Anc (sorted on the fly) | \[1\] adapted | sorted inputs |
+//! | [`mpmgjn`] | Multi-Predicate Merge Join | \[20\] adapted | sorted inputs |
+//! | [`adb`] | Anc_Des_B+ with skip probes | \[4\] adapted | sorted + indexed |
 //! | [`planner`] | the Table-1 algorithm-selection framework | Table 1 | — |
 //! | [`parallel`] | partition scheduler: MHCJ/VPJ fan-out over threads | — | `threads > 1` |
 //!
@@ -27,7 +27,10 @@
 //! Every algorithm reports [`JoinStats`]: result pairs, rollup false hits,
 //! and the I/O delta (page counts + simulated disk time) measured across
 //! the *whole* operator — including any on-the-fly sorting or index
-//! building, exactly as the paper charges the baselines in §4.
+//! building, exactly as the paper charges the baselines in §4. Attach a
+//! [`trace::Tracer`] ([`JoinCtx::with_tracer`]) and every operator also
+//! records named phase spans (partition / sort / build / probe / merge)
+//! whose I/O deltas tile the run exactly — see [`trace`].
 //!
 //! Correctness of all algorithms is cross-checked against the naive join
 //! and against each other by the test suite (`verify` module).
@@ -47,10 +50,11 @@ pub mod rollup;
 pub mod shcj;
 pub mod sink;
 pub mod stacktree;
+pub mod trace;
 pub mod verify;
 pub mod vpj;
 
-pub use context::{JoinCtx, JoinError, JoinStats};
+pub use context::{JoinCtx, JoinError, JoinStats, PhaseStat};
 pub use element::Element;
 pub use planner::{choose_algorithm, execute, plan_and_execute, Algorithm, InputState};
 pub use sink::{CollectSink, CountSink, PairSink};

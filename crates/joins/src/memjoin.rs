@@ -120,9 +120,12 @@ pub fn memory_containment_join(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| mem_join_inner(ctx, a, d, sink))
+    ctx.measure_op("memjoin", || mem_join_inner(ctx, a, d, sink))
 }
 
+/// The un-measured body, reused by VPJ as its base case. Phases: `load`
+/// (reading the resident side into its in-memory structure) and `probe`
+/// (streaming the other side against it).
 pub(crate) fn mem_join_inner(
     ctx: &JoinCtx,
     a: &HeapFile<Element>,
@@ -130,23 +133,29 @@ pub(crate) fn mem_join_inner(
     sink: &mut dyn PairSink,
 ) -> Result<(u64, u64), JoinError> {
     if pick_side(ctx, a.pages(), d.pages())? {
-        let dd = SortedDescendants::new(d.read_all(&ctx.pool)?);
-        let mut pairs = 0u64;
-        let mut scan = a.scan(&ctx.pool);
-        while let Some(ae) = scan.next_record()? {
-            pairs += dd.probe(ae, sink);
-        }
-        Ok((pairs, 0))
+        let dd = ctx.phase("load", || {
+            Ok(SortedDescendants::new(d.read_all(&ctx.pool)?))
+        })?;
+        ctx.phase_counted("probe", || {
+            let mut pairs = 0u64;
+            let mut scan = a.scan(&ctx.pool);
+            while let Some(ae) = scan.next_record()? {
+                pairs += dd.probe(ae, sink);
+            }
+            Ok((pairs, 0))
+        })
     } else {
-        let aa = RolledAncestors::new(a.read_all(&ctx.pool)?);
-        let (mut pairs, mut false_hits) = (0u64, 0u64);
-        let mut scan = d.scan(&ctx.pool);
-        while let Some(de) = scan.next_record()? {
-            let (p, f) = aa.probe(de, sink);
-            pairs += p;
-            false_hits += f;
-        }
-        Ok((pairs, false_hits))
+        let aa = ctx.phase("load", || Ok(RolledAncestors::new(a.read_all(&ctx.pool)?)))?;
+        ctx.phase_counted("probe", || {
+            let (mut pairs, mut false_hits) = (0u64, 0u64);
+            let mut scan = d.scan(&ctx.pool);
+            while let Some(de) = scan.next_record()? {
+                let (p, f) = aa.probe(de, sink);
+                pairs += p;
+                false_hits += f;
+            }
+            Ok((pairs, false_hits))
+        })
     }
 }
 
@@ -159,23 +168,28 @@ pub fn mem_join_ancestor_enum(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| {
-        let mut map: FxHashMap<u64, Element> = FxHashMap::default();
-        let mut scan = a.scan(&ctx.pool);
-        while let Some(e) = scan.next_record()? {
-            map.insert(e.code.get(), e);
-        }
-        let mut pairs = 0u64;
-        let mut scan = d.scan(&ctx.pool);
-        while let Some(de) = scan.next_record()? {
-            for anc in ctx.shape.ancestors(de.code) {
-                if let Some(ae) = map.get(&anc.get()) {
-                    pairs += 1;
-                    sink.emit(*ae, de);
+    ctx.measure_op("memjoin_enum", || {
+        let map = ctx.phase("load", || {
+            let mut map: FxHashMap<u64, Element> = FxHashMap::default();
+            let mut scan = a.scan(&ctx.pool);
+            while let Some(e) = scan.next_record()? {
+                map.insert(e.code.get(), e);
+            }
+            Ok(map)
+        })?;
+        ctx.phase_counted("probe", || {
+            let mut pairs = 0u64;
+            let mut scan = d.scan(&ctx.pool);
+            while let Some(de) = scan.next_record()? {
+                for anc in ctx.shape.ancestors(de.code) {
+                    if let Some(ae) = map.get(&anc.get()) {
+                        pairs += 1;
+                        sink.emit(*ae, de);
+                    }
                 }
             }
-        }
-        Ok((pairs, 0))
+            Ok((pairs, 0))
+        })
     })
 }
 
@@ -188,31 +202,36 @@ pub fn mem_join_interval_tree(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| {
-        let elems = a.read_all(&ctx.pool)?;
-        let tree = IntervalTree::build(
-            elems
-                .iter()
-                .enumerate()
-                .map(|(i, e)| Interval {
-                    start: e.start(),
-                    end: e.end(),
-                    payload: i as u64,
-                })
-                .collect(),
-        );
-        let mut pairs = 0u64;
-        let mut scan = d.scan(&ctx.pool);
-        while let Some(de) = scan.next_record()? {
-            tree.stab(de.code.get(), |iv| {
-                let ae = elems[iv.payload as usize];
-                if ae.code != de.code {
-                    pairs += 1;
-                    sink.emit(ae, de);
-                }
-            });
-        }
-        Ok((pairs, 0))
+    ctx.measure_op("memjoin_ivtree", || {
+        let (elems, tree) = ctx.phase("load", || {
+            let elems = a.read_all(&ctx.pool)?;
+            let tree = IntervalTree::build(
+                elems
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| Interval {
+                        start: e.start(),
+                        end: e.end(),
+                        payload: i as u64,
+                    })
+                    .collect(),
+            );
+            Ok((elems, tree))
+        })?;
+        ctx.phase_counted("probe", || {
+            let mut pairs = 0u64;
+            let mut scan = d.scan(&ctx.pool);
+            while let Some(de) = scan.next_record()? {
+                tree.stab(de.code.get(), |iv| {
+                    let ae = elems[iv.payload as usize];
+                    if ae.code != de.code {
+                        pairs += 1;
+                        sink.emit(ae, de);
+                    }
+                });
+            }
+            Ok((pairs, 0))
+        })
     })
 }
 

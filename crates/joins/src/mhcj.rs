@@ -60,8 +60,8 @@ pub fn mhcj(
     if ctx.threads > 1 {
         return crate::parallel::mhcj_parallel(ctx, a, d, sink);
     }
-    ctx.measure(|| {
-        let parts = partition_by_height(ctx, a)?;
+    ctx.measure_op("mhcj", || {
+        let parts = ctx.phase("partition", || partition_by_height(ctx, a))?;
         let mut pairs = 0u64;
         if let [(_, single)] = parts.as_slice() {
             // Route to SHCJ directly (Algorithm 3, line 2).

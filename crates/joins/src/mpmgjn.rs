@@ -1,4 +1,4 @@
-//! MPMGJN — Multi-Predicate Merge Join (Zhang et al. [20]), adapted to
+//! MPMGJN — Multi-Predicate Merge Join (Zhang et al. \[20\]), adapted to
 //! PBiTree codes.
 //!
 //! The original sorted-merge structural join and the direct ancestor of
@@ -6,13 +6,13 @@
 //! descendant stream is scanned from a *mark* — the first descendant that
 //! could still belong to it. Nested ancestors re-scan the shared
 //! descendant segment, which is exactly the repeated-I/O weakness
-//! Stack-Tree's stack removes ([1] showed Stack-Tree dominates; this
+//! Stack-Tree's stack removes (\[1\] showed Stack-Tree dominates; this
 //! implementation exists so that comparison can be reproduced).
 //!
 //! The rescan uses [`pbitree_storage::ScanPos`]: when the merge moves to
 //! the next ancestor, the descendant cursor rewinds to the mark, which may
 //! re-read pages — with a buffer pool those re-reads are often hits, so
-//! MPMGJN degrades with deep nesting and small buffers, as [20]/[1]
+//! MPMGJN degrades with deep nesting and small buffers, as \[20\]/\[1\]
 //! observed.
 
 use pbitree_storage::{HeapFile, ScanPos};
@@ -30,17 +30,19 @@ pub fn mpmgjn(
     policy: SortPolicy,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| {
-        let (sa, sd, owned) = match policy {
-            SortPolicy::AssumeSorted => (*a, *d, false),
-            SortPolicy::SortOnTheFly => (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true),
-        };
-        let pairs = merge(ctx, &sa, &sd, sink)?;
+    ctx.measure_op("mpmgjn", || {
+        let (sa, sd, owned) = ctx.phase("sort", || match policy {
+            SortPolicy::AssumeSorted => Ok((*a, *d, false)),
+            SortPolicy::SortOnTheFly => {
+                Ok((sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true))
+            }
+        })?;
+        let pairs = ctx.phase_counted("merge", || merge(ctx, &sa, &sd, sink).map(|p| (p, 0)))?;
         if owned {
             sa.drop_file(&ctx.pool);
             sd.drop_file(&ctx.pool);
         }
-        Ok((pairs, 0))
+        Ok(pairs)
     })
 }
 

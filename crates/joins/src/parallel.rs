@@ -85,6 +85,9 @@ where
     let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<ResultSlot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    // Thread-locals do not cross into the workers: capture the scheduler's
+    // current run here so each task span can attach to it.
+    let parent = crate::trace::current_run();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let slots = &slots;
@@ -98,11 +101,21 @@ where
                     break;
                 }
                 let task = slots[i].lock().unwrap().take().expect("task claimed twice");
-                let mut buf = BufferSink { pairs: Vec::new() };
-                let out = run(&wctx, task, &mut buf).map(|result| TaskOutput {
-                    pairs: buf.pairs,
-                    result,
-                });
+                let out = crate::trace::in_task(
+                    &wctx,
+                    parent,
+                    i as u64,
+                    |r: &Result<TaskOutput<R>, JoinError>| {
+                        r.as_ref().map_or(0, |o| o.pairs.len() as u64)
+                    },
+                    || {
+                        let mut buf = BufferSink { pairs: Vec::new() };
+                        run(&wctx, task, &mut buf).map(|result| TaskOutput {
+                            pairs: buf.pairs,
+                            result,
+                        })
+                    },
+                );
                 *results[i].lock().unwrap() = Some(out);
             });
         }
@@ -125,39 +138,44 @@ pub(crate) fn mhcj_parallel(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| {
+    ctx.measure_op("mhcj", || {
         // Partitioning is one sequential input pass; the fan-out joins
         // behind it dominate (`5‖A‖ + 3k‖D‖`).
-        let parts = partition_by_height(ctx, a)?;
+        let parts = ctx.phase("partition", || partition_by_height(ctx, a))?;
         let d = *d;
-        let outs = run_tasks(
-            ctx,
-            parts.iter().map(|(_, p)| *p).collect(),
-            move |wctx, part: HeapFile<Element>, buf| {
-                shcj_inner(wctx, &part, &d, buf).map(|(p, _)| p)
-            },
-        );
-        let mut pairs = 0u64;
-        let mut err: Option<JoinError> = None;
-        for out in outs {
-            match out {
-                Ok(TaskOutput { pairs: buf, result }) if err.is_none() => {
-                    for (ae, de) in buf {
-                        sink.emit(ae, de);
+        // The scheduler thread blocks inside the scope, so every worker's
+        // I/O lands inside this phase's counter interval.
+        let out = ctx.phase_counted("probe", || {
+            let outs = run_tasks(
+                ctx,
+                parts.iter().map(|(_, p)| *p).collect(),
+                move |wctx, part: HeapFile<Element>, buf| {
+                    shcj_inner(wctx, &part, &d, buf).map(|(p, _)| p)
+                },
+            );
+            let mut pairs = 0u64;
+            let mut err: Option<JoinError> = None;
+            for out in outs {
+                match out {
+                    Ok(TaskOutput { pairs: buf, result }) if err.is_none() => {
+                        for (ae, de) in buf {
+                            sink.emit(ae, de);
+                        }
+                        pairs += result;
                     }
-                    pairs += result;
+                    Ok(_) => {}
+                    Err(e) => err = err.or(Some(e)),
                 }
-                Ok(_) => {}
-                Err(e) => err = err.or(Some(e)),
             }
-        }
+            match err {
+                Some(e) => Err(e),
+                None => Ok((pairs, 0)),
+            }
+        });
         for (_, part) in parts {
             part.drop_file(&ctx.pool);
         }
-        match err {
-            Some(e) => Err(e),
-            None => Ok((pairs, 0)),
-        }
+        out
     })
 }
 
@@ -173,39 +191,44 @@ pub(crate) fn vpj_parallel(
     let mut report = VpjReport::default();
     let stats = {
         let report = &mut report;
-        ctx.measure(|| {
+        ctx.measure_op("vpj", || {
             let mut pairs = 0u64;
             let mut false_hits = 0u64;
             // Base cases (memory join, rollup fallback) emit straight into
             // `sink` here and leave no tasks — exactly the sequential plan.
+            // The partitioning pass records its own phases inline.
             let tasks =
                 vpj::collect_top_tasks(ctx, a, d, sink, &mut pairs, &mut false_hits, report)?;
-            let outs = run_tasks(ctx, tasks, |wctx, task: VpjTask, buf| {
-                let mut rep = VpjReport::default();
-                vpj::execute_task(wctx, task, buf, &mut rep).map(|(p, f)| (p, f, rep))
-            });
-            let mut err: Option<JoinError> = None;
-            for out in outs {
-                match out {
-                    Ok(TaskOutput {
-                        pairs: buf,
-                        result: (p, f, rep),
-                    }) if err.is_none() => {
-                        for (ae, de) in buf {
-                            sink.emit(ae, de);
+            let (p, f) = ctx.phase_counted("probe", || {
+                let outs = run_tasks(ctx, tasks, |wctx, task: VpjTask, buf| {
+                    let mut rep = VpjReport::default();
+                    vpj::execute_task(wctx, task, buf, &mut rep).map(|(p, f)| (p, f, rep))
+                });
+                let (mut p, mut f) = (0u64, 0u64);
+                let mut err: Option<JoinError> = None;
+                for out in outs {
+                    match out {
+                        Ok(TaskOutput {
+                            pairs: buf,
+                            result: (tp, tf, rep),
+                        }) if err.is_none() => {
+                            for (ae, de) in buf {
+                                sink.emit(ae, de);
+                            }
+                            p += tp;
+                            f += tf;
+                            report.absorb(&rep);
                         }
-                        pairs += p;
-                        false_hits += f;
-                        report.absorb(&rep);
+                        Ok(_) => {}
+                        Err(e) => err = err.or(Some(e)),
                     }
-                    Ok(_) => {}
-                    Err(e) => err = err.or(Some(e)),
                 }
-            }
-            match err {
-                Some(e) => Err(e),
-                None => Ok((pairs, false_hits)),
-            }
+                match err {
+                    Some(e) => Err(e),
+                    None => Ok((p, f)),
+                }
+            })?;
+            Ok((pairs + p, false_hits + f))
         })?
     };
     Ok((stats, report))

@@ -63,11 +63,11 @@ impl InputState {
 /// The algorithms the planner can choose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
-    /// Index nested loop join ([20]).
+    /// Index nested loop join (\[20\]).
     InlJn,
-    /// Stack-Tree-Desc ([1]).
+    /// Stack-Tree-Desc (\[1\]).
     StackTree,
-    /// Anc_Des_B+ ([4]).
+    /// Anc_Des_B+ (\[4\]).
     AncDesBPlus,
     /// Single-height containment join (Algorithm 2).
     Shcj,

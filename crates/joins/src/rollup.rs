@@ -50,16 +50,18 @@ pub fn mhcj_rollup_with(
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
     assert!(target_partitions >= 1);
-    ctx.measure(|| {
+    ctx.measure_op("mhcj_rollup", || {
         // Pass 1: occupied-height histogram (one read of A).
-        let mut occupied = [false; 64];
-        {
+        let heights = ctx.phase("plan", || {
+            let mut occupied = [false; 64];
             let mut scan = a.scan(&ctx.pool);
             while let Some(e) = scan.next_record()? {
                 occupied[e.code.height() as usize] = true;
             }
-        }
-        let heights: Vec<u32> = (0..64u32).filter(|&h| occupied[h as usize]).collect();
+            Ok((0..64u32)
+                .filter(|&h| occupied[h as usize])
+                .collect::<Vec<u32>>())
+        })?;
         if heights.is_empty() || d.is_empty() {
             return Ok((0, 0));
         }
@@ -69,37 +71,44 @@ pub fn mhcj_rollup_with(
         if let [anchor] = anchors.as_slice() {
             // Default strategy: one equijoin, keys on the fly, no
             // materialization at all.
-            return anchored_equijoin(ctx, a, d, *anchor, sink);
+            let anchor = *anchor;
+            return ctx.phase_counted("probe", || anchored_equijoin(ctx, a, d, anchor, sink));
         }
 
         // Several anchors: one partition pass over A (plain elements), one
         // equijoin per anchor.
-        let mut writers: Vec<HeapWriter<'_, Element>> = anchors
-            .iter()
-            .map(|_| HeapWriter::create(&ctx.pool))
-            .collect::<Result<_, _>>()?;
-        {
+        let parts = ctx.phase("partition", || {
+            let mut writers: Vec<HeapWriter<'_, Element>> = anchors
+                .iter()
+                .map(|_| HeapWriter::create(&ctx.pool))
+                .collect::<Result<_, _>>()?;
             let mut scan = a.scan(&ctx.pool);
             while let Some(e) = scan.next_record()? {
                 let h = e.code.height();
+                // The histogram pass saw every height, so an uncovered
+                // height here means the file changed (or decoded
+                // differently) between the two passes.
                 let idx = anchors
                     .iter()
                     .position(|&anchor| anchor >= h)
-                    .expect("anchors cover all heights");
+                    .ok_or_else(|| JoinError::corrupt("ancestor height above every anchor"))?;
                 writers[idx].push(e)?;
             }
-        }
-        let parts: Vec<HeapFile<Element>> = writers
-            .into_iter()
-            .map(|w| w.finish().map_err(JoinError::from))
-            .collect::<Result<_, _>>()?;
+            writers
+                .into_iter()
+                .map(|w| w.finish().map_err(JoinError::from))
+                .collect::<Result<Vec<HeapFile<Element>>, _>>()
+        })?;
 
-        let (mut pairs, mut false_hits) = (0u64, 0u64);
-        for (anchor, part) in anchors.iter().copied().zip(&parts) {
-            let (p, f) = anchored_equijoin(ctx, part, d, anchor, sink)?;
-            pairs += p;
-            false_hits += f;
-        }
+        let (pairs, false_hits) = ctx.phase_counted("probe", || {
+            let (mut pairs, mut false_hits) = (0u64, 0u64);
+            for (anchor, part) in anchors.iter().copied().zip(&parts) {
+                let (p, f) = anchored_equijoin(ctx, part, d, anchor, sink)?;
+                pairs += p;
+                false_hits += f;
+            }
+            Ok((pairs, false_hits))
+        })?;
         for part in parts {
             part.drop_file(&ctx.pool);
         }

@@ -35,20 +35,21 @@ pub fn shcj(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| shcj_inner(ctx, a, d, sink))
+    ctx.measure_op("shcj", || shcj_inner(ctx, a, d, sink))
 }
 
-/// The un-measured body, reused by MHCJ per height partition.
+/// The un-measured body, reused by MHCJ per height partition. Phases:
+/// `plan` (height inspection) and `probe` (the hash equijoin, including
+/// any Grace partitioning it decides to do).
 pub(crate) fn shcj_inner(
     ctx: &JoinCtx,
     a: &HeapFile<Element>,
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<(u64, u64), JoinError> {
-    let Some(h) = single_height_of(ctx, a)? else {
+    let Some(h) = ctx.phase("plan", || single_height_of(ctx, a))? else {
         return Ok((0, 0));
     };
-    let mut pairs = 0u64;
     // `Cell`: the A-key closure is `Fn` (shared by partitioning and build
     // passes) but must record a violation it encounters.
     let height_violation = std::cell::Cell::new(None::<u32>);
@@ -65,23 +66,27 @@ pub(crate) fn shcj_inner(
             None
         }
     };
-    // Build on the smaller side: the equijoin is symmetric, and the build
-    // side is what must fit in memory (or gets Grace-partitioned).
-    if a.records() <= d.records() {
-        hash_equijoin(ctx, a, d, a_key, d_key, |b, p| {
-            pairs += 1;
-            sink.emit(*b, *p);
-        })?;
-    } else {
-        hash_equijoin(ctx, d, a, d_key, a_key, |b, p| {
-            pairs += 1;
-            sink.emit(*p, *b);
-        })?;
-    }
-    if let Some(found) = height_violation.get() {
-        return Err(JoinError::NotSingleHeight { expected: h, found });
-    }
-    Ok((pairs, 0))
+    ctx.phase_counted("probe", || {
+        let mut pairs = 0u64;
+        // Build on the smaller side: the equijoin is symmetric, and the
+        // build side is what must fit in memory (or gets
+        // Grace-partitioned).
+        if a.records() <= d.records() {
+            hash_equijoin(ctx, a, d, a_key, d_key, |b, p| {
+                pairs += 1;
+                sink.emit(*b, *p);
+            })?;
+        } else {
+            hash_equijoin(ctx, d, a, d_key, a_key, |b, p| {
+                pairs += 1;
+                sink.emit(*p, *b);
+            })?;
+        }
+        if let Some(found) = height_violation.get() {
+            return Err(JoinError::NotSingleHeight { expected: h, found });
+        }
+        Ok((pairs, 0))
+    })
 }
 
 #[cfg(test)]

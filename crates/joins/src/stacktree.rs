@@ -1,4 +1,4 @@
-//! Stack-Tree-Desc (Al-Khalifa et al. [1]), adapted to PBiTree codes.
+//! Stack-Tree-Desc (Al-Khalifa et al. \[1\]), adapted to PBiTree codes.
 //!
 //! The optimal sort-merge structural join: both inputs in document order
 //! `(start asc, end desc)`, a stack of currently-open ancestors, output in
@@ -44,17 +44,21 @@ pub fn stack_tree_desc(
     policy: SortPolicy,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| {
-        let (sa, sd, owned) = match policy {
-            SortPolicy::AssumeSorted => (*a, *d, false),
-            SortPolicy::SortOnTheFly => (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true),
-        };
-        let pairs = merge_with_stack(ctx, &sa, &sd, sink)?;
+    ctx.measure_op("stack_tree_desc", || {
+        let (sa, sd, owned) = ctx.phase("sort", || match policy {
+            SortPolicy::AssumeSorted => Ok((*a, *d, false)),
+            SortPolicy::SortOnTheFly => {
+                Ok((sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true))
+            }
+        })?;
+        let pairs = ctx.phase_counted("merge", || {
+            merge_with_stack(ctx, &sa, &sd, sink).map(|p| (p, 0))
+        })?;
         if owned {
             sa.drop_file(&ctx.pool);
             sd.drop_file(&ctx.pool);
         }
-        Ok((pairs, 0))
+        Ok(pairs)
     })
 }
 
@@ -74,9 +78,7 @@ fn merge_with_stack(
     let mut pairs = 0u64;
 
     while let Some(d_el) = cur_d {
-        let take_a = cur_a.is_some_and(|a_el| a_el.doc_key() <= d_el.doc_key());
-        if take_a {
-            let a_el = cur_a.take().expect("checked above");
+        if let Some(a_el) = cur_a.filter(|a_el| a_el.doc_key() <= d_el.doc_key()) {
             while stack.last().is_some_and(|t| t.end() < a_el.start()) {
                 stack.pop();
             }
@@ -99,7 +101,7 @@ fn merge_with_stack(
 }
 
 /// Stack-Tree-Anc: same merge, but output grouped and ordered by
-/// **ancestor** document order — the variant [1] provides for pipelines
+/// **ancestor** document order — the variant \[1\] provides for pipelines
 /// whose next operator needs ancestor-sorted input.
 ///
 /// Pairs cannot be emitted the moment they are found (an open ancestor
@@ -116,17 +118,20 @@ pub fn stack_tree_anc(
     policy: SortPolicy,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    ctx.measure(|| {
-        let (sa, sd, owned) = match policy {
-            SortPolicy::AssumeSorted => (*a, *d, false),
-            SortPolicy::SortOnTheFly => (sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true),
-        };
-        let pairs = merge_anc(ctx, &sa, &sd, sink)?;
+    ctx.measure_op("stack_tree_anc", || {
+        let (sa, sd, owned) = ctx.phase("sort", || match policy {
+            SortPolicy::AssumeSorted => Ok((*a, *d, false)),
+            SortPolicy::SortOnTheFly => {
+                Ok((sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true))
+            }
+        })?;
+        let pairs =
+            ctx.phase_counted("merge", || merge_anc(ctx, &sa, &sd, sink).map(|p| (p, 0)))?;
         if owned {
             sa.drop_file(&ctx.pool);
             sd.drop_file(&ctx.pool);
         }
-        Ok((pairs, 0))
+        Ok(pairs)
     })
 }
 
@@ -153,9 +158,12 @@ fn merge_anc(
 
     // Pops the top entry, emitting (stack empty) or splicing into the new
     // top's inherit list (self first: the popped node sorts after its
-    // parent, and the parent's own pairs were placed before).
+    // parent, and the parent's own pairs were placed before). A pop on an
+    // empty stack is a no-op (callers guard on `last()`).
     fn pop(stack: &mut Vec<AncEntry>, sink: &mut dyn PairSink, pairs: &mut u64) {
-        let e = stack.pop().expect("pop on empty stack");
+        let Some(e) = stack.pop() else {
+            return;
+        };
         match stack.last_mut() {
             None => {
                 for (x, y) in e.self_list.into_iter().chain(e.inherit_list) {
@@ -171,9 +179,7 @@ fn merge_anc(
     }
 
     while let Some(d_el) = cur_d {
-        let take_a = cur_a.is_some_and(|a_el| a_el.doc_key() <= d_el.doc_key());
-        if take_a {
-            let a_el = cur_a.take().expect("checked above");
+        if let Some(a_el) = cur_a.filter(|a_el| a_el.doc_key() <= d_el.doc_key()) {
             while stack.last().is_some_and(|t| t.node.end() < a_el.start()) {
                 pop(&mut stack, sink, &mut pairs);
             }

@@ -203,7 +203,7 @@ pub fn vpj_with_report(
         return crate::parallel::vpj_parallel(ctx, a, d, sink);
     }
     let mut report = VpjReport::default();
-    let stats = ctx.measure(|| {
+    let stats = ctx.measure_op("vpj", || {
         let mut pairs = 0u64;
         let mut false_hits = 0u64;
         let window = (1u64, ctx.shape.node_count());
@@ -274,7 +274,8 @@ fn vpj_rec(
     mut defer: Option<&mut Vec<VpjTask>>,
 ) -> Result<(), JoinError> {
     let budget = ctx.budget().saturating_sub(RESERVE).max(1);
-    // Base case (a): one side already fits -> I/O-optimal memory join.
+    // Base case (a): one side already fits -> I/O-optimal memory join. Its
+    // own `load`/`probe` phases double as this operator's.
     if (a.file.pages() as usize) <= budget || (d.file.pages() as usize) <= budget {
         let (p, f) = crate::memjoin::mem_join_inner(ctx, &a.file, &d.file, sink)?;
         *pairs += p;
@@ -339,7 +340,8 @@ fn vpj_rec(
         // The subtree cannot be split further (or pathological recursion):
         // MHCJ+Rollup has no memory precondition.
         report.fallbacks += 1;
-        let (p, f) = rollup_fallback(ctx, &a.file, &d.file, sink)?;
+        let (p, f) =
+            ctx.phase_counted("fallback", || rollup_fallback(ctx, &a.file, &d.file, sink))?;
         *pairs += p;
         *false_hits += f;
         a.release(ctx);
@@ -352,8 +354,12 @@ fn vpj_rec(
     // the range, but computing it from the data is unnecessary: indices
     // outside the window simply never occur, so we map sparse indices via a
     // hash of written partitions instead of preallocating 2^l writers.
-    let parts_a = partition_pass(ctx, &a.file, l, window, PartitionRole::Ancestor, report)?;
-    let parts_d = partition_pass(ctx, &d.file, l, window, PartitionRole::Descendant, report)?;
+    let parts_a = ctx.phase("partition", || {
+        partition_pass(ctx, &a.file, l, window, PartitionRole::Ancestor, report)
+    })?;
+    let parts_d = ctx.phase("partition", || {
+        partition_pass(ctx, &d.file, l, window, PartitionRole::Descendant, report)
+    })?;
     a.release(ctx);
     d.release(ctx);
 
@@ -398,8 +404,23 @@ fn vpj_rec(
         if group.is_empty() {
             return Ok(());
         }
-        let ga: Vec<HeapFile<Element>> = group.iter().map(|i| parts_a[i]).collect();
-        let gd: Vec<HeapFile<Element>> = group.iter().map(|i| parts_d[i]).collect();
+        // Every group member came out of both partition maps (the purge
+        // kept only shared indices); a missing entry means the bookkeeping
+        // was corrupted, not a joinable state.
+        let lookup = |parts: &std::collections::BTreeMap<u64, HeapFile<Element>>|
+         -> Result<Vec<HeapFile<Element>>, JoinError> {
+            group
+                .iter()
+                .map(|i| {
+                    parts
+                        .get(i)
+                        .copied()
+                        .ok_or_else(|| JoinError::corrupt("group member missing from partition map"))
+                })
+                .collect()
+        };
+        let ga: Vec<HeapFile<Element>> = lookup(&parts_a)?;
+        let gd: Vec<HeapFile<Element>> = lookup(&parts_d)?;
         let fits = (*sum_a as usize) <= ctx.budget().saturating_sub(RESERVE).max(1)
             || (*sum_d as usize) <= ctx.budget().saturating_sub(RESERVE).max(1);
         if let Some(tasks) = defer.as_mut() {
@@ -435,7 +456,8 @@ fn vpj_rec(
         }
         if fits {
             report.groups += 1;
-            let (p, f) = join_group(ctx, l, group, &ga, &gd, sink)?;
+            let (p, f) =
+                ctx.phase_counted("probe", || join_group(ctx, l, group, &ga, &gd, sink))?;
             *pairs += p;
             *false_hits += f;
             for f in ga.into_iter().chain(gd) {
@@ -479,8 +501,10 @@ fn vpj_rec(
     };
 
     for idx in indices {
-        let pa = parts_a[&idx].pages();
-        let pd = parts_d[&idx].pages();
+        let (pa, pd) = match (parts_a.get(&idx), parts_d.get(&idx)) {
+            (Some(fa), Some(fd)) => (fa.pages(), fd.pages()),
+            _ => return Err(JoinError::corrupt("purged index survived into merge loop")),
+        };
         let fits_alone = (pa as usize) <= budget || (pd as usize) <= budget;
         let fits_merged = !group.is_empty()
             && ((sum_a + pa) as usize <= budget || (sum_d + pd) as usize <= budget);
@@ -535,9 +559,13 @@ fn partition_pass(
         let (lo, hi) = partition_range(e.code, h, l);
         // Clip spanning nodes to this subtree's index window: replicas
         // outside it would pair only with descendants that live in sibling
-        // subtrees, which the parent level already handles.
+        // subtrees, which the parent level already handles. A recursion
+        // only ever sees elements inside its own subtree, so an empty
+        // clipped range means the file changed under us.
         let (lo, hi) = (lo.max(wlo), hi.min(whi));
-        debug_assert!(lo <= hi, "element outside its subtree window");
+        if lo > hi {
+            return Err(JoinError::corrupt("element outside its subtree window"));
+        }
         let targets: std::ops::RangeInclusive<u64> = match role {
             PartitionRole::Ancestor => lo..=hi,
             PartitionRole::Descendant => lo..=lo,

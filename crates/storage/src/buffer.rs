@@ -69,13 +69,24 @@ pub enum PoolError {
     /// transient-retry budget was exhausted, if the fault was transient).
     /// Carries the failing [`PageId`] via [`IoError::pid`].
     Io(IoError),
+    /// A page transferred fine but its contents fail a structural check
+    /// (record count beyond page capacity, a record rejected by
+    /// [`crate::record::FixedRecord::validate`]). The device is healthy;
+    /// the *data* is not.
+    Corrupt {
+        /// The page whose contents failed validation.
+        pid: PageId,
+        /// What the check found.
+        reason: &'static str,
+    },
 }
 
 impl PoolError {
-    /// The page a device fault occurred on, if this is an I/O error.
+    /// The page a device fault or corruption was detected on, if any.
     pub fn failing_page(&self) -> Option<PageId> {
         match self {
             PoolError::Io(e) => Some(e.pid),
+            PoolError::Corrupt { pid, .. } => Some(*pid),
             PoolError::NoFreeFrames { .. } => None,
         }
     }
@@ -88,6 +99,9 @@ impl fmt::Display for PoolError {
                 write!(f, "all {capacity} buffer frames are pinned")
             }
             PoolError::Io(e) => write!(f, "page I/O failed: {e}"),
+            PoolError::Corrupt { pid, reason } => {
+                write!(f, "corrupt page {pid}: {reason}")
+            }
         }
     }
 }
@@ -96,7 +110,7 @@ impl std::error::Error for PoolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PoolError::Io(e) => Some(e),
-            PoolError::NoFreeFrames { .. } => None,
+            PoolError::NoFreeFrames { .. } | PoolError::Corrupt { .. } => None,
         }
     }
 }
@@ -115,6 +129,45 @@ pub struct PoolStats {
     pub hits: u64,
     /// Requests that had to read from disk (or claim a fresh frame).
     pub misses: u64,
+}
+
+impl PoolStats {
+    /// Pages requested through the pool (hits + misses).
+    #[inline]
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Counter-wise difference `self - earlier`; panics on underflow, which
+    /// would indicate mismatched snapshots.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// One instant's view of both counter families the pool exposes — disk
+/// transfers ([`IoStats`]) and pool hits/misses ([`PoolStats`]) — taken
+/// together so phase instrumentation can diff a single value instead of
+/// pairing up two snapshots by hand.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Disk transfer counters at the snapshot instant.
+    pub io: IoStats,
+    /// Pool hit/miss counters at the snapshot instant.
+    pub pool: PoolStats,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier`; panics on underflow.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            io: self.io.since(&earlier.io),
+            pool: self.pool.since(&earlier.pool),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -278,6 +331,15 @@ impl BufferPool {
     /// safe to call while workers are running.
     pub fn io_stats(&self) -> IoStats {
         self.io.snapshot()
+    }
+
+    /// Both counter families in one call, for span instrumentation that
+    /// diffs before/after a phase. Lock-free like its two halves.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            io: self.io_stats(),
+            pool: self.pool_stats(),
+        }
     }
 
     /// Creates a new file on the underlying disk.

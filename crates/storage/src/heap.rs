@@ -277,12 +277,22 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
     }
 
     /// Returns the next record, or `None` at end of file.
+    ///
+    /// Page contents are validated as they stream by — a header record
+    /// count beyond page capacity or a record [`FixedRecord::validate`]
+    /// rejects surfaces as [`PoolError::Corrupt`] naming the page, instead
+    /// of a slice panic or silently decoded garbage.
     pub fn next_record(&mut self) -> Result<Option<R>, PoolError> {
         loop {
             if let Some(page) = &self.cur {
                 if self.idx < self.in_page {
                     let off = HEADER + self.idx * R::SIZE;
-                    let r = R::read(&page[off..off + R::SIZE]);
+                    let bytes = &page[off..off + R::SIZE];
+                    R::validate(bytes).map_err(|reason| PoolError::Corrupt {
+                        pid: PageId::new(self.file, self.next_page - 1),
+                        reason,
+                    })?;
+                    let r = R::read(bytes);
                     self.idx += 1;
                     return Ok(Some(r));
                 }
@@ -291,11 +301,17 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
             if self.next_page == self.pages {
                 return Ok(None);
             }
-            let page = self
-                .pool
-                .read_page(PageId::new(self.file, self.next_page))?;
+            let pid = PageId::new(self.file, self.next_page);
+            let page = self.pool.read_page(pid)?;
             self.next_page += 1;
-            self.in_page = u32::from_le_bytes(page[..HEADER].try_into().unwrap()) as usize;
+            let in_page = u32::from_le_bytes(page[..HEADER].try_into().unwrap()) as usize;
+            if in_page > records_per_page::<R>() {
+                return Err(PoolError::Corrupt {
+                    pid,
+                    reason: "page header record count exceeds page capacity",
+                });
+            }
+            self.in_page = in_page;
             self.idx = self.skip_on_load;
             self.skip_on_load = 0;
             self.cur = Some(page);
@@ -421,6 +437,75 @@ mod tests {
         // START equals a plain scan.
         let mut s5 = hf.scan_at(&p, ScanPos::START);
         assert_eq!(s5.next_record().unwrap(), Some(0));
+    }
+
+    #[test]
+    fn corrupt_header_count_surfaces_as_error() {
+        let p = pool(4);
+        let hf = HeapFile::from_iter(&p, 0..1000u64).unwrap();
+        let pid = PageId::new(hf.file_id(), 1);
+        {
+            let mut page = p.write_page(pid).unwrap();
+            // A count beyond page capacity would index past the page.
+            page[..HEADER].copy_from_slice(&u32::MAX.to_le_bytes());
+        }
+        let mut s = hf.scan(&p);
+        let err = loop {
+            match s.next_record() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("corruption not detected"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.failing_page(), Some(pid));
+        assert!(matches!(err, PoolError::Corrupt { .. }));
+    }
+
+    /// A record type that rejects a zero payload, exercising
+    /// [`FixedRecord::validate`].
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct NonZero(u64);
+
+    impl FixedRecord for NonZero {
+        const SIZE: usize = 8;
+        fn write(&self, out: &mut [u8]) {
+            self.0.write(out);
+        }
+        fn read(buf: &[u8]) -> Self {
+            NonZero(u64::read(buf))
+        }
+        fn validate(buf: &[u8]) -> Result<(), &'static str> {
+            if u64::read(buf) == 0 {
+                Err("zero payload")
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_record_surfaces_as_error() {
+        let p = pool(4);
+        let hf = HeapFile::from_iter(&p, (1..=1000u64).map(NonZero)).unwrap();
+        let pid = PageId::new(hf.file_id(), 0);
+        {
+            let mut page = p.write_page(pid).unwrap();
+            // Zero one record in the middle of page 0.
+            let off = HEADER + 5 * 8;
+            page[off..off + 8].fill(0);
+        }
+        let mut s = hf.scan(&p);
+        for _ in 0..5 {
+            s.next_record().unwrap().unwrap();
+        }
+        let err = s.next_record().unwrap_err();
+        assert_eq!(
+            err,
+            PoolError::Corrupt {
+                pid,
+                reason: "zero payload"
+            }
+        );
     }
 
     #[test]

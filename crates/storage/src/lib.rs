@@ -38,7 +38,7 @@ pub mod sort;
 pub mod stats;
 pub mod util;
 
-pub use buffer::{BufferPool, PageMut, PageRef, PoolError, PoolStats, SHARD_COUNT};
+pub use buffer::{BufferPool, PageMut, PageRef, PoolError, PoolStats, StatsSnapshot, SHARD_COUNT};
 pub use disk::{Disk, DiskBackend, FileBackend, IoError, IoErrorKind, MemBackend};
 pub use fault::{FaultBackend, FaultConfig, FaultHandle};
 pub use heap::{records_per_page, HeapFile, HeapScan, HeapWriter, ScanPos};

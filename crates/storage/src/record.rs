@@ -29,6 +29,17 @@ pub trait FixedRecord: Copy {
     fn bounds_hint(&self) -> Option<(u64, u64)> {
         None
     }
+
+    /// Checks the raw serialized bytes of one record *before* decoding.
+    /// `buf` is exactly `SIZE` bytes. Returning `Err` makes
+    /// [`crate::heap::HeapScan`] surface the page as
+    /// [`crate::buffer::PoolError::Corrupt`] instead of decoding garbage.
+    /// The default accepts any bytes — appropriate for types like the
+    /// primitive integers, for which every bit pattern is a value.
+    #[inline]
+    fn validate(_buf: &[u8]) -> Result<(), &'static str> {
+        Ok(())
+    }
 }
 
 impl FixedRecord for u64 {

@@ -1,6 +1,6 @@
 //! Descendant-axis path queries and their join decomposition.
 //!
-//! The paper (after [12], Li & Moon) decomposes structural XML queries into
+//! The paper (after \[12\], Li & Moon) decomposes structural XML queries into
 //! chains of containment joins: `//a//b//c` is `(A ⊲ B) ⊲ C`, where each
 //! step's element set comes from tag extraction (optionally with a value
 //! predicate, as in `//Section[Title="Introduction"]//Figure`). This module

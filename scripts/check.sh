@@ -12,6 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release (workspace, all targets)"
 cargo build --release --workspace --all-targets
 
+echo "== cargo doc (no deps, warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo test (workspace)"
 cargo test --workspace -q
 
@@ -20,5 +23,12 @@ cargo test -q --test fault_sweep -- --nocapture
 RAND_SEED=$((RANDOM * 32768 + RANDOM))
 echo "randomized FAULT_SWEEP_SEED=$RAND_SEED (re-run with this env var to reproduce)"
 FAULT_SWEEP_SEED=$RAND_SEED cargo test -q --test fault_sweep fault_sweep_probabilistic_seed -- --nocapture
+
+echo "== trace smoke (--trace writes schema-v1 JSONL)"
+TRACE=$(mktemp /tmp/pbitree-trace-XXXX.jsonl)
+cargo run --release -q -p pbitree-bench --bin fig6 -- --panel s --fast \
+    --results /tmp/results --trace "$TRACE"
+head -1 "$TRACE" | grep -q '"v":1' || { echo "trace smoke failed: bad first line"; exit 1; }
+rm -f "$TRACE"
 
 echo "OK"
