@@ -39,9 +39,17 @@ fn bench_all_algorithms() {
         let w = synthetic_by_name(name, SCALE).unwrap();
         let runners: Vec<(&str, JoinFn)> = vec![
             ("MHCJ+Rollup", |c, a, d, s| {
-                pbitree_joins::rollup::mhcj_rollup(c, a, d, s)
+                pbitree_joins::rollup::mhcj_rollup(
+                    c,
+                    a,
+                    d,
+                    pbitree_joins::rollup::RollupOptions::default(),
+                    s,
+                )
             }),
-            ("VPJ", |c, a, d, s| pbitree_joins::vpj::vpj(c, a, d, s)),
+            ("VPJ", |c, a, d, s| {
+                pbitree_joins::vpj::vpj(c, a, d, s).map(|(st, _)| st)
+            }),
             ("STACKTREE", |c, a, d, s| {
                 pbitree_joins::stacktree::stack_tree_desc(c, a, d, SortPolicy::SortOnTheFly, s)
             }),
@@ -75,9 +83,15 @@ fn bench_rollup_anchors() {
         bench(&format!("k={k}"), None, || {
             ctx.pool.evict_all().unwrap();
             let mut sink = CountSink::default();
-            pbitree_joins::rollup::mhcj_rollup_with(&ctx, &af, &df, k, &mut sink)
-                .unwrap()
-                .pairs
+            pbitree_joins::rollup::mhcj_rollup(
+                &ctx,
+                &af,
+                &df,
+                pbitree_joins::rollup::RollupOptions::partitions(k),
+                &mut sink,
+            )
+            .unwrap()
+            .pairs
         });
     }
 }
@@ -126,7 +140,7 @@ fn bench_parallel_speedup() {
             pbitree_joins::mhcj::mhcj(c, a, d, s)
         }),
         ("VPJ", "SLLL", 0.25, 512, |c, a, d, s| {
-            pbitree_joins::vpj::vpj(c, a, d, s)
+            pbitree_joins::vpj::vpj(c, a, d, s).map(|(st, _)| st)
         }),
     ];
     for (rname, wname, scale, budget, f) in runners {

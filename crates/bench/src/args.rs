@@ -5,6 +5,13 @@
 //! the binaries call [`CommonArgs::parse`], which wraps that policy.
 
 use crate::harness::ExpConfig;
+use pbitree_storage::ScanOptions;
+
+/// Maps a `--readahead` depth to [`ScanOptions`]: `0` (or `1`) declares
+/// plain sequential access with no prefetch and per-page writes.
+pub fn io_options(readahead: usize) -> ScanOptions {
+    ScanOptions::sequential(readahead.max(1))
+}
 
 /// Options common to every experiment binary.
 #[derive(Debug, Clone)]
@@ -23,6 +30,9 @@ pub struct CommonArgs {
     pub results_dir: std::path::PathBuf,
     /// Write a JSONL span trace of every measured run to this file.
     pub trace: Option<std::path::PathBuf>,
+    /// Read-ahead depth for sequential scans (0 disables prefetch and
+    /// write batching; default 8, the storage layer's I/O depth).
+    pub readahead: usize,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -37,6 +47,7 @@ impl Default for CommonArgs {
             threads: 1,
             results_dir: "results".into(),
             trace: None,
+            readahead: pbitree_storage::DEFAULT_IO_DEPTH,
             help: false,
         }
     }
@@ -47,7 +58,7 @@ impl CommonArgs {
     pub fn usage(select_flag: &str) -> String {
         format!(
             "options: {select_flag} <sel> --scale <f> --sf <f> --buffer <pages> \
-             --threads <n> --results <dir> --trace <file> --fast"
+             --threads <n> --readahead <depth> --results <dir> --trace <file> --fast"
         )
     }
 
@@ -83,6 +94,11 @@ impl CommonArgs {
                     args.threads = take("--threads")?
                         .parse()
                         .map_err(|_| "--threads needs an integer value".to_string())?
+                }
+                "--readahead" => {
+                    args.readahead = take("--readahead")?
+                        .parse()
+                        .map_err(|_| "--readahead needs an integer value".to_string())?
                 }
                 "--results" => args.results_dir = take("--results")?.into(),
                 "--trace" => args.trace = Some(take("--trace")?.into()),
@@ -120,6 +136,7 @@ impl CommonArgs {
         ExpConfig {
             buffer_pages: self.buffer,
             threads: self.threads,
+            io: io_options(self.readahead),
             ..ExpConfig::default()
         }
     }
@@ -190,6 +207,15 @@ mod tests {
     fn non_numeric_value_is_an_error() {
         let e = CommonArgs::try_parse("--part", strs(&["--buffer", "lots"])).unwrap_err();
         assert!(e.contains("--buffer"), "{e}");
+    }
+
+    #[test]
+    fn readahead_flag_maps_to_io_options() {
+        let a = CommonArgs::try_parse("--part", strs(&["--readahead", "0"])).unwrap();
+        assert_eq!(a.readahead, 0);
+        assert_eq!(a.config().io.depth(), 1, "0 disables prefetch");
+        let b = CommonArgs::try_parse("--part", strs(&["--readahead", "16"])).unwrap();
+        assert_eq!(b.config().io.depth(), 16);
     }
 
     #[test]

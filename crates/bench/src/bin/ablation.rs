@@ -13,24 +13,27 @@
 //! cargo run -p pbitree-bench --release --bin ablation -- --study rollup
 //! ```
 
-use pbitree_bench::args::CommonArgs;
+use pbitree_bench::args::{io_options, CommonArgs};
+use pbitree_bench::harness::{run_algo, Algo, ExpConfig};
 use pbitree_bench::report::{fmt_secs, Table};
 use pbitree_bench::workloads::{synthetic_by_name, synthetic_multi};
 use pbitree_joins::element::element_file;
+use pbitree_joins::rollup::RollupOptions;
 use pbitree_joins::{CountSink, JoinCtx};
 use pbitree_storage::{BufferPool, Disk, MemBackend};
 
-fn make_ctx(w: &pbitree_bench::Workload, buffer: usize) -> JoinCtx {
+fn make_ctx(w: &pbitree_bench::Workload, args: &CommonArgs) -> JoinCtx {
     let mut ctx = JoinCtx::new(
         BufferPool::new(
             Disk::new(
                 Box::new(MemBackend::new()),
                 pbitree_storage::CostModel::default(),
             ),
-            buffer,
+            args.buffer,
         ),
         w.shape,
-    );
+    )
+    .with_io(io_options(args.readahead));
     if let Some(t) = pbitree_bench::harness::tracer() {
         ctx = ctx.with_tracer(t);
     }
@@ -51,13 +54,19 @@ fn rollup_study(args: &CommonArgs) {
     );
     for w in synthetic_multi(args.scale) {
         for k in [1usize, 2, 3, 5, 9] {
-            let ctx = make_ctx(&w, args.buffer);
+            let ctx = make_ctx(&w, args);
             let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
             let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
             ctx.pool.evict_all().unwrap();
             let mut sink = CountSink::default();
-            let stats =
-                pbitree_joins::rollup::mhcj_rollup_with(&ctx, &af, &df, k, &mut sink).unwrap();
+            let stats = pbitree_joins::rollup::mhcj_rollup(
+                &ctx,
+                &af,
+                &df,
+                RollupOptions::partitions(k),
+                &mut sink,
+            )
+            .unwrap();
             t.row(vec![
                 w.name.clone(),
                 k.to_string(),
@@ -101,7 +110,9 @@ fn memjoin_study(args: &CommonArgs) {
         ),
     ];
     for (name, f) in strategies {
-        let ctx = make_ctx(&w, args.buffer.max(64));
+        let mut args_b = args.clone();
+        args_b.buffer = args.buffer.max(64);
+        let ctx = make_ctx(&w, &args_b);
         let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
         let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
         ctx.pool.evict_all().unwrap();
@@ -143,7 +154,9 @@ fn shcj_study(args: &CommonArgs) {
         }
         .max(8);
         let _ = take_a;
-        let ctx = make_ctx(&base, buffer);
+        let mut args_b = args.clone();
+        args_b.buffer = buffer;
+        let ctx = make_ctx(&base, &args_b);
         let af = element_file(&ctx.pool, a.iter().copied()).unwrap();
         let df = element_file(&ctx.pool, base.d.iter().copied()).unwrap();
         ctx.pool.evict_all().unwrap();
@@ -178,13 +191,12 @@ fn vpj_study(args: &CommonArgs) {
         let Some(w) = synthetic_by_name(name, args.scale) else {
             continue;
         };
-        let ctx = make_ctx(&w, args.buffer);
+        let ctx = make_ctx(&w, args);
         let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
         let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
         ctx.pool.evict_all().unwrap();
         let mut sink = CountSink::default();
-        let (stats, report) =
-            pbitree_joins::vpj::vpj_with_report(&ctx, &af, &df, &mut sink).unwrap();
+        let (stats, report) = pbitree_joins::vpj::vpj(&ctx, &af, &df, &mut sink).unwrap();
         t.row(vec![
             w.name.clone(),
             report.partitions.to_string(),
@@ -197,6 +209,65 @@ fn vpj_study(args: &CommonArgs) {
         ]);
     }
     t.emit(&args.results_dir, "ablation_vpj");
+}
+
+/// The vectored-I/O ablation panel: prefetch off (depth 1) against a
+/// sweep of read-ahead depths on scan-heavy workloads. Result counts must
+/// be identical — read-ahead is a pure I/O-schedule change — while the
+/// simulated disk time drops as seeks amortize into sequential transfers.
+fn io_study(args: &CommonArgs) {
+    let mut t = Table::new(
+        "Ablation: vectored I/O (read-ahead depth vs simulated disk time)",
+        &[
+            "dataset",
+            "algo",
+            "readahead",
+            "pairs",
+            "sim_disk(s)",
+            "seq_reads",
+            "rand_reads",
+            "seq_writes",
+            "rand_writes",
+        ],
+    );
+    for name in ["SLLL", "MLLL"] {
+        let Some(w) = synthetic_by_name(name, args.scale) else {
+            continue;
+        };
+        for algo in [Algo::StackTree, Algo::MhcjRollup] {
+            let mut base_pairs: Option<u64> = None;
+            for depth in [1usize, 2, 4, 8, 16] {
+                let cfg = ExpConfig {
+                    buffer_pages: args.buffer,
+                    threads: args.threads,
+                    io: io_options(depth),
+                    ..ExpConfig::default()
+                };
+                let m = run_algo(w.shape, &w.a, &w.d, &cfg, algo);
+                match base_pairs {
+                    None => base_pairs = Some(m.stats.pairs),
+                    Some(p) => assert_eq!(
+                        p,
+                        m.stats.pairs,
+                        "{name}/{}: read-ahead depth {depth} changed the result",
+                        algo.name()
+                    ),
+                }
+                t.row(vec![
+                    w.name.clone(),
+                    algo.name().into(),
+                    depth.to_string(),
+                    m.stats.pairs.to_string(),
+                    fmt_secs(m.stats.io.sim_secs()),
+                    m.stats.io.seq_reads.to_string(),
+                    m.stats.io.rand_reads.to_string(),
+                    m.stats.io.seq_writes.to_string(),
+                    m.stats.io.rand_writes.to_string(),
+                ]);
+            }
+        }
+    }
+    t.emit(&args.results_dir, "ablation_io");
 }
 
 fn main() {
@@ -213,6 +284,9 @@ fn main() {
     }
     if args.selected("vpj") {
         vpj_study(&args);
+    }
+    if args.selected("io") {
+        io_study(&args);
     }
     pbitree_bench::harness::finish_trace(&args.trace);
 }

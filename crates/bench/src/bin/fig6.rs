@@ -125,7 +125,7 @@ fn speedup_panel(args: &CommonArgs) {
             pbitree_joins::mhcj::mhcj(c, a, d, s)
         }),
         ("VPJ", "SLLL", 512, |c, a, d, s| {
-            pbitree_joins::vpj::vpj(c, a, d, s)
+            pbitree_joins::vpj::vpj(c, a, d, s).map(|(st, _)| st)
         }),
     ];
     for (rname, wname, budget, f) in runners {

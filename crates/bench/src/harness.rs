@@ -96,6 +96,9 @@ pub struct ExpConfig {
     /// Worker threads for the partition joins (1 = sequential, the
     /// paper's setting; MHCJ/VPJ fan partitions out above that).
     pub threads: usize,
+    /// Declared access pattern for operator scans — `sequential(1)`
+    /// disables read-ahead and write batching (the ablation baseline).
+    pub io: pbitree_storage::ScanOptions,
 }
 
 impl Default for ExpConfig {
@@ -104,6 +107,7 @@ impl Default for ExpConfig {
             buffer_pages: 500,
             cost: CostModel::default(),
             threads: 1,
+            io: pbitree_storage::ScanOptions::default(),
         }
     }
 }
@@ -140,7 +144,8 @@ pub fn run_algo(
         ),
         shape,
     )
-    .with_threads(cfg.threads);
+    .with_threads(cfg.threads)
+    .with_io(cfg.io);
     if let Some(t) = tracer() {
         ctx = ctx.with_tracer(t);
     }
@@ -162,8 +167,14 @@ pub fn run_algo(
         }
         Algo::Shcj => pbitree_joins::shcj::shcj(&ctx, &af, &df, &mut sink),
         Algo::Mhcj => pbitree_joins::mhcj::mhcj(&ctx, &af, &df, &mut sink),
-        Algo::MhcjRollup => pbitree_joins::rollup::mhcj_rollup(&ctx, &af, &df, &mut sink),
-        Algo::Vpj => pbitree_joins::vpj::vpj(&ctx, &af, &df, &mut sink),
+        Algo::MhcjRollup => pbitree_joins::rollup::mhcj_rollup(
+            &ctx,
+            &af,
+            &df,
+            pbitree_joins::rollup::RollupOptions::default(),
+            &mut sink,
+        ),
+        Algo::Vpj => pbitree_joins::vpj::vpj(&ctx, &af, &df, &mut sink).map(|(s, _)| s),
     }
     .expect("join run failed");
     debug_assert_eq!(stats.pairs, sink.count);
@@ -215,7 +226,7 @@ mod tests {
         let cfg = ExpConfig {
             buffer_pages: 16,
             cost: pbitree_storage::CostModel::free(),
-            threads: 1,
+            ..ExpConfig::default()
         };
         let algos = [
             Algo::InlJn,

@@ -18,7 +18,7 @@
 
 use std::marker::PhantomData;
 
-use pbitree_storage::{BufferPool, FileId, FixedRecord, PageId, PoolError, PAGE_SIZE};
+use pbitree_storage::{BufferPool, FileId, FixedRecord, PageId, PoolError, ScanOptions, PAGE_SIZE};
 
 const HDR: usize = 8;
 const KIND_LEAF: u8 = 0;
@@ -102,26 +102,66 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
     where
         I: IntoIterator<Item = Result<(K, V), PoolError>>,
     {
+        Self::bulk_load_fallible_with(pool, entries, ScanOptions::default())
+    }
+
+    /// [`bulk_load_fallible`](Self::bulk_load_fallible) with explicit
+    /// [`ScanOptions`]: node images are staged in loader-private memory and
+    /// appended with one vectored write-through per `opts.as_write()` batch
+    /// (one head movement per batch instead of per page).
+    pub fn bulk_load_fallible_with<I>(
+        pool: &BufferPool,
+        entries: I,
+        opts: ScanOptions,
+    ) -> Result<Self, PoolError>
+    where
+        I: IntoIterator<Item = Result<(K, V), PoolError>>,
+    {
         let file = pool.create_file();
         let lcap = leaf_capacity::<K, V>();
+        let batch_cap = opts.as_write().depth().max(1);
         // Build the leaf level. Leaves are written *through* the pool
-        // (sequential bulk output, no frame pollution); since bulk-loaded
-        // leaves occupy consecutive page numbers, each leaf is held back
-        // until its successor exists so the `next_leaf` pointer can be set
-        // without re-reading the page.
+        // (sequential bulk output, no frame pollution). Bulk-loaded pages
+        // occupy consecutive page numbers assigned at append time, so a
+        // completed leaf's `next_leaf` pointer is its own (predicted)
+        // page number plus one; each leaf is held back until its successor
+        // exists so the chain never points past the file.
         let mut level: Vec<(K, u32)> = Vec::new(); // (first key, page)
         let mut len = 0u64;
         let mut pending: Vec<(K, V)> = Vec::with_capacity(lcap);
-        let mut held: Option<(K, Box<crate::page_image::PageImage>, usize)> = None;
+        let mut held: Option<(K, Box<crate::page_image::PageImage>)> = None;
+        // Completed images awaiting one vectored append; their level
+        // entries are pushed at flush time from the returned start page.
+        let mut ready: Vec<(K, Box<crate::page_image::PageImage>)> = Vec::new();
         let mut next_pno = 0u32;
         let mut first_key: Option<K> = None;
         let mut prev_key: Option<K> = None;
+
+        let flush_ready = |pool: &BufferPool,
+                           ready: &mut Vec<(K, Box<crate::page_image::PageImage>)>,
+                           level: &mut Vec<(K, u32)>,
+                           next_pno: &u32|
+         -> Result<(), PoolError> {
+            if ready.is_empty() {
+                return Ok(());
+            }
+            let bufs: Vec<&pbitree_storage::PageBuf> =
+                ready.iter().map(|(_, img)| img.buf()).collect();
+            let start = pool.append_pages_through(file, &bufs)?;
+            debug_assert_eq!(start, *next_pno - ready.len() as u32);
+            for (i, (fk, _)) in ready.iter().enumerate() {
+                level.push((*fk, start + i as u32));
+            }
+            ready.clear();
+            Ok(())
+        };
 
         let flush_leaf = |pool: &BufferPool,
                           pending: &mut Vec<(K, V)>,
                           first_key: &mut Option<K>,
                           level: &mut Vec<(K, u32)>,
-                          held: &mut Option<(K, Box<crate::page_image::PageImage>, usize)>,
+                          held: &mut Option<(K, Box<crate::page_image::PageImage>)>,
+                          ready: &mut Vec<(K, Box<crate::page_image::PageImage>)>,
                           next_pno: &mut u32|
          -> Result<(), PoolError> {
             if pending.is_empty() {
@@ -135,16 +175,17 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
                 k.write(&mut img.bytes_mut()[off..off + K::SIZE]);
                 v.write(&mut img.bytes_mut()[off + K::SIZE..off + K::SIZE + V::SIZE]);
             }
-            // The previously held leaf gets its next pointer and is written.
-            if let Some((fk, mut prev_img, entries)) = held.take() {
+            // The previously held leaf gets its next pointer and joins the
+            // append batch at its predicted page number.
+            if let Some((fk, mut prev_img)) = held.take() {
                 put_u32(prev_img.bytes_mut(), 4, *next_pno + 1);
-                let pno = pool.append_page_through(file, prev_img.buf())?;
-                debug_assert_eq!(pno, *next_pno);
-                level.push((fk, pno));
+                ready.push((fk, prev_img));
                 *next_pno += 1;
-                let _ = entries;
+                if ready.len() >= batch_cap {
+                    flush_ready(pool, ready, level, next_pno)?;
+                }
             }
-            *held = Some((first_key.take().expect("first key set"), img, pending.len()));
+            *held = Some((first_key.take().expect("first key set"), img));
             pending.clear();
             Ok(())
         };
@@ -167,6 +208,7 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
                     &mut first_key,
                     &mut level,
                     &mut held,
+                    &mut ready,
                     &mut next_pno,
                 )?;
             }
@@ -177,13 +219,15 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
             &mut first_key,
             &mut level,
             &mut held,
+            &mut ready,
             &mut next_pno,
         )?;
-        // The last leaf ends the chain.
-        if let Some((fk, img, _)) = held.take() {
-            let pno = pool.append_page_through(file, img.buf())?;
-            level.push((fk, pno));
+        // The last leaf ends the chain; it joins the final batch.
+        if let Some((fk, img)) = held.take() {
+            ready.push((fk, img));
+            next_pno += 1;
         }
+        flush_ready(pool, &mut ready, &mut level, &next_pno)?;
 
         if level.is_empty() {
             // Empty input: fall back to an empty root leaf.
@@ -199,7 +243,8 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
             });
         }
 
-        // Build internal levels until a single root remains.
+        // Build internal levels until a single root remains, batching node
+        // appends the same way.
         let icap = internal_capacity::<K>();
         let mut height = 1;
         while level.len() > 1 {
@@ -216,9 +261,13 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
                     k.write(&mut img.bytes_mut()[off..off + K::SIZE]);
                     put_u32(img.bytes_mut(), off + K::SIZE, *child);
                 }
-                let pno = pool.append_page_through(file, img.buf())?;
-                next.push((group[0].0, pno));
+                ready.push((group[0].0, img));
+                next_pno += 1;
+                if ready.len() >= batch_cap {
+                    flush_ready(pool, &mut ready, &mut next, &next_pno)?;
+                }
             }
+            flush_ready(pool, &mut ready, &mut next, &next_pno)?;
             level = next;
         }
         let root = level[0].1;

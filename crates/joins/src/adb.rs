@@ -84,17 +84,19 @@ pub fn anc_des_bplus(
             }
         })?;
         let (a_tree, d_tree) = ctx.phase("build", || {
-            let a_tree = BPlusTree::bulk_load_fallible(
+            let a_tree = BPlusTree::bulk_load_fallible_with(
                 &ctx.pool,
-                sa.scan(&ctx.pool)
+                sa.scan_with(&ctx.pool, ctx.read_opts())
                     .results()
                     .map(|r| r.map(|e| (e.doc_key(), e.tag))),
+                ctx.write_opts(1),
             )?;
-            let d_tree = BPlusTree::bulk_load_fallible(
+            let d_tree = BPlusTree::bulk_load_fallible_with(
                 &ctx.pool,
-                sd.scan(&ctx.pool)
+                sd.scan_with(&ctx.pool, ctx.read_opts())
                     .results()
                     .map(|r| r.map(|e| (e.doc_key(), e.tag))),
+                ctx.write_opts(1),
             )?;
             Ok((a_tree, d_tree))
         })?;

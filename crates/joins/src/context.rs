@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use pbitree_core::PBiTreeShape;
-use pbitree_storage::{records_per_page, BufferPool, IoStats, PoolError, PoolStats};
+use pbitree_storage::{records_per_page, BufferPool, IoStats, PoolError, PoolStats, ScanOptions};
 
 use crate::element::Element;
 use crate::trace::Tracer;
@@ -210,6 +210,10 @@ pub struct JoinCtx {
     /// Span collector, when phase tracing is enabled. `None` (the
     /// default) keeps instrumentation at a single branch per site.
     tracer: Option<Arc<Tracer>>,
+    /// Declared I/O access options: the read-ahead / write-batch depth
+    /// operators thread into every scan and writer they open. Defaults to
+    /// sequential access at [`pbitree_storage::DEFAULT_IO_DEPTH`].
+    io_opts: ScanOptions,
 }
 
 impl JoinCtx {
@@ -223,6 +227,7 @@ impl JoinCtx {
             threads: 1,
             budget,
             tracer: None,
+            io_opts: ScanOptions::default(),
         }
     }
 
@@ -267,6 +272,31 @@ impl JoinCtx {
         self
     }
 
+    /// Sets the declared I/O access options — `ScanOptions::sequential(1)`
+    /// disables read-ahead and write batching entirely (the pre-vectored
+    /// behavior the fault-sweep baselines and ablation controls pin down).
+    pub fn with_io(mut self, opts: ScanOptions) -> Self {
+        self.io_opts = opts;
+        self
+    }
+
+    /// The context's declared I/O options, clamped to its frame budget:
+    /// what operators pass to the scans they open. Carved worker contexts
+    /// clamp against their own (smaller) budget, so per-worker read-ahead
+    /// never outgrows the worker's share of the pool.
+    #[inline]
+    pub fn read_opts(&self) -> ScanOptions {
+        self.io_opts.clamped(self.budget)
+    }
+
+    /// Write-side options for `streams` concurrent output writers (e.g. a
+    /// partition fan-out): the budget-clamped depth, split across the
+    /// streams, as a write-once pattern.
+    #[inline]
+    pub fn write_opts(&self, streams: usize) -> ScanOptions {
+        self.read_opts().shared(streams).as_write()
+    }
+
     /// The attached tracer, if phase tracing is enabled.
     #[inline]
     pub fn tracer(&self) -> Option<&Arc<Tracer>> {
@@ -283,6 +313,7 @@ impl JoinCtx {
             threads: 1,
             budget: budget.max(3),
             tracer: self.tracer.clone(),
+            io_opts: self.io_opts,
         }
     }
 

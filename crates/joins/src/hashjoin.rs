@@ -146,10 +146,13 @@ where
     K: Fn(&R) -> Option<u64>,
 {
     let hasher = FxBuildHasher::default();
+    // Fan-out writers share the declared write depth; the input scan keeps
+    // the full (budget-clamped) read-ahead.
+    let wopts = ctx.write_opts(parts);
     let mut writers: Vec<HeapWriter<'_, R>> = (0..parts)
-        .map(|_| HeapWriter::create(&ctx.pool))
+        .map(|_| HeapWriter::create_with(&ctx.pool, wopts))
         .collect::<Result<_, _>>()?;
-    let mut scan = input.scan(&ctx.pool);
+    let mut scan = input.scan_with(&ctx.pool, ctx.read_opts());
     while let Some(r) = scan.next_record()? {
         if let Some(k) = key(&r) {
             let idx = (hash_u64(&hasher, k, level) as usize) % parts;
@@ -189,13 +192,13 @@ where
 {
     let mut table: FxHashMap<u64, SmallGroup<B>> =
         FxHashMap::with_capacity_and_hasher(build.records() as usize * 2, Default::default());
-    let mut scan = build.scan(&ctx.pool);
+    let mut scan = build.scan_with(&ctx.pool, ctx.read_opts());
     while let Some(r) = scan.next_record()? {
         if let Some(k) = build_key(&r) {
             table.entry(k).or_default().push(r);
         }
     }
-    let mut scan = probe.scan(&ctx.pool);
+    let mut scan = probe.scan_with(&ctx.pool, ctx.read_opts());
     while let Some(p) = scan.next_record()? {
         if let Some(k) = probe_key(&p) {
             if let Some(group) = table.get(&k) {
@@ -224,7 +227,7 @@ where
     KP: Fn(&P) -> Option<u64>,
     M: FnMut(&B, &P),
 {
-    let mut build_scan = build.scan(&ctx.pool);
+    let mut build_scan = build.scan_with(&ctx.pool, ctx.read_opts());
     loop {
         let mut table: FxHashMap<u64, SmallGroup<B>> =
             FxHashMap::with_capacity_and_hasher(chunk_len * 2, Default::default());
@@ -243,7 +246,7 @@ where
         if n == 0 {
             return Ok(());
         }
-        let mut scan = probe.scan(&ctx.pool);
+        let mut scan = probe.scan_with(&ctx.pool, ctx.read_opts());
         while let Some(p) = scan.next_record()? {
             if let Some(k) = probe_key(&p) {
                 if let Some(group) = table.get(&k) {

@@ -14,7 +14,7 @@
 //!   footnote of Table 1 made concrete.
 
 use pbitree_index::BPlusTree;
-use pbitree_storage::{external_sort, HeapFile};
+use pbitree_storage::{external_sort_with, HeapFile};
 
 use crate::context::{JoinCtx, JoinError, JoinStats};
 use crate::element::Element;
@@ -41,15 +41,16 @@ fn build_code_index(
     f: &HeapFile<Element>,
 ) -> Result<BPlusTree<u64, u32>, JoinError> {
     let budget = ctx.budget().saturating_sub(2).max(3);
-    let sorted = external_sort(&ctx.pool, f, budget, |e| e.code.get())?;
+    let sorted = external_sort_with(&ctx.pool, f, budget, ctx.read_opts(), |e| e.code.get())?;
     // Stream the sorted file straight into the bulk loader: one scan frame
     // plus the loader's output frame — no staging in memory.
-    let tree = BPlusTree::bulk_load_fallible(
+    let tree = BPlusTree::bulk_load_fallible_with(
         &ctx.pool,
         sorted
-            .scan(&ctx.pool)
+            .scan_with(&ctx.pool, ctx.read_opts())
             .results()
             .map(|r| r.map(|e| (e.code.get(), e.tag))),
+        ctx.write_opts(1),
     )?;
     sorted.drop_file(&ctx.pool);
     Ok(tree)
@@ -69,7 +70,9 @@ pub fn inljn_probe_descendants(
         let index = ctx.phase("build", || build_code_index(ctx, d))?;
         let pairs = ctx.phase_counted("probe", || {
             let mut pairs = 0u64;
-            let mut scan = a.scan(&ctx.pool);
+            // Index range scans interleave with the outer scan: halve the
+            // outer read-ahead so index leaves are not evicted mid-probe.
+            let mut scan = a.scan_with(&ctx.pool, ctx.read_opts().shared(2));
             while let Some(ae) = scan.next_record()? {
                 let (start, end) = ae.code.region();
                 let mut it = index.range_from(&ctx.pool, &start)?;
@@ -105,7 +108,7 @@ pub fn inljn_probe_ancestors(
         let index = ctx.phase("build", || build_code_index(ctx, a))?;
         let pairs = ctx.phase_counted("probe", || {
             let mut pairs = 0u64;
-            let mut scan = d.scan(&ctx.pool);
+            let mut scan = d.scan_with(&ctx.pool, ctx.read_opts().shared(2));
             while let Some(de) = scan.next_record()? {
                 for anc in ctx.shape.ancestors(de.code) {
                     if let Some(tag) = index.get(&ctx.pool, &anc.get())? {

@@ -57,4 +57,5 @@ pub mod vpj;
 pub use context::{JoinCtx, JoinError, JoinStats, PhaseStat};
 pub use element::Element;
 pub use planner::{choose_algorithm, execute, plan_and_execute, Algorithm, InputState};
-pub use sink::{CollectSink, CountSink, PairSink};
+pub use sink::{CollectSink, CountSink, HeapSink, PairSink, ResultPair};
+pub use stacktree::SortPolicy;

@@ -134,21 +134,27 @@ pub(crate) fn mem_join_inner(
 ) -> Result<(u64, u64), JoinError> {
     if pick_side(ctx, a.pages(), d.pages())? {
         let dd = ctx.phase("load", || {
-            Ok(SortedDescendants::new(d.read_all(&ctx.pool)?))
+            Ok(SortedDescendants::new(
+                d.read_all_with(&ctx.pool, ctx.read_opts())?,
+            ))
         })?;
         ctx.phase_counted("probe", || {
             let mut pairs = 0u64;
-            let mut scan = a.scan(&ctx.pool);
+            let mut scan = a.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(ae) = scan.next_record()? {
                 pairs += dd.probe(ae, sink);
             }
             Ok((pairs, 0))
         })
     } else {
-        let aa = ctx.phase("load", || Ok(RolledAncestors::new(a.read_all(&ctx.pool)?)))?;
+        let aa = ctx.phase("load", || {
+            Ok(RolledAncestors::new(
+                a.read_all_with(&ctx.pool, ctx.read_opts())?,
+            ))
+        })?;
         ctx.phase_counted("probe", || {
             let (mut pairs, mut false_hits) = (0u64, 0u64);
-            let mut scan = d.scan(&ctx.pool);
+            let mut scan = d.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(de) = scan.next_record()? {
                 let (p, f) = aa.probe(de, sink);
                 pairs += p;
@@ -171,7 +177,7 @@ pub fn mem_join_ancestor_enum(
     ctx.measure_op("memjoin_enum", || {
         let map = ctx.phase("load", || {
             let mut map: FxHashMap<u64, Element> = FxHashMap::default();
-            let mut scan = a.scan(&ctx.pool);
+            let mut scan = a.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(e) = scan.next_record()? {
                 map.insert(e.code.get(), e);
             }
@@ -179,7 +185,7 @@ pub fn mem_join_ancestor_enum(
         })?;
         ctx.phase_counted("probe", || {
             let mut pairs = 0u64;
-            let mut scan = d.scan(&ctx.pool);
+            let mut scan = d.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(de) = scan.next_record()? {
                 for anc in ctx.shape.ancestors(de.code) {
                     if let Some(ae) = map.get(&anc.get()) {
@@ -204,7 +210,7 @@ pub fn mem_join_interval_tree(
 ) -> Result<JoinStats, JoinError> {
     ctx.measure_op("memjoin_ivtree", || {
         let (elems, tree) = ctx.phase("load", || {
-            let elems = a.read_all(&ctx.pool)?;
+            let elems = a.read_all_with(&ctx.pool, ctx.read_opts())?;
             let tree = IntervalTree::build(
                 elems
                     .iter()
@@ -220,7 +226,7 @@ pub fn mem_join_interval_tree(
         })?;
         ctx.phase_counted("probe", || {
             let mut pairs = 0u64;
-            let mut scan = d.scan(&ctx.pool);
+            let mut scan = d.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(de) = scan.next_record()? {
                 tree.stab(de.code.get(), |iv| {
                     let ae = elems[iv.payload as usize];

@@ -21,15 +21,19 @@ pub(crate) fn partition_by_height(
     a: &HeapFile<Element>,
 ) -> Result<Vec<(u32, HeapFile<Element>)>, JoinError> {
     let mut writers: FxHashMap<u32, HeapWriter<'_, Element>> = FxHashMap::default();
-    let mut scan = a.scan(&ctx.pool);
+    // Height fan-out is small (real sets hold a handful of heights), so
+    // each writer keeps the full write-batch depth; batches live in
+    // writer-private memory, not pool frames.
+    let wopts = ctx.write_opts(1);
+    let mut scan = a.scan_with(&ctx.pool, ctx.read_opts());
     while let Some(e) = scan.next_record()? {
         let h = e.code.height();
         // At most 63 heights exist, so the writer map stays tiny.
         match writers.entry(h) {
             std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().push(e)?,
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(HeapWriter::create(&ctx.pool)?).push(e)?
-            }
+            std::collections::hash_map::Entry::Vacant(v) => v
+                .insert(HeapWriter::create_with(&ctx.pool, wopts)?)
+                .push(e)?,
         }
     }
     let mut parts: Vec<(u32, HeapFile<Element>)> = writers
@@ -43,7 +47,7 @@ pub(crate) fn partition_by_height(
 /// The number of distinct ancestor heights (the `k` of the cost formula).
 pub fn height_count(ctx: &JoinCtx, a: &HeapFile<Element>) -> Result<usize, JoinError> {
     let mut seen = [false; 64];
-    let mut scan = a.scan(&ctx.pool);
+    let mut scan = a.scan_with(&ctx.pool, ctx.read_opts());
     while let Some(e) = scan.next_record()? {
         seen[e.code.height() as usize] = true;
     }

@@ -53,13 +53,16 @@ fn merge(
     sink: &mut dyn PairSink,
 ) -> Result<u64, JoinError> {
     let mut pairs = 0u64;
-    let mut a_scan = a.scan(&ctx.pool);
+    // Two concurrent streams (the mark rescans D while A advances): split
+    // the read-ahead depth between them.
+    let opts = ctx.read_opts().shared(2);
+    let mut a_scan = a.scan_with(&ctx.pool, opts);
     // The mark: position of the first descendant with start >= the current
     // ancestor's start. Monotone because ancestors are start-sorted.
     let mut mark = ScanPos::START;
     while let Some(a_el) = a_scan.next_record()? {
         let (a_start, a_end) = a_el.code.region();
-        let mut d_scan = d.scan_at(&ctx.pool, mark);
+        let mut d_scan = d.scan_at_with(&ctx.pool, mark, opts);
         let mut advanced_mark = false;
         loop {
             let pos = d_scan.position();

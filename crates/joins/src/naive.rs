@@ -27,7 +27,9 @@ pub fn block_nested_loop(
         let (outer, inner) = if a_outer { (a, d) } else { (d, a) };
 
         let mut block: Vec<Element> = Vec::with_capacity(block_len.min(1 << 20));
-        let mut outer_scan = outer.scan(&ctx.pool);
+        // The outer scan pauses while each inner pass runs: give the inner
+        // (hot) stream the read-ahead and keep the outer at depth 1.
+        let mut outer_scan = outer.scan_with(&ctx.pool, ctx.read_opts().with_depth(1));
         loop {
             block.clear();
             while block.len() < block_len {
@@ -39,7 +41,7 @@ pub fn block_nested_loop(
             if block.is_empty() {
                 break;
             }
-            let mut inner_scan = inner.scan(&ctx.pool);
+            let mut inner_scan = inner.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(x) = inner_scan.next_record()? {
                 for &o in &block {
                     let (anc, desc) = if a_outer { (o, x) } else { (x, o) };

@@ -123,29 +123,27 @@ pub fn choose_algorithm(
     }
 }
 
-/// Runs the chosen algorithm. For `InlJn`/`AncDesBPlus`/`StackTree` on
-/// unsorted inputs this builds/sorts on the fly (cost charged), matching
-/// how the paper evaluates the baselines.
+/// Runs the chosen algorithm. The `policy` applies to the sort-based
+/// baselines (`StackTree`/`AncDesBPlus`): [`SortPolicy::SortOnTheFly`]
+/// builds/sorts on the fly with the cost charged, matching how the paper
+/// evaluates baselines on raw inputs.
 pub fn execute(
     ctx: &JoinCtx,
     algo: Algorithm,
     a: &HeapFile<Element>,
     d: &HeapFile<Element>,
-    sorted_inputs: bool,
+    policy: SortPolicy,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    let policy = if sorted_inputs {
-        SortPolicy::AssumeSorted
-    } else {
-        SortPolicy::SortOnTheFly
-    };
     match algo {
         Algorithm::InlJn => crate::inljn::inljn(ctx, a, d, sink),
         Algorithm::StackTree => crate::stacktree::stack_tree_desc(ctx, a, d, policy, sink),
         Algorithm::AncDesBPlus => crate::adb::anc_des_bplus(ctx, a, d, policy, sink),
         Algorithm::Shcj => crate::shcj::shcj(ctx, a, d, sink),
-        Algorithm::MhcjRollup => crate::rollup::mhcj_rollup(ctx, a, d, sink),
-        Algorithm::Vpj => crate::vpj::vpj(ctx, a, d, sink),
+        Algorithm::MhcjRollup => {
+            crate::rollup::mhcj_rollup(ctx, a, d, crate::rollup::RollupOptions::default(), sink)
+        }
+        Algorithm::Vpj => crate::vpj::vpj(ctx, a, d, sink).map(|(s, _)| s),
     }
 }
 
@@ -160,8 +158,12 @@ pub fn plan_and_execute(
     sink: &mut dyn PairSink,
 ) -> Result<(Algorithm, JoinStats), JoinError> {
     let algo = choose_algorithm(ctx, a_state, d_state, a, d, single_height_a);
-    let sorted = a_state.sorted && d_state.sorted;
-    let stats = execute(ctx, algo, a, d, sorted, sink)?;
+    let policy = if a_state.sorted && d_state.sorted {
+        SortPolicy::AssumeSorted
+    } else {
+        SortPolicy::SortOnTheFly
+    };
+    let stats = execute(ctx, algo, a, d, policy, sink)?;
     Ok((algo, stats))
 }
 
@@ -252,7 +254,7 @@ mod tests {
             let a = element_file(&c.pool, [(16u64, 0), (24u64, 0)]).unwrap();
             let d = element_file(&c.pool, [(20u64, 1), (18u64, 1), (26u64, 1)]).unwrap();
             let mut sink = crate::sink::CollectSink::default();
-            let stats = execute(&c, algo, &a, &d, false, &mut sink).unwrap();
+            let stats = execute(&c, algo, &a, &d, SortPolicy::SortOnTheFly, &mut sink).unwrap();
             // 16 contains all three; 24 contains 20? no — 24's region is
             // [17,31]: contains 20, 18? 18 yes (17<=18<=31), 26 yes.
             assert_eq!(stats.pairs, 6, "{algo}");

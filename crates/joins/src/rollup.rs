@@ -28,33 +28,46 @@ use crate::element::Element;
 use crate::hashjoin::hash_equijoin;
 use crate::sink::PairSink;
 
-/// MHCJ+Rollup with the paper's default strategy: roll everything up to
-/// the single topmost occupied height.
+/// Tuning knobs for [`mhcj_rollup`]. `Default` is the paper's strategy:
+/// roll everything up to the single topmost occupied height.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollupOptions {
+    /// Anchor heights kept (at least 1). With `k` anchors the highest `k`
+    /// occupied heights stay; every other ancestor rolls up to the nearest
+    /// anchor above it. More anchors mean fewer false hits but one extra
+    /// equijoin per anchor — the knob the ablation bench sweeps.
+    pub target_partitions: usize,
+}
+
+impl Default for RollupOptions {
+    fn default() -> Self {
+        RollupOptions {
+            target_partitions: 1,
+        }
+    }
+}
+
+impl RollupOptions {
+    /// Options keeping at most `target_partitions` anchor heights.
+    pub fn partitions(target_partitions: usize) -> Self {
+        RollupOptions { target_partitions }
+    }
+}
+
+/// MHCJ+Rollup (the canonical entry point; strategy via [`RollupOptions`]).
 pub fn mhcj_rollup(
     ctx: &JoinCtx,
     a: &HeapFile<Element>,
     d: &HeapFile<Element>,
+    opts: RollupOptions,
     sink: &mut dyn PairSink,
 ) -> Result<JoinStats, JoinError> {
-    mhcj_rollup_with(ctx, a, d, 1, sink)
-}
-
-/// MHCJ+Rollup keeping at most `target_partitions` anchor heights
-/// (`>= 1`). Anchors are the highest occupied heights; every other
-/// ancestor rolls up to the nearest anchor above it.
-pub fn mhcj_rollup_with(
-    ctx: &JoinCtx,
-    a: &HeapFile<Element>,
-    d: &HeapFile<Element>,
-    target_partitions: usize,
-    sink: &mut dyn PairSink,
-) -> Result<JoinStats, JoinError> {
-    assert!(target_partitions >= 1);
+    assert!(opts.target_partitions >= 1);
     ctx.measure_op("mhcj_rollup", || {
         // Pass 1: occupied-height histogram (one read of A).
         let heights = ctx.phase("plan", || {
             let mut occupied = [false; 64];
-            let mut scan = a.scan(&ctx.pool);
+            let mut scan = a.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(e) = scan.next_record()? {
                 occupied[e.code.height() as usize] = true;
             }
@@ -65,7 +78,7 @@ pub fn mhcj_rollup_with(
         if heights.is_empty() || d.is_empty() {
             return Ok((0, 0));
         }
-        let k = target_partitions.min(heights.len());
+        let k = opts.target_partitions.min(heights.len());
         let anchors: Vec<u32> = heights[heights.len() - k..].to_vec();
 
         if let [anchor] = anchors.as_slice() {
@@ -78,11 +91,12 @@ pub fn mhcj_rollup_with(
         // Several anchors: one partition pass over A (plain elements), one
         // equijoin per anchor.
         let parts = ctx.phase("partition", || {
+            let wopts = ctx.write_opts(anchors.len());
             let mut writers: Vec<HeapWriter<'_, Element>> = anchors
                 .iter()
-                .map(|_| HeapWriter::create(&ctx.pool))
+                .map(|_| HeapWriter::create_with(&ctx.pool, wopts))
                 .collect::<Result<_, _>>()?;
-            let mut scan = a.scan(&ctx.pool);
+            let mut scan = a.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(e) = scan.next_record()? {
                 let h = e.code.height();
                 // The histogram pass saw every height, so an uncovered
@@ -201,7 +215,7 @@ mod tests {
         let a = element_file(&c.pool, [(10u64, 0), (4u64, 0)]).unwrap();
         let d = element_file(&c.pool, [(9u64, 1), (13u64, 1)]).unwrap();
         let mut sink = CollectSink::default();
-        let stats = mhcj_rollup(&c, &a, &d, &mut sink).unwrap();
+        let stats = mhcj_rollup(&c, &a, &d, RollupOptions::default(), &mut sink).unwrap();
         assert_eq!(stats.pairs, 1);
         assert_eq!(stats.false_hits, 1);
         assert_eq!(sink.canonical(), vec![(10, 9)]);
@@ -223,7 +237,7 @@ mod tests {
         )
         .unwrap();
         let mut got = CollectSink::default();
-        let stats = mhcj_rollup(&c, &a, &d, &mut got).unwrap();
+        let stats = mhcj_rollup(&c, &a, &d, RollupOptions::default(), &mut got).unwrap();
         let mut expect = CollectSink::default();
         block_nested_loop(&c, &a, &d, &mut expect).unwrap();
         assert_eq!(got.canonical(), expect.canonical());
@@ -245,7 +259,7 @@ mod tests {
         let mut last_false_hits = u64::MAX;
         for k in 1..=5 {
             let mut got = CollectSink::default();
-            let stats = mhcj_rollup_with(&c, &a, &d, k, &mut got).unwrap();
+            let stats = mhcj_rollup(&c, &a, &d, RollupOptions::partitions(k), &mut got).unwrap();
             assert_eq!(got.canonical(), expect.canonical(), "k={k}");
             // More anchors => rolling distance shrinks => false hits cannot
             // grow (equal when an extra anchor absorbs nothing).
@@ -254,7 +268,7 @@ mod tests {
         }
         // With one anchor per occupied height there is no rolling at all.
         let mut got = CollectSink::default();
-        let stats = mhcj_rollup_with(&c, &a, &d, 4, &mut got).unwrap();
+        let stats = mhcj_rollup(&c, &a, &d, RollupOptions::partitions(4), &mut got).unwrap();
         assert_eq!(stats.false_hits, 0);
     }
 
@@ -266,7 +280,7 @@ mod tests {
         let a = element_file(&c.pool, acodes.iter().map(|&v| (v, 0))).unwrap();
         let d = element_file(&c.pool, dcodes.iter().map(|&v| (v, 1))).unwrap();
         let mut got = CollectSink::default();
-        mhcj_rollup(&c, &a, &d, &mut got).unwrap();
+        mhcj_rollup(&c, &a, &d, RollupOptions::default(), &mut got).unwrap();
 
         let big = ctx(64);
         let a2 = element_file(&big.pool, acodes.iter().map(|&v| (v, 0))).unwrap();
@@ -282,6 +296,11 @@ mod tests {
         let a = element_file(&c.pool, std::iter::empty()).unwrap();
         let d = element_file(&c.pool, [(1u64, 1)]).unwrap();
         let mut sink = CountSink::default();
-        assert_eq!(mhcj_rollup(&c, &a, &d, &mut sink).unwrap().pairs, 0);
+        assert_eq!(
+            mhcj_rollup(&c, &a, &d, RollupOptions::default(), &mut sink)
+                .unwrap()
+                .pairs,
+            0
+        );
     }
 }

@@ -21,7 +21,8 @@ use crate::sink::PairSink;
 /// The ancestor height of a single-height set, by inspecting one record.
 /// Returns `None` for an empty set.
 pub fn single_height_of(ctx: &JoinCtx, a: &HeapFile<Element>) -> Result<Option<u32>, JoinError> {
-    let mut scan = a.scan(&ctx.pool);
+    // A one-record peek: declare random access so no read-ahead fires.
+    let mut scan = a.scan_with(&ctx.pool, pbitree_storage::ScanOptions::random());
     Ok(scan.next_record()?.map(|e| e.code.height()))
 }
 

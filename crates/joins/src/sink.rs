@@ -5,6 +5,7 @@
 //! file for further joins.
 
 use crate::element::Element;
+use pbitree_storage::{BufferPool, FixedRecord, HeapFile, HeapWriter, PoolError, ScanOptions};
 
 /// Consumer of join result pairs.
 pub trait PairSink {
@@ -55,6 +56,95 @@ impl PairSink for CollectSink {
     }
 }
 
+/// One materialized join result: ancestor then descendant, 24 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultPair {
+    /// The ancestor element.
+    pub a: Element,
+    /// The descendant element.
+    pub d: Element,
+}
+
+impl FixedRecord for ResultPair {
+    const SIZE: usize = 2 * Element::SIZE;
+
+    #[inline]
+    fn write(&self, out: &mut [u8]) {
+        self.a.write(&mut out[..Element::SIZE]);
+        self.d.write(&mut out[Element::SIZE..]);
+    }
+
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        ResultPair {
+            a: Element::read(&buf[..Element::SIZE]),
+            d: Element::read(&buf[Element::SIZE..]),
+        }
+    }
+
+    #[inline]
+    fn validate(buf: &[u8]) -> Result<(), &'static str> {
+        Element::validate(&buf[..Element::SIZE])?;
+        Element::validate(&buf[Element::SIZE..])
+    }
+}
+
+/// Materializes result pairs into a heap file (write-once batched), for
+/// pipelines that feed one join's output into another operator.
+///
+/// [`PairSink::emit`] is infallible by contract, so a write error is
+/// latched on first occurrence — later pairs are counted but dropped —
+/// and surfaced by [`finish`](HeapSink::finish).
+pub struct HeapSink<'a> {
+    writer: Option<HeapWriter<'a, ResultPair>>,
+    error: Option<PoolError>,
+    /// Number of pairs emitted (including any dropped after an error).
+    pub count: u64,
+}
+
+impl<'a> HeapSink<'a> {
+    /// Starts a sink writing to a fresh heap file with the default
+    /// write-once batching depth.
+    pub fn create(pool: &'a BufferPool) -> Result<Self, PoolError> {
+        Self::create_with(pool, ScanOptions::default())
+    }
+
+    /// Starts a sink with explicit [`ScanOptions`] — pass the operator's
+    /// write options (e.g. `ctx.write_opts(1)`) so the materialized output
+    /// batches at the declared depth.
+    pub fn create_with(pool: &'a BufferPool, opts: ScanOptions) -> Result<Self, PoolError> {
+        Ok(HeapSink {
+            writer: Some(HeapWriter::create_with(pool, opts)?),
+            error: None,
+            count: 0,
+        })
+    }
+
+    /// Seals the output file, surfacing any write error latched by
+    /// [`emit`](PairSink::emit).
+    pub fn finish(mut self) -> Result<HeapFile<ResultPair>, PoolError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.take().expect("finish called once").finish()
+    }
+}
+
+impl PairSink for HeapSink<'_> {
+    #[inline]
+    fn emit(&mut self, a: Element, d: Element) {
+        self.count += 1;
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = &mut self.writer {
+            if let Err(e) = w.push(ResultPair { a, d }) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +161,58 @@ mod tests {
         v.emit(a, d);
         v.emit(d, a);
         assert_eq!(v.canonical(), vec![(16, 18), (18, 16)]);
+    }
+
+    #[test]
+    fn result_pair_record_round_trips() {
+        let p = ResultPair {
+            a: Element::new(16, 3),
+            d: Element::new(18, 7),
+        };
+        let mut buf = [0u8; ResultPair::SIZE];
+        p.write(&mut buf);
+        assert!(ResultPair::validate(&buf).is_ok());
+        assert_eq!(ResultPair::read(&buf), p);
+        // A zeroed half is a corrupt record, same as for Element.
+        buf[..Element::SIZE].fill(0);
+        assert!(ResultPair::validate(&buf).is_err());
+    }
+
+    /// A real join materialized through `HeapSink` scans back exactly the
+    /// pairs a `CollectSink` saw — including across the page boundary of
+    /// the 24-byte record and through write batching.
+    #[test]
+    fn heap_sink_round_trips_join_output() {
+        use crate::element::element_file;
+        use crate::JoinCtx;
+        use pbitree_core::PBiTreeShape;
+
+        let ctx = JoinCtx::in_memory_free(PBiTreeShape::new(12).unwrap(), 8);
+        let codes_a: Vec<(u64, u32)> = (0..32u64).map(|i| ((1 + 2 * i) << 4, 0)).collect();
+        let codes_d: Vec<(u64, u32)> = (1..1u64 << 11).map(|c| (c, 1)).collect();
+        let a = element_file(&ctx.pool, codes_a).unwrap();
+        let d = element_file(&ctx.pool, codes_d).unwrap();
+
+        let mut expect = CollectSink::default();
+        crate::naive::block_nested_loop(&ctx, &a, &d, &mut expect).unwrap();
+
+        let mut sink = HeapSink::create_with(&ctx.pool, ctx.write_opts(1)).unwrap();
+        crate::naive::block_nested_loop(&ctx, &a, &d, &mut sink).unwrap();
+        assert_eq!(sink.count, expect.pairs.len() as u64);
+        let file = sink.finish().unwrap();
+        assert_eq!(file.records(), sink_len(&expect));
+
+        let mut got = Vec::new();
+        let mut scan = file.scan(&ctx.pool);
+        while let Some(p) = scan.next_record().unwrap() {
+            got.push((p.a.code.get(), p.d.code.get()));
+        }
+        got.sort_unstable();
+        assert_eq!(got, expect.canonical());
+        file.drop_file(&ctx.pool);
+    }
+
+    fn sink_len(c: &CollectSink) -> u64 {
+        c.pairs.len() as u64
     }
 }

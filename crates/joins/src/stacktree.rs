@@ -10,7 +10,7 @@
 //! operator sorts them with the external merge sort first and its cost is
 //! charged to the join, exactly like the MIN_RGN baselines in the paper.
 
-use pbitree_storage::{external_sort, HeapFile};
+use pbitree_storage::{external_sort_with, HeapFile};
 
 use crate::context::{JoinCtx, JoinError, JoinStats};
 use crate::element::Element;
@@ -32,7 +32,13 @@ pub(crate) fn sort_doc_order(
     f: &HeapFile<Element>,
 ) -> Result<HeapFile<Element>, JoinError> {
     let budget = ctx.budget().saturating_sub(2).max(3);
-    Ok(external_sort(&ctx.pool, f, budget, |e| e.doc_key())?)
+    Ok(external_sort_with(
+        &ctx.pool,
+        f,
+        budget,
+        ctx.read_opts(),
+        |e| e.doc_key(),
+    )?)
 }
 
 /// Stack-Tree-Desc: merge the two document-ordered streams with a stack of
@@ -68,8 +74,11 @@ fn merge_with_stack(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<u64, JoinError> {
-    let mut sa = a.scan(&ctx.pool);
-    let mut sd = d.scan(&ctx.pool);
+    // Two concurrent merge streams: split the read-ahead depth so they do
+    // not evict each other's prefetched frames.
+    let opts = ctx.read_opts().shared(2);
+    let mut sa = a.scan_with(&ctx.pool, opts);
+    let mut sd = d.scan_with(&ctx.pool, opts);
     let mut cur_a = sa.next_record()?;
     let mut cur_d = sd.next_record()?;
     // The stack holds the ancestors whose regions contain the current scan
@@ -149,8 +158,11 @@ fn merge_anc(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<u64, JoinError> {
-    let mut sa = a.scan(&ctx.pool);
-    let mut sd = d.scan(&ctx.pool);
+    // Two concurrent merge streams: split the read-ahead depth so they do
+    // not evict each other's prefetched frames.
+    let opts = ctx.read_opts().shared(2);
+    let mut sa = a.scan_with(&ctx.pool, opts);
+    let mut sd = d.scan_with(&ctx.pool, opts);
     let mut cur_a = sa.next_record()?;
     let mut cur_d = sd.next_record()?;
     let mut stack: Vec<AncEntry> = Vec::with_capacity(ctx.shape.height() as usize);

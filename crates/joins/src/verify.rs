@@ -36,7 +36,8 @@ pub fn check_all_agree(
     })?;
     run("MHCJ+Rollup", {
         let mut s = CollectSink::default();
-        crate::rollup::mhcj_rollup(ctx, a, d, &mut s).map(|_| s)
+        crate::rollup::mhcj_rollup(ctx, a, d, crate::rollup::RollupOptions::default(), &mut s)
+            .map(|_| s)
     })?;
     run("VPJ", {
         let mut s = CollectSink::default();

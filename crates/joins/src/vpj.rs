@@ -182,18 +182,9 @@ pub(crate) fn execute_task(
     }
 }
 
-/// VPJ with the default reporting discarded.
+/// VPJ: vertical partitioning with purge/merge/recurse, returning its
+/// [`VpjReport`] alongside the stats (discard with `.map(|(s, _)| s)`).
 pub fn vpj(
-    ctx: &JoinCtx,
-    a: &HeapFile<Element>,
-    d: &HeapFile<Element>,
-    sink: &mut dyn PairSink,
-) -> Result<JoinStats, JoinError> {
-    vpj_with_report(ctx, a, d, sink).map(|(s, _)| s)
-}
-
-/// VPJ returning its [`VpjReport`] alongside the stats.
-pub fn vpj_with_report(
     ctx: &JoinCtx,
     a: &HeapFile<Element>,
     d: &HeapFile<Element>,
@@ -306,7 +297,7 @@ fn vpj_rec(
         None => {
             let mut lo = u64::MAX;
             let mut hi = 0u64;
-            let mut scan = scan_side.scan(&ctx.pool);
+            let mut scan = scan_side.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(e) = scan.next_record()? {
                 lo = lo.min(e.start());
                 hi = hi.max(e.end());
@@ -554,7 +545,11 @@ fn partition_pass(
     let (wlo, whi) = (window.0 >> shift, window.1 >> shift);
     let mut writers: std::collections::BTreeMap<u64, HeapWriter<'_, Element>> =
         std::collections::BTreeMap::new();
-    let mut scan = input.scan(&ctx.pool);
+    // Partition fan-out can be large, but write batches live in
+    // writer-private memory (not pool frames), so each writer keeps the
+    // full batch depth.
+    let wopts = ctx.write_opts(1);
+    let mut scan = input.scan_with(&ctx.pool, ctx.read_opts());
     while let Some(e) = scan.next_record()? {
         let (lo, hi) = partition_range(e.code, h, l);
         // Clip spanning nodes to this subtree's index window: replicas
@@ -578,9 +573,9 @@ fn partition_pass(
             first = false;
             match writers.entry(idx) {
                 std::collections::btree_map::Entry::Occupied(mut o) => o.get_mut().push(e)?,
-                std::collections::btree_map::Entry::Vacant(v) => {
-                    v.insert(HeapWriter::create(&ctx.pool)?).push(e)?
-                }
+                std::collections::btree_map::Entry::Vacant(v) => v
+                    .insert(HeapWriter::create_with(&ctx.pool, wopts)?)
+                    .push(e)?,
             }
         }
     }
@@ -629,7 +624,7 @@ fn join_group(
         // Load D (no replication on that side), stream deduped A.
         let mut dvec = Vec::new();
         for f in gd {
-            let mut scan = f.scan(&ctx.pool);
+            let mut scan = f.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(e) = scan.next_record()? {
                 dvec.push(e);
             }
@@ -637,7 +632,7 @@ fn join_group(
         let dd = SortedDescendants::new(dvec);
         let mut pairs = 0u64;
         for (pos, f) in ga.iter().enumerate() {
-            let mut scan = f.scan(&ctx.pool);
+            let mut scan = f.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(ae) = scan.next_record()? {
                 if keep(pos, &ae) {
                     pairs += dd.probe(ae, sink);
@@ -649,7 +644,7 @@ fn join_group(
         // Load deduped A, stream D (Algorithm 6's rollup branch, resident).
         let mut avec = Vec::new();
         for (pos, f) in ga.iter().enumerate() {
-            let mut scan = f.scan(&ctx.pool);
+            let mut scan = f.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(ae) = scan.next_record()? {
                 if keep(pos, &ae) {
                     avec.push(ae);
@@ -659,7 +654,7 @@ fn join_group(
         let aa = RolledAncestors::new(avec);
         let (mut pairs, mut false_hits) = (0u64, 0u64);
         for f in gd {
-            let mut scan = f.scan(&ctx.pool);
+            let mut scan = f.scan_with(&ctx.pool, ctx.read_opts());
             while let Some(de) = scan.next_record()? {
                 let (p, fh) = aa.probe(de, sink);
                 pairs += p;
@@ -680,7 +675,7 @@ fn rollup_fallback(
 ) -> Result<(u64, u64), JoinError> {
     // Reuse the public entry but fold its (separately measured) stats into
     // plain counts; I/O is captured by the pool counters either way.
-    let stats = rollup::mhcj_rollup(ctx, a, d, sink)?;
+    let stats = rollup::mhcj_rollup(ctx, a, d, rollup::RollupOptions::default(), sink)?;
     Ok((stats.pairs, stats.false_hits))
 }
 
@@ -750,7 +745,7 @@ mod tests {
         )
         .unwrap();
         let mut got = CollectSink::default();
-        let stats = vpj(&c, &a, &d, &mut got).unwrap();
+        let (stats, _) = vpj(&c, &a, &d, &mut got).unwrap();
         let mut expect = CollectSink::default();
         block_nested_loop(&c, &a, &d, &mut expect).unwrap();
         assert_eq!(got.canonical(), expect.canonical());
@@ -774,7 +769,7 @@ mod tests {
         let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
         let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
         let mut got = CollectSink::default();
-        let (stats, report) = vpj_with_report(&c, &af, &df, &mut got).unwrap();
+        let (stats, report) = vpj(&c, &af, &df, &mut got).unwrap();
         // No duplicates: the multiset of emitted pairs is a set.
         let mut pairs = got.canonical();
         let n = pairs.len();
@@ -802,7 +797,7 @@ mod tests {
         let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
         let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
         let mut got = CollectSink::default();
-        let (_, report) = vpj_with_report(&c, &af, &df, &mut got).unwrap();
+        let (_, report) = vpj(&c, &af, &df, &mut got).unwrap();
         assert!(report.recursions > 0 || report.fallbacks > 0);
         let big = ctx(18, 256);
         let af2 = element_file(&big.pool, a.iter().map(|&v| (v, 0))).unwrap();
@@ -824,7 +819,7 @@ mod tests {
         let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
         let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
         let mut got = CountSink::default();
-        let (stats, report) = vpj_with_report(&c, &af, &df, &mut got).unwrap();
+        let (stats, report) = vpj(&c, &af, &df, &mut got).unwrap();
         assert_eq!(stats.pairs, 0);
         assert!(report.purged > 0);
     }
@@ -835,7 +830,7 @@ mod tests {
         let a = element_file(&c.pool, [(1u64 << 8, 0)]).unwrap();
         let d = element_file(&c.pool, [(1u64, 1), (3u64, 1), (255u64, 1)]).unwrap();
         let mut got = CollectSink::default();
-        let (stats, report) = vpj_with_report(&c, &a, &d, &mut got).unwrap();
+        let (stats, report) = vpj(&c, &a, &d, &mut got).unwrap();
         assert_eq!(report.partitions, 0, "no partitioning pass expected");
         // 256's region is [1, 511]: contains 1, 3, 255.
         assert_eq!(stats.pairs, 3);
@@ -850,7 +845,7 @@ mod tests {
         let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
         c.pool.flush_all().unwrap();
         let mut sink = CountSink::default();
-        let (stats, report) = vpj_with_report(&c, &af, &df, &mut sink).unwrap();
+        let (stats, report) = vpj(&c, &af, &df, &mut sink).unwrap();
         let total = (af.pages() + df.pages()) as u64;
         let slack = report.replicated_tuples / 300 + 64; // replicas + metadata
         assert!(

@@ -5,7 +5,17 @@
 
 use pbitree_core::PBiTreeShape;
 use pbitree_joins::mhcj::mhcj;
-use pbitree_joins::vpj::{vpj, vpj_with_report};
+use pbitree_joins::vpj::vpj;
+
+/// `vpj` with the report discarded, matching `run`'s expected signature.
+fn vpj_s(
+    c: &JoinCtx,
+    a: &pbitree_storage::HeapFile<pbitree_joins::Element>,
+    d: &pbitree_storage::HeapFile<pbitree_joins::Element>,
+    s: &mut dyn pbitree_joins::PairSink,
+) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError> {
+    vpj(c, a, d, s).map(|(st, _)| st)
+}
 use pbitree_joins::{element::element_file, CollectSink, JoinCtx};
 
 const H: u32 = 18;
@@ -73,10 +83,14 @@ fn mhcj_same_results_across_thread_counts() {
 fn vpj_same_results_across_thread_counts() {
     let a = mixed_codes(600, &[3, 5, 8, 11], 51);
     let d = mixed_codes(2500, &[0, 1, 2], 53);
-    let baseline = run(vpj, &a, &d, 8, 1);
+    let baseline = run(vpj_s, &a, &d, 8, 1);
     assert!(!baseline.is_empty(), "workload must produce pairs");
     for threads in [2, 4, 8] {
-        assert_eq!(run(vpj, &a, &d, 8, threads), baseline, "threads={threads}");
+        assert_eq!(
+            run(vpj_s, &a, &d, 8, threads),
+            baseline,
+            "threads={threads}"
+        );
     }
 }
 
@@ -92,16 +106,20 @@ fn vpj_parallel_handles_skew_and_recursion() {
         .into_iter()
         .filter(|v| *v < 1 << 16)
         .collect();
-    let baseline = run(vpj, &a, &d, 4, 1);
+    let baseline = run(vpj_s, &a, &d, 4, 1);
     for threads in [2, 4] {
-        assert_eq!(run(vpj, &a, &d, 4, threads), baseline, "threads={threads}");
+        assert_eq!(
+            run(vpj_s, &a, &d, 4, threads),
+            baseline,
+            "threads={threads}"
+        );
     }
     // The report still counts recursions/groups across workers.
     let c = ctx(4, 4);
     let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
     let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
     let mut sink = CollectSink::default();
-    let (_, report) = vpj_with_report(&c, &af, &df, &mut sink).unwrap();
+    let (_, report) = vpj(&c, &af, &df, &mut sink).unwrap();
     assert!(report.groups > 0);
 }
 
@@ -111,9 +129,9 @@ fn parallel_base_case_small_inputs() {
     // runs inline and the parallel entry points still return the answer.
     let a = vec![1u64 << 8];
     let d = vec![1u64, 3, 255];
-    assert_eq!(run(vpj, &a, &d, 64, 4), run(vpj, &a, &d, 64, 1));
+    assert_eq!(run(vpj_s, &a, &d, 64, 4), run(vpj_s, &a, &d, 64, 1));
     assert_eq!(run(mhcj, &a, &d, 64, 4), run(mhcj, &a, &d, 64, 1));
-    assert_eq!(run(vpj, &a, &d, 64, 4).len(), 3);
+    assert_eq!(run(vpj_s, &a, &d, 64, 4).len(), 3);
 }
 
 #[test]
@@ -121,5 +139,5 @@ fn empty_inputs_parallel_ok() {
     let a: Vec<u64> = Vec::new();
     let d = vec![1u64, 3];
     assert!(run(mhcj, &a, &d, 8, 4).is_empty());
-    assert!(run(vpj, &a, &d, 8, 4).is_empty());
+    assert!(run(vpj_s, &a, &d, 8, 4).is_empty());
 }

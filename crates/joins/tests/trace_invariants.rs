@@ -16,7 +16,7 @@ use pbitree_joins::element::element_file;
 use pbitree_joins::stacktree::SortPolicy;
 use pbitree_joins::trace::{SpanKind, SpanRecord, Tracer};
 use pbitree_joins::{CountSink, JoinCtx, JoinError, JoinStats};
-use pbitree_storage::{IoStats, PageId, PoolStats};
+use pbitree_storage::{IoStats, PageId, PoolStats, ScanOptions};
 
 const H: u32 = 18;
 
@@ -52,15 +52,30 @@ fn run_traced(
     buffer: usize,
     threads: usize,
 ) -> (JoinStats, Vec<SpanRecord>) {
+    let (stats, spans, _) = run_traced_io(f, a, d, buffer, threads, ScanOptions::default());
+    (stats, spans)
+}
+
+/// [`run_traced`] with explicit I/O options; also returns the pool's
+/// speculative-read counter so callers can assert prefetch really ran.
+fn run_traced_io(
+    f: JoinFn,
+    a: &[u64],
+    d: &[u64],
+    buffer: usize,
+    threads: usize,
+    io: ScanOptions,
+) -> (JoinStats, Vec<SpanRecord>, u64) {
     let tracer = Arc::new(Tracer::new());
     let ctx = JoinCtx::in_memory_free(PBiTreeShape::new(H).unwrap(), buffer)
         .with_threads(threads)
+        .with_io(io)
         .with_tracer(Arc::clone(&tracer));
     let af = element_file(&ctx.pool, a.iter().map(|&v| (v, 0))).unwrap();
     let df = element_file(&ctx.pool, d.iter().map(|&v| (v, 1))).unwrap();
     let mut sink = CountSink::default();
     let stats = f(&ctx, &af, &df, &mut sink).unwrap();
-    (stats, tracer.spans())
+    (stats, tracer.spans(), ctx.pool.prefetched())
 }
 
 /// The top-level run span (the only one without a parent).
@@ -100,12 +115,20 @@ fn operators() -> Vec<(&'static str, JoinFn, &'static [u32])> {
         ),
         (
             "mhcj_rollup",
-            |c, a, d, s| pbitree_joins::rollup::mhcj_rollup(c, a, d, s),
+            |c, a, d, s| {
+                pbitree_joins::rollup::mhcj_rollup(
+                    c,
+                    a,
+                    d,
+                    pbitree_joins::rollup::RollupOptions::default(),
+                    s,
+                )
+            },
             &[3, 5, 8],
         ),
         (
             "vpj",
-            |c, a, d, s| pbitree_joins::vpj::vpj(c, a, d, s),
+            |c, a, d, s| pbitree_joins::vpj::vpj(c, a, d, s).map(|(st, _)| st),
             &[3, 5, 8],
         ),
         (
@@ -349,6 +372,42 @@ fn parallel_runs_tile_exactly_with_task_spans() {
         idx.sort_unstable();
         idx.dedup();
         assert_eq!(idx.len(), tasks.len(), "{op}: duplicate task indices");
+    }
+}
+
+/// Satellite of the vectored-I/O change: with read-ahead enabled (and at
+/// a depth past the default), phase deltas must still tile the run
+/// exactly at threads 1 and 4. Speculative reads are charged to whichever
+/// phase issued them and the `prefetched` counter lives *outside*
+/// `PoolStats`, so `hits + misses == requests` and the field-wise tiling
+/// identity both survive prefetching.
+#[test]
+fn readahead_runs_tile_exactly() {
+    for (op, f, heights) in operators()
+        .into_iter()
+        .filter(|(op, _, _)| matches!(*op, "mhcj" | "vpj" | "stack_tree_desc"))
+    {
+        let a = mixed_codes(700, heights, 41);
+        let d = mixed_codes(2500, &[0, 1], 43);
+        for threads in [1usize, 4] {
+            let (stats, spans, prefetched) =
+                run_traced_io(f, &a, &d, 64, threads, ScanOptions::sequential(16));
+            assert!(
+                prefetched > 0,
+                "{op} t={threads}: depth-16 run never prefetched"
+            );
+            assert_tiles_exactly(op, threads, &stats, &spans);
+
+            // Prefetch must not change the answer: the same workload with
+            // read-ahead pinned off yields identical pairs.
+            let (base, _, off_prefetched) =
+                run_traced_io(f, &a, &d, 64, threads, ScanOptions::sequential(1));
+            assert_eq!(off_prefetched, 0, "{op}: depth-1 run prefetched");
+            assert_eq!(
+                base.pairs, stats.pairs,
+                "{op} t={threads}: read-ahead changed the result"
+            );
+        }
     }
 }
 

@@ -1,0 +1,175 @@
+//! Access-pattern declarations: how a caller intends to touch a file.
+//!
+//! Scans, sorts, bulk loads and partition writers know their own access
+//! shape; the storage layer does not. [`ScanOptions`] carries that intent
+//! down to the buffer pool and heap writers, which turn it into read-ahead
+//! prefetching ([`AccessPattern::Sequential`]) or coalesced multi-page
+//! appends ([`AccessPattern::WriteOnce`]). The declared depth is a *hint*:
+//! the pool prefetches best-effort and never past what the frame budget can
+//! absorb, and callers sharing a budget across several streams shrink their
+//! depth with [`ScanOptions::shared`] so concurrent streams do not evict
+//! each other's read-ahead.
+
+/// How a file is about to be accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Point lookups with no useful locality: no read-ahead, no batching.
+    Random,
+    /// A front-to-back scan. On a miss the pool reads the missed page plus
+    /// up to `readahead - 1` following pages in one vectored transfer
+    /// (1 disables read-ahead).
+    Sequential {
+        /// Total pages per fetch batch, the missed page included.
+        readahead: usize,
+    },
+    /// Output written once, front to back, and only read later. Writers
+    /// buffer `batch` page images and append them with one vectored
+    /// transfer (1 writes page-at-a-time).
+    WriteOnce {
+        /// Page images coalesced per append batch.
+        batch: usize,
+    },
+}
+
+/// Default transfer-batch depth (pages) for sequential and write-once
+/// access when the caller does not say otherwise.
+pub const DEFAULT_IO_DEPTH: usize = 8;
+
+/// Per-operation I/O options, currently just the declared access pattern.
+///
+/// The default is `Sequential { readahead: DEFAULT_IO_DEPTH }`: heap files
+/// in this engine are overwhelmingly scanned front to back, so plain
+/// [`crate::HeapFile::scan`] gets read-ahead unless a caller opts out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// The declared access pattern.
+    pub pattern: AccessPattern,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions::sequential(DEFAULT_IO_DEPTH)
+    }
+}
+
+impl ScanOptions {
+    /// Point-lookup access: no read-ahead, no write batching.
+    pub fn random() -> Self {
+        ScanOptions {
+            pattern: AccessPattern::Random,
+        }
+    }
+
+    /// Sequential access with the given fetch-batch depth (clamped to at
+    /// least 1; 1 means no read-ahead).
+    pub fn sequential(readahead: usize) -> Self {
+        ScanOptions {
+            pattern: AccessPattern::Sequential {
+                readahead: readahead.max(1),
+            },
+        }
+    }
+
+    /// Write-once output with the given append-batch depth (clamped to at
+    /// least 1; 1 means page-at-a-time writes).
+    pub fn write_once(batch: usize) -> Self {
+        ScanOptions {
+            pattern: AccessPattern::WriteOnce {
+                batch: batch.max(1),
+            },
+        }
+    }
+
+    /// The transfer-batch depth the pattern implies: `readahead` for
+    /// sequential access, `batch` for write-once output, 1 for random.
+    pub fn depth(&self) -> usize {
+        match self.pattern {
+            AccessPattern::Random => 1,
+            AccessPattern::Sequential { readahead } => readahead,
+            AccessPattern::WriteOnce { batch } => batch,
+        }
+    }
+
+    /// Caps the depth so one stream's read-ahead can occupy at most half of
+    /// `budget` frames — the sizing rule that keeps prefetch from evicting
+    /// the pages an operator is actually working on. Random access is
+    /// unaffected.
+    pub fn clamped(self, budget: usize) -> Self {
+        self.with_depth(self.depth().min((budget / 2).max(1)))
+    }
+
+    /// Splits the depth across `streams` concurrent streams of one budget
+    /// (interleaved sort-merge inputs, partition fan-out writers), so their
+    /// combined appetite stays within the single-stream depth.
+    pub fn shared(self, streams: usize) -> Self {
+        self.with_depth(self.depth() / streams.max(1))
+    }
+
+    /// Same pattern with a new depth (clamped to at least 1).
+    pub fn with_depth(self, depth: usize) -> Self {
+        let depth = depth.max(1);
+        ScanOptions {
+            pattern: match self.pattern {
+                AccessPattern::Random => AccessPattern::Random,
+                AccessPattern::Sequential { .. } => AccessPattern::Sequential { readahead: depth },
+                AccessPattern::WriteOnce { .. } => AccessPattern::WriteOnce { batch: depth },
+            },
+        }
+    }
+
+    /// The write-once counterpart of this option set: same depth, batching
+    /// appends instead of prefetching reads.
+    pub fn as_write(self) -> Self {
+        ScanOptions::write_once(self.depth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential_at_default_depth() {
+        assert_eq!(
+            ScanOptions::default().pattern,
+            AccessPattern::Sequential {
+                readahead: DEFAULT_IO_DEPTH
+            }
+        );
+    }
+
+    #[test]
+    fn depth_floors_at_one() {
+        assert_eq!(ScanOptions::sequential(0).depth(), 1);
+        assert_eq!(ScanOptions::write_once(0).depth(), 1);
+        assert_eq!(ScanOptions::random().depth(), 1);
+    }
+
+    #[test]
+    fn clamped_to_half_budget() {
+        let o = ScanOptions::sequential(16);
+        assert_eq!(o.clamped(8).depth(), 4);
+        assert_eq!(o.clamped(64).depth(), 16);
+        assert_eq!(o.clamped(3).depth(), 1);
+        assert_eq!(
+            ScanOptions::random().clamped(2).pattern,
+            AccessPattern::Random
+        );
+    }
+
+    #[test]
+    fn shared_divides_depth() {
+        let o = ScanOptions::sequential(8);
+        assert_eq!(o.shared(2).depth(), 4);
+        assert_eq!(o.shared(100).depth(), 1);
+        assert_eq!(o.shared(0).depth(), 8);
+    }
+
+    #[test]
+    fn as_write_keeps_depth() {
+        assert_eq!(
+            ScanOptions::sequential(6).as_write().pattern,
+            AccessPattern::WriteOnce { batch: 6 }
+        );
+    }
+}

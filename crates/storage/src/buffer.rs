@@ -37,6 +37,25 @@
 //! Single-threaded use is the common case and behaves exactly like the
 //! classic sequential pool: the clock sweep, second-chance semantics and
 //! hit/miss accounting are unchanged, so runs remain deterministic.
+//!
+//! # Read-ahead and write coalescing
+//!
+//! Callers that know their access pattern declare it through
+//! [`crate::access::ScanOptions`]. A miss on a
+//! [`Sequential`](crate::access::AccessPattern::Sequential) fetch
+//! ([`BufferPool::read_page_with`]) triggers best-effort read-ahead: the
+//! following pages are staged into claimed frames and loaded with one
+//! vectored [`Disk::read_pages`] — one head movement for the whole batch.
+//! Prefetch never blocks (it claims only frames that are free *right now*),
+//! never evicts pinned pages, stops at the first already-resident page, and
+//! swallows device faults: a speculative read that fails leaves the page to
+//! the on-demand path, which surfaces the fault if it persists. Prefetched
+//! pages are published unpinned with their reference bit set; a later
+//! request for one counts a pool *hit* (the [`PoolStats`] identity
+//! `hits + misses == requests` is unaffected; [`BufferPool::prefetched`]
+//! counts the speculative loads separately). Dirty victims evicted by a
+//! prefetch batch and by [`BufferPool::flush_all`] are themselves grouped
+//! into contiguous runs and written with vectored [`Disk::write_pages`].
 
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
@@ -45,9 +64,14 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::disk::{Disk, IoError};
+use crate::access::{AccessPattern, ScanOptions};
+use crate::disk::{BatchError, Disk, IoError};
 use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
 use crate::stats::{AtomicIoStats, IoStats};
+
+/// Longest contiguous run [`BufferPool::flush_all`] coalesces into one
+/// vectored write. Bounds how long the run's frame latches are held.
+const FLUSH_RUN_MAX: usize = 64;
 
 /// Number of page-table shards. Sixteen keeps striping overhead trivial for
 /// the tiny pools tests use while comfortably exceeding the worker counts
@@ -276,6 +300,10 @@ pub struct BufferPool {
     hand: Mutex<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Pages loaded speculatively by read-ahead. Not part of [`PoolStats`]:
+    /// prefetches are not requests, so they must not disturb the
+    /// `hits + misses == requests` identity phase tiling relies on.
+    prefetched: AtomicU64,
 }
 
 impl BufferPool {
@@ -302,6 +330,7 @@ impl BufferPool {
             hand: Mutex::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            prefetched: AtomicU64::new(0),
         }
     }
 
@@ -331,6 +360,13 @@ impl BufferPool {
     /// safe to call while workers are running.
     pub fn io_stats(&self) -> IoStats {
         self.io.snapshot()
+    }
+
+    /// Pages loaded speculatively by read-ahead so far (whether or not they
+    /// were subsequently requested). Separate from [`PoolStats`] — see the
+    /// module docs.
+    pub fn prefetched(&self) -> u64 {
+        self.prefetched.load(Ordering::Relaxed)
     }
 
     /// Both counter families in one call, for span instrumentation that
@@ -381,14 +417,36 @@ impl BufferPool {
 
     /// Fetches an existing page for reading.
     pub fn read_page(&self, pid: PageId) -> Result<PageRef<'_>, PoolError> {
-        let frame = self.fetch(pid, false, false)?;
+        let (frame, _missed) = self.fetch(pid, false, false)?;
         self.data[frame].latch.lock_shared();
         Ok(PageRef { pool: self, frame })
     }
 
+    /// Fetches an existing page for reading, declaring the surrounding
+    /// access pattern. Behaves exactly like [`BufferPool::read_page`] for
+    /// the requested page; on a miss under
+    /// [`AccessPattern::Sequential`]`{ readahead > 1 }` it additionally
+    /// prefetches up to `readahead - 1` following pages with one vectored
+    /// read (best-effort; see the module docs).
+    pub fn read_page_with(&self, pid: PageId, opts: ScanOptions) -> Result<PageRef<'_>, PoolError> {
+        let (frame, missed) = self.fetch(pid, false, false)?;
+        self.data[frame].latch.lock_shared();
+        let guard = PageRef { pool: self, frame };
+        if missed {
+            if let AccessPattern::Sequential { readahead } = opts.pattern {
+                if readahead > 1 {
+                    // The guard pins `pid`, so the prefetch sweep cannot
+                    // evict the page it is reading ahead of.
+                    self.prefetch(pid, readahead - 1);
+                }
+            }
+        }
+        Ok(guard)
+    }
+
     /// Fetches an existing page for modification; the frame is marked dirty.
     pub fn write_page(&self, pid: PageId) -> Result<PageMut<'_>, PoolError> {
-        let frame = self.fetch(pid, true, false)?;
+        let (frame, _missed) = self.fetch(pid, true, false)?;
         self.data[frame].latch.lock_exclusive();
         Ok(PageMut { pool: self, frame })
     }
@@ -403,10 +461,26 @@ impl BufferPool {
     /// write-back, which is exactly the pathology real engines avoid by
     /// bypassing the buffer pool for bulk output.
     pub fn append_page_through(&self, file: FileId, buf: &PageBuf) -> Result<u32, PoolError> {
+        self.append_pages_through(file, &[buf])
+    }
+
+    /// Appends several full page images to `file` with one vectored
+    /// write-through — the batched [`BufferPool::append_page_through`]: one
+    /// head movement for the whole batch. Returns the page number of the
+    /// first appended page. On a device fault the transferred prefix is on
+    /// disk (and charged); the failing and later pages hold zeros (or a
+    /// torn image) in already-allocated slots — callers treat the batch as
+    /// failed and unwind, exactly as for the single-page variant.
+    pub fn append_pages_through(&self, file: FileId, bufs: &[&PageBuf]) -> Result<u32, PoolError> {
+        assert!(!bufs.is_empty(), "empty append batch");
         let mut disk = self.disk.lock().unwrap();
-        let page = disk.allocate_page(file)?;
-        disk.write_page(PageId::new(file, page), buf)?;
-        Ok(page)
+        let start = disk.allocate_page(file)?;
+        for _ in 1..bufs.len() {
+            disk.allocate_page(file)?;
+        }
+        disk.write_pages(file, start, bufs)
+            .map_err(|e| PoolError::Io(e.error))?;
+        Ok(start)
     }
 
     /// Allocates a fresh page in `file` and returns it pinned for writing.
@@ -414,7 +488,7 @@ impl BufferPool {
     pub fn new_page(&self, file: FileId) -> Result<(u32, PageMut<'_>), PoolError> {
         let page = self.disk.lock().unwrap().allocate_page(file)?;
         let pid = PageId::new(file, page);
-        let frame = self.fetch(pid, true, true)?;
+        let (frame, _missed) = self.fetch(pid, true, true)?;
         self.data[frame].latch.lock_exclusive();
         Ok((page, PageMut { pool: self, frame }))
     }
@@ -442,10 +516,11 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Writes back every dirty frame (leaving pages resident and clean).
-    /// Stops at the first I/O error; already-flushed frames are clean, the
-    /// failing frame and the rest stay dirty, so a recovered caller can
-    /// simply flush again.
+    /// Writes back every dirty frame (leaving pages resident and clean),
+    /// coalescing page-contiguous runs into vectored writes — one head
+    /// movement per run instead of per page. Stops at the first I/O error;
+    /// already-flushed frames are clean, the failing frame and the rest
+    /// stay dirty, so a recovered caller can simply flush again.
     pub fn flush_all(&self) -> Result<(), PoolError> {
         // Collect dirty residents, then flush in page order for sequential
         // write-back, as a real pool would.
@@ -457,26 +532,80 @@ impl BufferPool {
             }
         }
         dirty.sort_unstable();
-        for (pid, i) in dirty {
-            // Latch the data (waits out any in-flight writer guard), then
-            // re-check under the meta lock: the frame may have been evicted
-            // or re-dirtied since the collection pass.
-            self.data[i].latch.lock_shared();
-            let mut m = self.meta[i].lock().unwrap();
-            let mut res = Ok(());
-            if m.dirty && !m.claimed && m.pid == Some(pid) {
-                // SAFETY: shared latch held; no exclusive access exists.
-                let buf = unsafe { &**self.data[i].buf.get() };
-                res = self.disk.lock().unwrap().write_page(pid, buf);
-                if res.is_ok() {
-                    m.dirty = false;
-                }
+        let mut k = 0;
+        while k < dirty.len() {
+            let mut j = k + 1;
+            while j < dirty.len()
+                && j - k < FLUSH_RUN_MAX
+                && dirty[j].0.file == dirty[k].0.file
+                && dirty[j].0.page == dirty[j - 1].0.page + 1
+            {
+                j += 1;
             }
-            drop(m);
-            self.data[i].latch.unlock_shared();
-            res?;
+            self.flush_run(&dirty[k..j])?;
+            k = j;
         }
         Ok(())
+    }
+
+    /// Flushes one candidate run of page-contiguous dirty frames. Every
+    /// frame is latched shared and meta-locked in page order (concurrent
+    /// flushers take the same global order, so they cannot deadlock), then
+    /// re-verified: frames evicted, cleaned or re-claimed since collection
+    /// split the run into shorter verified sub-runs, each still contiguous
+    /// and written with one vectored transfer.
+    fn flush_run(&self, run: &[(PageId, usize)]) -> Result<(), PoolError> {
+        for &(_, i) in run {
+            // Waits out any in-flight writer guard on the frame.
+            self.data[i].latch.lock_shared();
+        }
+        let mut metas: Vec<std::sync::MutexGuard<'_, FrameMeta>> = run
+            .iter()
+            .map(|&(_, i)| self.meta[i].lock().unwrap())
+            .collect();
+        let ok: Vec<bool> = run
+            .iter()
+            .zip(&metas)
+            .map(|(&(pid, _), m)| m.dirty && !m.claimed && m.pid == Some(pid))
+            .collect();
+        let mut result = Ok(());
+        let mut k = 0;
+        while k < run.len() {
+            if !ok[k] {
+                k += 1;
+                continue;
+            }
+            let mut j = k + 1;
+            while j < run.len() && ok[j] {
+                j += 1;
+            }
+            // SAFETY: shared latches held on the whole run; no exclusive
+            // access exists.
+            let bufs: Vec<&PageBuf> = (k..j)
+                .map(|x| unsafe { &**self.data[run[x].1].buf.get() })
+                .collect();
+            let res = self
+                .disk
+                .lock()
+                .unwrap()
+                .write_pages(run[k].0.file, run[k].0.page, &bufs);
+            match res {
+                Ok(()) => (k..j).for_each(|x| metas[x].dirty = false),
+                Err(BatchError { done, error }) => {
+                    (k..k + done).for_each(|x| metas[x].dirty = false);
+                    result = Err(error.into());
+                }
+            }
+            if result.is_err() {
+                break;
+            }
+            k = j;
+        }
+        drop(metas);
+        for &(_, i) in run {
+            self.data[i].latch.unlock_shared();
+        }
+        result
     }
 
     /// Number of currently pinned frames. Used by tests to assert that an
@@ -493,9 +622,10 @@ impl BufferPool {
         self.disk.lock().unwrap().live_files()
     }
 
-    /// Core fetch: returns the (pinned) frame index holding `pid`.
+    /// Core fetch: returns the (pinned) frame index holding `pid` and
+    /// whether the request missed (read from disk / claimed a fresh frame).
     /// `fresh` skips the disk read for newly allocated pages.
-    fn fetch(&self, pid: PageId, for_write: bool, fresh: bool) -> Result<usize, PoolError> {
+    fn fetch(&self, pid: PageId, for_write: bool, fresh: bool) -> Result<(usize, bool), PoolError> {
         loop {
             // Hit path: resident and not mid-eviction.
             {
@@ -515,7 +645,7 @@ impl BufferPool {
                     m.referenced = true;
                     m.dirty |= for_write;
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(f);
+                    return Ok((f, false));
                 }
             }
 
@@ -593,8 +723,166 @@ impl BufferPool {
                 claimed: false,
             };
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return Ok(victim);
+            return Ok((victim, true));
         }
+    }
+
+    /// Best-effort read-ahead: loads up to `count` pages of `after.file`
+    /// following `after` into unpinned frames with one vectored read. Never
+    /// blocks, never evicts pinned pages, stops at the first page already
+    /// resident (the stream is cached ahead) and swallows faults — a failed
+    /// speculative read leaves its pages to the on-demand path.
+    fn prefetch(&self, after: PageId, count: usize) {
+        let file = after.file;
+        let Some(start) = after.page.checked_add(1) else {
+            return;
+        };
+        let avail = self
+            .disk
+            .lock()
+            .unwrap()
+            .num_pages(file)
+            .saturating_sub(start) as usize;
+        let want = count.min(avail);
+
+        // Stage: one claimed victim frame per page. `try_claim_victim`
+        // never waits, so a loaded pool simply prefetches less.
+        let mut staged: Vec<(usize, Option<(PageId, bool)>)> = Vec::with_capacity(want);
+        for i in 0..want {
+            let pid = PageId::new(file, start + i as u32);
+            if self.shard_of(pid).lock().unwrap().contains_key(&pid) {
+                break;
+            }
+            match self.try_claim_victim() {
+                Some(claim) => staged.push(claim),
+                None => break,
+            }
+        }
+        if staged.is_empty() {
+            return;
+        }
+
+        // Write back the victims' dirty residents, coalescing contiguous
+        // runs into vectored writes. A write fault aborts the whole
+        // prefetch: every claim is released, leaving each old page exactly
+        // as the fault left it (written-back frames clean, the rest dirty),
+        // and the table mappings — never removed yet — still valid.
+        let mut dirty: Vec<(PageId, usize)> = staged
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &(_, old))| old.filter(|&(_, d)| d).map(|(p, _)| (p, i)))
+            .collect();
+        dirty.sort_unstable();
+        let mut written = vec![false; staged.len()];
+        let mut failed = false;
+        let mut k = 0;
+        while k < dirty.len() && !failed {
+            let mut j = k + 1;
+            while j < dirty.len()
+                && dirty[j].0.file == dirty[k].0.file
+                && dirty[j].0.page == dirty[j - 1].0.page + 1
+            {
+                j += 1;
+            }
+            let run = &dirty[k..j];
+            // SAFETY: each frame is claimed with pin == 0 — sole access.
+            let bufs: Vec<&PageBuf> = run
+                .iter()
+                .map(|&(_, i)| unsafe { &**self.data[staged[i].0].buf.get() })
+                .collect();
+            let mut disk = self.disk.lock().unwrap();
+            // Victims of a concurrently deleted file (num_pages dropped to
+            // zero) need no write-back; their contents are dead.
+            if disk.num_pages(run[0].0.file) > 0 {
+                match disk.write_pages(run[0].0.file, run[0].0.page, &bufs) {
+                    Ok(()) => run.iter().for_each(|&(_, i)| written[i] = true),
+                    Err(BatchError { done, .. }) => {
+                        run[..done].iter().for_each(|&(_, i)| written[i] = true);
+                        failed = true;
+                    }
+                }
+            }
+            drop(disk);
+            k = j;
+        }
+        if failed {
+            for (i, &(frame, _)) in staged.iter().enumerate() {
+                let mut m = self.meta[frame].lock().unwrap();
+                if written[i] {
+                    m.dirty = false;
+                }
+                m.claimed = false;
+            }
+            return;
+        }
+
+        // Remove the old residents' table mappings (write-back is done, so
+        // a miss on an old page may now read the fresh disk copy).
+        for &(frame, old) in &staged {
+            if let Some((old_pid, _)) = old {
+                let mut table = self.shard_of(old_pid).lock().unwrap();
+                if table.get(&old_pid) == Some(&frame) {
+                    table.remove(&old_pid);
+                }
+            }
+        }
+
+        // Publish the new mappings, truncating at the first page another
+        // thread published while we were staging (frames past it return to
+        // the free pool).
+        let mut n = staged.len();
+        for (i, &(frame, _)) in staged.iter().enumerate() {
+            let pid = PageId::new(file, start + i as u32);
+            let mut table = self.shard_of(pid).lock().unwrap();
+            if table.contains_key(&pid) {
+                n = i;
+                break;
+            }
+            table.insert(pid, frame);
+        }
+        for &(frame, _) in &staged[n..] {
+            *self.meta[frame].lock().unwrap() = FrameMeta::EMPTY;
+        }
+        staged.truncate(n);
+        if staged.is_empty() {
+            return;
+        }
+
+        // One vectored read for the whole batch. On a fault, publish the
+        // transferred prefix and free the rest — the fault itself is
+        // swallowed (the on-demand path will surface it if it persists).
+        let res = {
+            // SAFETY: claimed frames, sole access; frame indices distinct.
+            let mut bufs: Vec<&mut PageBuf> = staged
+                .iter()
+                .map(|&(frame, _)| unsafe { &mut **self.data[frame].buf.get() })
+                .collect();
+            self.disk.lock().unwrap().read_pages(file, start, &mut bufs)
+        };
+        let done = match res {
+            Ok(()) => staged.len(),
+            Err(BatchError { done, .. }) => done,
+        };
+        for (i, &(frame, _)) in staged.iter().enumerate() {
+            if i < done {
+                *self.meta[frame].lock().unwrap() = FrameMeta {
+                    pid: Some(PageId::new(file, start + i as u32)),
+                    pin: 0,
+                    dirty: false,
+                    referenced: true,
+                    claimed: false,
+                };
+            } else {
+                let pid = PageId::new(file, start + i as u32);
+                let mut table = self.shard_of(pid).lock().unwrap();
+                if table.get(&pid) == Some(&frame) {
+                    table.remove(&pid);
+                }
+                drop(table);
+                *self.meta[frame].lock().unwrap() = FrameMeta::EMPTY;
+            }
+        }
+        self.prefetched.fetch_add(done as u64, Ordering::Relaxed);
     }
 
     /// Clock sweep: claim an unpinned frame, giving referenced frames a
@@ -636,6 +924,33 @@ impl BufferPool {
             spins += 1;
             std::thread::yield_now();
         }
+    }
+
+    /// Non-blocking clock sweep for the prefetcher: one pass of up to `2n`
+    /// steps with the usual second-chance semantics, but claimed frames are
+    /// skipped without waiting and exhaustion returns `None` instead of an
+    /// error. Prefetch would rather skip read-ahead than stall — and it may
+    /// already hold claims itself, so waiting on claimed frames here could
+    /// self-deadlock.
+    #[allow(clippy::type_complexity)]
+    fn try_claim_victim(&self) -> Option<(usize, Option<(PageId, bool)>)> {
+        let n = self.meta.len();
+        let mut hand = self.hand.lock().unwrap();
+        for _ in 0..2 * n {
+            let i = *hand;
+            *hand = (*hand + 1) % n;
+            let mut m = self.meta[i].lock().unwrap();
+            if m.claimed || m.pin > 0 {
+                continue;
+            }
+            if m.referenced {
+                m.referenced = false;
+                continue;
+            }
+            m.claimed = true;
+            return Some((i, m.pid.map(|p| (p, m.dirty))));
+        }
+        None
     }
 
     fn unpin(&self, frame: usize) {
@@ -886,6 +1201,128 @@ mod tests {
         assert_eq!(r1[0], 77);
         assert_eq!(r2[0], 77);
         assert_eq!(p.pool_stats().hits, 2);
+    }
+
+    #[test]
+    fn read_ahead_prefetches_following_pages() {
+        let p = pool(8);
+        let f = p.create_file();
+        for i in 0..6u8 {
+            let (_, mut g) = p.new_page(f).unwrap();
+            g[0] = i;
+        }
+        p.evict_all().unwrap();
+        let base = p.io_stats();
+        let opts = ScanOptions::sequential(4);
+        let r = p.read_page_with(PageId::new(f, 0), opts).unwrap();
+        assert_eq!(r[0], 0);
+        drop(r);
+        // One demand read plus three prefetched pages, fetched as one
+        // sequential run behind the demand page.
+        let d = p.io_stats().since(&base);
+        assert_eq!(d.reads(), 4);
+        assert_eq!(d.seq_reads, 3);
+        assert_eq!(p.prefetched(), 3);
+        // Pages 1..4 are resident: pure pool hits, no further disk reads.
+        let before = p.pool_stats();
+        for i in 1..4u32 {
+            let r = p.read_page_with(PageId::new(f, i), opts).unwrap();
+            assert_eq!(r[0], i as u8);
+        }
+        let ps = p.pool_stats().since(&before);
+        assert_eq!((ps.hits, ps.misses), (3, 0));
+        assert_eq!(p.io_stats().since(&base).reads(), 4);
+    }
+
+    #[test]
+    fn read_ahead_clips_to_file_end() {
+        let p = pool(8);
+        let f = p.create_file();
+        for _ in 0..2 {
+            let (_, _g) = p.new_page(f).unwrap();
+        }
+        p.evict_all().unwrap();
+        let r = p
+            .read_page_with(PageId::new(f, 0), ScanOptions::sequential(8))
+            .unwrap();
+        drop(r);
+        // Only one page exists past page 0; no read beyond the file end.
+        assert_eq!(p.prefetched(), 1);
+        assert_eq!(p.io_stats().reads(), 2);
+    }
+
+    #[test]
+    fn read_ahead_never_evicts_pinned_pages() {
+        let p = pool(2);
+        let f = p.create_file();
+        for _ in 0..4 {
+            let (_, _g) = p.new_page(f).unwrap();
+        }
+        p.evict_all().unwrap();
+        // Page 0 stays pinned; read-ahead wants 3 more pages but only one
+        // frame is free — it takes what it can get, without erroring.
+        let g0 = p
+            .read_page_with(PageId::new(f, 0), ScanOptions::sequential(4))
+            .unwrap();
+        assert_eq!(p.prefetched(), 1);
+        let r = p.read_page(PageId::new(f, 1)).unwrap(); // prefetched: a hit
+        assert_eq!(p.pool_stats().since(&PoolStats::default()).hits, 1);
+        drop(r);
+        drop(g0);
+    }
+
+    #[test]
+    fn prefetch_writes_back_dirty_victims() {
+        let p = pool(4);
+        let f = p.create_file();
+        for i in 0..8u8 {
+            let (_, mut g) = p.new_page(f).unwrap();
+            g[0] = i;
+        }
+        // Frames hold dirty pages 4..8. The demand miss evicts one; the
+        // prefetch staging evicts the other three (a contiguous dirty run,
+        // written back with one vectored transfer). Nothing may be lost.
+        let r = p
+            .read_page_with(PageId::new(f, 0), ScanOptions::sequential(4))
+            .unwrap();
+        assert_eq!(r[0], 0);
+        drop(r);
+        assert_eq!(p.prefetched(), 3);
+        for i in 0..8u32 {
+            let r = p.read_page(PageId::new(f, i)).unwrap();
+            assert_eq!(r[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn flush_coalesces_contiguous_runs() {
+        let p = pool(8);
+        let f = p.create_file();
+        for _ in 0..4 {
+            let (_, _g) = p.new_page(f).unwrap();
+        }
+        let base = p.io_stats();
+        p.flush_all().unwrap();
+        // Four contiguous dirty pages: one vectored write — one seek, three
+        // sequential transfers.
+        let d = p.io_stats().since(&base);
+        assert_eq!(d.writes(), 4);
+        assert_eq!((d.rand_writes, d.seq_writes), (1, 3));
+    }
+
+    #[test]
+    fn batched_append_through_charges_one_seek() {
+        let p = pool(4);
+        let f = p.create_file();
+        let a = Box::new([1u8; PAGE_SIZE]);
+        let b = Box::new([2u8; PAGE_SIZE]);
+        let c = Box::new([3u8; PAGE_SIZE]);
+        let start = p.append_pages_through(f, &[&a, &b, &c]).unwrap();
+        assert_eq!(start, 0);
+        let d = p.io_stats();
+        assert_eq!((d.rand_writes, d.seq_writes), (1, 2));
+        let r = p.read_page(PageId::new(f, 2)).unwrap();
+        assert_eq!(r[0], 3);
     }
 
     #[test]

@@ -6,6 +6,17 @@
 //! sequential or random (relative to the previous access in the same file)
 //! and charges the [`CostModel`].
 //!
+//! # Vectored transfers
+//!
+//! Backends also expose multi-page ops ([`DiskBackend::read_pages`],
+//! [`DiskBackend::write_pages`]) over a run of consecutive pages in one
+//! file. The default implementations loop the single-page ops; the
+//! file-backed backend issues one seek and streams the run, and the fault
+//! backend injects faults *inside* batches (a torn batch is a partial
+//! success: [`BatchError::done`] pages transferred, the rest untouched).
+//! [`Disk`] charges a successful batch as one head movement plus `N - 1`
+//! sequential transfers — each page is still counted exactly once.
+//!
 //! # Error model
 //!
 //! Page transfers are fallible: `read_page`/`write_page`/`allocate_page`
@@ -18,7 +29,6 @@
 //! The [`crate::fault`] module provides a backend wrapper that injects
 //! deterministic faults for testing.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -79,6 +89,29 @@ impl fmt::Display for IoError {
 
 impl std::error::Error for IoError {}
 
+/// A vectored transfer that failed part-way: the first [`done`] pages of
+/// the batch transferred successfully (and, at the [`Disk`] layer, were
+/// charged), the failing page is named by [`error`], and every page after
+/// it was not attempted.
+///
+/// [`done`]: BatchError::done
+/// [`error`]: BatchError::error
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchError {
+    /// Pages at the front of the batch that transferred successfully.
+    pub done: usize,
+    /// The failure that stopped the batch.
+    pub error: IoError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} after {} pages of the batch", self.error, self.done)
+    }
+}
+
+impl std::error::Error for BatchError {}
+
 /// A page-granular storage device. Backends must be [`Send`]: the buffer
 /// pool wraps the disk in a mutex and hands it to scoped worker threads.
 ///
@@ -101,6 +134,44 @@ pub trait DiskBackend: Send {
     fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) -> Result<(), IoError>;
     /// Writes `buf` to page `pid`.
     fn write_page(&mut self, pid: PageId, buf: &PageBuf) -> Result<(), IoError>;
+
+    /// Reads `bufs.len()` consecutive pages of `file` starting at `start`,
+    /// one page per buffer. On failure the prefix [`BatchError::done`] is
+    /// valid and pages past the failing one were not attempted.
+    ///
+    /// The default loops [`read_page`](DiskBackend::read_page); backends
+    /// with a cheaper native path (one seek + a streamed run) override it.
+    fn read_pages(
+        &mut self,
+        file: FileId,
+        start: u32,
+        bufs: &mut [&mut PageBuf],
+    ) -> Result<(), BatchError> {
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            self.read_page(PageId::new(file, start + i as u32), buf)
+                .map_err(|error| BatchError { done: i, error })?;
+        }
+        Ok(())
+    }
+
+    /// Writes `bufs.len()` consecutive pages of `file` starting at `start`.
+    /// On failure the prefix [`BatchError::done`] reached the device and
+    /// pages past the failing one were not attempted (a *torn batch*).
+    ///
+    /// The default loops [`write_page`](DiskBackend::write_page); backends
+    /// with a cheaper native path override it.
+    fn write_pages(
+        &mut self,
+        file: FileId,
+        start: u32,
+        bufs: &[&PageBuf],
+    ) -> Result<(), BatchError> {
+        for (i, buf) in bufs.iter().enumerate() {
+            self.write_page(PageId::new(file, start + i as u32), buf)
+                .map_err(|error| BatchError { done: i, error })?;
+        }
+        Ok(())
+    }
 }
 
 /// In-memory backend: pages live in `Vec`s. The default for experiments —
@@ -282,6 +353,64 @@ impl DiskBackend for FileBackend {
                 transient: false,
             })
     }
+
+    /// Native batch: one seek, then the run streams with `read_exact` per
+    /// page — no per-page seek syscalls.
+    fn read_pages(
+        &mut self,
+        file: FileId,
+        start: u32,
+        bufs: &mut [&mut PageBuf],
+    ) -> Result<(), BatchError> {
+        let (f, n) = self.entry_mut(file);
+        assert!(
+            start as u64 + bufs.len() as u64 <= *n as u64,
+            "batch read past end of file {file:?}"
+        );
+        let err = |done: usize| BatchError {
+            done,
+            error: IoError {
+                pid: PageId::new(file, start + done as u32),
+                kind: IoErrorKind::Read,
+                transient: false,
+            },
+        };
+        f.seek(SeekFrom::Start(start as u64 * PAGE_SIZE as u64))
+            .map_err(|_| err(0))?;
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            f.read_exact(&mut buf[..]).map_err(|_| err(i))?;
+        }
+        Ok(())
+    }
+
+    /// Native batch: one seek, then the run streams with `write_all` per
+    /// page — no per-page seek syscalls.
+    fn write_pages(
+        &mut self,
+        file: FileId,
+        start: u32,
+        bufs: &[&PageBuf],
+    ) -> Result<(), BatchError> {
+        let (f, n) = self.entry_mut(file);
+        assert!(
+            start as u64 + bufs.len() as u64 <= *n as u64,
+            "batch write past end of file {file:?}"
+        );
+        let err = |done: usize| BatchError {
+            done,
+            error: IoError {
+                pid: PageId::new(file, start + done as u32),
+                kind: IoErrorKind::Write,
+                transient: false,
+            },
+        };
+        f.seek(SeekFrom::Start(start as u64 * PAGE_SIZE as u64))
+            .map_err(|_| err(0))?;
+        for (i, buf) in bufs.iter().enumerate() {
+            f.write_all(&buf[..]).map_err(|_| err(i))?;
+        }
+        Ok(())
+    }
 }
 
 /// How many times [`Disk`] re-attempts a transfer whose error is flagged
@@ -301,8 +430,14 @@ pub struct Disk {
     backend: Box<dyn DiskBackend>,
     cost: CostModel,
     stats: Arc<AtomicIoStats>,
-    /// Last page accessed per file, to classify sequential vs. random.
-    last_access: HashMap<FileId, u32>,
+    /// The single head position: the last page transferred, across *all*
+    /// files — one disk arm. A transfer is sequential only when it targets
+    /// the same file at the head page or the one right after it; switching
+    /// files always seeks. This is what makes batching matter: interleaved
+    /// per-page streams (a scan racing a spill, partition fan-out writers)
+    /// pay a seek per page, while a vectored batch pays one seek and then
+    /// `N - 1` sequential transfers.
+    head: Option<PageId>,
     /// Max automatic retries of a transient transfer error.
     retry_limit: u32,
 }
@@ -314,7 +449,7 @@ impl Disk {
             backend,
             cost,
             stats: Arc::new(AtomicIoStats::default()),
-            last_access: HashMap::new(),
+            head: None,
             retry_limit: DEFAULT_RETRY_LIMIT,
         }
     }
@@ -356,16 +491,24 @@ impl Disk {
 
     fn charge(&mut self, pid: PageId, is_read: bool) {
         let seq = self
-            .last_access
-            .get(&pid.file)
-            .is_some_and(|&last| pid.page == last + 1 || pid.page == last);
-        self.last_access.insert(pid.file, pid.page);
+            .head
+            .is_some_and(|h| h.file == pid.file && (pid.page == h.page + 1 || pid.page == h.page));
+        self.head = Some(pid);
         let ns = if seq {
             self.cost.seq_ns
         } else {
             self.cost.rand_ns
         };
         self.stats.record(is_read, seq, ns);
+    }
+
+    /// Charges `count` pages of `file` starting at `start`: the first page
+    /// is classified against the head, the rest are sequential by
+    /// construction. Each page is counted exactly once.
+    fn charge_batch(&mut self, file: FileId, start: u32, count: usize, is_read: bool) {
+        for i in 0..count {
+            self.charge(PageId::new(file, start + i as u32), is_read);
+        }
     }
 
     /// See [`DiskBackend::create_file`].
@@ -375,7 +518,9 @@ impl Disk {
 
     /// See [`DiskBackend::delete_file`].
     pub fn delete_file(&mut self, file: FileId) {
-        self.last_access.remove(&file);
+        if self.head.is_some_and(|h| h.file == file) {
+            self.head = None;
+        }
         self.backend.delete_file(file);
     }
 
@@ -425,6 +570,81 @@ impl Disk {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Reads a run of consecutive pages, charging the cost model exactly
+    /// once per transferred page: the batch costs one head movement (random
+    /// unless the head already sits at `start`) plus sequential transfers.
+    ///
+    /// A transient fault resumes the batch at the failing page (transferred
+    /// prefix pages are charged and kept — they are *done*); a persistent
+    /// fault returns a [`BatchError`] whose [`done`](BatchError::done)
+    /// prefix was transferred and charged, so accounting stays accurate for
+    /// torn batches.
+    pub fn read_pages(
+        &mut self,
+        file: FileId,
+        start: u32,
+        bufs: &mut [&mut PageBuf],
+    ) -> Result<(), BatchError> {
+        let mut done = 0usize;
+        let mut attempts = 0u32;
+        while done < bufs.len() {
+            let s = start + done as u32;
+            match self.backend.read_pages(file, s, &mut bufs[done..]) {
+                Ok(()) => {
+                    self.charge_batch(file, s, bufs.len() - done, true);
+                    return Ok(());
+                }
+                Err(BatchError { done: d, error }) => {
+                    if d > 0 {
+                        self.charge_batch(file, s, d, true);
+                        done += d;
+                        attempts = 0;
+                    }
+                    if error.transient && attempts < self.retry_limit {
+                        attempts += 1;
+                    } else {
+                        return Err(BatchError { done, error });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a run of consecutive pages; the charging, resume and
+    /// torn-batch rules of [`read_pages`](Disk::read_pages) apply.
+    pub fn write_pages(
+        &mut self,
+        file: FileId,
+        start: u32,
+        bufs: &[&PageBuf],
+    ) -> Result<(), BatchError> {
+        let mut done = 0usize;
+        let mut attempts = 0u32;
+        while done < bufs.len() {
+            let s = start + done as u32;
+            match self.backend.write_pages(file, s, &bufs[done..]) {
+                Ok(()) => {
+                    self.charge_batch(file, s, bufs.len() - done, false);
+                    return Ok(());
+                }
+                Err(BatchError { done: d, error }) => {
+                    if d > 0 {
+                        self.charge_batch(file, s, d, false);
+                        done += d;
+                        attempts = 0;
+                    }
+                    if error.transient && attempts < self.retry_limit {
+                        attempts += 1;
+                    } else {
+                        return Err(BatchError { done, error });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -498,8 +718,9 @@ mod tests {
     }
 
     #[test]
-    fn per_file_head_positions() {
-        // Interleaved access to two files: each file tracks its own head.
+    fn head_is_global_across_files() {
+        // One disk arm: interleaved per-page access to two files seeks on
+        // every transfer, even though each file's pages ascend.
         let mut disk = Disk::in_memory();
         let f1 = disk.create_file();
         let f2 = disk.create_file();
@@ -513,9 +734,77 @@ mod tests {
         disk.read_page(PageId::new(f1, 1), &mut buf).unwrap();
         disk.read_page(PageId::new(f2, 1), &mut buf).unwrap();
         let s = disk.stats();
-        // First touch of each file is random, the rest sequential.
-        assert_eq!(s.rand_reads, 2);
-        assert_eq!(s.seq_reads, 2);
+        assert_eq!(s.rand_reads, 4);
+        assert_eq!(s.seq_reads, 0);
+    }
+
+    #[test]
+    fn batched_reads_charge_one_seek_per_run() {
+        // The same interleaved workload, batched: each run pays one seek
+        // plus sequential transfers.
+        let mut disk = Disk::in_memory();
+        let f1 = disk.create_file();
+        let f2 = disk.create_file();
+        for _ in 0..3 {
+            disk.allocate_page(f1).unwrap();
+            disk.allocate_page(f2).unwrap();
+        }
+        let mut a = [0u8; PAGE_SIZE];
+        let mut b = [0u8; PAGE_SIZE];
+        let mut c = [0u8; PAGE_SIZE];
+        disk.read_pages(f1, 0, &mut [&mut a, &mut b, &mut c])
+            .unwrap();
+        disk.read_pages(f2, 0, &mut [&mut a, &mut b, &mut c])
+            .unwrap();
+        let s = disk.stats();
+        assert_eq!(s.rand_reads, 2, "one head movement per batch");
+        assert_eq!(s.seq_reads, 4);
+        assert_eq!(
+            s.sim_ns,
+            2 * CostModel::default().rand_ns + 4 * CostModel::default().seq_ns
+        );
+    }
+
+    #[test]
+    fn batched_write_roundtrip_and_charging() {
+        let mut disk = Disk::in_memory();
+        let f = disk.create_file();
+        for _ in 0..4 {
+            disk.allocate_page(f).unwrap();
+        }
+        let mut imgs = [[0u8; PAGE_SIZE]; 3];
+        for (i, img) in imgs.iter_mut().enumerate() {
+            img[0] = i as u8 + 1;
+        }
+        let refs: Vec<&PageBuf> = imgs.iter().collect();
+        disk.write_pages(f, 1, &refs).unwrap();
+        let s = disk.stats();
+        assert_eq!((s.rand_writes, s.seq_writes), (1, 2));
+        let mut out = [0u8; PAGE_SIZE];
+        for i in 0..3u32 {
+            disk.read_page(PageId::new(f, i + 1), &mut out).unwrap();
+            assert_eq!(out[0], i as u8 + 1);
+        }
+        // Page 1 re-read after the batch left the head at page 3: random.
+        // (Pages 2 and 3 followed sequentially above.)
+        assert_eq!(disk.stats().rand_reads, 1);
+        assert_eq!(disk.stats().seq_reads, 2);
+    }
+
+    #[test]
+    fn batch_resumes_head_after_batched_run() {
+        // A single-page read right after a batch continues the run.
+        let mut disk = Disk::in_memory();
+        let f = disk.create_file();
+        for _ in 0..4 {
+            disk.allocate_page(f).unwrap();
+        }
+        let mut a = [0u8; PAGE_SIZE];
+        let mut b = [0u8; PAGE_SIZE];
+        disk.read_pages(f, 0, &mut [&mut a, &mut b]).unwrap();
+        disk.read_page(PageId::new(f, 2), &mut a).unwrap();
+        assert_eq!(disk.stats().seq_reads, 2);
+        assert_eq!(disk.stats().rand_reads, 1);
     }
 
     #[test]

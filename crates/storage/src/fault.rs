@@ -21,7 +21,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use crate::disk::{DiskBackend, IoError, IoErrorKind};
+use crate::disk::{BatchError, DiskBackend, IoError, IoErrorKind};
 use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
 use crate::util::rng::Rng;
 
@@ -289,6 +289,68 @@ impl<B: DiskBackend> DiskBackend for FaultBackend<B> {
         }
         self.backend.write_page(pid, buf)
     }
+
+    /// Native batch: each page consumes one read attempt, in order, and the
+    /// batch stops at the first injected fault — attempt indices past the
+    /// failing page are *not* consumed, so an armed index always names one
+    /// concrete page whether it is reached page-at-a-time or mid-batch.
+    fn read_pages(
+        &mut self,
+        file: FileId,
+        start: u32,
+        bufs: &mut [&mut PageBuf],
+    ) -> Result<(), BatchError> {
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            let pid = PageId::new(file, start + i as u32);
+            if let Some(mut e) = self.inner.lock().unwrap().attempt(true) {
+                e.pid = pid;
+                return Err(BatchError { done: i, error: e });
+            }
+            self.backend
+                .read_page(pid, buf)
+                .map_err(|error| BatchError { done: i, error })?;
+        }
+        Ok(())
+    }
+
+    /// Native batch; see [`read_pages`](FaultBackend::read_pages) for the
+    /// attempt discipline. An injected fault tears the *batch* at the
+    /// failing page (its prefix reached the device); with
+    /// [`FaultConfig::torn_writes`] the failing page itself is also torn.
+    fn write_pages(
+        &mut self,
+        file: FileId,
+        start: u32,
+        bufs: &[&PageBuf],
+    ) -> Result<(), BatchError> {
+        for (i, buf) in bufs.iter().enumerate() {
+            let pid = PageId::new(file, start + i as u32);
+            let (fault, torn) = {
+                let mut g = self.inner.lock().unwrap();
+                let torn = g.config.torn_writes;
+                (g.attempt(false), torn)
+            };
+            if let Some(mut e) = fault {
+                e.pid = pid;
+                if torn {
+                    let mut img: PageBuf = [0u8; PAGE_SIZE];
+                    self.backend
+                        .read_page(pid, &mut img)
+                        .map_err(|error| BatchError { done: i, error })?;
+                    img[..PAGE_SIZE / 2].copy_from_slice(&buf[..PAGE_SIZE / 2]);
+                    self.backend
+                        .write_page(pid, &img)
+                        .map_err(|error| BatchError { done: i, error })?;
+                    e.kind = IoErrorKind::TornWrite;
+                }
+                return Err(BatchError { done: i, error: e });
+            }
+            self.backend
+                .write_page(pid, buf)
+                .map_err(|error| BatchError { done: i, error })?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +460,87 @@ mod tests {
         assert_ne!(a, c, "different seed, different fault pattern");
         assert!(fa > 0, "p=0.3 over 64 attempts should fault");
         assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn batch_read_fault_lands_mid_batch() {
+        // Arm read index 2; a 4-page batch tears there: 2 pages done and
+        // charged, the attempt index past the fault not consumed.
+        let (mut disk, h) = disk_with(FaultConfig::read_at(2));
+        let f = disk.create_file();
+        for _ in 0..4 {
+            disk.allocate_page(f).unwrap();
+        }
+        let mut bufs = [[0u8; PAGE_SIZE]; 4];
+        let mut refs: Vec<&mut PageBuf> = bufs.iter_mut().collect();
+        let e = disk.read_pages(f, 0, &mut refs).unwrap_err();
+        assert_eq!(e.done, 2);
+        assert_eq!(e.error.pid, PageId::new(f, 2));
+        assert_eq!(h.reads(), 3, "attempts past the failing page untouched");
+        assert_eq!(disk.stats().reads(), 2, "only the torn prefix is charged");
+    }
+
+    #[test]
+    fn transient_mid_batch_fault_resumes_with_identical_charging() {
+        let (mut disk, h) = disk_with(FaultConfig::read_at(2).transient());
+        let f = disk.create_file();
+        for _ in 0..4 {
+            disk.allocate_page(f).unwrap();
+        }
+        let mut bufs = [[0u8; PAGE_SIZE]; 4];
+        let mut refs: Vec<&mut PageBuf> = bufs.iter_mut().collect();
+        disk.read_pages(f, 0, &mut refs).unwrap();
+        assert_eq!(h.read_faults(), 1);
+        assert_eq!(h.reads(), 5, "4 pages + 1 faulted attempt");
+        // Resume continues the run: charging matches a fault-free batch.
+        let s = disk.stats();
+        assert_eq!((s.rand_reads, s.seq_reads), (1, 3));
+    }
+
+    #[test]
+    fn batch_write_fault_tears_the_batch() {
+        let (mut disk, h) = disk_with(FaultConfig::write_at(1));
+        let f = disk.create_file();
+        for _ in 0..3 {
+            disk.allocate_page(f).unwrap();
+        }
+        let imgs = [
+            [0xAAu8; PAGE_SIZE],
+            [0xBBu8; PAGE_SIZE],
+            [0xCCu8; PAGE_SIZE],
+        ];
+        let refs: Vec<&PageBuf> = imgs.iter().collect();
+        let e = disk.write_pages(f, 0, &refs).unwrap_err();
+        assert_eq!(e.done, 1);
+        assert_eq!(e.error.pid, PageId::new(f, 1));
+        assert_eq!(h.writes(), 2);
+        assert_eq!(disk.stats().writes(), 1);
+        // The prefix reached the device; the failing page and the rest
+        // kept their old (zeroed) contents.
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(PageId::new(f, 0), &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0xAA));
+        disk.read_page(PageId::new(f, 1), &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn torn_write_inside_batch_tears_the_failing_page() {
+        let mut cfg = FaultConfig::write_at(1);
+        cfg.torn_writes = true;
+        let (mut disk, _h) = disk_with(cfg);
+        let f = disk.create_file();
+        for _ in 0..2 {
+            disk.allocate_page(f).unwrap();
+        }
+        let imgs = [[0xAAu8; PAGE_SIZE], [0xBBu8; PAGE_SIZE]];
+        let refs: Vec<&PageBuf> = imgs.iter().collect();
+        let e = disk.write_pages(f, 0, &refs).unwrap_err();
+        assert_eq!(e.error.kind, IoErrorKind::TornWrite);
+        let mut out = [0u8; PAGE_SIZE];
+        disk.read_page(PageId::new(f, 1), &mut out).unwrap();
+        assert!(out[..PAGE_SIZE / 2].iter().all(|&b| b == 0xBB));
+        assert!(out[PAGE_SIZE / 2..].iter().all(|&b| b == 0));
     }
 
     #[test]

@@ -6,8 +6,9 @@
 
 use std::marker::PhantomData;
 
+use crate::access::ScanOptions;
 use crate::buffer::{BufferPool, PageRef, PoolError};
-use crate::page::{FileId, PageId, PAGE_SIZE};
+use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
 use crate::record::FixedRecord;
 
 /// Bytes reserved for the per-page header (record count).
@@ -97,14 +98,34 @@ impl<R: FixedRecord> HeapFile<R> {
         self.bounds
     }
 
-    /// Sequentially scans all records. The scan pins one page at a time.
+    /// Sequentially scans all records. The scan pins one page at a time and
+    /// declares sequential access at the default read-ahead depth
+    /// ([`crate::access::DEFAULT_IO_DEPTH`]); use
+    /// [`scan_with`](HeapFile::scan_with) to tune or disable read-ahead.
     pub fn scan<'a>(&self, pool: &'a BufferPool) -> HeapScan<'a, R> {
         self.scan_at(pool, ScanPos::START)
+    }
+
+    /// [`scan`](HeapFile::scan) with explicit [`ScanOptions`] — operators
+    /// sharing a frame budget across several streams pass a clamped or
+    /// shared depth here.
+    pub fn scan_with<'a>(&self, pool: &'a BufferPool, opts: ScanOptions) -> HeapScan<'a, R> {
+        self.scan_at_with(pool, ScanPos::START, opts)
     }
 
     /// Starts a scan at a previously captured [`ScanPos`] — the rescan
     /// primitive tree-merge joins (MPMGJN) need.
     pub fn scan_at<'a>(&self, pool: &'a BufferPool, pos: ScanPos) -> HeapScan<'a, R> {
+        self.scan_at_with(pool, pos, ScanOptions::default())
+    }
+
+    /// [`scan_at`](HeapFile::scan_at) with explicit [`ScanOptions`].
+    pub fn scan_at_with<'a>(
+        &self,
+        pool: &'a BufferPool,
+        pos: ScanPos,
+        opts: ScanOptions,
+    ) -> HeapScan<'a, R> {
         HeapScan {
             pool,
             file: self.file,
@@ -114,6 +135,7 @@ impl<R: FixedRecord> HeapFile<R> {
             idx: pos.idx,
             skip_on_load: pos.idx,
             in_page: 0,
+            opts,
             _marker: PhantomData,
         }
     }
@@ -121,8 +143,16 @@ impl<R: FixedRecord> HeapFile<R> {
     /// Reads the whole file into a `Vec` (test/verification helper; real
     /// operators stream via [`scan`](HeapFile::scan)).
     pub fn read_all(&self, pool: &BufferPool) -> Result<Vec<R>, PoolError> {
+        self.read_all_with(pool, ScanOptions::default())
+    }
+
+    /// [`read_all`](HeapFile::read_all) under explicit [`ScanOptions`], for
+    /// callers that must honor a declared access pattern (operators pass
+    /// their context's read options so a prefetch-off run stays
+    /// prefetch-free even through whole-file loads).
+    pub fn read_all_with(&self, pool: &BufferPool, opts: ScanOptions) -> Result<Vec<R>, PoolError> {
         let mut out = Vec::with_capacity(self.records as usize);
-        let mut scan = self.scan(pool);
+        let mut scan = self.scan_with(pool, opts);
         while let Some(r) = scan.next_record()? {
             out.push(r);
         }
@@ -135,8 +165,12 @@ impl<R: FixedRecord> HeapFile<R> {
     }
 }
 
-/// Append writer for a heap file. Buffers one page image and writes it
-/// through to disk when full (no pool frames consumed).
+/// Append writer for a heap file. Buffers page images in its own memory
+/// (no pool frames consumed) and appends them with vectored write-through,
+/// coalescing up to the declared [`AccessPattern::WriteOnce`] batch depth
+/// per disk-arm movement.
+///
+/// [`AccessPattern::WriteOnce`]: crate::access::AccessPattern::WriteOnce
 pub struct HeapWriter<'a, R: FixedRecord> {
     pool: &'a BufferPool,
     file: FileId,
@@ -146,12 +180,25 @@ pub struct HeapWriter<'a, R: FixedRecord> {
     /// Records buffered in the (unpinned-between-pushes) current page image.
     buf: Vec<u8>,
     in_buf: usize,
+    /// Sealed page images awaiting one vectored append.
+    pending: Vec<Box<PageBuf>>,
+    /// Pages coalesced per append batch (the write-once depth).
+    batch: usize,
     _marker: PhantomData<R>,
 }
 
 impl<'a, R: FixedRecord> HeapWriter<'a, R> {
-    /// Starts writing a brand-new heap file.
+    /// Starts writing a brand-new heap file, batching appends at the
+    /// default write-once depth; use [`create_with`](HeapWriter::create_with)
+    /// to tune or disable batching.
     pub fn create(pool: &'a BufferPool) -> Result<Self, PoolError> {
+        Self::create_with(pool, ScanOptions::default())
+    }
+
+    /// Starts writing a brand-new heap file with explicit [`ScanOptions`]
+    /// (the write-once counterpart of the declared depth is used, so
+    /// passing an operator's read options directly does the right thing).
+    pub fn create_with(pool: &'a BufferPool, opts: ScanOptions) -> Result<Self, PoolError> {
         Ok(HeapWriter {
             pool,
             file: pool.create_file(),
@@ -160,6 +207,8 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
             bounds: None,
             buf: vec![0u8; PAGE_SIZE],
             in_buf: 0,
+            pending: Vec::new(),
+            batch: opts.as_write().depth(),
             _marker: PhantomData,
         })
     }
@@ -201,18 +250,34 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
             return Ok(());
         }
         self.buf[..HEADER].copy_from_slice(&(self.in_buf as u32).to_le_bytes());
-        // Write through: bulk output bypasses the pool (see
-        // `BufferPool::append_page_through`).
-        let buf: &crate::page::PageBuf = self.buf[..].try_into().expect("page-sized buffer");
-        self.pool.append_page_through(self.file, buf)?;
+        // Seal the page image; the actual write-through happens in batches
+        // (bulk output bypasses the pool, see
+        // `BufferPool::append_pages_through`).
+        let mut img: Box<PageBuf> = Box::new([0u8; PAGE_SIZE]);
+        img.copy_from_slice(&self.buf);
+        self.pending.push(img);
         self.pages += 1;
         self.in_buf = 0;
+        if self.pending.len() >= self.batch {
+            self.flush_pending()?;
+        }
+        Ok(())
+    }
+
+    fn flush_pending(&mut self) -> Result<(), PoolError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let bufs: Vec<&PageBuf> = self.pending.iter().map(|b| &**b).collect();
+        self.pool.append_pages_through(self.file, &bufs)?;
+        self.pending.clear();
         Ok(())
     }
 
     /// Flushes the tail page and returns the finished file handle.
     pub fn finish(mut self) -> Result<HeapFile<R>, PoolError> {
         self.spill()?;
+        self.flush_pending()?;
         Ok(HeapFile {
             file: self.file,
             pages: self.pages,
@@ -247,6 +312,8 @@ pub struct HeapScan<'a, R: FixedRecord> {
     /// Intra-page offset to apply when the first page loads (scan_at).
     skip_on_load: usize,
     in_page: usize,
+    /// Declared access pattern, forwarded to the pool on every page fetch.
+    opts: ScanOptions,
     _marker: PhantomData<R>,
 }
 
@@ -302,7 +369,7 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
                 return Ok(None);
             }
             let pid = PageId::new(self.file, self.next_page);
-            let page = self.pool.read_page(pid)?;
+            let page = self.pool.read_page_with(pid, self.opts)?;
             self.next_page += 1;
             let in_page = u32::from_le_bytes(page[..HEADER].try_into().unwrap()) as usize;
             if in_page > records_per_page::<R>() {
@@ -388,6 +455,32 @@ mod tests {
         assert_eq!(delta.reads(), hf.pages() as u64);
         // A pure scan is perfectly sequential except the first page.
         assert_eq!(delta.rand_reads, 1);
+    }
+
+    #[test]
+    fn writer_batches_appends() {
+        let p = pool(2);
+        let n = records_per_page::<u64>() * 3 + 1; // 4 pages
+        let hf = HeapFile::from_iter(&p, 0..n as u64).unwrap();
+        assert_eq!(hf.pages(), 4);
+        // All four pages went out in one vectored append: one seek, three
+        // sequential transfers.
+        let d = p.io_stats();
+        assert_eq!(d.writes(), 4);
+        assert_eq!((d.rand_writes, d.seq_writes), (1, 3));
+        let back: Vec<u64> = hf.scan(&p).collect();
+        assert_eq!(back.len(), n);
+    }
+
+    #[test]
+    fn random_scan_disables_read_ahead() {
+        let p = pool(8);
+        let hf = HeapFile::from_iter(&p, 0..5000u64).unwrap();
+        p.evict_all().unwrap();
+        let mut s = hf.scan_with(&p, ScanOptions::random());
+        s.next_record().unwrap().unwrap();
+        assert_eq!(p.io_stats().reads(), 1);
+        assert_eq!(p.prefetched(), 0);
     }
 
     #[test]

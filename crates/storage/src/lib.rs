@@ -28,6 +28,7 @@
 //! budget. Single-threaded use (the default, `threads = 1`) behaves
 //! exactly like the classic sequential pool and stays deterministic.
 
+pub mod access;
 pub mod buffer;
 pub mod disk;
 pub mod fault;
@@ -38,11 +39,12 @@ pub mod sort;
 pub mod stats;
 pub mod util;
 
+pub use access::{AccessPattern, ScanOptions, DEFAULT_IO_DEPTH};
 pub use buffer::{BufferPool, PageMut, PageRef, PoolError, PoolStats, StatsSnapshot, SHARD_COUNT};
-pub use disk::{Disk, DiskBackend, FileBackend, IoError, IoErrorKind, MemBackend};
+pub use disk::{BatchError, Disk, DiskBackend, FileBackend, IoError, IoErrorKind, MemBackend};
 pub use fault::{FaultBackend, FaultConfig, FaultHandle};
 pub use heap::{records_per_page, HeapFile, HeapScan, HeapWriter, ScanPos};
 pub use page::{FileId, PageBuf, PageId, PAGE_SIZE};
 pub use record::FixedRecord;
-pub use sort::external_sort;
+pub use sort::{external_sort, external_sort_with};
 pub use stats::{CostModel, IoStats};

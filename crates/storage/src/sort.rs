@@ -10,6 +10,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::access::ScanOptions;
 use crate::buffer::{BufferPool, PoolError};
 use crate::heap::{records_per_page, HeapFile, HeapScan, HeapWriter};
 use crate::page::FileId;
@@ -37,12 +38,32 @@ where
     K: Ord,
     F: Fn(&R) -> K,
 {
+    external_sort_with(pool, input, budget, ScanOptions::default(), key)
+}
+
+/// [`external_sort`] with explicit [`ScanOptions`]. The declared depth is
+/// clamped to the sort's own `budget` and *shared* across the merge fan-in
+/// (each of `k` merge inputs prefetches at most `depth / k` pages), so
+/// read-ahead never exceeds the memory the sort was promised — unshared,
+/// `k` streams would evict each other's read-ahead and thrash.
+pub fn external_sort_with<R, K, F>(
+    pool: &BufferPool,
+    input: &HeapFile<R>,
+    budget: usize,
+    opts: ScanOptions,
+    key: F,
+) -> Result<HeapFile<R>, PoolError>
+where
+    R: FixedRecord,
+    K: Ord,
+    F: Fn(&R) -> K,
+{
     // Every file the sort creates is registered here the moment it exists,
     // so the error path can always delete the full set. Mid-sort passes
     // delete spent runs eagerly as before; re-deleting those here is a
     // documented no-op (file ids are never reused).
     let mut temps: Vec<FileId> = Vec::new();
-    match sort_inner(pool, input, budget, &key, &mut temps) {
+    match sort_inner(pool, input, budget, opts, &key, &mut temps) {
         Ok(out) => Ok(out),
         Err(e) => {
             for f in temps {
@@ -57,6 +78,7 @@ fn sort_inner<R, K, F>(
     pool: &BufferPool,
     input: &HeapFile<R>,
     budget: usize,
+    opts: ScanOptions,
     key: &F,
     temps: &mut Vec<FileId>,
 ) -> Result<HeapFile<R>, PoolError>
@@ -67,11 +89,13 @@ where
 {
     let budget = budget.max(3);
     let run_capacity = budget * records_per_page::<R>();
+    // Read-ahead may use at most half the sort's own page budget.
+    let read = opts.clamped(budget);
 
     // Phase 1: run formation.
     let mut runs: Vec<HeapFile<R>> = Vec::new();
     {
-        let mut scan = input.scan(pool);
+        let mut scan = input.scan_with(pool, read);
         let mut chunk: Vec<R> = Vec::with_capacity(run_capacity.min(1 << 20));
         loop {
             let item = scan.next_record()?;
@@ -80,7 +104,7 @@ where
             }
             if chunk.len() == run_capacity || (item.is_none() && !chunk.is_empty()) {
                 chunk.sort_by_key(key);
-                let mut w = HeapWriter::create(pool)?;
+                let mut w = HeapWriter::create_with(pool, read.as_write())?;
                 temps.push(w.file_id());
                 for r in chunk.drain(..) {
                     w.push(r)?;
@@ -102,7 +126,7 @@ where
     while runs.len() > 1 {
         let mut next: Vec<HeapFile<R>> = Vec::with_capacity(runs.len().div_ceil(fan_in));
         for group in runs.chunks(fan_in) {
-            next.push(merge_runs(pool, group, key, temps)?);
+            next.push(merge_runs(pool, group, read, key, temps)?);
         }
         for run in runs {
             run.drop_file(pool);
@@ -112,10 +136,13 @@ where
     Ok(runs.pop().expect("at least one run"))
 }
 
-/// Merges a group of sorted runs into one sorted heap file.
+/// Merges a group of sorted runs into one sorted heap file. `opts` is the
+/// budget-clamped option set; each input stream gets a `1/k` share of its
+/// depth so the group's combined read-ahead stays within it.
 fn merge_runs<R, K, F>(
     pool: &BufferPool,
     runs: &[HeapFile<R>],
+    opts: ScanOptions,
     key: &F,
     temps: &mut Vec<FileId>,
 ) -> Result<HeapFile<R>, PoolError>
@@ -127,15 +154,17 @@ where
     if runs.len() == 1 {
         // Copy-through keeps ownership discipline simple (caller drops all
         // inputs); single-run groups are rare (only the last group).
-        let mut w = HeapWriter::create(pool)?;
+        let mut w = HeapWriter::create_with(pool, opts.as_write())?;
         temps.push(w.file_id());
-        let mut s = runs[0].scan(pool);
+        let mut s = runs[0].scan_with(pool, opts);
         while let Some(r) = s.next_record()? {
             w.push(r)?;
         }
         return w.finish();
     }
-    let mut scans: Vec<HeapScan<'_, R>> = runs.iter().map(|r| r.scan(pool)).collect();
+    let per_stream = opts.shared(runs.len());
+    let mut scans: Vec<HeapScan<'_, R>> =
+        runs.iter().map(|r| r.scan_with(pool, per_stream)).collect();
     // Heap entries: (key, run index, record). Run index breaks ties
     // deterministically (stability across equal keys is not required).
     let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::with_capacity(scans.len());
@@ -147,7 +176,7 @@ where
         }
         heads.push(head);
     }
-    let mut out = HeapWriter::create(pool)?;
+    let mut out = HeapWriter::create_with(pool, opts.as_write())?;
     temps.push(out.file_id());
     while let Some(Reverse((_, i))) = heap.pop() {
         let r = heads[i].take().expect("head present for heap entry");

@@ -77,9 +77,13 @@ fn main() {
         let pbi = if single {
             run_cold(&ds, buffer, |c, a, d, s| j::shcj::shcj(c, a, d, s))
         } else {
-            run_cold(&ds, buffer, |c, a, d, s| j::rollup::mhcj_rollup(c, a, d, s))
+            run_cold(&ds, buffer, |c, a, d, s| {
+                j::rollup::mhcj_rollup(c, a, d, j::rollup::RollupOptions::default(), s)
+            })
         };
-        let vpj = run_cold(&ds, buffer, |c, a, d, s| j::vpj::vpj(c, a, d, s));
+        let vpj = run_cold(&ds, buffer, |c, a, d, s| {
+            j::vpj::vpj(c, a, d, s).map(|(st, _)| st)
+        });
 
         let best = pbi.elapsed_secs().min(vpj.elapsed_secs());
         println!(

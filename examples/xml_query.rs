@@ -83,9 +83,11 @@ fn main() {
     use pbitree_containment::joins as j;
     run("MHCJ", &|c, a, d, s| j::mhcj::mhcj(c, a, d, s));
     run("MHCJ+Rollup", &|c, a, d, s| {
-        j::rollup::mhcj_rollup(c, a, d, s)
+        j::rollup::mhcj_rollup(c, a, d, j::rollup::RollupOptions::default(), s)
     });
-    run("VPJ", &|c, a, d, s| j::vpj::vpj(c, a, d, s));
+    run("VPJ", &|c, a, d, s| {
+        j::vpj::vpj(c, a, d, s).map(|(st, _)| st)
+    });
     run("INLJN", &|c, a, d, s| j::inljn::inljn(c, a, d, s));
     run("STACKTREE", &|c, a, d, s| {
         j::stacktree::stack_tree_desc(c, a, d, SortPolicy::SortOnTheFly, s)

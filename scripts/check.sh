@@ -24,6 +24,18 @@ RAND_SEED=$((RANDOM * 32768 + RANDOM))
 echo "randomized FAULT_SWEEP_SEED=$RAND_SEED (re-run with this env var to reproduce)"
 FAULT_SWEEP_SEED=$RAND_SEED cargo test -q --test fault_sweep fault_sweep_probabilistic_seed -- --nocapture
 
+echo "== vectored-I/O ablation smoke (prefetch off vs on: identical results)"
+cargo run --release -q -p pbitree-bench --bin ablation -- --study rollup --fast \
+    --readahead 0 --results /tmp/ab_off
+cargo run --release -q -p pbitree-bench --bin ablation -- --study rollup --fast \
+    --readahead 8 --results /tmp/ab_on
+diff <(cut -f1-4 /tmp/ab_off/ablation_rollup.tsv) <(cut -f1-4 /tmp/ab_on/ablation_rollup.tsv) \
+    || { echo "ablation smoke failed: prefetch changed result counts"; exit 1; }
+# The depth panel additionally asserts (in-binary) that every read-ahead
+# depth produces the same pairs while the simulated disk time drops.
+cargo run --release -q -p pbitree-bench --bin ablation -- --study io --fast \
+    --results /tmp/ab_on
+
 echo "== trace smoke (--trace writes schema-v1 JSONL)"
 TRACE=$(mktemp /tmp/pbitree-trace-XXXX.jsonl)
 cargo run --release -q -p pbitree-bench --bin fig6 -- --panel s --fast \

@@ -120,7 +120,7 @@ fn parallel_runs_under_transient_faults_match_sequential() {
     ) -> Result<JoinStats, JoinError>;
     let algos: &[(&str, JoinFn)] = &[
         ("mhcj", |c, a, d, s| mhcj(c, a, d, s)),
-        ("vpj", |c, a, d, s| vpj(c, a, d, s)),
+        ("vpj", |c, a, d, s| vpj(c, a, d, s).map(|(st, _)| st)),
     ];
 
     // One faulted run: fresh fault-instrumented context, cold pool, `cfg`

@@ -27,7 +27,7 @@ use pbitree_containment::joins::sink::CollectSink;
 use pbitree_containment::joins::{mhcj, rollup, shcj, vpj, JoinCtx, JoinError, JoinStats};
 use pbitree_containment::storage::{
     BufferPool, CostModel, Disk, FaultBackend, FaultConfig, FaultHandle, HeapFile, IoStats,
-    MemBackend,
+    MemBackend, ScanOptions,
 };
 use pbitree_core::PBiTreeShape;
 use pbitree_joins::element::Element;
@@ -48,9 +48,17 @@ type JoinFn = fn(
 const ALGORITHMS: &[(&str, JoinFn)] = &[
     ("shcj", |c, a, d, s| shcj::shcj(c, a, d, s)),
     ("mhcj", |c, a, d, s| mhcj::mhcj(c, a, d, s)),
-    ("vpj", |c, a, d, s| vpj::vpj(c, a, d, s)),
-    ("rollup", |c, a, d, s| rollup::mhcj_rollup(c, a, d, s)),
+    ("vpj", |c, a, d, s| vpj::vpj(c, a, d, s).map(|(st, _)| st)),
+    ("rollup", |c, a, d, s| {
+        rollup::mhcj_rollup(c, a, d, rollup::RollupOptions::default(), s)
+    }),
 ];
+
+/// Read-ahead disabled: every disk read the join issues is one it needs,
+/// so an injected fault is always observed and must surface as `Err`.
+fn strict_io() -> ScanOptions {
+    ScanOptions::sequential(1)
+}
 
 fn xorshift(x: &mut u64) -> u64 {
     *x ^= *x << 13;
@@ -94,11 +102,14 @@ fn descendants() -> Vec<u64> {
 fn build(
     name: &str,
     threads: usize,
+    io: ScanOptions,
 ) -> (JoinCtx, HeapFile<Element>, HeapFile<Element>, FaultHandle) {
     let backend = FaultBackend::new(MemBackend::new(), FaultConfig::none());
     let handle = backend.handle();
     let pool = BufferPool::new(Disk::new(Box::new(backend), CostModel::free()), BUDGET);
-    let ctx = JoinCtx::new(pool, PBiTreeShape::new(H).unwrap()).with_threads(threads);
+    let ctx = JoinCtx::new(pool, PBiTreeShape::new(H).unwrap())
+        .with_threads(threads)
+        .with_io(io);
     let a = element_file(
         &ctx.pool,
         ancestors(name == "shcj").into_iter().map(|c| (c, 0)),
@@ -117,8 +128,14 @@ fn build(
 type RunOutcome = (Result<JoinStats, JoinError>, Vec<(u64, u64)>, IoStats, u64);
 
 /// One run under `cfg`.
-fn run_once(name: &str, join: JoinFn, threads: usize, cfg: FaultConfig) -> RunOutcome {
-    let (ctx, a, d, handle) = build(name, threads);
+fn run_once(
+    name: &str,
+    join: JoinFn,
+    threads: usize,
+    cfg: FaultConfig,
+    io: ScanOptions,
+) -> RunOutcome {
+    let (ctx, a, d, handle) = build(name, threads, io);
     handle.set_config(cfg);
     let mut sink = CollectSink::default();
     let res = join(&ctx, &a, &d, &mut sink);
@@ -132,8 +149,13 @@ fn run_once(name: &str, join: JoinFn, threads: usize, cfg: FaultConfig) -> RunOu
 }
 
 /// Fault-free baseline: result pairs, I/O stats, and attempt counts.
-fn baseline(name: &str, join: JoinFn, threads: usize) -> (Vec<(u64, u64)>, IoStats, u64, u64) {
-    let (ctx, a, d, handle) = build(name, threads);
+fn baseline(
+    name: &str,
+    join: JoinFn,
+    threads: usize,
+    io: ScanOptions,
+) -> (Vec<(u64, u64)>, IoStats, u64, u64) {
+    let (ctx, a, d, handle) = build(name, threads, io);
     let mut sink = CollectSink::default();
     join(&ctx, &a, &d, &mut sink).unwrap_or_else(|e| panic!("{name} baseline failed: {e}"));
     assert_eq!(ctx.pool.pinned_frames(), 0);
@@ -147,7 +169,7 @@ fn baseline(name: &str, join: JoinFn, threads: usize) -> (Vec<(u64, u64)>, IoSta
 
 fn sweep(threads: usize) {
     for &(name, join) in ALGORITHMS {
-        let (pairs0, io0, reads, writes) = baseline(name, join, threads);
+        let (pairs0, io0, reads, writes) = baseline(name, join, threads, strict_io());
         assert!(reads > 0, "{name}: workload did no reads");
         assert!(
             !pairs0.is_empty(),
@@ -155,17 +177,20 @@ fn sweep(threads: usize) {
         );
 
         for idx in 0..reads {
-            let (res, _, _, faults) = run_once(name, join, threads, FaultConfig::read_at(idx));
+            let (res, _, _, faults) =
+                run_once(name, join, threads, FaultConfig::read_at(idx), strict_io());
             check_fault_outcome(name, threads, "read", idx, res, faults);
         }
         for idx in 0..writes {
-            let (res, _, _, faults) = run_once(name, join, threads, FaultConfig::write_at(idx));
+            let (res, _, _, faults) =
+                run_once(name, join, threads, FaultConfig::write_at(idx), strict_io());
             check_fault_outcome(name, threads, "write", idx, res, faults);
         }
 
         // Exactly-once stats: a fresh fault-free run reproduces the
         // baseline counters and pairs bit for bit.
-        let (res, pairs, io, faults) = run_once(name, join, threads, FaultConfig::none());
+        let (res, pairs, io, faults) =
+            run_once(name, join, threads, FaultConfig::none(), strict_io());
         res.unwrap_or_else(|e| panic!("{name}: fault-free rerun failed: {e}"));
         assert_eq!(faults, 0);
         assert_eq!(
@@ -230,7 +255,7 @@ fn fault_sweep_probabilistic_seed() {
                 write_fault_prob: 0.05,
                 ..FaultConfig::default()
             };
-            let (res, _, _, faults) = run_once(name, join, threads, cfg);
+            let (res, _, _, faults) = run_once(name, join, threads, cfg, strict_io());
             if faults > 0 {
                 let err = res.expect_err("faults injected but run succeeded");
                 assert!(err.failing_page().is_some(), "{name}: {err}");
@@ -247,16 +272,61 @@ fn fault_sweep_probabilistic_seed() {
 #[test]
 fn transient_faults_recover_invisibly() {
     for &(name, join) in ALGORITHMS {
-        let (pairs0, io0, reads, _) = baseline(name, join, 1);
+        let (pairs0, io0, reads, _) = baseline(name, join, 1, strict_io());
         // A transient window of 2 at an arbitrary mid-workload read index:
         // the disk retries past it ("recover after 2").
         let idx = reads / 2;
         let cfg = FaultConfig::read_at(idx).transient().lasting(2);
-        let (res, pairs, io, faults) = run_once(name, join, 1, cfg);
+        let (res, pairs, io, faults) = run_once(name, join, 1, cfg, strict_io());
         res.unwrap_or_else(|e| panic!("{name}: transient fault surfaced: {e}"));
         assert_eq!(faults, 2, "{name}: expected both window attempts to fault");
         assert_eq!(pairs, pairs0, "{name}: transient recovery changed result");
         assert_eq!(io, io0, "{name}: retries must not be charged to stats");
+    }
+}
+
+/// Every-index sweep with read-ahead and write batching *enabled*. The
+/// prefetcher speculatively reads pages the join may never consume, so a
+/// fault can land on a speculative read and be swallowed by design — such
+/// a run must then succeed with the exact baseline result. Runs that do
+/// fail must still carry the failing page, and no run may panic or leak a
+/// pinned frame (asserted inside `run_once`).
+#[test]
+fn fault_sweep_with_readahead() {
+    let io = ScanOptions::default();
+    for &(name, join) in ALGORITHMS {
+        let (pairs0, _, reads, writes) = baseline(name, join, 1, io);
+        assert!(reads > 0, "{name}: readahead workload did no reads");
+        for idx in 0..reads {
+            let (res, pairs, _, _) = run_once(name, join, 1, FaultConfig::read_at(idx), io);
+            check_readahead_outcome(name, "read", idx, res, pairs, &pairs0);
+        }
+        for idx in 0..writes {
+            let (res, pairs, _, _) = run_once(name, join, 1, FaultConfig::write_at(idx), io);
+            check_readahead_outcome(name, "write", idx, res, pairs, &pairs0);
+        }
+    }
+}
+
+fn check_readahead_outcome(
+    name: &str,
+    kind: &str,
+    idx: u64,
+    res: Result<JoinStats, JoinError>,
+    pairs: Vec<(u64, u64)>,
+    pairs0: &[(u64, u64)],
+) {
+    match res {
+        Err(e) => assert!(
+            e.failing_page().is_some(),
+            "{name}: {kind} fault at {idx} lost its page: {e}"
+        ),
+        // The fault was absorbed by a speculative transfer: acceptable
+        // only if the answer is byte-identical to the fault-free run.
+        Ok(_) => assert_eq!(
+            pairs, pairs0,
+            "{name}: {kind} fault at {idx} swallowed AND changed the result"
+        ),
     }
 }
 
@@ -265,7 +335,7 @@ fn transient_faults_recover_invisibly() {
 #[test]
 fn workload_generates_real_io() {
     for &(name, join) in ALGORITHMS {
-        let (_, io, reads, writes) = baseline(name, join, 1);
+        let (_, io, reads, writes) = baseline(name, join, 1, strict_io());
         println!("{name}: reads={reads} writes={writes} io={io}");
         assert!(
             reads >= 10,

@@ -5,7 +5,9 @@
 use pbitree_bench::harness::{min_rgn_secs, run_algo, run_competitors, Algo, ExpConfig};
 use pbitree_bench::workloads::{synthetic_by_name, synthetic_single};
 use pbitree_containment::joins::element::element_file;
-use pbitree_containment::joins::{plan_and_execute, Algorithm, CountSink, InputState, JoinCtx};
+use pbitree_containment::joins::{
+    plan_and_execute, Algorithm, CountSink, InputState, JoinCtx, SortPolicy,
+};
 use pbitree_core::PBiTreeShape;
 use pbitree_storage::CostModel;
 
@@ -13,7 +15,7 @@ fn cfg(b: usize) -> ExpConfig {
     ExpConfig {
         buffer_pages: b,
         cost: CostModel::free(),
-        threads: 1,
+        ..ExpConfig::default()
     }
 }
 
@@ -41,8 +43,15 @@ fn every_planner_choice_gives_identical_results() {
         // regardless of the declared state (the planner's claim is about
         // which algorithm wins, not about skipping work it cannot skip).
         let algo = pbitree_containment::joins::choose_algorithm(&ctx, sa, sd, &a, &d, false);
-        let stats =
-            pbitree_containment::joins::execute(&ctx, algo, &a, &d, false, &mut sink).unwrap();
+        let stats = pbitree_containment::joins::execute(
+            &ctx,
+            algo,
+            &a,
+            &d,
+            SortPolicy::SortOnTheFly,
+            &mut sink,
+        )
+        .unwrap();
         counts.push(stats.pairs);
         chosen.push(algo);
     }
@@ -110,7 +119,7 @@ fn partitioning_joins_beat_min_rgn_on_asymmetric_large_sets() {
     let c = ExpConfig {
         buffer_pages: 150,
         cost: CostModel::default(),
-        threads: 1,
+        ..ExpConfig::default()
     };
     let base = run_competitors(w.shape, &w.a, &w.d, &c, &Algo::rgn_baselines());
     let min_rgn = min_rgn_secs(&base).unwrap();
@@ -152,8 +161,15 @@ fn shape_of_table1_is_total() {
             };
             let algo = pbitree_containment::joins::choose_algorithm(&ctx, st, st, &a, &d, false);
             let mut sink = CountSink::default();
-            let stats =
-                pbitree_containment::joins::execute(&ctx, algo, &a, &d, false, &mut sink).unwrap();
+            let stats = pbitree_containment::joins::execute(
+                &ctx,
+                algo,
+                &a,
+                &d,
+                SortPolicy::SortOnTheFly,
+                &mut sink,
+            )
+            .unwrap();
             assert_eq!(stats.pairs, 1, "{algo}");
         }
     }
