@@ -7,7 +7,10 @@
 //! * `shcj`    — in-memory vs. Grace crossover as |A| grows past the
 //!   buffer budget;
 //! * `vpj`     — replication/purge/merge/recursion report across dataset
-//!   shapes.
+//!   shapes;
+//! * `io`      — read-ahead depth against simulated disk time;
+//! * `prune`   — zone-map scan pushdown off vs on: identical pairs,
+//!   strictly fewer page reads for the partition joins.
 //!
 //! ```text
 //! cargo run -p pbitree-bench --release --bin ablation -- --study rollup
@@ -270,6 +273,112 @@ fn io_study(args: &CommonArgs) {
     t.emit(&args.results_dir, "ablation_io");
 }
 
+/// Deterministic xorshift64 for the skewed pruning workload.
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// Skewed-height workload for the pruning panel: ancestors confined to
+/// the bottom quarter of the code space (their region envelope ends well
+/// below the top), descendant leaves spread over the whole span — so the
+/// zone maps can prove most descendant pages irrelevant to every A-side
+/// probe and the pushdown filters skip them unread.
+type SkewedWorkload = (pbitree_core::PBiTreeShape, Vec<(u64, u32)>, Vec<(u64, u32)>);
+
+fn skewed_workload(scale: f64) -> SkewedWorkload {
+    use std::collections::BTreeSet;
+    let h = 18u32;
+    let shape = pbitree_core::PBiTreeShape::new(h).unwrap();
+    let n_a = ((6_000.0 * scale) as usize).max(500);
+    let n_d = ((40_000.0 * scale) as usize).max(4_000);
+    let mut x = 0xBEEF_CAFEu64;
+    let mut a = BTreeSet::new();
+    while a.len() < n_a {
+        a.insert(1 + xorshift(&mut x) % ((1u64 << (h - 2)) - 1));
+    }
+    let span = (1u64 << h) - 1;
+    let mut d = BTreeSet::new();
+    while d.len() < n_d {
+        d.insert((xorshift(&mut x) % span) | 1);
+    }
+    (
+        shape,
+        a.into_iter().map(|c| (c, 0)).collect(),
+        d.into_iter().map(|c| (c, 1)).collect(),
+    )
+}
+
+/// The zone-map pruning panel: prune off (baseline) against prune on,
+/// across the partition joins and thread counts. Pair counts must be
+/// identical — the pushdown filters are necessary conditions only — while
+/// page reads drop strictly: MHCJ/Rollup clip their `D` scans by each
+/// A-partition's zone, and VPJ clips both partitioning passes by the
+/// opposite side's envelope.
+fn prune_study(args: &CommonArgs) {
+    let mut t = Table::new(
+        "Ablation: zone-map scan pushdown (prune off vs on)",
+        &[
+            "algo",
+            "threads",
+            "prune",
+            "pairs",
+            "reads",
+            "pages_skipped",
+            "records_filtered",
+            "sim_disk(s)",
+            "elapsed(s)",
+        ],
+    );
+    let (shape, a, d) = skewed_workload(args.scale);
+    for algo in [Algo::Mhcj, Algo::MhcjRollup, Algo::Vpj] {
+        for threads in [1usize, 4] {
+            let mut baseline: Option<(u64, u64)> = None;
+            for prune in [false, true] {
+                let cfg = ExpConfig {
+                    buffer_pages: args.buffer,
+                    threads,
+                    io: io_options(args.readahead),
+                    prune,
+                    ..ExpConfig::default()
+                };
+                let m = run_algo(shape, &a, &d, &cfg, algo);
+                let reads = m.stats.io.reads();
+                match baseline {
+                    None => baseline = Some((m.stats.pairs, reads)),
+                    Some((pairs0, reads0)) => {
+                        assert_eq!(
+                            pairs0,
+                            m.stats.pairs,
+                            "{}/t{threads}: pruning changed the result",
+                            algo.name()
+                        );
+                        assert!(
+                            reads < reads0,
+                            "{}/t{threads}: pruning saved no reads ({reads} vs {reads0})",
+                            algo.name()
+                        );
+                    }
+                }
+                t.row(vec![
+                    algo.name().into(),
+                    threads.to_string(),
+                    prune.to_string(),
+                    m.stats.pairs.to_string(),
+                    reads.to_string(),
+                    m.pool.pages_skipped.to_string(),
+                    m.pool.records_filtered.to_string(),
+                    fmt_secs(m.stats.io.sim_secs()),
+                    fmt_secs(m.stats.elapsed_secs()),
+                ]);
+            }
+        }
+    }
+    t.emit(&args.results_dir, "ablation_prune");
+}
+
 fn main() {
     let args = CommonArgs::parse("--study");
     pbitree_bench::harness::init_trace(&args.trace);
@@ -287,6 +396,9 @@ fn main() {
     }
     if args.selected("io") {
         io_study(&args);
+    }
+    if args.selected("prune") {
+        prune_study(&args);
     }
     pbitree_bench::harness::finish_trace(&args.trace);
 }

@@ -99,6 +99,9 @@ pub struct ExpConfig {
     /// Declared access pattern for operator scans — `sequential(1)`
     /// disables read-ahead and write batching (the ablation baseline).
     pub io: pbitree_storage::ScanOptions,
+    /// Whether operators may push zone-map filters into their scans
+    /// (on by default; the prune ablation turns it off for a baseline).
+    pub prune: bool,
 }
 
 impl Default for ExpConfig {
@@ -108,6 +111,7 @@ impl Default for ExpConfig {
             cost: CostModel::default(),
             threads: 1,
             io: pbitree_storage::ScanOptions::default(),
+            prune: true,
         }
     }
 }
@@ -119,6 +123,9 @@ pub struct Measured {
     pub algo: Algo,
     /// Its stats (pairs, false hits, I/O, time).
     pub stats: JoinStats,
+    /// Buffer-pool delta over the run (hits/misses and the zone-map
+    /// pushdown counters `pages_skipped` / `records_filtered`).
+    pub pool: pbitree_storage::PoolStats,
 }
 
 impl Measured {
@@ -145,13 +152,15 @@ pub fn run_algo(
         shape,
     )
     .with_threads(cfg.threads)
-    .with_io(cfg.io);
+    .with_io(cfg.io)
+    .with_prune(cfg.prune);
     if let Some(t) = tracer() {
         ctx = ctx.with_tracer(t);
     }
     let af = element_file(&ctx.pool, a.iter().copied()).expect("load A");
     let df = element_file(&ctx.pool, d.iter().copied()).expect("load D");
     ctx.pool.evict_all().unwrap();
+    let pool0 = ctx.pool.pool_stats();
     let mut sink = CountSink::default();
     let stats = match algo {
         Algo::InlJn => pbitree_joins::inljn::inljn(&ctx, &af, &df, &mut sink),
@@ -178,7 +187,8 @@ pub fn run_algo(
     }
     .expect("join run failed");
     debug_assert_eq!(stats.pairs, sink.count);
-    Measured { algo, stats }
+    let pool = ctx.pool.pool_stats().since(&pool0);
+    Measured { algo, stats, pool }
 }
 
 /// Runs a list of algorithms cold and returns them with the `MIN_RGN`

@@ -68,10 +68,14 @@ impl Code {
     /// [`checked_ancestor_at_height`](Code::checked_ancestor_at_height) or
     /// guard with [`height`](Code::height). This permissive behaviour is what
     /// the SHCJ equijoin exploits (and must filter — see `pbitree-joins`).
+    /// Total over `h < 64`: the shift by `h + 1` is split in two so
+    /// `h = 63` (one above [`MAX_HEIGHT`]-shape roots, admitted by
+    /// [`checked_ancestor_at_height`](Code::checked_ancestor_at_height))
+    /// clears the whole code instead of overflowing the shift width.
     #[inline]
     pub fn ancestor_at_height(self, h: u32) -> Code {
         debug_assert!(h < 64);
-        Code(((self.0 >> (h + 1)) << (h + 1)) | (1u64 << h))
+        Code((self.0 >> h >> 1 << 1 << h) | (1u64 << h))
     }
 
     /// [`ancestor_at_height`](Code::ancestor_at_height) with the height guard
@@ -433,6 +437,88 @@ mod tests {
                     assert_eq!(r.parent(), n);
                     assert!(n.is_ancestor_of(l) && n.is_ancestor_of(r));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn region_at_max_shape_extremes() {
+        // The largest supported shape: H = 63, code space [1, 2^63 - 1],
+        // root 2^62 at height 62. Region arithmetic must not overflow at
+        // either end of the space.
+        let shape = PBiTreeShape::new(MAX_HEIGHT).unwrap();
+        let root = shape.root();
+        assert_eq!(root.get(), 1u64 << 62);
+        assert_eq!(root.height(), 62);
+        assert_eq!(root.region(), (1, shape.node_count()));
+        // Height-0 leaves at both extremes: degenerate one-code regions.
+        let first = c(1);
+        let last = c(shape.node_count());
+        assert_eq!((first.height(), last.height()), (0, 0));
+        assert_eq!(first.region(), (1, 1));
+        assert_eq!(last.region(), (shape.node_count(), shape.node_count()));
+        // One past the largest shape: code 2^63 has height 63 and its
+        // region covers the entire u64 code space without wrapping.
+        let top = c(1u64 << 63);
+        assert_eq!(top.height(), 63);
+        assert_eq!(top.region(), (1, u64::MAX));
+        assert_eq!(c(u64::MAX).region(), (u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn ancestor_at_height_extremes() {
+        let shape = PBiTreeShape::new(MAX_HEIGHT).unwrap();
+        let root = shape.root();
+        // The extreme leaves of the largest code space both chain up to
+        // the root; F at the root's own height is where the shift widths
+        // peak.
+        for leaf in [c(1), c(shape.node_count())] {
+            assert_eq!(leaf.ancestor_at_height(62), root);
+            assert!(root.is_ancestor_of(leaf));
+        }
+        // h = 63, the largest height the debug contract admits: F names
+        // the height-63 node 2^63 (the root of a hypothetical H = 64
+        // space) for every code, instead of overflowing the shift width.
+        for v in [1u64, 2, shape.node_count(), 1u64 << 62] {
+            assert_eq!(c(v).ancestor_at_height(63), c(1u64 << 63));
+        }
+        assert_eq!(c(1).checked_ancestor_at_height(63), Ok(c(1u64 << 63)));
+        assert!(matches!(
+            c(1).checked_ancestor_at_height(64),
+            Err(CodeError::InvalidHeight(64))
+        ));
+        // F is the identity at a node's own height even for the extremes.
+        assert_eq!(root.ancestor_at_height(62), root);
+        assert_eq!(c(1u64 << 63).ancestor_at_height(63), c(1u64 << 63));
+    }
+
+    #[test]
+    fn prefix_ancestor_test_at_extremes() {
+        let shape = PBiTreeShape::new(MAX_HEIGHT).unwrap();
+        let root = shape.root();
+        // Root prefix is the single bit marking the node itself; the
+        // 62-bit prefix shift of a height-0 leaf must not overflow.
+        assert_eq!(root.prefix(), 1);
+        for leaf in [c(1), c(shape.node_count())] {
+            assert_eq!(leaf.prefix(), leaf.get());
+            assert!(root.prefix_is_ancestor_of(leaf));
+            assert!(!leaf.prefix_is_ancestor_of(root));
+        }
+        // Height-0 leaves never have descendants, and no node is its own
+        // prefix-ancestor (the test is strict) — at the extremes too.
+        assert!(!c(1).prefix_is_ancestor_of(c(shape.node_count())));
+        assert!(!root.prefix_is_ancestor_of(root));
+        assert!(!c(1).prefix_is_ancestor_of(c(1)));
+        // The height-63 node one past the largest shape: a 63-place
+        // prefix shift against the first leaf.
+        assert!(c(1u64 << 63).prefix_is_ancestor_of(c(1)));
+        assert!(c(1u64 << 63).prefix_is_ancestor_of(c(u64::MAX)));
+        // Lemma 4 agrees with Lemma 1 along the extreme leaves' whole
+        // ancestor chains at H = 63.
+        for leaf in [c(1), c(shape.node_count())] {
+            for anc in shape.ancestors(leaf) {
+                assert!(anc.prefix_is_ancestor_of(leaf), "anc={anc} leaf={leaf}");
+                assert!(anc.is_ancestor_of(leaf), "anc={anc} leaf={leaf}");
             }
         }
     }

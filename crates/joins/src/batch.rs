@@ -1,0 +1,296 @@
+//! Columnar element batches for the sort-merge operators.
+//!
+//! [`ElementBatch`] refills from a [`HeapScan`] one page at a time
+//! ([`HeapScan::next_batch`] is page-aligned), decoding each page **once**
+//! and splitting every element's Lemma-3 region into struct-of-arrays
+//! `starts` / `ends` columns. The merge operators (MPMGJN, Stack-Tree)
+//! then advance by *galloping* over the sorted `starts` column instead of
+//! branching per record, and test containment with a branch-free mask over
+//! the columns ([`ElementBatch::for_each_contained`]).
+//!
+//! Batches track the [`ScanPos`] of their first element so record-granular
+//! marks inside a batch ([`ElementBatch::pos_of`]) can seed a later rescan
+//! — MPMGJN's mark/rescan protocol. Position tracking assumes an
+//! **unfiltered** scan: a pushdown filter drops records between the page
+//! offsets and the batch indices, so the mapping `batch[i] = (page,
+//! base_idx + i)` would no longer hold (debug-asserted in
+//! [`ElementBatch::refill`]).
+
+use pbitree_storage::{HeapScan, PoolError, ScanPos};
+
+use crate::element::Element;
+
+/// One page worth of elements in struct-of-arrays layout.
+pub struct ElementBatch {
+    elems: Vec<Element>,
+    starts: Vec<u64>,
+    ends: Vec<u64>,
+    base: ScanPos,
+}
+
+impl Default for ElementBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ElementBatch {
+    /// An empty batch; [`refill`](ElementBatch::refill) it from a scan.
+    pub fn new() -> Self {
+        ElementBatch {
+            elems: Vec::new(),
+            starts: Vec::new(),
+            ends: Vec::new(),
+            base: ScanPos::START,
+        }
+    }
+
+    /// Replaces the batch contents with the next page of the scan.
+    /// Returns `false` (leaving the batch empty) at end of file.
+    pub fn refill(&mut self, scan: &mut HeapScan<'_, Element>) -> Result<bool, PoolError> {
+        self.elems.clear();
+        self.starts.clear();
+        self.ends.clear();
+        // UFCS: through a `&mut` receiver, plain `.position()` resolves to
+        // `Iterator::position` via the `impl Iterator for &mut I` blanket.
+        self.base = HeapScan::position(scan);
+        if scan.next_batch(&mut self.elems)? == 0 {
+            return Ok(false);
+        }
+        // Page alignment: the batch is exactly the remainder of the page
+        // `base` points into, so the scan now sits at the next page's first
+        // record. Holds for unfiltered scans over writer-produced files
+        // (no empty interior pages) — the precondition for `pos_of` marks.
+        debug_assert_eq!(
+            HeapScan::position(scan),
+            ScanPos::at(self.base.page() + 1, 0)
+        );
+        for e in &self.elems {
+            let (s, t) = e.code.region();
+            self.starts.push(s);
+            self.ends.push(t);
+        }
+        Ok(true)
+    }
+
+    /// Number of elements in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the batch holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The `i`-th element (copied out — elements are 12 bytes).
+    #[inline]
+    pub fn get(&self, i: usize) -> Element {
+        self.elems[i]
+    }
+
+    /// The `i`-th element's region start.
+    #[inline]
+    pub fn start(&self, i: usize) -> u64 {
+        self.starts[i]
+    }
+
+    /// The `i`-th element's region end.
+    #[inline]
+    pub fn end(&self, i: usize) -> u64 {
+        self.ends[i]
+    }
+
+    /// The heap-file position of the `i`-th element, for marking a rescan
+    /// point inside the batch.
+    #[inline]
+    pub fn pos_of(&self, i: usize) -> ScanPos {
+        debug_assert!(i < self.len());
+        ScanPos::at(self.base.page(), self.base.idx() + i)
+    }
+
+    /// First index in `[from, len)` whose region start is `>= target`.
+    /// Requires document order (starts non-decreasing); galloping search,
+    /// O(log distance).
+    pub fn lower_bound_start(&self, from: usize, target: u64) -> usize {
+        gallop(self.starts.len(), from, |i| self.starts[i] >= target)
+    }
+
+    /// First index in `[from, len)` whose region start is `> target`.
+    pub fn upper_bound_start(&self, from: usize, target: u64) -> usize {
+        gallop(self.starts.len(), from, |i| self.starts[i] > target)
+    }
+
+    /// First index in `[from, len)` whose document-order key is `>= key`.
+    pub fn gallop_key_ge(&self, from: usize, key: u128) -> usize {
+        gallop(self.elems.len(), from, |i| self.elems[i].doc_key() >= key)
+    }
+
+    /// Calls `f` for every element of `[lo, hi)` strictly contained in
+    /// `anc`'s region, returning how many there were. The containment test
+    /// (`start >= anc.start && end <= anc.end && code != anc.code` — by
+    /// region laminarity exactly Lemma 1's strict ancestorship) runs
+    /// branch-free over the columns in 64-wide mask chunks; only the
+    /// surviving bits pay a call.
+    pub fn for_each_contained(
+        &self,
+        lo: usize,
+        hi: usize,
+        anc: &Element,
+        mut f: impl FnMut(Element),
+    ) -> u64 {
+        let (a_start, a_end) = (anc.start(), anc.end());
+        let a_code = anc.code;
+        let mut count = 0u64;
+        let mut i = lo;
+        while i < hi {
+            let n = (hi - i).min(64);
+            let mut mask = 0u64;
+            for j in 0..n {
+                let k = i + j;
+                let hit = (self.starts[k] >= a_start) as u64
+                    & (self.ends[k] <= a_end) as u64
+                    & (self.elems[k].code != a_code) as u64;
+                mask |= hit << j;
+            }
+            count += u64::from(mask.count_ones());
+            while mask != 0 {
+                let j = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                f(self.elems[i + j]);
+            }
+            i += n;
+        }
+        count
+    }
+}
+
+/// First index in `[from, len)` where the monotone predicate turns true
+/// (`len` if never): exponential probe doubling away from `from`, then a
+/// binary search of the bracketed gap. Cheap when the answer is near
+/// `from` — the common case for merge advances — and `O(log n)` worst
+/// case.
+fn gallop(len: usize, from: usize, pred: impl Fn(usize) -> bool) -> usize {
+    if from >= len || pred(from) {
+        return from.min(len);
+    }
+    // Invariant: pred(lo) is false; answer in (lo, hi].
+    let mut lo = from;
+    let mut step = 1usize;
+    let mut hi = loop {
+        let probe = lo + step;
+        if probe >= len {
+            break len;
+        }
+        if pred(probe) {
+            break probe;
+        }
+        lo = probe;
+        step <<= 1;
+    };
+    // Binary search (lo, hi): pred false at lo, true at hi (or hi == len).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::JoinCtx;
+    use crate::element::element_file;
+    use pbitree_core::PBiTreeShape;
+    use pbitree_storage::records_per_page;
+
+    fn ctx(b: usize) -> JoinCtx {
+        JoinCtx::in_memory_free(PBiTreeShape::new(18).unwrap(), b)
+    }
+
+    #[test]
+    fn gallop_matches_linear_scan() {
+        let starts: Vec<u64> = vec![1, 1, 3, 7, 7, 7, 9, 20, 20, 31];
+        let len = starts.len();
+        for from in 0..=len {
+            for target in 0..35u64 {
+                let expect_ge = (from..len).find(|&i| starts[i] >= target).unwrap_or(len);
+                let got = gallop(len, from, |i| starts[i] >= target);
+                assert_eq!(got, expect_ge, "from={from} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_read_matches_record_at_a_time() {
+        let c = ctx(8);
+        let codes: Vec<u64> = (0..3000u64).map(|i| (i << 1) | 1).collect();
+        let f = element_file(&c.pool, codes.iter().map(|&v| (v, 0))).unwrap();
+        let mut scalar = Vec::new();
+        let mut s = f.scan(&c.pool);
+        while let Some(e) = s.next_record().unwrap() {
+            scalar.push(e);
+        }
+        let mut batched = Vec::new();
+        let mut s = f.scan(&c.pool);
+        let mut b = ElementBatch::new();
+        while b.refill(&mut s).unwrap() {
+            for i in 0..b.len() {
+                assert_eq!((b.start(i), b.end(i)), b.get(i).code.region());
+                batched.push(b.get(i));
+            }
+        }
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn pos_of_marks_resume_exactly() {
+        let c = ctx(8);
+        let per_page = records_per_page::<Element>();
+        let n = per_page * 3 + 7; // several pages plus a partial tail
+        let codes: Vec<u64> = (0..n as u64).map(|i| (i << 1) | 1).collect();
+        let f = element_file(&c.pool, codes.iter().map(|&v| (v, 0))).unwrap();
+        // Mark an element in the middle of the second page via its batch
+        // index, then resume there and check the stream lines up.
+        let mut s = f.scan(&c.pool);
+        let mut b = ElementBatch::new();
+        assert!(b.refill(&mut s).unwrap()); // page 0
+        assert!(b.refill(&mut s).unwrap()); // page 1
+        let i = b.len() / 2;
+        let mark = b.pos_of(i);
+        let expect = b.get(i);
+        let mut resumed = f.scan_at(&c.pool, mark);
+        assert_eq!(resumed.next_record().unwrap(), Some(expect));
+    }
+
+    #[test]
+    fn for_each_contained_matches_scalar_filter() {
+        let c = ctx(8);
+        // Mixed heights so the batch holds ancestors of the probe anchor,
+        // descendants, and disjoint regions.
+        let mut codes: Vec<u64> = (0..200u64).map(|i| (i << 1) | 1).collect();
+        codes.extend((0..100u64).map(|i| (1 + 2 * i) << 1));
+        codes.extend((0..50u64).map(|i| (1 + 2 * i) << 2));
+        codes.sort_by_key(|&v| pbitree_core::Code::new(v).unwrap().doc_order_key());
+        let f = element_file(&c.pool, codes.iter().map(|&v| (v, 0))).unwrap();
+        let anc = Element::new(1u64 << 5, 0); // region [1, 63]
+        let mut s = f.scan(&c.pool);
+        let mut b = ElementBatch::new();
+        while b.refill(&mut s).unwrap() {
+            let mut got = Vec::new();
+            let n = b.for_each_contained(0, b.len(), &anc, |e| got.push(e));
+            assert_eq!(n as usize, got.len());
+            let expect: Vec<Element> = (0..b.len())
+                .map(|i| b.get(i))
+                .filter(|e| e.code != anc.code && anc.code.is_ancestor_of(e.code))
+                .collect();
+            assert_eq!(got, expect);
+        }
+    }
+}

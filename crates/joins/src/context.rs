@@ -214,6 +214,10 @@ pub struct JoinCtx {
     /// operators thread into every scan and writer they open. Defaults to
     /// sequential access at [`pbitree_storage::DEFAULT_IO_DEPTH`].
     io_opts: ScanOptions,
+    /// Whether operators may push zone-map pruning filters into their
+    /// scans (on by default). Pruning never changes results — the knob
+    /// exists so ablations can measure its I/O savings.
+    prune: bool,
 }
 
 impl JoinCtx {
@@ -228,6 +232,7 @@ impl JoinCtx {
             budget,
             tracer: None,
             io_opts: ScanOptions::default(),
+            prune: true,
         }
     }
 
@@ -280,6 +285,52 @@ impl JoinCtx {
         self
     }
 
+    /// Enables or disables zone-map scan pruning (on by default). With
+    /// pruning off, [`pruned`](JoinCtx::pruned) returns its input filter
+    /// unchanged only when that filter is [`ScanFilter::All`]; operators
+    /// consult this knob before deriving pushdown filters, so an unpruned
+    /// run reads every page — the ablation baseline.
+    ///
+    /// [`ScanFilter::All`]: pbitree_storage::ScanFilter::All
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Whether zone-map pruning is enabled.
+    #[inline]
+    pub fn prune(&self) -> bool {
+        self.prune
+    }
+
+    /// The context's read options with `filter` pushed down — or without
+    /// it when pruning is disabled. The single gate every operator routes
+    /// its derived filters through.
+    #[inline]
+    pub fn pruned(&self, filter: pbitree_storage::ScanFilter) -> ScanOptions {
+        if self.prune {
+            self.read_opts().with_filter(filter)
+        } else {
+            self.read_opts()
+        }
+    }
+
+    /// Read options clipped by another operand's catalog envelope:
+    /// containment makes region overlap with the opposite side's
+    /// `(min start, max end)` necessary for every result pair, so any
+    /// scan feeding a join against that side may push the overlap filter
+    /// down. `None` (no bounds known) or pruning disabled falls back to
+    /// the plain read options.
+    #[inline]
+    pub fn overlap_opts(&self, other: Option<(u64, u64)>) -> ScanOptions {
+        match other {
+            Some((lo, hi)) => {
+                self.pruned(pbitree_storage::ScanFilter::RegionOverlap { start: lo, end: hi })
+            }
+            None => self.read_opts(),
+        }
+    }
+
     /// The context's declared I/O options, clamped to its frame budget:
     /// what operators pass to the scans they open. Carved worker contexts
     /// clamp against their own (smaller) budget, so per-worker read-ahead
@@ -314,6 +365,7 @@ impl JoinCtx {
             budget: budget.max(3),
             tracer: self.tracer.clone(),
             io_opts: self.io_opts,
+            prune: self.prune,
         }
     }
 

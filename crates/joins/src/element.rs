@@ -93,6 +93,15 @@ impl FixedRecord for Element {
         Some(self.code.region())
     }
 
+    /// Elements report their node height; together with
+    /// [`bounds_hint`](FixedRecord::bounds_hint) this gives element heap
+    /// pages complete zone-map entries, so pushdown filters can prune
+    /// pages by region window *and* height range.
+    #[inline]
+    fn height_hint(&self) -> Option<u32> {
+        Some(self.code.height())
+    }
+
     /// A zero code encodes "no node" and can only appear on a corrupted
     /// page; rejecting it here (before [`read`](FixedRecord::read)) turns
     /// such pages into [`pbitree_storage::PoolError::Corrupt`] on every

@@ -20,7 +20,7 @@ use std::hash::{BuildHasher, Hash};
 
 use pbitree_storage::util::FxBuildHasher;
 use pbitree_storage::util::FxHashMap;
-use pbitree_storage::{FixedRecord, HeapFile, HeapWriter};
+use pbitree_storage::{FixedRecord, HeapFile, HeapWriter, ScanOptions};
 
 use crate::context::{JoinCtx, JoinError};
 
@@ -39,6 +39,44 @@ pub fn hash_equijoin<B, P, KB, KP, M>(
     probe: &HeapFile<P>,
     build_key: KB,
     probe_key: KP,
+    on_match: M,
+) -> Result<(), JoinError>
+where
+    B: FixedRecord,
+    P: FixedRecord,
+    KB: Fn(&B) -> Option<u64>,
+    KP: Fn(&P) -> Option<u64>,
+    M: FnMut(&B, &P),
+{
+    hash_equijoin_with(
+        ctx,
+        build,
+        probe,
+        ctx.read_opts(),
+        ctx.read_opts(),
+        build_key,
+        probe_key,
+        on_match,
+    )
+}
+
+/// [`hash_equijoin`] with explicit per-side [`ScanOptions`], the carrier
+/// for pushdown [`pbitree_storage::ScanFilter`]s (SHCJ clips the
+/// descendant side by the ancestor set's zone). The filters must be
+/// *necessary conditions* for the key extractors producing a match — the
+/// join assumes a record its side's filter rejects cannot pair with
+/// anything. They apply to the initial scans, including the first Grace
+/// partitioning pass; partition files contain only qualifying records, so
+/// recursion levels scan them unfiltered.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_equijoin_with<B, P, KB, KP, M>(
+    ctx: &JoinCtx,
+    build: &HeapFile<B>,
+    probe: &HeapFile<P>,
+    build_opts: ScanOptions,
+    probe_opts: ScanOptions,
+    build_key: KB,
+    probe_key: KP,
     mut on_match: M,
 ) -> Result<(), JoinError>
 where
@@ -51,7 +89,17 @@ where
     if build.is_empty() || probe.is_empty() {
         return Ok(());
     }
-    equijoin_rec(ctx, build, probe, &build_key, &probe_key, &mut on_match, 0)
+    equijoin_rec(
+        ctx,
+        build,
+        probe,
+        build_opts,
+        probe_opts,
+        &build_key,
+        &probe_key,
+        &mut on_match,
+        0,
+    )
 }
 
 /// Recursion driver: in-memory when the build side fits, otherwise one
@@ -62,6 +110,8 @@ fn equijoin_rec<B, P, KB, KP, M>(
     ctx: &JoinCtx,
     build: &HeapFile<B>,
     probe: &HeapFile<P>,
+    build_opts: ScanOptions,
+    probe_opts: ScanOptions,
     build_key: &KB,
     probe_key: &KP,
     on_match: &mut M,
@@ -76,13 +126,17 @@ where
 {
     let budget_elems = ctx.elements_per_pages_of::<B>(ctx.budget().saturating_sub(RESERVE).max(1));
     if build.records() as usize <= budget_elems {
-        probe_in_memory(ctx, build, probe, build_key, probe_key, on_match)
+        probe_in_memory(
+            ctx, build, probe, build_opts, probe_opts, build_key, probe_key, on_match,
+        )
     } else if depth >= MAX_GRACE_DEPTH {
         // Same-key skew cannot be split by any hash: degrade gracefully.
         chunked_join(
             ctx,
             build,
             probe,
+            build_opts,
+            probe_opts,
             budget_elems,
             build_key,
             probe_key,
@@ -90,8 +144,8 @@ where
         )
     } else {
         let parts = partition_count(ctx, build.pages());
-        let build_parts = partition_file(ctx, build, parts, depth, build_key)?;
-        let probe_parts = partition_file(ctx, probe, parts, depth, probe_key)?;
+        let build_parts = partition_file(ctx, build, build_opts, parts, depth, build_key)?;
+        let probe_parts = partition_file(ctx, probe, probe_opts, parts, depth, probe_key)?;
         let mut result = Ok(());
         for (bp, pp) in build_parts.iter().zip(&probe_parts) {
             if bp.is_empty() || pp.is_empty() {
@@ -104,7 +158,19 @@ where
             } else {
                 depth + 1
             };
-            result = equijoin_rec(ctx, bp, pp, build_key, probe_key, on_match, next_depth);
+            // Filtered records never entered the partitions, so recursion
+            // scans them unfiltered.
+            result = equijoin_rec(
+                ctx,
+                bp,
+                pp,
+                ctx.read_opts(),
+                ctx.read_opts(),
+                build_key,
+                probe_key,
+                on_match,
+                next_depth,
+            );
             if result.is_err() {
                 break;
             }
@@ -137,6 +203,7 @@ fn partition_count(ctx: &JoinCtx, build_pages: u32) -> usize {
 fn partition_file<R, K>(
     ctx: &JoinCtx,
     input: &HeapFile<R>,
+    opts: ScanOptions,
     parts: usize,
     level: u32,
     key: K,
@@ -152,7 +219,7 @@ where
     let mut writers: Vec<HeapWriter<'_, R>> = (0..parts)
         .map(|_| HeapWriter::create_with(&ctx.pool, wopts))
         .collect::<Result<_, _>>()?;
-    let mut scan = input.scan_with(&ctx.pool, ctx.read_opts());
+    let mut scan = input.scan_with(&ctx.pool, opts);
     while let Some(r) = scan.next_record()? {
         if let Some(k) = key(&r) {
             let idx = (hash_u64(&hasher, k, level) as usize) % parts;
@@ -174,11 +241,48 @@ fn hash_u64(hasher: &FxBuildHasher, k: u64, level: u32) -> u64 {
     std::hash::Hasher::finish(&h)
 }
 
+/// Streams `probe` through an in-memory table page-batch-at-a-time: each
+/// page decodes once into a reusable buffer (unpinned before any matching
+/// runs), then the probe loop runs over the plain slice.
+fn probe_batched<B, P, KP, M>(
+    ctx: &JoinCtx,
+    table: &FxHashMap<u64, SmallGroup<B>>,
+    probe: &HeapFile<P>,
+    probe_opts: ScanOptions,
+    probe_key: &KP,
+    on_match: &mut M,
+) -> Result<(), JoinError>
+where
+    B: FixedRecord,
+    P: FixedRecord,
+    KP: Fn(&P) -> Option<u64>,
+    M: FnMut(&B, &P),
+{
+    let mut scan = probe.scan_with(&ctx.pool, probe_opts);
+    let mut batch: Vec<P> = Vec::with_capacity(pbitree_storage::records_per_page::<P>());
+    loop {
+        batch.clear();
+        if scan.next_batch(&mut batch)? == 0 {
+            return Ok(());
+        }
+        for p in &batch {
+            if let Some(k) = probe_key(p) {
+                if let Some(group) = table.get(&k) {
+                    group.for_each(|b| on_match(b, p));
+                }
+            }
+        }
+    }
+}
+
 /// Build an in-memory multimap from `build` and stream `probe` through it.
+#[allow(clippy::too_many_arguments)]
 fn probe_in_memory<B, P, KB, KP, M>(
     ctx: &JoinCtx,
     build: &HeapFile<B>,
     probe: &HeapFile<P>,
+    build_opts: ScanOptions,
+    probe_opts: ScanOptions,
     build_key: &KB,
     probe_key: &KP,
     on_match: &mut M,
@@ -192,29 +296,24 @@ where
 {
     let mut table: FxHashMap<u64, SmallGroup<B>> =
         FxHashMap::with_capacity_and_hasher(build.records() as usize * 2, Default::default());
-    let mut scan = build.scan_with(&ctx.pool, ctx.read_opts());
+    let mut scan = build.scan_with(&ctx.pool, build_opts);
     while let Some(r) = scan.next_record()? {
         if let Some(k) = build_key(&r) {
             table.entry(k).or_default().push(r);
         }
     }
-    let mut scan = probe.scan_with(&ctx.pool, ctx.read_opts());
-    while let Some(p) = scan.next_record()? {
-        if let Some(k) = probe_key(&p) {
-            if let Some(group) = table.get(&k) {
-                group.for_each(|b| on_match(b, &p));
-            }
-        }
-    }
-    Ok(())
+    probe_batched(ctx, &table, probe, probe_opts, probe_key, on_match)
 }
 
 /// Build side exceeds memory even after partitioning: process it in
 /// memory-sized chunks, rescanning the probe side per chunk.
+#[allow(clippy::too_many_arguments)]
 fn chunked_join<B, P, KB, KP, M>(
     ctx: &JoinCtx,
     build: &HeapFile<B>,
     probe: &HeapFile<P>,
+    build_opts: ScanOptions,
+    probe_opts: ScanOptions,
     chunk_len: usize,
     build_key: &KB,
     probe_key: &KP,
@@ -227,7 +326,7 @@ where
     KP: Fn(&P) -> Option<u64>,
     M: FnMut(&B, &P),
 {
-    let mut build_scan = build.scan_with(&ctx.pool, ctx.read_opts());
+    let mut build_scan = build.scan_with(&ctx.pool, build_opts);
     loop {
         let mut table: FxHashMap<u64, SmallGroup<B>> =
             FxHashMap::with_capacity_and_hasher(chunk_len * 2, Default::default());
@@ -246,14 +345,7 @@ where
         if n == 0 {
             return Ok(());
         }
-        let mut scan = probe.scan_with(&ctx.pool, ctx.read_opts());
-        while let Some(p) = scan.next_record()? {
-            if let Some(k) = probe_key(&p) {
-                if let Some(group) = table.get(&k) {
-                    group.for_each(|b| on_match(b, &p));
-                }
-            }
-        }
+        probe_batched(ctx, &table, probe, probe_opts, probe_key, on_match)?;
         if n < chunk_len {
             return Ok(());
         }

@@ -36,6 +36,7 @@
 //! and against each other by the test suite (`verify` module).
 
 pub mod adb;
+pub mod batch;
 pub mod context;
 pub mod element;
 pub mod hashjoin;

@@ -132,15 +132,20 @@ pub(crate) fn mem_join_inner(
     d: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<(u64, u64), JoinError> {
+    // Both the resident load and the streamed probe are clipped by the
+    // *other* side's envelope: records outside it can join nothing, so
+    // zone maps skip their pages and pruned records never enter the hash
+    // structures. (Filtering can only shrink the resident side, so the
+    // `pick_side` fit check stays conservative.)
+    let a_opts = ctx.overlap_opts(d.bounds());
+    let d_opts = ctx.overlap_opts(a.bounds());
     if pick_side(ctx, a.pages(), d.pages())? {
         let dd = ctx.phase("load", || {
-            Ok(SortedDescendants::new(
-                d.read_all_with(&ctx.pool, ctx.read_opts())?,
-            ))
+            Ok(SortedDescendants::new(d.read_all_with(&ctx.pool, d_opts)?))
         })?;
         ctx.phase_counted("probe", || {
             let mut pairs = 0u64;
-            let mut scan = a.scan_with(&ctx.pool, ctx.read_opts());
+            let mut scan = a.scan_with(&ctx.pool, a_opts);
             while let Some(ae) = scan.next_record()? {
                 pairs += dd.probe(ae, sink);
             }
@@ -148,13 +153,11 @@ pub(crate) fn mem_join_inner(
         })
     } else {
         let aa = ctx.phase("load", || {
-            Ok(RolledAncestors::new(
-                a.read_all_with(&ctx.pool, ctx.read_opts())?,
-            ))
+            Ok(RolledAncestors::new(a.read_all_with(&ctx.pool, a_opts)?))
         })?;
         ctx.phase_counted("probe", || {
             let (mut pairs, mut false_hits) = (0u64, 0u64);
-            let mut scan = d.scan_with(&ctx.pool, ctx.read_opts());
+            let mut scan = d.scan_with(&ctx.pool, d_opts);
             while let Some(de) = scan.next_record()? {
                 let (p, f) = aa.probe(de, sink);
                 pairs += p;

@@ -17,6 +17,7 @@
 
 use pbitree_storage::{HeapFile, ScanPos};
 
+use crate::batch::ElementBatch;
 use crate::context::{JoinCtx, JoinError, JoinStats};
 use crate::element::Element;
 use crate::sink::PairSink;
@@ -60,39 +61,37 @@ fn merge(
     // The mark: position of the first descendant with start >= the current
     // ancestor's start. Monotone because ancestors are start-sorted.
     let mut mark = ScanPos::START;
+    let mut batch = ElementBatch::new();
     while let Some(a_el) = a_scan.next_record()? {
         let (a_start, a_end) = a_el.code.region();
         let mut d_scan = d.scan_at_with(&ctx.pool, mark, opts);
         let mut advanced_mark = false;
-        loop {
-            let pos = d_scan.position();
-            let Some(d_el) = d_scan.next_record()? else {
-                break;
-            };
-            if d_el.start() < a_start {
-                // Dead for this and every later ancestor: advance the mark.
-                mark = d_scan.position();
-                continue;
-            }
+        // Each page decodes once into the batch; the dead prefix (start <
+        // a_start, dead for every later ancestor too) and the end of the
+        // live segment (first start > a_end) are found by galloping over
+        // the sorted starts column, and the segment between them pays one
+        // branch-free containment pass.
+        while batch.refill(&mut d_scan)? {
+            let mut lo = 0;
             if !advanced_mark {
+                lo = batch.lower_bound_start(0, a_start);
+                if lo == batch.len() {
+                    // The whole batch is dead: the mark skips past it.
+                    mark = d_scan.position();
+                    continue;
+                }
                 // First live descendant: later (nested) ancestors restart
                 // here.
-                mark = pos;
+                mark = batch.pos_of(lo);
                 advanced_mark = true;
             }
-            if d_el.start() > a_end {
+            let hi = batch.upper_bound_start(lo, a_end);
+            pairs += batch.for_each_contained(lo, hi, &a_el, |d_el| sink.emit(a_el, d_el));
+            if hi < batch.len() {
+                // A descendant starting past a_end ends this ancestor's
+                // segment.
                 break;
             }
-            // d.start within [a_start, a_end] means containment unless it
-            // is the same node (laminar regions, see `adb` module notes).
-            if d_el.code != a_el.code && a_el.code.is_ancestor_of(d_el.code) {
-                pairs += 1;
-                sink.emit(a_el, d_el);
-            }
-        }
-        if !advanced_mark {
-            // Every remaining descendant starts after a_end; the mark
-            // stays where the scan stopped for the next ancestor.
         }
     }
     Ok(pairs)

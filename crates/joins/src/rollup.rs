@@ -25,7 +25,8 @@ use pbitree_storage::{HeapFile, HeapWriter};
 
 use crate::context::{JoinCtx, JoinError, JoinStats};
 use crate::element::Element;
-use crate::hashjoin::hash_equijoin;
+use crate::hashjoin::hash_equijoin_with;
+use crate::shcj::d_side_filter;
 use crate::sink::PairSink;
 
 /// Tuning knobs for [`mhcj_rollup`]. `Default` is the paper's strategy:
@@ -132,6 +133,14 @@ pub fn mhcj_rollup(
 
 /// One SHCJ-style equijoin on `F(·, anchor)`, building on the smaller
 /// side, with the Lemma-1 post filter. Returns `(pairs, false_hits)`.
+///
+/// The descendant scan carries the same zone-map pushdown as SHCJ
+/// ([`d_side_filter`] over this anchor partition's bounds): a true pair's
+/// descendant lies inside some *real* ancestor's region, so the envelope
+/// overlap is a necessary condition for pairs. It is **not** necessary for
+/// false-hit candidates — a pruned page may have held candidates Lemma 1
+/// would have rejected — so pruning can only *lower* the reported false-hit
+/// count, never the pair count.
 fn anchored_equijoin(
     ctx: &JoinCtx,
     a: &HeapFile<Element>,
@@ -139,6 +148,8 @@ fn anchored_equijoin(
     anchor: u32,
     sink: &mut dyn PairSink,
 ) -> Result<(u64, u64), JoinError> {
+    let d_opts = ctx.pruned(d_side_filter(a, anchor));
+    let a_opts = ctx.read_opts();
     let a_key = |e: &Element| {
         debug_assert!(e.code.height() <= anchor, "anchor below an ancestor");
         Some(e.code.ancestor_at_height(anchor).get())
@@ -160,9 +171,9 @@ fn anchored_equijoin(
         }
     };
     if a.records() <= d.records() {
-        hash_equijoin(ctx, a, d, a_key, d_key, |b, p| check(b, p))?;
+        hash_equijoin_with(ctx, a, d, a_opts, d_opts, a_key, d_key, |b, p| check(b, p))?;
     } else {
-        hash_equijoin(ctx, d, a, d_key, a_key, |b, p| check(p, b))?;
+        hash_equijoin_with(ctx, d, a, d_opts, a_opts, d_key, a_key, |b, p| check(p, b))?;
     }
     Ok((pairs, false_hits))
 }
@@ -211,13 +222,27 @@ mod tests {
         // to its height-2 anchor (code 12) because another ancestor (code
         // 4) occupies height 2. Descendant 13 lies under 12 but not under
         // 10 — the equijoin surfaces it and the Lemma-1 filter kills it.
-        let c = ctx(8);
+        // Zone-map pruning is pinned off: 13's region misses the anchored
+        // partition's envelope, so pushdown would drop the candidate before
+        // it ever surfaces as a false hit.
+        let c = ctx(8).with_prune(false);
         let a = element_file(&c.pool, [(10u64, 0), (4u64, 0)]).unwrap();
         let d = element_file(&c.pool, [(9u64, 1), (13u64, 1)]).unwrap();
         let mut sink = CollectSink::default();
         let stats = mhcj_rollup(&c, &a, &d, RollupOptions::default(), &mut sink).unwrap();
         assert_eq!(stats.pairs, 1);
         assert_eq!(stats.false_hits, 1);
+        assert_eq!(sink.canonical(), vec![(10, 9)]);
+
+        // With pruning on, the pairs are unchanged and the false hit is
+        // filtered out by the zone map instead of the Lemma-1 check.
+        let c = ctx(8);
+        let a = element_file(&c.pool, [(10u64, 0), (4u64, 0)]).unwrap();
+        let d = element_file(&c.pool, [(9u64, 1), (13u64, 1)]).unwrap();
+        let mut sink = CollectSink::default();
+        let stats = mhcj_rollup(&c, &a, &d, RollupOptions::default(), &mut sink).unwrap();
+        assert_eq!(stats.pairs, 1);
+        assert_eq!(stats.false_hits, 0);
         assert_eq!(sink.canonical(), vec![(10, 9)]);
     }
 

@@ -11,11 +11,11 @@
 //! The probe key is therefore `None` (tuple skipped) for such descendants —
 //! the `shallow_descendants_do_not_match` test pins this down.
 
-use pbitree_storage::HeapFile;
+use pbitree_storage::{HeapFile, ScanFilter};
 
 use crate::context::{JoinCtx, JoinError, JoinStats};
 use crate::element::Element;
-use crate::hashjoin::hash_equijoin;
+use crate::hashjoin::hash_equijoin_with;
 use crate::sink::PairSink;
 
 /// The ancestor height of a single-height set, by inspecting one record.
@@ -39,9 +39,33 @@ pub fn shcj(
     ctx.measure_op("shcj", || shcj_inner(ctx, a, d, sink))
 }
 
+/// The pushdown filter SHCJ derives for its descendant side: a matching
+/// descendant lies strictly *inside* some ancestor's region (so its region
+/// overlaps the ancestor set's `(min start, max end)` envelope) and sits
+/// strictly *below* height `h` (the `d_key` guard). Both are necessary
+/// conditions — pruning by them cannot lose a pair. At `h = 0` the height
+/// window degenerates to `[0, 0]`, over-admitting height-0 descendants;
+/// they produce no pairs anyway (`d_key` yields `None`).
+pub(crate) fn d_side_filter(a: &HeapFile<Element>, h: u32) -> ScanFilter {
+    let height = ScanFilter::HeightRange {
+        min: 0,
+        max: h.saturating_sub(1),
+    };
+    match a.bounds() {
+        Some((lo, hi)) => ScanFilter::RegionOverlap { start: lo, end: hi }.and(height),
+        None => height,
+    }
+}
+
 /// The un-measured body, reused by MHCJ per height partition. Phases:
 /// `plan` (height inspection) and `probe` (the hash equijoin, including
 /// any Grace partitioning it decides to do).
+///
+/// The descendant scan (whichever role it plays in the equijoin) carries a
+/// [`d_side_filter`] pushdown: when `A` is one height partition of a
+/// larger set — the MHCJ case — the partition's zone clips the shared `D`
+/// scan to the pages that can contain its descendants, a semi-join-style
+/// pruning at zero I/O per skipped page.
 pub(crate) fn shcj_inner(
     ctx: &JoinCtx,
     a: &HeapFile<Element>,
@@ -51,6 +75,8 @@ pub(crate) fn shcj_inner(
     let Some(h) = ctx.phase("plan", || single_height_of(ctx, a))? else {
         return Ok((0, 0));
     };
+    let d_opts = ctx.pruned(d_side_filter(a, h));
+    let a_opts = ctx.read_opts();
     // `Cell`: the A-key closure is `Fn` (shared by partitioning and build
     // passes) but must record a violation it encounters.
     let height_violation = std::cell::Cell::new(None::<u32>);
@@ -73,12 +99,12 @@ pub(crate) fn shcj_inner(
         // build side is what must fit in memory (or gets
         // Grace-partitioned).
         if a.records() <= d.records() {
-            hash_equijoin(ctx, a, d, a_key, d_key, |b, p| {
+            hash_equijoin_with(ctx, a, d, a_opts, d_opts, a_key, d_key, |b, p| {
                 pairs += 1;
                 sink.emit(*b, *p);
             })?;
         } else {
-            hash_equijoin(ctx, d, a, d_key, a_key, |b, p| {
+            hash_equijoin_with(ctx, d, a, d_opts, a_opts, d_key, a_key, |b, p| {
                 pairs += 1;
                 sink.emit(*p, *b);
             })?;

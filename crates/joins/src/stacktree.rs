@@ -12,6 +12,7 @@
 
 use pbitree_storage::{external_sort_with, HeapFile};
 
+use crate::batch::ElementBatch;
 use crate::context::{JoinCtx, JoinError, JoinStats};
 use crate::element::Element;
 use crate::sink::PairSink;
@@ -79,32 +80,76 @@ fn merge_with_stack(
     let opts = ctx.read_opts().shared(2);
     let mut sa = a.scan_with(&ctx.pool, opts);
     let mut sd = d.scan_with(&ctx.pool, opts);
-    let mut cur_a = sa.next_record()?;
-    let mut cur_d = sd.next_record()?;
+    // Both streams decode page-at-a-time into columnar batches; merge
+    // decisions gallop over the batch columns instead of branching per
+    // record.
+    let mut ab = ElementBatch::new();
+    let mut db = ElementBatch::new();
+    ab.refill(&mut sa)?;
+    db.refill(&mut sd)?;
+    let (mut ai, mut di) = (0usize, 0usize);
     // The stack holds the ancestors whose regions contain the current scan
     // position; its depth is bounded by the PBiTree height (<= 63).
     let mut stack: Vec<Element> = Vec::with_capacity(ctx.shape.height() as usize);
     let mut pairs = 0u64;
 
-    while let Some(d_el) = cur_d {
-        if let Some(a_el) = cur_a.filter(|a_el| a_el.doc_key() <= d_el.doc_key()) {
+    loop {
+        if di == db.len() {
+            di = 0;
+            if !db.refill(&mut sd)? {
+                break; // no more descendants: nothing left to emit
+            }
+        }
+        if ai == ab.len() {
+            ai = 0;
+            ab.refill(&mut sa)?; // stays empty once A is exhausted
+        }
+        let d_el = db.get(di);
+        let a_key = (ai < ab.len()).then(|| ab.get(ai).doc_key());
+        if a_key.is_some_and(|k| k <= d_el.doc_key()) {
+            let a_el = ab.get(ai);
             while stack.last().is_some_and(|t| t.end() < a_el.start()) {
                 stack.pop();
             }
             stack.push(a_el);
-            cur_a = sa.next_record()?;
-        } else {
-            while stack.last().is_some_and(|t| t.end() < d_el.start()) {
-                stack.pop();
-            }
-            for s in &stack {
-                if s.code != d_el.code {
-                    pairs += 1;
-                    sink.emit(*s, d_el);
+            ai += 1;
+            continue;
+        }
+        while stack.last().is_some_and(|t| t.end() < d_el.start()) {
+            stack.pop();
+        }
+        let Some(top) = stack.last() else {
+            match a_key {
+                // Open ancestors: none. Pending ancestors: none. Every
+                // remaining descendant is unmatched — stop without reading
+                // the tail of D.
+                None => break,
+                // Descendants that precede the next ancestor match nothing
+                // while the stack is empty: gallop over the whole run.
+                Some(k) => {
+                    di = db.gallop_key_ge(di, k);
+                    continue;
                 }
             }
-            cur_d = sd.next_record()?;
+        };
+        // The stack is stable for every descendant before the next
+        // ancestor (doc key < k) that stays inside the top of the stack
+        // (start <= top.end — entries below the top are its ancestors, so
+        // no pops either): emit the whole run against the same stack.
+        let mut hi = db.upper_bound_start(di, top.end());
+        if let Some(k) = a_key {
+            hi = hi.min(db.gallop_key_ge(di, k));
         }
+        for i in di..hi {
+            let de = db.get(i);
+            for s in &stack {
+                if s.code != de.code {
+                    pairs += 1;
+                    sink.emit(*s, de);
+                }
+            }
+        }
+        di = hi;
     }
     Ok(pairs)
 }
@@ -163,8 +208,12 @@ fn merge_anc(
     let opts = ctx.read_opts().shared(2);
     let mut sa = a.scan_with(&ctx.pool, opts);
     let mut sd = d.scan_with(&ctx.pool, opts);
-    let mut cur_a = sa.next_record()?;
-    let mut cur_d = sd.next_record()?;
+    // Same batched merge skeleton as `merge_with_stack`.
+    let mut ab = ElementBatch::new();
+    let mut db = ElementBatch::new();
+    ab.refill(&mut sa)?;
+    db.refill(&mut sd)?;
+    let (mut ai, mut di) = (0usize, 0usize);
     let mut stack: Vec<AncEntry> = Vec::with_capacity(ctx.shape.height() as usize);
     let mut pairs = 0u64;
 
@@ -190,8 +239,21 @@ fn merge_anc(
         }
     }
 
-    while let Some(d_el) = cur_d {
-        if let Some(a_el) = cur_a.filter(|a_el| a_el.doc_key() <= d_el.doc_key()) {
+    loop {
+        if di == db.len() {
+            di = 0;
+            if !db.refill(&mut sd)? {
+                break;
+            }
+        }
+        if ai == ab.len() {
+            ai = 0;
+            ab.refill(&mut sa)?; // stays empty once A is exhausted
+        }
+        let d_el = db.get(di);
+        let a_key = (ai < ab.len()).then(|| ab.get(ai).doc_key());
+        if a_key.is_some_and(|k| k <= d_el.doc_key()) {
+            let a_el = ab.get(ai);
             while stack.last().is_some_and(|t| t.node.end() < a_el.start()) {
                 pop(&mut stack, sink, &mut pairs);
             }
@@ -200,18 +262,41 @@ fn merge_anc(
                 self_list: Vec::new(),
                 inherit_list: Vec::new(),
             });
-            cur_a = sa.next_record()?;
-        } else {
-            while stack.last().is_some_and(|t| t.node.end() < d_el.start()) {
-                pop(&mut stack, sink, &mut pairs);
-            }
-            for e in stack.iter_mut() {
-                if e.node.code != d_el.code {
-                    e.self_list.push((e.node, d_el));
+            ai += 1;
+            continue;
+        }
+        while stack.last().is_some_and(|t| t.node.end() < d_el.start()) {
+            pop(&mut stack, sink, &mut pairs);
+        }
+        let Some(top) = stack.last() else {
+            match a_key {
+                // Nothing open, nothing buffered (the stack drained as it
+                // popped), nothing pending: done.
+                None => break,
+                // Unmatched descendants before the next ancestor: skip the
+                // run in one gallop.
+                Some(k) => {
+                    di = db.gallop_key_ge(di, k);
+                    continue;
                 }
             }
-            cur_d = sd.next_record()?;
+        };
+        // The stable-stack run, as in `merge_with_stack`: every descendant
+        // before the next ancestor that stays inside the stack top buffers
+        // against the same entries.
+        let mut hi = db.upper_bound_start(di, top.node.end());
+        if let Some(k) = a_key {
+            hi = hi.min(db.gallop_key_ge(di, k));
         }
+        for i in di..hi {
+            let de = db.get(i);
+            for e in stack.iter_mut() {
+                if e.node.code != de.code {
+                    e.self_list.push((e.node, de));
+                }
+            }
+        }
+        di = hi;
     }
     while !stack.is_empty() {
         pop(&mut stack, sink, &mut pairs);

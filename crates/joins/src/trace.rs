@@ -48,7 +48,8 @@
 //! {"v":1,"kind":"phase","seq":0,"run":1,"parent":null,"task":null,
 //!  "tiled":true,"name":"partition","pairs":0,"false_hits":0,
 //!  "cpu_ns":12345,"io":{"seq_reads":8,"rand_reads":1,"seq_writes":0,
-//!  "rand_writes":0,"sim_ns":1800000},"pool":{"hits":3,"misses":9}}
+//!  "rand_writes":0,"sim_ns":1800000},
+//!  "pool":{"hits":3,"misses":9,"skipped":0,"filtered":0}}
 //! ```
 //!
 //! `parent` is the enclosing run id (runs only), `task` the partition task
@@ -147,7 +148,8 @@ impl SpanRecord {
             "{{\"v\":{},\"kind\":\"{}\",\"seq\":{},\"run\":{},\"parent\":{},\"task\":{},\
              \"tiled\":{},\"name\":\"{}\",\"pairs\":{},\"false_hits\":{},\"cpu_ns\":{},\
              \"io\":{{\"seq_reads\":{},\"rand_reads\":{},\"seq_writes\":{},\"rand_writes\":{},\
-             \"sim_ns\":{}}},\"pool\":{{\"hits\":{},\"misses\":{}}}}}",
+             \"sim_ns\":{}}},\"pool\":{{\"hits\":{},\"misses\":{},\"skipped\":{},\
+             \"filtered\":{}}}}}",
             SCHEMA_VERSION,
             self.kind.as_str(),
             self.seq,
@@ -166,6 +168,8 @@ impl SpanRecord {
             self.io.sim_ns,
             self.pool.hits,
             self.pool.misses,
+            self.pool.pages_skipped,
+            self.pool.records_filtered,
         )
         .expect("writing to a String cannot fail");
         s
@@ -232,6 +236,8 @@ impl Tracer {
                     p.io = add_io(&p.io, &s.io);
                     p.pool.hits += s.pool.hits;
                     p.pool.misses += s.pool.misses;
+                    p.pool.pages_skipped += s.pool.pages_skipped;
+                    p.pool.records_filtered += s.pool.records_filtered;
                 }
                 None => out.push(PhaseStat {
                     name: s.name,
@@ -382,6 +388,8 @@ impl JoinCtx {
                 covered.io = add_io(&covered.io, &p.io);
                 covered.pool.hits += p.pool.hits;
                 covered.pool.misses += p.pool.misses;
+                covered.pool.pages_skipped += p.pool.pages_skipped;
+                covered.pool.records_filtered += p.pool.records_filtered;
                 covered_cpu += p.cpu_ns;
             }
             let rest = delta.since(&covered);
@@ -546,13 +554,18 @@ mod tests {
             false_hits: 1,
             cpu_ns: 99,
             io: IoStats::default(),
-            pool: PoolStats { hits: 5, misses: 2 },
+            pool: PoolStats {
+                hits: 5,
+                misses: 2,
+                pages_skipped: 4,
+                records_filtered: 17,
+            },
         };
         let j = s.to_json();
         assert!(j.starts_with("{\"v\":1,\"kind\":\"phase\",\"seq\":7,"));
         assert!(j.contains("\"task\":3"));
         assert!(j.contains("\"parent\":null"));
-        assert!(j.contains("\"pool\":{\"hits\":5,\"misses\":2}"));
+        assert!(j.contains("\"pool\":{\"hits\":5,\"misses\":2,\"skipped\":4,\"filtered\":17}"));
     }
 
     #[test]

@@ -265,6 +265,16 @@ fn vpj_rec(
     mut defer: Option<&mut Vec<VpjTask>>,
 ) -> Result<(), JoinError> {
     let budget = ctx.budget().saturating_sub(RESERVE).max(1);
+    // Zone short-circuit: a pair requires the descendant's region inside
+    // the ancestor's, so disjoint catalog envelopes prove the whole
+    // pairing empty — no scan, no partitioning pass. Counted as a purge
+    // (it is one, at subtree granularity).
+    if ctx.prune() && envelopes_disjoint(&a.file, &d.file) {
+        report.purged += 1;
+        a.release(ctx);
+        d.release(ctx);
+        return Ok(());
+    }
     // Base case (a): one side already fits -> I/O-optimal memory join. Its
     // own `load`/`probe` phases double as this operator's.
     if (a.file.pages() as usize) <= budget || (d.file.pages() as usize) <= budget {
@@ -345,16 +355,43 @@ fn vpj_rec(
     // the range, but computing it from the data is unnecessary: indices
     // outside the window simply never occur, so we map sparse indices via a
     // hash of written partitions instead of preallocating 2^l writers.
+    //
+    // Each side's partitioning scan is clipped by the *other* side's
+    // catalog envelope: containment makes overlap with the opposite
+    // envelope necessary for every pair, so pages the zone map proves
+    // irrelevant are never read and their records never partitioned (or
+    // replicated) at all.
+    let a_popts = side_opts(ctx, d.file.bounds());
+    let d_popts = side_opts(ctx, a.file.bounds());
     let parts_a = ctx.phase("partition", || {
-        partition_pass(ctx, &a.file, l, window, PartitionRole::Ancestor, report)
+        partition_pass(
+            ctx,
+            &a.file,
+            l,
+            window,
+            PartitionRole::Ancestor,
+            report,
+            a_popts,
+        )
     })?;
     let parts_d = ctx.phase("partition", || {
-        partition_pass(ctx, &d.file, l, window, PartitionRole::Descendant, report)
+        partition_pass(
+            ctx,
+            &d.file,
+            l,
+            window,
+            PartitionRole::Descendant,
+            report,
+            d_popts,
+        )
     })?;
     a.release(ctx);
     d.release(ctx);
 
-    // Purge: keep only indices where both sides are non-empty.
+    // Purge: keep only indices where both sides are non-empty — and, with
+    // pruning on, where the two sides' catalog envelopes overlap (an
+    // ancestor partition whose regions all end before the descendant
+    // partition's begin provably joins to nothing).
     let mut indices: Vec<u64> = parts_a
         .keys()
         .filter(|i| parts_d.contains_key(i))
@@ -373,6 +410,20 @@ fn vpj_rec(
             purged.push(*f);
             report.purged += 1;
         }
+    }
+    if ctx.prune() {
+        indices.retain(|i| {
+            let empty = match (parts_a.get(i), parts_d.get(i)) {
+                (Some(fa), Some(fd)) => envelopes_disjoint(fa, fd),
+                _ => false,
+            };
+            if empty {
+                purged.push(parts_a[i]);
+                purged.push(parts_d[i]);
+                report.purged += 1;
+            }
+            !empty
+        });
     }
     for f in purged {
         f.drop_file(&ctx.pool);
@@ -522,6 +573,40 @@ fn vpj_rec(
     Ok(())
 }
 
+/// Whether two element files' catalog region envelopes provably cannot
+/// contain a (ancestor, descendant) pair: containment implies overlap, so
+/// disjoint envelopes are a proof of emptiness. Files without bounds
+/// (never the case for non-empty element files) are conservatively
+/// considered overlapping.
+fn envelopes_disjoint(a: &HeapFile<Element>, d: &HeapFile<Element>) -> bool {
+    match (a.bounds(), d.bounds()) {
+        (Some((alo, ahi)), Some((dlo, dhi))) => alo > dhi || ahi < dlo,
+        _ => false,
+    }
+}
+
+/// The merged `(min start, max end)` envelope of a group's files, `None`
+/// when any member lacks bounds (no pruning information).
+fn group_envelope(files: &[HeapFile<Element>]) -> Option<(u64, u64)> {
+    let mut acc: Option<(u64, u64)> = None;
+    for f in files {
+        let (lo, hi) = f.bounds()?;
+        acc = Some(match acc {
+            None => (lo, hi),
+            Some((l0, h0)) => (l0.min(lo), h0.max(hi)),
+        });
+    }
+    acc
+}
+
+/// Scan options for loading/streaming one side of a group join, clipped —
+/// when pruning is on — by the *other* side's envelope. Containment makes
+/// region overlap with the opposite envelope a necessary condition on both
+/// sides, so the filter is result-preserving whichever side it lands on.
+fn side_opts(ctx: &JoinCtx, other: Option<(u64, u64)>) -> pbitree_storage::ScanOptions {
+    ctx.overlap_opts(other)
+}
+
 enum PartitionRole {
     /// Spanning nodes are replicated across their whole range.
     Ancestor,
@@ -531,7 +616,9 @@ enum PartitionRole {
 
 /// Splits `input` by partition index at level `l` into per-index heap
 /// files. Sparse map keyed by global index — only occupied partitions
-/// materialize.
+/// materialize. `opts` carries the caller's pushdown filter (the opposite
+/// side's envelope), so pruned records never reach a writer.
+#[allow(clippy::too_many_arguments)]
 fn partition_pass(
     ctx: &JoinCtx,
     input: &HeapFile<Element>,
@@ -539,6 +626,7 @@ fn partition_pass(
     window: (u64, u64),
     role: PartitionRole,
     report: &mut VpjReport,
+    opts: pbitree_storage::ScanOptions,
 ) -> Result<std::collections::BTreeMap<u64, HeapFile<Element>>, JoinError> {
     let h = ctx.shape.height();
     let shift = h - l; // hl + 1
@@ -549,7 +637,7 @@ fn partition_pass(
     // writer-private memory (not pool frames), so each writer keeps the
     // full batch depth.
     let wopts = ctx.write_opts(1);
-    let mut scan = input.scan_with(&ctx.pool, ctx.read_opts());
+    let mut scan = input.scan_with(&ctx.pool, opts);
     while let Some(e) = scan.next_record()? {
         let (lo, hi) = partition_range(e.code, h, l);
         // Clip spanning nodes to this subtree's index window: replicas
@@ -620,19 +708,23 @@ fn join_group(
     // both sides; falling back to the smaller side keeps the work identical
     // to the sequential plan (loading D costs a binary search per ancestor,
     // loading A an ancestor enumeration per descendant — pick by size).
+    // Each side's scans are clipped by the opposite side's envelope. A
+    // replica dropped by the filter is dropped from *every* member scan
+    // identically, so the keep() dedup stays consistent — a surviving
+    // replica is still kept in exactly one member.
+    let a_opts = side_opts(ctx, group_envelope(gd));
+    let d_opts = side_opts(ctx, group_envelope(ga));
     if (sum_d as usize) <= budget || sum_d <= sum_a {
         // Load D (no replication on that side), stream deduped A.
         let mut dvec = Vec::new();
         for f in gd {
-            let mut scan = f.scan_with(&ctx.pool, ctx.read_opts());
-            while let Some(e) = scan.next_record()? {
-                dvec.push(e);
-            }
+            let mut scan = f.scan_with(&ctx.pool, d_opts);
+            while scan.next_batch(&mut dvec)? > 0 {}
         }
         let dd = SortedDescendants::new(dvec);
         let mut pairs = 0u64;
         for (pos, f) in ga.iter().enumerate() {
-            let mut scan = f.scan_with(&ctx.pool, ctx.read_opts());
+            let mut scan = f.scan_with(&ctx.pool, a_opts);
             while let Some(ae) = scan.next_record()? {
                 if keep(pos, &ae) {
                     pairs += dd.probe(ae, sink);
@@ -644,7 +736,7 @@ fn join_group(
         // Load deduped A, stream D (Algorithm 6's rollup branch, resident).
         let mut avec = Vec::new();
         for (pos, f) in ga.iter().enumerate() {
-            let mut scan = f.scan_with(&ctx.pool, ctx.read_opts());
+            let mut scan = f.scan_with(&ctx.pool, a_opts);
             while let Some(ae) = scan.next_record()? {
                 if keep(pos, &ae) {
                     avec.push(ae);
@@ -653,12 +745,19 @@ fn join_group(
         }
         let aa = RolledAncestors::new(avec);
         let (mut pairs, mut false_hits) = (0u64, 0u64);
+        let mut batch: Vec<Element> = Vec::new();
         for f in gd {
-            let mut scan = f.scan_with(&ctx.pool, ctx.read_opts());
-            while let Some(de) = scan.next_record()? {
-                let (p, fh) = aa.probe(de, sink);
-                pairs += p;
-                false_hits += fh;
+            let mut scan = f.scan_with(&ctx.pool, d_opts);
+            loop {
+                batch.clear();
+                if scan.next_batch(&mut batch)? == 0 {
+                    break;
+                }
+                for de in &batch {
+                    let (p, fh) = aa.probe(*de, sink);
+                    pairs += p;
+                    false_hits += fh;
+                }
             }
         }
         Ok((pairs, false_hits))

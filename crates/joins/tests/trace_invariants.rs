@@ -186,12 +186,24 @@ fn assert_tiles_exactly(op: &str, threads: usize, stats: &JoinStats, spans: &[Sp
         io = add_io(io, &p.io);
         pool.hits += p.pool.hits;
         pool.misses += p.pool.misses;
+        pool.pages_skipped += p.pool.pages_skipped;
+        pool.records_filtered += p.pool.records_filtered;
         cpu += p.cpu_ns;
     }
     assert_eq!(io, stats.io, "{op} t={threads}: phase io must tile the run");
     assert_eq!(
-        (pool.hits, pool.misses),
-        (run.pool.hits, run.pool.misses),
+        (
+            pool.hits,
+            pool.misses,
+            pool.pages_skipped,
+            pool.records_filtered
+        ),
+        (
+            run.pool.hits,
+            run.pool.misses,
+            run.pool.pages_skipped,
+            run.pool.records_filtered
+        ),
         "{op} t={threads}: phase pool deltas must tile the run"
     );
     // The synthetic "other" phase absorbs total - covered, so the
@@ -227,7 +239,12 @@ fn golden_jsonl_schema() {
                 rand_writes: 0,
                 sim_ns: 180000,
             },
-            pool: PoolStats { hits: 3, misses: 9 },
+            pool: PoolStats {
+                hits: 3,
+                misses: 9,
+                pages_skipped: 5,
+                records_filtered: 21,
+            },
         },
         SpanRecord {
             seq: 1,
@@ -244,6 +261,8 @@ fn golden_jsonl_schema() {
             pool: PoolStats {
                 hits: 12,
                 misses: 0,
+                pages_skipped: 0,
+                records_filtered: 0,
             },
         },
         SpanRecord {
@@ -264,7 +283,12 @@ fn golden_jsonl_schema() {
                 rand_writes: 4,
                 sim_ns: 5,
             },
-            pool: PoolStats { hits: 6, misses: 7 },
+            pool: PoolStats {
+                hits: 6,
+                misses: 7,
+                pages_skipped: 1,
+                records_filtered: 2,
+            },
         },
     ];
     let rendered: String = spans.iter().map(|s| s.to_json() + "\n").collect();
@@ -308,6 +332,8 @@ fn emitted_lines_keep_key_order() {
         "\"sim_ns\":",
         "\"pool\":{\"hits\":",
         "\"misses\":",
+        "\"skipped\":",
+        "\"filtered\":",
     ];
     for line in text.lines() {
         let mut pos = 0;

@@ -10,6 +10,8 @@
 //! depth with [`ScanOptions::shared`] so concurrent streams do not evict
 //! each other's read-ahead.
 
+use crate::zone::ScanFilter;
+
 /// How a file is about to be accessed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessPattern {
@@ -35,15 +37,22 @@ pub enum AccessPattern {
 /// access when the caller does not say otherwise.
 pub const DEFAULT_IO_DEPTH: usize = 8;
 
-/// Per-operation I/O options, currently just the declared access pattern.
+/// Per-operation I/O options: the declared access pattern plus an optional
+/// pushdown [`ScanFilter`] evaluated against zone maps by heap scans.
 ///
-/// The default is `Sequential { readahead: DEFAULT_IO_DEPTH }`: heap files
-/// in this engine are overwhelmingly scanned front to back, so plain
-/// [`crate::HeapFile::scan`] gets read-ahead unless a caller opts out.
+/// The default is `Sequential { readahead: DEFAULT_IO_DEPTH }` with no
+/// filter: heap files in this engine are overwhelmingly scanned front to
+/// back, so plain [`crate::HeapFile::scan`] gets read-ahead unless a
+/// caller opts out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScanOptions {
     /// The declared access pattern.
     pub pattern: AccessPattern,
+    /// Pushdown predicate for filtered scans ([`ScanFilter::All`] reads
+    /// everything). Ignored by writers and raw page reads; consumed by
+    /// [`crate::heap::HeapScan`], which skips pages whose zone cannot
+    /// satisfy it.
+    pub filter: ScanFilter,
 }
 
 impl Default for ScanOptions {
@@ -57,6 +66,7 @@ impl ScanOptions {
     pub fn random() -> Self {
         ScanOptions {
             pattern: AccessPattern::Random,
+            filter: ScanFilter::All,
         }
     }
 
@@ -67,6 +77,7 @@ impl ScanOptions {
             pattern: AccessPattern::Sequential {
                 readahead: readahead.max(1),
             },
+            filter: ScanFilter::All,
         }
     }
 
@@ -77,6 +88,16 @@ impl ScanOptions {
             pattern: AccessPattern::WriteOnce {
                 batch: batch.max(1),
             },
+            filter: ScanFilter::All,
+        }
+    }
+
+    /// The same options with `filter` conjoined onto any existing filter
+    /// (see [`ScanFilter::and`]).
+    pub fn with_filter(self, filter: ScanFilter) -> Self {
+        ScanOptions {
+            pattern: self.pattern,
+            filter: self.filter.and(filter),
         }
     }
 
@@ -105,7 +126,8 @@ impl ScanOptions {
         self.with_depth(self.depth() / streams.max(1))
     }
 
-    /// Same pattern with a new depth (clamped to at least 1).
+    /// Same pattern with a new depth (clamped to at least 1). The filter
+    /// is preserved.
     pub fn with_depth(self, depth: usize) -> Self {
         let depth = depth.max(1);
         ScanOptions {
@@ -114,11 +136,13 @@ impl ScanOptions {
                 AccessPattern::Sequential { .. } => AccessPattern::Sequential { readahead: depth },
                 AccessPattern::WriteOnce { .. } => AccessPattern::WriteOnce { batch: depth },
             },
+            filter: self.filter,
         }
     }
 
     /// The write-once counterpart of this option set: same depth, batching
-    /// appends instead of prefetching reads.
+    /// appends instead of prefetching reads. Any read filter is dropped —
+    /// writers filter nothing.
     pub fn as_write(self) -> Self {
         ScanOptions::write_once(self.depth())
     }
@@ -163,6 +187,29 @@ mod tests {
         assert_eq!(o.shared(2).depth(), 4);
         assert_eq!(o.shared(100).depth(), 1);
         assert_eq!(o.shared(0).depth(), 8);
+    }
+
+    #[test]
+    fn filter_survives_depth_adjustments() {
+        let f = ScanFilter::RegionOverlap { start: 3, end: 9 };
+        let o = ScanOptions::sequential(8).with_filter(f);
+        assert_eq!(o.filter, f);
+        assert_eq!(o.clamped(8).filter, f);
+        assert_eq!(o.shared(2).filter, f);
+        assert_eq!(o.with_depth(2).filter, f);
+        // Writers never filter.
+        assert_eq!(o.as_write().filter, ScanFilter::All);
+        // Conjunction, not replacement.
+        let both = o.with_filter(ScanFilter::HeightRange { min: 1, max: 2 });
+        assert!(matches!(
+            both.filter,
+            ScanFilter::RegionAndHeight {
+                start: 3,
+                end: 9,
+                min: 1,
+                max: 2
+            }
+        ));
     }
 
     #[test]

@@ -68,6 +68,7 @@ use crate::access::{AccessPattern, ScanOptions};
 use crate::disk::{BatchError, Disk, IoError};
 use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
 use crate::stats::{AtomicIoStats, IoStats};
+use crate::zone::FileZones;
 
 /// Longest contiguous run [`BufferPool::flush_all`] coalesces into one
 /// vectored write. Bounds how long the run's frame latches are held.
@@ -146,17 +147,29 @@ impl From<IoError> for PoolError {
 }
 
 /// Hit/miss counters of the pool itself (page transfers are counted by
-/// [`Disk`]).
+/// [`Disk`]), plus the zone-map pruning counters. A skipped page is never
+/// requested, so it appears in neither `hits` nor `misses` and the
+/// `hits + misses == requests` identity is untouched by pruning; the two
+/// pruning counters are monotone globals like the rest, so phase tiling
+/// (field-wise snapshot diffs summing exactly to the run total) extends to
+/// them unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Requests satisfied from a resident frame.
     pub hits: u64,
     /// Requests that had to read from disk (or claim a fresh frame).
     pub misses: u64,
+    /// Pages a filtered scan skipped via its zone map — never fetched,
+    /// charged zero I/O.
+    pub pages_skipped: u64,
+    /// Records a filtered scan dropped after page decode (admitted by the
+    /// page zone, rejected by the record-level filter).
+    pub records_filtered: u64,
 }
 
 impl PoolStats {
-    /// Pages requested through the pool (hits + misses).
+    /// Pages requested through the pool (hits + misses). Skipped pages are
+    /// not requests.
     #[inline]
     pub fn requests(&self) -> u64 {
         self.hits + self.misses
@@ -168,6 +181,8 @@ impl PoolStats {
         PoolStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            pages_skipped: self.pages_skipped - earlier.pages_skipped,
+            records_filtered: self.records_filtered - earlier.records_filtered,
         }
     }
 }
@@ -304,6 +319,13 @@ pub struct BufferPool {
     /// prefetches are not requests, so they must not disturb the
     /// `hits + misses == requests` identity phase tiling relies on.
     prefetched: AtomicU64,
+    /// Pages filtered scans skipped via zone maps (zero I/O charged).
+    skipped: AtomicU64,
+    /// Records filtered scans dropped at record granularity.
+    filtered: AtomicU64,
+    /// Zone maps registered per heap file (see [`crate::zone`]); shared
+    /// with every concurrent scan through the `Arc`, dropped with the file.
+    zones: Mutex<HashMap<FileId, Arc<FileZones>>>,
 }
 
 impl BufferPool {
@@ -331,6 +353,9 @@ impl BufferPool {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             prefetched: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            filtered: AtomicU64::new(0),
+            zones: Mutex::new(HashMap::new()),
         }
     }
 
@@ -348,12 +373,41 @@ impl BufferPool {
         self.data.len()
     }
 
-    /// Pool hit/miss counters.
+    /// Pool hit/miss counters plus the zone-map pruning counters.
     pub fn pool_stats(&self) -> PoolStats {
         PoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            pages_skipped: self.skipped.load(Ordering::Relaxed),
+            records_filtered: self.filtered.load(Ordering::Relaxed),
         }
+    }
+
+    /// Credits `n` pages skipped by a filtered scan. Skipped pages are
+    /// never fetched, so they cost zero I/O and zero pool requests; this
+    /// counter is the only trace they leave.
+    #[inline]
+    pub(crate) fn note_pages_skipped(&self, n: u64) {
+        self.skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Credits `n` records dropped by a record-level scan filter.
+    #[inline]
+    pub(crate) fn note_records_filtered(&self, n: u64) {
+        self.filtered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Registers the zone map of a freshly written heap file. Called by
+    /// [`crate::heap::HeapWriter::finish`]; replaces any previous map for
+    /// the id (file ids are never reused while registered).
+    pub fn register_zones(&self, file: FileId, zones: FileZones) {
+        self.zones.lock().unwrap().insert(file, Arc::new(zones));
+    }
+
+    /// The zone map registered for `file`, if any. Cheap to clone (an
+    /// `Arc`), safe to hold across scans on any thread.
+    pub fn file_zones(&self, file: FileId) -> Option<Arc<FileZones>> {
+        self.zones.lock().unwrap().get(&file).cloned()
     }
 
     /// Disk transfer counters (the headline experiment metric). Lock-free:
@@ -395,6 +449,7 @@ impl BufferPool {
     /// # Panics
     /// Panics if any page of the file is still pinned.
     pub fn delete_file(&self, file: FileId) {
+        self.zones.lock().unwrap().remove(&file);
         for shard in &self.shards {
             let mut table = shard.lock().unwrap();
             table.retain(|pid, &mut f| {

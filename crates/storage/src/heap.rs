@@ -3,13 +3,24 @@
 //! Page layout: a 4-byte little-endian record count followed by densely
 //! packed records. `‖R‖` — the page count the paper's cost formulas are
 //! written in — is exactly [`HeapFile::pages`].
+//!
+//! Writers additionally maintain **region zone maps** (see [`crate::zone`]):
+//! one `(min start, max end, min/max height)` summary per sealed page,
+//! registered with the pool at [`HeapWriter::finish`]. A scan given a
+//! [`crate::zone::ScanFilter`] consults the map before each page fetch and skips pages
+//! that provably hold no qualifying record — at zero I/O cost, counted in
+//! [`crate::buffer::PoolStats::pages_skipped`]. No page is ever pinned
+//! across a skipped range: the scan releases its current page before the
+//! zone check runs.
 
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use crate::access::ScanOptions;
 use crate::buffer::{BufferPool, PageRef, PoolError};
 use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
 use crate::record::FixedRecord;
+use crate::zone::{FileZones, ZoneEntry};
 
 /// Bytes reserved for the per-page header (record count).
 const HEADER: usize = 4;
@@ -32,6 +43,9 @@ pub struct HeapFile<R: FixedRecord> {
     /// Folded [`FixedRecord::bounds_hint`] over all records, when the
     /// record type provides one — free catalog statistics.
     bounds: Option<(u64, u64)>,
+    /// Folded [`FixedRecord::height_hint`] over all records — the file
+    /// half of the zone map (per-page entries live in the pool registry).
+    heights: Option<(u32, u32)>,
     _marker: PhantomData<R>,
 }
 
@@ -51,6 +65,7 @@ impl<R: FixedRecord> HeapFile<R> {
             pages: 0,
             records: 0,
             bounds: None,
+            heights: None,
             _marker: PhantomData,
         }
     }
@@ -98,6 +113,28 @@ impl<R: FixedRecord> HeapFile<R> {
         self.bounds
     }
 
+    /// The folded `(min, max)` height range of the records, if the record
+    /// type reports heights (see [`FixedRecord::height_hint`]).
+    #[inline]
+    pub fn height_bounds(&self) -> Option<(u32, u32)> {
+        self.heights
+    }
+
+    /// The file-level zone (bounds plus height range together), when both
+    /// statistics exist — the summary other operators derive pruning
+    /// filters from.
+    pub fn zone(&self) -> Option<ZoneEntry> {
+        match (self.bounds, self.heights) {
+            (Some((lo, hi)), Some((min_h, max_h))) => Some(ZoneEntry {
+                lo,
+                hi,
+                min_h,
+                max_h,
+            }),
+            _ => None,
+        }
+    }
+
     /// Sequentially scans all records. The scan pins one page at a time and
     /// declares sequential access at the default read-ahead depth
     /// ([`crate::access::DEFAULT_IO_DEPTH`]); use
@@ -126,6 +163,13 @@ impl<R: FixedRecord> HeapFile<R> {
         pos: ScanPos,
         opts: ScanOptions,
     ) -> HeapScan<'a, R> {
+        // The zone map is only consulted by filtered scans; unfiltered
+        // scans skip the registry lookup entirely.
+        let zones = if opts.filter.is_all() {
+            None
+        } else {
+            pool.file_zones(self.file)
+        };
         HeapScan {
             pool,
             file: self.file,
@@ -136,6 +180,8 @@ impl<R: FixedRecord> HeapFile<R> {
             skip_on_load: pos.idx,
             in_page: 0,
             opts,
+            zones,
+            pending_filtered: 0,
             _marker: PhantomData,
         }
     }
@@ -177,6 +223,7 @@ pub struct HeapWriter<'a, R: FixedRecord> {
     pages: u32,
     records: u64,
     bounds: Option<(u64, u64)>,
+    heights: Option<(u32, u32)>,
     /// Records buffered in the (unpinned-between-pushes) current page image.
     buf: Vec<u8>,
     in_buf: usize,
@@ -184,6 +231,13 @@ pub struct HeapWriter<'a, R: FixedRecord> {
     pending: Vec<Box<PageBuf>>,
     /// Pages coalesced per append batch (the write-once depth).
     batch: usize,
+    /// Zone of the page being filled; `None` once a record without hints
+    /// lands on it (a page with a gap must never be skipped).
+    page_zone: Option<ZoneEntry>,
+    /// Whether the current page saw a record without zone hints.
+    page_gap: bool,
+    /// Per-page zones of the sealed pages, registered at `finish`.
+    zones: FileZones,
     _marker: PhantomData<R>,
 }
 
@@ -205,10 +259,14 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
             pages: 0,
             records: 0,
             bounds: None,
+            heights: None,
             buf: vec![0u8; PAGE_SIZE],
             in_buf: 0,
             pending: Vec::new(),
             batch: opts.as_write().depth(),
+            page_zone: None,
+            page_gap: false,
+            zones: FileZones::default(),
             _marker: PhantomData,
         })
     }
@@ -221,11 +279,29 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
         }
         let off = HEADER + self.in_buf * R::SIZE;
         r.write(&mut self.buf[off..off + R::SIZE]);
-        if let Some((lo, hi)) = r.bounds_hint() {
+        let bounds = r.bounds_hint();
+        let height = r.height_hint();
+        if let Some((lo, hi)) = bounds {
             self.bounds = Some(match self.bounds {
                 None => (lo, hi),
                 Some((l0, h0)) => (l0.min(lo), h0.max(hi)),
             });
+        }
+        if let Some(h) = height {
+            self.heights = Some(match self.heights {
+                None => (h, h),
+                Some((l0, h0)) => (l0.min(h), h0.max(h)),
+            });
+        }
+        match (bounds, height) {
+            (Some((lo, hi)), Some(h)) if !self.page_gap => match &mut self.page_zone {
+                None => self.page_zone = Some(ZoneEntry::of(lo, hi, h)),
+                Some(z) => z.fold(lo, hi, h),
+            },
+            _ => {
+                self.page_gap = true;
+                self.page_zone = None;
+            }
         }
         self.in_buf += 1;
         self.records += 1;
@@ -258,6 +334,8 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
         self.pending.push(img);
         self.pages += 1;
         self.in_buf = 0;
+        self.zones.push(self.page_zone.take());
+        self.page_gap = false;
         if self.pending.len() >= self.batch {
             self.flush_pending()?;
         }
@@ -274,15 +352,21 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
         Ok(())
     }
 
-    /// Flushes the tail page and returns the finished file handle.
+    /// Flushes the tail page, registers the file's zone map with the pool
+    /// (when any page produced one) and returns the finished file handle.
     pub fn finish(mut self) -> Result<HeapFile<R>, PoolError> {
         self.spill()?;
         self.flush_pending()?;
+        if self.zones.any() {
+            self.pool
+                .register_zones(self.file, std::mem::take(&mut self.zones));
+        }
         Ok(HeapFile {
             file: self.file,
             pages: self.pages,
             records: self.records,
             bounds: self.bounds,
+            heights: self.heights,
             _marker: PhantomData,
         })
     }
@@ -299,9 +383,36 @@ pub struct ScanPos {
 impl ScanPos {
     /// The beginning of the file.
     pub const START: ScanPos = ScanPos { page: 0, idx: 0 };
+
+    /// An explicit position: record `idx` of page `page`. Batched readers
+    /// ([`HeapScan::next_batch`] consumers) that track page-aligned batches
+    /// use this to mark records inside a batch for later rescans.
+    pub fn at(page: u32, idx: usize) -> ScanPos {
+        ScanPos { page, idx }
+    }
+
+    /// The page this position points into.
+    #[inline]
+    pub fn page(&self) -> u32 {
+        self.page
+    }
+
+    /// The record index within the page.
+    #[inline]
+    pub fn idx(&self) -> usize {
+        self.idx
+    }
 }
 
 /// Sequential scanner over a heap file. See [`HeapFile::scan`].
+///
+/// When its [`ScanOptions`] carry a [`crate::zone::ScanFilter`], the scan prunes at two
+/// granularities: whole pages whose zone map entry cannot satisfy the
+/// filter are skipped *before* they are fetched (zero I/O, counted as
+/// `pages_skipped`), and admitted pages drop individual non-qualifying
+/// records after decode (counted as `records_filtered`). Filters are
+/// necessary conditions, so a filtered scan returns exactly the records a
+/// full scan would that satisfy the predicate.
 pub struct HeapScan<'a, R: FixedRecord> {
     pool: &'a BufferPool,
     file: FileId,
@@ -314,6 +425,11 @@ pub struct HeapScan<'a, R: FixedRecord> {
     in_page: usize,
     /// Declared access pattern, forwarded to the pool on every page fetch.
     opts: ScanOptions,
+    /// Zone map of the file, when the scan is filtered and one exists.
+    zones: Option<Arc<FileZones>>,
+    /// Records dropped by the record-level filter since the last flush to
+    /// the pool counter (flushed per page, at EOF, and on drop).
+    pending_filtered: u64,
     _marker: PhantomData<R>,
 }
 
@@ -350,9 +466,10 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
     /// rejects surfaces as [`PoolError::Corrupt`] naming the page, instead
     /// of a slice panic or silently decoded garbage.
     pub fn next_record(&mut self) -> Result<Option<R>, PoolError> {
+        let filtering = !self.opts.filter.is_all();
         loop {
             if let Some(page) = &self.cur {
-                if self.idx < self.in_page {
+                while self.idx < self.in_page {
                     let off = HEADER + self.idx * R::SIZE;
                     let bytes = &page[off..off + R::SIZE];
                     R::validate(bytes).map_err(|reason| PoolError::Corrupt {
@@ -361,28 +478,135 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
                     })?;
                     let r = R::read(bytes);
                     self.idx += 1;
+                    if filtering
+                        && !self
+                            .opts
+                            .filter
+                            .admits_record(r.bounds_hint(), r.height_hint())
+                    {
+                        self.pending_filtered += 1;
+                        continue;
+                    }
                     return Ok(Some(r));
                 }
+                // Release the pin *before* looking at the next page's zone:
+                // skipped ranges are crossed with no page held.
                 self.cur = None;
+                self.flush_filtered();
             }
-            if self.next_page == self.pages {
+            if !self.load_next_page()? {
                 return Ok(None);
             }
-            let pid = PageId::new(self.file, self.next_page);
-            let page = self.pool.read_page_with(pid, self.opts)?;
-            self.next_page += 1;
-            let in_page = u32::from_le_bytes(page[..HEADER].try_into().unwrap()) as usize;
-            if in_page > records_per_page::<R>() {
-                return Err(PoolError::Corrupt {
-                    pid,
-                    reason: "page header record count exceeds page capacity",
-                });
-            }
-            self.in_page = in_page;
-            self.idx = self.skip_on_load;
-            self.skip_on_load = 0;
-            self.cur = Some(page);
         }
+    }
+
+    /// Decodes the remainder of the current page (loading and zone-skipping
+    /// pages as needed) into `out` in one pass, returning the number of
+    /// records appended — `0` only at end of file. The page is unpinned
+    /// before this returns, so batch consumers never hold pins between
+    /// calls. Respects the scan's filter like [`next_record`].
+    ///
+    /// The batch is page-aligned: together with [`HeapScan::position`]
+    /// (which after a batch points at the first record of the *next* page)
+    /// and [`ScanPos::at`], callers can mark any record inside the batch
+    /// for a later rescan.
+    ///
+    /// [`next_record`]: HeapScan::next_record
+    pub fn next_batch(&mut self, out: &mut Vec<R>) -> Result<usize, PoolError> {
+        let filtering = !self.opts.filter.is_all();
+        let n0 = out.len();
+        loop {
+            if self.cur.is_none() && !self.load_next_page()? {
+                return Ok(0);
+            }
+            let page = self.cur.as_ref().expect("page loaded");
+            while self.idx < self.in_page {
+                let off = HEADER + self.idx * R::SIZE;
+                let bytes = &page[off..off + R::SIZE];
+                R::validate(bytes).map_err(|reason| PoolError::Corrupt {
+                    pid: PageId::new(self.file, self.next_page - 1),
+                    reason,
+                })?;
+                let r = R::read(bytes);
+                self.idx += 1;
+                if filtering
+                    && !self
+                        .opts
+                        .filter
+                        .admits_record(r.bounds_hint(), r.height_hint())
+                {
+                    self.pending_filtered += 1;
+                    continue;
+                }
+                out.push(r);
+            }
+            self.cur = None;
+            self.flush_filtered();
+            if out.len() > n0 {
+                return Ok(out.len() - n0);
+            }
+            // Every record of the page was filtered out: move on.
+        }
+    }
+
+    /// Loads the next page the filter's zone check admits; returns `false`
+    /// at end of file. `self.cur` must be `None` on entry (no pin is held
+    /// while pages are being skipped).
+    fn load_next_page(&mut self) -> Result<bool, PoolError> {
+        debug_assert!(self.cur.is_none(), "pin held across page loads");
+        if let Some(zones) = &self.zones {
+            let mut skipped = 0u64;
+            while self.next_page < self.pages {
+                match zones.page(self.next_page) {
+                    Some(z) if !self.opts.filter.admits_zone(z) => {
+                        self.next_page += 1;
+                        // A resume offset only applies to the exact page it
+                        // was captured on; skipping that page consumes it.
+                        self.skip_on_load = 0;
+                        skipped += 1;
+                    }
+                    _ => break,
+                }
+            }
+            if skipped > 0 {
+                self.pool.note_pages_skipped(skipped);
+            }
+        }
+        if self.next_page == self.pages {
+            self.flush_filtered();
+            return Ok(false);
+        }
+        let pid = PageId::new(self.file, self.next_page);
+        let page = self.pool.read_page_with(pid, self.opts)?;
+        self.next_page += 1;
+        let in_page = u32::from_le_bytes(page[..HEADER].try_into().unwrap()) as usize;
+        if in_page > records_per_page::<R>() {
+            return Err(PoolError::Corrupt {
+                pid,
+                reason: "page header record count exceeds page capacity",
+            });
+        }
+        self.in_page = in_page;
+        self.idx = self.skip_on_load;
+        self.skip_on_load = 0;
+        self.cur = Some(page);
+        Ok(true)
+    }
+
+    /// Credits locally accumulated filtered-record counts to the pool.
+    /// Batched per page so the hot loop performs no atomic traffic.
+    fn flush_filtered(&mut self) {
+        if self.pending_filtered > 0 {
+            self.pool.note_records_filtered(self.pending_filtered);
+            self.pending_filtered = 0;
+        }
+    }
+}
+
+impl<R: FixedRecord> Drop for HeapScan<'_, R> {
+    /// A short-circuited scan still reports the records it filtered.
+    fn drop(&mut self) {
+        self.flush_filtered();
     }
 }
 
@@ -403,6 +627,7 @@ impl<R: FixedRecord> Iterator for HeapScan<'_, R> {
 mod tests {
     use super::*;
     use crate::disk::Disk;
+    use crate::zone::ScanFilter;
 
     fn pool(frames: usize) -> BufferPool {
         BufferPool::new(Disk::in_memory_free(), frames)
@@ -608,5 +833,308 @@ mod tests {
         let p = pool(1);
         let hf = HeapFile::from_iter(&p, 0..50_000u64).unwrap();
         assert_eq!(hf.records(), 50_000);
+    }
+
+    /// A record spanning an interval at a height — the minimal zone-mapped
+    /// record type.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Span {
+        lo: u64,
+        hi: u64,
+        h: u32,
+    }
+
+    impl FixedRecord for Span {
+        const SIZE: usize = 20;
+        fn write(&self, out: &mut [u8]) {
+            out[..8].copy_from_slice(&self.lo.to_le_bytes());
+            out[8..16].copy_from_slice(&self.hi.to_le_bytes());
+            out[16..20].copy_from_slice(&self.h.to_le_bytes());
+        }
+        fn read(buf: &[u8]) -> Self {
+            Span {
+                lo: u64::from_le_bytes(buf[..8].try_into().unwrap()),
+                hi: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+                h: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+            }
+        }
+        fn bounds_hint(&self) -> Option<(u64, u64)> {
+            Some((self.lo, self.hi))
+        }
+        fn height_hint(&self) -> Option<u32> {
+            Some(self.h)
+        }
+    }
+
+    /// `n` spans laid out in key order: record `i` covers `[10i, 10i+5]`
+    /// at height `i % 4`, so consecutive pages hold disjoint key windows —
+    /// the best case for zone pruning.
+    fn spans(n: u64) -> Vec<Span> {
+        (0..n)
+            .map(|i| Span {
+                lo: 10 * i,
+                hi: 10 * i + 5,
+                h: (i % 4) as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn writer_registers_zone_map() {
+        let p = pool(4);
+        let data = spans(2000);
+        let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
+        assert_eq!(hf.bounds(), Some((0, 10 * 1999 + 5)));
+        assert_eq!(hf.height_bounds(), Some((0, 3)));
+        let z = hf.zone().unwrap();
+        assert_eq!((z.lo, z.hi, z.min_h, z.max_h), (0, 19_995, 0, 3));
+        let zones = p.file_zones(hf.file_id()).unwrap();
+        assert_eq!(zones.len(), hf.pages() as usize);
+        // Every page's entry covers exactly its records.
+        let per = records_per_page::<Span>() as u64;
+        let z0 = zones.page(0).unwrap();
+        assert_eq!((z0.lo, z0.hi), (0, 10 * (per - 1) + 5));
+        assert_eq!((z0.min_h, z0.max_h), (0, 3));
+    }
+
+    #[test]
+    fn hintless_records_register_no_zones() {
+        let p = pool(4);
+        let hf = HeapFile::from_iter(&p, 0..5000u64).unwrap();
+        assert!(p.file_zones(hf.file_id()).is_none());
+        assert_eq!(hf.zone(), None);
+    }
+
+    #[test]
+    fn filtered_scan_skips_pages_at_zero_io() {
+        let p = pool(4);
+        let data = spans(5000);
+        let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
+        p.evict_all().unwrap();
+        let io0 = p.io_stats();
+        let s0 = p.pool_stats();
+        // A window covering records 1000..=1200 only.
+        let filter = ScanFilter::RegionOverlap {
+            start: 10_000,
+            end: 12_005,
+        };
+        // Read-ahead off, so the read/skip tiling below is exact (prefetch
+        // would fetch past the admitted window).
+        let mut scan = hf.scan_with(&p, ScanOptions::sequential(1).with_filter(filter));
+        let mut got = Vec::new();
+        while let Some(r) = scan.next_record().unwrap() {
+            got.push(r);
+        }
+        drop(scan);
+        let expect: Vec<Span> = data
+            .iter()
+            .copied()
+            .filter(|r| r.lo <= 12_005 && r.hi >= 10_000)
+            .collect();
+        assert_eq!(got, expect);
+        let ds = p.pool_stats().since(&s0);
+        let dio = p.io_stats().since(&io0);
+        assert!(ds.pages_skipped > 0, "zone map pruned nothing");
+        // Skipped pages cost zero I/O: reads + skips tile the file exactly.
+        assert_eq!(dio.reads() + ds.pages_skipped, hf.pages() as u64);
+        assert!(dio.reads() < hf.pages() as u64);
+        // Loaded pages at the window edges hold non-qualifying records,
+        // which the record-level filter dropped and counted.
+        let loaded = hf.pages() as u64 - ds.pages_skipped;
+        let decoded = loaded * records_per_page::<Span>() as u64;
+        assert_eq!(ds.records_filtered, decoded.min(5000) - got.len() as u64);
+        // The request identity is untouched by skips.
+        assert_eq!(ds.hits + ds.misses, ds.requests());
+    }
+
+    #[test]
+    fn filtered_scan_equals_unfiltered_postfilter() {
+        let p = pool(4);
+        let data = spans(3000);
+        let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
+        for filter in [
+            ScanFilter::HeightRange { min: 2, max: 3 },
+            ScanFilter::RegionOverlap { start: 0, end: 40 },
+            ScanFilter::RegionAndHeight {
+                start: 5_000,
+                end: 9_999,
+                min: 1,
+                max: 2,
+            },
+            // An empty window admits nothing anywhere.
+            ScanFilter::RegionOverlap {
+                start: 1_000_000,
+                end: 2_000_000,
+            },
+        ] {
+            let got = hf
+                .read_all_with(&p, ScanOptions::default().with_filter(filter))
+                .unwrap();
+            let expect: Vec<Span> = data
+                .iter()
+                .copied()
+                .filter(|r| filter.admits_record(r.bounds_hint(), r.height_hint()))
+                .collect();
+            assert_eq!(got, expect, "filter {filter:?}");
+        }
+    }
+
+    /// A span whose hints can be switched off, for poisoning pages.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct MaybeSpan(Span, bool);
+
+    impl FixedRecord for MaybeSpan {
+        const SIZE: usize = 21;
+        fn write(&self, out: &mut [u8]) {
+            self.0.write(&mut out[..20]);
+            out[20] = self.1 as u8;
+        }
+        fn read(buf: &[u8]) -> Self {
+            MaybeSpan(Span::read(&buf[..20]), buf[20] != 0)
+        }
+        fn bounds_hint(&self) -> Option<(u64, u64)> {
+            self.1.then_some((self.0.lo, self.0.hi))
+        }
+        fn height_hint(&self) -> Option<u32> {
+            self.1.then_some(self.0.h)
+        }
+    }
+
+    #[test]
+    fn hintless_record_poisons_its_page_only() {
+        let p = pool(4);
+        let per = records_per_page::<MaybeSpan>() as u64;
+        // Three pages; one hint-less record lands on page 1.
+        let data: Vec<MaybeSpan> = spans(3 * per)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| MaybeSpan(s, i as u64 != per + 3))
+            .collect();
+        let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
+        let zones = p.file_zones(hf.file_id()).unwrap();
+        assert!(zones.page(0).is_some());
+        assert!(zones.page(1).is_none(), "poisoned page kept a zone");
+        assert!(zones.page(2).is_some());
+        // A filter matching nothing still reads the poisoned page — and a
+        // hint-less record is admitted by every filter.
+        let s0 = p.pool_stats();
+        let got = hf
+            .read_all_with(
+                &p,
+                ScanOptions::default().with_filter(ScanFilter::RegionOverlap {
+                    start: u64::MAX - 1,
+                    end: u64::MAX,
+                }),
+            )
+            .unwrap();
+        assert_eq!(got, vec![data[per as usize + 3]]);
+        assert_eq!(p.pool_stats().since(&s0).pages_skipped, 2);
+    }
+
+    #[test]
+    fn filtered_scan_holds_no_pin_across_skips() {
+        // Satellite audit: the scan must release its page before crossing a
+        // skipped range, so a 1-frame pool can serve a pruning scan while
+        // the zone check runs — and no pin outlives the scan.
+        let p = pool(1);
+        let data = spans(5000);
+        let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
+        let filter = ScanFilter::HeightRange { min: 5, max: 9 }; // matches nothing
+        let mut scan = hf.scan_with(&p, ScanOptions::default().with_filter(filter));
+        assert_eq!(scan.next_record().unwrap(), None);
+        assert_eq!(p.pinned_frames(), 0, "pin held at EOF");
+        drop(scan);
+        assert_eq!(p.pinned_frames(), 0);
+        // Early termination mid-page: pin released once the scan is dropped,
+        // and the records it filtered are still credited to the pool.
+        let s0 = p.pool_stats();
+        let mut scan = hf.scan_with(
+            &p,
+            ScanOptions::default().with_filter(ScanFilter::RegionOverlap {
+                start: 0,
+                end: u64::MAX,
+            }),
+        );
+        scan.next_record().unwrap().unwrap();
+        drop(scan);
+        assert_eq!(p.pinned_frames(), 0, "pin survived scan drop");
+        assert_eq!(p.pool_stats().since(&s0).records_filtered, 0);
+    }
+
+    #[test]
+    fn batch_decode_matches_record_at_a_time() {
+        let p = pool(4);
+        let data = spans(3000);
+        let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
+        for filter in [
+            ScanFilter::All,
+            ScanFilter::RegionOverlap {
+                start: 7_000,
+                end: 21_000,
+            },
+        ] {
+            let opts = ScanOptions::default().with_filter(filter);
+            let expect = hf.read_all_with(&p, opts).unwrap();
+            let mut scan = hf.scan_with(&p, opts);
+            let mut got = Vec::new();
+            let mut batches = 0;
+            loop {
+                let n = scan.next_batch(&mut got).unwrap();
+                if n == 0 {
+                    break;
+                }
+                batches += 1;
+                // The batch left no page pinned behind it.
+                assert_eq!(p.pinned_frames(), 0);
+            }
+            assert_eq!(got, expect, "filter {filter:?}");
+            assert!(batches > 1);
+        }
+    }
+
+    #[test]
+    fn batch_resumes_from_position() {
+        let p = pool(4);
+        let data = spans(2000);
+        let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
+        let mut s = hf.scan(&p);
+        let mut first = Vec::new();
+        s.next_batch(&mut first).unwrap();
+        // After a batch the position is the start of the next page.
+        let pos = s.position();
+        assert_eq!(pos, ScanPos::at(1, 0));
+        assert_eq!(pos.page(), 1);
+        assert_eq!(pos.idx(), 0);
+        let rest = {
+            let mut s2 = hf.scan_at(&p, pos);
+            let mut out = Vec::new();
+            while s2.next_batch(&mut out).unwrap() > 0 {}
+            out
+        };
+        assert_eq!(first.len() + rest.len(), data.len());
+        assert_eq!(rest[..], data[first.len()..]);
+    }
+
+    #[test]
+    fn resume_position_on_skipped_page_is_consumed() {
+        // Resuming at a mid-page offset under a filter that skips that very
+        // page must not carry the offset into the next admitted page.
+        let p = pool(4);
+        let per = records_per_page::<Span>() as u64;
+        let data = spans(4 * per);
+        let hf = HeapFile::from_iter(&p, data.iter().copied()).unwrap();
+        // Page 2's key window.
+        let lo = 10 * (2 * per);
+        let filter = ScanFilter::RegionOverlap {
+            start: lo,
+            end: lo + 1,
+        };
+        // Resume at page 0, record 7 — pages 0 and 1 are skipped.
+        let mut s = hf.scan_at_with(
+            &p,
+            ScanPos::at(0, 7),
+            ScanOptions::default().with_filter(filter),
+        );
+        assert_eq!(s.next_record().unwrap(), Some(data[(2 * per) as usize]));
     }
 }

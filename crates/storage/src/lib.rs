@@ -38,6 +38,7 @@ pub mod record;
 pub mod sort;
 pub mod stats;
 pub mod util;
+pub mod zone;
 
 pub use access::{AccessPattern, ScanOptions, DEFAULT_IO_DEPTH};
 pub use buffer::{BufferPool, PageMut, PageRef, PoolError, PoolStats, StatsSnapshot, SHARD_COUNT};
@@ -48,3 +49,4 @@ pub use page::{FileId, PageBuf, PageId, PAGE_SIZE};
 pub use record::FixedRecord;
 pub use sort::{external_sort, external_sort_with};
 pub use stats::{CostModel, IoStats};
+pub use zone::{FileZones, ScanFilter, ZoneEntry};

@@ -30,6 +30,16 @@ pub trait FixedRecord: Copy {
         None
     }
 
+    /// Optional height of this record (a PBiTree element's node height),
+    /// folded together with [`bounds_hint`](FixedRecord::bounds_hint) into
+    /// per-page [`crate::zone::ZoneEntry`] zone maps by heap writers.
+    /// Records returning `None` (the default) poison their page's zone, so
+    /// filtered scans never skip a page they have no summary for.
+    #[inline]
+    fn height_hint(&self) -> Option<u32> {
+        None
+    }
+
     /// Checks the raw serialized bytes of one record *before* decoding.
     /// `buf` is exactly `SIZE` bytes. Returning `Err` makes
     /// [`crate::heap::HeapScan`] surface the page as

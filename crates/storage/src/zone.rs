@@ -1,0 +1,357 @@
+//! Region zone maps: per-page and per-file summaries of the key intervals
+//! and heights a heap file's records span, plus the pushdown predicate
+//! ([`ScanFilter`]) that lets scans skip non-qualifying pages before they
+//! are read.
+//!
+//! Zone maps are free statistics: [`crate::heap::HeapWriter`] folds each
+//! record's [`crate::record::FixedRecord::bounds_hint`] and
+//! [`crate::record::FixedRecord::height_hint`] into one [`ZoneEntry`] per
+//! sealed page, and registers the resulting [`FileZones`] with the buffer
+//! pool alongside the rest of the heap metadata. A filtered scan consults
+//! the map *before* fetching a page; a page whose zone cannot satisfy the
+//! filter is skipped at **zero I/O cost** and counted in
+//! [`crate::buffer::PoolStats::pages_skipped`].
+//!
+//! Filters are **necessary conditions only**: a page or record the filter
+//! rejects provably cannot satisfy the predicate the caller derived the
+//! filter from, while everything admitted is still checked by the caller.
+//! Pruning therefore never changes a join's result, only its cost.
+
+use crate::page::PAGE_SIZE;
+
+/// Summary of the records in one page (or one whole file): the envelope
+/// `[lo, hi]` of their key intervals and the range of their heights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneEntry {
+    /// Minimum interval start (`min region_start` for PBiTree elements).
+    pub lo: u64,
+    /// Maximum interval end (`max region_end`).
+    pub hi: u64,
+    /// Minimum record height.
+    pub min_h: u32,
+    /// Maximum record height.
+    pub max_h: u32,
+}
+
+impl ZoneEntry {
+    /// A zone covering exactly one record's interval and height.
+    #[inline]
+    pub fn of(lo: u64, hi: u64, h: u32) -> Self {
+        ZoneEntry {
+            lo,
+            hi,
+            min_h: h,
+            max_h: h,
+        }
+    }
+
+    /// Widens this zone to also cover `(lo, hi, h)`.
+    #[inline]
+    pub fn fold(&mut self, lo: u64, hi: u64, h: u32) {
+        self.lo = self.lo.min(lo);
+        self.hi = self.hi.max(hi);
+        self.min_h = self.min_h.min(h);
+        self.max_h = self.max_h.max(h);
+    }
+
+    /// Widens this zone to also cover everything `other` covers.
+    #[inline]
+    pub fn merge(&mut self, other: &ZoneEntry) {
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+        self.min_h = self.min_h.min(other.min_h);
+        self.max_h = self.max_h.max(other.max_h);
+    }
+}
+
+/// The zone map of one heap file: one optional [`ZoneEntry`] per page, in
+/// page order. A page has no entry when some record on it provided no
+/// hints — such pages are never skipped (no information, no pruning).
+#[derive(Debug, Clone, Default)]
+pub struct FileZones {
+    pages: Vec<Option<ZoneEntry>>,
+}
+
+impl FileZones {
+    /// Appends the zone of the next sealed page.
+    pub fn push(&mut self, zone: Option<ZoneEntry>) {
+        self.pages.push(zone);
+    }
+
+    /// The zone of page `page`, if the page has one.
+    #[inline]
+    pub fn page(&self, page: u32) -> Option<&ZoneEntry> {
+        self.pages.get(page as usize).and_then(|z| z.as_ref())
+    }
+
+    /// Number of pages covered (equals the file's page count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no pages were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Whether at least one page carries a zone — registration is pointless
+    /// otherwise.
+    pub fn any(&self) -> bool {
+        self.pages.iter().any(|z| z.is_some())
+    }
+
+    /// The file-level zone: the merge of every page zone. `None` when no
+    /// page has one.
+    pub fn file_zone(&self) -> Option<ZoneEntry> {
+        let mut acc: Option<ZoneEntry> = None;
+        for z in self.pages.iter().flatten() {
+            match &mut acc {
+                None => acc = Some(*z),
+                Some(a) => a.merge(z),
+            }
+        }
+        acc
+    }
+
+    /// Approximate in-memory footprint of the map, in pages — kept tiny
+    /// relative to the file it summarizes (one entry per [`PAGE_SIZE`]
+    /// bytes of data).
+    pub fn footprint_pages(&self) -> usize {
+        (self.pages.len() * std::mem::size_of::<Option<ZoneEntry>>()).div_ceil(PAGE_SIZE)
+    }
+}
+
+/// A pushdown predicate evaluated against zone maps (page granularity) and
+/// record hints (record granularity) inside [`crate::heap::HeapScan`].
+///
+/// Every variant is a *necessary* condition for the caller's actual join
+/// predicate, never a sufficient one: rejected pages and records provably
+/// cannot produce output, admitted ones are re-checked by the operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanFilter {
+    /// No filtering: every page is read, every record returned.
+    #[default]
+    All,
+    /// Admit only records whose key interval overlaps `[start, end]`.
+    RegionOverlap {
+        /// Inclusive window start.
+        start: u64,
+        /// Inclusive window end.
+        end: u64,
+    },
+    /// Admit only records whose height lies in `[min, max]`.
+    HeightRange {
+        /// Inclusive minimum height.
+        min: u32,
+        /// Inclusive maximum height.
+        max: u32,
+    },
+    /// Conjunction of [`ScanFilter::RegionOverlap`] and
+    /// [`ScanFilter::HeightRange`] (built by [`ScanFilter::and`]).
+    RegionAndHeight {
+        /// Inclusive window start.
+        start: u64,
+        /// Inclusive window end.
+        end: u64,
+        /// Inclusive minimum height.
+        min: u32,
+        /// Inclusive maximum height.
+        max: u32,
+    },
+}
+
+impl ScanFilter {
+    /// Whether this filter admits everything (the scan fast-path check).
+    #[inline]
+    pub fn is_all(&self) -> bool {
+        matches!(self, ScanFilter::All)
+    }
+
+    /// The region window this filter constrains, if any.
+    #[inline]
+    fn window(&self) -> Option<(u64, u64)> {
+        match *self {
+            ScanFilter::RegionOverlap { start, end }
+            | ScanFilter::RegionAndHeight { start, end, .. } => Some((start, end)),
+            _ => None,
+        }
+    }
+
+    /// The height range this filter constrains, if any.
+    #[inline]
+    fn heights(&self) -> Option<(u32, u32)> {
+        match *self {
+            ScanFilter::HeightRange { min, max } | ScanFilter::RegionAndHeight { min, max, .. } => {
+                Some((min, max))
+            }
+            _ => None,
+        }
+    }
+
+    /// Conjunction of two filters. Overlapping constraints intersect, so
+    /// the result rejects exactly the union of what either side rejects.
+    pub fn and(self, other: ScanFilter) -> ScanFilter {
+        let window = match (self.window(), other.window()) {
+            (Some((s1, e1)), Some((s2, e2))) => Some((s1.max(s2), e1.min(e2))),
+            (w, None) | (None, w) => w,
+        };
+        let heights = match (self.heights(), other.heights()) {
+            (Some((l1, h1)), Some((l2, h2))) => Some((l1.max(l2), h1.min(h2))),
+            (h, None) | (None, h) => h,
+        };
+        match (window, heights) {
+            (None, None) => ScanFilter::All,
+            (Some((start, end)), None) => ScanFilter::RegionOverlap { start, end },
+            (None, Some((min, max))) => ScanFilter::HeightRange { min, max },
+            (Some((start, end)), Some((min, max))) => ScanFilter::RegionAndHeight {
+                start,
+                end,
+                min,
+                max,
+            },
+        }
+    }
+
+    /// Whether this filter describes an empty set — an inverted window or
+    /// height range, as produced by [`ScanFilter::and`] over disjoint
+    /// constraints. An empty filter admits nothing at all.
+    #[inline]
+    fn is_empty_set(&self) -> bool {
+        self.window().is_some_and(|(s, e)| s > e)
+            || self.heights().is_some_and(|(min, max)| min > max)
+    }
+
+    /// Whether a page with zone `z` could hold a qualifying record. Pages
+    /// without a zone are always admitted by the caller.
+    #[inline]
+    pub fn admits_zone(&self, z: &ZoneEntry) -> bool {
+        if self.is_empty_set() {
+            return false;
+        }
+        if let Some((start, end)) = self.window() {
+            if z.lo > end || z.hi < start {
+                return false;
+            }
+        }
+        if let Some((min, max)) = self.heights() {
+            if z.min_h > max || z.max_h < min {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether a record with the given hints qualifies. Missing hints admit
+    /// (no information, no filtering — the operator re-checks anyway),
+    /// except under an empty filter, which provably nothing satisfies.
+    #[inline]
+    pub fn admits_record(&self, bounds: Option<(u64, u64)>, height: Option<u32>) -> bool {
+        if self.is_empty_set() {
+            return false;
+        }
+        if let (Some((start, end)), Some((lo, hi))) = (self.window(), bounds) {
+            if lo > end || hi < start {
+                return false;
+            }
+        }
+        if let (Some((min, max)), Some(h)) = (self.heights(), height) {
+            if h < min || h > max {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone(lo: u64, hi: u64, min_h: u32, max_h: u32) -> ZoneEntry {
+        ZoneEntry {
+            lo,
+            hi,
+            min_h,
+            max_h,
+        }
+    }
+
+    #[test]
+    fn zone_fold_and_merge_widen() {
+        let mut z = ZoneEntry::of(10, 20, 3);
+        z.fold(5, 12, 7);
+        assert_eq!(z, zone(5, 20, 3, 7));
+        let mut a = ZoneEntry::of(100, 200, 1);
+        a.merge(&z);
+        assert_eq!(a, zone(5, 200, 1, 7));
+    }
+
+    #[test]
+    fn file_zone_merges_pages() {
+        let mut fz = FileZones::default();
+        fz.push(Some(ZoneEntry::of(10, 20, 2)));
+        fz.push(None);
+        fz.push(Some(ZoneEntry::of(1, 5, 6)));
+        assert_eq!(fz.len(), 3);
+        assert!(fz.any());
+        let f = fz.file_zone().unwrap();
+        assert_eq!((f.lo, f.hi, f.min_h, f.max_h), (1, 20, 2, 6));
+        assert!(fz.page(1).is_none());
+        assert_eq!(fz.page(0).unwrap().lo, 10);
+        assert!(fz.page(9).is_none());
+    }
+
+    #[test]
+    fn filter_and_intersects() {
+        let r = ScanFilter::RegionOverlap { start: 10, end: 50 };
+        let h = ScanFilter::HeightRange { min: 2, max: 5 };
+        assert_eq!(ScanFilter::All.and(ScanFilter::All), ScanFilter::All);
+        assert_eq!(r.and(ScanFilter::All), r);
+        assert_eq!(
+            r.and(h),
+            ScanFilter::RegionAndHeight {
+                start: 10,
+                end: 50,
+                min: 2,
+                max: 5
+            }
+        );
+        // Overlapping windows intersect.
+        assert_eq!(
+            r.and(ScanFilter::RegionOverlap { start: 30, end: 99 }),
+            ScanFilter::RegionOverlap { start: 30, end: 50 }
+        );
+    }
+
+    #[test]
+    fn filter_admits_zone_is_interval_overlap() {
+        let f = ScanFilter::RegionOverlap { start: 10, end: 50 };
+        assert!(f.admits_zone(&ZoneEntry::of(50, 60, 0)));
+        assert!(f.admits_zone(&ZoneEntry::of(0, 10, 0)));
+        assert!(!f.admits_zone(&ZoneEntry::of(51, 60, 0)));
+        assert!(!f.admits_zone(&ZoneEntry::of(0, 9, 0)));
+        let f = ScanFilter::HeightRange { min: 2, max: 4 };
+        assert!(f.admits_zone(&zone(0, 0, 0, 4)));
+        assert!(!f.admits_zone(&zone(0, 0, 0, 1)));
+        // An empty-intersection conjunction admits nothing.
+        let dead = ScanFilter::RegionOverlap { start: 60, end: 10 };
+        assert!(!dead.admits_zone(&zone(0, u64::MAX, 0, 63)));
+    }
+
+    #[test]
+    fn filter_admits_record_missing_hints_pass() {
+        let f = ScanFilter::RegionAndHeight {
+            start: 10,
+            end: 50,
+            min: 2,
+            max: 4,
+        };
+        assert!(f.admits_record(None, None));
+        assert!(f.admits_record(Some((40, 60)), Some(3)));
+        assert!(!f.admits_record(Some((51, 60)), Some(3)));
+        assert!(!f.admits_record(Some((40, 60)), Some(5)));
+        assert!(ScanFilter::All.admits_record(Some((0, 1)), Some(63)));
+    }
+}

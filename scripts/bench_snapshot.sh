@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Records a perf snapshot for the repo's trajectory: runs the ablation
+# pruning panel (simulated disk time + page reads per operator, zone-map
+# pushdown off vs on) and converts the TSV into BENCH_05.json.
+#
+#   scripts/bench_snapshot.sh [output.json]
+#
+# BENCH_SCALE scales the skewed workload (default 0.5 ≈ 3k ancestors /
+# 20k descendants). The JSON is plain `awk` output — no jq/python needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_05.json}
+DIR=$(mktemp -d /tmp/bench05.XXXXXX)
+trap 'rm -rf "$DIR"' EXIT
+
+cargo run --release -q -p pbitree-bench --bin ablation -- --study prune \
+    --scale "${BENCH_SCALE:-0.5}" --results "$DIR"
+
+awk -F'\t' -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+NR <= 2 { next }  # "# title" line and the column header
+{
+    rows[++n] = sprintf("    {\"algo\": \"%s\", \"threads\": %s, \"prune\": %s, \"pairs\": %s, \"page_reads\": %s, \"pages_skipped\": %s, \"records_filtered\": %s, \"sim_disk_s\": %s, \"elapsed_s\": %s}",
+                        $1, $2, $3, $4, $5, $6, $7, $8, $9)
+}
+END {
+    printf "{\n"
+    printf "  \"snapshot\": \"BENCH_05\",\n"
+    printf "  \"panel\": \"ablation_prune\",\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"rows\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$DIR/ablation_prune.tsv" > "$OUT"
+
+echo "wrote $OUT ($(wc -l < "$OUT") lines)"

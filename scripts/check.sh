@@ -36,6 +36,13 @@ diff <(cut -f1-4 /tmp/ab_off/ablation_rollup.tsv) <(cut -f1-4 /tmp/ab_on/ablatio
 cargo run --release -q -p pbitree-bench --bin ablation -- --study io --fast \
     --results /tmp/ab_on
 
+echo "== zone-map pruning ablation smoke (identical pairs, strictly fewer reads)"
+# The panel asserts (in-binary) that pruned pair counts match the unpruned
+# baseline while MHCJ/MHCJ+Rollup/VPJ read strictly fewer pages, at
+# threads 1 and 4.
+cargo run --release -q -p pbitree-bench --bin ablation -- --study prune --fast \
+    --results /tmp/ab_prune
+
 echo "== trace smoke (--trace writes schema-v1 JSONL)"
 TRACE=$(mktemp /tmp/pbitree-trace-XXXX.jsonl)
 cargo run --release -q -p pbitree-bench --bin fig6 -- --panel s --fast \
