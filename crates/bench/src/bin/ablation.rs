@@ -10,7 +10,9 @@
 //!   shapes;
 //! * `io`      — read-ahead depth against simulated disk time;
 //! * `prune`   — zone-map scan pushdown off vs on: identical pairs,
-//!   strictly fewer page reads for the partition joins.
+//!   strictly fewer page reads for the partition joins;
+//! * `compress` — packed element pages off vs on (prune on in both):
+//!   identical pairs, strictly fewer page reads, smaller on-disk bytes.
 //!
 //! ```text
 //! cargo run -p pbitree-bench --release --bin ablation -- --study rollup
@@ -379,6 +381,88 @@ fn prune_study(args: &CommonArgs) {
     t.emit(&args.results_dir, "ablation_prune");
 }
 
+/// The compressed-pages panel: packed element pages off (baseline)
+/// against on, across the partition joins and thread counts, composed
+/// with pruning (both runs prune — compression must stack with the
+/// pushdown, not replace it). Pair counts must be identical — packing is
+/// a pure layout change validated at decode — while page reads drop
+/// strictly (roughly 3x the records per page) and the on-disk footprint
+/// shrinks (`post_bytes < pre_bytes`).
+fn compress_study(args: &CommonArgs) {
+    let mut t = Table::new(
+        "Ablation: compressed element pages (packed off vs on, prune on)",
+        &[
+            "algo",
+            "threads",
+            "compress",
+            "pairs",
+            "reads",
+            "pages_packed",
+            "pre_bytes",
+            "post_bytes",
+            "decodes",
+            "sim_disk(s)",
+            "elapsed(s)",
+        ],
+    );
+    let (shape, a, d) = skewed_workload(args.scale);
+    for algo in [Algo::Mhcj, Algo::MhcjRollup, Algo::Vpj] {
+        for threads in [1usize, 4] {
+            let mut baseline: Option<(u64, u64)> = None;
+            for compression in [false, true] {
+                let cfg = ExpConfig {
+                    buffer_pages: args.buffer,
+                    threads,
+                    io: io_options(args.readahead),
+                    prune: true,
+                    compression,
+                    ..ExpConfig::default()
+                };
+                let m = run_algo(shape, &a, &d, &cfg, algo);
+                let reads = m.stats.io.reads();
+                // Packing counters over input load *and* join-time spills.
+                let mut packed = m.load;
+                packed.absorb(&m.pool);
+                match baseline {
+                    None => baseline = Some((m.stats.pairs, reads)),
+                    Some((pairs0, reads0)) => {
+                        assert_eq!(
+                            pairs0,
+                            m.stats.pairs,
+                            "{}/t{threads}: compression changed the result",
+                            algo.name()
+                        );
+                        assert!(
+                            reads < reads0,
+                            "{}/t{threads}: compression saved no reads ({reads} vs {reads0})",
+                            algo.name()
+                        );
+                        assert!(
+                            packed.packed_post_bytes < packed.packed_pre_bytes,
+                            "{}/t{threads}: packing did not shrink bytes",
+                            algo.name()
+                        );
+                    }
+                }
+                t.row(vec![
+                    algo.name().into(),
+                    threads.to_string(),
+                    compression.to_string(),
+                    m.stats.pairs.to_string(),
+                    reads.to_string(),
+                    packed.pages_packed.to_string(),
+                    packed.packed_pre_bytes.to_string(),
+                    packed.packed_post_bytes.to_string(),
+                    packed.packed_decodes.to_string(),
+                    fmt_secs(m.stats.io.sim_secs()),
+                    fmt_secs(m.stats.elapsed_secs()),
+                ]);
+            }
+        }
+    }
+    t.emit(&args.results_dir, "ablation_compress");
+}
+
 fn main() {
     let args = CommonArgs::parse("--study");
     pbitree_bench::harness::init_trace(&args.trace);
@@ -399,6 +483,9 @@ fn main() {
     }
     if args.selected("prune") {
         prune_study(&args);
+    }
+    if args.selected("compress") {
+        compress_study(&args);
     }
     pbitree_bench::harness::finish_trace(&args.trace);
 }

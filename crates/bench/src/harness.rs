@@ -4,7 +4,7 @@
 use std::sync::{Arc, OnceLock};
 
 use pbitree_core::PBiTreeShape;
-use pbitree_joins::element::element_file;
+use pbitree_joins::element::element_file_with;
 use pbitree_joins::stacktree::SortPolicy;
 use pbitree_joins::trace::Tracer;
 use pbitree_joins::{CountSink, JoinCtx, JoinStats};
@@ -102,6 +102,10 @@ pub struct ExpConfig {
     /// Whether operators may push zone-map filters into their scans
     /// (on by default; the prune ablation turns it off for a baseline).
     pub prune: bool,
+    /// Whether element pages are written packed (delta/varint codec) —
+    /// applies to the loaded inputs *and* every file the operators spill.
+    /// Defaults to the `PBITREE_COMPRESS` environment setting.
+    pub compression: bool,
 }
 
 impl Default for ExpConfig {
@@ -112,6 +116,7 @@ impl Default for ExpConfig {
             threads: 1,
             io: pbitree_storage::ScanOptions::default(),
             prune: true,
+            compression: pbitree_storage::ScanOptions::default().compress,
         }
     }
 }
@@ -126,6 +131,9 @@ pub struct Measured {
     /// Buffer-pool delta over the run (hits/misses and the zone-map
     /// pushdown counters `pages_skipped` / `records_filtered`).
     pub pool: pbitree_storage::PoolStats,
+    /// Buffer-pool delta over the *input load* that precedes the measured
+    /// run — where the packing counters for the base A/D files land.
+    pub load: pbitree_storage::PoolStats,
 }
 
 impl Measured {
@@ -153,12 +161,16 @@ pub fn run_algo(
     )
     .with_threads(cfg.threads)
     .with_io(cfg.io)
-    .with_prune(cfg.prune);
+    .with_prune(cfg.prune)
+    .with_compression(cfg.compression);
     if let Some(t) = tracer() {
         ctx = ctx.with_tracer(t);
     }
-    let af = element_file(&ctx.pool, a.iter().copied()).expect("load A");
-    let df = element_file(&ctx.pool, d.iter().copied()).expect("load D");
+    let load_opts = cfg.io.with_compress(cfg.compression);
+    let load0 = ctx.pool.pool_stats();
+    let af = element_file_with(&ctx.pool, load_opts, a.iter().copied()).expect("load A");
+    let df = element_file_with(&ctx.pool, load_opts, d.iter().copied()).expect("load D");
+    let load = ctx.pool.pool_stats().since(&load0);
     ctx.pool.evict_all().unwrap();
     let pool0 = ctx.pool.pool_stats();
     let mut sink = CountSink::default();
@@ -188,7 +200,12 @@ pub fn run_algo(
     .expect("join run failed");
     debug_assert_eq!(stats.pairs, sink.count);
     let pool = ctx.pool.pool_stats().since(&pool0);
-    Measured { algo, stats, pool }
+    Measured {
+        algo,
+        stats,
+        pool,
+        load,
+    }
 }
 
 /// Runs a list of algorithms cold and returns them with the `MIN_RGN`

@@ -1,12 +1,11 @@
 //! Anc_Des_B+ (Chien et al. \[4\]), adapted to PBiTree codes.
 //!
-//! Stack-Tree-Desc over *index-resident* inputs: both sets live in
-//! B+-trees keyed by document order, and whenever the stack is empty the
-//! merge **skips** instead of stepping:
+//! Stack-Tree-Desc with *skipping* cursors: whenever the stack is empty
+//! the merge **skips** instead of stepping:
 //!
 //! * the descendant cursor jumps to the first `d` with
-//!   `d.start >= a.start` (one index probe) — descendants before the
-//!   current ancestor cannot have any matches left;
+//!   `d.start >= a.start` — descendants before the current ancestor
+//!   cannot have any matches left;
 //! * the ancestor cursor jumps past every `a` with `a.end < d.start`.
 //!   A region-code system cannot find "first `a` with `end >= d.start`"
 //!   through a start-keyed index; with PBiTree codes the ancestors of `d`
@@ -17,12 +16,25 @@
 //!   regions from one PBiTree form a laminar family, any skipped element
 //!   provably had `end < d.start` (no lost matches).
 //!
-//! Index construction (external sort + bulk load, both sides) is charged
-//! to the join when the inputs arrive unsorted/unindexed, per §4.
+//! Only the *ancestor* side needs an index (its skips are point probes by
+//! enumerated code). The descendant side's skips are one-directional
+//! lower-bound seeks over a doc-ordered stream, and a sorted heap file
+//! already supports those: `BatchCursor` reads the sorted `D` file
+//! through columnar [`ElementBatch`]es and seeks by binary-searching the
+//! file's zone map (page-first starts are non-decreasing in a doc-ordered
+//! file), then galloping within the batch. That drops the `D`-side
+//! B+-tree build — the bulk of the old setup cost — entirely, and packed
+//! pages decode straight into the batch columns.
+//!
+//! Index construction for `A` (external sort + bulk load) is charged to
+//! the join when the inputs arrive unsorted/unindexed, per §4.
 
 use pbitree_index::{bptree::RangeIter, BPlusTree};
-use pbitree_storage::HeapFile;
+use pbitree_storage::{FileZones, HeapFile, HeapScan, ScanPos};
 
+use std::sync::Arc;
+
+use crate::batch::ElementBatch;
 use crate::context::{JoinCtx, JoinError, JoinStats};
 use crate::element::Element;
 use crate::sink::PairSink;
@@ -64,8 +76,128 @@ impl<'a> IndexCursor<'a> {
     }
 }
 
+/// A forward-only cursor over a doc-order-sorted element heap file,
+/// reading through columnar batches and seeking via the file's zone map.
+///
+/// Seeks only ever move forward (the merge's skip targets are monotone),
+/// so a seek binary-searches the per-page `lo` bounds — in a doc-ordered
+/// file, page `p`'s `lo` is its first element's region start, and those
+/// are non-decreasing — jumps the scan to the chosen page, and gallops
+/// within the decoded batch. Pages between the old and new position are
+/// never fetched. When the file has no zone map the seek degrades to
+/// galloping through successive batches (still forward-only).
+struct BatchCursor<'a> {
+    ctx: &'a JoinCtx,
+    file: &'a HeapFile<Element>,
+    zones: Option<Arc<FileZones>>,
+    scan: HeapScan<'a, Element>,
+    batch: ElementBatch,
+    i: usize,
+    cur: Option<Element>,
+}
+
+impl<'a> BatchCursor<'a> {
+    fn start(ctx: &'a JoinCtx, file: &'a HeapFile<Element>) -> Result<Self, JoinError> {
+        let mut c = BatchCursor {
+            ctx,
+            file,
+            zones: ctx.pool.file_zones(file.file_id()),
+            scan: file.scan_with(&ctx.pool, ctx.read_opts()),
+            batch: ElementBatch::new(),
+            i: 0,
+            cur: None,
+        };
+        c.settle()?;
+        Ok(c)
+    }
+
+    /// Restores the `cur` invariant after `i` moved: refills forward until
+    /// `i` indexes a batch element, or the file ends (`cur = None`).
+    fn settle(&mut self) -> Result<(), JoinError> {
+        while self.i >= self.batch.len() {
+            if !self.batch.refill(&mut self.scan)? {
+                self.cur = None;
+                return Ok(());
+            }
+            self.i = 0;
+        }
+        self.cur = Some(self.batch.get(self.i));
+        Ok(())
+    }
+
+    fn advance(&mut self) -> Result<(), JoinError> {
+        self.i += 1;
+        self.settle()
+    }
+
+    /// The page the current batch was decoded from (`None` before the
+    /// first refill or after exhaustion).
+    fn page(&self) -> Option<u32> {
+        (!self.batch.is_empty()).then(|| self.batch.pos_of(0).page())
+    }
+
+    /// The page a seek to doc keys `>= lb` may restart from: the last page
+    /// whose first start is `<= lb`'s start, stepped back once on a tie —
+    /// elements sharing one region start are a chain of at most 64
+    /// ancestors, so a tied run never begins more than one page earlier.
+    fn seek_page(&self, lb: u128) -> Option<u32> {
+        let zones = self.zones.as_ref()?;
+        let s_lb = (lb >> 8) as u64;
+        let (mut lo, mut hi) = (0u32, zones.len() as u32);
+        // Largest page whose zone lo is <= s_lb (first page if none).
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            match zones.page(mid) {
+                Some(z) if z.lo <= s_lb => lo = mid,
+                Some(_) => hi = mid,
+                None => return None, // a hintless page breaks the order
+            }
+        }
+        Some(match zones.page(lo) {
+            Some(z) if z.lo == s_lb => lo.saturating_sub(1),
+            _ => lo,
+        })
+    }
+
+    /// Repositions to the first element with doc key `>= lb` (forward
+    /// only). Returns the element found (also stored in `cur`).
+    fn seek(&mut self, lb: u128) -> Result<Option<Element>, JoinError> {
+        if self.cur.is_none() {
+            return Ok(None);
+        }
+        if let (Some(target), Some(here)) = (self.seek_page(lb), self.page()) {
+            if target > here {
+                self.scan = self.file.scan_at_with(
+                    &self.ctx.pool,
+                    ScanPos::at(target, 0),
+                    self.ctx.read_opts(),
+                );
+                self.batch = ElementBatch::new();
+                self.i = 0;
+                if !self.batch.refill(&mut self.scan)? {
+                    self.cur = None;
+                    return Ok(None);
+                }
+            }
+        }
+        loop {
+            self.i = self.batch.gallop_key_ge(self.i, lb);
+            if self.i < self.batch.len() {
+                self.cur = Some(self.batch.get(self.i));
+                return Ok(self.cur);
+            }
+            if !self.batch.refill(&mut self.scan)? {
+                self.cur = None;
+                return Ok(None);
+            }
+            self.i = 0;
+        }
+    }
+}
+
 /// Anc_Des_B+ join. With `SortPolicy::SortOnTheFly` the inputs are sorted
-/// and both indexes bulk-loaded inside the measured operator.
+/// and the ancestor index bulk-loaded inside the measured operator; the
+/// descendant side merges straight off its sorted heap file.
 pub fn anc_des_bplus(
     ctx: &JoinCtx,
     a: &HeapFile<Element>,
@@ -83,32 +215,23 @@ pub fn anc_des_bplus(
                 Ok((sort_doc_order(ctx, a)?, sort_doc_order(ctx, d)?, true))
             }
         })?;
-        let (a_tree, d_tree) = ctx.phase("build", || {
-            let a_tree = BPlusTree::bulk_load_fallible_with(
+        let a_tree = ctx.phase("build", || {
+            Ok(BPlusTree::bulk_load_fallible_with(
                 &ctx.pool,
                 sa.scan_with(&ctx.pool, ctx.read_opts())
                     .results()
                     .map(|r| r.map(|e| (e.doc_key(), e.tag))),
                 ctx.write_opts(1),
-            )?;
-            let d_tree = BPlusTree::bulk_load_fallible_with(
-                &ctx.pool,
-                sd.scan_with(&ctx.pool, ctx.read_opts())
-                    .results()
-                    .map(|r| r.map(|e| (e.doc_key(), e.tag))),
-                ctx.write_opts(1),
-            )?;
-            Ok((a_tree, d_tree))
+            )?)
         })?;
+        let pairs = ctx.phase_counted("merge", || {
+            merge_with_skips(ctx, &a_tree, &sd, sink).map(|p| (p, 0))
+        })?;
+        a_tree.drop_file(&ctx.pool);
         if owned {
             sa.drop_file(&ctx.pool);
             sd.drop_file(&ctx.pool);
         }
-        let pairs = ctx.phase_counted("merge", || {
-            merge_with_skips(ctx, &a_tree, &d_tree, sink).map(|p| (p, 0))
-        })?;
-        a_tree.drop_file(&ctx.pool);
-        d_tree.drop_file(&ctx.pool);
         Ok(pairs)
     })
 }
@@ -116,11 +239,11 @@ pub fn anc_des_bplus(
 fn merge_with_skips(
     ctx: &JoinCtx,
     a_tree: &BPlusTree<u128, u32>,
-    d_tree: &BPlusTree<u128, u32>,
+    d_file: &HeapFile<Element>,
     sink: &mut dyn PairSink,
 ) -> Result<u64, JoinError> {
     let mut ac = IndexCursor::start(ctx, a_tree)?;
-    let mut dc = IndexCursor::start(ctx, d_tree)?;
+    let mut dc = BatchCursor::start(ctx, d_file)?;
     let mut stack: Vec<Element> = Vec::with_capacity(ctx.shape.height() as usize);
     let mut pairs = 0u64;
 
@@ -131,7 +254,7 @@ fn merge_with_skips(
                 None => break, // no ancestor can open anymore
                 Some(a_el) if d_el.start() < a_el.start() => {
                     // This d (and all before a.start) is matchless: jump.
-                    dc.seek(ctx, (a_el.start() as u128) << 8)?;
+                    dc.seek((a_el.start() as u128) << 8)?;
                     continue;
                 }
                 Some(a_el) if a_el.end() < d_el.start() => {

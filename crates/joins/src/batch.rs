@@ -25,6 +25,7 @@ pub struct ElementBatch {
     elems: Vec<Element>,
     starts: Vec<u64>,
     ends: Vec<u64>,
+    heights: Vec<u32>,
     base: ScanPos,
 }
 
@@ -41,20 +42,40 @@ impl ElementBatch {
             elems: Vec::new(),
             starts: Vec::new(),
             ends: Vec::new(),
+            heights: Vec::new(),
             base: ScanPos::START,
         }
     }
 
     /// Replaces the batch contents with the next page of the scan.
     /// Returns `false` (leaving the batch empty) at end of file.
+    ///
+    /// The decode is single-pass and columnar: each record streams out of
+    /// [`HeapScan::next_batch_each`] straight into the SoA columns, so a
+    /// compressed page goes packed-bytes → columns with no intermediate
+    /// record vector.
     pub fn refill(&mut self, scan: &mut HeapScan<'_, Element>) -> Result<bool, PoolError> {
         self.elems.clear();
         self.starts.clear();
         self.ends.clear();
+        self.heights.clear();
         // UFCS: through a `&mut` receiver, plain `.position()` resolves to
         // `Iterator::position` via the `impl Iterator for &mut I` blanket.
         self.base = HeapScan::position(scan);
-        if scan.next_batch(&mut self.elems)? == 0 {
+        let (elems, starts, ends, heights) = (
+            &mut self.elems,
+            &mut self.starts,
+            &mut self.ends,
+            &mut self.heights,
+        );
+        let n = scan.next_batch_each(|e| {
+            let (s, t) = e.code.region();
+            elems.push(e);
+            starts.push(s);
+            ends.push(t);
+            heights.push(e.code.height());
+        })?;
+        if n == 0 {
             return Ok(false);
         }
         // Page alignment: the batch is exactly the remainder of the page
@@ -65,11 +86,6 @@ impl ElementBatch {
             HeapScan::position(scan),
             ScanPos::at(self.base.page() + 1, 0)
         );
-        for e in &self.elems {
-            let (s, t) = e.code.region();
-            self.starts.push(s);
-            self.ends.push(t);
-        }
         Ok(true)
     }
 
@@ -101,6 +117,12 @@ impl ElementBatch {
     #[inline]
     pub fn end(&self, i: usize) -> u64 {
         self.ends[i]
+    }
+
+    /// The `i`-th element's node height.
+    #[inline]
+    pub fn height(&self, i: usize) -> u32 {
+        self.heights[i]
     }
 
     /// The heap-file position of the `i`-th element, for marking a rescan
@@ -206,7 +228,7 @@ fn gallop(len: usize, from: usize, pred: impl Fn(usize) -> bool) -> usize {
 mod tests {
     use super::*;
     use crate::context::JoinCtx;
-    use crate::element::element_file;
+    use crate::element::{element_file, element_file_with};
     use pbitree_core::PBiTreeShape;
     use pbitree_storage::records_per_page;
 
@@ -250,12 +272,58 @@ mod tests {
     }
 
     #[test]
+    fn compressed_batched_read_matches_raw() {
+        use pbitree_storage::ScanOptions;
+        let c = ctx(8);
+        // Mixed heights exercise the bit-packed height column, not just
+        // the start deltas.
+        let mut codes: Vec<u64> = (0..2000u64).map(|i| (i << 1) | 1).collect();
+        codes.extend((0..500u64).map(|i| (1 + 2 * i) << 1));
+        codes.extend((0..100u64).map(|i| (1 + 2 * i) << 3));
+        codes.sort_by_key(|&v| pbitree_core::Code::new(v).unwrap().doc_order_key());
+        let raw = element_file_with(
+            &c.pool,
+            ScanOptions::default().with_compress(false),
+            codes.iter().map(|&v| (v, 0)),
+        )
+        .unwrap();
+        let packed = element_file_with(
+            &c.pool,
+            ScanOptions::default().with_compress(true),
+            codes.iter().map(|&v| (v, 0)),
+        )
+        .unwrap();
+        assert!(packed.pages() < raw.pages(), "packing must shrink the file");
+        let collect = |f: &pbitree_storage::HeapFile<Element>| {
+            let mut out = Vec::new();
+            let mut s = f.scan(&c.pool);
+            let mut b = ElementBatch::new();
+            while b.refill(&mut s).unwrap() {
+                for i in 0..b.len() {
+                    assert_eq!(b.height(i), b.get(i).code.height());
+                    assert_eq!((b.start(i), b.end(i)), b.get(i).code.region());
+                    out.push(b.get(i));
+                }
+            }
+            out
+        };
+        assert_eq!(collect(&packed), collect(&raw));
+    }
+
+    #[test]
     fn pos_of_marks_resume_exactly() {
         let c = ctx(8);
         let per_page = records_per_page::<Element>();
         let n = per_page * 3 + 7; // several pages plus a partial tail
         let codes: Vec<u64> = (0..n as u64).map(|i| (i << 1) | 1).collect();
-        let f = element_file(&c.pool, codes.iter().map(|&v| (v, 0))).unwrap();
+        // Raw layout pinned: the page-count math above assumes fixed-width
+        // records (packed pages would fold this file into a single page).
+        let f = element_file_with(
+            &c.pool,
+            pbitree_storage::ScanOptions::default().with_compress(false),
+            codes.iter().map(|&v| (v, 0)),
+        )
+        .unwrap();
         // Mark an element in the middle of the second page via its batch
         // index, then resume there and check the stream lines up.
         let mut s = f.scan(&c.pool);

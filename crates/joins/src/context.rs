@@ -303,6 +303,27 @@ impl JoinCtx {
         self.prune
     }
 
+    /// Enables or disables packed element pages
+    /// ([`pbitree_storage::codec`]) for every file this context's
+    /// operators write — partition files, sort runs, rescan spools.
+    /// Threaded like [`with_prune`](JoinCtx::with_prune); the flag lives on
+    /// the context's [`ScanOptions`], so it reaches writers through
+    /// [`write_opts`](JoinCtx::write_opts) and survives worker carving.
+    /// Reading is always layout-agnostic (the page header selects the
+    /// decode), so flipping this knob never changes results, only the page
+    /// counts. Defaults to the `PBITREE_COMPRESS` environment variable.
+    pub fn with_compression(mut self, compress: bool) -> Self {
+        self.io_opts = self.io_opts.with_compress(compress);
+        self
+    }
+
+    /// Whether packed element pages are enabled for files this context
+    /// writes.
+    #[inline]
+    pub fn compression(&self) -> bool {
+        self.io_opts.compress
+    }
+
     /// The context's read options with `filter` pushed down — or without
     /// it when pruning is disabled. The single gate every operator routes
     /// its derived filters through.

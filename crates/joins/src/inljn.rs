@@ -16,6 +16,7 @@
 use pbitree_index::BPlusTree;
 use pbitree_storage::{external_sort_with, HeapFile};
 
+use crate::batch::ElementBatch;
 use crate::context::{JoinCtx, JoinError, JoinStats};
 use crate::element::Element;
 use crate::sink::PairSink;
@@ -72,17 +73,24 @@ pub fn inljn_probe_descendants(
             let mut pairs = 0u64;
             // Index range scans interleave with the outer scan: halve the
             // outer read-ahead so index leaves are not evicted mid-probe.
+            // The outer side reads through a columnar batch — one decode
+            // per page (packed pages go straight to the region columns)
+            // instead of one per record.
             let mut scan = a.scan_with(&ctx.pool, ctx.read_opts().shared(2));
-            while let Some(ae) = scan.next_record()? {
-                let (start, end) = ae.code.region();
-                let mut it = index.range_from(&ctx.pool, &start)?;
-                while let Some((code, tag)) = it.next_entry()? {
-                    if code > end {
-                        break;
-                    }
-                    if code != ae.code.get() {
-                        pairs += 1;
-                        sink.emit(ae, Element::new(code, tag));
+            let mut batch = ElementBatch::new();
+            while batch.refill(&mut scan)? {
+                for i in 0..batch.len() {
+                    let ae = batch.get(i);
+                    let (start, end) = (batch.start(i), batch.end(i));
+                    let mut it = index.range_from(&ctx.pool, &start)?;
+                    while let Some((code, tag)) = it.next_entry()? {
+                        if code > end {
+                            break;
+                        }
+                        if code != ae.code.get() {
+                            pairs += 1;
+                            sink.emit(ae, Element::new(code, tag));
+                        }
                     }
                 }
             }
@@ -109,11 +117,15 @@ pub fn inljn_probe_ancestors(
         let pairs = ctx.phase_counted("probe", || {
             let mut pairs = 0u64;
             let mut scan = d.scan_with(&ctx.pool, ctx.read_opts().shared(2));
-            while let Some(de) = scan.next_record()? {
-                for anc in ctx.shape.ancestors(de.code) {
-                    if let Some(tag) = index.get(&ctx.pool, &anc.get())? {
-                        pairs += 1;
-                        sink.emit(Element { code: anc, tag }, de);
+            let mut batch = ElementBatch::new();
+            while batch.refill(&mut scan)? {
+                for i in 0..batch.len() {
+                    let de = batch.get(i);
+                    for anc in ctx.shape.ancestors(de.code) {
+                        if let Some(tag) = index.get(&ctx.pool, &anc.get())? {
+                            pairs += 1;
+                            sink.emit(Element { code: anc, tag }, de);
+                        }
                     }
                 }
             }

@@ -247,7 +247,7 @@ pub fn mem_join_interval_tree(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::element::element_file;
+    use crate::element::{element_file, element_file_with};
     use crate::naive::block_nested_loop;
     use crate::sink::{CollectSink, CountSink};
     use pbitree_core::PBiTreeShape;
@@ -305,15 +305,18 @@ mod tests {
     #[test]
     fn a_in_memory_path() {
         // Budget fits A (1 page) but not D: force the rollup branch by
-        // making D larger than the pool.
-        let c = ctx(3);
-        let a = element_file(
+        // making D larger than the pool. The branch choice depends on raw
+        // page geometry, so pin the layout (packed D would fit the pool).
+        let c = ctx(3).with_compression(false);
+        let a = element_file_with(
             &c.pool,
+            c.read_opts(),
             mixed_codes(100, &[4, 6], 61).into_iter().map(|v| (v, 0)),
         )
         .unwrap();
-        let d = element_file(
+        let d = element_file_with(
             &c.pool,
+            c.read_opts(),
             mixed_codes(4000, &[0, 1], 63).into_iter().map(|v| (v, 1)),
         )
         .unwrap();

@@ -49,7 +49,8 @@
 //!  "tiled":true,"name":"partition","pairs":0,"false_hits":0,
 //!  "cpu_ns":12345,"io":{"seq_reads":8,"rand_reads":1,"seq_writes":0,
 //!  "rand_writes":0,"sim_ns":1800000},
-//!  "pool":{"hits":3,"misses":9,"skipped":0,"filtered":0}}
+//!  "pool":{"hits":3,"misses":9,"skipped":0,"filtered":0,
+//!  "packed":0,"packed_pre":0,"packed_post":0,"decodes":0}}
 //! ```
 //!
 //! `parent` is the enclosing run id (runs only), `task` the partition task
@@ -149,7 +150,8 @@ impl SpanRecord {
              \"tiled\":{},\"name\":\"{}\",\"pairs\":{},\"false_hits\":{},\"cpu_ns\":{},\
              \"io\":{{\"seq_reads\":{},\"rand_reads\":{},\"seq_writes\":{},\"rand_writes\":{},\
              \"sim_ns\":{}}},\"pool\":{{\"hits\":{},\"misses\":{},\"skipped\":{},\
-             \"filtered\":{}}}}}",
+             \"filtered\":{},\"packed\":{},\"packed_pre\":{},\"packed_post\":{},\
+             \"decodes\":{}}}}}",
             SCHEMA_VERSION,
             self.kind.as_str(),
             self.seq,
@@ -170,6 +172,10 @@ impl SpanRecord {
             self.pool.misses,
             self.pool.pages_skipped,
             self.pool.records_filtered,
+            self.pool.pages_packed,
+            self.pool.packed_pre_bytes,
+            self.pool.packed_post_bytes,
+            self.pool.packed_decodes,
         )
         .expect("writing to a String cannot fail");
         s
@@ -234,10 +240,7 @@ impl Tracer {
                     p.false_hits += s.false_hits;
                     p.cpu_ns += s.cpu_ns;
                     p.io = add_io(&p.io, &s.io);
-                    p.pool.hits += s.pool.hits;
-                    p.pool.misses += s.pool.misses;
-                    p.pool.pages_skipped += s.pool.pages_skipped;
-                    p.pool.records_filtered += s.pool.records_filtered;
+                    p.pool.absorb(&s.pool);
                 }
                 None => out.push(PhaseStat {
                     name: s.name,
@@ -386,10 +389,7 @@ impl JoinCtx {
             let mut covered_cpu = 0u64;
             for p in &phases {
                 covered.io = add_io(&covered.io, &p.io);
-                covered.pool.hits += p.pool.hits;
-                covered.pool.misses += p.pool.misses;
-                covered.pool.pages_skipped += p.pool.pages_skipped;
-                covered.pool.records_filtered += p.pool.records_filtered;
+                covered.pool.absorb(&p.pool);
                 covered_cpu += p.cpu_ns;
             }
             let rest = delta.since(&covered);
@@ -559,13 +559,20 @@ mod tests {
                 misses: 2,
                 pages_skipped: 4,
                 records_filtered: 17,
+                pages_packed: 3,
+                packed_pre_bytes: 4092,
+                packed_post_bytes: 1300,
+                packed_decodes: 6,
             },
         };
         let j = s.to_json();
         assert!(j.starts_with("{\"v\":1,\"kind\":\"phase\",\"seq\":7,"));
         assert!(j.contains("\"task\":3"));
         assert!(j.contains("\"parent\":null"));
-        assert!(j.contains("\"pool\":{\"hits\":5,\"misses\":2,\"skipped\":4,\"filtered\":17}"));
+        assert!(j.contains(
+            "\"pool\":{\"hits\":5,\"misses\":2,\"skipped\":4,\"filtered\":17,\
+             \"packed\":3,\"packed_pre\":4092,\"packed_post\":1300,\"decodes\":6}"
+        ));
     }
 
     #[test]

@@ -781,7 +781,7 @@ fn rollup_fallback(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::element::element_file;
+    use crate::element::{element_file, element_file_with};
     use crate::naive::block_nested_loop;
     use crate::sink::{CollectSink, CountSink};
     use pbitree_core::{Code, PBiTreeShape};
@@ -855,9 +855,12 @@ mod tests {
     fn replication_produces_no_duplicates() {
         // Ancestors high in the tree (heavily replicated) with descendants
         // spread across partitions; both sides also share spanning nodes.
-        let c = ctx(18, 4); // tiny budget forces real partitioning
-                            // The root and its children sit at/above any partition level, so
-                            // they are guaranteed to span partitions and be replicated.
+        // Tiny budget forces real partitioning; raw layout pinned so the
+        // fit thresholds (page counts) stay below the budget regardless of
+        // the process-wide compression default.
+        let c = ctx(18, 4).with_compression(false);
+        // The root and its children sit at/above any partition level, so
+        // they are guaranteed to span partitions and be replicated.
         let mut high: Vec<u64> = vec![1 << 17, 1 << 16, 3 << 16];
         high.extend(mixed_codes(18, 40, &[11, 13, 14], 101));
         let mid: Vec<u64> = mixed_codes(18, 3000, &[4, 6], 103);
@@ -865,8 +868,8 @@ mod tests {
         // A: high + mid nodes; D: mid + low nodes (overlap heights too).
         let a: Vec<u64> = high.iter().chain(mid.iter().take(1500)).copied().collect();
         let d: Vec<u64> = mid.iter().skip(1500).chain(low.iter()).copied().collect();
-        let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
-        let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
+        let af = element_file_with(&c.pool, c.read_opts(), a.iter().map(|&v| (v, 0))).unwrap();
+        let df = element_file_with(&c.pool, c.read_opts(), d.iter().map(|&v| (v, 1))).unwrap();
         let mut got = CollectSink::default();
         let (stats, report) = vpj(&c, &af, &df, &mut got).unwrap();
         // No duplicates: the multiset of emitted pairs is a set.
@@ -888,13 +891,14 @@ mod tests {
     #[test]
     fn dense_partition_recurses() {
         // All data concentrated under one level-1 subtree: the first
-        // partitioning is useless, recursion must go deeper.
-        let c = ctx(18, 4);
+        // partitioning is useless, recursion must go deeper. Raw layout
+        // pinned — packed partitions would fit the budget without recursing.
+        let c = ctx(18, 4).with_compression(false);
         // Confine everything to the leftmost quarter of the code space.
         let a: Vec<u64> = mixed_codes(16, 2500, &[2, 4], 111); // codes < 2^16
         let d: Vec<u64> = mixed_codes(16, 2500, &[0, 1], 113);
-        let af = element_file(&c.pool, a.iter().map(|&v| (v, 0))).unwrap();
-        let df = element_file(&c.pool, d.iter().map(|&v| (v, 1))).unwrap();
+        let af = element_file_with(&c.pool, c.read_opts(), a.iter().map(|&v| (v, 0))).unwrap();
+        let df = element_file_with(&c.pool, c.read_opts(), d.iter().map(|&v| (v, 1))).unwrap();
         let mut got = CollectSink::default();
         let (_, report) = vpj(&c, &af, &df, &mut got).unwrap();
         assert!(report.recursions > 0 || report.fallbacks > 0);

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use pbitree_core::PBiTreeShape;
-use pbitree_joins::element::element_file;
+use pbitree_joins::element::{element_file, element_file_with};
 use pbitree_joins::stacktree::SortPolicy;
 use pbitree_joins::trace::{SpanKind, SpanRecord, Tracer};
 use pbitree_joins::{CountSink, JoinCtx, JoinError, JoinStats};
@@ -71,8 +71,10 @@ fn run_traced_io(
         .with_threads(threads)
         .with_io(io)
         .with_tracer(Arc::clone(&tracer));
-    let af = element_file(&ctx.pool, a.iter().map(|&v| (v, 0))).unwrap();
-    let df = element_file(&ctx.pool, d.iter().map(|&v| (v, 1))).unwrap();
+    // Inputs are built under the run's own options so a caller pinning the
+    // page layout (e.g. compression off) governs the whole run.
+    let af = element_file_with(&ctx.pool, ctx.read_opts(), a.iter().map(|&v| (v, 0))).unwrap();
+    let df = element_file_with(&ctx.pool, ctx.read_opts(), d.iter().map(|&v| (v, 1))).unwrap();
     let mut sink = CountSink::default();
     let stats = f(&ctx, &af, &df, &mut sink).unwrap();
     (stats, tracer.spans(), ctx.pool.prefetched())
@@ -184,26 +186,13 @@ fn assert_tiles_exactly(op: &str, threads: usize, stats: &JoinStats, spans: &[Sp
     let mut cpu = 0u64;
     for p in &stats.phases {
         io = add_io(io, &p.io);
-        pool.hits += p.pool.hits;
-        pool.misses += p.pool.misses;
-        pool.pages_skipped += p.pool.pages_skipped;
-        pool.records_filtered += p.pool.records_filtered;
+        pool.absorb(&p.pool);
         cpu += p.cpu_ns;
     }
     assert_eq!(io, stats.io, "{op} t={threads}: phase io must tile the run");
+    // Field-wise over *all* pool counters, the packed-page ones included.
     assert_eq!(
-        (
-            pool.hits,
-            pool.misses,
-            pool.pages_skipped,
-            pool.records_filtered
-        ),
-        (
-            run.pool.hits,
-            run.pool.misses,
-            run.pool.pages_skipped,
-            run.pool.records_filtered
-        ),
+        pool, run.pool,
         "{op} t={threads}: phase pool deltas must tile the run"
     );
     // The synthetic "other" phase absorbs total - covered, so the
@@ -244,6 +233,10 @@ fn golden_jsonl_schema() {
                 misses: 9,
                 pages_skipped: 5,
                 records_filtered: 21,
+                pages_packed: 2,
+                packed_pre_bytes: 8184,
+                packed_post_bytes: 2600,
+                packed_decodes: 0,
             },
         },
         SpanRecord {
@@ -263,6 +256,10 @@ fn golden_jsonl_schema() {
                 misses: 0,
                 pages_skipped: 0,
                 records_filtered: 0,
+                pages_packed: 0,
+                packed_pre_bytes: 0,
+                packed_post_bytes: 0,
+                packed_decodes: 3,
             },
         },
         SpanRecord {
@@ -288,6 +285,10 @@ fn golden_jsonl_schema() {
                 misses: 7,
                 pages_skipped: 1,
                 records_filtered: 2,
+                pages_packed: 8,
+                packed_pre_bytes: 9,
+                packed_post_bytes: 10,
+                packed_decodes: 11,
             },
         },
     ];
@@ -334,6 +335,10 @@ fn emitted_lines_keep_key_order() {
         "\"misses\":",
         "\"skipped\":",
         "\"filtered\":",
+        "\"packed\":",
+        "\"packed_pre\":",
+        "\"packed_post\":",
+        "\"decodes\":",
     ];
     for line in text.lines() {
         let mut pos = 0;
@@ -367,21 +372,25 @@ fn parallel_runs_tile_exactly_with_task_spans() {
     {
         // MHCJ defers one task per height; VPJ defers its vertical groups
         // only when neither input fits the budget, so it gets bigger
-        // inputs over a tiny buffer.
-        let (a, d, buffer) = if op == "vpj" {
+        // inputs over a tiny buffer — with the raw layout pinned, since
+        // "fits" is a page-count test and packed pages would fold these
+        // inputs under the budget.
+        let (a, d, buffer, io) = if op == "vpj" {
             (
                 mixed_codes(1500, &[2, 4], 61),
                 mixed_codes(3000, &[0, 1], 63),
                 4,
+                ScanOptions::default().with_compress(false),
             )
         } else {
             (
                 mixed_codes(700, heights, 41),
                 mixed_codes(2500, &[0, 1, 2], 43),
                 16,
+                ScanOptions::default(),
             )
         };
-        let (stats, spans) = run_traced(f, &a, &d, buffer, 4);
+        let (stats, spans, _) = run_traced_io(f, &a, &d, buffer, 4, io);
         assert_tiles_exactly(op, 4, &stats, &spans);
         let run = top_run(&spans);
         let tasks: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Task).collect();
@@ -463,7 +472,10 @@ fn corrupt_page_fails_parallel_mhcj() {
     let d = mixed_codes(2000, &[0, 1], 61);
     let af = element_file(&ctx.pool, a.iter().map(|&v| (v, 0))).unwrap();
     let df = element_file(&ctx.pool, d.iter().map(|&v| (v, 1))).unwrap();
-    let pid = PageId::new(df.file_id(), 2);
+    // The last page exists in any layout (packed files hold fewer pages);
+    // a flagged-and-oversized count dword is invalid in both formats (raw:
+    // count past capacity; packed: checksum mixes in the count).
+    let pid = PageId::new(df.file_id(), df.pages() - 1);
     {
         let mut page = ctx.pool.write_page(pid).unwrap();
         page[..4].copy_from_slice(&u32::MAX.to_le_bytes());

@@ -53,6 +53,13 @@ pub struct ScanOptions {
     /// [`crate::heap::HeapScan`], which skips pages whose zone cannot
     /// satisfy it.
     pub filter: ScanFilter,
+    /// Whether heap writers should pack pages of
+    /// [packable](crate::record::FixedRecord::PACKABLE) records with the
+    /// delta/varint codec ([`crate::codec`]). Scans ignore it — the page
+    /// header, not the option, selects the decode path, so compressed and
+    /// raw files are always readable. Defaults to the `PBITREE_COMPRESS`
+    /// environment variable (any value but `0` enables it; unset disables).
+    pub compress: bool,
 }
 
 impl Default for ScanOptions {
@@ -61,12 +68,19 @@ impl Default for ScanOptions {
     }
 }
 
+/// Process-wide compression default, read once from `PBITREE_COMPRESS`.
+fn env_compress() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("PBITREE_COMPRESS").is_some_and(|v| v != *"0"))
+}
+
 impl ScanOptions {
     /// Point-lookup access: no read-ahead, no write batching.
     pub fn random() -> Self {
         ScanOptions {
             pattern: AccessPattern::Random,
             filter: ScanFilter::All,
+            compress: env_compress(),
         }
     }
 
@@ -78,6 +92,7 @@ impl ScanOptions {
                 readahead: readahead.max(1),
             },
             filter: ScanFilter::All,
+            compress: env_compress(),
         }
     }
 
@@ -89,6 +104,7 @@ impl ScanOptions {
                 batch: batch.max(1),
             },
             filter: ScanFilter::All,
+            compress: env_compress(),
         }
     }
 
@@ -96,9 +112,16 @@ impl ScanOptions {
     /// (see [`ScanFilter::and`]).
     pub fn with_filter(self, filter: ScanFilter) -> Self {
         ScanOptions {
-            pattern: self.pattern,
             filter: self.filter.and(filter),
+            ..self
         }
+    }
+
+    /// The same options with page compression switched on or off —
+    /// the knob [`crate::heap::HeapWriter`] consults for packable record
+    /// types.
+    pub fn with_compress(self, compress: bool) -> Self {
+        ScanOptions { compress, ..self }
     }
 
     /// The transfer-batch depth the pattern implies: `readahead` for
@@ -127,7 +150,7 @@ impl ScanOptions {
     }
 
     /// Same pattern with a new depth (clamped to at least 1). The filter
-    /// is preserved.
+    /// and compression flag are preserved.
     pub fn with_depth(self, depth: usize) -> Self {
         let depth = depth.max(1);
         ScanOptions {
@@ -136,15 +159,20 @@ impl ScanOptions {
                 AccessPattern::Sequential { .. } => AccessPattern::Sequential { readahead: depth },
                 AccessPattern::WriteOnce { .. } => AccessPattern::WriteOnce { batch: depth },
             },
-            filter: self.filter,
+            ..self
         }
     }
 
     /// The write-once counterpart of this option set: same depth, batching
     /// appends instead of prefetching reads. Any read filter is dropped —
-    /// writers filter nothing.
+    /// writers filter nothing — but the compression flag survives, so
+    /// operators handing their read options to an output writer (sort runs,
+    /// partition files) compress exactly when their context says to.
     pub fn as_write(self) -> Self {
-        ScanOptions::write_once(self.depth())
+        ScanOptions {
+            compress: self.compress,
+            ..ScanOptions::write_once(self.depth())
+        }
     }
 }
 
@@ -210,6 +238,22 @@ mod tests {
                 max: 2
             }
         ));
+    }
+
+    #[test]
+    fn compress_survives_every_combinator() {
+        let o = ScanOptions::sequential(8).with_compress(true);
+        assert!(o.compress);
+        assert!(o.clamped(8).compress);
+        assert!(o.shared(2).compress);
+        assert!(o.with_depth(2).compress);
+        assert!(
+            o.with_filter(ScanFilter::HeightRange { min: 0, max: 1 })
+                .compress
+        );
+        // Writers inherit the flag: that is where it takes effect.
+        assert!(o.as_write().compress);
+        assert!(!o.with_compress(false).as_write().compress);
     }
 
     #[test]

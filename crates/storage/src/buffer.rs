@@ -165,6 +165,16 @@ pub struct PoolStats {
     /// Records a filtered scan dropped after page decode (admitted by the
     /// page zone, rejected by the record-level filter).
     pub records_filtered: u64,
+    /// Pages heap writers sealed in the packed layout ([`crate::codec`]).
+    pub pages_packed: u64,
+    /// Bytes the packed pages' records would have occupied raw
+    /// (`records × R::SIZE`) — the numerator of the compression ratio.
+    pub packed_pre_bytes: u64,
+    /// Bytes the packed pages actually used (header + payload).
+    pub packed_post_bytes: u64,
+    /// Packed-page decode passes (one per page per consuming scan, for
+    /// both the record-at-a-time cache fill and the streaming batch path).
+    pub packed_decodes: u64,
 }
 
 impl PoolStats {
@@ -183,7 +193,25 @@ impl PoolStats {
             misses: self.misses - earlier.misses,
             pages_skipped: self.pages_skipped - earlier.pages_skipped,
             records_filtered: self.records_filtered - earlier.records_filtered,
+            pages_packed: self.pages_packed - earlier.pages_packed,
+            packed_pre_bytes: self.packed_pre_bytes - earlier.packed_pre_bytes,
+            packed_post_bytes: self.packed_post_bytes - earlier.packed_post_bytes,
+            packed_decodes: self.packed_decodes - earlier.packed_decodes,
         }
+    }
+
+    /// Adds `other` counter-wise into `self` — the accumulation phase
+    /// tiling and coverage sums use, so new counters extend the trace
+    /// invariants without touching every summation site.
+    pub fn absorb(&mut self, other: &PoolStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.pages_skipped += other.pages_skipped;
+        self.records_filtered += other.records_filtered;
+        self.pages_packed += other.pages_packed;
+        self.packed_pre_bytes += other.packed_pre_bytes;
+        self.packed_post_bytes += other.packed_post_bytes;
+        self.packed_decodes += other.packed_decodes;
     }
 }
 
@@ -323,6 +351,12 @@ pub struct BufferPool {
     skipped: AtomicU64,
     /// Records filtered scans dropped at record granularity.
     filtered: AtomicU64,
+    /// Pages heap writers sealed packed, plus their raw-equivalent and
+    /// actual byte footprints, and decode passes by scans.
+    packed_pages: AtomicU64,
+    packed_pre: AtomicU64,
+    packed_post: AtomicU64,
+    packed_decodes: AtomicU64,
     /// Zone maps registered per heap file (see [`crate::zone`]); shared
     /// with every concurrent scan through the `Arc`, dropped with the file.
     zones: Mutex<HashMap<FileId, Arc<FileZones>>>,
@@ -355,6 +389,10 @@ impl BufferPool {
             prefetched: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
             filtered: AtomicU64::new(0),
+            packed_pages: AtomicU64::new(0),
+            packed_pre: AtomicU64::new(0),
+            packed_post: AtomicU64::new(0),
+            packed_decodes: AtomicU64::new(0),
             zones: Mutex::new(HashMap::new()),
         }
     }
@@ -380,7 +418,26 @@ impl BufferPool {
             misses: self.misses.load(Ordering::Relaxed),
             pages_skipped: self.skipped.load(Ordering::Relaxed),
             records_filtered: self.filtered.load(Ordering::Relaxed),
+            pages_packed: self.packed_pages.load(Ordering::Relaxed),
+            packed_pre_bytes: self.packed_pre.load(Ordering::Relaxed),
+            packed_post_bytes: self.packed_post.load(Ordering::Relaxed),
+            packed_decodes: self.packed_decodes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Credits one heap page sealed in the packed layout: `pre` bytes of
+    /// raw-equivalent records compressed into `post` bytes on the page.
+    #[inline]
+    pub(crate) fn note_page_packed(&self, pre: u64, post: u64) {
+        self.packed_pages.fetch_add(1, Ordering::Relaxed);
+        self.packed_pre.fetch_add(pre, Ordering::Relaxed);
+        self.packed_post.fetch_add(post, Ordering::Relaxed);
+    }
+
+    /// Credits one packed-page decode pass by a scan.
+    #[inline]
+    pub(crate) fn note_packed_decode(&self) {
+        self.packed_decodes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Credits `n` pages skipped by a filtered scan. Skipped pages are

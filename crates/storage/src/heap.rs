@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use crate::access::ScanOptions;
 use crate::buffer::{BufferPool, PageRef, PoolError};
+use crate::codec::{parse_packed_header, PackedHeader, PackedPageBuilder};
 use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
 use crate::record::FixedRecord;
 use crate::zone::{FileZones, ZoneEntry};
@@ -75,7 +76,18 @@ impl<R: FixedRecord> HeapFile<R> {
         pool: &BufferPool,
         items: I,
     ) -> Result<Self, PoolError> {
-        let mut w = HeapWriter::create(pool)?;
+        Self::from_iter_with(pool, ScanOptions::default(), items)
+    }
+
+    /// [`from_iter`](HeapFile::from_iter) under explicit [`ScanOptions`] —
+    /// the way to build a file honoring a caller's write depth and
+    /// compression setting.
+    pub fn from_iter_with<I: IntoIterator<Item = R>>(
+        pool: &BufferPool,
+        opts: ScanOptions,
+        items: I,
+    ) -> Result<Self, PoolError> {
+        let mut w = HeapWriter::create_with(pool, opts)?;
         for r in items {
             w.push(r)?;
         }
@@ -182,6 +194,9 @@ impl<R: FixedRecord> HeapFile<R> {
             opts,
             zones,
             pending_filtered: 0,
+            packed: None,
+            cache: Vec::new(),
+            cache_valid: false,
             _marker: PhantomData,
         }
     }
@@ -238,6 +253,12 @@ pub struct HeapWriter<'a, R: FixedRecord> {
     page_gap: bool,
     /// Per-page zones of the sealed pages, registered at `finish`.
     zones: FileZones,
+    /// Packed-page encoder, engaged when the record type is packable and
+    /// the writer's options enable compression. `None` writes the raw
+    /// layout. Cleared for the rest of the file the first time a record
+    /// yields no parts (mixed layouts within one file are fine — the page
+    /// header selects the decode path).
+    packer: Option<PackedPageBuilder>,
     _marker: PhantomData<R>,
 }
 
@@ -267,18 +288,50 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
             page_zone: None,
             page_gap: false,
             zones: FileZones::default(),
+            packer: (R::PACKABLE && opts.compress).then(PackedPageBuilder::default),
             _marker: PhantomData,
         })
     }
 
     /// Appends one record.
     pub fn push(&mut self, r: R) -> Result<(), PoolError> {
+        if let Some(parts) = self.packer.as_ref().and(r.to_parts()) {
+            let full = !self
+                .packer
+                .as_ref()
+                .expect("packer checked above")
+                .fits(&parts);
+            if full {
+                self.spill()?;
+            }
+            self.packer
+                .as_mut()
+                .expect("packer survives spills")
+                .push(parts);
+            self.in_buf += 1;
+            self.fold_stats(&r);
+            return Ok(());
+        }
+        if self.packer.is_some() {
+            // A record the codec cannot represent: seal what is buffered
+            // and write raw from here on.
+            self.spill()?;
+            self.packer = None;
+        }
         let cap = records_per_page::<R>();
         if self.in_buf == cap {
             self.spill()?;
         }
         let off = HEADER + self.in_buf * R::SIZE;
         r.write(&mut self.buf[off..off + R::SIZE]);
+        self.in_buf += 1;
+        self.fold_stats(&r);
+        Ok(())
+    }
+
+    /// Folds one record's hints into the file and page statistics shared by
+    /// both page layouts.
+    fn fold_stats(&mut self, r: &R) {
         let bounds = r.bounds_hint();
         let height = r.height_hint();
         if let Some((lo, hi)) = bounds {
@@ -303,9 +356,7 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
                 self.page_zone = None;
             }
         }
-        self.in_buf += 1;
         self.records += 1;
-        Ok(())
     }
 
     /// Number of records pushed so far.
@@ -325,7 +376,17 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
         if self.in_buf == 0 {
             return Ok(());
         }
-        self.buf[..HEADER].copy_from_slice(&(self.in_buf as u32).to_le_bytes());
+        match &mut self.packer {
+            Some(packer) => {
+                debug_assert_eq!(packer.len(), self.in_buf);
+                let (n, used) = packer.seal_into(&mut self.buf);
+                self.pool
+                    .note_page_packed((n * R::SIZE) as u64, used as u64);
+            }
+            None => {
+                self.buf[..HEADER].copy_from_slice(&(self.in_buf as u32).to_le_bytes());
+            }
+        }
         // Seal the page image; the actual write-through happens in batches
         // (bulk output bypasses the pool, see
         // `BufferPool::append_pages_through`).
@@ -430,6 +491,17 @@ pub struct HeapScan<'a, R: FixedRecord> {
     /// Records dropped by the record-level filter since the last flush to
     /// the pool counter (flushed per page, at EOF, and on drop).
     pending_filtered: u64,
+    /// Verified header of the current page when it is packed
+    /// ([`crate::codec`]); `None` for raw pages.
+    packed: Option<PackedHeader>,
+    /// Per-page decode cache for record-at-a-time access to packed pages:
+    /// the page decodes once into this buffer and `next_record` serves
+    /// from it, so `idx`/[`ScanPos`] keep indexing decoded records exactly
+    /// as they index raw slots. Batched access streams the decode instead
+    /// and never touches the cache.
+    cache: Vec<R>,
+    /// Whether `cache` holds the current page's decoded records.
+    cache_valid: bool,
     _marker: PhantomData<R>,
 }
 
@@ -462,21 +534,32 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
     /// Returns the next record, or `None` at end of file.
     ///
     /// Page contents are validated as they stream by — a header record
-    /// count beyond page capacity or a record [`FixedRecord::validate`]
-    /// rejects surfaces as [`PoolError::Corrupt`] naming the page, instead
-    /// of a slice panic or silently decoded garbage.
+    /// count beyond page capacity, malformed packed bytes, or a record
+    /// [`FixedRecord::validate`] rejects surface as [`PoolError::Corrupt`]
+    /// naming the page, instead of a slice panic or silently decoded
+    /// garbage. Packed pages decode once into a per-page cache and are
+    /// served from it, so positions and resume offsets index decoded
+    /// records on either layout.
     pub fn next_record(&mut self) -> Result<Option<R>, PoolError> {
         let filtering = !self.opts.filter.is_all();
         loop {
-            if let Some(page) = &self.cur {
+            if self.cur.is_some() {
+                if self.packed.is_some() && !self.cache_valid {
+                    self.fill_cache()?;
+                }
+                let page = self.cur.as_ref().expect("page pinned");
                 while self.idx < self.in_page {
-                    let off = HEADER + self.idx * R::SIZE;
-                    let bytes = &page[off..off + R::SIZE];
-                    R::validate(bytes).map_err(|reason| PoolError::Corrupt {
-                        pid: PageId::new(self.file, self.next_page - 1),
-                        reason,
-                    })?;
-                    let r = R::read(bytes);
+                    let r = if self.packed.is_some() {
+                        self.cache[self.idx]
+                    } else {
+                        let off = HEADER + self.idx * R::SIZE;
+                        let bytes = &page[off..off + R::SIZE];
+                        R::validate(bytes).map_err(|reason| PoolError::Corrupt {
+                            pid: PageId::new(self.file, self.next_page - 1),
+                            reason,
+                        })?;
+                        R::read(bytes)
+                    };
                     self.idx += 1;
                     if filtering
                         && !self
@@ -500,6 +583,20 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
         }
     }
 
+    /// Decodes the current packed page into the per-page cache (exactly
+    /// once per page), counting one packed decode.
+    fn fill_cache(&mut self) -> Result<(), PoolError> {
+        let hdr = self.packed.expect("packed page");
+        let page = self.cur.as_ref().expect("page pinned");
+        let pid = PageId::new(self.file, self.next_page - 1);
+        self.cache.clear();
+        let cache = &mut self.cache;
+        hdr.decode_each::<R>(&page[..], pid, |r| cache.push(r))?;
+        self.pool.note_packed_decode();
+        self.cache_valid = true;
+        Ok(())
+    }
+
     /// Decodes the remainder of the current page (loading and zone-skipping
     /// pages as needed) into `out` in one pass, returning the number of
     /// records appended — `0` only at end of file. The page is unpinned
@@ -513,37 +610,85 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
     ///
     /// [`next_record`]: HeapScan::next_record
     pub fn next_batch(&mut self, out: &mut Vec<R>) -> Result<usize, PoolError> {
+        self.next_batch_each(|r| out.push(r))
+    }
+
+    /// Visitor form of [`next_batch`](HeapScan::next_batch): streams the
+    /// remainder of the current page through `f` and returns how many
+    /// records it saw (`0` only at end of file). Packed pages decode
+    /// **directly into the visitor** — columnar consumers split each record
+    /// into their own SoA columns with no intermediate record vector.
+    pub fn next_batch_each(&mut self, mut f: impl FnMut(R)) -> Result<usize, PoolError> {
         let filtering = !self.opts.filter.is_all();
-        let n0 = out.len();
+        let mut emitted = 0usize;
         loop {
             if self.cur.is_none() && !self.load_next_page()? {
                 return Ok(0);
             }
             let page = self.cur.as_ref().expect("page loaded");
-            while self.idx < self.in_page {
-                let off = HEADER + self.idx * R::SIZE;
-                let bytes = &page[off..off + R::SIZE];
-                R::validate(bytes).map_err(|reason| PoolError::Corrupt {
-                    pid: PageId::new(self.file, self.next_page - 1),
-                    reason,
-                })?;
-                let r = R::read(bytes);
-                self.idx += 1;
-                if filtering
-                    && !self
-                        .opts
-                        .filter
-                        .admits_record(r.bounds_hint(), r.height_hint())
-                {
-                    self.pending_filtered += 1;
-                    continue;
+            let pid = PageId::new(self.file, self.next_page - 1);
+            if let Some(hdr) = self.packed {
+                if self.cache_valid {
+                    // `next_record` already decoded this page: serve the
+                    // cache rather than decoding twice.
+                    for &r in &self.cache[self.idx..self.in_page] {
+                        if filtering
+                            && !self
+                                .opts
+                                .filter
+                                .admits_record(r.bounds_hint(), r.height_hint())
+                        {
+                            self.pending_filtered += 1;
+                            continue;
+                        }
+                        f(r);
+                        emitted += 1;
+                    }
+                } else {
+                    let skip = self.idx;
+                    let pending = &mut self.pending_filtered;
+                    let opts = &self.opts;
+                    let mut seen = 0usize;
+                    hdr.decode_each::<R>(&page[..], pid, |r| {
+                        seen += 1;
+                        if seen <= skip {
+                            return;
+                        }
+                        if filtering && !opts.filter.admits_record(r.bounds_hint(), r.height_hint())
+                        {
+                            *pending += 1;
+                            return;
+                        }
+                        f(r);
+                        emitted += 1;
+                    })?;
+                    self.pool.note_packed_decode();
                 }
-                out.push(r);
+                self.idx = self.in_page;
+            } else {
+                while self.idx < self.in_page {
+                    let off = HEADER + self.idx * R::SIZE;
+                    let bytes = &page[off..off + R::SIZE];
+                    R::validate(bytes).map_err(|reason| PoolError::Corrupt { pid, reason })?;
+                    let r = R::read(bytes);
+                    self.idx += 1;
+                    if filtering
+                        && !self
+                            .opts
+                            .filter
+                            .admits_record(r.bounds_hint(), r.height_hint())
+                    {
+                        self.pending_filtered += 1;
+                        continue;
+                    }
+                    f(r);
+                    emitted += 1;
+                }
             }
             self.cur = None;
             self.flush_filtered();
-            if out.len() > n0 {
-                return Ok(out.len() - n0);
+            if emitted > 0 {
+                return Ok(emitted);
             }
             // Every record of the page was filtered out: move on.
         }
@@ -579,14 +724,25 @@ impl<'a, R: FixedRecord> HeapScan<'a, R> {
         let pid = PageId::new(self.file, self.next_page);
         let page = self.pool.read_page_with(pid, self.opts)?;
         self.next_page += 1;
-        let in_page = u32::from_le_bytes(page[..HEADER].try_into().unwrap()) as usize;
-        if in_page > records_per_page::<R>() {
-            return Err(PoolError::Corrupt {
-                pid,
-                reason: "page header record count exceeds page capacity",
-            });
+        // The page header selects the layout: a verified packed header, or
+        // the raw record count (whose capacity bound only applies to the
+        // raw layout — packed pages legitimately hold more records than
+        // `PAGE_SIZE / R::SIZE`).
+        self.packed = parse_packed_header(&page[..], pid)?;
+        self.cache_valid = false;
+        match &self.packed {
+            Some(hdr) => self.in_page = hdr.n,
+            None => {
+                let in_page = u32::from_le_bytes(page[..HEADER].try_into().unwrap()) as usize;
+                if in_page > records_per_page::<R>() {
+                    return Err(PoolError::Corrupt {
+                        pid,
+                        reason: "page header record count exceeds page capacity",
+                    });
+                }
+                self.in_page = in_page;
+            }
         }
-        self.in_page = in_page;
         self.idx = self.skip_on_load;
         self.skip_on_load = 0;
         self.cur = Some(page);
@@ -1113,6 +1269,288 @@ mod tests {
         };
         assert_eq!(first.len() + rest.len(), data.len());
         assert_eq!(rest[..], data[first.len()..]);
+    }
+
+    /// A packable span: `(start, height, tag)` parts plus zone hints — the
+    /// storage-level stand-in for a PBiTree element.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct PSpan {
+        start: u64,
+        h: u32,
+        tag: u32,
+    }
+
+    impl FixedRecord for PSpan {
+        const SIZE: usize = 16;
+        const PACKABLE: bool = true;
+        fn write(&self, out: &mut [u8]) {
+            out[..8].copy_from_slice(&self.start.to_le_bytes());
+            out[8..12].copy_from_slice(&self.h.to_le_bytes());
+            out[12..16].copy_from_slice(&self.tag.to_le_bytes());
+        }
+        fn read(buf: &[u8]) -> Self {
+            PSpan {
+                start: u64::from_le_bytes(buf[..8].try_into().unwrap()),
+                h: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+                tag: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            }
+        }
+        fn bounds_hint(&self) -> Option<(u64, u64)> {
+            Some((self.start, self.start + u64::from(self.h)))
+        }
+        fn height_hint(&self) -> Option<u32> {
+            Some(self.h)
+        }
+        fn to_parts(&self) -> Option<crate::record::RecordParts> {
+            (self.h <= 63).then_some(crate::record::RecordParts {
+                start: self.start,
+                height: self.h,
+                tag: self.tag,
+            })
+        }
+        fn from_parts(p: crate::record::RecordParts) -> Result<Self, &'static str> {
+            if p.height > 63 {
+                return Err("span height out of packed range");
+            }
+            Ok(PSpan {
+                start: p.start,
+                h: p.height,
+                tag: p.tag,
+            })
+        }
+    }
+
+    fn pspans(n: u64) -> Vec<PSpan> {
+        (0..n)
+            .map(|i| PSpan {
+                start: 10 * i,
+                h: (i % 4) as u32,
+                tag: (i % 7) as u32,
+            })
+            .collect()
+    }
+
+    fn compressed() -> ScanOptions {
+        ScanOptions::default().with_compress(true)
+    }
+
+    #[test]
+    fn packed_round_trip_shrinks_file() {
+        let p = pool(4);
+        let data = pspans(10_000);
+        let raw = HeapFile::from_iter_with(
+            &p,
+            ScanOptions::default().with_compress(false),
+            data.iter().copied(),
+        )
+        .unwrap();
+        let s0 = p.pool_stats();
+        let packed = HeapFile::from_iter_with(&p, compressed(), data.iter().copied()).unwrap();
+        let ds = p.pool_stats().since(&s0);
+        assert!(
+            packed.pages() < raw.pages() / 2,
+            "packing saved too little: {} vs {} pages",
+            packed.pages(),
+            raw.pages()
+        );
+        assert_eq!(ds.pages_packed, packed.pages() as u64);
+        assert_eq!(ds.packed_pre_bytes, data.len() as u64 * PSpan::SIZE as u64);
+        assert!(ds.packed_post_bytes < ds.packed_pre_bytes / 2);
+        // Identical records back, on both layouts and read paths.
+        assert_eq!(packed.read_all(&p).unwrap(), data);
+        assert_eq!(raw.read_all(&p).unwrap(), data);
+        let ds = p.pool_stats();
+        assert!(ds.packed_decodes >= packed.pages() as u64);
+    }
+
+    #[test]
+    fn compression_off_writes_raw_pages() {
+        let p = pool(4);
+        let s0 = p.pool_stats();
+        let hf = HeapFile::from_iter_with(
+            &p,
+            ScanOptions::default().with_compress(false),
+            pspans(1000),
+        )
+        .unwrap();
+        assert_eq!(p.pool_stats().since(&s0).pages_packed, 0);
+        assert_eq!(
+            hf.pages() as usize,
+            1000usize.div_ceil(records_per_page::<PSpan>())
+        );
+    }
+
+    #[test]
+    fn packed_resume_beyond_raw_capacity() {
+        // Satellite audit: a packed page holds more records than
+        // `PAGE_SIZE / R::SIZE`, so `ScanPos` offsets past the raw capacity
+        // must stay valid on every resume path.
+        let p = pool(4);
+        let data = pspans(12_000);
+        let hf = HeapFile::from_iter_with(&p, compressed(), data.iter().copied()).unwrap();
+        let per_raw = records_per_page::<PSpan>();
+        let mut s = hf.scan(&p);
+        // Walk well past the raw per-page capacity while staying on page 0.
+        let consumed = per_raw + per_raw / 2;
+        for _ in 0..consumed {
+            s.next_record().unwrap().unwrap();
+        }
+        let pos = s.position();
+        assert_eq!(pos.page(), 0, "page 0 should outlast raw capacity");
+        assert!(pos.idx() > per_raw);
+        let mut resumed = hf.scan_at(&p, pos);
+        let rest: Vec<PSpan> = std::iter::from_fn(|| resumed.next_record().unwrap()).collect();
+        assert_eq!(rest, data[consumed..]);
+        // read_all_with under explicit options agrees with the scan.
+        assert_eq!(
+            hf.read_all_with(&p, ScanOptions::sequential(1)).unwrap(),
+            data
+        );
+    }
+
+    #[test]
+    fn packed_batch_matches_record_at_a_time() {
+        let p = pool(4);
+        let data = pspans(8_000);
+        let hf = HeapFile::from_iter_with(&p, compressed(), data.iter().copied()).unwrap();
+        for filter in [
+            ScanFilter::All,
+            ScanFilter::RegionOverlap {
+                start: 7_000,
+                end: 21_000,
+            },
+            ScanFilter::HeightRange { min: 2, max: 3 },
+        ] {
+            let opts = ScanOptions::default().with_filter(filter);
+            let expect = hf.read_all_with(&p, opts).unwrap();
+            let mut scan = hf.scan_with(&p, opts);
+            let mut got = Vec::new();
+            while scan.next_batch(&mut got).unwrap() > 0 {
+                assert_eq!(p.pinned_frames(), 0);
+            }
+            assert_eq!(got, expect, "filter {filter:?}");
+            // Visitor form sees the identical stream.
+            let mut scan = hf.scan_with(&p, opts);
+            let mut visited = Vec::new();
+            while scan.next_batch_each(|r| visited.push(r)).unwrap() > 0 {}
+            assert_eq!(visited, expect, "filter {filter:?}");
+        }
+    }
+
+    #[test]
+    fn packed_pages_keep_zone_tiling() {
+        let p = pool(4);
+        let data = pspans(20_000);
+        let hf = HeapFile::from_iter_with(&p, compressed(), data.iter().copied()).unwrap();
+        p.evict_all().unwrap();
+        let io0 = p.io_stats();
+        let s0 = p.pool_stats();
+        let filter = ScanFilter::RegionOverlap {
+            start: 100_000,
+            end: 120_000,
+        };
+        let got = hf
+            .read_all_with(&p, ScanOptions::sequential(1).with_filter(filter))
+            .unwrap();
+        let expect: Vec<PSpan> = data
+            .iter()
+            .copied()
+            .filter(|r| filter.admits_record(r.bounds_hint(), r.height_hint()))
+            .collect();
+        assert_eq!(got, expect);
+        let ds = p.pool_stats().since(&s0);
+        let dio = p.io_stats().since(&io0);
+        assert!(
+            ds.pages_skipped > 0,
+            "zone map pruned nothing on packed pages"
+        );
+        assert_eq!(dio.reads() + ds.pages_skipped, hf.pages() as u64);
+    }
+
+    #[test]
+    fn unpackable_record_falls_back_to_raw_mid_file() {
+        let p = pool(4);
+        // Heights above 63 have no packed representation; the writer must
+        // seal the packed prefix and continue raw, and the scan must read
+        // both layouts back seamlessly.
+        let mut data = pspans(2_000);
+        data[1_000].h = 64;
+        data[1_500].h = 200;
+        let s0 = p.pool_stats();
+        let hf = HeapFile::from_iter_with(&p, compressed(), data.iter().copied()).unwrap();
+        let ds = p.pool_stats().since(&s0);
+        assert!(ds.pages_packed >= 1, "prefix should have packed");
+        assert!(
+            (ds.pages_packed as u32) < hf.pages(),
+            "fallback pages should be raw"
+        );
+        assert_eq!(hf.read_all(&p).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_packed_page_surfaces_as_error() {
+        let p = pool(4);
+        let data = pspans(5_000);
+        let hf = HeapFile::from_iter_with(&p, compressed(), data.iter().copied()).unwrap();
+        assert!(hf.pages() >= 3);
+        let pid = PageId::new(hf.file_id(), 1);
+        {
+            let mut page = p.write_page(pid).unwrap();
+            // Torn write: the tail of the page never hit the disk.
+            page[PAGE_SIZE / 2..].fill(0);
+        }
+        let mut s = hf.scan(&p);
+        let err = loop {
+            match s.next_record() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("packed corruption not detected"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.failing_page(), Some(pid));
+        assert!(matches!(err, PoolError::Corrupt { .. }));
+        // The batched path refuses it identically.
+        let mut s = hf.scan(&p);
+        let mut sink = Vec::new();
+        let err = loop {
+            match s.next_batch(&mut sink) {
+                Ok(0) => panic!("packed corruption not detected by batch"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.failing_page(), Some(pid));
+    }
+
+    #[test]
+    fn packed_page_in_unpackable_file_is_corrupt() {
+        // A packed header appearing in a file of records that cannot decode
+        // parts (e.g. plain u64) is corruption, never garbage records.
+        let p = pool(4);
+        let hf = HeapFile::from_iter(&p, 0..2000u64).unwrap();
+        let pid = PageId::new(hf.file_id(), 0);
+        {
+            // Graft a structurally valid packed page of one record onto the
+            // u64 file.
+            let mut b = crate::codec::PackedPageBuilder::default();
+            b.push(crate::record::RecordParts {
+                start: 42,
+                height: 3,
+                tag: 9,
+            });
+            let mut img = [0u8; PAGE_SIZE];
+            b.seal_into(&mut img);
+            let mut page = p.write_page(pid).unwrap();
+            page.copy_from_slice(&img);
+        }
+        let err = hf.scan(&p).next_record().unwrap_err();
+        assert_eq!(
+            err,
+            PoolError::Corrupt {
+                pid,
+                reason: "packed page in a file of non-packable records"
+            }
+        );
     }
 
     #[test]

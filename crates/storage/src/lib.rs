@@ -30,6 +30,7 @@
 
 pub mod access;
 pub mod buffer;
+pub mod codec;
 pub mod disk;
 pub mod fault;
 pub mod heap;
@@ -42,11 +43,12 @@ pub mod zone;
 
 pub use access::{AccessPattern, ScanOptions, DEFAULT_IO_DEPTH};
 pub use buffer::{BufferPool, PageMut, PageRef, PoolError, PoolStats, StatsSnapshot, SHARD_COUNT};
+pub use codec::{PACKED_FLAG, PACKED_HEADER};
 pub use disk::{BatchError, Disk, DiskBackend, FileBackend, IoError, IoErrorKind, MemBackend};
 pub use fault::{FaultBackend, FaultConfig, FaultHandle};
 pub use heap::{records_per_page, HeapFile, HeapScan, HeapWriter, ScanPos};
 pub use page::{FileId, PageBuf, PageId, PAGE_SIZE};
-pub use record::FixedRecord;
+pub use record::{FixedRecord, RecordParts};
 pub use sort::{external_sort, external_sort_with};
 pub use stats::{CostModel, IoStats};
 pub use zone::{FileZones, ScanFilter, ZoneEntry};

@@ -5,6 +5,21 @@
 //! packed and external sort runs directly comparable to the paper's
 //! page-count cost formulas.
 
+/// The `(start, height, tag)` decomposition of a packable record — the
+/// three quantities the packed page codec ([`crate::codec`]) stores. For a
+/// PBiTree element these determine the record completely: the region end is
+/// `start + 2^(height+1) - 2` (Lemma 3), so it is never materialized on
+/// disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordParts {
+    /// Sort-dominant key component (a PBiTree element's region start).
+    pub start: u64,
+    /// Height component; must fit 6 bits (`<= 63`).
+    pub height: u32,
+    /// Payload carried verbatim (an element's tag id).
+    pub tag: u32,
+}
+
 /// A record with a fixed serialized size.
 ///
 /// Implementations must write exactly [`SIZE`](FixedRecord::SIZE) bytes and
@@ -14,6 +29,12 @@ pub trait FixedRecord: Copy {
     /// Serialized size in bytes. Must be `>= 1` and no larger than a page
     /// payload.
     const SIZE: usize;
+
+    /// Whether heap writers may pack pages of this type with the
+    /// delta/varint codec ([`crate::codec`]) when compression is enabled.
+    /// Types opting in must implement [`to_parts`](FixedRecord::to_parts)
+    /// and [`from_parts`](FixedRecord::from_parts) as exact inverses.
+    const PACKABLE: bool = false;
 
     /// Serializes into `out`, which is exactly `SIZE` bytes.
     fn write(&self, out: &mut [u8]);
@@ -49,6 +70,26 @@ pub trait FixedRecord: Copy {
     #[inline]
     fn validate(_buf: &[u8]) -> Result<(), &'static str> {
         Ok(())
+    }
+
+    /// Decomposes this record for the packed page codec. `None` (the
+    /// default, and any record a packable type cannot represent as parts)
+    /// makes the writer seal the current packed page and fall back to the
+    /// raw layout.
+    #[inline]
+    fn to_parts(&self) -> Option<RecordParts> {
+        None
+    }
+
+    /// Reassembles a record from codec parts, validating as
+    /// [`validate`](FixedRecord::validate) would — an `Err` makes the scan
+    /// surface the page as [`crate::buffer::PoolError::Corrupt`]. The
+    /// default (for non-packable types) rejects everything, so a packed
+    /// page appearing in a file of non-packable records is itself
+    /// corruption.
+    #[inline]
+    fn from_parts(_p: RecordParts) -> Result<Self, &'static str> {
+        Err("packed page in a file of non-packable records")
     }
 }
 

@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
-# Records a perf snapshot for the repo's trajectory: runs the ablation
-# pruning panel (simulated disk time + page reads per operator, zone-map
-# pushdown off vs on) and converts the TSV into BENCH_05.json.
+# Records perf snapshots for the repo's trajectory:
 #
-#   scripts/bench_snapshot.sh [output.json]
+#   BENCH_05.json — ablation pruning panel (simulated disk time + page
+#                   reads per operator, zone-map pushdown off vs on);
+#   BENCH_06.json — compressed-page panel (page reads + packed byte
+#                   footprint per operator, packed layout off vs on).
+#
+#   scripts/bench_snapshot.sh [prune.json [compress.json]]
 #
 # BENCH_SCALE scales the skewed workload (default 0.5 ≈ 3k ancestors /
 # 20k descendants). The JSON is plain `awk` output — no jq/python needed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_05.json}
-DIR=$(mktemp -d /tmp/bench05.XXXXXX)
+OUT_PRUNE=${1:-BENCH_05.json}
+OUT_COMPRESS=${2:-BENCH_06.json}
+DIR=$(mktemp -d /tmp/bench.XXXXXX)
 trap 'rm -rf "$DIR"' EXIT
 
 cargo run --release -q -p pbitree-bench --bin ablation -- --study prune \
+    --scale "${BENCH_SCALE:-0.5}" --results "$DIR"
+cargo run --release -q -p pbitree-bench --bin ablation -- --study compress \
     --scale "${BENCH_SCALE:-0.5}" --results "$DIR"
 
 awk -F'\t' -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
@@ -32,6 +38,25 @@ END {
     for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
     printf "  ]\n}\n"
 }
-' "$DIR/ablation_prune.tsv" > "$OUT"
+' "$DIR/ablation_prune.tsv" > "$OUT_PRUNE"
 
-echo "wrote $OUT ($(wc -l < "$OUT") lines)"
+echo "wrote $OUT_PRUNE ($(wc -l < "$OUT_PRUNE") lines)"
+
+awk -F'\t' -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+NR <= 2 { next }  # "# title" line and the column header
+{
+    rows[++n] = sprintf("    {\"algo\": \"%s\", \"threads\": %s, \"compress\": %s, \"pairs\": %s, \"page_reads\": %s, \"pages_packed\": %s, \"packed_pre_bytes\": %s, \"packed_post_bytes\": %s, \"packed_decodes\": %s, \"sim_disk_s\": %s, \"elapsed_s\": %s}",
+                        $1, $2, $3, $4, $5, $6, $7, $8, $9, $10, $11)
+}
+END {
+    printf "{\n"
+    printf "  \"snapshot\": \"BENCH_06\",\n"
+    printf "  \"panel\": \"ablation_compress\",\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"rows\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$DIR/ablation_compress.tsv" > "$OUT_COMPRESS"
+
+echo "wrote $OUT_COMPRESS ($(wc -l < "$OUT_COMPRESS") lines)"

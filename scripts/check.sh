@@ -18,6 +18,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "== cargo test (workspace)"
 cargo test --workspace -q
 
+echo "== cargo test (workspace, compressed pages default-on)"
+PBITREE_COMPRESS=1 cargo test --workspace -q
+
 echo "== fault sweep (pinned seed 42 + one randomized seed)"
 cargo test -q --test fault_sweep -- --nocapture
 RAND_SEED=$((RANDOM * 32768 + RANDOM))
@@ -42,6 +45,13 @@ echo "== zone-map pruning ablation smoke (identical pairs, strictly fewer reads)
 # threads 1 and 4.
 cargo run --release -q -p pbitree-bench --bin ablation -- --study prune --fast \
     --results /tmp/ab_prune
+
+echo "== compressed-page ablation smoke (identical pairs, fewer reads, smaller bytes)"
+# The panel asserts (in-binary) that packed pair counts match the raw
+# baseline while MHCJ/MHCJ+Rollup/VPJ read strictly fewer pages and the
+# packed byte footprint shrinks, at threads 1 and 4, with pruning on.
+cargo run --release -q -p pbitree-bench --bin ablation -- --study compress --fast \
+    --results /tmp/ab_compress
 
 echo "== trace smoke (--trace writes schema-v1 JSONL)"
 TRACE=$(mktemp /tmp/pbitree-trace-XXXX.jsonl)
