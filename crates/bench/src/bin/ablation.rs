@@ -12,7 +12,9 @@
 //! * `prune`   — zone-map scan pushdown off vs on: identical pairs,
 //!   strictly fewer page reads for the partition joins;
 //! * `compress` — packed element pages off vs on (prune on in both):
-//!   identical pairs, strictly fewer page reads, smaller on-disk bytes.
+//!   identical pairs, strictly fewer page reads, smaller on-disk bytes;
+//! * `wal`     — durable insert throughput through the write-ahead log,
+//!   base file packed off vs on, with a crash-shaped recovery check.
 //!
 //! ```text
 //! cargo run -p pbitree-bench --release --bin ablation -- --study rollup
@@ -25,7 +27,7 @@ use pbitree_bench::workloads::{synthetic_by_name, synthetic_multi};
 use pbitree_joins::element::element_file;
 use pbitree_joins::rollup::RollupOptions;
 use pbitree_joins::{CountSink, JoinCtx};
-use pbitree_storage::{BufferPool, Disk, MemBackend};
+use pbitree_storage::{BufferPool, Disk, MemBackend, SharedBackend, Wal};
 
 fn make_ctx(w: &pbitree_bench::Workload, args: &CommonArgs) -> JoinCtx {
     let mut ctx = JoinCtx::new(
@@ -463,6 +465,92 @@ fn compress_study(args: &CommonArgs) {
     t.emit(&args.results_dir, "ablation_compress");
 }
 
+fn wal_study(args: &CommonArgs) {
+    let mut t = Table::new(
+        "Ablation: durable insert throughput (WAL'd path, base packed off vs on)",
+        &[
+            "compress",
+            "base",
+            "inserts",
+            "elapsed(s)",
+            "inserts_per_s",
+            "wal_frames",
+            "wal_commits",
+            "log_page_writes",
+            "gate_flushes",
+            "recovered_ops",
+        ],
+    );
+    let base_n = ((20_000.0 * args.scale) as usize).max(500);
+    let inserts = ((4_000.0 * args.scale) as usize).max(200);
+    let h = 24u32;
+    for compress in [false, true] {
+        let backend = SharedBackend::new(MemBackend::new());
+        let pool = BufferPool::new(
+            Disk::new(
+                Box::new(backend.clone()),
+                pbitree_storage::CostModel::default(),
+            ),
+            args.buffer,
+        );
+        let opts = io_options(args.readahead).with_compress(compress);
+        // Deterministic base codes in document order (packs well).
+        let mut rng = pbitree_storage::util::rng::Rng::seed_from_u64(42);
+        let mut base = std::collections::BTreeSet::new();
+        while base.len() < base_n {
+            base.insert(rng.gen_range(1u64..(1 << h)));
+        }
+        let mut heap = pbitree_storage::HeapFile::from_iter_with(
+            &pool,
+            opts,
+            base.iter().map(|&c| pbitree_joins::Element::new(c, 0)),
+        )
+        .unwrap();
+        pool.flush_all().unwrap();
+        let wal = Wal::create(&pool);
+        let start = std::time::Instant::now();
+        for i in 0..inserts {
+            let c = 1 + rng.gen_range(0u64..(1 << h) - 1);
+            heap.insert_logged(&pool, &wal, pbitree_joins::Element::new(c, i as u32))
+                .unwrap();
+        }
+        wal.flush(&pool).unwrap();
+        let elapsed = start.elapsed().as_secs_f64();
+        let ws = wal.stats();
+        let expect = heap.records();
+        let wal_file = wal.file();
+        let heap_file = heap.file_id();
+        // Crash-shaped restart: recovery at bench scale must reproduce
+        // every committed insert.
+        drop((heap, wal, pool));
+        let pool = BufferPool::new(
+            Disk::new(Box::new(backend), pbitree_storage::CostModel::default()),
+            args.buffer,
+        );
+        let (_wal, report) = pbitree_storage::recover(&pool, wal_file).unwrap();
+        let reopened =
+            pbitree_storage::HeapFile::<pbitree_joins::Element>::open(&pool, heap_file).unwrap();
+        assert_eq!(
+            reopened.records(),
+            expect,
+            "compress {compress}: recovery lost inserts"
+        );
+        t.row(vec![
+            compress.to_string(),
+            base_n.to_string(),
+            inserts.to_string(),
+            fmt_secs(elapsed),
+            format!("{:.0}", inserts as f64 / elapsed.max(1e-9)),
+            ws.frames.to_string(),
+            ws.commits.to_string(),
+            ws.page_writes.to_string(),
+            ws.gate_flushes.to_string(),
+            report.ops_applied.to_string(),
+        ]);
+    }
+    t.emit(&args.results_dir, "ablation_wal");
+}
+
 fn main() {
     let args = CommonArgs::parse("--study");
     pbitree_bench::harness::init_trace(&args.trace);
@@ -486,6 +574,9 @@ fn main() {
     }
     if args.selected("compress") {
         compress_study(&args);
+    }
+    if args.selected("wal") {
+        wal_study(&args);
     }
     pbitree_bench::harness::finish_trace(&args.trace);
 }

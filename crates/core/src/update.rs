@@ -247,6 +247,64 @@ mod tests {
     }
 
     #[test]
+    fn sibling_insert_falls_back_when_the_row_is_exhausted() {
+        // Parent at height 3 (code 8, region [1, 15]); its height-0 row
+        // inside the subtree is {1, 3, 5, 7, 9, 11, 13, 15}.
+        let shape = PBiTreeShape::new(8).unwrap();
+        let parent = Code::new(8).unwrap();
+        let node = Code::new(13).unwrap();
+        // Occupy everything right of `node` in its row.
+        let mut alloc = CodeAllocator::from_codes(shape, [parent, node, Code::new(15).unwrap()]);
+        let got = alloc.insert_sibling_after(parent, node).unwrap();
+        // The row right of 13 is full, so the fallback allocates a free
+        // slot elsewhere under the parent — shallowest level first.
+        assert_ne!(got.get(), 15);
+        assert!(parent.is_ancestor_of(got));
+        assert_eq!(got.height(), 2, "shallowest free level under height 3");
+    }
+
+    #[test]
+    fn insertion_at_h63_allocates_under_the_full_tree_root() {
+        // The tallest supported tree: H = 63, root code 2^62 at height
+        // 62, code space [1, 2^63 - 1]. Slot arithmetic must not
+        // overflow near the top of the code space.
+        let shape = PBiTreeShape::new(63).unwrap();
+        let root = shape.root();
+        assert_eq!(root.get(), 1u64 << 62);
+        let mut alloc = CodeAllocator::from_codes(shape, []);
+        let a = alloc.insert_child(root).unwrap();
+        assert_eq!(a.height(), 61, "shallowest level under the root");
+        assert!(root.is_ancestor_of(a));
+        let b = alloc.insert_sibling_after(root, a).unwrap();
+        assert_eq!(b.height(), 61);
+        assert!(b.get() > a.get() && root.is_ancestor_of(b));
+        // Both height-61 slots are taken now: the next child drops a
+        // level. Regions stay inside the root's.
+        let c = alloc.insert_child(root).unwrap();
+        assert_eq!(c.height(), 60);
+        let (lo, hi) = root.region();
+        assert_eq!((lo, hi), (1, (1u64 << 63) - 1));
+        let (clo, chi) = c.region();
+        assert!(lo <= clo && chi <= hi);
+    }
+
+    #[test]
+    fn delete_then_reinsert_reuses_the_freed_code() {
+        let (mut alloc, parent) = setup();
+        let first = alloc.insert_child(parent).unwrap();
+        assert!(alloc.remove(first));
+        assert!(!alloc.contains(first), "slot is free again");
+        // Allocation scans shallowest-first, left-to-right: with the
+        // state restored, the freed slot is chosen again — codes are
+        // reused, not burned (no code-space leak under churn).
+        let again = alloc.insert_child(parent).unwrap();
+        assert_eq!(again, first);
+        // And double-remove reports absence.
+        assert!(alloc.remove(first));
+        assert!(!alloc.remove(first));
+    }
+
+    #[test]
     fn existing_containments_never_change() {
         // The durability property: inserts never move existing codes, so
         // all previously computed joins remain valid.

@@ -18,13 +18,23 @@
 
 use std::marker::PhantomData;
 
-use pbitree_storage::{BufferPool, FileId, FixedRecord, PageId, PoolError, ScanOptions, PAGE_SIZE};
+use pbitree_storage::{
+    BufferPool, FileId, FixedRecord, PageBuf, PageId, PoolError, ScanOptions, Wal, WalOp, PAGE_SIZE,
+};
 
 const HDR: usize = 8;
 const KIND_LEAF: u8 = 0;
 const KIND_INTERNAL: u8 = 1;
 /// "No page" sentinel for leaf chaining.
 const NIL: u32 = u32::MAX;
+
+/// Page number of a logged tree's metadata page (root / height / len —
+/// the handle state that must survive a crash).
+const META_PAGE: u32 = 0;
+/// Magic dword opening a logged tree's metadata page.
+const META_MAGIC: u32 = 0x5042_5431; // "PBT1"
+/// Bytes of meta payload covered by the trailing checksum.
+const META_LEN: usize = 24;
 
 /// Max entries in a leaf page.
 pub const fn leaf_capacity<K: FixedRecord, V: FixedRecord>() -> usize {
@@ -554,6 +564,360 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
         write_leaf(pool, self.file, rpno, next, &right_entries)?;
         Ok(Some((right_entries[0].0, rpno)))
     }
+
+    // ----- durable (write-ahead-logged) trees --------------------------
+    //
+    // A *logged* tree reserves page 0 of its file for a metadata record
+    // (root, height, len) and routes every structural change — leaf and
+    // internal page rewrites, splits, root growth, the meta update —
+    // through one atomic [`WalOp`]. After a crash, [`recover`] replays
+    // the committed operations and [`open_logged`] reconstructs the
+    // handle from the meta page; un-committed operations never happened.
+    // Logged trees are built empty and grown by `insert_logged`; bulk
+    // loading stays on the unlogged fast path (rebuild on failure).
+    //
+    // [`recover`]: pbitree_storage::wal::recover
+
+    /// Creates an empty *logged* tree: meta page plus an empty root leaf,
+    /// committed as one operation through `wal`.
+    pub fn new_logged(pool: &BufferPool, wal: &Wal) -> Result<Self, PoolError> {
+        let file = pool.create_file();
+        let mut op = WalOp::new();
+        let meta = pool.allocate_page(file)?;
+        debug_assert_eq!(meta, META_PAGE, "meta page claims page 0");
+        op.alloc(PageId::new(file, meta));
+        let root = pool.allocate_page(file)?;
+        op.alloc(PageId::new(file, root));
+        let mut img: Box<PageBuf> = Box::new([0u8; PAGE_SIZE]);
+        init_leaf(&mut img[..]);
+        op.page_write(PageId::new(file, root), 0, &img[..HDR]);
+        op.page_write(
+            PageId::new(file, META_PAGE),
+            0,
+            &meta_record::<K, V>(root, 1, 0),
+        );
+        wal.commit(pool, op)?;
+        Ok(BPlusTree {
+            file,
+            root,
+            height: 1,
+            len: 0,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Reconstructs the handle of a logged tree from its meta page — the
+    /// post-crash path, after [`pbitree_storage::wal::recover`] has
+    /// replayed the file's pages.
+    pub fn open_logged(pool: &BufferPool, file: FileId) -> Result<Self, PoolError> {
+        let pid = PageId::new(file, META_PAGE);
+        let page = pool.read_page(pid)?;
+        let corrupt = |reason: &'static str| PoolError::Corrupt { pid, reason };
+        if get_u32(&page[..], 0) != META_MAGIC {
+            return Err(corrupt("logged-tree meta page magic mismatch"));
+        }
+        if get_u32(&page[..], META_LEN) != fnv32(&page[..META_LEN]) {
+            return Err(corrupt("logged-tree meta page checksum mismatch"));
+        }
+        if get_u16(&page[..], 20) as usize != K::SIZE || get_u16(&page[..], 22) as usize != V::SIZE
+        {
+            return Err(corrupt("logged-tree meta key/value sizes mismatch"));
+        }
+        let root = get_u32(&page[..], 4);
+        if root >= pool.num_pages(file) {
+            return Err(corrupt("logged-tree meta root beyond file"));
+        }
+        Ok(BPlusTree {
+            file,
+            root,
+            height: get_u32(&page[..], 8),
+            len: u64::from_le_bytes(page[12..20].try_into().unwrap()),
+            _marker: PhantomData,
+        })
+    }
+
+    /// [`insert`](Self::insert) through the write-ahead log: every page
+    /// the insert rewrites (leaf, split siblings, ancestors, a grown
+    /// root) plus the meta page commits as one atomic [`WalOp`]. On an
+    /// I/O error the tree must be considered failed and recovered before
+    /// further use.
+    pub fn insert_logged(
+        &mut self,
+        pool: &BufferPool,
+        wal: &Wal,
+        key: K,
+        value: V,
+    ) -> Result<(), PoolError> {
+        let mut op = WalOp::new();
+        let mut root = self.root;
+        let mut height = self.height;
+        if let Some((sep, right)) =
+            self.insert_rec_logged(pool, wal, &mut op, self.root, &key, &value)?
+        {
+            let pno = alloc_tree_page(pool, wal, &mut op, self.file)?;
+            let entries = [(sep, right)];
+            log_internal(&mut op, PageId::new(self.file, pno), self.root, &entries);
+            root = pno;
+            height += 1;
+        }
+        op.page_write(
+            PageId::new(self.file, META_PAGE),
+            0,
+            &meta_record::<K, V>(root, height, self.len + 1),
+        );
+        wal.commit(pool, op)?;
+        self.root = root;
+        self.height = height;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Deletes the **first** entry with the given key, through the
+    /// write-ahead log. Deletion is leaf-level only: an emptied leaf
+    /// stays chained (and is revisited by inserts that land on it), no
+    /// rebalancing or merging occurs — the PBiTree workload deletes are
+    /// sparse ejections from a code index, not bulk retractions.
+    /// Returns whether an entry was removed.
+    pub fn delete_logged(
+        &mut self,
+        pool: &BufferPool,
+        wal: &Wal,
+        key: &K,
+    ) -> Result<bool, PoolError> {
+        let esz = K::SIZE + V::SIZE;
+        let mut pno = self.find_leaf(pool, key)?;
+        loop {
+            let mut entries: Vec<(K, V)> = Vec::new();
+            let next;
+            {
+                let page = pool.read_page(PageId::new(self.file, pno))?;
+                let count = get_u16(&page[..], 2) as usize;
+                next = get_u32(&page[..], 4);
+                for i in 0..count {
+                    let off = HDR + i * esz;
+                    entries.push((
+                        K::read(&page[off..off + K::SIZE]),
+                        V::read(&page[off + K::SIZE..off + esz]),
+                    ));
+                }
+            }
+            if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+                entries.remove(pos);
+                let mut op = WalOp::new();
+                log_leaf(&mut op, PageId::new(self.file, pno), next, &entries);
+                op.page_write(
+                    PageId::new(self.file, META_PAGE),
+                    0,
+                    &meta_record::<K, V>(self.root, self.height, self.len - 1),
+                );
+                wal.commit(pool, op)?;
+                self.len -= 1;
+                return Ok(true);
+            }
+            // Duplicates of a key can spill into following leaves; stop
+            // once a larger key (or the end of the chain) proves absence.
+            if entries.iter().any(|(k, _)| k > key) || next == NIL {
+                return Ok(false);
+            }
+            pno = next;
+        }
+    }
+
+    fn insert_rec_logged(
+        &self,
+        pool: &BufferPool,
+        wal: &Wal,
+        op: &mut WalOp,
+        pno: u32,
+        key: &K,
+        value: &V,
+    ) -> Result<Option<(K, u32)>, PoolError> {
+        let kind = {
+            let page = pool.read_page(PageId::new(self.file, pno))?;
+            page[0]
+        };
+        if kind == KIND_LEAF {
+            return self.insert_into_leaf_logged(pool, wal, op, pno, key, value);
+        }
+        let (child, branch) = {
+            let page = pool.read_page(PageId::new(self.file, pno))?;
+            let count = get_u16(&page[..], 2) as usize;
+            let mut lo = 0usize;
+            let mut hi = count;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let off = HDR + mid * (K::SIZE + 4);
+                let k = K::read(&page[off..off + K::SIZE]);
+                if k < *key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let child = if lo == 0 {
+                get_u32(&page[..], 4)
+            } else {
+                let off = HDR + (lo - 1) * (K::SIZE + 4);
+                get_u32(&page[..], off + K::SIZE)
+            };
+            (child, lo)
+        };
+        let Some((sep, right)) = self.insert_rec_logged(pool, wal, op, child, key, value)? else {
+            return Ok(None);
+        };
+        // Absorb the child split, mirroring `insert_into_internal` with
+        // logged writes.
+        let icap = internal_capacity::<K>();
+        let esz = K::SIZE + 4;
+        let mut entries: Vec<(K, u32)> = Vec::with_capacity(icap + 1);
+        let child0;
+        {
+            let page = pool.read_page(PageId::new(self.file, pno))?;
+            let count = get_u16(&page[..], 2) as usize;
+            child0 = get_u32(&page[..], 4);
+            for i in 0..count {
+                let off = HDR + i * esz;
+                entries.push((
+                    K::read(&page[off..off + K::SIZE]),
+                    get_u32(&page[..], off + K::SIZE),
+                ));
+            }
+        }
+        entries.insert(branch, (sep, right));
+        if entries.len() <= icap {
+            log_internal(op, PageId::new(self.file, pno), child0, &entries);
+            return Ok(None);
+        }
+        let mid = entries.len() / 2;
+        let (up_key, up_child) = entries[mid];
+        let right_entries: Vec<(K, u32)> = entries[mid + 1..].to_vec();
+        entries.truncate(mid);
+        log_internal(op, PageId::new(self.file, pno), child0, &entries);
+        let rpno = alloc_tree_page(pool, wal, op, self.file)?;
+        log_internal(op, PageId::new(self.file, rpno), up_child, &right_entries);
+        Ok(Some((up_key, rpno)))
+    }
+
+    fn insert_into_leaf_logged(
+        &self,
+        pool: &BufferPool,
+        wal: &Wal,
+        op: &mut WalOp,
+        pno: u32,
+        key: &K,
+        value: &V,
+    ) -> Result<Option<(K, u32)>, PoolError> {
+        let lcap = leaf_capacity::<K, V>();
+        let esz = K::SIZE + V::SIZE;
+        let mut entries: Vec<(K, V)> = Vec::with_capacity(lcap + 1);
+        let next;
+        {
+            let page = pool.read_page(PageId::new(self.file, pno))?;
+            let count = get_u16(&page[..], 2) as usize;
+            next = get_u32(&page[..], 4);
+            for i in 0..count {
+                let off = HDR + i * esz;
+                entries.push((
+                    K::read(&page[off..off + K::SIZE]),
+                    V::read(&page[off + K::SIZE..off + esz]),
+                ));
+            }
+        }
+        let pos = entries.partition_point(|(k, _)| k <= key);
+        entries.insert(pos, (*key, *value));
+        if entries.len() <= lcap {
+            log_leaf(op, PageId::new(self.file, pno), next, &entries);
+            return Ok(None);
+        }
+        let mid = entries.len() / 2;
+        let right_entries: Vec<(K, V)> = entries[mid..].to_vec();
+        entries.truncate(mid);
+        let rpno = alloc_tree_page(pool, wal, op, self.file)?;
+        log_leaf(op, PageId::new(self.file, pno), rpno, &entries);
+        log_leaf(op, PageId::new(self.file, rpno), next, &right_entries);
+        Ok(Some((right_entries[0].0, rpno)))
+    }
+}
+
+/// FNV-1a folded to 32 bits, for the logged tree's meta record.
+fn fnv32(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// The meta page's payload: magic, root, height, len, key/value sizes,
+/// checksum — everything [`BPlusTree::open_logged`] needs.
+fn meta_record<K: FixedRecord, V: FixedRecord>(root: u32, height: u32, len: u64) -> [u8; 28] {
+    let mut b = [0u8; 28];
+    b[0..4].copy_from_slice(&META_MAGIC.to_le_bytes());
+    b[4..8].copy_from_slice(&root.to_le_bytes());
+    b[8..12].copy_from_slice(&height.to_le_bytes());
+    b[12..20].copy_from_slice(&len.to_le_bytes());
+    b[20..22].copy_from_slice(&(K::SIZE as u16).to_le_bytes());
+    b[22..24].copy_from_slice(&(V::SIZE as u16).to_le_bytes());
+    let sum = fnv32(&b[..META_LEN]);
+    b[24..28].copy_from_slice(&sum.to_le_bytes());
+    b
+}
+
+/// Takes a page for a growing logged tree: the file's free list first
+/// (logged `alloc` reclaims it on replay), a fresh page otherwise.
+fn alloc_tree_page(
+    pool: &BufferPool,
+    wal: &Wal,
+    op: &mut WalOp,
+    file: FileId,
+) -> Result<u32, PoolError> {
+    let pg = match wal.acquire_free_page(file) {
+        Some(pg) => pg,
+        None => pool.allocate_page(file)?,
+    };
+    op.alloc(PageId::new(file, pg));
+    Ok(pg)
+}
+
+/// Logs a full leaf rewrite: only the occupied prefix is logged (the
+/// entry count in the header bounds every read, so trailing stale bytes
+/// are unreachable).
+fn log_leaf<K: FixedRecord, V: FixedRecord>(
+    op: &mut WalOp,
+    pid: PageId,
+    next: u32,
+    entries: &[(K, V)],
+) {
+    let esz = K::SIZE + V::SIZE;
+    let used = HDR + entries.len() * esz;
+    let mut img: Box<PageBuf> = Box::new([0u8; PAGE_SIZE]);
+    img[0] = KIND_LEAF;
+    put_u16(&mut img[..], 2, entries.len() as u16);
+    put_u32(&mut img[..], 4, next);
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let off = HDR + i * esz;
+        k.write(&mut img[off..off + K::SIZE]);
+        v.write(&mut img[off + K::SIZE..off + esz]);
+    }
+    op.page_write(pid, 0, &img[..used]);
+}
+
+/// Logs a full internal-node rewrite (occupied prefix only, as
+/// [`log_leaf`]).
+fn log_internal<K: FixedRecord>(op: &mut WalOp, pid: PageId, child0: u32, entries: &[(K, u32)]) {
+    let esz = K::SIZE + 4;
+    let used = HDR + entries.len() * esz;
+    let mut img: Box<PageBuf> = Box::new([0u8; PAGE_SIZE]);
+    img[0] = KIND_INTERNAL;
+    put_u16(&mut img[..], 2, entries.len() as u16);
+    put_u32(&mut img[..], 4, child0);
+    for (i, (k, child)) in entries.iter().enumerate() {
+        let off = HDR + i * esz;
+        k.write(&mut img[off..off + K::SIZE]);
+        put_u32(&mut img[..], off + K::SIZE, *child);
+    }
+    op.page_write(pid, 0, &img[..used]);
 }
 
 fn init_leaf(page: &mut [u8]) {
@@ -786,5 +1150,119 @@ mod tests {
         let t = BPlusTree::bulk_load(&p, (0u64..3000).map(|i| ((i as u128) << 8, i))).unwrap();
         assert_eq!(t.get(&p, &(1500u128 << 8)).unwrap(), Some(1500));
         assert_eq!(t.get(&p, &1).unwrap(), None);
+    }
+
+    #[test]
+    fn logged_inserts_match_btreemap_model_across_splits() {
+        let p = pool(64);
+        let wal = Wal::create(&p);
+        let mut t = BPlusTree::<u64, u64>::new_logged(&p, &wal).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        let mut x = 0x1234_5678u64;
+        for i in 0..8_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = x % 20_000;
+            t.insert_logged(&p, &wal, k, i).unwrap();
+            model.entry(k).or_insert(i);
+        }
+        assert_eq!(t.len(), 8_000);
+        assert!(t.height() >= 2, "splits must have grown the tree");
+        for k in (0..20_000).step_by(83) {
+            assert_eq!(t.get(&p, &k).unwrap(), model.get(&k).copied(), "key {k}");
+        }
+        let all: Vec<u64> = t.iter(&p).unwrap().map(|(k, _)| k).collect();
+        assert!(all.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(all.len(), 8_000);
+    }
+
+    #[test]
+    fn logged_tree_reopens_from_meta_page() {
+        let p = pool(32);
+        let wal = Wal::create(&p);
+        let mut t = BPlusTree::<u64, u64>::new_logged(&p, &wal).unwrap();
+        for i in 0..3_000u64 {
+            t.insert_logged(&p, &wal, i * 7 % 4096, i).unwrap();
+        }
+        let reopened = BPlusTree::<u64, u64>::open_logged(&p, t.file_id()).unwrap();
+        assert_eq!(reopened.len(), t.len());
+        assert_eq!(reopened.height(), t.height());
+        let a: Vec<(u64, u64)> = t.iter(&p).unwrap().collect();
+        let b: Vec<(u64, u64)> = reopened.iter(&p).unwrap().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn open_logged_rejects_wrong_record_sizes_and_garbage() {
+        let p = pool(8);
+        let wal = Wal::create(&p);
+        let t = BPlusTree::<u64, u64>::new_logged(&p, &wal).unwrap();
+        // Value type of a different width must be refused.
+        assert!(BPlusTree::<u64, u32>::open_logged(&p, t.file_id()).is_err());
+        // A file that never held a logged tree must be refused.
+        let plain = BPlusTree::<u64, u64>::new(&p).unwrap();
+        assert!(BPlusTree::<u64, u64>::open_logged(&p, plain.file_id()).is_err());
+    }
+
+    #[test]
+    fn logged_delete_removes_one_instance_and_walks_duplicate_chains() {
+        let p = pool(32);
+        let wal = Wal::create(&p);
+        let mut t = BPlusTree::<u64, u64>::new_logged(&p, &wal).unwrap();
+        // Enough duplicates of one key to spill over several leaves.
+        for i in 0..900u64 {
+            t.insert_logged(&p, &wal, 42, i).unwrap();
+        }
+        for i in 0..100u64 {
+            t.insert_logged(&p, &wal, 1000 + i, i).unwrap();
+        }
+        assert_eq!(t.len(), 1000);
+        for expect_left in (0..900).rev() {
+            assert!(t.delete_logged(&p, &wal, &42).unwrap());
+            let left = t
+                .range_from(&p, &42)
+                .unwrap()
+                .take_while(|(k, _)| *k == 42)
+                .count();
+            if expect_left % 123 == 0 {
+                assert_eq!(left, expect_left);
+            }
+        }
+        assert!(!t.delete_logged(&p, &wal, &42).unwrap());
+        assert!(!t.delete_logged(&p, &wal, &999).unwrap());
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(&p, &1050).unwrap(), Some(50));
+    }
+
+    #[test]
+    fn logged_tree_survives_crash_recovery() {
+        use pbitree_storage::{recover, CostModel, MemBackend, SharedBackend};
+        let backend = SharedBackend::new(MemBackend::default());
+        let p = BufferPool::new(Disk::new(Box::new(backend.clone()), CostModel::free()), 32);
+        let wal = Wal::create(&p);
+        let wal_file = wal.file();
+        let mut t = BPlusTree::<u64, u64>::new_logged(&p, &wal).unwrap();
+        for i in 0..2_500u64 {
+            t.insert_logged(&p, &wal, i.rotate_left(17) % 10_000, i)
+                .unwrap();
+        }
+        for k in (0..10_000u64).step_by(5) {
+            let _ = t.delete_logged(&p, &wal, &k).unwrap();
+        }
+        let expect: Vec<(u64, u64)> = t.iter(&p).unwrap().collect();
+        let file = t.file_id();
+        wal.flush(&p).unwrap();
+        // "Crash": drop the pool without flushing data pages; only the
+        // durable log (and whatever the gate forced out) survives.
+        let _ = t;
+        drop(wal);
+        drop(p);
+        let p2 = BufferPool::new(Disk::new(Box::new(backend), CostModel::free()), 32);
+        let (_wal2, report) = recover(&p2, wal_file).unwrap();
+        assert!(report.ops_applied > 0);
+        let t2 = BPlusTree::<u64, u64>::open_logged(&p2, file).unwrap();
+        let got: Vec<(u64, u64)> = t2.iter(&p2).unwrap().collect();
+        assert_eq!(got, expect);
     }
 }

@@ -52,6 +52,7 @@ pub mod shcj;
 pub mod sink;
 pub mod stacktree;
 pub mod trace;
+pub mod update;
 pub mod verify;
 pub mod vpj;
 
@@ -60,3 +61,4 @@ pub use element::Element;
 pub use planner::{choose_algorithm, execute, plan_and_execute, Algorithm, InputState};
 pub use sink::{CollectSink, CountSink, HeapSink, PairSink, ResultPair};
 pub use stacktree::SortPolicy;
+pub use update::{ElementStore, StoreError};

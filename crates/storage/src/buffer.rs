@@ -246,6 +246,12 @@ struct FrameMeta {
     /// Set while a missing thread owns this frame for eviction + reload.
     /// A claimed frame is invisible to hits and skipped by the clock.
     claimed: bool,
+    /// Highest WAL LSN whose log record covers this frame's dirty bytes.
+    /// Zero means "no WAL dependency" (bulk and non-logged writes). The
+    /// pool may not write a frame with `lsn > 0` back to disk before the
+    /// registered [`LsnGate`] confirms the log is durable through it —
+    /// the WAL-before-page invariant.
+    lsn: u64,
 }
 
 impl FrameMeta {
@@ -255,7 +261,25 @@ impl FrameMeta {
         dirty: false,
         referenced: false,
         claimed: false,
+        lsn: 0,
     };
+}
+
+/// A frame index claimed off the clock, with the evicted resident's
+/// `(pid, dirty, lsn)` if one must be written back first.
+type ClaimedVictim = (usize, Option<(PageId, bool, u64)>);
+
+/// The write-ahead log's side of the WAL-before-page protocol. The pool
+/// calls [`LsnGate::flush_up_to`] before any dirty frame stamped with an
+/// LSN ([`PageMut::stamp_lsn`]) reaches disk — on clock eviction, on
+/// prefetch victim write-back, and on explicit flushes. The gate receives
+/// the pool so it can write log pages through [`BufferPool::write_page_through`];
+/// it must never fetch frames (that could recurse into eviction).
+pub trait LsnGate: Send + Sync {
+    /// Makes every log record with `lsn' <= lsn` durable, or fails with
+    /// the I/O error that prevented it (the page write-back is then
+    /// abandoned and the frame stays dirty).
+    fn flush_up_to(&self, pool: &BufferPool, lsn: u64) -> Result<(), PoolError>;
 }
 
 /// A spinning reader-writer latch over a frame's data. `std::sync::RwLock`
@@ -360,6 +384,9 @@ pub struct BufferPool {
     /// Zone maps registered per heap file (see [`crate::zone`]); shared
     /// with every concurrent scan through the `Arc`, dropped with the file.
     zones: Mutex<HashMap<FileId, Arc<FileZones>>>,
+    /// The registered WAL gate, if a write-ahead log is attached. Consulted
+    /// before every write-back of a dirty frame whose `lsn` is non-zero.
+    gate: Mutex<Option<Arc<dyn LsnGate>>>,
 }
 
 impl BufferPool {
@@ -394,6 +421,29 @@ impl BufferPool {
             packed_post: AtomicU64::new(0),
             packed_decodes: AtomicU64::new(0),
             zones: Mutex::new(HashMap::new()),
+            gate: Mutex::new(None),
+        }
+    }
+
+    /// Attaches (or detaches) the write-ahead log's [`LsnGate`]. With a
+    /// gate registered, no dirty frame stamped via [`PageMut::stamp_lsn`]
+    /// reaches disk before the log is durable through its LSN.
+    pub fn set_lsn_gate(&self, gate: Option<Arc<dyn LsnGate>>) {
+        *self.gate.lock().unwrap() = gate;
+    }
+
+    /// Enforces WAL-before-page for a frame about to be written back: a
+    /// no-op for unstamped frames (`lsn == 0`) or when no gate is
+    /// registered. Must be called *before* taking the disk lock — the gate
+    /// writes log pages through it.
+    fn gate_lsn(&self, lsn: u64) -> Result<(), PoolError> {
+        if lsn == 0 {
+            return Ok(());
+        }
+        let gate = self.gate.lock().unwrap().clone();
+        match gate {
+            Some(g) => g.flush_up_to(self, lsn),
+            None => Ok(()),
         }
     }
 
@@ -595,6 +645,31 @@ impl BufferPool {
         Ok(start)
     }
 
+    /// Allocates a fresh zeroed page at the end of `file` without fetching
+    /// it into a frame. Used by the logged write path: the page's first
+    /// contents arrive through [`BufferPool::write_page`] under a WAL
+    /// record, and recovery re-allocates it the same way when replaying.
+    pub fn allocate_page(&self, file: FileId) -> Result<u32, PoolError> {
+        Ok(self.disk.lock().unwrap().allocate_page(file)?)
+    }
+
+    /// Writes a full page image straight to disk, bypassing the frames.
+    /// For pages the pool never caches — the write-ahead log's own file,
+    /// whose pages would otherwise need a gate to escape their own gate.
+    /// Writing a *cached* page this way would desynchronize the resident
+    /// frame; callers own their file exclusively.
+    pub fn write_page_through(&self, pid: PageId, buf: &PageBuf) -> Result<(), PoolError> {
+        Ok(self.disk.lock().unwrap().write_page(pid, buf)?)
+    }
+
+    /// Reads a full page image straight from disk, bypassing (and not
+    /// populating) the frames. The read-side counterpart of
+    /// [`BufferPool::write_page_through`], used by WAL recovery so log
+    /// pages never occupy frames the replayed data pages need.
+    pub fn read_page_through(&self, pid: PageId, buf: &mut PageBuf) -> Result<(), PoolError> {
+        Ok(self.disk.lock().unwrap().read_page(pid, buf)?)
+    }
+
     /// Allocates a fresh page in `file` and returns it pinned for writing.
     /// No read is charged: the page starts zeroed.
     pub fn new_page(&self, file: FileId) -> Result<(u32, PageMut<'_>), PoolError> {
@@ -680,9 +755,20 @@ impl BufferPool {
             .zip(&metas)
             .map(|(&(pid, _), m)| m.dirty && !m.claimed && m.pid == Some(pid))
             .collect();
-        let mut result = Ok(());
+        // WAL-before-page for the whole run: make the log durable through
+        // the highest stamped LSN before any frame reaches disk. Holding
+        // the metas here is safe — the gate only touches WAL state and the
+        // disk, never frame metadata.
+        let max_lsn = metas
+            .iter()
+            .zip(&ok)
+            .filter(|&(_, ok)| *ok)
+            .map(|(m, _)| m.lsn)
+            .max()
+            .unwrap_or(0);
+        let mut result = self.gate_lsn(max_lsn);
         let mut k = 0;
-        while k < run.len() {
+        while result.is_ok() && k < run.len() {
             if !ok[k] {
                 k += 1;
                 continue;
@@ -702,9 +788,15 @@ impl BufferPool {
                 .unwrap()
                 .write_pages(run[k].0.file, run[k].0.page, &bufs);
             match res {
-                Ok(()) => (k..j).for_each(|x| metas[x].dirty = false),
+                Ok(()) => (k..j).for_each(|x| {
+                    metas[x].dirty = false;
+                    metas[x].lsn = 0;
+                }),
                 Err(BatchError { done, error }) => {
-                    (k..k + done).for_each(|x| metas[x].dirty = false);
+                    (k..k + done).for_each(|x| {
+                        metas[x].dirty = false;
+                        metas[x].lsn = 0;
+                    });
                     result = Err(error.into());
                 }
             }
@@ -764,13 +856,21 @@ impl BufferPool {
             // Miss path: claim a victim frame, evict its old resident, then
             // race for the table slot.
             let (victim, old) = self.claim_victim()?;
-            if let Some((old_pid, old_dirty)) = old {
+            if let Some((old_pid, old_dirty, old_lsn)) = old {
                 // Write back BEFORE removing the table mapping: as long as
                 // the entry exists, a concurrent miss on the old page parks
                 // on the claimed frame instead of reading the (still stale)
                 // disk copy. Removing first would let that miss read data
                 // from before this write-back — a lost update.
                 if old_dirty {
+                    // WAL-before-page: the log must be durable through the
+                    // victim's LSN before its image may reach disk. On a
+                    // log-flush fault, release the claim exactly like a
+                    // failed write-back: nothing was lost, retry later.
+                    if let Err(e) = self.gate_lsn(old_lsn) {
+                        self.meta[victim].lock().unwrap().claimed = false;
+                        return Err(e);
+                    }
                     // SAFETY: the frame is claimed with pin == 0 — no guard
                     // exists and none can be created.
                     let buf = unsafe { &**self.data[victim].buf.get() };
@@ -833,6 +933,7 @@ impl BufferPool {
                 dirty: for_write,
                 referenced: true,
                 claimed: false,
+                lsn: 0,
             };
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Ok((victim, true));
@@ -859,7 +960,7 @@ impl BufferPool {
 
         // Stage: one claimed victim frame per page. `try_claim_victim`
         // never waits, so a loaded pool simply prefetches less.
-        let mut staged: Vec<(usize, Option<(PageId, bool)>)> = Vec::with_capacity(want);
+        let mut staged: Vec<ClaimedVictim> = Vec::with_capacity(want);
         for i in 0..want {
             let pid = PageId::new(file, start + i as u32);
             if self.shard_of(pid).lock().unwrap().contains_key(&pid) {
@@ -882,11 +983,19 @@ impl BufferPool {
         let mut dirty: Vec<(PageId, usize)> = staged
             .iter()
             .enumerate()
-            .filter_map(|(i, &(_, old))| old.filter(|&(_, d)| d).map(|(p, _)| (p, i)))
+            .filter_map(|(i, &(_, old))| old.filter(|&(_, d, _)| d).map(|(p, _, _)| (p, i)))
             .collect();
         dirty.sort_unstable();
         let mut written = vec![false; staged.len()];
-        let mut failed = false;
+        // WAL-before-page for the staged dirty victims: one gate call for
+        // the batch's highest LSN. A log-flush fault aborts the prefetch
+        // (claims released, nothing written) — read-ahead is best-effort.
+        let max_lsn = staged
+            .iter()
+            .filter_map(|&(_, old)| old.filter(|&(_, d, _)| d).map(|(_, _, l)| l))
+            .max()
+            .unwrap_or(0);
+        let mut failed = !dirty.is_empty() && self.gate_lsn(max_lsn).is_err();
         let mut k = 0;
         while k < dirty.len() && !failed {
             let mut j = k + 1;
@@ -931,7 +1040,7 @@ impl BufferPool {
         // Remove the old residents' table mappings (write-back is done, so
         // a miss on an old page may now read the fresh disk copy).
         for &(frame, old) in &staged {
-            if let Some((old_pid, _)) = old {
+            if let Some((old_pid, _, _)) = old {
                 let mut table = self.shard_of(old_pid).lock().unwrap();
                 if table.get(&old_pid) == Some(&frame) {
                     table.remove(&old_pid);
@@ -983,6 +1092,7 @@ impl BufferPool {
                     dirty: false,
                     referenced: true,
                     claimed: false,
+                    lsn: 0,
                 };
             } else {
                 let pid = PageId::new(file, start + i as u32);
@@ -1002,7 +1112,7 @@ impl BufferPool {
     /// page and its dirty bit. The hand mutex is held for the whole sweep,
     /// so selection is serialized (and deterministic when single-threaded).
     #[allow(clippy::type_complexity)]
-    fn claim_victim(&self) -> Result<(usize, Option<(PageId, bool)>), PoolError> {
+    fn claim_victim(&self) -> Result<(usize, Option<(PageId, bool, u64)>), PoolError> {
         let n = self.meta.len();
         let mut spins = 0u32;
         loop {
@@ -1024,7 +1134,7 @@ impl BufferPool {
                     continue;
                 }
                 m.claimed = true;
-                return Ok((i, m.pid.map(|p| (p, m.dirty))));
+                return Ok((i, m.pid.map(|p| (p, m.dirty, m.lsn))));
             }
             drop(hand);
             // Frames claimed by in-flight fetches on other threads are
@@ -1044,8 +1154,7 @@ impl BufferPool {
     /// error. Prefetch would rather skip read-ahead than stall — and it may
     /// already hold claims itself, so waiting on claimed frames here could
     /// self-deadlock.
-    #[allow(clippy::type_complexity)]
-    fn try_claim_victim(&self) -> Option<(usize, Option<(PageId, bool)>)> {
+    fn try_claim_victim(&self) -> Option<ClaimedVictim> {
         let n = self.meta.len();
         let mut hand = self.hand.lock().unwrap();
         for _ in 0..2 * n {
@@ -1060,7 +1169,7 @@ impl BufferPool {
                 continue;
             }
             m.claimed = true;
-            return Some((i, m.pid.map(|p| (p, m.dirty))));
+            return Some((i, m.pid.map(|p| (p, m.dirty, m.lsn))));
         }
         None
     }
@@ -1126,6 +1235,18 @@ impl DerefMut for PageMut<'_> {
     fn deref_mut(&mut self) -> &mut PageBuf {
         // SAFETY: exclusive latch held for the guard's lifetime.
         unsafe { &mut *self.pool.data[self.frame].buf.get() }
+    }
+}
+
+impl PageMut<'_> {
+    /// Stamps the frame with the WAL LSN whose log record covers the bytes
+    /// this guard wrote. The pool will not write the frame back to disk
+    /// before the registered [`LsnGate`] confirms the log is durable
+    /// through the highest stamped LSN. Monotonic: a lower stamp never
+    /// overwrites a higher one.
+    pub fn stamp_lsn(&self, lsn: u64) {
+        let mut m = self.pool.meta[self.frame].lock().unwrap();
+        m.lsn = m.lsn.max(lsn);
     }
 }
 

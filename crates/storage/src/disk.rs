@@ -34,7 +34,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
 use crate::stats::{AtomicIoStats, CostModel, IoStats};
@@ -246,6 +246,86 @@ impl DiskBackend for MemBackend {
     fn write_page(&mut self, pid: PageId, buf: &PageBuf) -> Result<(), IoError> {
         self.file_mut(pid.file)[pid.page as usize].copy_from_slice(buf);
         Ok(())
+    }
+}
+
+/// A handle that shares one backend between owners: the crash-recovery
+/// harness "restarts the machine" by dropping a buffer pool (losing every
+/// cached frame) while a second [`SharedBackend`] over the same inner
+/// backend keeps the surviving disk image for the next pool. All calls
+/// delegate through a mutex; cloning shares, never copies.
+pub struct SharedBackend<B: DiskBackend> {
+    inner: Arc<Mutex<B>>,
+}
+
+impl<B: DiskBackend> SharedBackend<B> {
+    /// Wraps `backend` for sharing.
+    pub fn new(backend: B) -> Self {
+        SharedBackend {
+            inner: Arc::new(Mutex::new(backend)),
+        }
+    }
+
+    /// Runs `f` against the inner backend (test hooks, e.g. flipping a
+    /// [`crate::fault::FaultHandle`] between incarnations).
+    pub fn with_inner<R>(&self, f: impl FnOnce(&mut B) -> R) -> R {
+        f(&mut self.inner.lock().unwrap())
+    }
+}
+
+impl<B: DiskBackend> Clone for SharedBackend<B> {
+    fn clone(&self) -> Self {
+        SharedBackend {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<B: DiskBackend> DiskBackend for SharedBackend<B> {
+    fn create_file(&mut self) -> FileId {
+        self.inner.lock().unwrap().create_file()
+    }
+
+    fn delete_file(&mut self, file: FileId) {
+        self.inner.lock().unwrap().delete_file(file)
+    }
+
+    fn allocate_page(&mut self, file: FileId) -> Result<u32, IoError> {
+        self.inner.lock().unwrap().allocate_page(file)
+    }
+
+    fn num_pages(&self, file: FileId) -> u32 {
+        self.inner.lock().unwrap().num_pages(file)
+    }
+
+    fn live_files(&self) -> Vec<FileId> {
+        self.inner.lock().unwrap().live_files()
+    }
+
+    fn read_page(&mut self, pid: PageId, buf: &mut PageBuf) -> Result<(), IoError> {
+        self.inner.lock().unwrap().read_page(pid, buf)
+    }
+
+    fn write_page(&mut self, pid: PageId, buf: &PageBuf) -> Result<(), IoError> {
+        self.inner.lock().unwrap().write_page(pid, buf)
+    }
+
+    fn read_pages(
+        &mut self,
+        file: FileId,
+        start: u32,
+        bufs: &mut [&mut PageBuf],
+    ) -> Result<(), BatchError> {
+        self.inner.lock().unwrap().read_pages(file, start, bufs)
+    }
+
+    fn write_pages(
+        &mut self,
+        file: FileId,
+        start: u32,
+        bufs: &[&PageBuf],
+    ) -> Result<(), BatchError> {
+        self.inner.lock().unwrap().write_pages(file, start, bufs)
     }
 }
 

@@ -1,0 +1,108 @@
+//! Page free list: pages a mutable heap file has emptied and released,
+//! available for reuse by later inserts before the file grows.
+//!
+//! The list is an in-memory structure rebuilt on recovery: every release
+//! and every reuse is logged as a [`crate::wal`] frame (`Free` / `Alloc`),
+//! and [`crate::wal::recover`] replays those frames in LSN order to arrive
+//! at exactly the set of pages that were free at the crash point. Nothing
+//! is ever handed out across files — a page number only means something
+//! within the file that allocated it.
+//!
+//! Ordering is deterministic: [`FreeList::acquire`] always returns the
+//! lowest free page of the file, so a recovered run and its never-crashed
+//! twin make identical placement decisions.
+
+use std::collections::BTreeSet;
+
+use crate::page::{FileId, PageId};
+
+/// Deterministic per-file free-page tracker.
+#[derive(Debug, Clone, Default)]
+pub struct FreeList {
+    free: BTreeSet<(FileId, u32)>,
+}
+
+impl FreeList {
+    /// An empty free list.
+    pub fn new() -> Self {
+        FreeList::default()
+    }
+
+    /// Marks `pid` free. Returns whether it was newly inserted (freeing a
+    /// page twice is a caller bug, surfaced rather than masked).
+    pub fn release(&mut self, pid: PageId) -> bool {
+        self.free.insert((pid.file, pid.page))
+    }
+
+    /// Removes and returns the lowest free page of `file`, if any.
+    pub fn acquire(&mut self, file: FileId) -> Option<u32> {
+        let &(_, page) = self.free.range((file, 0)..=(file, u32::MAX)).next()?;
+        self.free.remove(&(file, page));
+        Some(page)
+    }
+
+    /// Removes a specific page (recovery replay of an `Alloc` frame that
+    /// reused a previously freed page). Returns whether it was present.
+    pub fn reclaim(&mut self, pid: PageId) -> bool {
+        self.free.remove(&(pid.file, pid.page))
+    }
+
+    /// Whether `pid` is currently free.
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.free.contains(&(pid.file, pid.page))
+    }
+
+    /// Number of free pages across all files.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether no pages are free.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// The free pages of one file, ascending — what a recovery test
+    /// compares against its twin.
+    pub fn pages_of(&self, file: FileId) -> Vec<u32> {
+        self.free
+            .range((file, 0)..=(file, u32::MAX))
+            .map(|&(_, p)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(f: u32, p: u32) -> PageId {
+        PageId::new(FileId(f), p)
+    }
+
+    #[test]
+    fn acquire_is_lowest_first_per_file() {
+        let mut fl = FreeList::new();
+        assert!(fl.release(pid(1, 9)));
+        assert!(fl.release(pid(1, 3)));
+        assert!(fl.release(pid(2, 0)));
+        assert!(!fl.release(pid(1, 3)), "double free reported");
+        assert_eq!(fl.len(), 3);
+        assert_eq!(fl.acquire(FileId(1)), Some(3));
+        assert_eq!(fl.acquire(FileId(1)), Some(9));
+        assert_eq!(fl.acquire(FileId(1)), None, "file 2's page not leaked");
+        assert_eq!(fl.acquire(FileId(2)), Some(0));
+        assert!(fl.is_empty());
+    }
+
+    #[test]
+    fn reclaim_removes_exactly_one() {
+        let mut fl = FreeList::new();
+        fl.release(pid(7, 4));
+        fl.release(pid(7, 5));
+        assert!(fl.contains(pid(7, 5)));
+        assert!(fl.reclaim(pid(7, 5)));
+        assert!(!fl.reclaim(pid(7, 5)));
+        assert_eq!(fl.pages_of(FileId(7)), vec![4]);
+    }
+}

@@ -21,6 +21,7 @@ use crate::buffer::{BufferPool, PageRef, PoolError};
 use crate::codec::{parse_packed_header, PackedHeader, PackedPageBuilder};
 use crate::page::{FileId, PageBuf, PageId, PAGE_SIZE};
 use crate::record::FixedRecord;
+use crate::wal::{Wal, WalOp};
 use crate::zone::{FileZones, ZoneEntry};
 
 /// Bytes reserved for the per-page header (record count).
@@ -47,6 +48,10 @@ pub struct HeapFile<R: FixedRecord> {
     /// Folded [`FixedRecord::height_hint`] over all records — the file
     /// half of the zone map (per-page entries live in the pool registry).
     heights: Option<(u32, u32)>,
+    /// The page incremental inserts are currently filling (a recycled
+    /// free-list page keeps receiving records until it is full). `None`
+    /// falls back to the file's last page.
+    active: Option<u32>,
     _marker: PhantomData<R>,
 }
 
@@ -67,6 +72,7 @@ impl<R: FixedRecord> HeapFile<R> {
             records: 0,
             bounds: None,
             heights: None,
+            active: None,
             _marker: PhantomData,
         }
     }
@@ -224,6 +230,254 @@ impl<R: FixedRecord> HeapFile<R> {
     pub fn drop_file(self, pool: &BufferPool) {
         pool.delete_file(self.file);
     }
+
+    /// Rebuilds a handle (and the file's zone map) for an existing heap
+    /// file by scanning it — the post-crash path: [`crate::wal::recover`]
+    /// restores the pages, `open` restores the in-memory catalog state
+    /// a never-crashed writer would hold.
+    pub fn open(pool: &BufferPool, file: FileId) -> Result<Self, PoolError> {
+        let pages = pool.num_pages(file);
+        let mut hf = HeapFile {
+            file,
+            pages,
+            records: 0,
+            bounds: None,
+            heights: None,
+            active: pages.checked_sub(1),
+            _marker: PhantomData,
+        };
+        let mut zones = FileZones::default();
+        for pg in 0..pages {
+            let (recs, _) = read_page_records::<R>(pool, PageId::new(file, pg))?;
+            hf.records += recs.len() as u64;
+            for r in &recs {
+                if let Some((lo, hi)) = r.bounds_hint() {
+                    hf.bounds = Some(match hf.bounds {
+                        None => (lo, hi),
+                        Some((l0, h0)) => (l0.min(lo), h0.max(hi)),
+                    });
+                }
+                if let Some(h) = r.height_hint() {
+                    hf.heights = Some(match hf.heights {
+                        None => (h, h),
+                        Some((l0, h0)) => (l0.min(h), h0.max(h)),
+                    });
+                }
+            }
+            zones.push(exact_zone(&recs));
+        }
+        if zones.any() {
+            pool.register_zones(file, zones);
+        }
+        Ok(hf)
+    }
+
+    /// Inserts one record through the write-ahead log: the byte writes
+    /// (slot + page header, plus an `alloc` frame when the insert grows
+    /// the file or recycles a free page) commit as one atomic [`WalOp`],
+    /// and the page's zone map entry widens to keep covering its records.
+    ///
+    /// Incremental inserts always produce raw-layout slots; a packed
+    /// (bulk-loaded, compressed) tail page is left sealed and the insert
+    /// opens a new page instead. Recycled pages come from `wal`'s free
+    /// list, lowest page first, and keep receiving inserts until full.
+    pub fn insert_logged(&mut self, pool: &BufferPool, wal: &Wal, r: R) -> Result<(), PoolError> {
+        let mut op = WalOp::new();
+        // Find the slot: the active fill page if it still has raw space,
+        // else a recycled free page, else a fresh page at the file's end.
+        let mut target = None;
+        if let Some(cand) = self.active.or_else(|| self.pages.checked_sub(1)) {
+            let pid = PageId::new(self.file, cand);
+            let page = pool.read_page(pid)?;
+            if parse_packed_header(&page[..], pid)?.is_none() {
+                let n = u32::from_le_bytes(page[..HEADER].try_into().unwrap()) as usize;
+                // A zero count means the page was emptied and released:
+                // it belongs to the free list now and must be re-acquired
+                // through it (with a logged `alloc`), never written to
+                // behind the list's back.
+                if n > 0 && n < records_per_page::<R>() {
+                    target = Some((cand, n));
+                }
+            }
+        }
+        let fresh = target.is_none();
+        let (pageno, idx) = match target {
+            Some(t) => t,
+            None => {
+                let pg = match wal.acquire_free_page(self.file) {
+                    Some(pg) => pg,
+                    None => pool.allocate_page(self.file)?,
+                };
+                op.alloc(PageId::new(self.file, pg));
+                (pg, 0)
+            }
+        };
+        let pid = PageId::new(self.file, pageno);
+        let mut slot = vec![0u8; R::SIZE];
+        r.write(&mut slot);
+        op.page_write(pid, HEADER + idx * R::SIZE, &slot);
+        op.page_write(pid, 0, &((idx + 1) as u32).to_le_bytes());
+        wal.commit(pool, op)?;
+
+        // In-memory catalog state follows only after the commit succeeded.
+        self.pages = self.pages.max(pageno + 1);
+        self.records += 1;
+        self.active = Some(pageno);
+        let bounds = r.bounds_hint();
+        let height = r.height_hint();
+        if let Some((lo, hi)) = bounds {
+            self.bounds = Some(match self.bounds {
+                None => (lo, hi),
+                Some((l0, h0)) => (l0.min(lo), h0.max(hi)),
+            });
+        }
+        if let Some(h) = height {
+            self.heights = Some(match self.heights {
+                None => (h, h),
+                Some((l0, h0)) => (l0.min(h), h0.max(h)),
+            });
+        }
+        self.rezone(pool, bounds.zip(height).is_some(), |zones| {
+            match (bounds.zip(height), fresh) {
+                // A fresh or recycled page holds exactly this record, so its
+                // zone is set outright — widening would wrongly inherit the
+                // `None` an emptied page leaves behind.
+                (Some(((lo, hi), h)), true) => {
+                    zones.set_page(pageno, Some(ZoneEntry::of(lo, hi, h)))
+                }
+                (Some(((lo, hi), h)), false) => zones.widen(pageno, lo, hi, h),
+                (None, _) => zones.set_page(pageno, None),
+            }
+        });
+        Ok(())
+    }
+
+    /// Deletes the first record equal to `r`, through the write-ahead
+    /// log. Raw pages compact by moving their own last slot into the
+    /// hole; packed pages decode, drop the record, and re-seal (removal
+    /// always shrinks the encoding, so the re-sealed page fits). A page
+    /// emptied by the delete is released to `wal`'s free list — it stays
+    /// in the file with a zero record count until an insert recycles it.
+    /// The page's zone map entry is recomputed exactly from the surviving
+    /// records. Returns whether a record was found.
+    pub fn delete_logged(&mut self, pool: &BufferPool, wal: &Wal, r: &R) -> Result<bool, PoolError>
+    where
+        R: PartialEq,
+    {
+        for pg in 0..self.pages {
+            let pid = PageId::new(self.file, pg);
+            let (mut recs, packed) = read_page_records::<R>(pool, pid)?;
+            let Some(idx) = recs.iter().position(|x| x == r) else {
+                continue;
+            };
+            let mut op = WalOp::new();
+            let n = recs.len();
+            if n == 1 {
+                // The page empties: a zero raw header (which also clears
+                // the packed flag) and a `free` frame.
+                op.page_write(pid, 0, &0u32.to_le_bytes());
+                op.free(pid);
+            } else if packed {
+                // Record order carries the delta encoding: removing record
+                // `i` merges two deltas into their sum, whose zigzag varint
+                // never outgrows the two it replaces (and the record's tag
+                // and height bytes are freed besides) — so the re-sealed
+                // page always fits. `swap_remove` would break that bound.
+                recs.remove(idx);
+                let mut img: Box<PageBuf> = Box::new([0u8; PAGE_SIZE]);
+                let mut b = PackedPageBuilder::default();
+                for rec in &recs {
+                    let parts = rec
+                        .to_parts()
+                        .expect("records decoded from a packed page re-pack");
+                    debug_assert!(b.fits(&parts), "removal never grows a packed page");
+                    b.push(parts);
+                }
+                b.seal_into(&mut img[..]);
+                op.page_image(pid, &img);
+            } else {
+                if idx != n - 1 {
+                    let mut last = vec![0u8; R::SIZE];
+                    recs[n - 1].write(&mut last);
+                    op.page_write(pid, HEADER + idx * R::SIZE, &last);
+                }
+                recs.swap_remove(idx);
+                op.page_write(pid, 0, &((n - 1) as u32).to_le_bytes());
+            }
+            wal.commit(pool, op)?;
+            self.records -= 1;
+            if n == 1 {
+                recs.clear();
+            }
+            let exact = exact_zone(&recs);
+            let had_hints = exact.is_some();
+            self.rezone(pool, had_hints, |zones| zones.set_page(pg, exact));
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Clones, edits and re-registers the file's zone map. When the file
+    /// has no map and the triggering record carries no hints there is
+    /// nothing to maintain and nothing is registered.
+    fn rezone(&self, pool: &BufferPool, hints: bool, edit: impl FnOnce(&mut FileZones)) {
+        let mut zones = match pool.file_zones(self.file) {
+            Some(arc) => (*arc).clone(),
+            None if hints => FileZones::default(),
+            None => return,
+        };
+        edit(&mut zones);
+        pool.register_zones(self.file, zones);
+    }
+}
+
+/// Reads and fully decodes one heap page, reporting whether it used the
+/// packed layout — the shared primitive of [`HeapFile::open`] and
+/// [`HeapFile::delete_logged`].
+fn read_page_records<R: FixedRecord>(
+    pool: &BufferPool,
+    pid: PageId,
+) -> Result<(Vec<R>, bool), PoolError> {
+    let page = pool.read_page(pid)?;
+    match parse_packed_header(&page[..], pid)? {
+        Some(hdr) => {
+            let mut v = Vec::with_capacity(hdr.n);
+            hdr.decode_each::<R>(&page[..], pid, |r| v.push(r))?;
+            Ok((v, true))
+        }
+        None => {
+            let n = u32::from_le_bytes(page[..HEADER].try_into().unwrap()) as usize;
+            if n > records_per_page::<R>() {
+                return Err(PoolError::Corrupt {
+                    pid,
+                    reason: "page header record count exceeds page capacity",
+                });
+            }
+            let mut v = Vec::with_capacity(n);
+            for i in 0..n {
+                let off = HEADER + i * R::SIZE;
+                let bytes = &page[off..off + R::SIZE];
+                R::validate(bytes).map_err(|reason| PoolError::Corrupt { pid, reason })?;
+                v.push(R::read(bytes));
+            }
+            Ok((v, false))
+        }
+    }
+}
+
+/// The exact zone of a page holding `recs`: a fold of every record's
+/// hints, or `None` when the page is empty or any record lacks hints
+/// (a page that must always be read).
+fn exact_zone<R: FixedRecord>(recs: &[R]) -> Option<ZoneEntry> {
+    let mut zone: Option<ZoneEntry> = None;
+    for r in recs {
+        let ((lo, hi), h) = r.bounds_hint().zip(r.height_hint())?;
+        match &mut zone {
+            None => zone = Some(ZoneEntry::of(lo, hi, h)),
+            Some(z) => z.fold(lo, hi, h),
+        }
+    }
+    zone
 }
 
 /// Append writer for a heap file. Buffers page images in its own memory
@@ -428,6 +682,7 @@ impl<'a, R: FixedRecord> HeapWriter<'a, R> {
             records: self.records,
             bounds: self.bounds,
             heights: self.heights,
+            active: None,
             _marker: PhantomData,
         })
     }
@@ -1551,6 +1806,121 @@ mod tests {
                 reason: "packed page in a file of non-packable records"
             }
         );
+    }
+
+    #[test]
+    fn logged_insert_delete_round_trip_with_page_recycling() {
+        use crate::wal::Wal;
+        let p = pool(8);
+        let wal = Wal::create(&p);
+        let mut hf = HeapFile::<Span>::create(&p);
+        let data = spans(3 * records_per_page::<Span>() as u64 + 5);
+        for r in &data {
+            hf.insert_logged(&p, &wal, *r).unwrap();
+        }
+        assert_eq!(hf.records(), data.len() as u64);
+        assert_eq!(hf.pages(), 4);
+        let mut back = hf.read_all(&p).unwrap();
+        back.sort_by_key(|s| s.lo);
+        assert_eq!(back, data);
+        // Empty out page 1 record by record: it reaches the free list.
+        let per = records_per_page::<Span>();
+        for r in &data[per..2 * per] {
+            assert!(hf.delete_logged(&p, &wal, r).unwrap());
+        }
+        assert_eq!(wal.free_pages_of(hf.file_id()), vec![1]);
+        assert!(
+            !hf.delete_logged(&p, &wal, &data[per]).unwrap(),
+            "already gone"
+        );
+        // Top up the partially filled tail page: inserts keep filling the
+        // active page before consulting the free list.
+        for i in 0..(per - 5) as u64 {
+            hf.insert_logged(
+                &p,
+                &wal,
+                Span {
+                    lo: 50_000 + i,
+                    hi: 50_001 + i,
+                    h: 2,
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(hf.pages(), 4, "top-up fits the tail page");
+        assert_eq!(wal.freelist_len(), 1, "free page untouched so far");
+        // The next insert needs a page: it recycles page 1 (lowest free
+        // page) and keeps filling it, rather than growing the file.
+        let extra = Span { lo: 1, hi: 2, h: 0 };
+        hf.insert_logged(&p, &wal, extra).unwrap();
+        assert_eq!(hf.pages(), 4, "no growth while free pages exist");
+        assert_eq!(wal.freelist_len(), 0);
+        hf.insert_logged(&p, &wal, extra).unwrap();
+        assert_eq!(hf.pages(), 4);
+        let all = hf.read_all(&p).unwrap();
+        assert_eq!(all.len(), data.len() + 2 - 5);
+        // Zone of the recycled page covers exactly the new records.
+        let zones = p.file_zones(hf.file_id()).unwrap();
+        let z = zones.page(1).unwrap();
+        assert_eq!((z.lo, z.hi, z.min_h, z.max_h), (1, 2, 0, 0));
+    }
+
+    #[test]
+    fn logged_delete_on_packed_page_reseals() {
+        use crate::wal::Wal;
+        let p = pool(8);
+        let data = pspans(2_000);
+        let mut hf = HeapFile::from_iter_with(&p, compressed(), data.iter().copied()).unwrap();
+        let wal = Wal::create(&p);
+        assert!(hf.delete_logged(&p, &wal, &data[3]).unwrap());
+        assert!(hf.delete_logged(&p, &wal, &data[1500]).unwrap());
+        let mut back = hf.read_all(&p).unwrap();
+        back.sort_by_key(|s| s.start);
+        let mut expect = data.clone();
+        expect.remove(1500);
+        expect.remove(3);
+        assert_eq!(back, expect);
+        // The packed tail page survives an insert untouched: the insert
+        // opens a fresh raw page instead of unsealing it.
+        let pages_before = hf.pages();
+        hf.insert_logged(
+            &p,
+            &wal,
+            PSpan {
+                start: 9,
+                h: 1,
+                tag: 7,
+            },
+        )
+        .unwrap();
+        assert_eq!(hf.pages(), pages_before + 1);
+        assert_eq!(hf.records(), expect.len() as u64 + 1);
+    }
+
+    #[test]
+    fn open_rebuilds_handle_and_zone_map() {
+        use crate::wal::Wal;
+        let p = pool(8);
+        let wal = Wal::create(&p);
+        let mut hf = HeapFile::<Span>::create(&p);
+        let data = spans(2 * records_per_page::<Span>() as u64 + 9);
+        for r in &data {
+            hf.insert_logged(&p, &wal, *r).unwrap();
+        }
+        assert!(hf.delete_logged(&p, &wal, &data[0]).unwrap());
+        let reopened = HeapFile::<Span>::open(&p, hf.file_id()).unwrap();
+        assert_eq!(reopened.pages(), hf.pages());
+        assert_eq!(reopened.records(), hf.records());
+        assert_eq!(reopened.height_bounds(), hf.height_bounds());
+        let mut a = hf.read_all(&p).unwrap();
+        let mut b = reopened.read_all(&p).unwrap();
+        a.sort_by_key(|s| s.lo);
+        b.sort_by_key(|s| s.lo);
+        assert_eq!(a, b);
+        // The rebuilt zone map admits exactly what a filtered scan needs.
+        let zones = p.file_zones(hf.file_id()).unwrap();
+        assert_eq!(zones.len(), hf.pages() as usize);
+        assert!(zones.page(0).is_some());
     }
 
     #[test]

@@ -33,22 +33,30 @@ pub mod buffer;
 pub mod codec;
 pub mod disk;
 pub mod fault;
+pub mod freelist;
 pub mod heap;
 pub mod page;
 pub mod record;
 pub mod sort;
 pub mod stats;
 pub mod util;
+pub mod wal;
 pub mod zone;
 
 pub use access::{AccessPattern, ScanOptions, DEFAULT_IO_DEPTH};
-pub use buffer::{BufferPool, PageMut, PageRef, PoolError, PoolStats, StatsSnapshot, SHARD_COUNT};
+pub use buffer::{
+    BufferPool, LsnGate, PageMut, PageRef, PoolError, PoolStats, StatsSnapshot, SHARD_COUNT,
+};
 pub use codec::{PACKED_FLAG, PACKED_HEADER};
-pub use disk::{BatchError, Disk, DiskBackend, FileBackend, IoError, IoErrorKind, MemBackend};
+pub use disk::{
+    BatchError, Disk, DiskBackend, FileBackend, IoError, IoErrorKind, MemBackend, SharedBackend,
+};
 pub use fault::{FaultBackend, FaultConfig, FaultHandle};
+pub use freelist::FreeList;
 pub use heap::{records_per_page, HeapFile, HeapScan, HeapWriter, ScanPos};
 pub use page::{FileId, PageBuf, PageId, PAGE_SIZE};
 pub use record::{FixedRecord, RecordParts};
 pub use sort::{external_sort, external_sort_with};
-pub use stats::{CostModel, IoStats};
+pub use stats::{CostModel, IoStats, WalStats};
+pub use wal::{recover, RecoveryReport, Wal, WalOp};
 pub use zone::{FileZones, ScanFilter, ZoneEntry};

@@ -40,6 +40,20 @@ impl CostModel {
     }
 }
 
+/// Activity counters of a [`crate::wal::Wal`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Log frames appended (record and commit-marker frames).
+    pub frames: u64,
+    /// Logical operations committed.
+    pub commits: u64,
+    /// Log pages written to disk (appends plus tail rewrites).
+    pub page_writes: u64,
+    /// Flushes forced by the pool's LSN gate — dirty-page write-backs that
+    /// had to make the log durable first.
+    pub gate_flushes: u64,
+}
+
 /// Cumulative I/O counters of a [`crate::disk::Disk`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {

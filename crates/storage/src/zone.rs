@@ -102,6 +102,35 @@ impl FileZones {
         self.pages.iter().any(|z| z.is_some())
     }
 
+    /// Replaces the zone of page `page`, extending the map with untracked
+    /// (`None`) pages if the file grew past its recorded length. Used by
+    /// the mutable heap path: a delete *rebuilds* the page's zone from the
+    /// surviving records (exact), an insert of a hintless record clears it
+    /// (a `None` page is never skipped, so pruning stays correct).
+    pub fn set_page(&mut self, page: u32, zone: Option<ZoneEntry>) {
+        let idx = page as usize;
+        if idx >= self.pages.len() {
+            self.pages.resize(idx + 1, None);
+        }
+        self.pages[idx] = zone;
+    }
+
+    /// Widens page `page`'s zone to also cover `(lo, hi, h)` — the
+    /// insert-side zone maintenance. A page that never had a zone stays
+    /// without one (it already admits everything), but a page beyond the
+    /// recorded length gets a fresh exact zone.
+    pub fn widen(&mut self, page: u32, lo: u64, hi: u64, h: u32) {
+        let idx = page as usize;
+        if idx >= self.pages.len() {
+            self.pages.resize(idx + 1, None);
+            self.pages[idx] = Some(ZoneEntry::of(lo, hi, h));
+            return;
+        }
+        if let Some(z) = &mut self.pages[idx] {
+            z.fold(lo, hi, h);
+        }
+    }
+
     /// The file-level zone: the merge of every page zone. `None` when no
     /// page has one.
     pub fn file_zone(&self) -> Option<ZoneEntry> {
@@ -301,6 +330,29 @@ mod tests {
         assert!(fz.page(1).is_none());
         assert_eq!(fz.page(0).unwrap().lo, 10);
         assert!(fz.page(9).is_none());
+    }
+
+    #[test]
+    fn set_page_and_widen_maintain_the_map() {
+        let mut fz = FileZones::default();
+        fz.push(Some(ZoneEntry::of(10, 20, 2)));
+        // Widening an existing zone folds the new record in.
+        fz.widen(0, 5, 25, 4);
+        assert_eq!(*fz.page(0).unwrap(), zone(5, 25, 2, 4));
+        // Widening past the recorded length grows the map with an exact
+        // zone for the new page; the gap pages stay untracked.
+        fz.widen(3, 100, 200, 1);
+        assert_eq!(fz.len(), 4);
+        assert!(fz.page(1).is_none());
+        assert_eq!(*fz.page(3).unwrap(), zone(100, 200, 1, 1));
+        // A page whose zone was cleared (hintless record) stays cleared
+        // under further widening: no information, no pruning.
+        fz.set_page(0, None);
+        fz.widen(0, 0, 1, 0);
+        assert!(fz.page(0).is_none());
+        // Rebuild-on-delete replaces the entry exactly.
+        fz.set_page(3, Some(ZoneEntry::of(150, 160, 1)));
+        assert_eq!(*fz.page(3).unwrap(), zone(150, 160, 1, 1));
     }
 
     #[test]

@@ -27,6 +27,16 @@ RAND_SEED=$((RANDOM * 32768 + RANDOM))
 echo "randomized FAULT_SWEEP_SEED=$RAND_SEED (re-run with this env var to reproduce)"
 FAULT_SWEEP_SEED=$RAND_SEED cargo test -q --test fault_sweep fault_sweep_probabilistic_seed -- --nocapture
 
+echo "== crash-recovery sweep (pinned seed 42 + one randomized seed)"
+# Kills the WAL'd update workload at every write index (torn writes on),
+# recovers, and asserts the recovered store answers every containment
+# join identically to a never-crashed twin — threads 1 and 4, packed
+# pages off and on.
+cargo test -q --test crash_recovery -- --nocapture
+RAND_SEED=$((RANDOM * 32768 + RANDOM))
+echo "randomized CRASH_SWEEP_SEED=$RAND_SEED (re-run with this env var to reproduce)"
+CRASH_SWEEP_SEED=$RAND_SEED cargo test -q --test crash_recovery crash_sweep_randomized_seed -- --nocapture
+
 echo "== vectored-I/O ablation smoke (prefetch off vs on: identical results)"
 cargo run --release -q -p pbitree-bench --bin ablation -- --study rollup --fast \
     --readahead 0 --results /tmp/ab_off
@@ -52,6 +62,12 @@ echo "== compressed-page ablation smoke (identical pairs, fewer reads, smaller b
 # packed byte footprint shrinks, at threads 1 and 4, with pruning on.
 cargo run --release -q -p pbitree-bench --bin ablation -- --study compress --fast \
     --results /tmp/ab_compress
+
+echo "== WAL ablation smoke (durable insert throughput, recovery check in-binary)"
+# The panel asserts (in-binary) that a crash-shaped restart recovers every
+# committed insert, with the base file packed off and on.
+cargo run --release -q -p pbitree-bench --bin ablation -- --study wal --fast \
+    --results /tmp/ab_wal
 
 echo "== trace smoke (--trace writes schema-v1 JSONL)"
 TRACE=$(mktemp /tmp/pbitree-trace-XXXX.jsonl)

@@ -502,3 +502,163 @@ fn fault_sweep_packed_pages() {
     assert_eq!(faults, 0);
     assert_eq!(pairs, pairs0, "packed fault-free result drifted");
 }
+
+// ---- WAL leg ----------------------------------------------------------
+//
+// The durable write path adds a new I/O population: write-ahead-log pages
+// (append + tail rewrites) interleaved with gated data-page write-backs.
+// Every read index and every *torn* write index of a logged-update
+// workload must be a clean `Err` — never a panic, never silent
+// corruption — and recovery over a fault-free run's disk image must be
+// deterministic: recovering twice from the same image yields byte-
+// identical disks.
+
+use pbitree_containment::storage::{recover, DiskBackend, PageBuf, SharedBackend, Wal};
+
+type WalBackend = SharedBackend<FaultBackend<MemBackend>>;
+
+fn wal_build() -> (WalBackend, FaultHandle, BufferPool) {
+    let fb = FaultBackend::new(MemBackend::new(), FaultConfig::none());
+    let handle = fb.handle();
+    let backend = SharedBackend::new(fb);
+    let pool = BufferPool::new(
+        Disk::new(Box::new(backend.clone()), CostModel::free()),
+        BUDGET,
+    );
+    (backend, handle, pool)
+}
+
+/// A deterministic logged-update workload: bulk base, then logged
+/// inserts and deletes with periodic WAL flushes and one checkpoint.
+/// Every error propagates (the sweep asserts it is clean).
+fn wal_workload(
+    pool: &BufferPool,
+) -> Result<(Wal, HeapFile<Element>), pbitree_containment::storage::PoolError> {
+    let base: Vec<u64> = ancestors(false).into_iter().take(600).collect();
+    let mut heap = element_file_with(pool, strict_io(), base.iter().copied().map(|c| (c, 0)))?;
+    pool.flush_all()?;
+    let wal = Wal::create(pool);
+    let mut x = 0x00DD_BA11_u64;
+    for i in 0..160u32 {
+        let c = 1 + xorshift(&mut x) % ((1u64 << H) - 1);
+        heap.insert_logged(pool, &wal, Element::new(c, 100 + i))?;
+        if i % 5 == 0 {
+            let victim = Element::new(base[(i as usize * 7) % base.len()], 0);
+            heap.delete_logged(pool, &wal, &victim)?;
+        }
+        if i % 16 == 0 {
+            wal.flush(pool)?;
+        }
+        if i % 64 == 32 {
+            pool.flush_all()?;
+        }
+    }
+    wal.flush(pool)?;
+    Ok((wal, heap))
+}
+
+/// Snapshot of every live file's pages, straight off the backend.
+fn disk_image(backend: &WalBackend) -> Vec<(u32, Vec<Vec<u8>>)> {
+    backend.with_inner(|b| {
+        let mut files = b.live_files();
+        files.sort_by_key(|f| f.0);
+        files
+            .into_iter()
+            .map(|f| {
+                let pages = (0..b.num_pages(f))
+                    .map(|p| {
+                        let mut buf: PageBuf = [0u8; pbitree_containment::storage::PAGE_SIZE];
+                        b.read_page(pbitree_containment::storage::PageId::new(f, p), &mut buf)
+                            .unwrap();
+                        buf.to_vec()
+                    })
+                    .collect();
+                (f.0, pages)
+            })
+            .collect()
+    })
+}
+
+/// Every read index and every torn-write index of the logged-update
+/// workload is a clean failure point: `Err` with the failing page, no
+/// panic, no leaked pins.
+#[test]
+fn fault_sweep_wal_writes() {
+    let (_backend, handle, pool) = wal_build();
+    handle.reset();
+    wal_workload(&pool).expect("fault-free WAL workload");
+    let (reads, writes) = (handle.reads(), handle.writes());
+    assert!(writes > 10, "WAL workload only wrote {writes} pages");
+
+    let sweep_one = |cfg: FaultConfig, kind: &str, idx: u64| {
+        let (_backend, handle, pool) = wal_build();
+        handle.reset();
+        handle.set_config(cfg);
+        let res = wal_workload(&pool).map(drop);
+        handle.set_config(FaultConfig::none());
+        assert_eq!(
+            pool.pinned_frames(),
+            0,
+            "WAL {kind} fault at {idx}: leaked pins after {res:?}"
+        );
+        if handle.faults() > 0 {
+            let err = match res {
+                Err(e) => e,
+                Ok(_) => panic!("WAL {kind} fault at {idx} was swallowed"),
+            };
+            assert!(
+                err.failing_page().is_some(),
+                "WAL {kind} fault at {idx} lost its page: {err}"
+            );
+        }
+    };
+    for idx in 0..reads {
+        sweep_one(FaultConfig::read_at(idx), "read", idx);
+    }
+    for idx in 0..writes {
+        let mut cfg = FaultConfig::write_at(idx);
+        cfg.torn_writes = true;
+        sweep_one(cfg, "torn-write", idx);
+    }
+}
+
+/// Recovery determinism: recovering the same fault-free disk image twice
+/// (fresh pool each time, as after a restart) produces byte-identical
+/// disks, and the second recovery finds an already-clean log (no torn
+/// tail, same committed prefix).
+#[test]
+fn wal_recovery_is_byte_identical() {
+    let (backend, handle, pool) = wal_build();
+    handle.reset();
+    let (wal, heap) = wal_workload(&pool).expect("fault-free WAL workload");
+    let wal_file = wal.file();
+    let expect: u64 = heap.records();
+    // Crash without checkpointing the tail of the run: recovery must
+    // redo whatever the data files are missing.
+    drop((wal, heap, pool));
+
+    let recover_once = || {
+        let pool = BufferPool::new(
+            Disk::new(Box::new(backend.clone()), CostModel::free()),
+            BUDGET,
+        );
+        let (_wal, report) = recover(&pool, wal_file).expect("recovery failed");
+        pool.flush_all().expect("post-recovery flush");
+        report
+    };
+    let r1 = recover_once();
+    let img1 = disk_image(&backend);
+    let r2 = recover_once();
+    let img2 = disk_image(&backend);
+    assert_eq!(r1.ops_applied, r2.ops_applied, "recovery lost operations");
+    assert!(!r2.torn_tail, "second recovery saw a torn tail");
+    assert_eq!(img1, img2, "repeated recovery diverged byte-for-byte");
+    // The recovered heap holds every committed record.
+    let pool = BufferPool::new(
+        Disk::new(Box::new(backend.clone()), CostModel::free()),
+        BUDGET,
+    );
+    let heap = HeapFile::<Element>::open(&pool, pbitree_containment::storage::FileId(0))
+        .expect("recovered heap reopens");
+    assert_eq!(heap.records(), expect, "recovered record count drifted");
+}
