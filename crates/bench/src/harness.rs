@@ -104,7 +104,10 @@ pub struct ExpConfig {
     pub prune: bool,
     /// Whether element pages are written packed (delta/varint codec) —
     /// applies to the loaded inputs *and* every file the operators spill.
-    /// Defaults to the `PBITREE_COMPRESS` environment setting.
+    /// Defaults to the once-per-process `PBITREE_COMPRESS` snapshot
+    /// ([`pbitree_storage::compress_default`]), so every experiment in a
+    /// run sees the same layout regardless of when it constructs its
+    /// config.
     pub compression: bool,
 }
 
@@ -116,7 +119,7 @@ impl Default for ExpConfig {
             threads: 1,
             io: pbitree_storage::ScanOptions::default(),
             prune: true,
-            compression: pbitree_storage::ScanOptions::default().compress,
+            compression: pbitree_storage::compress_default(),
         }
     }
 }

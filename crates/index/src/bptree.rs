@@ -673,11 +673,17 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
     }
 
     /// Deletes the **first** entry with the given key, through the
-    /// write-ahead log. Deletion is leaf-level only: an emptied leaf
-    /// stays chained (and is revisited by inserts that land on it), no
-    /// rebalancing or merging occurs — the PBiTree workload deletes are
-    /// sparse ejections from a code index, not bulk retractions.
-    /// Returns whether an entry was removed.
+    /// write-ahead log. A leaf emptied by the delete does not stay
+    /// chained: it is unlinked from the leaf chain, removed from its
+    /// parent, and freed to `wal`'s free list (internal nodes left
+    /// childless go with it, and the root collapses while it has a
+    /// single child) — all staged into the same atomic [`WalOp`] as the
+    /// delete itself, so churn-heavy workloads recycle their pages
+    /// through [`Wal::acquire_free_page`] instead of growing the file
+    /// with dead leaves. No merging of *underfull* (non-empty) nodes
+    /// occurs — the PBiTree workload deletes are sparse ejections from a
+    /// code index, not bulk retractions. Returns whether an entry was
+    /// removed.
     pub fn delete_logged(
         &mut self,
         pool: &BufferPool,
@@ -685,7 +691,23 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
         key: &K,
     ) -> Result<bool, PoolError> {
         let esz = K::SIZE + V::SIZE;
-        let mut pno = self.find_leaf(pool, key)?;
+        // Descend as `find_leaf` does, but record the parent path —
+        // `(internal page, branch taken)` per level — so an emptied leaf
+        // knows its parent and its chain predecessor.
+        let mut path: Vec<(u32, usize)> = Vec::new();
+        let mut pno = self.root;
+        loop {
+            let (child0, entries) = {
+                let page = pool.read_page(PageId::new(self.file, pno))?;
+                if page[0] == KIND_LEAF {
+                    break;
+                }
+                self.read_internal(pool, pno)?
+            };
+            let branch = entries.partition_point(|(k, _)| k < key);
+            path.push((pno, branch));
+            pno = child_at(child0, &entries, branch);
+        }
         loop {
             let mut entries: Vec<(K, V)> = Vec::new();
             let next;
@@ -704,13 +726,22 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
             if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
                 entries.remove(pos);
                 let mut op = WalOp::new();
-                log_leaf(&mut op, PageId::new(self.file, pno), next, &entries);
+                let (root, height) = if entries.is_empty() && pno != self.root {
+                    self.unlink_empty_leaf(pool, &mut op, pno, next, &path)?
+                } else {
+                    // The root leaf may sit empty — an empty tree keeps
+                    // its root — and a non-empty leaf is just rewritten.
+                    log_leaf(&mut op, PageId::new(self.file, pno), next, &entries);
+                    (self.root, self.height)
+                };
                 op.page_write(
                     PageId::new(self.file, META_PAGE),
                     0,
-                    &meta_record::<K, V>(self.root, self.height, self.len - 1),
+                    &meta_record::<K, V>(root, height, self.len - 1),
                 );
                 wal.commit(pool, op)?;
+                self.root = root;
+                self.height = height;
                 self.len -= 1;
                 return Ok(true);
             }
@@ -719,7 +750,180 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
             if entries.iter().any(|(k, _)| k > key) || next == NIL {
                 return Ok(false);
             }
-            pno = next;
+            // Step the recorded path one leaf to the right alongside the
+            // chain pointer; tree order and chain order agree.
+            let stepped = self.advance_right(pool, &mut path)?;
+            debug_assert_eq!(stepped, Some(next), "leaf chain diverged from tree order");
+            pno = stepped.ok_or(PoolError::Corrupt {
+                pid: PageId::new(self.file, pno),
+                reason: "leaf chain points past the tree's last leaf",
+            })?;
+        }
+    }
+
+    /// Reads an internal node's first child and `(separator, child)`
+    /// entries.
+    fn read_internal(
+        &self,
+        pool: &BufferPool,
+        pno: u32,
+    ) -> Result<(u32, Vec<(K, u32)>), PoolError> {
+        let page = pool.read_page(PageId::new(self.file, pno))?;
+        debug_assert_eq!(page[0], KIND_INTERNAL);
+        let count = get_u16(&page[..], 2) as usize;
+        let child0 = get_u32(&page[..], 4);
+        let esz = K::SIZE + 4;
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = HDR + i * esz;
+            entries.push((
+                K::read(&page[off..off + K::SIZE]),
+                get_u32(&page[..], off + K::SIZE),
+            ));
+        }
+        Ok((child0, entries))
+    }
+
+    /// Advances a recorded descent path to the next leaf in tree order:
+    /// pops exhausted ancestors, takes the next branch, and descends
+    /// leftmost back to leaf level. `None` past the last leaf.
+    fn advance_right(
+        &self,
+        pool: &BufferPool,
+        path: &mut Vec<(u32, usize)>,
+    ) -> Result<Option<u32>, PoolError> {
+        while let Some((pno, branch)) = path.pop() {
+            let (child0, entries) = self.read_internal(pool, pno)?;
+            if branch < entries.len() {
+                path.push((pno, branch + 1));
+                let mut child = child_at(child0, &entries, branch + 1);
+                loop {
+                    let page = pool.read_page(PageId::new(self.file, child))?;
+                    if page[0] == KIND_LEAF {
+                        return Ok(Some(child));
+                    }
+                    path.push((child, 0));
+                    child = get_u32(&page[..], 4);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The leaf immediately left of the leaf the descent `path` leads
+    /// to: the rightmost leaf under the closest left sibling branch.
+    /// `None` when the path leads to the leftmost leaf.
+    fn left_neighbor_leaf(
+        &self,
+        pool: &BufferPool,
+        path: &[(u32, usize)],
+    ) -> Result<Option<u32>, PoolError> {
+        for &(pno, branch) in path.iter().rev() {
+            if branch == 0 {
+                continue;
+            }
+            let (child0, entries) = self.read_internal(pool, pno)?;
+            let mut pno = child_at(child0, &entries, branch - 1);
+            loop {
+                let page = pool.read_page(PageId::new(self.file, pno))?;
+                if page[0] == KIND_LEAF {
+                    return Ok(Some(pno));
+                }
+                let count = get_u16(&page[..], 2) as usize;
+                pno = if count == 0 {
+                    get_u32(&page[..], 4)
+                } else {
+                    let off = HDR + (count - 1) * (K::SIZE + 4);
+                    get_u32(&page[..], off + K::SIZE)
+                };
+            }
+        }
+        Ok(None)
+    }
+
+    /// Stages the structural removal of the emptied non-root leaf `pno`
+    /// into `op`: the chain predecessor's next pointer is patched past
+    /// it, its parent entry is removed (ancestors left childless are
+    /// removed recursively), every removed page is logged `Free`, and
+    /// the root collapses while it is an internal node with a single
+    /// child. All reads here see pre-`op` state — the staged writes and
+    /// the in-memory walk never touch the same page twice. Returns the
+    /// `(root, height)` the meta record must commit.
+    fn unlink_empty_leaf(
+        &self,
+        pool: &BufferPool,
+        op: &mut WalOp,
+        pno: u32,
+        next: u32,
+        path: &[(u32, usize)],
+    ) -> Result<(u32, u32), PoolError> {
+        if let Some(pred) = self.left_neighbor_leaf(pool, path)? {
+            op.page_write(PageId::new(self.file, pred), 4, &next.to_le_bytes());
+        }
+        op.free(PageId::new(self.file, pno));
+        let mut i = path.len();
+        loop {
+            if i == 0 {
+                // Every ancestor up to the root was single-child. The
+                // root invariant (collapsed after every delete) makes
+                // this unreachable in a well-formed tree.
+                return Err(PoolError::Corrupt {
+                    pid: PageId::new(self.file, self.root),
+                    reason: "logged-tree root lost its last child",
+                });
+            }
+            i -= 1;
+            let (parent, branch) = path[i];
+            let (child0, entries) = self.read_internal(pool, parent)?;
+            if entries.is_empty() {
+                // A single-child node loses its only child: it goes too,
+                // and its own parent sheds an entry in turn.
+                debug_assert_eq!(branch, 0);
+                op.free(PageId::new(self.file, parent));
+                continue;
+            }
+            let (new_child0, mut new_entries) = (child0, entries);
+            if branch == 0 {
+                // `child0` goes: promote the first entry's child, whose
+                // key range absorbs the emptied child's (empty) range.
+                let promoted = new_entries.remove(0).1;
+                if i == 0 && new_entries.is_empty() && self.height > 1 {
+                    return self.collapse_root(pool, op, parent, promoted);
+                }
+                log_internal(op, PageId::new(self.file, parent), promoted, &new_entries);
+            } else {
+                new_entries.remove(branch - 1);
+                if i == 0 && new_entries.is_empty() && self.height > 1 {
+                    return self.collapse_root(pool, op, parent, new_child0);
+                }
+                log_internal(op, PageId::new(self.file, parent), new_child0, &new_entries);
+            }
+            return Ok((self.root, self.height));
+        }
+    }
+
+    /// Stages the root collapse: the old root (internal, down to one
+    /// child) is freed and `child` becomes the root — repeatedly, while
+    /// the new root is itself a single-child internal node.
+    fn collapse_root(
+        &self,
+        pool: &BufferPool,
+        op: &mut WalOp,
+        old_root: u32,
+        child: u32,
+    ) -> Result<(u32, u32), PoolError> {
+        op.free(PageId::new(self.file, old_root));
+        let mut root = child;
+        let mut height = self.height - 1;
+        loop {
+            let page = pool.read_page(PageId::new(self.file, root))?;
+            if page[0] == KIND_LEAF || get_u16(&page[..], 2) != 0 {
+                return Ok((root, height));
+            }
+            let only = get_u32(&page[..], 4);
+            op.free(PageId::new(self.file, root));
+            root = only;
+            height -= 1;
         }
     }
 
@@ -836,6 +1040,17 @@ impl<K: FixedRecord + Ord, V: FixedRecord> BPlusTree<K, V> {
         log_leaf(op, PageId::new(self.file, pno), rpno, &entries);
         log_leaf(op, PageId::new(self.file, rpno), next, &right_entries);
         Ok(Some((right_entries[0].0, rpno)))
+    }
+}
+
+/// The child page an internal node holds at `branch`: `child0` for
+/// branch 0, `entries[branch - 1].1` after that.
+#[inline]
+fn child_at<K>(child0: u32, entries: &[(K, u32)], branch: usize) -> u32 {
+    if branch == 0 {
+        child0
+    } else {
+        entries[branch - 1].1
     }
 }
 
@@ -1233,6 +1448,115 @@ mod tests {
         assert!(!t.delete_logged(&p, &wal, &999).unwrap());
         assert_eq!(t.len(), 100);
         assert_eq!(t.get(&p, &1050).unwrap(), Some(50));
+    }
+
+    #[test]
+    fn logged_delete_frees_emptied_leaves_and_reuses_them() {
+        let p = pool(64);
+        let wal = Wal::create(&p);
+        let mut t = BPlusTree::<u64, u64>::new_logged(&p, &wal).unwrap();
+        let n = 2000u64;
+        for k in 0..n {
+            t.insert_logged(&p, &wal, k, k * 7).unwrap();
+        }
+        let pages_full = p.num_pages(t.file_id());
+        assert!(t.height() >= 2);
+        // Carve out the middle: the leaves it occupied must be unlinked
+        // from the chain and handed to the free list, not left chained
+        // with zero entries.
+        for k in 200..1800u64 {
+            assert!(t.delete_logged(&p, &wal, &k).unwrap());
+        }
+        let freed = wal.freelist_len();
+        assert!(
+            freed > 5,
+            "emptied leaves reach the free list (got {freed})"
+        );
+        // Queries over the churned tree match the model exactly.
+        for k in 0..n {
+            let expect = (!(200..1800).contains(&k)).then_some(k * 7);
+            assert_eq!(t.get(&p, &k).unwrap(), expect, "key {k}");
+        }
+        let keys: Vec<u64> = t.iter(&p).unwrap().map(|(k, _)| k).collect();
+        let model: Vec<u64> = (0..200).chain(1800..n).collect();
+        assert_eq!(keys, model);
+        // Regrowth recycles: while the free list has pages, inserts must
+        // not extend the file.
+        for k in 200..1800u64 {
+            if wal.freelist_len() == 0 {
+                break;
+            }
+            t.insert_logged(&p, &wal, k, k * 7).unwrap();
+            assert_eq!(
+                p.num_pages(t.file_id()),
+                pages_full,
+                "allocation bypassed the free list at key {k}"
+            );
+        }
+        assert!(wal.freelist_len() < freed, "regrowth consumed freed pages");
+    }
+
+    #[test]
+    fn logged_delete_collapses_the_root_when_the_tree_drains() {
+        let p = pool(64);
+        let wal = Wal::create(&p);
+        let mut t = BPlusTree::<u64, u64>::new_logged(&p, &wal).unwrap();
+        // Interleave two key ranges so deletion empties leaves in a
+        // non-sequential pattern, then drain the tree completely.
+        for k in 0..1500u64 {
+            t.insert_logged(&p, &wal, (k * 37) % 1500, k).unwrap();
+        }
+        assert!(t.height() >= 2);
+        for k in 0..1500u64 {
+            assert!(t.delete_logged(&p, &wal, &k).unwrap(), "key {k}");
+        }
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 1, "drained tree collapses to a root leaf");
+        assert_eq!(t.iter(&p).unwrap().count(), 0);
+        assert_eq!(t.get(&p, &700).unwrap(), None);
+        // The handle round-trips through its meta page in the collapsed
+        // state, and the tree grows again from the free list.
+        let reopened = BPlusTree::<u64, u64>::open_logged(&p, t.file_id()).unwrap();
+        assert_eq!(reopened.height(), 1);
+        assert_eq!(reopened.len(), 0);
+        let before = p.num_pages(t.file_id());
+        for k in 0..300u64 {
+            t.insert_logged(&p, &wal, k, k).unwrap();
+        }
+        assert_eq!(
+            p.num_pages(t.file_id()),
+            before,
+            "regrowth after a full drain reuses freed pages"
+        );
+        let again: Vec<(u64, u64)> = t.iter(&p).unwrap().collect();
+        assert_eq!(again, (0..300u64).map(|k| (k, k)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn logged_delete_unlinks_mid_chain_duplicate_leaves() {
+        let p = pool(32);
+        let wal = Wal::create(&p);
+        let mut t = BPlusTree::<u64, u64>::new_logged(&p, &wal).unwrap();
+        // A duplicate run long enough to own several leaves, fenced by
+        // live keys on both sides so unlinking happens mid-chain.
+        for i in 0..40u64 {
+            t.insert_logged(&p, &wal, i, i).unwrap();
+        }
+        for i in 0..900u64 {
+            t.insert_logged(&p, &wal, 500_000, i).unwrap();
+        }
+        for i in 0..40u64 {
+            t.insert_logged(&p, &wal, 1_000_000 + i, i).unwrap();
+        }
+        for _ in 0..900u64 {
+            assert!(t.delete_logged(&p, &wal, &500_000).unwrap());
+        }
+        assert!(!t.delete_logged(&p, &wal, &500_000).unwrap());
+        assert!(wal.freelist_len() > 0, "duplicate leaves were freed");
+        // The chain over the excision stays sound end to end.
+        let keys: Vec<u64> = t.iter(&p).unwrap().map(|(k, _)| k).collect();
+        let expect: Vec<u64> = (0..40).chain((0..40).map(|i| 1_000_000 + i)).collect();
+        assert_eq!(keys, expect);
     }
 
     #[test]

@@ -311,7 +311,10 @@ impl JoinCtx {
     /// [`write_opts`](JoinCtx::write_opts) and survives worker carving.
     /// Reading is always layout-agnostic (the page header selects the
     /// decode), so flipping this knob never changes results, only the page
-    /// counts. Defaults to the `PBITREE_COMPRESS` environment variable.
+    /// counts. Defaults to the once-per-process `PBITREE_COMPRESS`
+    /// snapshot ([`pbitree_storage::compress_default`]) — a mid-run
+    /// change to the environment cannot flip the layout under a
+    /// workload.
     pub fn with_compression(mut self, compress: bool) -> Self {
         self.io_opts = self.io_opts.with_compress(compress);
         self

@@ -1,0 +1,538 @@
+//! The query service: one shared buffer pool, many concurrent queries.
+//!
+//! A [`QueryService`] owns an XMark corpus (generated at construction,
+//! encoded, and bulk-loaded into per-tag element heap files on one shared
+//! sharded [`BufferPool`]) and executes `//a//b`-style descendant paths
+//! against it through the planner framework. Concurrency control is the
+//! admission layer: each query asks the [`AdmissionController`] for its
+//! whole frame budget up front, runs on a [`JoinCtx::worker`] sized to
+//! exactly that grant, and releases the frames when its result is out —
+//! the per-worker carve of the parallel scheduler generalized to whole
+//! queries (see `crates/server/src/admission.rs` for the deadlock-freedom
+//! argument).
+//!
+//! Multi-step paths decompose into a chain of containment joins exactly as
+//! `DescendantPath::evaluate_naive` does in memory: the distinct
+//! descendants of step *i* become the ancestor set of step *i + 1*. Every
+//! input the service feeds a join is in document order (`doc_key` sort at
+//! corpus build and between steps), so queries run the planner's
+//! sorted-inputs row by default; a query flagged `raw` declares its inputs
+//! unsorted and exercises the Table-1 bottom row instead. Either way the
+//! result is the same sorted, deduplicated code list, which is what makes
+//! concurrent responses byte-comparable to a serial baseline.
+//!
+//! [`BufferPool`]: pbitree_storage::BufferPool
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pbitree_core::Code;
+use pbitree_datagen::xmark::{self, XMarkSpec};
+use pbitree_joins::element::element_file_with;
+use pbitree_joins::{
+    plan_and_execute, Algorithm, CollectSink, Element, InputState, JoinCtx, JoinError,
+};
+use pbitree_storage::{
+    compress_default, BufferPool, CostModel, Disk, HeapFile, MemBackend, PoolError, ScanOptions,
+};
+use pbitree_xml::{DescendantPath, EncodedDocument};
+
+use crate::admission::{AdmissionController, AdmissionError, Grant, MIN_QUERY_FRAMES};
+
+/// Service construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// XMark scale factor for the corpus.
+    pub sf: f64,
+    /// Corpus generator seed.
+    pub seed: u64,
+    /// Buffer-pool frames (the paper's `b`).
+    pub buffer_pages: usize,
+    /// Frames withheld from query admission — headroom for non-query pool
+    /// users (corpus loading, logged writers sharing the pool).
+    pub reserve_frames: usize,
+    /// Frames granted to a query that does not ask for a specific budget.
+    pub default_budget: usize,
+    /// Admission wait-queue bound; waiters beyond it are rejected.
+    pub max_queue: usize,
+    /// Simulated disk cost model.
+    pub cost: CostModel,
+    /// Whether element pages are written packed.
+    pub compression: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            sf: 0.01,
+            seed: 0xE0,
+            buffer_pages: 500,
+            reserve_frames: 16,
+            default_budget: 64,
+            max_queue: 4096,
+            cost: CostModel::default(),
+            compression: compress_default(),
+        }
+    }
+}
+
+/// Service-side errors, rendered as `ERR` protocol responses.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The path did not parse.
+    Parse(String),
+    /// Admission refused the query.
+    Admission(AdmissionError),
+    /// A join operator failed.
+    Join(JoinError),
+    /// Building an intermediate input failed.
+    Pool(PoolError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Parse(e) => write!(f, "parse: {e}"),
+            ServiceError::Admission(e) => write!(f, "admission: {e}"),
+            ServiceError::Join(e) => write!(f, "join: {e:?}"),
+            ServiceError::Pool(e) => write!(f, "pool: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<AdmissionError> for ServiceError {
+    fn from(e: AdmissionError) -> Self {
+        ServiceError::Admission(e)
+    }
+}
+
+impl From<JoinError> for ServiceError {
+    fn from(e: JoinError) -> Self {
+        ServiceError::Join(e)
+    }
+}
+
+impl From<PoolError> for ServiceError {
+    fn from(e: PoolError) -> Self {
+        ServiceError::Pool(e)
+    }
+}
+
+/// One resolved query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Final-step result codes, ascending, deduplicated.
+    pub codes: Vec<u64>,
+    /// The algorithm the planner chose for each join step.
+    pub algorithms: Vec<Algorithm>,
+    /// Frames the query ran with.
+    pub budget: usize,
+}
+
+/// A pre-extracted tag population: its heap file plus the catalog facts
+/// the planner consumes.
+struct TagSet {
+    file: HeapFile<Element>,
+    single_height: bool,
+}
+
+/// One join input in the step chain: a shared corpus tag file or a
+/// query-private intermediate/predicate file.
+enum StepInput<'a> {
+    Corpus(&'a TagSet),
+    Owned {
+        file: HeapFile<Element>,
+        single_height: bool,
+    },
+    Empty,
+}
+
+impl StepInput<'_> {
+    fn file(&self) -> Option<&HeapFile<Element>> {
+        match self {
+            StepInput::Corpus(t) => Some(&t.file),
+            StepInput::Owned { file, .. } => Some(file),
+            StepInput::Empty => None,
+        }
+    }
+
+    fn single_height(&self) -> bool {
+        match self {
+            StepInput::Corpus(t) => t.single_height,
+            StepInput::Owned { single_height, .. } => *single_height,
+            StepInput::Empty => true,
+        }
+    }
+}
+
+/// The shared query service. `Arc` it and hand clones to every connection
+/// handler; all methods take `&self`.
+pub struct QueryService {
+    ctx: JoinCtx,
+    doc: EncodedDocument,
+    tags: HashMap<String, TagSet>,
+    admission: Arc<AdmissionController>,
+    default_budget: usize,
+    load_opts: ScanOptions,
+    queries: AtomicU64,
+}
+
+/// Sorts `(code, tag)` pairs into document order — the order every join
+/// input the service builds is stored in.
+fn sort_doc_order(items: &mut [(u64, u32)]) {
+    items.sort_unstable_by_key(|&(c, _)| Code::from_raw_unchecked(c).doc_order_key());
+}
+
+fn all_same_height(items: &[(u64, u32)]) -> bool {
+    items.windows(2).all(|w| {
+        Code::from_raw_unchecked(w[0].0).height() == Code::from_raw_unchecked(w[1].0).height()
+    })
+}
+
+impl QueryService {
+    /// Generates and loads the corpus, then stands the service up. The
+    /// pool is fresh and in-memory; every tag population in the document
+    /// becomes one element heap file, stored in document order.
+    pub fn new(cfg: ServiceConfig) -> Result<Self, PoolError> {
+        let doc = EncodedDocument::encode(xmark::generate(XMarkSpec {
+            sf: cfg.sf,
+            seed: cfg.seed,
+        }))
+        .expect("XMark corpus encodes");
+        let shape = doc.encoding().shape();
+        let ctx = JoinCtx::new(
+            BufferPool::new(
+                Disk::new(Box::new(MemBackend::new()), cfg.cost),
+                cfg.buffer_pages.max(MIN_QUERY_FRAMES + 1),
+            ),
+            shape,
+        )
+        .with_compression(cfg.compression);
+        let load_opts = ScanOptions::default().with_compress(cfg.compression);
+
+        // Group the coded nodes by tag, then bulk-load one file per tag.
+        let mut by_tag: HashMap<u32, Vec<(u64, u32)>> = HashMap::new();
+        for (code, tag) in doc.all_coded_nodes() {
+            by_tag.entry(tag).or_default().push((code.get(), tag));
+        }
+        let mut tags = HashMap::new();
+        for (tag, mut items) in by_tag {
+            sort_doc_order(&mut items);
+            let single_height = all_same_height(&items);
+            let file = element_file_with(&ctx.pool, load_opts, items.iter().copied())?;
+            let name = doc.document().tag_name(tag).to_owned();
+            tags.insert(
+                name,
+                TagSet {
+                    file,
+                    single_height,
+                },
+            );
+        }
+
+        let grantable = cfg
+            .buffer_pages
+            .saturating_sub(cfg.reserve_frames)
+            .max(MIN_QUERY_FRAMES);
+        let admission = AdmissionController::new(grantable, cfg.max_queue);
+        let default_budget = cfg.default_budget.clamp(MIN_QUERY_FRAMES, grantable);
+        Ok(QueryService {
+            ctx,
+            doc,
+            tags,
+            admission,
+            default_budget,
+            load_opts,
+            queries: AtomicU64::new(0),
+        })
+    }
+
+    /// The shared pool (logged writers in tests attach here).
+    pub fn pool(&self) -> &Arc<pbitree_storage::BufferPool> {
+        &self.ctx.pool
+    }
+
+    /// The corpus tree shape.
+    pub fn shape(&self) -> pbitree_core::PBiTreeShape {
+        self.ctx.shape
+    }
+
+    /// The encoded corpus document — the in-memory ground truth
+    /// (`DescendantPath::evaluate_naive`) queries are verified against.
+    pub fn document(&self) -> &EncodedDocument {
+        &self.doc
+    }
+
+    /// The admission controller (exposed for stats and tests).
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// Queries completed successfully since startup.
+    pub fn queries_served(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a span tracer: every operator run by every subsequent
+    /// query records schema-v1 phase spans into it.
+    pub fn with_tracer(mut self, tracer: Arc<pbitree_joins::trace::Tracer>) -> Self {
+        self.ctx = self.ctx.with_tracer(tracer);
+        self
+    }
+
+    /// Refuses new queries and wakes every admission waiter. In-flight
+    /// queries finish normally.
+    pub fn close(&self) {
+        self.admission.close();
+    }
+
+    /// Runs one query end to end: admission, then the join chain on a
+    /// worker context sized to the grant.
+    ///
+    /// `raw` declares the inputs neither sorted nor indexed (Table 1
+    /// bottom row); `budget` requests an explicit frame budget, refused
+    /// outright if it exceeds what admission owns.
+    pub fn execute(
+        &self,
+        path: &str,
+        raw: bool,
+        budget: Option<usize>,
+    ) -> Result<QueryOutcome, ServiceError> {
+        let path = DescendantPath::parse(path).map_err(|e| ServiceError::Parse(e.to_string()))?;
+        let want = budget.unwrap_or(self.default_budget);
+        let grant = self.admission.admit(want)?;
+        let out = self.run_chain(&path, raw, &grant)?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// The containment-join chain over the parsed path.
+    fn run_chain(
+        &self,
+        path: &DescendantPath,
+        raw: bool,
+        grant: &Grant,
+    ) -> Result<QueryOutcome, ServiceError> {
+        let ctx = self.ctx.worker(grant.frames());
+        let state = if raw {
+            InputState::raw()
+        } else {
+            InputState::sorted()
+        };
+        let mut algorithms = Vec::with_capacity(path.steps.len().saturating_sub(1));
+        let mut current = self.step_input(&ctx, path, 0)?;
+        for i in 1..path.steps.len() {
+            let next = self.step_input(&ctx, path, i)?;
+            if matches!(current, StepInput::Empty) || matches!(next, StepInput::Empty) {
+                current = StepInput::Empty;
+                continue;
+            }
+            let af = current.file().expect("non-empty input has a file");
+            let df = next.file().expect("non-empty input has a file");
+            let mut sink = CollectSink::default();
+            let (algo, _stats) = plan_and_execute(
+                &ctx,
+                state,
+                state,
+                af,
+                df,
+                current.single_height(),
+                &mut sink,
+            )?;
+            algorithms.push(algo);
+            let mut codes: Vec<u64> = sink.canonical().into_iter().map(|(_, d)| d).collect();
+            codes.sort_unstable();
+            codes.dedup();
+            current = if codes.is_empty() {
+                StepInput::Empty
+            } else if i + 1 < path.steps.len() {
+                // Materialize the distinct descendants as the next step's
+                // ancestor input, in document order like every corpus file.
+                let mut items: Vec<(u64, u32)> = codes.iter().map(|&c| (c, 0)).collect();
+                sort_doc_order(&mut items);
+                let single_height = all_same_height(&items);
+                let file = element_file_with(&ctx.pool, self.load_opts, items.iter().copied())?;
+                StepInput::Owned {
+                    file,
+                    single_height,
+                }
+            } else {
+                return Ok(QueryOutcome {
+                    codes,
+                    algorithms,
+                    budget: grant.frames(),
+                });
+            };
+        }
+        // Single-step path, or a chain that drained to empty: the result
+        // is whatever `current` holds.
+        let codes = match &current {
+            StepInput::Empty => Vec::new(),
+            StepInput::Corpus(t) => file_codes(&self.ctx.pool, &t.file)?,
+            StepInput::Owned { file, .. } => file_codes(&self.ctx.pool, file)?,
+        };
+        Ok(QueryOutcome {
+            codes,
+            algorithms,
+            budget: grant.frames(),
+        })
+    }
+
+    /// The join input for step `i`: the shared tag file when the step has
+    /// no predicate, a query-private extraction otherwise.
+    fn step_input<'a>(
+        &'a self,
+        ctx: &JoinCtx,
+        path: &DescendantPath,
+        i: usize,
+    ) -> Result<StepInput<'a>, ServiceError> {
+        if path.steps[i].predicate.is_none() {
+            return Ok(match self.tags.get(&path.steps[i].tag) {
+                Some(t) => StepInput::Corpus(t),
+                None => StepInput::Empty,
+            });
+        }
+        let codes = path.step_set(&self.doc, i);
+        if codes.is_empty() {
+            return Ok(StepInput::Empty);
+        }
+        let mut items: Vec<(u64, u32)> = codes.iter().map(|c| (c.get(), 0)).collect();
+        sort_doc_order(&mut items);
+        let single_height = all_same_height(&items);
+        let file = element_file_with(&ctx.pool, self.load_opts, items.iter().copied())?;
+        Ok(StepInput::Owned {
+            file,
+            single_height,
+        })
+    }
+
+    /// The service's counters as one JSON line (the `STATS` response).
+    pub fn stats_json(&self) -> String {
+        let a = self.admission.stats();
+        format!(
+            "{{\"queries\":{},\"capacity\":{},\"in_use\":{},\"waiting\":{},\
+             \"peak_waiting\":{},\"admitted\":{},\"rejected\":{}}}",
+            self.queries_served(),
+            self.admission.capacity(),
+            a.in_use,
+            a.waiting,
+            a.peak_waiting,
+            a.admitted,
+            a.rejected,
+        )
+    }
+}
+
+/// Ascending, deduplicated codes of a whole element file (single-step
+/// paths return a full tag population).
+fn file_codes(
+    pool: &pbitree_storage::BufferPool,
+    file: &HeapFile<Element>,
+) -> Result<Vec<u64>, ServiceError> {
+    let mut codes: Vec<u64> = file
+        .read_all(pool)
+        .map_err(ServiceError::Pool)?
+        .into_iter()
+        .map(|e| e.code.get())
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    Ok(codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> QueryService {
+        QueryService::new(ServiceConfig {
+            sf: 0.002,
+            buffer_pages: 64,
+            reserve_frames: 8,
+            default_budget: 16,
+            cost: CostModel::free(),
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn queries_match_the_naive_evaluator() {
+        let svc = tiny();
+        for (path, raw) in [
+            ("//person//creditcard", false),
+            ("//person//creditcard", true),
+            ("//item//keyword", false),
+            ("//item//keyword", true),
+            ("//site//open_auction//bidder", false),
+            ("//listitem//text", true),
+        ] {
+            let got = svc.execute(path, raw, None).unwrap();
+            let want: Vec<u64> = DescendantPath::parse(path)
+                .unwrap()
+                .evaluate_naive(svc.document())
+                .into_iter()
+                .map(|c| c.get())
+                .collect();
+            assert_eq!(got.codes, want, "{path} raw={raw}");
+            assert!(!got.algorithms.is_empty(), "{path}");
+        }
+    }
+
+    #[test]
+    fn raw_and_sorted_hints_pick_different_planner_rows() {
+        let svc = tiny();
+        let sorted = svc.execute("//item//keyword", false, None).unwrap();
+        let raw = svc.execute("//item//keyword", true, None).unwrap();
+        assert_eq!(sorted.algorithms, vec![Algorithm::StackTree]);
+        assert!(
+            !raw.algorithms.contains(&Algorithm::StackTree),
+            "{:?}",
+            raw.algorithms
+        );
+        assert_eq!(sorted.codes, raw.codes);
+    }
+
+    #[test]
+    fn single_step_and_unknown_tags() {
+        let svc = tiny();
+        let people = svc.execute("//person", false, None).unwrap();
+        assert_eq!(
+            people.codes.len(),
+            svc.document().element_set("person").len()
+        );
+        assert!(people.algorithms.is_empty());
+        let none = svc.execute("//no_such_tag//person", false, None).unwrap();
+        assert!(none.codes.is_empty());
+    }
+
+    #[test]
+    fn oversized_budget_is_refused() {
+        let svc = tiny();
+        let err = svc.execute("//person//creditcard", false, Some(10_000));
+        assert!(matches!(
+            err,
+            Err(ServiceError::Admission(AdmissionError::TooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn predicate_steps_run_through_the_joins() {
+        // Every generated person carries <name>p</name> and an
+        // emailaddress, so the predicate step is guaranteed non-empty.
+        let svc = tiny();
+        let q = "//person[name=p]//emailaddress";
+        let got = svc.execute(q, false, None).unwrap();
+        let want: Vec<u64> = DescendantPath::parse(q)
+            .unwrap()
+            .evaluate_naive(svc.document())
+            .into_iter()
+            .map(|c| c.get())
+            .collect();
+        assert!(!want.is_empty());
+        assert_eq!(got.codes, want);
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end TCP tests: protocol, concurrent clients, clean shutdown.
+
+use std::sync::Arc;
+
+use pbitree_server::proto::Response;
+use pbitree_server::server::Client;
+use pbitree_server::{spawn, QueryService, ServiceConfig};
+use pbitree_storage::CostModel;
+
+fn service() -> QueryService {
+    QueryService::new(ServiceConfig {
+        sf: 0.002,
+        buffer_pages: 128,
+        reserve_frames: 16,
+        default_budget: 24,
+        cost: CostModel::free(),
+        ..ServiceConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn tcp_round_trip_matches_in_process_results() {
+    let svc = Arc::new(service());
+    let handle = spawn(svc.clone(), "127.0.0.1:0").unwrap();
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    assert!(c.ping().unwrap());
+
+    for (path, raw) in [("//person//creditcard", false), ("//item//keyword", true)] {
+        let want = svc.execute(path, raw, None).unwrap().codes;
+        match c.query(path, raw, None).unwrap() {
+            Response::Ok { codes, .. } => assert_eq!(codes, want, "{path}"),
+            Response::Err(e) => panic!("{path}: {e}"),
+        }
+    }
+
+    // Errors come back as ERR without dropping the connection.
+    assert!(matches!(
+        c.query("not-a-path", false, None),
+        Err(_) | Ok(Response::Err(_))
+    ));
+    match c.query("//person", false, Some(1_000_000)).unwrap() {
+        Response::Err(e) => assert!(e.contains("admission"), "{e}"),
+        Response::Ok { .. } => panic!("oversized budget was admitted"),
+    }
+    assert!(c.ping().unwrap(), "connection survived the errors");
+
+    let stats = c.stats().unwrap();
+    assert!(stats.contains("\"queries\""), "{stats}");
+
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn many_clients_identical_responses_and_clean_shutdown() {
+    let svc = Arc::new(service());
+    let handle = spawn(svc.clone(), "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    // Serial baseline bytes through one connection.
+    let paths = [
+        ("//person//creditcard", false),
+        ("//item//keyword", true),
+        ("//listitem//text", false),
+    ];
+    let mut base = Vec::new();
+    {
+        let mut c = Client::connect(addr).unwrap();
+        for &(p, raw) in &paths {
+            match c.query(p, raw, None).unwrap() {
+                Response::Ok { bytes, .. } => base.push(bytes),
+                Response::Err(e) => panic!("{p}: {e}"),
+            }
+        }
+    }
+    let base = Arc::new(base);
+
+    std::thread::scope(|s| {
+        for t in 0..16 {
+            let base = Arc::clone(&base);
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for r in 0..4 {
+                    let i = (t + r) % paths.len();
+                    let (p, raw) = paths[i];
+                    match c.query(p, raw, None).unwrap() {
+                        Response::Ok { bytes, .. } => {
+                            assert_eq!(bytes, base[i], "{p} differed from serial bytes")
+                        }
+                        Response::Err(e) => panic!("{p}: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(svc.queries_served(), 3 + 16 * 4);
+
+    // Handle-initiated shutdown (no client) also terminates cleanly.
+    handle.shutdown();
+    handle.join().unwrap();
+
+    // The admission gate is closed: an in-process query is refused.
+    assert!(svc.execute("//person", false, None).is_err());
+}

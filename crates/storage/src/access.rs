@@ -68,8 +68,14 @@ impl Default for ScanOptions {
     }
 }
 
-/// Process-wide compression default, read once from `PBITREE_COMPRESS`.
-fn env_compress() -> bool {
+/// Process-wide compression default: the `PBITREE_COMPRESS` environment
+/// variable (any value but `0` enables, unset disables), **snapshotted
+/// exactly once per process** on first use. Every construction site —
+/// [`ScanOptions`] constructors, join contexts, the bench harness —
+/// funnels through this one snapshot, so a mid-run change to the
+/// environment can never flip the knob between two writers of one
+/// workload and produce mixed-layout files.
+pub fn compress_default() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *ON.get_or_init(|| std::env::var_os("PBITREE_COMPRESS").is_some_and(|v| v != *"0"))
 }
@@ -80,7 +86,7 @@ impl ScanOptions {
         ScanOptions {
             pattern: AccessPattern::Random,
             filter: ScanFilter::All,
-            compress: env_compress(),
+            compress: compress_default(),
         }
     }
 
@@ -92,7 +98,7 @@ impl ScanOptions {
                 readahead: readahead.max(1),
             },
             filter: ScanFilter::All,
-            compress: env_compress(),
+            compress: compress_default(),
         }
     }
 
@@ -104,7 +110,7 @@ impl ScanOptions {
                 batch: batch.max(1),
             },
             filter: ScanFilter::All,
-            compress: env_compress(),
+            compress: compress_default(),
         }
     }
 
@@ -179,6 +185,19 @@ impl ScanOptions {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compress_default_is_a_process_snapshot() {
+        // Whatever the first read observed is locked in: flipping the
+        // environment mid-process must not change the default, so one
+        // workload can never mix page layouts across its writers.
+        let first = compress_default();
+        std::env::set_var("PBITREE_COMPRESS", if first { "0" } else { "1" });
+        assert_eq!(compress_default(), first);
+        assert_eq!(ScanOptions::default().compress, first);
+        assert_eq!(ScanOptions::random().compress, first);
+        assert_eq!(ScanOptions::write_once(4).compress, first);
+    }
 
     #[test]
     fn default_is_sequential_at_default_depth() {

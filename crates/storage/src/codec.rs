@@ -121,6 +121,30 @@ fn checksum(n: u32, base: u64, payload: &[u8]) -> u32 {
     (h ^ (h >> 32)) as u32
 }
 
+/// The bytes a page image actually occupies on the wire: header plus
+/// payload for a structurally plausible packed page, the full
+/// [`PAGE_SIZE`] otherwise. This feeds the disk layer's per-byte
+/// transfer cost — a packed page streams only its sealed bytes, which is
+/// how compression shows up in simulated *time* and not just page
+/// counts. Infallible by design: cost accounting must never reject a
+/// page (corruption is the buffer pool's business to diagnose), so a
+/// flagged header whose sizes do not hold together simply charges the
+/// full page.
+pub fn transfer_bytes(page: &[u8]) -> usize {
+    if page.len() < PACKED_HEADER {
+        return page.len();
+    }
+    let count = u32::from_le_bytes(page[..4].try_into().unwrap());
+    if count & PACKED_FLAG == 0 || count == PACKED_FLAG {
+        return PAGE_SIZE;
+    }
+    let payload = u32::from_le_bytes(page[4..8].try_into().unwrap()) as usize;
+    if payload > PAGE_SIZE - PACKED_HEADER {
+        return PAGE_SIZE;
+    }
+    PACKED_HEADER + payload
+}
+
 /// Incremental encoder for one packed page: buffers record parts and tracks
 /// the exact encoded size, so the writer can seal the page the moment the
 /// next record would no longer fit.
@@ -506,6 +530,31 @@ mod tests {
         let mut page = [0u8; PAGE_SIZE];
         page[..4].copy_from_slice(&341u32.to_le_bytes());
         assert!(parse_packed_header(&page, pid()).unwrap().is_none());
+    }
+
+    #[test]
+    fn transfer_bytes_is_sealed_size_for_packed_and_full_page_otherwise() {
+        // A raw page ships whole.
+        let mut raw = [0u8; PAGE_SIZE];
+        raw[..4].copy_from_slice(&341u32.to_le_bytes());
+        assert_eq!(transfer_bytes(&raw), PAGE_SIZE);
+        // A sealed packed page ships exactly header + payload.
+        let mut b = PackedPageBuilder::default();
+        for i in 0..50u64 {
+            b.push(RecordParts {
+                start: 1000 + i * 3,
+                height: (i % 7) as u32,
+                tag: i as u32,
+            });
+        }
+        let mut page = [0u8; PAGE_SIZE];
+        let (_, used) = b.seal_into(&mut page);
+        assert!(used < PAGE_SIZE);
+        assert_eq!(transfer_bytes(&page), used);
+        // Flagged garbage (absurd payload length) charges the full page —
+        // the sniff never trusts an implausible header.
+        assert_eq!(transfer_bytes(&[0xFF; PAGE_SIZE]), PAGE_SIZE);
+        assert_eq!(transfer_bytes(&[0u8; 4]), 4);
     }
 
     #[test]

@@ -43,11 +43,11 @@ pub mod util;
 pub mod wal;
 pub mod zone;
 
-pub use access::{AccessPattern, ScanOptions, DEFAULT_IO_DEPTH};
+pub use access::{compress_default, AccessPattern, ScanOptions, DEFAULT_IO_DEPTH};
 pub use buffer::{
     BufferPool, LsnGate, PageMut, PageRef, PoolError, PoolStats, StatsSnapshot, SHARD_COUNT,
 };
-pub use codec::{PACKED_FLAG, PACKED_HEADER};
+pub use codec::{transfer_bytes, PACKED_FLAG, PACKED_HEADER};
 pub use disk::{
     BatchError, Disk, DiskBackend, FileBackend, IoError, IoErrorKind, MemBackend, SharedBackend,
 };

@@ -38,6 +38,23 @@ impl CostModel {
             rand_ns: 0,
         }
     }
+
+    /// Simulated cost of transferring `bytes` of one page: the model
+    /// decomposes into a streaming term (`seq_ns` buys one full page at
+    /// the disk's transfer rate, so partial pages cost proportionally
+    /// less) plus, for random transfers, a positioning surcharge of
+    /// `rand_ns - seq_ns` (seek + rotational latency, independent of the
+    /// transfer size). A full-page transfer therefore costs exactly
+    /// `seq_ns` or `rand_ns` as before; only short transfers — packed
+    /// pages, which ship `header + payload` bytes — cost less.
+    pub fn transfer_ns(&self, seq: bool, bytes: usize) -> u64 {
+        let stream = (self.seq_ns * bytes as u64) / crate::page::PAGE_SIZE as u64;
+        if seq {
+            stream
+        } else {
+            stream + self.rand_ns.saturating_sub(self.seq_ns)
+        }
+    }
 }
 
 /// Activity counters of a [`crate::wal::Wal`].
@@ -205,5 +222,20 @@ mod tests {
         let m = CostModel::default();
         assert!(m.rand_ns > m.seq_ns);
         assert_eq!(CostModel::free().seq_ns, 0);
+    }
+
+    #[test]
+    fn transfer_cost_is_per_byte_with_full_pages_unchanged() {
+        use crate::page::PAGE_SIZE;
+        let m = CostModel::default();
+        // Full-page transfers cost exactly the classic per-page figures.
+        assert_eq!(m.transfer_ns(true, PAGE_SIZE), m.seq_ns);
+        assert_eq!(m.transfer_ns(false, PAGE_SIZE), m.rand_ns);
+        // Short transfers stream proportionally fewer bytes...
+        assert_eq!(m.transfer_ns(true, PAGE_SIZE / 4), m.seq_ns / 4);
+        // ...but a random transfer still pays the full positioning cost.
+        assert!(m.transfer_ns(false, 64) >= m.rand_ns - m.seq_ns);
+        assert!(m.transfer_ns(false, 64) < m.rand_ns);
+        assert_eq!(CostModel::free().transfer_ns(false, PAGE_SIZE), 0);
     }
 }

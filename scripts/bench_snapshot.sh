@@ -4,9 +4,13 @@
 #   BENCH_05.json — ablation pruning panel (simulated disk time + page
 #                   reads per operator, zone-map pushdown off vs on);
 #   BENCH_06.json — compressed-page panel (page reads + packed byte
-#                   footprint per operator, packed layout off vs on).
+#                   footprint per operator, packed layout off vs on);
+#   BENCH_08.json — query-service load report (p50/p95/p99 latency and
+#                   throughput for 100 concurrent clients against the
+#                   embedded server; the loadgen fails the run on any
+#                   error or serial-baseline mismatch).
 #
-#   scripts/bench_snapshot.sh [prune.json [compress.json]]
+#   scripts/bench_snapshot.sh [prune.json [compress.json [server.json]]]
 #
 # BENCH_SCALE scales the skewed workload (default 0.5 ≈ 3k ancestors /
 # 20k descendants). The JSON is plain `awk` output — no jq/python needed.
@@ -15,6 +19,7 @@ cd "$(dirname "$0")/.."
 
 OUT_PRUNE=${1:-BENCH_05.json}
 OUT_COMPRESS=${2:-BENCH_06.json}
+OUT_SERVER=${3:-BENCH_08.json}
 DIR=$(mktemp -d /tmp/bench.XXXXXX)
 trap 'rm -rf "$DIR"' EXIT
 
@@ -60,3 +65,11 @@ END {
 ' "$DIR/ablation_compress.tsv" > "$OUT_COMPRESS"
 
 echo "wrote $OUT_COMPRESS ($(wc -l < "$OUT_COMPRESS") lines)"
+
+# Query-service snapshot: the loadgen emits the JSON report itself and
+# exits non-zero on any error or serial-baseline mismatch.
+cargo run --release -q -p pbitree-server --bin pbitree-loadgen -- \
+    --embedded --sf 0.01 --clients 100 --requests 10 --seed 7 \
+    --out "$OUT_SERVER" > /dev/null
+
+echo "wrote $OUT_SERVER ($(wc -l < "$OUT_SERVER") lines)"

@@ -76,4 +76,24 @@ cargo run --release -q -p pbitree-bench --bin fig6 -- --panel s --fast \
 head -1 "$TRACE" | grep -q '"v":1' || { echo "trace smoke failed: bad first line"; exit 1; }
 rm -f "$TRACE"
 
+echo "== query-service smoke (serve + loadgen over TCP, serial-equivalent responses)"
+# Starts the server on an OS-assigned port (discovered via --addr-file),
+# drives it with concurrent clients — the load generator exits non-zero on
+# any error or any response that differs from its serial baseline — then
+# shuts it down over the protocol and checks the per-query span trace.
+ADDR_FILE=$(mktemp -u /tmp/pbitree-serve-XXXX.addr)
+SRV_TRACE=$(mktemp /tmp/pbitree-serve-XXXX.jsonl)
+./target/release/pbitree-serve --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" \
+    --sf 0.005 --trace "$SRV_TRACE" &
+SRV_PID=$!
+for _ in $(seq 1 100); do [ -f "$ADDR_FILE" ] && break; sleep 0.1; done
+[ -f "$ADDR_FILE" ] || { echo "server smoke failed: server never published its address"; kill "$SRV_PID"; exit 1; }
+./target/release/pbitree-loadgen --addr "$(cat "$ADDR_FILE")" --clients 25 --requests 4 \
+    --seed 11 --shutdown --out /tmp/loadgen_report.json
+wait "$SRV_PID" || { echo "server smoke failed: server exited non-zero"; exit 1; }
+grep -q '"errors": 0' /tmp/loadgen_report.json || { echo "server smoke failed: loadgen errors"; exit 1; }
+grep -q '"p99_ms"' /tmp/loadgen_report.json || { echo "server smoke failed: report missing percentiles"; exit 1; }
+head -1 "$SRV_TRACE" | grep -q '"v":1' || { echo "server smoke failed: bad trace"; exit 1; }
+rm -f "$ADDR_FILE" "$SRV_TRACE"
+
 echo "OK"
