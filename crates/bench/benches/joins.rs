@@ -23,14 +23,28 @@ type JoinFn = fn(
 ) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError>;
 
 fn ctx_for(w: &Workload, buffer: usize, threads: usize) -> JoinCtx {
-    JoinCtx::new(
+    JoinCtx::builder(
         BufferPool::new(
             Disk::new(Box::new(MemBackend::new()), CostModel::free()),
             buffer,
         ),
         w.shape,
     )
-    .with_threads(threads)
+    .threads(threads)
+    .build()
+}
+
+fn ctx_for_budget(w: &Workload, buffer: usize, threads: usize, budget: usize) -> JoinCtx {
+    JoinCtx::builder(
+        BufferPool::new(
+            Disk::new(Box::new(MemBackend::new()), CostModel::free()),
+            buffer,
+        ),
+        w.shape,
+    )
+    .threads(threads)
+    .budget(budget)
+    .build()
 }
 
 fn bench_all_algorithms() {
@@ -126,7 +140,7 @@ fn bench_memjoin_variants() {
 
 /// The tentpole measurement: MHCJ/VPJ wall time at 1/2/4 worker threads.
 /// The pool is sized to hold everything resident while the *budget* stays
-/// small (`JoinCtx::with_budget`), so the joins still partition exactly as
+/// small (`JoinCtxBuilder::budget`), so the joins still partition exactly as
 /// they would at the paper's `b` but the clock never evicts — isolating
 /// the CPU scaling of the partition scheduler from disk behavior.
 fn bench_parallel_speedup() {
@@ -147,7 +161,7 @@ fn bench_parallel_speedup() {
         let w = synthetic_by_name(wname, scale).unwrap();
         let mut base = 0.0f64;
         for threads in [1usize, 2, 4] {
-            let ctx = ctx_for(&w, 8192, threads).with_budget(budget);
+            let ctx = ctx_for_budget(&w, 8192, threads, budget);
             let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
             let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
             let secs = wall_secs(3, || {

@@ -14,7 +14,10 @@
 //! * `compress` — packed element pages off vs on (prune on in both):
 //!   identical pairs, strictly fewer page reads, smaller on-disk bytes;
 //! * `wal`     — durable insert throughput through the write-ahead log,
-//!   base file packed off vs on, with a crash-shaped recovery check.
+//!   base file packed off vs on, with a crash-shaped recovery check;
+//! * `shared`  — the batched-query scan: k serial Stack-Tree passes over
+//!   the same document side vs one `QueryBatch` pass answering all k —
+//!   identical pairs, page reads near-flat in k instead of linear.
 //!
 //! ```text
 //! cargo run -p pbitree-bench --release --bin ablation -- --study rollup
@@ -26,11 +29,12 @@ use pbitree_bench::report::{fmt_secs, Table};
 use pbitree_bench::workloads::{synthetic_by_name, synthetic_multi};
 use pbitree_joins::element::element_file;
 use pbitree_joins::rollup::RollupOptions;
-use pbitree_joins::{CountSink, JoinCtx};
+use pbitree_joins::stacktree::{stack_tree_desc, SortPolicy};
+use pbitree_joins::{CollectSink, CountSink, Element, JoinCtx, MultiSink, QueryBatch};
 use pbitree_storage::{BufferPool, Disk, MemBackend, SharedBackend, Wal};
 
 fn make_ctx(w: &pbitree_bench::Workload, args: &CommonArgs) -> JoinCtx {
-    let mut ctx = JoinCtx::new(
+    let mut builder = JoinCtx::builder(
         BufferPool::new(
             Disk::new(
                 Box::new(MemBackend::new()),
@@ -40,11 +44,11 @@ fn make_ctx(w: &pbitree_bench::Workload, args: &CommonArgs) -> JoinCtx {
         ),
         w.shape,
     )
-    .with_io(io_options(args.readahead));
+    .io(io_options(args.readahead));
     if let Some(t) = pbitree_bench::harness::tracer() {
-        ctx = ctx.with_tracer(t);
+        builder = builder.tracer(t);
     }
-    ctx
+    builder.build()
 }
 
 fn rollup_study(args: &CommonArgs) {
@@ -551,6 +555,163 @@ fn wal_study(args: &CommonArgs) {
     t.emit(&args.results_dir, "ablation_wal");
 }
 
+/// The shared-scan panel: `k` windowed queries against one document-side
+/// file, run as `k` independent Stack-Tree passes (the serial QUERY path)
+/// and as one [`QueryBatch`] pass (the QUERYBATCH path). Each query's
+/// ancestor window spans half the code space, staggered so the batch's
+/// union envelope covers the whole file: serially the document side is
+/// read ~`k/2` times over, batched it is read about once. The panel
+/// asserts the batch returns identical pairs per query and, at `k = 16`,
+/// at least 4x fewer page reads than the serial runs.
+fn shared_study(args: &CommonArgs) {
+    use std::collections::BTreeSet;
+    let mut t = Table::new(
+        "Ablation: shared multi-query scan (k serial passes vs one batch)",
+        &[
+            "batch_k",
+            "mode",
+            "pairs",
+            "reads",
+            "sim_disk(s)",
+            "elapsed(s)",
+        ],
+    );
+    let h = 18u32;
+    let shape = pbitree_core::PBiTreeShape::new(h).unwrap();
+    let span = 1u64 << h;
+    let n_d = ((20_000.0 * args.scale) as usize).max(10_000);
+    // The panel measures the regime the batch API exists for: a document
+    // side larger than the buffer pool, so each serial pass re-reads it.
+    // With a pool big enough to cache the file, every mode reads it once
+    // and there is nothing to share.
+    let buffer = args.buffer.min(16);
+
+    // Document side: low nodes over the whole span, in document order.
+    let mut x = 0x0D0C_5EED_u64;
+    let mut dset = BTreeSet::new();
+    while dset.len() < n_d {
+        let r = xorshift(&mut x);
+        let hh = (r % 2) as u32;
+        let alpha = (r >> 8) % (1u64 << (h - hh - 1));
+        dset.insert((1 + 2 * alpha) << hh);
+    }
+    let mut d_codes: Vec<u64> = dset.into_iter().collect();
+    d_codes.sort_by_key(|&v| pbitree_core::Code::new(v).unwrap().doc_order_key());
+
+    // 16 ancestor sets, each one page's worth of mid-height nodes inside
+    // a half-span window; window q starts at q * span/32.
+    let queries: Vec<Vec<(u64, u32)>> = (0..16u64)
+        .map(|q| {
+            let lo = (q * span / 32).max(1);
+            let hi = q * span / 32 + span / 2;
+            let mut y = 0xA11CE ^ (q << 32);
+            let mut set = BTreeSet::new();
+            while set.len() < 200 {
+                let r = xorshift(&mut y);
+                let hh = 4 + (r % 3) as u32;
+                let alpha = (r >> 8) % (1u64 << (h - hh - 1));
+                let c = (1 + 2 * alpha) << hh;
+                if c >= lo && c < hi {
+                    set.insert(c);
+                }
+            }
+            let mut codes: Vec<u64> = set.into_iter().collect();
+            codes.sort_by_key(|&v| pbitree_core::Code::new(v).unwrap().doc_order_key());
+            codes.into_iter().map(|c| (c, 0)).collect()
+        })
+        .collect();
+
+    let mk = || {
+        let mut builder = JoinCtx::builder(
+            BufferPool::new(
+                Disk::new(
+                    Box::new(MemBackend::new()),
+                    pbitree_storage::CostModel::default(),
+                ),
+                buffer,
+            ),
+            shape,
+        )
+        .io(io_options(args.readahead));
+        if let Some(tr) = pbitree_bench::harness::tracer() {
+            builder = builder.tracer(tr);
+        }
+        builder.build()
+    };
+
+    for k in [1usize, 4, 16] {
+        // Serial leg: k independent Stack-Tree passes, cold pool.
+        let ctx = mk();
+        let df = element_file(&ctx.pool, d_codes.iter().map(|&c| (c, 1))).unwrap();
+        let afs: Vec<_> = queries[..k]
+            .iter()
+            .map(|qc| element_file(&ctx.pool, qc.iter().copied()).unwrap())
+            .collect();
+        ctx.pool.evict_all().unwrap();
+        let mut want: Vec<Vec<(u64, u64)>> = Vec::with_capacity(k);
+        let (mut s_pairs, mut s_reads, mut s_sim, mut s_secs) = (0u64, 0u64, 0.0f64, 0.0f64);
+        for af in &afs {
+            let mut sink = CollectSink::default();
+            let stats =
+                stack_tree_desc(&ctx, af, &df, SortPolicy::AssumeSorted, &mut sink).unwrap();
+            s_pairs += stats.pairs;
+            s_reads += stats.io.reads();
+            s_sim += stats.io.sim_secs();
+            s_secs += stats.elapsed_secs();
+            want.push(sink.canonical());
+        }
+        t.row(vec![
+            k.to_string(),
+            "serial".into(),
+            s_pairs.to_string(),
+            s_reads.to_string(),
+            fmt_secs(s_sim),
+            fmt_secs(s_secs),
+        ]);
+
+        // Batched leg: the same k queries from one shared pass, cold pool.
+        let ctx = mk();
+        let df = element_file(&ctx.pool, d_codes.iter().map(|&c| (c, 1))).unwrap();
+        let mut qb = QueryBatch::new();
+        for qc in &queries[..k] {
+            qb.add(qc.iter().map(|&(c, tag)| Element::new(c, tag)).collect());
+        }
+        ctx.pool.evict_all().unwrap();
+        let mut collect: Vec<CollectSink> = (0..k).map(|_| CollectSink::default()).collect();
+        let stats = {
+            let mut sinks = MultiSink::new();
+            for snk in &mut collect {
+                sinks.push(snk);
+            }
+            qb.execute(&ctx, &df, &mut sinks).unwrap()
+        };
+        for (q, got) in collect.iter().enumerate() {
+            assert_eq!(
+                got.canonical(),
+                want[q],
+                "shared: k={k} query {q} diverged from its serial run"
+            );
+        }
+        let b_reads = stats.io.reads();
+        t.row(vec![
+            k.to_string(),
+            "shared".into(),
+            stats.pairs.to_string(),
+            b_reads.to_string(),
+            fmt_secs(stats.io.sim_secs()),
+            fmt_secs(stats.elapsed_secs()),
+        ]);
+        if k == 16 {
+            assert!(
+                b_reads * 4 <= s_reads,
+                "shared: batch of 16 should read >= 4x fewer pages \
+                 (shared {b_reads} vs serial {s_reads})"
+            );
+        }
+    }
+    t.emit(&args.results_dir, "ablation_shared");
+}
+
 fn main() {
     let args = CommonArgs::parse("--study");
     pbitree_bench::harness::init_trace(&args.trace);
@@ -577,6 +738,9 @@ fn main() {
     }
     if args.selected("wal") {
         wal_study(&args);
+    }
+    if args.selected("shared") {
+        shared_study(&args);
     }
     pbitree_bench::harness::finish_trace(&args.trace);
 }

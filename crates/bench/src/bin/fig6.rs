@@ -134,18 +134,19 @@ fn speedup_panel(args: &CommonArgs) {
         };
         let mut base = 0.0f64;
         for threads in [1usize, 2, 4, 8] {
-            let mut ctx = JoinCtx::new(
+            let mut builder = JoinCtx::builder(
                 BufferPool::new(
                     Disk::new(Box::new(MemBackend::new()), CostModel::free()),
                     8192,
                 ),
                 w.shape,
             )
-            .with_threads(threads)
-            .with_budget(budget);
+            .threads(threads)
+            .budget(budget);
             if let Some(t) = pbitree_bench::harness::tracer() {
-                ctx = ctx.with_tracer(t);
+                builder = builder.tracer(t);
             }
+            let ctx = builder.build();
             let af = element_file(&ctx.pool, w.a.iter().copied()).unwrap();
             let df = element_file(&ctx.pool, w.d.iter().copied()).unwrap();
             // Warm pass faults everything resident, then best of three.

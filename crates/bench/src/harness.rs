@@ -155,20 +155,21 @@ pub fn run_algo(
     cfg: &ExpConfig,
     algo: Algo,
 ) -> Measured {
-    let mut ctx = JoinCtx::new(
+    let mut builder = JoinCtx::builder(
         pbitree_storage::BufferPool::new(
             pbitree_storage::Disk::new(Box::new(pbitree_storage::MemBackend::new()), cfg.cost),
             cfg.buffer_pages,
         ),
         shape,
     )
-    .with_threads(cfg.threads)
-    .with_io(cfg.io)
-    .with_prune(cfg.prune)
-    .with_compression(cfg.compression);
+    .threads(cfg.threads)
+    .io(cfg.io)
+    .prune(cfg.prune)
+    .compression(cfg.compression);
     if let Some(t) = tracer() {
-        ctx = ctx.with_tracer(t);
+        builder = builder.tracer(t);
     }
+    let ctx = builder.build();
     let load_opts = cfg.io.with_compress(cfg.compression);
     let load0 = ctx.pool.pool_stats();
     let af = element_file_with(&ctx.pool, load_opts, a.iter().copied()).expect("load A");

@@ -159,6 +159,55 @@ impl<'a> BatchCursor<'a> {
         })
     }
 
+    /// Bulk-drains the run of descendants covered by the open ancestor
+    /// `stack`: emits every `(stack entry, d)` pair for descendants from
+    /// the cursor up to the first doc key `>= limit` (the next pending
+    /// ancestor), popping entries as their regions close. One 64-wide
+    /// [`ElementBatch::for_each_contained`] mask pass per stack entry per
+    /// sub-run replaces the scalar per-record stack walk. Returns the
+    /// pairs emitted, leaving the cursor on the first undrained element —
+    /// the run ends when the limit is reached, the stack empties, or `D`
+    /// is exhausted.
+    fn drain_contained(
+        &mut self,
+        stack: &mut Vec<Element>,
+        limit: Option<u128>,
+        sink: &mut dyn PairSink,
+    ) -> Result<u64, JoinError> {
+        let mut pairs = 0u64;
+        while self.cur.is_some() {
+            let Some(top) = stack.last().copied() else {
+                break;
+            };
+            // The sub-run: descendants before the next pending ancestor
+            // that stay inside the stack top's region (entries below the
+            // top are its ancestors, so no pops inside the sub-run).
+            let mut hi = match limit {
+                Some(k) => self.batch.gallop_key_ge(self.i, k),
+                None => self.batch.len(),
+            };
+            hi = hi.min(self.batch.upper_bound_start(self.i, top.end()));
+            if hi > self.i {
+                for s in stack.iter() {
+                    pairs += self
+                        .batch
+                        .for_each_contained(self.i, hi, s, |d| sink.emit(*s, d));
+                }
+                self.i = hi;
+                self.settle()?; // may roll into the next page mid-run
+                continue;
+            }
+            // The run stopped inside the batch: on the pending ancestor's
+            // key (the caller takes over) or on the top's region closing
+            // (pop it and keep draining against the rest of the stack).
+            if limit.is_some_and(|k| self.batch.get(self.i).doc_key() >= k) {
+                break;
+            }
+            stack.pop();
+        }
+        Ok(pairs)
+    }
+
     /// Repositions to the first element with doc key `>= lb` (forward
     /// only). Returns the element found (also stored in `cur`).
     fn seek(&mut self, lb: u128) -> Result<Option<Element>, JoinError> {
@@ -274,13 +323,16 @@ fn merge_with_skips(
             while stack.last().is_some_and(|t| t.end() < d_el.start()) {
                 stack.pop();
             }
-            for s in &stack {
-                if s.code != d_el.code {
-                    pairs += 1;
-                    sink.emit(*s, d_el);
-                }
+            if stack.is_empty() {
+                // Nothing open for this d; the next loop turn applies the
+                // skip rules to it.
+                dc.advance()?;
+            } else {
+                // Batched drain: every descendant up to the next pending
+                // ancestor meets the same (shrinking) stack.
+                let limit = ac.cur.map(|a| a.doc_key());
+                pairs += dc.drain_contained(&mut stack, limit, sink)?;
             }
-            dc.advance()?;
         }
     }
     Ok(pairs)

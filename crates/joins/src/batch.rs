@@ -16,9 +16,45 @@
 //! base_idx + i)` would no longer hold (debug-asserted in
 //! [`ElementBatch::refill`]).
 
+use pbitree_core::PBiTreeShape;
 use pbitree_storage::{HeapScan, PoolError, ScanPos};
 
 use crate::element::Element;
+
+/// How a boundary search advances through a batch: step linearly, or
+/// gallop (exponential probe + binary search).
+///
+/// Galloping is `O(log distance)` but pays probe overhead per call; a
+/// linear merge touches every element once but amortizes to nothing when
+/// almost every element is a boundary. The crossover is the **density
+/// ratio** — batch elements per boundary search: below
+/// [`GALLOP_DENSITY`] the expected skip distance is too short for
+/// galloping to win, so dense probe sets merge and sparse ones gallop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvanceMode {
+    /// Linear scan from the cursor — dense probes (short skips).
+    Merge,
+    /// Exponential probe + binary search — sparse probes (long skips).
+    Gallop,
+}
+
+/// Density ratio (batch elements per probe) at which boundary searches
+/// switch from merging to galloping.
+pub const GALLOP_DENSITY: usize = 8;
+
+impl AdvanceMode {
+    /// Picks the advance mode for `probes` boundary searches over a batch
+    /// of `len` elements: gallop when the expected skip `len / probes`
+    /// reaches [`GALLOP_DENSITY`], merge when probes are dense.
+    #[inline]
+    pub fn for_density(probes: usize, len: usize) -> AdvanceMode {
+        if probes == 0 || len / probes >= GALLOP_DENSITY {
+            AdvanceMode::Gallop
+        } else {
+            AdvanceMode::Merge
+        }
+    }
+}
 
 /// One page worth of elements in struct-of-arrays layout.
 pub struct ElementBatch {
@@ -150,6 +186,34 @@ impl ElementBatch {
         gallop(self.elems.len(), from, |i| self.elems[i].doc_key() >= key)
     }
 
+    /// [`lower_bound_start`](ElementBatch::lower_bound_start) under an
+    /// explicit [`AdvanceMode`] — the shared multi-query scan picks the
+    /// mode once per batch from its probe density.
+    pub fn lower_bound_start_in(&self, mode: AdvanceMode, from: usize, target: u64) -> usize {
+        advance(mode, self.starts.len(), from, |i| self.starts[i] >= target)
+    }
+
+    /// [`upper_bound_start`](ElementBatch::upper_bound_start) under an
+    /// explicit [`AdvanceMode`].
+    pub fn upper_bound_start_in(&self, mode: AdvanceMode, from: usize, target: u64) -> usize {
+        advance(mode, self.starts.len(), from, |i| self.starts[i] > target)
+    }
+
+    /// Collects the distinct proper-ancestor codes of every element in the
+    /// batch into `out`, sorted ascending. This is the batched probe set
+    /// for index nested loops: one page of descendants shares most of its
+    /// high ancestors, so probing the deduplicated sorted set once beats
+    /// record-at-a-time enumeration both in probe count and in B+-tree
+    /// leaf locality.
+    pub fn ancestor_candidates(&self, shape: PBiTreeShape, out: &mut Vec<u64>) {
+        out.clear();
+        for e in &self.elems {
+            out.extend(shape.ancestors(e.code).map(|c| c.get()));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
     /// Calls `f` for every element of `[lo, hi)` strictly contained in
     /// `anc`'s region, returning how many there were. The containment test
     /// (`start >= anc.start && end <= anc.end && code != anc.code` — by
@@ -194,6 +258,21 @@ impl ElementBatch {
 /// binary search of the bracketed gap. Cheap when the answer is near
 /// `from` — the common case for merge advances — and `O(log n)` worst
 /// case.
+/// [`gallop`] under an explicit [`AdvanceMode`]: identical answer, merge
+/// mode walks linearly instead of probing.
+fn advance(mode: AdvanceMode, len: usize, from: usize, pred: impl Fn(usize) -> bool) -> usize {
+    match mode {
+        AdvanceMode::Gallop => gallop(len, from, pred),
+        AdvanceMode::Merge => {
+            let mut i = from.min(len);
+            while i < len && !pred(i) {
+                i += 1;
+            }
+            i
+        }
+    }
+}
+
 fn gallop(len: usize, from: usize, pred: impl Fn(usize) -> bool) -> usize {
     if from >= len || pred(from) {
         return from.min(len);
@@ -246,6 +325,82 @@ mod tests {
                 let got = gallop(len, from, |i| starts[i] >= target);
                 assert_eq!(got, expect_ge, "from={from} target={target}");
             }
+        }
+    }
+
+    #[test]
+    fn advance_modes_agree() {
+        let starts: Vec<u64> = vec![1, 1, 3, 7, 7, 7, 9, 20, 20, 31];
+        let len = starts.len();
+        for from in 0..=len {
+            for target in 0..35u64 {
+                let g = advance(AdvanceMode::Gallop, len, from, |i| starts[i] >= target);
+                let m = advance(AdvanceMode::Merge, len, from, |i| starts[i] >= target);
+                assert_eq!(g, m, "from={from} target={target}");
+            }
+        }
+    }
+
+    #[test]
+    fn advance_mode_tracks_density() {
+        // Dense probes (one per few elements) merge; sparse ones gallop.
+        assert_eq!(AdvanceMode::for_density(100, 340), AdvanceMode::Merge);
+        assert_eq!(AdvanceMode::for_density(10, 340), AdvanceMode::Gallop);
+        // Degenerate cases: no probes, or an empty batch.
+        assert_eq!(AdvanceMode::for_density(0, 340), AdvanceMode::Gallop);
+        assert_eq!(AdvanceMode::for_density(4, 0), AdvanceMode::Merge);
+    }
+
+    #[test]
+    fn mode_aware_bounds_match_plain_ones() {
+        let c = ctx(8);
+        let codes: Vec<u64> = (0..500u64).map(|i| (i << 1) | 1).collect();
+        let f = element_file(&c.pool, codes.iter().map(|&v| (v, 0))).unwrap();
+        let mut s = f.scan(&c.pool);
+        let mut b = ElementBatch::new();
+        while b.refill(&mut s).unwrap() {
+            for from in [0, b.len() / 3, b.len()] {
+                for target in [0u64, 5, 333, 1 << 18] {
+                    for mode in [AdvanceMode::Merge, AdvanceMode::Gallop] {
+                        assert_eq!(
+                            b.lower_bound_start_in(mode, from, target),
+                            b.lower_bound_start(from, target)
+                        );
+                        assert_eq!(
+                            b.upper_bound_start_in(mode, from, target),
+                            b.upper_bound_start(from, target)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_candidates_are_sorted_distinct_and_complete() {
+        let c = ctx(8);
+        let shape = c.shape;
+        let mut codes: Vec<u64> = (0..300u64).map(|i| (i << 1) | 1).collect();
+        codes.extend((0..80u64).map(|i| (1 + 2 * i) << 2));
+        codes.sort_by_key(|&v| pbitree_core::Code::new(v).unwrap().doc_order_key());
+        let f = element_file(&c.pool, codes.iter().map(|&v| (v, 0))).unwrap();
+        let mut s = f.scan(&c.pool);
+        let mut b = ElementBatch::new();
+        let mut cands = Vec::new();
+        while b.refill(&mut s).unwrap() {
+            b.ancestor_candidates(shape, &mut cands);
+            assert!(cands.windows(2).all(|w| w[0] < w[1]));
+            let mut expect = std::collections::BTreeSet::new();
+            for i in 0..b.len() {
+                expect.extend(shape.ancestors(b.get(i).code).map(|a| a.get()));
+            }
+            assert_eq!(cands, expect.into_iter().collect::<Vec<_>>());
+            // Deduplication is the point: per-record enumeration visits
+            // far more (mostly repeated) ancestors.
+            let raw: usize = (0..b.len())
+                .map(|i| shape.ancestors(b.get(i).code).count())
+                .sum();
+            assert!(cands.len() < raw);
         }
     }
 

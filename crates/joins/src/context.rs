@@ -254,7 +254,17 @@ impl JoinCtx {
         )
     }
 
+    /// Starts a [`JoinCtxBuilder`] over `pool` — the one construction path
+    /// for a configured context:
+    /// `JoinCtx::builder(pool, shape).budget(64).threads(4).build()`.
+    pub fn builder(pool: BufferPool, shape: PBiTreeShape) -> JoinCtxBuilder {
+        JoinCtxBuilder {
+            ctx: JoinCtx::new(pool, shape),
+        }
+    }
+
     /// Sets the worker-thread knob (clamped to at least 1).
+    #[deprecated(note = "use JoinCtx::builder(..).threads(..).build()")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -265,6 +275,7 @@ impl JoinCtx {
     /// with spare page cache: operators still partition as if only `b`
     /// frames existed, but evictions disappear — the configuration the
     /// parallel speedup benchmarks use to isolate CPU scaling.
+    #[deprecated(note = "use JoinCtx::builder(..).budget(..).build()")]
     pub fn with_budget(mut self, budget: usize) -> Self {
         self.budget = budget.min(self.pool.capacity()).max(3);
         self
@@ -280,6 +291,7 @@ impl JoinCtx {
     /// Sets the declared I/O access options — `ScanOptions::sequential(1)`
     /// disables read-ahead and write batching entirely (the pre-vectored
     /// behavior the fault-sweep baselines and ablation controls pin down).
+    #[deprecated(note = "use JoinCtx::builder(..).io(..).build()")]
     pub fn with_io(mut self, opts: ScanOptions) -> Self {
         self.io_opts = opts;
         self
@@ -292,6 +304,7 @@ impl JoinCtx {
     /// run reads every page — the ablation baseline.
     ///
     /// [`ScanFilter::All`]: pbitree_storage::ScanFilter::All
+    #[deprecated(note = "use JoinCtx::builder(..).prune(..).build()")]
     pub fn with_prune(mut self, prune: bool) -> Self {
         self.prune = prune;
         self
@@ -315,6 +328,7 @@ impl JoinCtx {
     /// snapshot ([`pbitree_storage::compress_default`]) — a mid-run
     /// change to the environment cannot flip the layout under a
     /// workload.
+    #[deprecated(note = "use JoinCtx::builder(..).compression(..).build()")]
     pub fn with_compression(mut self, compress: bool) -> Self {
         self.io_opts = self.io_opts.with_compress(compress);
         self
@@ -382,10 +396,17 @@ impl JoinCtx {
     /// sequential, with the given carved frame budget (at least 3 pages —
     /// the floor any operator needs for an input scan plus reserve).
     pub fn worker(&self, budget: usize) -> JoinCtx {
+        self.worker_with_threads(budget, 1)
+    }
+
+    /// [`worker`](JoinCtx::worker) with an explicit thread knob — for
+    /// carved contexts that still fan partition joins out (the query
+    /// service sizes a per-grant context this way).
+    pub fn worker_with_threads(&self, budget: usize, threads: usize) -> JoinCtx {
         JoinCtx {
             pool: Arc::clone(&self.pool),
             shape: self.shape,
-            threads: 1,
+            threads: threads.max(1),
             budget: budget.max(3),
             tracer: self.tracer.clone(),
             io_opts: self.io_opts,
@@ -428,6 +449,88 @@ impl JoinCtx {
     }
 }
 
+/// Fluent constructor for [`JoinCtx`], replacing the accreted
+/// `with_*` chain-of-setters: every knob is set before the context is
+/// handed to an operator, so a built context never mutates.
+///
+/// ```
+/// # use pbitree_joins::{JoinCtx, JoinCtxBuilder};
+/// # use pbitree_core::PBiTreeShape;
+/// let shape = PBiTreeShape::new(18).unwrap();
+/// let ctx = JoinCtxBuilder::in_memory(shape, 64)
+///     .budget(32)
+///     .threads(4)
+///     .compression(false)
+///     .build();
+/// assert_eq!(ctx.budget(), 32);
+/// ```
+pub struct JoinCtxBuilder {
+    ctx: JoinCtx,
+}
+
+impl JoinCtxBuilder {
+    /// Builder over an in-memory simulated disk with `b` buffer pages and
+    /// the default cost model (see [`JoinCtx::in_memory`]).
+    pub fn in_memory(shape: PBiTreeShape, b: usize) -> Self {
+        JoinCtxBuilder {
+            ctx: JoinCtx::in_memory(shape, b),
+        }
+    }
+
+    /// Builder over a zero-I/O-cost in-memory disk (see
+    /// [`JoinCtx::in_memory_free`]).
+    pub fn in_memory_free(shape: PBiTreeShape, b: usize) -> Self {
+        JoinCtxBuilder {
+            ctx: JoinCtx::in_memory_free(shape, b),
+        }
+    }
+
+    /// Worker threads partition joins may fan out over (clamped to ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.ctx.threads = threads.max(1);
+        self
+    }
+
+    /// Sizing budget `b` independent of the pool capacity, clamped to
+    /// `3..=capacity` — a pool larger than `b` models spare page cache.
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.ctx.budget = budget.min(self.ctx.pool.capacity()).max(3);
+        self
+    }
+
+    /// Attaches a span tracer; every operator run through the built
+    /// context (and its workers) records phase spans into it.
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.ctx.tracer = Some(tracer);
+        self
+    }
+
+    /// Declared I/O access options (read-ahead / write-batch depth).
+    pub fn io(mut self, opts: ScanOptions) -> Self {
+        self.ctx.io_opts = opts;
+        self
+    }
+
+    /// Zone-map scan pruning (on by default); the ablation baseline turns
+    /// it off to measure pruning's I/O savings.
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.ctx.prune = prune;
+        self
+    }
+
+    /// Packed element pages for every file the context's operators write.
+    /// Defaults to the once-per-process `PBITREE_COMPRESS` snapshot.
+    pub fn compression(mut self, compress: bool) -> Self {
+        self.ctx.io_opts = self.ctx.io_opts.with_compress(compress);
+        self
+    }
+
+    /// Finalizes the context.
+    pub fn build(self) -> JoinCtx {
+        self.ctx
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +548,33 @@ mod tests {
         assert_eq!(stats.pairs, 2000);
         assert!(stats.io.total() > 0);
         assert!(stats.elapsed_secs() > 0.0);
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let shape = PBiTreeShape::new(10).unwrap();
+        let ctx = JoinCtxBuilder::in_memory_free(shape, 16)
+            .budget(8)
+            .threads(4)
+            .prune(false)
+            .compression(true)
+            .io(ScanOptions::sequential(2))
+            .build();
+        assert_eq!(ctx.budget(), 8);
+        assert_eq!(ctx.threads, 4);
+        assert!(!ctx.prune());
+        // `.io(..)` replaces the options wholesale, like `with_io` did —
+        // a compression choice made before it reverts to the fresh
+        // options' setting (the PBITREE_COMPRESS env default).
+        assert_eq!(ctx.compression(), ScanOptions::sequential(2).compress);
+        let ctx = JoinCtxBuilder::in_memory_free(shape, 16)
+            .io(ScanOptions::sequential(2))
+            .compression(true)
+            .build();
+        assert!(ctx.compression());
+        // Budget clamps to the pool capacity, as `with_budget` did.
+        let ctx = JoinCtxBuilder::in_memory_free(shape, 16).budget(99).build();
+        assert_eq!(ctx.budget(), 16);
     }
 
     #[test]

@@ -118,13 +118,33 @@ pub fn inljn_probe_ancestors(
             let mut pairs = 0u64;
             let mut scan = d.scan_with(&ctx.pool, ctx.read_opts().shared(2));
             let mut batch = ElementBatch::new();
+            // Batched enumeration: one page of descendants shares most of
+            // its high ancestors, so probe the page's deduplicated sorted
+            // candidate set once (ascending keys walk B+-tree leaves in
+            // order) and answer the per-record enumeration from the hit
+            // list. Emission order per record is unchanged.
+            let mut cands: Vec<u64> = Vec::new();
+            let mut hits: Vec<(u64, u32)> = Vec::new();
             while batch.refill(&mut scan)? {
+                batch.ancestor_candidates(ctx.shape, &mut cands);
+                hits.clear();
+                for &c in &cands {
+                    if let Some(tag) = index.get(&ctx.pool, &c)? {
+                        hits.push((c, tag));
+                    }
+                }
                 for i in 0..batch.len() {
                     let de = batch.get(i);
                     for anc in ctx.shape.ancestors(de.code) {
-                        if let Some(tag) = index.get(&ctx.pool, &anc.get())? {
+                        if let Ok(j) = hits.binary_search_by_key(&anc.get(), |&(c, _)| c) {
                             pairs += 1;
-                            sink.emit(Element { code: anc, tag }, de);
+                            sink.emit(
+                                Element {
+                                    code: anc,
+                                    tag: hits[j].1,
+                                },
+                                de,
+                            );
                         }
                     }
                 }

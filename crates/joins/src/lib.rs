@@ -48,6 +48,7 @@ pub mod naive;
 pub mod parallel;
 pub mod planner;
 pub mod rollup;
+pub mod shared;
 pub mod shcj;
 pub mod sink;
 pub mod stacktree;
@@ -56,9 +57,12 @@ pub mod update;
 pub mod verify;
 pub mod vpj;
 
-pub use context::{JoinCtx, JoinError, JoinStats, PhaseStat};
+pub use context::{JoinCtx, JoinCtxBuilder, JoinError, JoinStats, PhaseStat};
 pub use element::Element;
 pub use planner::{choose_algorithm, execute, plan_and_execute, Algorithm, InputState};
-pub use sink::{CollectSink, CountSink, HeapSink, PairSink, ResultPair};
+pub use shared::QueryBatch;
+pub use sink::{
+    CollectSink, CountSink, Counted, HeapSink, MultiSink, PairSink, ResultPair, SinkExt,
+};
 pub use stacktree::SortPolicy;
 pub use update::{ElementStore, StoreError};

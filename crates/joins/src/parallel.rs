@@ -237,13 +237,14 @@ pub(crate) fn vpj_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::JoinCtx;
     use crate::element::element_file;
     use pbitree_core::PBiTreeShape;
 
     #[test]
     fn run_tasks_merges_in_task_order_and_keeps_first_error() {
-        let ctx = JoinCtx::in_memory_free(PBiTreeShape::new(10).unwrap(), 16).with_threads(4);
+        let ctx = crate::JoinCtxBuilder::in_memory_free(PBiTreeShape::new(10).unwrap(), 16)
+            .threads(4)
+            .build();
         // 8 tasks, each emits its own index; outputs must come back 0..8.
         let outs = run_tasks(&ctx, (0u64..8).collect(), |_wctx, i: u64, buf| {
             buf.emit(Element::new(2 * i + 16, 0), Element::new(1, 1));
@@ -274,7 +275,9 @@ mod tests {
 
     #[test]
     fn worker_budgets_are_carved() {
-        let ctx = JoinCtx::in_memory_free(PBiTreeShape::new(10).unwrap(), 16).with_threads(4);
+        let ctx = crate::JoinCtxBuilder::in_memory_free(PBiTreeShape::new(10).unwrap(), 16)
+            .threads(4)
+            .build();
         let outs = run_tasks(&ctx, (0..4).collect::<Vec<u32>>(), |wctx, _i, _buf| {
             Ok(wctx.budget())
         });
@@ -288,7 +291,9 @@ mod tests {
 
     #[test]
     fn parallel_workers_share_the_pool() {
-        let ctx = JoinCtx::in_memory_free(PBiTreeShape::new(12).unwrap(), 32).with_threads(4);
+        let ctx = crate::JoinCtxBuilder::in_memory_free(PBiTreeShape::new(12).unwrap(), 32)
+            .threads(4)
+            .build();
         let d = element_file(&ctx.pool, (1u64..=500).map(|c| (2 * c - 1, 1))).unwrap();
         let outs = run_tasks(&ctx, (0..8).collect::<Vec<u32>>(), |wctx, _i, _buf| {
             let mut n = 0u64;

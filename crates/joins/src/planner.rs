@@ -75,6 +75,12 @@ pub enum Algorithm {
     MhcjRollup,
     /// Vertical-partitioning join (Algorithm 5).
     Vpj,
+    /// One-query degenerate case of the shared multi-query scan
+    /// ([`QueryBatch`](crate::shared::QueryBatch)): ancestors in memory,
+    /// one filtered pass over the sorted descendant side. Never chosen by
+    /// Table 1 — the batched query path selects it explicitly, so batch
+    /// outcomes report the operator that actually ran.
+    SharedScan,
 }
 
 impl std::fmt::Display for Algorithm {
@@ -86,6 +92,7 @@ impl std::fmt::Display for Algorithm {
             Algorithm::Shcj => "SHCJ",
             Algorithm::MhcjRollup => "MHCJ+Rollup",
             Algorithm::Vpj => "VPJ",
+            Algorithm::SharedScan => "SHARED",
         };
         f.write_str(s)
     }
@@ -144,6 +151,13 @@ pub fn execute(
             crate::rollup::mhcj_rollup(ctx, a, d, crate::rollup::RollupOptions::default(), sink)
         }
         Algorithm::Vpj => crate::vpj::vpj(ctx, a, d, sink).map(|(s, _)| s),
+        Algorithm::SharedScan => {
+            let mut qb = crate::shared::QueryBatch::new();
+            qb.add_file(ctx, a)?;
+            let mut sinks = crate::sink::MultiSink::new();
+            sinks.push(sink);
+            qb.execute(ctx, d, &mut sinks)
+        }
     }
 }
 
@@ -249,6 +263,7 @@ mod tests {
             Algorithm::AncDesBPlus,
             Algorithm::MhcjRollup,
             Algorithm::Vpj,
+            Algorithm::SharedScan,
         ] {
             let c = ctx(8);
             let a = element_file(&c.pool, [(16u64, 0), (24u64, 0)]).unwrap();

@@ -225,7 +225,9 @@ mod tests {
         // Zone-map pruning is pinned off: 13's region misses the anchored
         // partition's envelope, so pushdown would drop the candidate before
         // it ever surfaces as a false hit.
-        let c = ctx(8).with_prune(false);
+        let c = crate::JoinCtxBuilder::in_memory_free(PBiTreeShape::new(18).unwrap(), 8)
+            .prune(false)
+            .build();
         let a = element_file(&c.pool, [(10u64, 0), (4u64, 0)]).unwrap();
         let d = element_file(&c.pool, [(9u64, 1), (13u64, 1)]).unwrap();
         let mut sink = CollectSink::default();

@@ -1,8 +1,12 @@
 //! Result sinks: where join output pairs go.
 //!
 //! Operators emit `(ancestor, descendant)` pairs into a [`PairSink`];
-//! experiments count, tests collect, and pipelines could write to a heap
-//! file for further joins.
+//! experiments count ([`CountSink`]), tests collect ([`CollectSink`]),
+//! pipelines materialize to a heap file ([`HeapSink`]), and the shared
+//! multi-query scan routes each query's matches to its own sink through
+//! [`MultiSink`]. Sinks compose: any sink gains a pair counter via
+//! [`SinkExt::counted`], and `&mut S` is itself a sink, so one sink can
+//! be lent to several operator runs in sequence.
 
 use crate::element::Element;
 use pbitree_storage::{BufferPool, FixedRecord, HeapFile, HeapWriter, PoolError, ScanOptions};
@@ -11,6 +15,87 @@ use pbitree_storage::{BufferPool, FixedRecord, HeapFile, HeapWriter, PoolError, 
 pub trait PairSink {
     /// Called once per result pair.
     fn emit(&mut self, a: Element, d: Element);
+}
+
+/// A mutable borrow of a sink is a sink: operators take `&mut dyn
+/// PairSink`, and this blanket lets callers keep ownership while lending
+/// the same sink to several runs (the shared scan lends each per-query
+/// sink to the demux this way).
+impl<S: PairSink + ?Sized> PairSink for &mut S {
+    #[inline]
+    fn emit(&mut self, a: Element, d: Element) {
+        (**self).emit(a, d);
+    }
+}
+
+/// Extension adapters every sink gets for free.
+pub trait SinkExt: PairSink + Sized {
+    /// Wraps the sink with a pair counter — the unification of the ad-hoc
+    /// counting wrappers tests used to hand-roll around collecting sinks.
+    fn counted(self) -> Counted<Self> {
+        Counted {
+            inner: self,
+            count: 0,
+        }
+    }
+}
+
+impl<S: PairSink + Sized> SinkExt for S {}
+
+/// A sink wrapper that counts pairs on their way through (see
+/// [`SinkExt::counted`]).
+#[derive(Debug, Default)]
+pub struct Counted<S> {
+    /// The wrapped sink; every pair is forwarded to it.
+    pub inner: S,
+    /// Number of pairs seen.
+    pub count: u64,
+}
+
+impl<S: PairSink> PairSink for Counted<S> {
+    #[inline]
+    fn emit(&mut self, a: Element, d: Element) {
+        self.count += 1;
+        self.inner.emit(a, d);
+    }
+}
+
+/// The demux layer of the shared multi-query scan: one borrowed sink per
+/// query, addressed by index. [`MultiSink`] is deliberately *not* a
+/// [`PairSink`] itself — a routed pair always names its query via
+/// [`emit_to`](MultiSink::emit_to), so no match can leak across queries.
+#[derive(Default)]
+pub struct MultiSink<'a> {
+    sinks: Vec<&'a mut dyn PairSink>,
+}
+
+impl<'a> MultiSink<'a> {
+    /// An empty router.
+    pub fn new() -> Self {
+        MultiSink { sinks: Vec::new() }
+    }
+
+    /// Registers the next query's sink, returning its route index.
+    pub fn push(&mut self, sink: &'a mut dyn PairSink) -> usize {
+        self.sinks.push(sink);
+        self.sinks.len() - 1
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Routes one pair to query `q`'s sink.
+    #[inline]
+    pub fn emit_to(&mut self, q: usize, a: Element, d: Element) {
+        self.sinks[q].emit(a, d);
+    }
 }
 
 /// Counts pairs without storing them (the experiment default: the paper
@@ -161,6 +246,42 @@ mod tests {
         v.emit(a, d);
         v.emit(d, a);
         assert_eq!(v.canonical(), vec![(16, 18), (18, 16)]);
+    }
+
+    #[test]
+    fn counted_adapter_and_borrowed_sinks() {
+        let a = Element::new(16, 0);
+        let d = Element::new(18, 1);
+        let mut c = CollectSink::default().counted();
+        c.emit(a, d);
+        // A `&mut` borrow of a sink is a sink too: lend it to a helper
+        // that takes ownership of its sink argument.
+        fn feed(mut s: impl PairSink, a: Element, d: Element) {
+            s.emit(a, d);
+        }
+        feed(&mut c, d, a);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.inner.canonical(), vec![(16, 18), (18, 16)]);
+    }
+
+    #[test]
+    fn multi_sink_routes_by_query() {
+        let a = Element::new(16, 0);
+        let d = Element::new(18, 1);
+        let mut s0 = CountSink::default();
+        let mut s1 = CollectSink::default();
+        {
+            let mut m = MultiSink::new();
+            assert!(m.is_empty());
+            let q0 = m.push(&mut s0);
+            let q1 = m.push(&mut s1);
+            assert_eq!((q0, q1, m.len()), (0, 1, 2));
+            m.emit_to(q0, a, d);
+            m.emit_to(q1, d, a);
+            m.emit_to(q1, a, d);
+        }
+        assert_eq!(s0.count, 1);
+        assert_eq!(s1.canonical(), vec![(16, 18), (18, 16)]);
     }
 
     #[test]

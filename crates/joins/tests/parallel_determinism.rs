@@ -16,12 +16,14 @@ fn vpj_s(
 ) -> Result<pbitree_joins::JoinStats, pbitree_joins::JoinError> {
     vpj(c, a, d, s).map(|(st, _)| st)
 }
-use pbitree_joins::{element::element_file, CollectSink, JoinCtx};
+use pbitree_joins::{element::element_file, CollectSink, JoinCtx, JoinCtxBuilder};
 
 const H: u32 = 18;
 
 fn ctx(b: usize, threads: usize) -> JoinCtx {
-    JoinCtx::in_memory_free(PBiTreeShape::new(H).unwrap(), b).with_threads(threads)
+    JoinCtxBuilder::in_memory_free(PBiTreeShape::new(H).unwrap(), b)
+        .threads(threads)
+        .build()
 }
 
 /// Deterministic mixed-height codes inside the `H`-space (xorshift stream).

@@ -15,7 +15,7 @@ use pbitree_core::PBiTreeShape;
 use pbitree_joins::element::{element_file, element_file_with};
 use pbitree_joins::stacktree::SortPolicy;
 use pbitree_joins::trace::{SpanKind, SpanRecord, Tracer};
-use pbitree_joins::{CountSink, JoinCtx, JoinError, JoinStats};
+use pbitree_joins::{CountSink, JoinCtx, JoinCtxBuilder, JoinError, JoinStats};
 use pbitree_storage::{IoStats, PageId, PoolStats, ScanOptions};
 
 const H: u32 = 18;
@@ -67,10 +67,11 @@ fn run_traced_io(
     io: ScanOptions,
 ) -> (JoinStats, Vec<SpanRecord>, u64) {
     let tracer = Arc::new(Tracer::new());
-    let ctx = JoinCtx::in_memory_free(PBiTreeShape::new(H).unwrap(), buffer)
-        .with_threads(threads)
-        .with_io(io)
-        .with_tracer(Arc::clone(&tracer));
+    let ctx = JoinCtxBuilder::in_memory_free(PBiTreeShape::new(H).unwrap(), buffer)
+        .threads(threads)
+        .io(io)
+        .tracer(Arc::clone(&tracer))
+        .build();
     // Inputs are built under the run's own options so a caller pinning the
     // page layout (e.g. compression off) governs the whole run.
     let af = element_file_with(&ctx.pool, ctx.read_opts(), a.iter().map(|&v| (v, 0))).unwrap();
@@ -467,7 +468,9 @@ fn corrupt_page_fails_shcj_with_page_id() {
 
 #[test]
 fn corrupt_page_fails_parallel_mhcj() {
-    let ctx = JoinCtx::in_memory_free(PBiTreeShape::new(H).unwrap(), 16).with_threads(4);
+    let ctx = JoinCtxBuilder::in_memory_free(PBiTreeShape::new(H).unwrap(), 16)
+        .threads(4)
+        .build();
     let a = mixed_codes(700, &[3, 5, 8], 59);
     let d = mixed_codes(2000, &[0, 1], 61);
     let af = element_file(&ctx.pool, a.iter().map(|&v| (v, 0))).unwrap();

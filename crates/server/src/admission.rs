@@ -27,7 +27,7 @@
 use std::sync::{Arc, Condvar, Mutex};
 
 /// The smallest budget any query runs with — the same floor
-/// [`JoinCtx::with_budget`](pbitree_joins::JoinCtx::with_budget) and the
+/// [`JoinCtxBuilder::budget`](pbitree_joins::JoinCtxBuilder::budget) and the
 /// parallel scheduler's per-worker carve apply (one page per input stream
 /// plus one for output).
 pub const MIN_QUERY_FRAMES: usize = 3;

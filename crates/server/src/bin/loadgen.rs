@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! pbitree-loadgen --addr <host:port> [--clients 100] [--requests 10]
-//!                 [--seed 7] [--out report.json] [--shutdown]
+//!                 [--seed 7] [--batch k] [--out report.json] [--shutdown]
 //! pbitree-loadgen --embedded [--sf 0.005] [--pages 500] ...
 //! ```
 //!
@@ -18,6 +18,14 @@
 //! `--embedded` spins the server up in-process (still over real TCP on a
 //! loopback port) so one command exercises the whole stack; `--shutdown`
 //! sends `SHUTDOWN` when done, which also stops an embedded server.
+//!
+//! `--batch k` (k > 1) mixes `QUERYBATCH` into the concurrent phase:
+//! each round a client flips a coin between one plain `QUERY` and one
+//! batch of `k` sorted-input queries in a single exchange. Every
+//! sub-response is still compared byte-for-byte against the serial
+//! baseline — the batched path must be invisible in the results. A
+//! batched query's recorded latency is its batch's round-trip: that is
+//! what the caller actually waited.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -35,6 +43,7 @@ struct Args {
     clients: usize,
     requests: usize,
     seed: u64,
+    batch: usize,
     out: Option<std::path::PathBuf>,
     shutdown: bool,
     cfg: ServiceConfig,
@@ -43,7 +52,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: pbitree-loadgen (--addr host:port | --embedded) [--clients n] [--requests n] \
-         [--seed n] [--out path] [--shutdown] [--sf f] [--pages n] [--budget n] [--max-queue n]"
+         [--seed n] [--batch k] [--out path] [--shutdown] [--sf f] [--pages n] [--budget n] \
+         [--max-queue n]"
     );
     exit(2);
 }
@@ -55,6 +65,7 @@ fn parse_args() -> Args {
         clients: 100,
         requests: 10,
         seed: 7,
+        batch: 1,
         out: None,
         shutdown: false,
         cfg: ServiceConfig {
@@ -71,6 +82,7 @@ fn parse_args() -> Args {
             "--clients" => args.clients = val().parse().unwrap_or_else(|_| usage()),
             "--requests" => args.requests = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = val().parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = Some(val().into()),
             "--shutdown" => args.shutdown = true,
             "--sf" => args.cfg.sf = val().parse().unwrap_or_else(|_| usage()),
@@ -82,6 +94,9 @@ fn parse_args() -> Args {
         }
     }
     if args.addr.is_none() && !args.embedded {
+        usage();
+    }
+    if args.batch == 0 || args.batch > pbitree_server::proto::MAX_BATCH {
         usage();
     }
     args
@@ -155,12 +170,22 @@ fn main() {
         args.clients, args.requests
     );
     let work = Arc::new(work);
+    // Batched rounds draw sorted-input queries only: one QUERYBATCH
+    // header carries one `raw` flag for all its paths.
+    let sorted_ix: Arc<Vec<usize>> = Arc::new(
+        work.iter()
+            .enumerate()
+            .filter(|(_, it)| !it.raw)
+            .map(|(i, _)| i)
+            .collect(),
+    );
     let baseline = Arc::new(baseline);
     let wall = Instant::now();
     let mut joins = Vec::new();
     for client_id in 0..args.clients {
         let (work, baseline, addr) = (work.clone(), baseline.clone(), addr.clone());
-        let (requests, seed) = (args.requests, args.seed);
+        let sorted_ix = sorted_ix.clone();
+        let (requests, seed, batch) = (args.requests, args.seed, args.batch);
         joins.push(std::thread::spawn(move || -> Tally {
             let mut tally = Tally::default();
             let mut rng = Rng::seed_from_u64(seed ^ (client_id as u64).wrapping_mul(0x9E37_79B9));
@@ -172,6 +197,33 @@ fn main() {
                 }
             };
             for _ in 0..requests {
+                if batch > 1 && rng.gen_range(0..2) == 1 {
+                    let picks: Vec<usize> = (0..batch)
+                        .map(|_| sorted_ix[rng.gen_range(0..sorted_ix.len())])
+                        .collect();
+                    let paths: Vec<&str> = picks.iter().map(|&i| work[i].path.as_str()).collect();
+                    let t0 = Instant::now();
+                    match c.query_batch(&paths, false, None) {
+                        Ok(resps) => {
+                            let ns = t0.elapsed().as_nanos() as u64;
+                            for (&i, r) in picks.iter().zip(&resps) {
+                                match r {
+                                    Response::Ok { bytes, .. }
+                                        if baseline.get(&i).map(|b| b.as_slice())
+                                            == Some(bytes.as_slice()) =>
+                                    {
+                                        tally.ok += 1;
+                                        tally.lat.push((i, ns));
+                                    }
+                                    Response::Ok { .. } => tally.mismatches += 1,
+                                    Response::Err(_) => tally.errors += 1,
+                                }
+                            }
+                        }
+                        Err(_) => tally.errors += batch as u64,
+                    }
+                    continue;
+                }
                 let i = rng.gen_range(0..work.len());
                 let item: &WorkItem = &work[i];
                 let t0 = Instant::now();

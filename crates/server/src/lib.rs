@@ -32,6 +32,7 @@ pub mod server;
 pub mod service;
 
 pub use admission::{AdmissionController, AdmissionError, AdmissionStats, Grant, MIN_QUERY_FRAMES};
+pub use pbitree_joins::Algorithm;
 pub use proto::{Request, Response};
 pub use report::{xmark_workload, LatencyBucket, RunReport, WorkItem};
 pub use server::{spawn, Client, ServerHandle};

@@ -8,6 +8,9 @@
 //!
 //! ```text
 //! -> QUERY [raw] [budget=N] //a//b        -> OK <n>\n<code>\n*n
+//! -> QUERYBATCH [raw] [budget=N] <k>      -> k framed responses, in
+//!    //a//b                                  request order, each exactly
+//!    ... (k path lines)                      what QUERY would have sent
 //! -> PING                                 -> PONG
 //! -> STATS                                -> STATS {json}
 //! -> SHUTDOWN                             -> BYE        (server then stops)
@@ -18,9 +21,21 @@
 //! sends the planner into Table 1's bottom row (SHCJ / MHCJ+Rollup / VPJ)
 //! instead of the sorted-input row — the knob the load generator uses to
 //! exercise both planner rows under load. `budget=N` requests an explicit
-//! per-query frame budget; without it the service default applies.
+//! per-query frame budget; without it the service default applies. A
+//! non-positive budget is rejected at parse time — `budget=0` used to
+//! slip through and surface later as a confusing admission `TooLarge`.
+//!
+//! `QUERYBATCH` submits `k` queries as one unit: the header line carries
+//! the options and the count, the next `k` lines carry one path each, and
+//! the server answers with `k` responses from **one admission grant and
+//! one shared document scan** where the paths allow it. Each response is
+//! byte-identical to the one a lone `QUERY` would have produced.
 
 use std::io::{self, BufRead, Write};
+
+/// Most queries one `QUERYBATCH` may carry — bounds what a single header
+/// line can make the server buffer before it answers anything.
+pub const MAX_BATCH: usize = 256;
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,12 +49,47 @@ pub enum Request {
         /// Explicit frame budget, if requested.
         budget: Option<usize>,
     },
+    /// Run a batch of descendant path queries from one admission grant.
+    /// The header is followed by `count` path lines on the wire.
+    QueryBatch {
+        /// How many path lines follow (1..=[`MAX_BATCH`]).
+        count: usize,
+        /// Treat inputs as unsorted/unindexed, as for [`Request::Query`].
+        raw: bool,
+        /// Explicit frame budget for the whole batch, if requested.
+        budget: Option<usize>,
+    },
     /// Liveness probe.
     Ping,
     /// Admission/service counter snapshot.
     Stats,
     /// Stop the server.
     Shutdown,
+}
+
+/// Parses the shared `[raw] [budget=N]` option tokens of `QUERY` and
+/// `QUERYBATCH`. A zero budget is rejected here: it used to parse and
+/// then fail admission with a misleading `TooLarge`, so the protocol now
+/// names the real problem at the line that caused it.
+fn parse_options<'a, I: Iterator<Item = &'a str>>(
+    toks: I,
+) -> Result<(bool, Option<usize>), String> {
+    let mut raw = false;
+    let mut budget = None;
+    for tok in toks {
+        if tok.eq_ignore_ascii_case("raw") {
+            raw = true;
+        } else if let Some(n) = tok.strip_prefix("budget=") {
+            let b: usize = n.parse().map_err(|_| format!("bad budget {n:?}"))?;
+            if b == 0 {
+                return Err("budget must be at least 1".into());
+            }
+            budget = Some(b);
+        } else {
+            return Err(format!("unknown option {tok:?}"));
+        }
+    }
+    Ok((raw, budget))
 }
 
 impl Request {
@@ -62,31 +112,33 @@ impl Request {
                     .find("//")
                     .ok_or_else(|| format!("no //path in {line:?}"))?;
                 let (opts, path) = rest.split_at(start);
-                let mut raw = false;
-                let mut budget = None;
-                for tok in opts.split_whitespace() {
-                    if tok.eq_ignore_ascii_case("raw") {
-                        raw = true;
-                    } else if let Some(n) = tok.strip_prefix("budget=") {
-                        budget = Some(
-                            n.parse::<usize>()
-                                .map_err(|_| format!("bad budget {n:?}"))?,
-                        );
-                    } else {
-                        return Err(format!("unknown option {tok:?}"));
-                    }
-                }
+                let (raw, budget) = parse_options(opts.split_whitespace())?;
                 Ok(Request::Query {
                     path: path.to_owned(),
                     raw,
                     budget,
                 })
             }
+            "QUERYBATCH" | "QB" => {
+                // Options precede the trailing count token.
+                let mut toks: Vec<&str> = rest.split_whitespace().collect();
+                let count_tok = toks.pop().ok_or("QUERYBATCH needs a count")?;
+                let count: usize = count_tok
+                    .parse()
+                    .map_err(|_| format!("bad batch count {count_tok:?}"))?;
+                if count == 0 || count > MAX_BATCH {
+                    return Err(format!("batch count must be 1..={MAX_BATCH}, got {count}"));
+                }
+                let (raw, budget) = parse_options(toks.into_iter())?;
+                Ok(Request::QueryBatch { count, raw, budget })
+            }
             other => Err(format!("unknown command {other:?}")),
         }
     }
 
-    /// Renders the request as one protocol line (no newline).
+    /// Renders the request as one protocol line (no newline). A
+    /// `QueryBatch` line is only the header — the caller sends the
+    /// `count` path lines after it.
     pub fn encode(&self) -> String {
         match self {
             Request::Ping => "PING".into(),
@@ -94,17 +146,27 @@ impl Request {
             Request::Shutdown => "SHUTDOWN".into(),
             Request::Query { path, raw, budget } => {
                 let mut s = String::from("QUERY");
-                if *raw {
-                    s.push_str(" raw");
-                }
-                if let Some(b) = budget {
-                    s.push_str(&format!(" budget={b}"));
-                }
+                push_options(&mut s, *raw, *budget);
                 s.push(' ');
                 s.push_str(path);
                 s
             }
+            Request::QueryBatch { count, raw, budget } => {
+                let mut s = String::from("QUERYBATCH");
+                push_options(&mut s, *raw, *budget);
+                s.push_str(&format!(" {count}"));
+                s
+            }
         }
+    }
+}
+
+fn push_options(s: &mut String, raw: bool, budget: Option<usize>) {
+    if raw {
+        s.push_str(" raw");
+    }
+    if let Some(b) = budget {
+        s.push_str(&format!(" budget={b}"));
     }
 }
 
@@ -204,6 +266,16 @@ mod tests {
                 raw: true,
                 budget: Some(32),
             },
+            Request::QueryBatch {
+                count: 16,
+                raw: false,
+                budget: None,
+            },
+            Request::QueryBatch {
+                count: 1,
+                raw: true,
+                budget: Some(8),
+            },
         ] {
             assert_eq!(Request::parse(&r.encode()).unwrap(), r);
         }
@@ -215,6 +287,37 @@ mod tests {
         assert!(Request::parse("QUERY nopath").is_err());
         assert!(Request::parse("QUERY budget=x //a").is_err());
         assert!(Request::parse("QUERY frob //a").is_err());
+        assert!(Request::parse("QUERYBATCH").is_err());
+        assert!(Request::parse("QUERYBATCH nope").is_err());
+        assert!(Request::parse("QUERYBATCH 0").is_err());
+        assert!(Request::parse(&format!("QUERYBATCH {}", MAX_BATCH + 1)).is_err());
+        assert!(Request::parse("QUERYBATCH frob 4").is_err());
+    }
+
+    #[test]
+    fn zero_budget_is_a_parse_error() {
+        // Used to parse fine and then fail admission as `TooLarge`, which
+        // misdirected the client toward the server's capacity.
+        let err = Request::parse("QUERY budget=0 //a//b").unwrap_err();
+        assert!(err.contains("budget must be at least 1"), "{err}");
+        assert!(Request::parse("QUERYBATCH budget=0 4").is_err());
+        // Boundary: 1 is the smallest accepted request.
+        assert_eq!(
+            Request::parse("QUERY budget=1 //a").unwrap(),
+            Request::Query {
+                path: "//a".into(),
+                raw: false,
+                budget: Some(1),
+            }
+        );
+        assert_eq!(
+            Request::parse("QB raw 4").unwrap(),
+            Request::QueryBatch {
+                count: 4,
+                raw: true,
+                budget: None,
+            }
+        );
     }
 
     #[test]

@@ -136,6 +136,37 @@ fn handle_connection(
                 Ok(out) => write_ok(&mut writer, &out.codes)?,
                 Err(e) => write_err(&mut writer, &e.to_string())?,
             },
+            Ok(Request::QueryBatch { count, raw, budget }) => {
+                // The header promised `count` path lines; read them all
+                // before answering anything, then send `count` framed
+                // responses in request order.
+                let mut paths = Vec::with_capacity(count);
+                for _ in 0..count {
+                    line.clear();
+                    if reader.read_line(&mut line)? == 0 {
+                        return Ok(()); // peer closed mid-batch
+                    }
+                    paths.push(line.trim().to_owned());
+                }
+                match service.execute_batch(&paths, raw, budget) {
+                    Ok(outcomes) => {
+                        for o in outcomes {
+                            match o {
+                                Ok(out) => write_ok(&mut writer, &out.codes)?,
+                                Err(e) => write_err(&mut writer, &e.to_string())?,
+                            }
+                        }
+                    }
+                    // Admission refused the batch: every sub-query still
+                    // gets its framed response.
+                    Err(e) => {
+                        let msg = e.to_string();
+                        for _ in 0..count {
+                            write_err(&mut writer, &msg)?;
+                        }
+                    }
+                }
+            }
         }
         writer.flush()?;
     }
@@ -177,6 +208,34 @@ impl Client {
             budget,
         })?;
         crate::proto::read_response(&mut self.reader)
+    }
+
+    /// Runs a batch of queries through one `QUERYBATCH` exchange and
+    /// returns one response per path, in order. Each response's bytes are
+    /// exactly what [`query`](Client::query) would have returned for that
+    /// path — the property the load generator's mixed leg checks.
+    pub fn query_batch(
+        &mut self,
+        paths: &[&str],
+        raw: bool,
+        budget: Option<usize>,
+    ) -> io::Result<Vec<crate::proto::Response>> {
+        let mut msg = Request::QueryBatch {
+            count: paths.len(),
+            raw,
+            budget,
+        }
+        .encode();
+        msg.push('\n');
+        for p in paths {
+            msg.push_str(p);
+            msg.push('\n');
+        }
+        self.writer.write_all(msg.as_bytes())?;
+        paths
+            .iter()
+            .map(|_| crate::proto::read_response(&mut self.reader))
+            .collect()
     }
 
     /// Liveness probe.

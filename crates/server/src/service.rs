@@ -31,7 +31,8 @@ use pbitree_core::Code;
 use pbitree_datagen::xmark::{self, XMarkSpec};
 use pbitree_joins::element::element_file_with;
 use pbitree_joins::{
-    plan_and_execute, Algorithm, CollectSink, Element, InputState, JoinCtx, JoinError,
+    plan_and_execute, Algorithm, CollectSink, Element, InputState, JoinCtx, JoinError, MultiSink,
+    QueryBatch,
 };
 use pbitree_storage::{
     compress_default, BufferPool, CostModel, Disk, HeapFile, MemBackend, PoolError, ScanOptions,
@@ -60,6 +61,8 @@ pub struct ServiceConfig {
     pub cost: CostModel,
     /// Whether element pages are written packed.
     pub compression: bool,
+    /// Worker threads each admitted query's context fans out over.
+    pub threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +76,7 @@ impl Default for ServiceConfig {
             max_queue: 4096,
             cost: CostModel::default(),
             compression: compress_default(),
+            threads: 1,
         }
     }
 }
@@ -177,6 +181,7 @@ pub struct QueryService {
     admission: Arc<AdmissionController>,
     default_budget: usize,
     load_opts: ScanOptions,
+    threads: usize,
     queries: AtomicU64,
 }
 
@@ -203,14 +208,15 @@ impl QueryService {
         }))
         .expect("XMark corpus encodes");
         let shape = doc.encoding().shape();
-        let ctx = JoinCtx::new(
+        let ctx = JoinCtx::builder(
             BufferPool::new(
                 Disk::new(Box::new(MemBackend::new()), cfg.cost),
                 cfg.buffer_pages.max(MIN_QUERY_FRAMES + 1),
             ),
             shape,
         )
-        .with_compression(cfg.compression);
+        .compression(cfg.compression)
+        .build();
         let load_opts = ScanOptions::default().with_compress(cfg.compression);
 
         // Group the coded nodes by tag, then bulk-load one file per tag.
@@ -246,6 +252,7 @@ impl QueryService {
             admission,
             default_budget,
             load_opts,
+            threads: cfg.threads.max(1),
             queries: AtomicU64::new(0),
         })
     }
@@ -309,6 +316,141 @@ impl QueryService {
         Ok(out)
     }
 
+    /// Runs a whole batch of queries from **one admission grant**,
+    /// answering position `i` of the result for path `i` of the input.
+    ///
+    /// Sorted two-step predicate-free paths over known corpus tags are
+    /// *shareable*: their whole join is an in-memory ancestor set against
+    /// a shared descendant tag file, so the batch groups them by that
+    /// file and answers each group with one [`QueryBatch`] scan —
+    /// `k` queries over the same hot tag read its pages once, not `k`
+    /// times. Everything else (predicates, longer chains, `raw`, unknown
+    /// tags) runs the ordinary serial chain under the same grant.
+    ///
+    /// Every per-query result — codes and errors alike — is exactly what
+    /// [`execute`](QueryService::execute) would have produced for that
+    /// path alone; only admission (once per batch) and I/O (shared)
+    /// differ. The outer error is admission refusing the batch.
+    pub fn execute_batch(
+        &self,
+        paths: &[String],
+        raw: bool,
+        budget: Option<usize>,
+    ) -> Result<Vec<Result<QueryOutcome, ServiceError>>, ServiceError> {
+        let want = budget.unwrap_or(self.default_budget);
+        let grant = self.admission.admit(want)?;
+        let ctx = self.ctx.worker_with_threads(grant.frames(), self.threads);
+        let mut out: Vec<Option<Result<QueryOutcome, ServiceError>>> =
+            paths.iter().map(|_| None).collect();
+        let mut parsed: Vec<Option<DescendantPath>> = Vec::with_capacity(paths.len());
+        for (i, p) in paths.iter().enumerate() {
+            match DescendantPath::parse(p) {
+                Ok(d) => parsed.push(Some(d)),
+                Err(e) => {
+                    out[i] = Some(Err(ServiceError::Parse(e.to_string())));
+                    parsed.push(None);
+                }
+            }
+        }
+
+        // Group the shareable queries by their descendant tag file.
+        let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, d) in parsed.iter().enumerate() {
+            if let Some(path) = d {
+                if self.shareable(path, raw) {
+                    groups.entry(&path.steps[1].tag).or_default().push(i);
+                }
+            }
+        }
+        for (dtag, members) in groups {
+            self.run_shared_group(&ctx, dtag, &members, &parsed, &mut out);
+        }
+
+        // Serial fallback under the same grant: non-shareable queries,
+        // plus any shareable ones the group pass left unanswered.
+        for (i, d) in parsed.iter().enumerate() {
+            if out[i].is_none() {
+                let path = d.as_ref().expect("unparsed queries were answered");
+                out[i] = Some(self.run_chain(path, raw, &grant));
+            }
+        }
+        let outcomes: Vec<Result<QueryOutcome, ServiceError>> = out
+            .into_iter()
+            .map(|o| o.expect("every query answered"))
+            .collect();
+        let served = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+        self.queries.fetch_add(served, Ordering::Relaxed);
+        Ok(outcomes)
+    }
+
+    /// Whether a parsed path can join a shared scan: sorted inputs, two
+    /// predicate-free steps, both tags present in the corpus.
+    fn shareable(&self, path: &DescendantPath, raw: bool) -> bool {
+        !raw && path.steps.len() == 2
+            && path.steps.iter().all(|s| s.predicate.is_none())
+            && path.steps.iter().all(|s| self.tags.contains_key(&s.tag))
+    }
+
+    /// Answers one shareable group with a single [`QueryBatch`] scan of
+    /// the group's descendant tag file. Best-effort: a query whose
+    /// ancestor set cannot be held within the grant — or the whole group,
+    /// if the scan itself fails — is simply left unanswered for the
+    /// serial fallback, which reports any real error per query.
+    fn run_shared_group(
+        &self,
+        ctx: &JoinCtx,
+        dtag: &str,
+        members: &[usize],
+        parsed: &[Option<DescendantPath>],
+        out: &mut [Option<Result<QueryOutcome, ServiceError>>],
+    ) {
+        let dfile = &self.tags[dtag].file;
+        // The grant must hold every batched ancestor set at once, with a
+        // margin for the scan and the operator's working frame.
+        let cap = ctx.elements_per_pages(ctx.budget().saturating_sub(2).max(1));
+        let mut held = 0usize;
+        let mut qb = QueryBatch::new();
+        let mut routed: Vec<usize> = Vec::with_capacity(members.len());
+        for &i in members {
+            let path = parsed[i].as_ref().expect("shareable queries parsed");
+            let afile = &self.tags[&path.steps[0].tag].file;
+            let n = afile.records() as usize;
+            if held + n > cap {
+                continue; // falls back to the serial chain
+            }
+            if qb.add_file(ctx, afile).is_err() {
+                continue;
+            }
+            held += n;
+            routed.push(i);
+        }
+        let mut collect: Vec<CollectSink> =
+            (0..routed.len()).map(|_| CollectSink::default()).collect();
+        {
+            let mut sinks = MultiSink::new();
+            for s in &mut collect {
+                sinks.push(s);
+            }
+            if qb.execute(ctx, dfile, &mut sinks).is_err() {
+                return; // whole group falls back to the serial chain
+            }
+        }
+        for (route, &i) in routed.iter().enumerate() {
+            let mut codes: Vec<u64> = collect[route]
+                .pairs
+                .iter()
+                .map(|(_, d)| d.code.get())
+                .collect();
+            codes.sort_unstable();
+            codes.dedup();
+            out[i] = Some(Ok(QueryOutcome {
+                codes,
+                algorithms: vec![Algorithm::SharedScan],
+                budget: ctx.budget(),
+            }));
+        }
+    }
+
     /// The containment-join chain over the parsed path.
     fn run_chain(
         &self,
@@ -316,7 +458,7 @@ impl QueryService {
         raw: bool,
         grant: &Grant,
     ) -> Result<QueryOutcome, ServiceError> {
-        let ctx = self.ctx.worker(grant.frames());
+        let ctx = self.ctx.worker_with_threads(grant.frames(), self.threads);
         let state = if raw {
             InputState::raw()
         } else {

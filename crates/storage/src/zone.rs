@@ -243,6 +243,45 @@ impl ScanFilter {
         }
     }
 
+    /// Disjunction of two filters, as a single bounding envelope. The
+    /// result admits everything either side admits — the contract a shared
+    /// scan needs to serve several queries from one pass — but stays a
+    /// plain envelope rather than a filter list, so it may also admit
+    /// records in the gap *between* the operands' windows (each query
+    /// re-checks its own predicate; pruning only ever changes cost).
+    ///
+    /// A dimension is constrained in the union only when **both** operands
+    /// constrain it: if either side admits every region (or every height),
+    /// so must the union. An operand that is an empty set contributes
+    /// nothing and the other side is returned unchanged.
+    pub fn union(self, other: ScanFilter) -> ScanFilter {
+        if self.is_empty_set() {
+            return other;
+        }
+        if other.is_empty_set() {
+            return self;
+        }
+        let window = match (self.window(), other.window()) {
+            (Some((s1, e1)), Some((s2, e2))) => Some((s1.min(s2), e1.max(e2))),
+            _ => None,
+        };
+        let heights = match (self.heights(), other.heights()) {
+            (Some((l1, h1)), Some((l2, h2))) => Some((l1.min(l2), h1.max(h2))),
+            _ => None,
+        };
+        match (window, heights) {
+            (None, None) => ScanFilter::All,
+            (Some((start, end)), None) => ScanFilter::RegionOverlap { start, end },
+            (None, Some((min, max))) => ScanFilter::HeightRange { min, max },
+            (Some((start, end)), Some((min, max))) => ScanFilter::RegionAndHeight {
+                start,
+                end,
+                min,
+                max,
+            },
+        }
+    }
+
     /// Whether this filter describes an empty set — an inverted window or
     /// height range, as produced by [`ScanFilter::and`] over disjoint
     /// constraints. An empty filter admits nothing at all.
@@ -375,6 +414,56 @@ mod tests {
             r.and(ScanFilter::RegionOverlap { start: 30, end: 99 }),
             ScanFilter::RegionOverlap { start: 30, end: 50 }
         );
+    }
+
+    #[test]
+    fn filter_union_is_bounding_envelope() {
+        let r1 = ScanFilter::RegionOverlap { start: 10, end: 50 };
+        let r2 = ScanFilter::RegionOverlap {
+            start: 100,
+            end: 200,
+        };
+        // Two windows widen to their envelope (the gap is admitted too —
+        // the union is a necessary condition, not an exact disjunction).
+        assert_eq!(
+            r1.union(r2),
+            ScanFilter::RegionOverlap {
+                start: 10,
+                end: 200
+            }
+        );
+        // A side with no window constraint unconstrains the union.
+        assert_eq!(r1.union(ScanFilter::All), ScanFilter::All);
+        assert_eq!(
+            r1.union(ScanFilter::HeightRange { min: 2, max: 5 }),
+            ScanFilter::All
+        );
+        // Height ranges widen dimension-wise when both sides have both.
+        let f1 = r1.and(ScanFilter::HeightRange { min: 2, max: 5 });
+        let f2 = r2.and(ScanFilter::HeightRange { min: 0, max: 3 });
+        assert_eq!(
+            f1.union(f2),
+            ScanFilter::RegionAndHeight {
+                start: 10,
+                end: 200,
+                min: 0,
+                max: 5
+            }
+        );
+        // An empty-set operand is an identity.
+        let dead = ScanFilter::RegionOverlap { start: 60, end: 10 };
+        assert_eq!(dead.union(r1), r1);
+        assert_eq!(r1.union(dead), r1);
+        // The union admits every zone either operand admits.
+        for z in [
+            ZoneEntry::of(0, 12, 3),
+            ZoneEntry::of(150, 160, 1),
+            ZoneEntry::of(60, 70, 2),
+        ] {
+            if f1.admits_zone(&z) || f2.admits_zone(&z) {
+                assert!(f1.union(f2).admits_zone(&z));
+            }
+        }
     }
 
     #[test]

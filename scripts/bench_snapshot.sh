@@ -8,9 +8,13 @@
 #   BENCH_08.json — query-service load report (p50/p95/p99 latency and
 #                   throughput for 100 concurrent clients against the
 #                   embedded server; the loadgen fails the run on any
-#                   error or serial-baseline mismatch).
+#                   error or serial-baseline mismatch);
+#   BENCH_09.json — shared-scan batched-query panel (page reads for k
+#                   serial passes vs one QUERYBATCH at k = 1/4/16, plus
+#                   loadgen throughput/p95 with QUERYBATCH mixed in at
+#                   the same batch sizes).
 #
-#   scripts/bench_snapshot.sh [prune.json [compress.json [server.json]]]
+#   scripts/bench_snapshot.sh [prune.json [compress.json [server.json [shared.json]]]]
 #
 # BENCH_SCALE scales the skewed workload (default 0.5 ≈ 3k ancestors /
 # 20k descendants). The JSON is plain `awk` output — no jq/python needed.
@@ -20,6 +24,7 @@ cd "$(dirname "$0")/.."
 OUT_PRUNE=${1:-BENCH_05.json}
 OUT_COMPRESS=${2:-BENCH_06.json}
 OUT_SERVER=${3:-BENCH_08.json}
+OUT_SHARED=${4:-BENCH_09.json}
 DIR=$(mktemp -d /tmp/bench.XXXXXX)
 trap 'rm -rf "$DIR"' EXIT
 
@@ -73,3 +78,48 @@ cargo run --release -q -p pbitree-server --bin pbitree-loadgen -- \
     --out "$OUT_SERVER" > /dev/null
 
 echo "wrote $OUT_SERVER ($(wc -l < "$OUT_SERVER") lines)"
+
+# Shared-scan snapshot: the ablation panel asserts (in-binary) that each
+# batch's pairs equal k serial passes and that k = 16 reads >= 4x fewer
+# pages; the loadgen legs byte-compare every QUERYBATCH sub-response
+# against the serial baseline and exit non-zero on any divergence.
+cargo run --release -q -p pbitree-bench --bin ablation -- --study shared \
+    --scale "${BENCH_SCALE:-0.5}" --results "$DIR"
+for K in 1 4 16; do
+    cargo run --release -q -p pbitree-server --bin pbitree-loadgen -- \
+        --embedded --sf 0.01 --clients 32 --requests 10 --seed 7 \
+        --batch "$K" --out "$DIR/batch_$K.json" > /dev/null
+done
+
+# Pull one numeric field out of a loadgen report (plain sed, no jq).
+jfield() { sed -n "s/^ *\"$2\": \([0-9.]*\),*$/\1/p" "$1" | head -1; }
+
+{
+    printf '{\n'
+    printf '  "snapshot": "BENCH_09",\n'
+    printf '  "panel": "shared_scan_batch",\n'
+    printf '  "generated": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "scan_rows": [\n'
+    awk -F'\t' '
+    NR <= 2 { next }  # "# title" line and the column header
+    {
+        rows[++n] = sprintf("    {\"batch_k\": %s, \"mode\": \"%s\", \"pairs\": %s, \"page_reads\": %s, \"sim_disk_s\": %s, \"elapsed_s\": %s}",
+                            $1, $2, $3, $4, $5, $6)
+    }
+    END { for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "") }
+    ' "$DIR/ablation_shared.tsv"
+    printf '  ],\n'
+    printf '  "loadgen": [\n'
+    first=1
+    for K in 1 4 16; do
+        [ "$first" = 1 ] || printf ',\n'
+        first=0
+        R="$DIR/batch_$K.json"
+        printf '    {"batch": %s, "throughput_qps": %s, "p95_ms": %s, "errors": %s, "mismatches": %s}' \
+            "$K" "$(jfield "$R" throughput_qps)" "$(jfield "$R" p95_ms)" \
+            "$(jfield "$R" errors)" "$(jfield "$R" mismatches)"
+    done
+    printf '\n  ]\n}\n'
+} > "$OUT_SHARED"
+
+echo "wrote $OUT_SHARED ($(wc -l < "$OUT_SHARED") lines)"

@@ -96,4 +96,18 @@ grep -q '"p99_ms"' /tmp/loadgen_report.json || { echo "server smoke failed: repo
 head -1 "$SRV_TRACE" | grep -q '"v":1' || { echo "server smoke failed: bad trace"; exit 1; }
 rm -f "$ADDR_FILE" "$SRV_TRACE"
 
+echo "== batched-query smoke (QUERYBATCH shared scan + loadgen byte-comparison)"
+# The shared-scan panel asserts (in-binary) that a batch of k queries
+# returns pair-identical results to k serial passes while a batch of 16
+# reads >= 4x fewer pages than 16 serial scans.
+cargo run --release -q -p pbitree-bench --bin ablation -- --study shared --fast \
+    --results /tmp/ab_shared
+# Embedded loadgen leg mixing QUERY and QUERYBATCH: exits non-zero on any
+# error or any sub-response that differs byte-for-byte from its serial
+# baseline.
+./target/release/pbitree-loadgen --embedded --sf 0.005 --clients 8 --requests 6 \
+    --batch 4 --seed 3 --out /tmp/batch_report.json
+grep -q '"errors": 0' /tmp/batch_report.json || { echo "batch smoke failed: loadgen errors"; exit 1; }
+grep -q '"mismatches": 0' /tmp/batch_report.json || { echo "batch smoke failed: batched responses diverged"; exit 1; }
+
 echo "OK"

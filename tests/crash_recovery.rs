@@ -256,9 +256,10 @@ fn self_join_pairs(
     shape: PBiTreeShape,
     threads: usize,
 ) -> u64 {
-    let ctx = JoinCtx::new(pool, shape)
-        .with_threads(threads)
-        .with_io(io_opts(false));
+    let ctx = JoinCtx::builder(pool, shape)
+        .threads(threads)
+        .io(io_opts(false))
+        .build();
     let mut sink = CountSink::default();
     mhcj::mhcj(&ctx, store.heap(), store.heap(), &mut sink)
         .unwrap()

@@ -82,7 +82,9 @@ fn parallel_paths_agree_with_naive() {
     for seed in 0..10u64 {
         let (a, d) = arb_sets(12, seed.wrapping_mul(0xC2B2AE3D27D4EB4F) + 3);
         let shape = PBiTreeShape::new(12).unwrap();
-        let ctx = JoinCtx::in_memory_free(shape, 8).with_threads(4);
+        let ctx = pbitree_containment::joins::JoinCtxBuilder::in_memory_free(shape, 8)
+            .threads(4)
+            .build();
         let af = element_file(&ctx.pool, a.iter().map(|&c| (c, 0))).unwrap();
         let df = element_file(&ctx.pool, d.iter().map(|&c| (c, 1))).unwrap();
         let mut expect = CollectSink::default();
@@ -134,7 +136,9 @@ fn parallel_runs_under_transient_faults_match_sequential() {
         let backend = FaultBackend::new(MemBackend::new(), FaultConfig::none());
         let handle = backend.handle();
         let pool = BufferPool::new(Disk::new(Box::new(backend), CostModel::free()), 8);
-        let ctx = JoinCtx::new(pool, PBiTreeShape::new(12).unwrap()).with_threads(threads);
+        let ctx = JoinCtx::builder(pool, PBiTreeShape::new(12).unwrap())
+            .threads(threads)
+            .build();
         let af = element_file(&ctx.pool, a.iter().map(|&c| (c, 0))).unwrap();
         let df = element_file(&ctx.pool, d.iter().map(|&c| (c, 1))).unwrap();
         ctx.pool.evict_all().unwrap();

@@ -107,9 +107,10 @@ fn build(
     let backend = FaultBackend::new(MemBackend::new(), FaultConfig::none());
     let handle = backend.handle();
     let pool = BufferPool::new(Disk::new(Box::new(backend), CostModel::free()), BUDGET);
-    let ctx = JoinCtx::new(pool, PBiTreeShape::new(H).unwrap())
-        .with_threads(threads)
-        .with_io(io);
+    let ctx = JoinCtx::builder(pool, PBiTreeShape::new(H).unwrap())
+        .threads(threads)
+        .io(io)
+        .build();
     let a = element_file(
         &ctx.pool,
         ancestors(name == "shcj").into_iter().map(|c| (c, 0)),
@@ -348,9 +349,10 @@ fn build_skewed(prune: bool) -> (JoinCtx, HeapFile<Element>, HeapFile<Element>, 
     let backend = FaultBackend::new(MemBackend::new(), FaultConfig::none());
     let handle = backend.handle();
     let pool = BufferPool::new(Disk::new(Box::new(backend), CostModel::free()), BUDGET);
-    let ctx = JoinCtx::new(pool, PBiTreeShape::new(H).unwrap())
-        .with_io(strict_io())
-        .with_prune(prune);
+    let ctx = JoinCtx::builder(pool, PBiTreeShape::new(H).unwrap())
+        .io(strict_io())
+        .prune(prune)
+        .build();
     let a = element_file(&ctx.pool, skewed_ancestors().into_iter().map(|c| (c, 0))).unwrap();
     let d = element_file(&ctx.pool, descendants().into_iter().map(|c| (c, 1))).unwrap();
     ctx.pool.evict_all().unwrap();
@@ -433,9 +435,10 @@ fn build_mode(compress: bool) -> (JoinCtx, HeapFile<Element>, HeapFile<Element>,
     let backend = FaultBackend::new(MemBackend::new(), FaultConfig::none());
     let handle = backend.handle();
     let pool = BufferPool::new(Disk::new(Box::new(backend), CostModel::free()), BUDGET);
-    let ctx = JoinCtx::new(pool, PBiTreeShape::new(H).unwrap())
-        .with_io(strict_io())
-        .with_compression(compress);
+    let ctx = JoinCtx::builder(pool, PBiTreeShape::new(H).unwrap())
+        .io(strict_io())
+        .compression(compress)
+        .build();
     let opts = strict_io().with_compress(compress);
     let a = element_file_with(
         &ctx.pool,
