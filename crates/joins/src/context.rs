@@ -218,6 +218,11 @@ pub struct JoinCtx {
     /// scans (on by default). Pruning never changes results — the knob
     /// exists so ablations can measure its I/O savings.
     prune: bool,
+    /// Region-range sharding declared for this context, if any. Plain
+    /// operators ignore it; [`crate::sharded::ShardedStore::from_ctx`]
+    /// reads it to size its per-shard pools, and the planner's sharded
+    /// entry points require it.
+    sharding: Option<crate::sharded::Sharding>,
 }
 
 impl JoinCtx {
@@ -233,6 +238,7 @@ impl JoinCtx {
             tracer: None,
             io_opts: ScanOptions::default(),
             prune: true,
+            sharding: None,
         }
     }
 
@@ -263,50 +269,10 @@ impl JoinCtx {
         }
     }
 
-    /// Sets the worker-thread knob (clamped to at least 1).
-    #[deprecated(note = "use JoinCtx::builder(..).threads(..).build()")]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
-    /// Overrides the sizing budget `b` independently of the pool capacity
-    /// (clamped to `3..=capacity`). A pool larger than `b` models a host
-    /// with spare page cache: operators still partition as if only `b`
-    /// frames existed, but evictions disappear — the configuration the
-    /// parallel speedup benchmarks use to isolate CPU scaling.
-    #[deprecated(note = "use JoinCtx::builder(..).budget(..).build()")]
-    pub fn with_budget(mut self, budget: usize) -> Self {
-        self.budget = budget.min(self.pool.capacity()).max(3);
-        self
-    }
-
     /// Attaches a span tracer; every operator run through this context
     /// (and its workers) records phase spans into it.
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = Some(tracer);
-        self
-    }
-
-    /// Sets the declared I/O access options — `ScanOptions::sequential(1)`
-    /// disables read-ahead and write batching entirely (the pre-vectored
-    /// behavior the fault-sweep baselines and ablation controls pin down).
-    #[deprecated(note = "use JoinCtx::builder(..).io(..).build()")]
-    pub fn with_io(mut self, opts: ScanOptions) -> Self {
-        self.io_opts = opts;
-        self
-    }
-
-    /// Enables or disables zone-map scan pruning (on by default). With
-    /// pruning off, [`pruned`](JoinCtx::pruned) returns its input filter
-    /// unchanged only when that filter is [`ScanFilter::All`]; operators
-    /// consult this knob before deriving pushdown filters, so an unpruned
-    /// run reads every page — the ablation baseline.
-    ///
-    /// [`ScanFilter::All`]: pbitree_storage::ScanFilter::All
-    #[deprecated(note = "use JoinCtx::builder(..).prune(..).build()")]
-    pub fn with_prune(mut self, prune: bool) -> Self {
-        self.prune = prune;
         self
     }
 
@@ -316,26 +282,16 @@ impl JoinCtx {
         self.prune
     }
 
-    /// Enables or disables packed element pages
-    /// ([`pbitree_storage::codec`]) for every file this context's
-    /// operators write — partition files, sort runs, rescan spools.
-    /// Threaded like [`with_prune`](JoinCtx::with_prune); the flag lives on
-    /// the context's [`ScanOptions`], so it reaches writers through
-    /// [`write_opts`](JoinCtx::write_opts) and survives worker carving.
-    /// Reading is always layout-agnostic (the page header selects the
-    /// decode), so flipping this knob never changes results, only the page
-    /// counts. Defaults to the once-per-process `PBITREE_COMPRESS`
-    /// snapshot ([`pbitree_storage::compress_default`]) — a mid-run
-    /// change to the environment cannot flip the layout under a
-    /// workload.
-    #[deprecated(note = "use JoinCtx::builder(..).compression(..).build()")]
-    pub fn with_compression(mut self, compress: bool) -> Self {
-        self.io_opts = self.io_opts.with_compress(compress);
-        self
-    }
-
-    /// Whether packed element pages are enabled for files this context
-    /// writes.
+    /// Whether packed element pages ([`pbitree_storage::codec`]) are
+    /// enabled for files this context's operators write — partition
+    /// files, sort runs, rescan spools. The flag lives on the context's
+    /// [`ScanOptions`], so it reaches writers through
+    /// [`write_opts`](JoinCtx::write_opts) and survives worker carving;
+    /// reading is always layout-agnostic (the page header selects the
+    /// decode), so flipping it never changes results, only page counts.
+    /// Defaults to the once-per-process `PBITREE_COMPRESS` snapshot
+    /// ([`pbitree_storage::compress_default`]); set it per context with
+    /// [`JoinCtxBuilder::compression`].
     #[inline]
     pub fn compression(&self) -> bool {
         self.io_opts.compress
@@ -411,7 +367,34 @@ impl JoinCtx {
             tracer: self.tracer.clone(),
             io_opts: self.io_opts,
             prune: self.prune,
+            sharding: self.sharding,
         }
+    }
+
+    /// A context over a *different* pool inheriting every knob of `self`
+    /// except the thread and sharding ones: same shape, tracer, I/O
+    /// options and pruning, sequential, with the new pool's full capacity
+    /// as the budget. This is how [`crate::sharded::ShardedStore`] derives
+    /// one per-shard context per independent pool/disk pair.
+    pub fn for_pool(&self, pool: BufferPool) -> JoinCtx {
+        let budget = pool.capacity();
+        JoinCtx {
+            pool: Arc::new(pool),
+            shape: self.shape,
+            threads: 1,
+            budget,
+            tracer: self.tracer.clone(),
+            io_opts: self.io_opts,
+            prune: self.prune,
+            sharding: None,
+        }
+    }
+
+    /// The declared region-range sharding, if any (see
+    /// [`JoinCtxBuilder::sharding`]).
+    #[inline]
+    pub fn sharding(&self) -> Option<crate::sharded::Sharding> {
+        self.sharding
     }
 
     /// The frame budget `b` operators size hash tables, sort fan-in and
@@ -522,6 +505,16 @@ impl JoinCtxBuilder {
     /// Defaults to the once-per-process `PBITREE_COMPRESS` snapshot.
     pub fn compression(mut self, compress: bool) -> Self {
         self.ctx.io_opts = self.ctx.io_opts.with_compress(compress);
+        self
+    }
+
+    /// Declares region-range sharding for the context. Plain operators
+    /// ignore the knob; [`crate::sharded::ShardedStore::from_ctx`] sizes
+    /// its per-shard pools from it, and the planner's
+    /// [`execute_sharded`](crate::planner::execute_sharded) path requires
+    /// it.
+    pub fn sharding(mut self, sharding: crate::sharded::Sharding) -> Self {
+        self.ctx.sharding = Some(sharding);
         self
     }
 

@@ -48,6 +48,7 @@ pub mod naive;
 pub mod parallel;
 pub mod planner;
 pub mod rollup;
+pub mod sharded;
 pub mod shared;
 pub mod shcj;
 pub mod sink;
@@ -59,7 +60,13 @@ pub mod vpj;
 
 pub use context::{JoinCtx, JoinCtxBuilder, JoinError, JoinStats, PhaseStat};
 pub use element::Element;
-pub use planner::{choose_algorithm, execute, plan_and_execute, Algorithm, InputState};
+pub use planner::{
+    choose_algorithm, execute, execute_sharded, plan_and_execute, plan_and_execute_sharded,
+    Algorithm, InputState,
+};
+pub use sharded::{
+    ShardRole, ShardedElementStore, ShardedFile, ShardedIndex, ShardedStats, ShardedStore, Sharding,
+};
 pub use shared::QueryBatch;
 pub use sink::{
     CollectSink, CountSink, Counted, HeapSink, MultiSink, PairSink, ResultPair, SinkExt,

@@ -59,29 +59,40 @@ impl PairSink for BufferSink {
 }
 
 /// One finished task: its buffered output plus the task body's result.
-struct TaskOutput<R> {
-    pairs: Vec<(Element, Element)>,
-    result: R,
+pub(crate) struct TaskOutput<R> {
+    pub(crate) pairs: Vec<(Element, Element)>,
+    pub(crate) result: R,
 }
 
 /// A task's result slot, written once by whichever worker claims it.
 type ResultSlot<R> = Mutex<Option<Result<TaskOutput<R>, JoinError>>>;
 
-/// Runs `tasks` on up to `ctx.threads` scoped workers (never more workers
-/// than tasks), each with a carved budget, and returns per-task results in
-/// task order. Panics in task bodies propagate via the thread scope.
-fn run_tasks<T, R, F>(ctx: &JoinCtx, tasks: Vec<T>, run: F) -> Vec<Result<TaskOutput<R>, JoinError>>
+/// The scheduler core, generalized over *which context a task runs in*:
+/// `ctx_of(i)` supplies task `i`'s execution context, so the same
+/// claiming / buffering / ordered-merge machinery drives both the
+/// single-pool partition fan-out ([`run_tasks`] — every task gets a
+/// carved worker view of one shared pool) and the sharded fan-out
+/// (`crate::sharded` — task `i` runs against shard `i`'s own pool and
+/// simulated-disk clock). Runs `tasks` on up to `threads` scoped workers
+/// (never more workers than tasks) and returns per-task results in task
+/// order. Panics in task bodies propagate via the thread scope.
+pub(crate) fn run_tasks_on<T, R, C, F>(
+    threads: usize,
+    tasks: Vec<T>,
+    ctx_of: C,
+    run: F,
+) -> Vec<Result<TaskOutput<R>, JoinError>>
 where
     T: Send,
     R: Send,
+    C: Fn(usize) -> JoinCtx + Sync,
     F: Fn(&JoinCtx, T, &mut dyn PairSink) -> Result<R, JoinError> + Sync,
 {
     let n = tasks.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = ctx.threads.min(n).max(1);
-    let carved = (ctx.budget() / workers).max(3);
+    let workers = threads.min(n).max(1);
     let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<ResultSlot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -94,13 +105,14 @@ where
             let results = &results;
             let next = &next;
             let run = &run;
-            let wctx = ctx.worker(carved);
+            let ctx_of = &ctx_of;
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let task = slots[i].lock().unwrap().take().expect("task claimed twice");
+                let wctx = ctx_of(i);
                 let out = crate::trace::in_task(
                     &wctx,
                     parent,
@@ -128,6 +140,19 @@ where
                 .expect("every task index was claimed")
         })
         .collect()
+}
+
+/// [`run_tasks_on`] over one shared pool: every task runs in a worker
+/// view of `ctx` with the budget carved evenly across the workers.
+fn run_tasks<T, R, F>(ctx: &JoinCtx, tasks: Vec<T>, run: F) -> Vec<Result<TaskOutput<R>, JoinError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&JoinCtx, T, &mut dyn PairSink) -> Result<R, JoinError> + Sync,
+{
+    let workers = ctx.threads.min(tasks.len()).max(1);
+    let carved = (ctx.budget() / workers).max(3);
+    run_tasks_on(ctx.threads, tasks, |_| ctx.worker(carved), run)
 }
 
 /// Parallel MHCJ: height partitions fan out over workers, each running

@@ -161,6 +161,49 @@ pub fn execute(
     }
 }
 
+/// [`execute`] fork-join across the shards of a
+/// [`ShardedStore`](crate::sharded::ShardedStore): every shard runs the
+/// same `algo` over its slice through its own pool, outputs merge in
+/// ascending shard order, and the merged pair set is identical to the
+/// single-pool plan (see [`crate::sharded`]).
+pub fn execute_sharded(
+    store: &crate::sharded::ShardedStore,
+    algo: Algorithm,
+    a: &crate::sharded::ShardedFile,
+    d: &crate::sharded::ShardedFile,
+    policy: SortPolicy,
+    sink: &mut dyn PairSink,
+) -> Result<crate::sharded::ShardedStats, JoinError> {
+    store.join_with(a, d, sink, |_, _, _, _| (algo, policy))
+}
+
+/// [`plan_and_execute`] per shard: each shard consults Table 1 with its
+/// *own* slice sizes and carved budget, so shards may legitimately run
+/// different algorithms (the chosen row per shard is reported in
+/// [`ShardedStats::algos`](crate::sharded::ShardedStats::algos)); the
+/// result set is the same under any choice.
+pub fn plan_and_execute_sharded(
+    store: &crate::sharded::ShardedStore,
+    a_state: InputState,
+    d_state: InputState,
+    a: &crate::sharded::ShardedFile,
+    d: &crate::sharded::ShardedFile,
+    single_height_a: bool,
+    sink: &mut dyn PairSink,
+) -> Result<crate::sharded::ShardedStats, JoinError> {
+    let policy = if a_state.sorted && d_state.sorted {
+        SortPolicy::AssumeSorted
+    } else {
+        SortPolicy::SortOnTheFly
+    };
+    store.join_with(a, d, sink, |ctx, _i, af, df| {
+        (
+            choose_algorithm(ctx, a_state, d_state, af, df, single_height_a),
+            policy,
+        )
+    })
+}
+
 /// One-call convenience: choose per Table 1, then run.
 pub fn plan_and_execute(
     ctx: &JoinCtx,

@@ -1,0 +1,858 @@
+//! Region-range sharding: independent buffer pools joined fork-join style.
+//!
+//! [`ShardedStore`] range-partitions element heap files (and their zone
+//! maps and B+-tree indexes) by PBiTree region start across `N`
+//! independent [`BufferPool`]s — each over its **own simulated disk with
+//! its own cost-model clock** — so the simulated time of a sharded join
+//! is the *max* over shards, not the sum: the model of `N` spindles (or
+//! machines) working in parallel.
+//!
+//! The placement discipline mirrors VPJ's one-sided replication:
+//!
+//! * **descendants** are stored exactly once, at the shard owning their
+//!   region start ([`ShardPlan::shard_of`]);
+//! * **ancestors** are replicated to every shard their region overlaps
+//!   ([`ShardPlan::overlapping`]).
+//!
+//! An ancestor's region covers each matching descendant's region, so the
+//! ancestor is present wherever such a descendant is owned — and because
+//! the descendant is owned by exactly one shard, every result pair
+//! materializes in **exactly one** shard. The merge therefore needs no
+//! dedup: shard outputs are replayed in ascending shard order through the
+//! [`crate::parallel`] scheduler's buffered-task machinery
+//! (`run_tasks_on` — same atomic-counter claiming,
+//! same deterministic ordered merge, same lowest-index-error semantics),
+//! and the merged pair *set* is byte-identical to the single-pool plan.
+//!
+//! Sharding is declared with [`Sharding`] through
+//! [`crate::JoinCtxBuilder::sharding`]; [`ShardedStore::from_ctx`] builds
+//! the per-shard pools from that prototype context (inheriting its I/O
+//! options, pruning, compression and tracer), and the planner's
+//! [`crate::planner::execute_sharded`] /
+//! [`crate::planner::plan_and_execute_sharded`] run any Table-1 algorithm
+//! per shard. [`ShardedElementStore`] extends the durable write path:
+//! one global code allocator, with each logged heap write routed to the
+//! owning shard's pool **and that shard's own WAL**.
+
+use pbitree_core::{Code, CodeAllocator, PBiTreeShape};
+use pbitree_index::BPlusTree;
+use pbitree_storage::{
+    BufferPool, Disk, HeapFile, MemBackend, PoolError, ShardPlan, StatsSnapshot, Wal,
+};
+
+use crate::context::{JoinCtx, JoinError, JoinStats};
+use crate::element::Element;
+use crate::parallel::{run_tasks_on, TaskOutput};
+use crate::planner::Algorithm;
+use crate::sink::{CollectSink, MultiSink, PairSink};
+use crate::stacktree::SortPolicy;
+use crate::update::StoreError;
+
+/// Declarative sharding config, threaded through
+/// [`crate::JoinCtxBuilder::sharding`] to [`ShardedStore::from_ctx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sharding {
+    /// Number of shards (clamped to ≥ 1).
+    pub shards: usize,
+    /// Buffer frames per shard pool; `0` (the default) splits the
+    /// prototype context's budget evenly, so the *total* frame count is
+    /// held constant across shard counts — the fair scaling comparison.
+    pub frames_per_shard: usize,
+}
+
+impl Sharding {
+    /// Sharding into `shards` ranges with the budget split evenly.
+    pub fn new(shards: usize) -> Self {
+        Sharding {
+            shards: shards.max(1),
+            frames_per_shard: 0,
+        }
+    }
+
+    /// Overrides the per-shard frame count (clamped to ≥ 3 at build).
+    pub fn frames_per_shard(mut self, frames: usize) -> Self {
+        self.frames_per_shard = frames;
+        self
+    }
+}
+
+/// Which side of a containment join a [`ShardedFile`] holds — the knob
+/// selecting the placement discipline at load time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRole {
+    /// Replicated to every shard the element's region overlaps.
+    Ancestor,
+    /// Stored once, at the shard owning the element's region start.
+    Descendant,
+}
+
+/// One element set partitioned across the shards of a [`ShardedStore`].
+pub struct ShardedFile {
+    files: Vec<HeapFile<Element>>,
+    role: ShardRole,
+    /// Logical records (before replication).
+    records: u64,
+    /// Extra copies written by ancestor replication.
+    replicated: u64,
+}
+
+impl ShardedFile {
+    /// Shard `i`'s heap file.
+    #[inline]
+    pub fn file(&self, i: usize) -> &HeapFile<Element> {
+        &self.files[i]
+    }
+
+    /// The placement role the file was loaded under.
+    #[inline]
+    pub fn role(&self) -> ShardRole {
+        self.role
+    }
+
+    /// Logical records across all shards, not counting replicas.
+    #[inline]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Extra copies written by boundary replication (always 0 for
+    /// [`ShardRole::Descendant`] files).
+    #[inline]
+    pub fn replicated(&self) -> u64 {
+        self.replicated
+    }
+
+    /// Drops every shard's file.
+    pub fn drop_files(self, store: &ShardedStore) {
+        for (i, f) in self.files.into_iter().enumerate() {
+            f.drop_file(&store.ctxs[i].pool);
+        }
+    }
+}
+
+/// What a sharded join cost and produced: per-shard [`JoinStats`] (each
+/// measured against that shard's independent pool and disk clock) plus
+/// the merged totals.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStats {
+    /// Per-shard operator stats, in shard order.
+    pub per_shard: Vec<JoinStats>,
+    /// The algorithm each shard ran, in shard order.
+    pub algos: Vec<Algorithm>,
+    /// Result pairs across all shards (each pair comes from exactly one).
+    pub pairs: u64,
+    /// Rollup false hits across all shards.
+    pub false_hits: u64,
+}
+
+impl ShardedStats {
+    /// Simulated disk time of the sharded run: the **max** over the
+    /// shards' independent disk clocks — the fork-join completion time.
+    pub fn sim_disk_max_secs(&self) -> f64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.io.sim_secs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Summed simulated disk time — what one spindle would have paid.
+    pub fn sim_disk_sum_secs(&self) -> f64 {
+        self.per_shard.iter().map(|s| s.io.sim_secs()).sum()
+    }
+
+    /// Total pages read across all shards.
+    pub fn reads(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.io.reads()).sum()
+    }
+
+    /// Total pages written across all shards.
+    pub fn writes(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.io.writes()).sum()
+    }
+}
+
+/// `N` independent buffer pools (one per region range) plus the per-shard
+/// execution contexts derived from one prototype [`JoinCtx`].
+pub struct ShardedStore {
+    plan: ShardPlan,
+    /// One context per shard: own pool over its own disk/clock, same
+    /// shape / I/O options / pruning / tracer as the prototype.
+    ctxs: Vec<JoinCtx>,
+    /// Fork-join worker threads (the prototype's `threads` knob).
+    threads: usize,
+}
+
+impl ShardedStore {
+    /// Builds the store from a prototype context: the shard count and
+    /// per-shard frames come from the context's [`Sharding`] declaration
+    /// (one shard if none), each shard gets a fresh in-memory simulated
+    /// disk charging the prototype pool's cost model, and every other
+    /// knob is inherited via [`JoinCtx::for_pool`].
+    pub fn from_ctx(proto: &JoinCtx) -> Self {
+        let sharding = proto.sharding().unwrap_or_else(|| Sharding::new(1));
+        let cost = proto.pool.cost_model();
+        let disks = (0..sharding.shards)
+            .map(|_| Disk::new(Box::new(MemBackend::new()), cost))
+            .collect();
+        Self::with_disks(proto, disks)
+    }
+
+    /// [`from_ctx`](ShardedStore::from_ctx) over caller-supplied disks —
+    /// one shard per disk (the fault harness wires a `FaultBackend` into
+    /// a single shard this way). Per-shard frames follow the prototype's
+    /// [`Sharding::frames_per_shard`] (its budget split evenly when 0).
+    pub fn with_disks(proto: &JoinCtx, disks: Vec<Disk>) -> Self {
+        assert!(!disks.is_empty(), "a sharded store needs at least one disk");
+        let shards = disks.len();
+        let frames = match proto.sharding().map(|s| s.frames_per_shard) {
+            Some(f) if f > 0 => f,
+            _ => proto.budget() / shards,
+        }
+        .max(3);
+        let plan = ShardPlan::even(shards, proto.shape.node_count());
+        let ctxs = disks
+            .into_iter()
+            .map(|d| proto.for_pool(BufferPool::new(d, frames)))
+            .collect();
+        ShardedStore {
+            plan,
+            ctxs,
+            threads: proto.threads,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// The region-range partitioning.
+    #[inline]
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Shard `i`'s execution context (its pool is the shard's pool).
+    #[inline]
+    pub fn ctx(&self, i: usize) -> &JoinCtx {
+        &self.ctxs[i]
+    }
+
+    /// Per-shard pool/disk counter snapshots, in shard order — what the
+    /// server's `STATS` report and the bench panel read.
+    pub fn snapshots(&self) -> Vec<StatsSnapshot> {
+        self.ctxs.iter().map(|c| c.pool.stats_snapshot()).collect()
+    }
+
+    /// Evicts every shard pool (the cold-run reset between measured runs).
+    pub fn evict_all(&self) -> Result<(), PoolError> {
+        for c in &self.ctxs {
+            c.pool.evict_all()?;
+        }
+        Ok(())
+    }
+
+    /// Total pinned frames across all shard pools (0 when quiescent —
+    /// the no-pin-leak invariant the fault sweep asserts per shard).
+    pub fn pinned_frames(&self) -> usize {
+        self.ctxs.iter().map(|c| c.pool.pinned_frames()).sum()
+    }
+
+    /// Partitions `items` across the shards under `role`'s placement
+    /// discipline and writes one heap file per shard (each through its
+    /// own pool, honoring the contexts' compression setting; zone maps
+    /// register per shard as a side effect). Input order is preserved
+    /// within each shard, so a doc-ordered input yields doc-ordered
+    /// shard files — the shared scan's precondition.
+    pub fn load<I>(&self, role: ShardRole, items: I) -> Result<ShardedFile, JoinError>
+    where
+        I: IntoIterator<Item = Element>,
+    {
+        let n = self.shards();
+        let mut buckets: Vec<Vec<Element>> = (0..n).map(|_| Vec::new()).collect();
+        let mut records = 0u64;
+        let mut replicated = 0u64;
+        for e in items {
+            records += 1;
+            match role {
+                ShardRole::Descendant => buckets[self.plan.shard_of(e.start())].push(e),
+                ShardRole::Ancestor => {
+                    let (lo, hi) = self.plan.overlapping(e.start(), e.end());
+                    replicated += (hi - lo) as u64;
+                    for b in &mut buckets[lo..=hi] {
+                        b.push(e);
+                    }
+                }
+            }
+        }
+        let mut files = Vec::with_capacity(n);
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            let c = &self.ctxs[i];
+            files.push(HeapFile::from_iter_with(&c.pool, c.write_opts(1), bucket)?);
+        }
+        Ok(ShardedFile {
+            files,
+            role,
+            records,
+            replicated,
+        })
+    }
+
+    /// Runs one containment join fork-join across the shards: shard `i`
+    /// executes `algo` over its slice of `a` and `d` through its own
+    /// pool, outputs are replayed into `sink` in ascending shard order,
+    /// and the first (lowest-shard-index) error wins, exactly like the
+    /// single-pool partition scheduler. The merged pair set is identical
+    /// to running `algo` unsharded.
+    pub fn join(
+        &self,
+        algo: Algorithm,
+        a: &ShardedFile,
+        d: &ShardedFile,
+        sink: &mut dyn PairSink,
+    ) -> Result<ShardedStats, JoinError> {
+        self.join_with(a, d, sink, |_, _, _, _| (algo, SortPolicy::SortOnTheFly))
+    }
+
+    /// [`join`](ShardedStore::join) with a per-shard algorithm choice —
+    /// the planner's sharded entry points pick per shard (shard inputs
+    /// may differ in size enough to flip a Table-1 row; the result set
+    /// is the same under any choice).
+    pub fn join_with<C>(
+        &self,
+        a: &ShardedFile,
+        d: &ShardedFile,
+        sink: &mut dyn PairSink,
+        choose: C,
+    ) -> Result<ShardedStats, JoinError>
+    where
+        C: Fn(&JoinCtx, usize, &HeapFile<Element>, &HeapFile<Element>) -> (Algorithm, SortPolicy)
+            + Sync,
+    {
+        assert_eq!(a.files.len(), self.shards(), "file sharded elsewhere");
+        assert_eq!(d.files.len(), self.shards(), "file sharded elsewhere");
+        let outs = run_tasks_on(
+            self.threads,
+            (0..self.shards()).collect(),
+            |i| self.worker(i),
+            |wctx, i: usize, buf| {
+                let (af, df) = (&a.files[i], &d.files[i]);
+                let (algo, policy) = choose(wctx, i, af, df);
+                crate::planner::execute(wctx, algo, af, df, policy, buf).map(|stats| (algo, stats))
+            },
+        );
+        let mut stats = ShardedStats::default();
+        let mut err: Option<JoinError> = None;
+        for out in outs {
+            match out {
+                Ok(TaskOutput {
+                    pairs,
+                    result: (algo, shard),
+                }) if err.is_none() => {
+                    for (ae, de) in pairs {
+                        sink.emit(ae, de);
+                    }
+                    stats.pairs += shard.pairs;
+                    stats.false_hits += shard.false_hits;
+                    stats.per_shard.push(shard);
+                    stats.algos.push(algo);
+                }
+                Ok(_) => {}
+                Err(e) => err = err.or(Some(e)),
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    }
+
+    /// Runs a [`crate::QueryBatch`]-style shared multi-query scan
+    /// fork-join across the shards: each shard builds a batch from the
+    /// queries' ancestors clipped to its region range and makes **one**
+    /// pass over its shard of the (doc-ordered, descendant-role) file
+    /// `d`; per-query outputs merge in ascending shard order through
+    /// `sinks`. Every query's pair set is identical to the unsharded
+    /// batch (and to its serial run).
+    pub fn shared_scan(
+        &self,
+        queries: &[Vec<Element>],
+        d: &ShardedFile,
+        sinks: &mut MultiSink<'_>,
+    ) -> Result<ShardedStats, JoinError> {
+        assert_eq!(sinks.len(), queries.len(), "one sink per batched query");
+        assert_eq!(d.files.len(), self.shards(), "file sharded elsewhere");
+        let outs = run_tasks_on(
+            self.threads,
+            (0..self.shards()).collect(),
+            |i| self.worker(i),
+            |wctx, i: usize, _buf| {
+                let (lo, hi) = self.plan.range(i);
+                let mut qb = crate::QueryBatch::new();
+                for q in queries {
+                    // Clip each ancestor set to the shard's envelope —
+                    // the in-memory equivalent of ancestor replication.
+                    qb.add(
+                        q.iter()
+                            .filter(|e| e.end() >= lo && e.start() <= hi)
+                            .copied()
+                            .collect(),
+                    );
+                }
+                let mut collected: Vec<CollectSink> =
+                    (0..queries.len()).map(|_| CollectSink::default()).collect();
+                let stats = {
+                    let mut ms = MultiSink::new();
+                    for s in &mut collected {
+                        ms.push(s);
+                    }
+                    qb.execute(wctx, &d.files[i], &mut ms)?
+                };
+                let per_query: Vec<Vec<(Element, Element)>> =
+                    collected.into_iter().map(|s| s.pairs).collect();
+                Ok((stats, per_query))
+            },
+        );
+        let mut stats = ShardedStats::default();
+        let mut err: Option<JoinError> = None;
+        for out in outs {
+            match out {
+                Ok(TaskOutput {
+                    result: (shard, per_query),
+                    ..
+                }) if err.is_none() => {
+                    for (q, pairs) in per_query.into_iter().enumerate() {
+                        for (ae, de) in pairs {
+                            sinks.emit_to(q, ae, de);
+                        }
+                    }
+                    stats.pairs += shard.pairs;
+                    stats.per_shard.push(shard);
+                    stats.algos.push(Algorithm::SharedScan);
+                }
+                Ok(_) => {}
+                Err(e) => err = err.or(Some(e)),
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    }
+
+    /// Bulk-builds one code-keyed B+-tree per shard over a sharded file
+    /// (fork-join, each through its shard's pool): the range-partitioned
+    /// index. Keys shard exactly like the elements they index, so probes
+    /// route by [`ShardPlan::shard_of`] of the code's region start.
+    pub fn build_index(&self, f: &ShardedFile) -> Result<ShardedIndex, JoinError> {
+        assert_eq!(f.files.len(), self.shards(), "file sharded elsewhere");
+        let outs = run_tasks_on(
+            self.threads,
+            (0..self.shards()).collect(),
+            |i| self.worker(i),
+            |wctx, i: usize, _buf| {
+                let mut entries: Vec<(u64, u32)> = f.files[i]
+                    .read_all_with(&wctx.pool, wctx.read_opts())?
+                    .into_iter()
+                    .map(|e| (e.code.get(), e.tag))
+                    .collect();
+                entries.sort_unstable();
+                Ok(BPlusTree::bulk_load_fallible_with(
+                    &wctx.pool,
+                    entries.into_iter().map(Ok),
+                    wctx.write_opts(1),
+                )?)
+            },
+        );
+        let mut trees = Vec::with_capacity(self.shards());
+        let mut err: Option<JoinError> = None;
+        for (i, out) in outs.into_iter().enumerate() {
+            match out {
+                Ok(TaskOutput { result, .. }) if err.is_none() => trees.push(result),
+                Ok(TaskOutput { result, .. }) => result.drop_file(&self.ctxs[i].pool),
+                Err(e) => err = err.or(Some(e)),
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(ShardedIndex { trees }),
+        }
+    }
+
+    /// Shard `i`'s task context: a sequential worker view over the
+    /// shard's own pool at its full budget.
+    fn worker(&self, i: usize) -> JoinCtx {
+        self.ctxs[i].worker(self.ctxs[i].budget())
+    }
+}
+
+/// A B+-tree per shard, keyed by code — the range-partitioned index.
+pub struct ShardedIndex {
+    trees: Vec<BPlusTree<u64, u32>>,
+}
+
+impl ShardedIndex {
+    /// Shard `i`'s tree.
+    #[inline]
+    pub fn tree(&self, i: usize) -> &BPlusTree<u64, u32> {
+        &self.trees[i]
+    }
+
+    /// Entries across all shards.
+    pub fn len(&self) -> u64 {
+        self.trees.iter().map(|t| t.len()).sum()
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point lookup routed to the owning shard.
+    pub fn get(&self, store: &ShardedStore, code: Code) -> Result<Option<u32>, PoolError> {
+        let i = store.plan.shard_of(code.region_start());
+        self.trees[i].get(&store.ctxs[i].pool, &code.get())
+    }
+
+    /// Drops every shard's tree file.
+    pub fn drop_files(self, store: &ShardedStore) {
+        for (i, t) in self.trees.into_iter().enumerate() {
+            t.drop_file(&store.ctxs[i].pool);
+        }
+    }
+}
+
+/// The durable write path, sharded: **one global [`CodeAllocator`]**
+/// (codes are global — a shard boundary never constrains allocation)
+/// with one heap file and **one WAL per shard**, so every logged write
+/// routes to the owning shard's pool and log. Recovery is per shard:
+/// each shard's WAL replays against its own pool independently.
+pub struct ShardedElementStore {
+    alloc: CodeAllocator,
+    heaps: Vec<HeapFile<Element>>,
+    wals: Vec<Wal>,
+}
+
+impl ShardedElementStore {
+    /// Creates an empty store: one fresh heap file and WAL per shard.
+    pub fn create(store: &ShardedStore, shape: PBiTreeShape) -> Self {
+        let heaps = store
+            .ctxs
+            .iter()
+            .map(|c| HeapFile::create(&c.pool))
+            .collect();
+        let wals = store.ctxs.iter().map(|c| Wal::create(&c.pool)).collect();
+        ShardedElementStore {
+            alloc: CodeAllocator::from_codes(shape, []),
+            heaps,
+            wals,
+        }
+    }
+
+    /// Shard `i`'s heap file.
+    #[inline]
+    pub fn heap(&self, i: usize) -> &HeapFile<Element> {
+        &self.heaps[i]
+    }
+
+    /// Shard `i`'s write-ahead log.
+    #[inline]
+    pub fn wal(&self, i: usize) -> &Wal {
+        &self.wals[i]
+    }
+
+    /// Stored elements across all shards.
+    pub fn len(&self) -> u64 {
+        self.heaps.iter().map(|h| h.records()).sum()
+    }
+
+    /// Whether the store holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a code is occupied (allocator state is global).
+    pub fn contains(&self, code: Code) -> bool {
+        self.alloc.contains(code)
+    }
+
+    /// The shard owning `code`'s element.
+    #[inline]
+    pub fn owner(&self, store: &ShardedStore, code: Code) -> usize {
+        store.plan.shard_of(code.region_start())
+    }
+
+    /// Inserts a new element in a free virtual slot strictly below
+    /// `parent`: the code is allocated globally, then the heap append is
+    /// committed through the **owning shard's** pool and WAL. On a
+    /// storage error the reservation rolls back, as in
+    /// [`crate::ElementStore`].
+    pub fn insert_under(
+        &mut self,
+        store: &ShardedStore,
+        parent: Code,
+        tag: u32,
+    ) -> Result<Code, StoreError> {
+        let code = self.alloc.insert_child(parent)?;
+        let i = self.owner(store, code);
+        let elem = Element { code, tag };
+        if let Err(e) = self.heaps[i].insert_logged(&store.ctxs[i].pool, &self.wals[i], elem) {
+            self.alloc.remove(code);
+            return Err(e.into());
+        }
+        Ok(code)
+    }
+
+    /// Deletes the element with the given code (any tag), committing the
+    /// mutation through the owning shard's pool and WAL. Returns whether
+    /// an element was removed.
+    pub fn remove(
+        &mut self,
+        store: &ShardedStore,
+        code: Code,
+        tag: u32,
+    ) -> Result<bool, StoreError> {
+        if !self.alloc.contains(code) {
+            return Ok(false);
+        }
+        let i = self.owner(store, code);
+        let removed = self.heaps[i].delete_logged(
+            &store.ctxs[i].pool,
+            &self.wals[i],
+            &Element { code, tag },
+        )?;
+        if removed {
+            self.alloc.remove(code);
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{execute, plan_and_execute_sharded, InputState};
+    use crate::sink::CollectSink;
+    use crate::JoinCtxBuilder;
+
+    const H: u32 = 18;
+
+    fn shape() -> PBiTreeShape {
+        PBiTreeShape::new(H).unwrap()
+    }
+
+    /// Uniform mixed-height codes over the full span.
+    fn uniform_codes(n: usize, heights: &[u32], seed: u64) -> Vec<Element> {
+        let mut x = seed | 1;
+        let mut out = std::collections::BTreeSet::new();
+        while out.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let h = heights[(x % heights.len() as u64) as usize];
+            let positions = 1u64 << (H - h - 1);
+            let alpha = (x >> 8) % positions;
+            out.insert((1 + 2 * alpha) << h);
+        }
+        out.into_iter().map(|c| Element::new(c, 0)).collect()
+    }
+
+    fn doc_sorted(mut v: Vec<Element>) -> Vec<Element> {
+        v.sort_by_key(|e| e.doc_key());
+        v
+    }
+
+    fn proto(shards: usize, threads: usize, b: usize) -> JoinCtx {
+        JoinCtxBuilder::in_memory_free(shape(), b)
+            .threads(threads)
+            .sharding(Sharding::new(shards))
+            .build()
+    }
+
+    /// The reference result: the algorithm run unsharded on one pool.
+    fn unsharded(algo: Algorithm, ancs: &[Element], descs: &[Element]) -> Vec<(u64, u64)> {
+        let ctx = JoinCtxBuilder::in_memory_free(shape(), 64).build();
+        let a = HeapFile::from_iter(&ctx.pool, ancs.iter().copied()).unwrap();
+        let d = HeapFile::from_iter(&ctx.pool, descs.iter().copied()).unwrap();
+        let mut sink = CollectSink::default();
+        execute(&ctx, algo, &a, &d, SortPolicy::SortOnTheFly, &mut sink).unwrap();
+        sink.canonical()
+    }
+
+    #[test]
+    fn sharded_joins_match_single_pool_at_every_shard_count() {
+        let ancs = uniform_codes(300, &[4, 6, 9], 0xA11CE);
+        let descs = doc_sorted(uniform_codes(3000, &[0, 1, 2], 0xD0C5));
+        for algo in [Algorithm::MhcjRollup, Algorithm::Vpj, Algorithm::StackTree] {
+            let expect = unsharded(algo, &ancs, &descs);
+            assert!(!expect.is_empty(), "workload must produce matches");
+            for shards in [1usize, 2, 4, 8] {
+                for threads in [1usize, 4] {
+                    let store = ShardedStore::from_ctx(&proto(shards, threads, 64));
+                    let a = store
+                        .load(ShardRole::Ancestor, ancs.iter().copied())
+                        .unwrap();
+                    let d = store
+                        .load(ShardRole::Descendant, descs.iter().copied())
+                        .unwrap();
+                    let mut sink = CollectSink::default();
+                    let stats = store.join(algo, &a, &d, &mut sink).unwrap();
+                    assert_eq!(
+                        sink.canonical(),
+                        expect,
+                        "{algo} diverged at {shards} shards / {threads} threads"
+                    );
+                    assert_eq!(stats.pairs as usize, expect.len());
+                    assert_eq!(stats.per_shard.len(), shards);
+                    assert_eq!(store.pinned_frames(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_are_stored_once_ancestors_replicate_on_overlap() {
+        let store = ShardedStore::from_ctx(&proto(4, 1, 64));
+        let descs = doc_sorted(uniform_codes(2000, &[0, 1], 0xBEE));
+        let d = store
+            .load(ShardRole::Descendant, descs.iter().copied())
+            .unwrap();
+        let stored: u64 = (0..4).map(|i| d.file(i).records()).sum();
+        assert_eq!(stored, d.records());
+        assert_eq!(d.replicated(), 0);
+        for (i, e) in descs.iter().map(|e| (store.plan().shard_of(e.start()), e)) {
+            let (lo, hi) = store.plan().range(i);
+            assert!(lo <= e.start() && e.start() <= hi);
+        }
+        // The root's region overlaps every shard: 4 copies, 3 replicas.
+        let a = store
+            .load(ShardRole::Ancestor, [Element::new(shape().root().get(), 0)])
+            .unwrap();
+        assert_eq!((0..4).map(|i| a.file(i).records()).sum::<u64>(), 4);
+        assert_eq!(a.replicated(), 3);
+    }
+
+    #[test]
+    fn planner_plans_per_shard_and_matches() {
+        let ancs = uniform_codes(200, &[5, 7], 0xFACE);
+        let descs = doc_sorted(uniform_codes(1500, &[0, 1], 0xF00D));
+        let expect = unsharded(Algorithm::MhcjRollup, &ancs, &descs);
+        let store = ShardedStore::from_ctx(&proto(4, 2, 64));
+        let a = store
+            .load(ShardRole::Ancestor, ancs.iter().copied())
+            .unwrap();
+        let d = store
+            .load(ShardRole::Descendant, descs.iter().copied())
+            .unwrap();
+        let mut sink = CollectSink::default();
+        let stats = plan_and_execute_sharded(
+            &store,
+            InputState::raw(),
+            InputState::raw(),
+            &a,
+            &d,
+            false,
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(stats.algos.len(), 4);
+        assert_eq!(sink.canonical(), expect);
+    }
+
+    #[test]
+    fn shared_scan_matches_unsharded_batch_per_query() {
+        let descs = doc_sorted(uniform_codes(2500, &[0, 1, 2], 0xD00D));
+        let queries: Vec<Vec<Element>> = (0..5u64)
+            .map(|q| doc_sorted(uniform_codes(80, &[4, 7], 0xAB + q)))
+            .collect();
+        // Reference: the unsharded QueryBatch.
+        let ctx = JoinCtxBuilder::in_memory_free(shape(), 64).build();
+        let d1 = HeapFile::from_iter(&ctx.pool, descs.iter().copied()).unwrap();
+        let mut qb = crate::QueryBatch::new();
+        for q in &queries {
+            qb.add(q.clone());
+        }
+        let mut expect: Vec<CollectSink> =
+            (0..queries.len()).map(|_| CollectSink::default()).collect();
+        {
+            let mut ms = MultiSink::new();
+            for s in &mut expect {
+                ms.push(s);
+            }
+            qb.execute(&ctx, &d1, &mut ms).unwrap();
+        }
+        for shards in [2usize, 4] {
+            let store = ShardedStore::from_ctx(&proto(shards, 4, 64));
+            let d = store
+                .load(ShardRole::Descendant, descs.iter().copied())
+                .unwrap();
+            let mut got: Vec<CollectSink> =
+                (0..queries.len()).map(|_| CollectSink::default()).collect();
+            let stats = {
+                let mut ms = MultiSink::new();
+                for s in &mut got {
+                    ms.push(s);
+                }
+                store.shared_scan(&queries, &d, &mut ms).unwrap()
+            };
+            assert!(stats.pairs > 0);
+            for (q, (g, e)) in got.iter().zip(expect.iter()).enumerate() {
+                assert_eq!(
+                    g.canonical(),
+                    e.canonical(),
+                    "query {q} diverged at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_index_routes_point_lookups() {
+        let descs = uniform_codes(1200, &[0, 1, 3], 0x1DE);
+        let store = ShardedStore::from_ctx(&proto(4, 2, 64));
+        let d = store
+            .load(ShardRole::Descendant, descs.iter().copied())
+            .unwrap();
+        let idx = store.build_index(&d).unwrap();
+        assert_eq!(idx.len(), descs.len() as u64);
+        for e in &descs {
+            assert_eq!(idx.get(&store, e.code).unwrap(), Some(e.tag));
+        }
+        assert_eq!(idx.get(&store, shape().root()).unwrap(), None);
+        idx.drop_files(&store);
+        d.drop_files(&store);
+    }
+
+    #[test]
+    fn sharded_element_store_routes_writes_to_owners() {
+        let store = ShardedStore::from_ctx(&proto(4, 1, 64));
+        let mut es = ShardedElementStore::create(&store, shape());
+        let root = shape().root();
+        let mut codes = Vec::new();
+        for i in 0..400u32 {
+            codes.push(es.insert_under(&store, root, i).unwrap());
+        }
+        assert_eq!(es.len(), 400);
+        // Every element sits in the heap of its owning shard.
+        for i in 0..4 {
+            let (lo, hi) = store.plan().range(i);
+            for e in es.heap(i).read_all(&store.ctx(i).pool).unwrap() {
+                assert!(
+                    lo <= e.start() && e.start() <= hi,
+                    "shard {i} holds a stray"
+                );
+            }
+        }
+        // Removes route the same way; slots free up globally.
+        for (i, c) in codes.iter().enumerate().filter(|(i, _)| i % 2 == 0) {
+            assert!(es.remove(&store, *c, i as u32).unwrap());
+        }
+        assert_eq!(es.len(), 200);
+        assert!(!es.contains(codes[0]));
+        let refill = es.insert_under(&store, root, 9999).unwrap();
+        assert!(shape().contains(refill));
+        assert_eq!(es.len(), 201);
+        assert_eq!(store.pinned_frames(), 0);
+    }
+}

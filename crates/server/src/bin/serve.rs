@@ -3,7 +3,7 @@
 //! ```text
 //! pbitree-serve [--addr 127.0.0.1:0] [--addr-file <path>] [--sf <f>]
 //!               [--seed <n>] [--pages <n>] [--reserve <n>] [--budget <n>]
-//!               [--max-queue <n>] [--trace <path>]
+//!               [--max-queue <n>] [--shards <n>] [--trace <path>]
 //! ```
 //!
 //! Prints `listening on <addr>` once live (and writes the concrete
@@ -27,7 +27,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: pbitree-serve [--addr host:port] [--addr-file path] [--sf f] [--seed n] \
-         [--pages n] [--reserve n] [--budget n] [--max-queue n] [--trace path]"
+         [--pages n] [--reserve n] [--budget n] [--max-queue n] [--shards n] [--trace path]"
     );
     exit(2);
 }
@@ -52,6 +52,7 @@ fn parse_args() -> Args {
             "--reserve" => args.cfg.reserve_frames = val().parse().unwrap_or_else(|_| usage()),
             "--budget" => args.cfg.default_budget = val().parse().unwrap_or_else(|_| usage()),
             "--max-queue" => args.cfg.max_queue = val().parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.cfg.shards = val().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

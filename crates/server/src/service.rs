@@ -32,7 +32,7 @@ use pbitree_datagen::xmark::{self, XMarkSpec};
 use pbitree_joins::element::element_file_with;
 use pbitree_joins::{
     plan_and_execute, Algorithm, CollectSink, Element, InputState, JoinCtx, JoinError, MultiSink,
-    QueryBatch,
+    QueryBatch, ShardRole, ShardedFile, ShardedStore, Sharding,
 };
 use pbitree_storage::{
     compress_default, BufferPool, CostModel, Disk, HeapFile, MemBackend, PoolError, ScanOptions,
@@ -63,6 +63,12 @@ pub struct ServiceConfig {
     pub compression: bool,
     /// Worker threads each admitted query's context fans out over.
     pub threads: usize,
+    /// Region-range shards for the shared-scan path: above 1, the corpus
+    /// tag files are additionally partitioned across this many
+    /// independent pools (each with its own simulated disk clock) and
+    /// shareable batch groups run fork-join across them. `STATS` then
+    /// reports per-shard pool counters.
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -77,6 +83,7 @@ impl Default for ServiceConfig {
             cost: CostModel::default(),
             compression: compress_default(),
             threads: 1,
+            shards: 1,
         }
     }
 }
@@ -172,12 +179,22 @@ impl StepInput<'_> {
     }
 }
 
+/// The corpus range-partitioned across `shards` independent pools: the
+/// [`ShardedStore`] plus one descendant-role [`ShardedFile`] per tag.
+/// Present only when [`ServiceConfig::shards`] > 1; shareable batch
+/// groups then run their shared scan fork-join across the shards.
+struct ShardedCorpus {
+    store: ShardedStore,
+    tags: HashMap<String, ShardedFile>,
+}
+
 /// The shared query service. `Arc` it and hand clones to every connection
 /// handler; all methods take `&self`.
 pub struct QueryService {
     ctx: JoinCtx,
     doc: EncodedDocument,
     tags: HashMap<String, TagSet>,
+    sharded: Option<ShardedCorpus>,
     admission: Arc<AdmissionController>,
     default_budget: usize,
     load_opts: ScanOptions,
@@ -216,6 +233,7 @@ impl QueryService {
             shape,
         )
         .compression(cfg.compression)
+        .sharding(Sharding::new(cfg.shards))
         .build();
         let load_opts = ScanOptions::default().with_compress(cfg.compression);
 
@@ -225,11 +243,34 @@ impl QueryService {
             by_tag.entry(tag).or_default().push((code.get(), tag));
         }
         let mut tags = HashMap::new();
+        let mut sharded = if cfg.shards > 1 {
+            Some(ShardedCorpus {
+                store: ShardedStore::from_ctx(&ctx),
+                tags: HashMap::new(),
+            })
+        } else {
+            None
+        };
         for (tag, mut items) in by_tag {
             sort_doc_order(&mut items);
             let single_height = all_same_height(&items);
             let file = element_file_with(&ctx.pool, load_opts, items.iter().copied())?;
             let name = doc.document().tag_name(tag).to_owned();
+            if let Some(sc) = &mut sharded {
+                // Doc order is preserved within each shard, so every
+                // shard file satisfies the shared scan's precondition.
+                let sf = sc
+                    .store
+                    .load(
+                        ShardRole::Descendant,
+                        items.iter().map(|&(c, t)| Element::new(c, t)),
+                    )
+                    .map_err(|e| match e {
+                        JoinError::Pool(p) => p,
+                        other => panic!("sharded corpus load: {other:?}"),
+                    })?;
+                sc.tags.insert(name.clone(), sf);
+            }
             tags.insert(
                 name,
                 TagSet {
@@ -249,6 +290,7 @@ impl QueryService {
             ctx,
             doc,
             tags,
+            sharded,
             admission,
             default_budget,
             load_opts,
@@ -363,7 +405,11 @@ impl QueryService {
             }
         }
         for (dtag, members) in groups {
-            self.run_shared_group(&ctx, dtag, &members, &parsed, &mut out);
+            if let Some(sc) = &self.sharded {
+                self.run_shared_group_sharded(&ctx, sc, dtag, &members, &parsed, &mut out);
+            } else {
+                self.run_shared_group(&ctx, dtag, &members, &parsed, &mut out);
+            }
         }
 
         // Serial fallback under the same grant: non-shareable queries,
@@ -432,6 +478,72 @@ impl QueryService {
                 sinks.push(s);
             }
             if qb.execute(ctx, dfile, &mut sinks).is_err() {
+                return; // whole group falls back to the serial chain
+            }
+        }
+        for (route, &i) in routed.iter().enumerate() {
+            let mut codes: Vec<u64> = collect[route]
+                .pairs
+                .iter()
+                .map(|(_, d)| d.code.get())
+                .collect();
+            codes.sort_unstable();
+            codes.dedup();
+            out[i] = Some(Ok(QueryOutcome {
+                codes,
+                algorithms: vec![Algorithm::SharedScan],
+                budget: ctx.budget(),
+            }));
+        }
+    }
+
+    /// [`run_shared_group`](QueryService::run_shared_group), fork-join
+    /// across the sharded corpus: each member's ancestor set is read into
+    /// memory once (same grant-capacity cap), and one
+    /// [`ShardedStore::shared_scan`] answers the whole group — every
+    /// shard makes one pass over *its* slice of the descendant tag file
+    /// through its own pool, so the simulated disk time of the group is
+    /// the max over shards. Per-query results are identical to the
+    /// unsharded scan; unanswered queries fall back to the serial chain.
+    fn run_shared_group_sharded(
+        &self,
+        ctx: &JoinCtx,
+        sc: &ShardedCorpus,
+        dtag: &str,
+        members: &[usize],
+        parsed: &[Option<DescendantPath>],
+        out: &mut [Option<Result<QueryOutcome, ServiceError>>],
+    ) {
+        let cap = ctx.elements_per_pages(ctx.budget().saturating_sub(2).max(1));
+        let mut held = 0usize;
+        let mut queries: Vec<Vec<Element>> = Vec::with_capacity(members.len());
+        let mut routed: Vec<usize> = Vec::with_capacity(members.len());
+        for &i in members {
+            let path = parsed[i].as_ref().expect("shareable queries parsed");
+            let afile = &self.tags[&path.steps[0].tag].file;
+            let n = afile.records() as usize;
+            if held + n > cap {
+                continue; // falls back to the serial chain
+            }
+            let Ok(ancs) = afile.read_all(&self.ctx.pool) else {
+                continue;
+            };
+            held += n;
+            queries.push(ancs);
+            routed.push(i);
+        }
+        let mut collect: Vec<CollectSink> =
+            (0..routed.len()).map(|_| CollectSink::default()).collect();
+        {
+            let mut sinks = MultiSink::new();
+            for s in &mut collect {
+                sinks.push(s);
+            }
+            if sc
+                .store
+                .shared_scan(&queries, &sc.tags[dtag], &mut sinks)
+                .is_err()
+            {
                 return; // whole group falls back to the serial chain
             }
         }
@@ -552,11 +664,14 @@ impl QueryService {
     }
 
     /// The service's counters as one JSON line (the `STATS` response).
+    /// A sharded service appends a `"shards"` array: one object per
+    /// region-range shard with its own pool hit/miss counters, page I/O,
+    /// and independent simulated disk clock.
     pub fn stats_json(&self) -> String {
         let a = self.admission.stats();
-        format!(
+        let mut s = format!(
             "{{\"queries\":{},\"capacity\":{},\"in_use\":{},\"waiting\":{},\
-             \"peak_waiting\":{},\"admitted\":{},\"rejected\":{}}}",
+             \"peak_waiting\":{},\"admitted\":{},\"rejected\":{}",
             self.queries_served(),
             self.admission.capacity(),
             a.in_use,
@@ -564,7 +679,26 @@ impl QueryService {
             a.peak_waiting,
             a.admitted,
             a.rejected,
-        )
+        );
+        if let Some(sc) = &self.sharded {
+            s.push_str(",\"shards\":[");
+            for (i, snap) in sc.store.snapshots().iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"hits\":{},\"misses\":{},\"reads\":{},\"writes\":{},\"sim_s\":{:.6}}}",
+                    snap.pool.hits,
+                    snap.pool.misses,
+                    snap.io.reads(),
+                    snap.io.writes(),
+                    snap.io.sim_secs(),
+                ));
+            }
+            s.push(']');
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -659,6 +793,68 @@ mod tests {
             err,
             Err(ServiceError::Admission(AdmissionError::TooLarge { .. }))
         ));
+    }
+
+    #[test]
+    fn sharded_service_answers_batches_identically() {
+        let base = ServiceConfig {
+            sf: 0.002,
+            buffer_pages: 64,
+            reserve_frames: 8,
+            default_budget: 32,
+            cost: CostModel::free(),
+            ..ServiceConfig::default()
+        };
+        let flat = QueryService::new(base).unwrap();
+        let sharded = QueryService::new(ServiceConfig { shards: 4, ..base }).unwrap();
+        assert!(sharded.sharded.is_some());
+        let paths: Vec<String> = [
+            "//person//creditcard",
+            "//item//keyword",
+            "//person//emailaddress",
+            "//open_auction//bidder",
+            "//no_such_tag//person",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let a = flat.execute_batch(&paths, false, None).unwrap();
+        let b = sharded.execute_batch(&paths, false, None).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.codes, y.codes, "{}", paths[i]);
+        }
+        // The known-tag two-step paths took the shared scan on both sides.
+        for (i, o) in b.iter().enumerate().take(4) {
+            assert_eq!(
+                o.as_ref().unwrap().algorithms,
+                vec![Algorithm::SharedScan],
+                "{}",
+                paths[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_stats_report_per_shard_counters() {
+        let svc = QueryService::new(ServiceConfig {
+            sf: 0.002,
+            buffer_pages: 64,
+            reserve_frames: 8,
+            default_budget: 32,
+            cost: CostModel::free(),
+            shards: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        svc.execute_batch(&["//person//creditcard".to_string()], false, None)
+            .unwrap();
+        let stats = svc.stats_json();
+        assert!(stats.contains("\"shards\":[{"), "{stats}");
+        assert_eq!(stats.matches("\"sim_s\"").count(), 2, "{stats}");
+        // Unsharded services keep the flat schema.
+        assert!(!tiny().stats_json().contains("shards"));
     }
 
     #[test]

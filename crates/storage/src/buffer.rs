@@ -461,6 +461,13 @@ impl BufferPool {
         self.data.len()
     }
 
+    /// The underlying disk's cost model — what sibling disks (e.g. one
+    /// simulated spindle per region-range shard) are constructed with so
+    /// every shard charges transfers identically.
+    pub fn cost_model(&self) -> crate::stats::CostModel {
+        self.disk.lock().unwrap().cost_model()
+    }
+
     /// Pool hit/miss counters plus the zone-map pruning counters.
     pub fn pool_stats(&self) -> PoolStats {
         PoolStats {

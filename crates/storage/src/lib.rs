@@ -37,6 +37,7 @@ pub mod freelist;
 pub mod heap;
 pub mod page;
 pub mod record;
+pub mod shard;
 pub mod sort;
 pub mod stats;
 pub mod util;
@@ -56,6 +57,7 @@ pub use freelist::FreeList;
 pub use heap::{records_per_page, HeapFile, HeapScan, HeapWriter, ScanPos};
 pub use page::{FileId, PageBuf, PageId, PAGE_SIZE};
 pub use record::{FixedRecord, RecordParts};
+pub use shard::ShardPlan;
 pub use sort::{external_sort, external_sort_with};
 pub use stats::{CostModel, IoStats, WalStats};
 pub use wal::{recover, RecoveryReport, Wal, WalOp};

@@ -1,0 +1,163 @@
+//! Region-range shard plans: the partitioning scheme behind scale-out.
+//!
+//! PBiTree codes give every node a disjoint integer region (Lemma 3), so
+//! region *start* is a natural shard key: split the code span `[1, 2^H-1]`
+//! into contiguous ranges and every element has exactly one owning shard.
+//! Containment pairs stay local under one replication rule — an ancestor's
+//! region covers its descendants' regions, so replicating each ancestor to
+//! every shard its region overlaps ([`ShardPlan::overlapping`]) guarantees
+//! the ancestor is present wherever a matching descendant is owned, and
+//! because descendants are stored once, every result pair materializes in
+//! exactly one shard (no merge-time dedup).
+//!
+//! A [`ShardPlan`] is pure arithmetic over boundaries; the pools, disks
+//! and files it partitions live in the join layer's `ShardedStore`.
+
+use crate::zone::ScanFilter;
+
+/// A contiguous range partitioning of the region-start key space
+/// `[1, span]` into `n` shards. Boundaries are fixed at construction;
+/// shard `i` owns the inclusive start range [`ShardPlan::range`]`(i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Exclusive upper boundaries of shards `0 .. n-1` (length `n - 1`,
+    /// strictly ascending, each in `(1, span]`).
+    bounds: Vec<u64>,
+    /// Last key of the span; shard `n - 1` ends here.
+    span: u64,
+}
+
+impl ShardPlan {
+    /// An even split of `[1, span]` into `shards` ranges. `shards` is
+    /// clamped to `1..=span` (a span of `s` keys supports at most `s`
+    /// non-empty shards). For a PBiTree of height `H`, pass
+    /// `span = 2^H - 1` — the largest region end any code can report.
+    pub fn even(shards: usize, span: u64) -> Self {
+        let span = span.max(1);
+        let n = (shards.max(1) as u64).min(span);
+        let bounds = (1..n).map(|i| 1 + i * span / n).collect();
+        ShardPlan { bounds, span }
+    }
+
+    /// Number of shards in the plan.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    /// Last key of the partitioned span.
+    #[inline]
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// The shard owning a region start (keys outside `[1, span]` clamp to
+    /// the first/last shard, so routing is total).
+    #[inline]
+    pub fn shard_of(&self, region_start: u64) -> usize {
+        self.bounds.partition_point(|&b| b <= region_start)
+    }
+
+    /// Shard `i`'s inclusive region-start range `[lo, hi]`.
+    pub fn range(&self, i: usize) -> (u64, u64) {
+        let lo = if i == 0 { 1 } else { self.bounds[i - 1] };
+        let hi = if i + 1 == self.shards() {
+            self.span
+        } else {
+            self.bounds[i] - 1
+        };
+        (lo, hi)
+    }
+
+    /// The inclusive shard-index range whose start ranges a region
+    /// `[start, end]` overlaps — the shards an ancestor with that region
+    /// must be replicated to (its descendants' starts all fall inside it).
+    #[inline]
+    pub fn overlapping(&self, start: u64, end: u64) -> (usize, usize) {
+        (self.shard_of(start), self.shard_of(end.max(start)))
+    }
+
+    /// Shard `i`'s pushdown envelope: a [`ScanFilter::RegionOverlap`] that
+    /// admits exactly the records whose region *touches* the shard's start
+    /// range — what a per-shard scan of replicated ancestors may prune by.
+    pub fn envelope(&self, i: usize) -> ScanFilter {
+        let (start, end) = self.range(i);
+        ScanFilter::RegionOverlap { start, end }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_covers_span_without_gaps() {
+        for shards in [1usize, 2, 3, 4, 7, 8] {
+            let span = (1u64 << 18) - 1;
+            let p = ShardPlan::even(shards, span);
+            assert_eq!(p.shards(), shards);
+            assert_eq!(p.range(0).0, 1);
+            assert_eq!(p.range(shards - 1).1, span);
+            for i in 1..shards {
+                assert_eq!(p.range(i).0, p.range(i - 1).1 + 1, "gap before shard {i}");
+            }
+            // Ranges are near-even: sizes differ by at most one.
+            let sizes: Vec<u64> = (0..shards)
+                .map(|i| p.range(i).1 - p.range(i).0 + 1)
+                .collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "uneven split {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn shard_of_matches_ranges_and_clamps() {
+        let p = ShardPlan::even(4, 1023);
+        for i in 0..4 {
+            let (lo, hi) = p.range(i);
+            assert_eq!(p.shard_of(lo), i);
+            assert_eq!(p.shard_of(hi), i);
+            assert_eq!(p.shard_of((lo + hi) / 2), i);
+        }
+        assert_eq!(p.shard_of(0), 0);
+        assert_eq!(p.shard_of(u64::MAX), 3);
+    }
+
+    #[test]
+    fn overlapping_brackets_every_descendant_owner() {
+        let p = ShardPlan::even(8, (1 << 12) - 1);
+        // For any region, every start inside it routes to a shard within
+        // the replication bracket — the invariant pair-locality rests on.
+        for &(s, e) in &[(1u64, 4095u64), (100, 200), (511, 513), (4000, 4095)] {
+            let (lo, hi) = p.overlapping(s, e);
+            assert!(lo <= hi);
+            for k in [s, (s + e) / 2, e] {
+                let o = p.shard_of(k);
+                assert!(lo <= o && o <= hi, "start {k} escapes bracket {lo}..={hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_plans_are_total() {
+        // More shards than keys clamps; single-key span is one shard.
+        let p = ShardPlan::even(8, 3);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(p.range(2).1, 3);
+        let p = ShardPlan::even(4, 1);
+        assert_eq!(p.shards(), 1);
+        assert_eq!(p.range(0), (1, 1));
+        assert_eq!(p.shard_of(1), 0);
+    }
+
+    #[test]
+    fn envelope_is_the_shard_range() {
+        let p = ShardPlan::even(2, 100);
+        match p.envelope(1) {
+            ScanFilter::RegionOverlap { start, end } => {
+                assert_eq!((start, end), p.range(1));
+            }
+            other => panic!("expected a region window, got {other:?}"),
+        }
+    }
+}

@@ -467,6 +467,122 @@ mod tests {
     }
 
     #[test]
+    fn filter_union_empty_seed_folds_like_a_set_union() {
+        // The shared-scan / shard-envelope composition seed: an inverted
+        // window admits nothing and is the identity of `union`, so folding
+        // any filter list from it yields exactly their envelope.
+        let seed = ScanFilter::RegionOverlap { start: 1, end: 0 };
+        assert!(!seed.admits_zone(&ZoneEntry::of(1, u64::MAX, 0)));
+        assert!(!seed.admits_record(None, None));
+        // Folding nothing stays empty; the empty seed never widens a fold.
+        assert_eq!(seed.union(seed), seed);
+        let parts = [
+            ScanFilter::RegionOverlap { start: 40, end: 60 },
+            ScanFilter::RegionOverlap { start: 5, end: 9 },
+            ScanFilter::RegionOverlap {
+                start: 200,
+                end: 300,
+            },
+        ];
+        let folded = parts.iter().fold(seed, |acc, &f| acc.union(f));
+        assert_eq!(folded, ScanFilter::RegionOverlap { start: 5, end: 300 });
+        // An inverted *height* range is an empty set and an identity too.
+        let dead_h = ScanFilter::HeightRange { min: 9, max: 2 };
+        assert!(!dead_h.admits_record(None, Some(5)));
+        assert_eq!(dead_h.union(parts[0]), parts[0]);
+        assert_eq!(parts[0].union(dead_h), parts[0]);
+    }
+
+    #[test]
+    fn filter_union_disjoint_regions_and_height_widening() {
+        // Disjoint shard envelopes: the union spans both plus the gap
+        // between them (it is a bounding envelope, never a filter list).
+        let lo_shard = ScanFilter::RegionOverlap { start: 1, end: 511 };
+        let hi_shard = ScanFilter::RegionOverlap {
+            start: 512,
+            end: 1023,
+        };
+        let u = lo_shard.union(hi_shard);
+        assert_eq!(
+            u,
+            ScanFilter::RegionOverlap {
+                start: 1,
+                end: 1023
+            }
+        );
+        assert!(u.admits_record(Some((511, 512)), None), "gap is admitted");
+        // Height ranges widen to cover both operands, ends included.
+        let h1 = ScanFilter::HeightRange { min: 3, max: 3 };
+        let h2 = ScanFilter::HeightRange { min: 7, max: 9 };
+        assert_eq!(h1.union(h2), ScanFilter::HeightRange { min: 3, max: 9 });
+        assert_eq!(h2.union(h1), ScanFilter::HeightRange { min: 3, max: 9 });
+        for h in [3u32, 5, 9] {
+            assert!(h1.union(h2).admits_record(None, Some(h)));
+        }
+        assert!(h1.union(h2).admits_record(None, Some(4)), "gap height");
+    }
+
+    /// Property sweep: for random operand pairs, the union admits every
+    /// zone and record either operand admits, and union with the empty
+    /// seed changes nothing. (`union` must stay a sound envelope — a page
+    /// it rejects can match no contributing query.)
+    #[test]
+    fn filter_union_property_admits_superset() {
+        let mut x = 0x5EED_CAFE_0123u64;
+        let mut rnd = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mk = |rnd: &mut dyn FnMut() -> u64| {
+            let a = rnd() % 1000;
+            let b = rnd() % 1000;
+            let (lo, hi) = (rnd() % 12, rnd() % 12);
+            match rnd() % 4 {
+                0 => ScanFilter::All,
+                1 => ScanFilter::RegionOverlap { start: a, end: b },
+                2 => ScanFilter::HeightRange {
+                    min: lo as u32,
+                    max: hi as u32,
+                },
+                _ => ScanFilter::RegionAndHeight {
+                    start: a,
+                    end: b,
+                    min: lo as u32,
+                    max: hi as u32,
+                },
+            }
+        };
+        let seed = ScanFilter::RegionOverlap { start: 1, end: 0 };
+        for _ in 0..2000 {
+            let f1 = mk(&mut rnd);
+            let f2 = mk(&mut rnd);
+            let u = f1.union(f2);
+            // Identity holds structurally for non-empty operands; an empty
+            // operand may come back as the (equally empty) seed instead.
+            if f1.admits_record(Some((0, u64::MAX)), None) {
+                assert_eq!(seed.union(f1), f1);
+                assert_eq!(f1.union(seed), f1);
+            } else {
+                assert!(!seed.union(f1).admits_record(Some((0, u64::MAX)), None));
+            }
+            for _ in 0..8 {
+                let (zl, zh) = (rnd() % 1100, rnd() % 1100);
+                let z = zone(zl.min(zh), zl.max(zh), (rnd() % 12) as u32, 12);
+                if f1.admits_zone(&z) || f2.admits_zone(&z) {
+                    assert!(u.admits_zone(&z), "{f1:?} ∪ {f2:?} rejected {z:?}");
+                }
+                let bounds = Some((z.lo, z.hi));
+                let h = Some(z.min_h);
+                if f1.admits_record(bounds, h) || f2.admits_record(bounds, h) {
+                    assert!(u.admits_record(bounds, h));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn filter_admits_zone_is_interval_overlap() {
         let f = ScanFilter::RegionOverlap { start: 10, end: 50 };
         assert!(f.admits_zone(&ZoneEntry::of(50, 60, 0)));

@@ -12,9 +12,14 @@
 #   BENCH_09.json — shared-scan batched-query panel (page reads for k
 #                   serial passes vs one QUERYBATCH at k = 1/4/16, plus
 #                   loadgen throughput/p95 with QUERYBATCH mixed in at
-#                   the same batch sizes).
+#                   the same batch sizes);
+#   BENCH_10.json — region-range sharding panel (max-over-shards and
+#                   summed simulated disk time at 1/2/4/8 shards; the
+#                   panel asserts in-binary that every shard count
+#                   yields the byte-identical pair set and that the
+#                   4-shard sim time is <= 0.5x the 1-shard time).
 #
-#   scripts/bench_snapshot.sh [prune.json [compress.json [server.json [shared.json]]]]
+#   scripts/bench_snapshot.sh [prune.json [compress.json [server.json [shared.json [shard.json]]]]]
 #
 # BENCH_SCALE scales the skewed workload (default 0.5 ≈ 3k ancestors /
 # 20k descendants). The JSON is plain `awk` output — no jq/python needed.
@@ -25,6 +30,7 @@ OUT_PRUNE=${1:-BENCH_05.json}
 OUT_COMPRESS=${2:-BENCH_06.json}
 OUT_SERVER=${3:-BENCH_08.json}
 OUT_SHARED=${4:-BENCH_09.json}
+OUT_SHARD=${5:-BENCH_10.json}
 DIR=$(mktemp -d /tmp/bench.XXXXXX)
 trap 'rm -rf "$DIR"' EXIT
 
@@ -123,3 +129,28 @@ jfield() { sed -n "s/^ *\"$2\": \([0-9.]*\),*$/\1/p" "$1" | head -1; }
 } > "$OUT_SHARED"
 
 echo "wrote $OUT_SHARED ($(wc -l < "$OUT_SHARED") lines)"
+
+# Sharding snapshot: the panel asserts (in-binary) byte-identical pairs
+# at every shard count and a 4-shard max-over-shards sim disk time at
+# most half the 1-shard time, so the rows below are already validated.
+cargo run --release -q -p pbitree-bench --bin ablation -- --study shard \
+    --scale "${BENCH_SCALE:-0.5}" --results "$DIR"
+
+awk -F'\t' -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+NR <= 2 { next }  # "# title" line and the column header
+{
+    rows[++n] = sprintf("    {\"algo\": \"%s\", \"threads\": %s, \"compress\": %s, \"shards\": %s, \"pairs\": %s, \"replicated\": %s, \"page_reads\": %s, \"page_writes\": %s, \"sim_disk_max_s\": %s, \"sim_disk_sum_s\": %s, \"elapsed_s\": %s}",
+                        $1, $2, $3, $4, $5, $6, $7, $8, $9, $10, $11)
+}
+END {
+    printf "{\n"
+    printf "  \"snapshot\": \"BENCH_10\",\n"
+    printf "  \"panel\": \"ablation_shard\",\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"rows\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}
+' "$DIR/ablation_shard.tsv" > "$OUT_SHARD"
+
+echo "wrote $OUT_SHARD ($(wc -l < "$OUT_SHARD") lines)"

@@ -110,4 +110,12 @@ cargo run --release -q -p pbitree-bench --bin ablation -- --study shared --fast 
 grep -q '"errors": 0' /tmp/batch_report.json || { echo "batch smoke failed: loadgen errors"; exit 1; }
 grep -q '"mismatches": 0' /tmp/batch_report.json || { echo "batch smoke failed: batched responses diverged"; exit 1; }
 
+echo "== sharded fork-join smoke (identical pairs at 1/2/4/8 shards, 4-shard sim <= 0.5x)"
+# The panel asserts (in-binary) that every shard count produces the
+# byte-identical pair set of the 1-shard plan and that the 4-shard
+# max-over-shards simulated disk time is at most half the 1-shard time,
+# for MHCJ+Rollup and VPJ at threads 1 and 4, packed pages off and on.
+cargo run --release -q -p pbitree-bench --bin ablation -- --study shard --fast \
+    --results /tmp/ab_shard
+
 echo "OK"

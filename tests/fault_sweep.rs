@@ -506,6 +506,168 @@ fn fault_sweep_packed_pages() {
     assert_eq!(pairs, pairs0, "packed fault-free result drifted");
 }
 
+// ---- Sharded leg ------------------------------------------------------
+//
+// Region-range sharding spreads the workload across independent pools,
+// each over its own (fault-instrumented) disk. A fault on one shard's
+// disk must surface as one clean `Err` from the fork-join — carrying the
+// failing page, chosen by the *lowest* faulting shard index, exactly like
+// the partition scheduler — while every other shard's pool ends the run
+// with zero pinned frames, and a fresh fault-free rerun reproduces the
+// single-pool result byte for byte.
+
+use pbitree_containment::storage::{IoErrorKind, PoolError};
+use pbitree_joins::{Algorithm, ShardRole, ShardedFile, ShardedStats, ShardedStore, Sharding};
+
+const SHARDS: usize = 4;
+
+/// A sharded store over `SHARDS` fault-instrumented in-memory disks,
+/// loaded with the sweep's mixed-height workload (ancestors replicated on
+/// overlap, descendants stored once) and reset to a cold start. Shard
+/// pools are squeezed to 4 frames so every shard's slice exceeds its pool
+/// and the join both reads and spills — write faults need write attempts.
+/// Compression is pinned off so the spill guarantee survives a
+/// `PBITREE_COMPRESS=1` run (packed slices would fit the 4 frames; the
+/// packed fault path is covered by `fault_sweep_packed_pages`).
+fn sharded_build() -> (ShardedStore, ShardedFile, ShardedFile, Vec<FaultHandle>) {
+    let proto = JoinCtx::builder(
+        BufferPool::new(
+            Disk::new(Box::new(MemBackend::new()), CostModel::free()),
+            SHARDS * BUDGET,
+        ),
+        PBiTreeShape::new(H).unwrap(),
+    )
+    .io(strict_io())
+    .compression(false)
+    .sharding(Sharding::new(SHARDS).frames_per_shard(4))
+    .build();
+    let mut handles = Vec::with_capacity(SHARDS);
+    let disks = (0..SHARDS)
+        .map(|_| {
+            let fb = FaultBackend::new(MemBackend::new(), FaultConfig::none());
+            handles.push(fb.handle());
+            Disk::new(Box::new(fb), CostModel::free())
+        })
+        .collect();
+    let store = ShardedStore::with_disks(&proto, disks);
+    let a = store
+        .load(
+            ShardRole::Ancestor,
+            ancestors(false).into_iter().map(|c| Element::new(c, 0)),
+        )
+        .unwrap();
+    let d = store
+        .load(
+            ShardRole::Descendant,
+            descendants().into_iter().map(|c| Element::new(c, 1)),
+        )
+        .unwrap();
+    store.evict_all().unwrap();
+    for h in &handles {
+        h.reset();
+    }
+    (store, a, d, handles)
+}
+
+/// One sharded fork-join run with the given per-shard fault plans armed.
+/// Returns the result, canonical pairs, per-shard injected-fault counts,
+/// per-shard join-time write attempts, and total pinned frames.
+type ShardedOutcome = (
+    Result<ShardedStats, JoinError>,
+    Vec<(u64, u64)>,
+    Vec<u64>,
+    Vec<u64>,
+    usize,
+);
+
+fn sharded_run(arm: &[(usize, FaultConfig)]) -> ShardedOutcome {
+    let (store, a, d, handles) = sharded_build();
+    for &(s, cfg) in arm {
+        handles[s].set_config(cfg);
+    }
+    let mut sink = CollectSink::default();
+    let res = store.join(Algorithm::Vpj, &a, &d, &mut sink);
+    for h in &handles {
+        h.set_config(FaultConfig::none());
+    }
+    let faults = handles.iter().map(|h| h.faults()).collect();
+    let writes = handles.iter().map(|h| h.writes()).collect();
+    let pinned = store.pinned_frames();
+    (res, sink.canonical(), faults, writes, pinned)
+}
+
+/// The transfer kind of an injected-fault error, when the error is one.
+fn io_kind(err: &JoinError) -> Option<IoErrorKind> {
+    match err {
+        JoinError::Pool(PoolError::Io(e)) => Some(e.kind),
+        _ => None,
+    }
+}
+
+#[test]
+fn fault_sweep_sharded_fork_join() {
+    // Fault-free baseline: the fork-join result must equal the
+    // single-pool run of the same algorithm on the same workload.
+    let (pairs_ref, _, _, _) = baseline("vpj", ALGORITHMS[2].1, 1, strict_io());
+    let (res0, pairs0, faults0, writes0, pinned0) = sharded_run(&[]);
+    let stats0 = res0.expect("fault-free sharded baseline failed");
+    assert_eq!(stats0.per_shard.len(), SHARDS);
+    assert_eq!(pinned0, 0);
+    assert!(faults0.iter().all(|&f| f == 0));
+    assert_eq!(pairs0, pairs_ref, "sharded result diverged from one pool");
+    assert!(
+        writes0.iter().all(|&w| w > 0),
+        "every shard should spill during the join ({writes0:?})"
+    );
+
+    // A permanent read fault on each single shard in turn: clean `Err`
+    // with the failing page, fault confined to that shard's disk, and no
+    // pinned frame left on *any* shard's pool.
+    for shard in 0..SHARDS {
+        let (res, _, faults, _, pinned) = sharded_run(&[(shard, FaultConfig::read_at(0))]);
+        assert!(faults[shard] > 0, "shard {shard}: read fault never fired");
+        assert!(
+            faults
+                .iter()
+                .enumerate()
+                .all(|(i, &f)| i == shard || f == 0),
+            "fault leaked across disks: {faults:?}"
+        );
+        let err = res.expect_err("faulted shard's error was swallowed");
+        assert!(
+            err.failing_page().is_some(),
+            "shard {shard}: error lost its page: {err}"
+        );
+        assert_eq!(pinned, 0, "shard {shard} fault leaked pins: {pinned}");
+    }
+
+    // Two shards fault with distinguishable kinds: the surfaced error is
+    // the *lowest* faulting shard's, per the scheduler's merge order.
+    let (res, _, faults, _, _) =
+        sharded_run(&[(1, FaultConfig::read_at(0)), (3, FaultConfig::write_at(0))]);
+    assert!(faults[1] > 0 && faults[3] > 0, "both faults must fire");
+    assert_eq!(
+        io_kind(&res.expect_err("two-shard fault swallowed")),
+        Some(IoErrorKind::Read),
+        "lowest shard's (read) error must win"
+    );
+    let (res, _, faults, _, _) =
+        sharded_run(&[(1, FaultConfig::write_at(0)), (3, FaultConfig::read_at(0))]);
+    assert!(faults[1] > 0 && faults[3] > 0, "both faults must fire");
+    assert_eq!(
+        io_kind(&res.expect_err("two-shard fault swallowed")),
+        Some(IoErrorKind::Write),
+        "lowest shard's (write) error must win"
+    );
+
+    // Exactly-once: a fresh fault-free rerun is byte-identical.
+    let (res, pairs, faults, _, pinned) = sharded_run(&[]);
+    res.expect("fault-free sharded rerun failed");
+    assert!(faults.iter().all(|&f| f == 0));
+    assert_eq!(pairs, pairs0, "fault-free sharded rerun drifted");
+    assert_eq!(pinned, 0);
+}
+
 // ---- WAL leg ----------------------------------------------------------
 //
 // The durable write path adds a new I/O population: write-ahead-log pages
